@@ -1,0 +1,41 @@
+// Ablation (Lemma 3 context): error feedback on/off and compressor choice vs
+// convergence.  With EC, threshold compression at delta = 0.001 tracks the
+// uncompressed loss; without EC it stalls; Random-k trails Top-k.
+#include <iostream>
+
+#include "common.h"
+
+int main() {
+  using namespace sidco;
+  const std::size_t iters = bench::scaled(60);
+  std::cout << "-- Ablation: error feedback & selection rule (VGG16 @ 0.001)"
+            << std::endl;
+
+  util::Table table({"scheme", "EC", "final loss", "final quality"});
+  struct Case {
+    core::Scheme scheme;
+    bool ec;
+  };
+  const Case cases[] = {
+      {core::Scheme::kNone, false},
+      {core::Scheme::kTopK, true},
+      {core::Scheme::kTopK, false},
+      {core::Scheme::kSidcoExponential, true},
+      {core::Scheme::kSidcoExponential, false},
+      {core::Scheme::kRandomK, true},
+  };
+  for (const Case& c : cases) {
+    dist::SessionConfig config = bench::training_config(
+        nn::Benchmark::kVgg16, c.scheme,
+        c.scheme == core::Scheme::kNone ? 1.0 : 0.001, iters);
+    config.error_feedback = c.ec;
+    const dist::SessionResult session = dist::run_session(config);
+    table.add_row({std::string(core::scheme_name(c.scheme)),
+                   c.ec ? "on" : "off",
+                   util::format_double(session.final_loss),
+                   util::format_double(session.final_quality)});
+  }
+  table.print(std::cout, "EC / selection-rule ablation (VGG16, delta=0.001)");
+  table.maybe_write_csv("ablation_convergence");
+  return 0;
+}

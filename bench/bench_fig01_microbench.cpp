@@ -1,0 +1,86 @@
+// Figure 1: compression speed-up over Top-k on (a) GPU [device cost model]
+// and (b) CPU [measured], plus (c) threshold-estimation quality, for a
+// VGG16-sized gradient (14.98M elements) at ratios 0.1 / 0.01 / 0.001.
+#include <algorithm>
+#include <iostream>
+
+#include "common.h"
+#include "dist/device_model.h"
+#include "util/timer.h"
+
+namespace {
+
+constexpr std::size_t kDim = 14982987;  // VGG16 (Table 1)
+
+double measure_cpu_seconds(sidco::compressors::Compressor& compressor,
+                           const std::vector<float>& gradient, int reps) {
+  using sidco::util::Timer;
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    Timer timer;
+    (void)compressor.compress(gradient);
+    best = std::min(best, timer.seconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sidco;
+  std::cout << "-- Fig 1: compression microbenchmark, d=" << kDim
+            << " (VGG16-sized Laplace gradient)" << std::endl;
+  const std::vector<float> gradient =
+      bench::synthetic_laplace(kDim, 0.0005, 2021);
+  const dist::DeviceModel gpu(dist::Device::kGpuModel);
+
+  const core::Scheme schemes[] = {
+      core::Scheme::kDgc, core::Scheme::kRedSync, core::Scheme::kGaussianKSgd,
+      core::Scheme::kSidcoExponential, core::Scheme::kSidcoGammaPareto,
+      core::Scheme::kSidcoPareto};
+
+  util::Table gpu_table({"scheme", "ratio", "speedup-vs-Topk(GPU model)"});
+  util::Table cpu_table(
+      {"scheme", "ratio", "speedup-vs-Topk(CPU measured)", "latency(ms)"});
+  util::Table quality({"scheme", "ratio", "khat/k", "ci90-low", "ci90-high"});
+
+  for (double ratio : bench::kRatios) {
+    auto topk = core::make_compressor(core::Scheme::kTopK, ratio);
+    const double topk_cpu = measure_cpu_seconds(*topk, gradient, 3);
+    const double topk_gpu = gpu.gpu_seconds(core::Scheme::kTopK, kDim, ratio);
+    std::cout << "Topk @" << ratio << ": CPU "
+              << util::format_double(topk_cpu * 1e3) << " ms, GPU(model) "
+              << util::format_double(topk_gpu * 1e3) << " ms" << std::endl;
+
+    for (core::Scheme scheme : schemes) {
+      auto compressor = core::make_compressor(scheme, ratio);
+      // Let SIDCo's stage controller settle before timing.
+      std::vector<double> achieved;
+      for (int i = 0; i < 12; ++i) {
+        achieved.push_back(compressor->compress(gradient).achieved_ratio() /
+                           ratio);
+      }
+      const double cpu_s = measure_cpu_seconds(*compressor, gradient, 3);
+      const double gpu_s = gpu.gpu_seconds(scheme, kDim, ratio, 3);
+      const std::string name(core::scheme_name(scheme));
+      gpu_table.add_row({name, util::format_double(ratio),
+                         util::format_speedup(topk_gpu / gpu_s)});
+      cpu_table.add_row({name, util::format_double(ratio),
+                         util::format_speedup(topk_cpu / cpu_s),
+                         util::format_double(cpu_s * 1e3)});
+      const stats::ConfidenceInterval ci =
+          stats::mean_confidence_interval(achieved, 0.90);
+      quality.add_row({name, util::format_double(ratio),
+                       util::format_double(ci.mean),
+                       util::format_double(ci.lower),
+                       util::format_double(ci.upper)});
+    }
+  }
+  gpu_table.print(std::cout, "Fig 1a: normalized compression speed-up (GPU cost model)");
+  gpu_table.maybe_write_csv("fig01a_gpu");
+  cpu_table.print(std::cout, "Fig 1b: normalized compression speed-up (CPU measured)");
+  cpu_table.maybe_write_csv("fig01b_cpu");
+  quality.print(std::cout, "Fig 1c: quality of threshold estimation (khat/k)");
+  quality.maybe_write_csv("fig01c_quality");
+  return 0;
+}

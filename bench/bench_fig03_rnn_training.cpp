@@ -1,0 +1,14 @@
+// Figure 3: end-to-end RNN training — LSTM-PTB (a,b,c) and LSTM-AN4 (d,e,f):
+// normalized training speed-up, normalized throughput, estimation quality,
+// for Topk / DGC / RedSync / GaussianKSGD / SIDCo-E at ratios 0.1/0.01/0.001.
+#include "common.h"
+
+int main() {
+  using namespace sidco;
+  const std::size_t iters = bench::scaled(80);
+  bench::run_comparison(nn::Benchmark::kLstmPtb, core::comparison_schemes(),
+                        bench::kRatios, iters, "fig03_ptb");
+  bench::run_comparison(nn::Benchmark::kLstmAn4, core::comparison_schemes(),
+                        bench::kRatios, iters, "fig03_an4");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 4: per-iteration train loss and normalized achieved ratio at the
+// aggressive target delta = 0.001 (LSTM-PTB and LSTM-AN4).  RedSync
+// oscillates, GaussianKSGD collapses toward zero, DGC and SIDCo track 1.
+#include <iostream>
+
+#include "common.h"
+#include "stats/descriptive.h"
+
+int main() {
+  using namespace sidco;
+  const std::size_t iters = bench::scaled(90);
+  const core::Scheme schemes[] = {
+      core::Scheme::kTopK, core::Scheme::kDgc, core::Scheme::kRedSync,
+      core::Scheme::kGaussianKSgd, core::Scheme::kSidcoExponential};
+
+  for (nn::Benchmark benchmark :
+       {nn::Benchmark::kLstmPtb, nn::Benchmark::kLstmAn4}) {
+    const nn::BenchmarkSpec& spec = nn::benchmark_spec(benchmark);
+    std::cout << "-- Fig 4: " << spec.name << " @ ratio 0.001, " << iters
+              << " iterations" << std::endl;
+    for (core::Scheme scheme : schemes) {
+      const dist::SessionResult session = dist::run_session(
+          bench::training_config(benchmark, scheme, 0.001, iters));
+      const std::string name(core::scheme_name(scheme));
+      bench::print_series(
+          std::string(spec.name) + " / " + name + ": train loss vs iteration",
+          "iteration", "loss",
+          stats::running_average(session.loss_series(), 8),
+          "fig04_" + std::string(spec.name) + "_" + name + "_loss", 10);
+      std::vector<double> normalized = session.achieved_ratio_series();
+      for (double& r : normalized) r /= 0.001;
+      bench::print_series(
+          std::string(spec.name) + " / " + name +
+              ": achieved/target ratio vs iteration",
+          "iteration", "khat/k", normalized,
+          "fig04_" + std::string(spec.name) + "_" + name + "_ratio", 10);
+    }
+  }
+  return 0;
+}

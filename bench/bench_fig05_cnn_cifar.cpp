@@ -1,0 +1,15 @@
+// Figure 5: CNN training on synthetic CIFAR-10 — ResNet20 (a: speed-up, b:
+// estimation quality) and VGG16 (c: speed-up).  ResNet20 is compute-bound
+// (10% comm overhead) so gains are modest; VGG16 is comm-bound (60%) and
+// compression pays off.
+#include "common.h"
+
+int main() {
+  using namespace sidco;
+  const std::size_t iters = bench::scaled(60);
+  bench::run_comparison(nn::Benchmark::kResNet20, core::comparison_schemes(),
+                        bench::kRatios, iters, "fig05_resnet20");
+  bench::run_comparison(nn::Benchmark::kVgg16, core::comparison_schemes(),
+                        bench::kRatios, iters, "fig05_vgg16");
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 6: budget-limited ImageNet-proxy training — ResNet50 (a,b,c) at
+// ratios 0.1/0.01/0.001 and VGG19 (d,e,f) at ratio 0.001: final quality,
+// normalized throughput, estimation quality.  Mirrors the paper's 5-hour
+// time-limited runs with an iteration budget.
+#include "common.h"
+
+int main() {
+  using namespace sidco;
+  const std::size_t iters = bench::scaled(60);
+  bench::run_comparison(nn::Benchmark::kResNet50, core::comparison_schemes(),
+                        bench::kRatios, iters, "fig06_resnet50");
+  const double vgg19_ratios[] = {0.001};
+  bench::run_comparison(nn::Benchmark::kVgg19, core::comparison_schemes(),
+                        vgg19_ratios, iters, "fig06_vgg19");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 7: compressibility of real gradients (Definition 1).
+//  (a) sorted |g| vs rank follows a power law with exponent p > 1/2;
+//  (b) the best-k sparsification error sigma_k decays faster than k^{1/2-p}.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "common.h"
+#include "stats/powerlaw.h"
+#include "tensor/vector_ops.h"
+
+int main() {
+  using namespace sidco;
+  const std::size_t mid = bench::scaled(400);
+  const std::size_t end = bench::scaled(900);
+  const std::size_t snapshots_at[] = {10, mid, end};
+  std::cout << "-- Fig 7: gradient compressibility (ResNet20 proxy)"
+            << std::endl;
+  const auto snapshots = bench::collect_gradients(
+      nn::Benchmark::kResNet20, snapshots_at, /*error_feedback=*/false);
+
+  util::Table fits({"iteration", "decay exponent p", "r^2", "compressible(p>0.5)"});
+  for (const auto& snap : snapshots) {
+    const stats::PowerLawFit fit =
+        stats::fit_power_law_decay(snap.gradient, 10, 20000);
+    fits.add_row({std::to_string(snap.iteration),
+                  util::format_double(fit.exponent),
+                  util::format_double(fit.r_squared),
+                  stats::is_compressible(fit) ? "yes" : "no"});
+  }
+  fits.print(std::cout, "Fig 7a: power-law decay of sorted |g|");
+  fits.maybe_write_csv("fig07a_powerlaw");
+
+  // Sorted-magnitude profile of the last snapshot (the 7a curve).
+  {
+    const auto& grad = snapshots.back().gradient;
+    std::vector<double> mags;
+    mags.reserve(grad.size());
+    for (float v : grad) mags.push_back(std::fabs(v));
+    std::sort(mags.begin(), mags.end(), std::greater<>());
+    const double top = std::max(mags.front(), 1e-30);
+    util::Table profile({"rank j", "sorted |g|_j / |g|_1"});
+    for (std::size_t j = 1; j <= mags.size(); j *= 4) {
+      profile.add_row({std::to_string(j),
+                       util::format_double(mags[j - 1] / top, 5)});
+    }
+    profile.print(std::cout, "Fig 7a: sorted magnitude profile (final snapshot)");
+    profile.maybe_write_csv("fig07a_profile");
+  }
+
+  // 7b: sigma_k decay for each snapshot.
+  util::Table sigma({"iteration", "k/d", "sigma_k / ||g||"});
+  for (const auto& snap : snapshots) {
+    const double norm = tensor::l2_norm(snap.gradient);
+    const auto curve = stats::sparsification_error_curve(snap.gradient, 9);
+    for (const auto& point : curve) {
+      sigma.add_row(
+          {std::to_string(snap.iteration),
+           util::format_double(static_cast<double>(point.k) /
+                               static_cast<double>(snap.gradient.size())),
+           util::format_double(norm > 0 ? point.sigma_k / norm : 0.0, 5)});
+    }
+  }
+  sigma.print(std::cout, "Fig 7b: best-k sparsification error decay");
+  sigma.maybe_write_csv("fig07b_sigma");
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 8: SID fits of real ResNet20 gradients WITH error feedback.  The EC
+// residual mixes the previous sparsification error into the gradient, so the
+// late-iteration fits visibly degrade relative to Fig 2 — the paper's
+// motivation for multi-stage fitting under EC.
+#include <iostream>
+
+#include "common.h"
+
+int main() {
+  using namespace sidco;
+  const std::size_t late = bench::scaled(800);
+  const std::size_t snapshots_at[] = {100, late};
+  std::cout << "-- Fig 8: gradient SID fits (ResNet20 proxy, Topk 0.001, EC on)"
+            << std::endl;
+  const auto snapshots = bench::collect_gradients(
+      nn::Benchmark::kResNet20, snapshots_at, /*error_feedback=*/true);
+  for (const auto& snap : snapshots) {
+    bench::print_sid_fit_report(
+        "Fig 8 @ iteration " + std::to_string(snap.iteration), snap.gradient,
+        "fig08_iter" + std::to_string(snap.iteration));
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 9: smoothed (running-average) achieved compression ratio over
+// training, per benchmark and target ratio, for DGC / RedSync / GaussianKSGD
+// and the three SIDCo variants.  Summarized per series as mean / min / max of
+// the smoothed curve plus a compact downsampled trace.
+#include <algorithm>
+#include <iostream>
+
+#include "common.h"
+#include "stats/descriptive.h"
+
+int main() {
+  using namespace sidco;
+  const std::size_t iters = bench::scaled(60);
+  const core::Scheme schemes[] = {
+      core::Scheme::kDgc, core::Scheme::kRedSync, core::Scheme::kGaussianKSgd,
+      core::Scheme::kSidcoExponential, core::Scheme::kSidcoGammaPareto,
+      core::Scheme::kSidcoPareto};
+
+  for (nn::Benchmark benchmark :
+       {nn::Benchmark::kVgg16, nn::Benchmark::kLstmPtb}) {
+    const nn::BenchmarkSpec& spec = nn::benchmark_spec(benchmark);
+    std::cout << "-- Fig 9: " << spec.name << " smoothed achieved ratio ("
+              << iters << " iterations)" << std::endl;
+    util::Table summary({"scheme", "target", "mean khat/k", "min", "max"});
+    for (double ratio : bench::kRatios) {
+      for (core::Scheme scheme : schemes) {
+        const dist::SessionResult session = dist::run_session(
+            bench::training_config(benchmark, scheme, ratio, iters));
+        std::vector<double> normalized = session.achieved_ratio_series();
+        for (double& r : normalized) r /= ratio;
+        const std::vector<double> smoothed =
+            stats::running_average(normalized, 8);
+        const auto [mn, mx] =
+            std::minmax_element(smoothed.begin(), smoothed.end());
+        double mean = 0.0;
+        for (double v : smoothed) mean += v;
+        mean /= static_cast<double>(smoothed.size());
+        summary.add_row({std::string(core::scheme_name(scheme)),
+                         util::format_double(ratio),
+                         util::format_double(mean), util::format_double(*mn),
+                         util::format_double(*mx)});
+      }
+    }
+    summary.print(std::cout, std::string(spec.name) +
+                                 ": smoothed khat/k over training");
+    summary.maybe_write_csv("fig09_" + std::string(spec.name));
+  }
+  return 0;
+}

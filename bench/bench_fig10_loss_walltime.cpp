@@ -1,0 +1,48 @@
+// Figure 10: smoothed training loss vs modeled wall-clock time.  Compression
+// reaches a given loss earlier than no-compression on comm-bound benchmarks;
+// the poor estimators trail or diverge at 0.001.
+#include <iostream>
+
+#include "common.h"
+#include "stats/descriptive.h"
+
+int main() {
+  using namespace sidco;
+  const std::size_t iters = bench::scaled(60);
+  const core::Scheme schemes[] = {core::Scheme::kNone, core::Scheme::kTopK,
+                                  core::Scheme::kGaussianKSgd,
+                                  core::Scheme::kSidcoExponential};
+  for (nn::Benchmark benchmark :
+       {nn::Benchmark::kVgg16, nn::Benchmark::kLstmPtb}) {
+    const nn::BenchmarkSpec& spec = nn::benchmark_spec(benchmark);
+    for (double ratio : {0.01, 0.001}) {
+      std::cout << "-- Fig 10: " << spec.name << " @ ratio " << ratio
+                << std::endl;
+      util::Table table({"scheme", "wall-time 25% (s)", "loss@25%",
+                         "wall-time end (s)", "loss@end"});
+      for (core::Scheme scheme : schemes) {
+        const double r = scheme == core::Scheme::kNone ? 1.0 : ratio;
+        const dist::SessionResult session = dist::run_session(
+            bench::training_config(benchmark, scheme, r, iters));
+        const std::vector<double> losses =
+            stats::running_average(session.loss_series(), 8);
+        double elapsed_quarter = 0.0;
+        double elapsed_total = 0.0;
+        const std::size_t quarter = session.iterations.size() / 4;
+        for (std::size_t i = 0; i < session.iterations.size(); ++i) {
+          elapsed_total += session.iterations[i].wall_seconds();
+          if (i + 1 == quarter) elapsed_quarter = elapsed_total;
+        }
+        table.add_row({std::string(core::scheme_name(scheme)),
+                       util::format_double(elapsed_quarter),
+                       util::format_double(losses[quarter > 0 ? quarter - 1 : 0]),
+                       util::format_double(elapsed_total),
+                       util::format_double(losses.back())});
+      }
+      table.print(std::cout, std::string(spec.name) + " loss vs modeled wall-time");
+      table.maybe_write_csv("fig10_" + std::string(spec.name) + "_" +
+                            util::format_double(ratio));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 11: VGG19 @ delta = 0.001 — (a) smoothed achieved compression ratio
+// and (b) training loss over time, for every scheme including the three
+// SIDCo variants.
+#include <iostream>
+
+#include "common.h"
+#include "stats/descriptive.h"
+
+int main() {
+  using namespace sidco;
+  const std::size_t iters = bench::scaled(60);
+  std::cout << "-- Fig 11: VGG19 @ ratio 0.001 (" << iters << " iterations)"
+            << std::endl;
+  for (core::Scheme scheme : core::extended_schemes()) {
+    const dist::SessionResult session = dist::run_session(
+        bench::training_config(nn::Benchmark::kVgg19, scheme, 0.001, iters));
+    const std::string name(core::scheme_name(scheme));
+    std::vector<double> normalized = session.achieved_ratio_series();
+    for (double& r : normalized) r /= 0.001;
+    bench::print_series("VGG19 / " + name + ": smoothed khat/k", "iteration",
+                        "khat/k", stats::running_average(normalized, 8),
+                        "fig11_ratio_" + name, 8);
+    bench::print_series("VGG19 / " + name + ": train loss", "iteration",
+                        "loss",
+                        stats::running_average(session.loss_series(), 8),
+                        "fig11_loss_" + name, 8);
+  }
+  return 0;
+}

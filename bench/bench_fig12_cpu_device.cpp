@@ -1,0 +1,43 @@
+// Figure 12: training throughput when the CPU is the compression device.
+// Top-k regains ground on CPU, DGC loses it (random sampling is slow on
+// CPU), and SIDCo stays fastest — the architecture-portability argument.
+#include <iostream>
+
+#include "common.h"
+
+int main() {
+  using namespace sidco;
+  const std::size_t iters = bench::scaled(40);
+  const core::Scheme schemes[] = {core::Scheme::kTopK, core::Scheme::kDgc,
+                                  core::Scheme::kSidcoExponential};
+  for (nn::Benchmark benchmark :
+       {nn::Benchmark::kResNet20, nn::Benchmark::kVgg16,
+        nn::Benchmark::kLstmPtb}) {
+    const nn::BenchmarkSpec& spec = nn::benchmark_spec(benchmark);
+    std::cout << "-- Fig 12: " << spec.name
+              << " with CPU as the compression device" << std::endl;
+    util::Table table({"scheme", "ratio", "throughput (samples/s)",
+                       "compression(ms, paper-scale)"});
+    for (core::Scheme scheme : schemes) {
+      for (double ratio : bench::kRatios) {
+        dist::SessionConfig config =
+            bench::training_config(benchmark, scheme, ratio, iters);
+        config.device = dist::Device::kCpuMeasured;
+        const dist::SessionResult session = dist::run_session(config);
+        double comp = 0.0;
+        for (const auto& it : session.iterations) {
+          comp += it.compression_seconds;
+        }
+        comp /= static_cast<double>(session.iterations.size());
+        table.add_row(
+            {std::string(core::scheme_name(scheme)),
+             util::format_double(ratio),
+             util::format_double(session.throughput_samples_per_second()),
+             util::format_double(comp * 1e3)});
+      }
+    }
+    table.print(std::cout, std::string(spec.name) + ": CPU-device training throughput");
+    table.maybe_write_csv("fig12_" + std::string(spec.name));
+  }
+  return 0;
+}

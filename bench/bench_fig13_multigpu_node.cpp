@@ -1,0 +1,54 @@
+// Figure 13: full training on a single 8-GPU node (shared cluster, 100 Gbps
+// InfiniBand fabric model): ResNet50 @ 0.1 and VGG19 @ 0.01 — final quality,
+// normalized throughput, estimation quality, for all schemes including the
+// three SIDCo variants.
+#include <iostream>
+
+#include "common.h"
+
+int main() {
+  using namespace sidco;
+  const std::size_t iters = bench::scaled(60);
+
+  struct Case {
+    nn::Benchmark benchmark;
+    double ratio;
+  };
+  const Case cases[] = {{nn::Benchmark::kResNet50, 0.1},
+                        {nn::Benchmark::kVgg19, 0.01}};
+
+  for (const Case& c : cases) {
+    const nn::BenchmarkSpec& spec = nn::benchmark_spec(c.benchmark);
+    std::cout << "-- Fig 13: " << spec.name << " @ ratio " << c.ratio
+              << " on an 8-GPU node (100 Gbps fabric)" << std::endl;
+
+    auto node_config = [&](core::Scheme scheme, double ratio) {
+      dist::SessionConfig config =
+          bench::training_config(c.benchmark, scheme, ratio, iters);
+      config.network.bandwidth_gbps = 100.0;  // Cluster 2 (Appendix D)
+      config.network.latency_us = 5.0;        // intra-node fabric
+      return config;
+    };
+
+    const dist::SessionResult baseline =
+        dist::run_session(node_config(core::Scheme::kNone, 1.0));
+    util::Table table({"scheme", "final quality", "norm tput", "khat/k"});
+    for (core::Scheme scheme : core::extended_schemes()) {
+      const dist::SessionResult session =
+          dist::run_session(node_config(scheme, c.ratio));
+      const metrics::EstimationQuality eq =
+          metrics::estimation_quality(session);
+      table.add_row(
+          {std::string(core::scheme_name(scheme)),
+           util::format_double(session.final_quality),
+           util::format_speedup(metrics::normalized_throughput(session,
+                                                               baseline)),
+           util::format_double(eq.mean_normalized_ratio)});
+    }
+    std::cout << "baseline quality: "
+              << util::format_double(baseline.final_quality) << std::endl;
+    table.print(std::cout, std::string(spec.name) + " on the multi-GPU node");
+    table.maybe_write_csv("fig13_" + std::string(spec.name));
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figures 14 & 15: per-model compression speed-up over Top-k (14) and raw
+// compression latency (15), on the GPU cost model and on the measured CPU,
+// at the gradient dimensions of the paper's real models.
+#include <algorithm>
+#include <iostream>
+
+#include "common.h"
+#include "dist/device_model.h"
+#include "util/timer.h"
+
+namespace {
+
+struct ModelDim {
+  const char* name;
+  std::size_t dim;
+};
+
+// Paper-scale gradient dimensions (Table 1); LSTM = PTB model.
+constexpr ModelDim kModels[] = {{"ResNet20", 269467},
+                                {"VGG16", 14982987},
+                                {"ResNet50", 25559081},
+                                {"LSTM", 66034000}};
+
+}  // namespace
+
+int main() {
+  using namespace sidco;
+  const dist::DeviceModel gpu(dist::Device::kGpuModel);
+  const core::Scheme schemes[] = {
+      core::Scheme::kDgc, core::Scheme::kRedSync, core::Scheme::kGaussianKSgd,
+      core::Scheme::kSidcoExponential, core::Scheme::kSidcoGammaPareto,
+      core::Scheme::kSidcoPareto};
+
+  util::Table speed_gpu({"model", "scheme", "ratio", "speedup-vs-Topk"});
+  util::Table speed_cpu({"model", "scheme", "ratio", "speedup-vs-Topk"});
+  util::Table lat_gpu({"model", "scheme", "ratio", "latency(ms)"});
+  util::Table lat_cpu({"model", "scheme", "ratio", "latency(ms)"});
+
+  for (const ModelDim& model : kModels) {
+    // One shared synthetic gradient per model size (CPU measurements).
+    const std::vector<float> gradient =
+        bench::synthetic_laplace(model.dim, 0.0005, 7 + model.dim);
+    for (double ratio : bench::kRatios) {
+      auto topk = core::make_compressor(core::Scheme::kTopK, ratio);
+      util::Timer timer;
+      (void)topk->compress(gradient);
+      const double topk_cpu = timer.seconds();
+      const double topk_gpu =
+          gpu.gpu_seconds(core::Scheme::kTopK, model.dim, ratio);
+      lat_gpu.add_row({model.name, "Topk", util::format_double(ratio),
+                       util::format_double(topk_gpu * 1e3)});
+      lat_cpu.add_row({model.name, "Topk", util::format_double(ratio),
+                       util::format_double(topk_cpu * 1e3)});
+      for (core::Scheme scheme : schemes) {
+        auto compressor = core::make_compressor(scheme, ratio);
+        for (int warm = 0; warm < 2; ++warm) (void)compressor->compress(gradient);
+        util::Timer t2;
+        (void)compressor->compress(gradient);
+        const double cpu_s = t2.seconds();
+        const double gpu_s = gpu.gpu_seconds(scheme, model.dim, ratio, 3);
+        const std::string name(core::scheme_name(scheme));
+        speed_gpu.add_row({model.name, name, util::format_double(ratio),
+                           util::format_speedup(topk_gpu / gpu_s)});
+        speed_cpu.add_row({model.name, name, util::format_double(ratio),
+                           util::format_speedup(topk_cpu / cpu_s)});
+        lat_gpu.add_row({model.name, name, util::format_double(ratio),
+                         util::format_double(gpu_s * 1e3)});
+        lat_cpu.add_row({model.name, name, util::format_double(ratio),
+                         util::format_double(cpu_s * 1e3)});
+      }
+    }
+  }
+  speed_gpu.print(std::cout, "Fig 14 (GPU model): compression speed-up over Topk");
+  speed_gpu.maybe_write_csv("fig14_gpu");
+  speed_cpu.print(std::cout, "Fig 14 (CPU measured): compression speed-up over Topk");
+  speed_cpu.maybe_write_csv("fig14_cpu");
+  lat_gpu.print(std::cout, "Fig 15 (GPU model): compression latency");
+  lat_gpu.maybe_write_csv("fig15_gpu");
+  lat_cpu.print(std::cout, "Fig 15 (CPU measured): compression latency");
+  lat_cpu.maybe_write_csv("fig15_cpu");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figures 16 & 17: compression speed-up over Top-k (16) and latency (17) on
+// synthetic tensors of 0.26M / 2.6M / 26M elements (260M with --huge or
+// SIDCO_BENCH_HUGE=1), GPU cost model + measured CPU.
+#include <cstring>
+#include <iostream>
+
+#include "common.h"
+#include "dist/device_model.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace sidco;
+  bool huge = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--huge") == 0) huge = true;
+  }
+  if (const char* env = std::getenv("SIDCO_BENCH_HUGE")) {
+    if (env[0] == '1') huge = true;
+  }
+  std::vector<std::size_t> dims = {260000, 2600000, 26000000};
+  if (huge) dims.push_back(260000000);
+
+  const dist::DeviceModel gpu(dist::Device::kGpuModel);
+  const core::Scheme schemes[] = {
+      core::Scheme::kDgc, core::Scheme::kRedSync, core::Scheme::kGaussianKSgd,
+      core::Scheme::kSidcoExponential, core::Scheme::kSidcoGammaPareto,
+      core::Scheme::kSidcoPareto};
+
+  util::Table speedup({"elements", "scheme", "ratio", "GPU-model speedup",
+                       "CPU-measured speedup"});
+  util::Table latency({"elements", "scheme", "ratio", "GPU-model ms",
+                       "CPU-measured ms"});
+  for (std::size_t dim : dims) {
+    const std::vector<float> gradient =
+        bench::synthetic_laplace(dim, 0.0005, dim);
+    for (double ratio : bench::kRatios) {
+      auto topk = core::make_compressor(core::Scheme::kTopK, ratio);
+      util::Timer timer;
+      (void)topk->compress(gradient);
+      const double topk_cpu = timer.seconds();
+      const double topk_gpu = gpu.gpu_seconds(core::Scheme::kTopK, dim, ratio);
+      latency.add_row({std::to_string(dim), "Topk", util::format_double(ratio),
+                       util::format_double(topk_gpu * 1e3),
+                       util::format_double(topk_cpu * 1e3)});
+      for (core::Scheme scheme : schemes) {
+        auto compressor = core::make_compressor(scheme, ratio);
+        for (int warm = 0; warm < 2; ++warm) {
+          (void)compressor->compress(gradient);
+        }
+        util::Timer t2;
+        (void)compressor->compress(gradient);
+        const double cpu_s = t2.seconds();
+        const double gpu_s = gpu.gpu_seconds(scheme, dim, ratio, 3);
+        speedup.add_row({std::to_string(dim),
+                         std::string(core::scheme_name(scheme)),
+                         util::format_double(ratio),
+                         util::format_speedup(topk_gpu / gpu_s),
+                         util::format_speedup(topk_cpu / cpu_s)});
+        latency.add_row({std::to_string(dim),
+                         std::string(core::scheme_name(scheme)),
+                         util::format_double(ratio),
+                         util::format_double(gpu_s * 1e3),
+                         util::format_double(cpu_s * 1e3)});
+      }
+    }
+  }
+  speedup.print(std::cout, "Fig 16: synthetic-tensor speed-up over Topk");
+  speedup.maybe_write_csv("fig16_speedup");
+  latency.print(std::cout, "Fig 17: synthetic-tensor compression latency");
+  latency.maybe_write_csv("fig17_latency");
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Figure 18 (Appendix F): the main comparison including all three SIDCo
+// variants (E / GP / P), across the four comm-heavy benchmarks at the
+// aggressive ratio.
+#include "common.h"
+
+int main() {
+  using namespace sidco;
+  const std::size_t iters = bench::scaled(60);
+  const double aggressive[] = {0.001};
+  for (nn::Benchmark benchmark :
+       {nn::Benchmark::kLstmPtb, nn::Benchmark::kLstmAn4,
+        nn::Benchmark::kResNet20, nn::Benchmark::kVgg16}) {
+    bench::run_comparison(benchmark, core::extended_schemes(), aggressive,
+                          iters,
+                          "fig18_" +
+                              std::string(nn::benchmark_spec(benchmark).name));
+  }
+  return 0;
+}

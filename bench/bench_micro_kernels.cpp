@@ -1,0 +1,99 @@
+// Kernel microbenchmarks (google-benchmark): the linear passes SIDCo's O(d)
+// claim rests on, vs the selection kernels the baselines pay for.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/factory.h"
+#include "core/threshold_estimator.h"
+#include "stats/distributions.h"
+#include "tensor/vector_ops.h"
+#include "util/rng.h"
+
+namespace {
+
+std::vector<float> laplace_vector(std::size_t n) {
+  sidco::util::Rng rng(17);
+  const sidco::stats::Laplace d(0.0005);
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(d.sample(rng));
+  return v;
+}
+
+void BM_MeanAbs(benchmark::State& state) {
+  const auto v = laplace_vector(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sidco::tensor::mean_abs(v));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MeanAbs)->Arg(1 << 18)->Arg(1 << 22)->Arg(1 << 24);
+
+void BM_MeanVarAbs(benchmark::State& state) {
+  const auto v = laplace_vector(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sidco::tensor::mean_var_abs(v));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MeanVarAbs)->Arg(1 << 22);
+
+void BM_CountAtLeast(benchmark::State& state) {
+  const auto v = laplace_vector(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sidco::tensor::count_at_least(v, 0.003F));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CountAtLeast)->Arg(1 << 22);
+
+void BM_ExactTopK(benchmark::State& state) {
+  const auto v = laplace_vector(static_cast<std::size_t>(state.range(0)));
+  const std::size_t k = static_cast<std::size_t>(state.range(0)) / 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sidco::tensor::top_k(v, k));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExactTopK)->Arg(1 << 18)->Arg(1 << 22)->Arg(1 << 24);
+
+void BM_ExtractAtLeast(benchmark::State& state) {
+  const auto v = laplace_vector(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sidco::tensor::extract_at_least(v, 0.003F, 1024));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExtractAtLeast)->Arg(1 << 22);
+
+void BM_SidcoEstimateFirstStage(benchmark::State& state) {
+  const auto v = laplace_vector(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sidco::core::estimate_first_stage(
+        sidco::core::Sid::kExponential, v, 0.25));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SidcoEstimateFirstStage)->Arg(1 << 22)->Arg(1 << 24);
+
+void BM_CompressorEndToEnd(benchmark::State& state) {
+  const auto scheme = static_cast<sidco::core::Scheme>(state.range(0));
+  const auto v = laplace_vector(1 << 22);
+  auto compressor = sidco::core::make_compressor(scheme, 0.001);
+  for (int warm = 0; warm < 6; ++warm) (void)compressor->compress(v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compressor->compress(v));
+  }
+  state.SetLabel(std::string(sidco::core::scheme_name(scheme)));
+  state.SetItemsProcessed(state.iterations() * (1 << 22));
+}
+BENCHMARK(BM_CompressorEndToEnd)
+    ->Arg(static_cast<int>(sidco::core::Scheme::kTopK))
+    ->Arg(static_cast<int>(sidco::core::Scheme::kDgc))
+    ->Arg(static_cast<int>(sidco::core::Scheme::kRedSync))
+    ->Arg(static_cast<int>(sidco::core::Scheme::kGaussianKSgd))
+    ->Arg(static_cast<int>(sidco::core::Scheme::kSidcoExponential))
+    ->Arg(static_cast<int>(sidco::core::Scheme::kSidcoGammaPareto))
+    ->Arg(static_cast<int>(sidco::core::Scheme::kSidcoPareto));
+
+}  // namespace

@@ -1,0 +1,32 @@
+// Table 1: summary of the benchmarks (paper-scale dimensions + this repo's
+// proxy dimensions side by side).
+#include <iostream>
+
+#include "common.h"
+#include "nn/zoo.h"
+
+int main() {
+  using namespace sidco;
+  util::Table table({"Task", "Model", "Dataset", "Paper params",
+                     "Proxy params", "Batch/worker", "LR", "CommOverhead",
+                     "Local optimizer", "Quality metric"});
+  for (nn::Benchmark benchmark : nn::kAllBenchmarks) {
+    const nn::BenchmarkSpec& spec = nn::benchmark_spec(benchmark);
+    const nn::Model model = nn::make_model(benchmark, 1);
+    const auto& opt = spec.optimizer;
+    const std::string optimizer =
+        opt.momentum > 0.0 ? (opt.nesterov ? "NesterovMom-SGD" : "Mom-SGD")
+                           : "SGD";
+    table.add_row({std::string(spec.task), std::string(spec.name),
+                   std::string(spec.dataset),
+                   std::to_string(spec.paper_parameters),
+                   std::to_string(model.parameter_count()),
+                   std::to_string(spec.batch_size),
+                   util::format_double(opt.learning_rate),
+                   util::format_double(spec.comm_overhead * 100.0) + "%",
+                   optimizer, std::string(spec.quality_metric)});
+  }
+  table.print(std::cout, "Table 1: benchmark summary");
+  table.maybe_write_csv("table1_benchmarks");
+  return 0;
+}

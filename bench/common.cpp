@@ -1,0 +1,254 @@
+#include "common.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "data/factory.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "stats/fitting.h"
+#include "stats/goodness_of_fit.h"
+#include "tensor/vector_ops.h"
+#include "util/rng.h"
+
+namespace sidco::bench {
+
+std::size_t scaled(std::size_t iterations) {
+  double scale = 1.0;
+  if (const char* env = std::getenv("SIDCO_BENCH_SCALE")) {
+    const double parsed = std::atof(env);
+    if (parsed > 0.0) scale = parsed;
+  }
+  const auto scaled_iters =
+      static_cast<std::size_t>(static_cast<double>(iterations) * scale);
+  return std::max<std::size_t>(scaled_iters, 10);
+}
+
+dist::SessionConfig training_config(nn::Benchmark benchmark,
+                                    core::Scheme scheme, double ratio,
+                                    std::size_t iterations) {
+  dist::SessionConfig config;
+  config.benchmark = benchmark;
+  config.scheme = scheme;
+  config.target_ratio = ratio;
+  config.workers = 8;
+  config.iterations = iterations;
+  config.eval_every = std::max<std::size_t>(iterations / 4, 1);
+  config.eval_batches = 4;
+  config.seed = 42;
+  return config;
+}
+
+ComparisonResult run_comparison(nn::Benchmark benchmark,
+                                std::span<const core::Scheme> schemes,
+                                std::span<const double> ratios,
+                                std::size_t iterations,
+                                const std::string& figure_tag) {
+  const nn::BenchmarkSpec& spec = nn::benchmark_spec(benchmark);
+  std::cout << "-- " << figure_tag << ": " << spec.name << " on "
+            << spec.dataset << " (" << iterations << " iterations, 8 workers)"
+            << std::endl;
+
+  ComparisonResult result;
+  result.baseline = dist::run_session(
+      training_config(benchmark, core::Scheme::kNone, 1.0, iterations));
+
+  util::Table speedup({"scheme", "ratio", "speedup", "quality",
+                       "wall-time(model,s)"});
+  util::Table throughput({"scheme", "ratio", "norm-tput", "samples/s"});
+  util::Table quality({"scheme", "ratio", "khat/k", "ci90-low", "ci90-high"});
+
+  for (core::Scheme scheme : schemes) {
+    std::vector<dist::SessionResult> row;
+    for (double ratio : ratios) {
+      dist::SessionResult session = dist::run_session(
+          training_config(benchmark, scheme, ratio, iterations));
+      const double sp = metrics::normalized_speedup(session, result.baseline);
+      const double tp =
+          metrics::normalized_throughput(session, result.baseline);
+      const metrics::EstimationQuality eq =
+          metrics::estimation_quality(session);
+      const std::string name(core::scheme_name(scheme));
+      speedup.add_row({name, util::format_double(ratio),
+                       util::format_speedup(sp),
+                       util::format_double(session.final_quality),
+                       util::format_double(session.total_modeled_seconds)});
+      throughput.add_row(
+          {name, util::format_double(ratio), util::format_speedup(tp),
+           util::format_double(session.throughput_samples_per_second())});
+      quality.add_row({name, util::format_double(ratio),
+                       util::format_double(eq.mean_normalized_ratio),
+                       util::format_double(eq.ci_lower),
+                       util::format_double(eq.ci_upper)});
+      row.push_back(std::move(session));
+    }
+    result.per_scheme.push_back(std::move(row));
+  }
+
+  std::cout << "baseline (NoComp): quality="
+            << util::format_double(result.baseline.final_quality)
+            << " wall-time(model)="
+            << util::format_double(result.baseline.total_modeled_seconds)
+            << "s  throughput="
+            << util::format_double(
+                   result.baseline.throughput_samples_per_second())
+            << " samples/s" << std::endl;
+  speedup.print(std::cout, std::string(spec.name) + (": normalized training speed-up"));
+  speedup.maybe_write_csv(figure_tag + "_speedup");
+  throughput.print(std::cout,
+                   std::string(spec.name) + (": normalized training throughput"));
+  throughput.maybe_write_csv(figure_tag + "_throughput");
+  quality.print(std::cout, std::string(spec.name) + (": estimation quality"));
+  quality.maybe_write_csv(figure_tag + "_quality");
+  return result;
+}
+
+void print_series(const std::string& title, const std::string& x_name,
+                  const std::string& y_name, const std::vector<double>& series,
+                  const std::string& csv_name, std::size_t points) {
+  util::Table table({x_name, y_name});
+  for (const auto& [index, value] : metrics::downsample(series, points)) {
+    table.add_row({std::to_string(index), util::format_double(value)});
+  }
+  table.print(std::cout, title);
+  table.maybe_write_csv(csv_name);
+}
+
+std::vector<float> synthetic_laplace(std::size_t n, double scale,
+                                     std::uint64_t seed) {
+  const stats::Laplace dist(scale);
+  util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(dist.sample(rng));
+  return v;
+}
+
+std::vector<GradientSnapshot> collect_gradients(
+    nn::Benchmark benchmark, std::span<const std::size_t> at_iterations,
+    bool error_feedback, std::uint64_t seed) {
+  const nn::BenchmarkSpec& spec = nn::benchmark_spec(benchmark);
+  nn::Model model = nn::make_model(benchmark, seed);
+  const auto dataset = data::make_dataset(benchmark, seed ^ 0xabcdefULL);
+  nn::SgdOptimizer optimizer(spec.optimizer);
+  util::Rng rng(seed + 1);
+  auto topk = core::make_compressor(core::Scheme::kTopK, 0.001);
+
+  std::size_t max_iter = 0;
+  for (std::size_t it : at_iterations) max_iter = std::max(max_iter, it);
+
+  std::vector<float> memory(model.parameter_count(), 0.0F);
+  std::vector<float> ec_gradient(model.parameter_count());
+  std::vector<float> dlogits;
+  std::vector<GradientSnapshot> snapshots;
+  for (std::size_t iter = 0; iter <= max_iter; ++iter) {
+    const data::Batch batch = dataset->sample(spec.batch_size, rng);
+    model.zero_gradients();
+    const std::span<const float> logits =
+        model.forward(batch.inputs, spec.batch_size);
+    dlogits.resize(logits.size());
+    nn::softmax_cross_entropy(logits, batch.labels, spec.classes, dlogits);
+    model.backward(dlogits);
+
+    const std::span<const float> grad = model.gradients();
+    for (std::size_t i = 0; i < grad.size(); ++i) {
+      ec_gradient[i] = grad[i] + (error_feedback ? memory[i] : 0.0F);
+    }
+    for (std::size_t want : at_iterations) {
+      if (want == iter) {
+        snapshots.push_back(
+            {.iteration = iter, .gradient = ec_gradient});
+      }
+    }
+    const compressors::CompressResult compressed = topk->compress(ec_gradient);
+    if (error_feedback) {
+      memory = ec_gradient;
+      for (std::size_t j = 0; j < compressed.sparse.nnz(); ++j) {
+        memory[compressed.sparse.indices[j]] = 0.0F;
+      }
+    }
+    // The model update uses the sparsified gradient, as in Algorithm 2.
+    const std::vector<float> dense = compressed.sparse.to_dense();
+    optimizer.step(model.parameters(), dense);
+  }
+  return snapshots;
+}
+
+void print_sid_fit_report(const std::string& title,
+                          const std::vector<float>& gradient,
+                          const std::string& csv_name) {
+  // Normalize by the l2 norm as the paper does for visual comparison.
+  std::vector<float> normalized = gradient;
+  const double norm = tensor::l2_norm(normalized);
+  if (norm > 0.0) {
+    tensor::scale(normalized, static_cast<float>(1.0 / norm));
+  }
+
+  const stats::Exponential exp_fit = stats::fit_exponential(normalized);
+  const stats::GammaFit gamma_fit = stats::fit_gamma_minka(normalized);
+  const stats::GpFit gp_fit = stats::fit_gp_moments(normalized);
+  const stats::Normal normal_fit = stats::fit_normal(normalized);
+
+  const stats::Gamma gamma_dist(gamma_fit.shape, gamma_fit.scale);
+  const stats::GeneralizedPareto gp_dist(gp_fit.shape, gp_fit.scale, 0.0);
+
+  constexpr std::size_t kKsCap = 50000;
+  std::vector<float> magnitudes(normalized.size());
+  for (std::size_t i = 0; i < normalized.size(); ++i) {
+    magnitudes[i] = std::fabs(normalized[i]);
+  }
+  const double ks_exp = stats::ks_statistic(
+      magnitudes, [&](double x) { return exp_fit.cdf(x); }, kKsCap);
+  const double ks_gamma = stats::ks_statistic(
+      magnitudes, [&](double x) { return gamma_dist.cdf(x); }, kKsCap);
+  const double ks_gp = stats::ks_statistic(
+      magnitudes, [&](double x) { return gp_dist.cdf(x); }, kKsCap);
+  // Gaussian comparison on |g| via folded normal approx: use signed values.
+  const double ks_normal = stats::ks_statistic(
+      normalized, [&](double x) { return normal_fit.cdf(x); }, kKsCap);
+
+  util::Table table({"distribution", "params", "KS-distance",
+                     "eta(0.01)", "eta(0.001)"});
+  auto eta = [](auto&& quantile, double delta) {
+    return util::format_double(quantile(1.0 - delta));
+  };
+  table.add_row({"double-exponential",
+                 "beta=" + util::format_double(exp_fit.scale()),
+                 util::format_double(ks_exp),
+                 eta([&](double p) { return exp_fit.quantile(p); }, 0.01),
+                 eta([&](double p) { return exp_fit.quantile(p); }, 0.001)});
+  table.add_row({"double-gamma",
+                 "alpha=" + util::format_double(gamma_fit.shape) +
+                     " beta=" + util::format_double(gamma_fit.scale),
+                 util::format_double(ks_gamma),
+                 eta([&](double p) { return gamma_dist.quantile(p); }, 0.01),
+                 eta([&](double p) { return gamma_dist.quantile(p); }, 0.001)});
+  table.add_row({"double-GP",
+                 "alpha=" + util::format_double(gp_fit.shape) +
+                     " beta=" + util::format_double(gp_fit.scale),
+                 util::format_double(ks_gp),
+                 eta([&](double p) { return gp_dist.quantile(p); }, 0.01),
+                 eta([&](double p) { return gp_dist.quantile(p); }, 0.001)});
+  table.add_row({"gaussian (signed, for contrast)",
+                 "mu=" + util::format_double(normal_fit.mean()) +
+                     " sigma=" + util::format_double(normal_fit.stddev()),
+                 util::format_double(ks_normal), "-", "-"});
+  table.print(std::cout, title);
+  table.maybe_write_csv(csv_name);
+
+  // Empirical |g| CDF vs fitted CDFs at tail quantiles (the inset plots).
+  util::Table cdf({"quantile", "empirical |g|", "exp CDF", "gamma CDF",
+                   "GP CDF"});
+  std::vector<double> mags_d(magnitudes.begin(), magnitudes.end());
+  for (double q : {0.5, 0.9, 0.95, 0.99, 0.999}) {
+    const double x = stats::empirical_quantile(mags_d, q);
+    cdf.add_row({util::format_double(q), util::format_double(x, 5),
+                 util::format_double(exp_fit.cdf(x), 5),
+                 util::format_double(gamma_dist.cdf(x), 5),
+                 util::format_double(gp_dist.cdf(x), 5)});
+  }
+  cdf.print(std::cout, title + " — |g| CDF tail match");
+  cdf.maybe_write_csv(csv_name + "_cdf");
+}
+
+}  // namespace sidco::bench

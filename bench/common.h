@@ -1,0 +1,71 @@
+// Shared helpers for the figure-reproduction bench binaries.
+//
+// Every binary prints the paper's rows/series as aligned tables (and CSV when
+// SIDCO_BENCH_CSV_DIR is set).  SIDCO_BENCH_SCALE scales iteration counts
+// (e.g. 0.25 for a smoke run, 4 for longer, more converged sessions).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/factory.h"
+#include "dist/session.h"
+#include "metrics/metrics.h"
+#include "stats/distributions.h"
+#include "util/table.h"
+
+namespace sidco::bench {
+
+/// Iteration budget scaled by the SIDCO_BENCH_SCALE env var (default 1.0).
+std::size_t scaled(std::size_t iterations);
+
+/// The paper's three evaluation ratios.
+inline constexpr double kRatios[] = {0.1, 0.01, 0.001};
+
+/// Default training-session config for a benchmark/scheme/ratio triple.
+dist::SessionConfig training_config(nn::Benchmark benchmark,
+                                    core::Scheme scheme, double ratio,
+                                    std::size_t iterations);
+
+/// Runs the no-compression baseline plus every (scheme, ratio) combination
+/// and prints the paper's three panels: normalized training speed-up,
+/// normalized average training throughput, and estimation quality with 90%
+/// CI.  Returns all results (baseline first) for further use.
+struct ComparisonResult {
+  dist::SessionResult baseline;
+  /// results[scheme_index][ratio_index]
+  std::vector<std::vector<dist::SessionResult>> per_scheme;
+};
+ComparisonResult run_comparison(nn::Benchmark benchmark,
+                                std::span<const core::Scheme> schemes,
+                                std::span<const double> ratios,
+                                std::size_t iterations,
+                                const std::string& figure_tag);
+
+/// Prints a downsampled series as a two-column table.
+void print_series(const std::string& title, const std::string& x_name,
+                  const std::string& y_name, const std::vector<double>& series,
+                  const std::string& csv_name, std::size_t points = 16);
+
+/// Synthetic gradient vectors (iid SID draws) for the microbenchmarks.
+std::vector<float> synthetic_laplace(std::size_t n, double scale,
+                                     std::uint64_t seed);
+
+/// Gradient snapshots from really training a proxy model (single worker,
+/// Top-k delta = 0.001 compression in the loop, EC configurable) — the
+/// input data for the Fig. 2/7/8 statistical analyses.
+struct GradientSnapshot {
+  std::size_t iteration = 0;
+  std::vector<float> gradient;  ///< pre-compression (post-EC-add if enabled)
+};
+std::vector<GradientSnapshot> collect_gradients(
+    nn::Benchmark benchmark, std::span<const std::size_t> at_iterations,
+    bool error_feedback, std::uint64_t seed = 17);
+
+/// Fits all three SIDs plus a Gaussian to `gradient` and prints parameter
+/// estimates, implied thresholds at delta, and KS distances (Fig. 2/8 rows).
+void print_sid_fit_report(const std::string& title,
+                          const std::vector<float>& gradient,
+                          const std::string& csv_name);
+
+}  // namespace sidco::bench

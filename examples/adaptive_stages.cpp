@@ -1,0 +1,49 @@
+// Adapt_Stages in action: compress a stream of gradients whose distribution
+// drifts (sparser over "training") and watch the controller move the stage
+// count so the achieved ratio stays inside the (1 +/- 0.2) band.
+#include <iostream>
+#include <vector>
+
+#include "core/sidco_compressor.h"
+#include "stats/distributions.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sidco;
+
+  core::SidcoConfig config;
+  config.sid = core::Sid::kExponential;
+  config.target_ratio = 0.001;
+  core::SidcoCompressor sidco(config);
+
+  util::Rng rng(11);
+  util::Table table({"iteration", "gamma shape (data)", "stages M",
+                     "khat/k"});
+  constexpr int kIterations = 60;
+  for (int iter = 0; iter < kIterations; ++iter) {
+    // Gradients sparsify over training: the double-gamma shape drifts from
+    // 0.9 (nearly Laplacian) to 0.4 (much sparser).
+    const double shape =
+        0.9 - 0.5 * static_cast<double>(iter) / (kIterations - 1);
+    const stats::Gamma magnitude(shape, 0.002);
+    std::vector<float> gradient(200000);
+    for (float& g : gradient) {
+      const double m = magnitude.sample(rng);
+      g = static_cast<float>(rng.uniform() < 0.5 ? -m : m);
+    }
+    const compressors::CompressResult result = sidco.compress(gradient);
+    if (iter % 5 == 0) {
+      table.add_row({std::to_string(iter), util::format_double(shape, 2),
+                     std::to_string(result.stages_used),
+                     util::format_double(result.achieved_ratio() /
+                                         config.target_ratio)});
+    }
+  }
+  table.print(std::cout,
+              "stage adaptation under distribution drift (delta = 0.001)");
+  std::cout << "\nThe controller starts single-stage, over-selects on the"
+               " sparse data,\nand climbs to the stage count that pins"
+               " khat/k near 1.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Distributed training example: 8 synchronous workers train the VGG16 proxy
+// on synthetic CIFAR-10, once without compression and once with SIDCo-E at
+// delta = 0.01.  Prints loss progression and the modeled iteration-time
+// breakdown (compute / compression / communication).
+#include <iostream>
+
+#include "dist/session.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sidco;
+
+  auto configure = [](core::Scheme scheme, double ratio) {
+    dist::SessionConfig config;
+    config.benchmark = nn::Benchmark::kVgg16;
+    config.scheme = scheme;
+    config.target_ratio = ratio;
+    config.workers = 8;
+    config.iterations = 60;
+    config.eval_every = 20;
+    return config;
+  };
+
+  std::cout << "Training VGG16 proxy on 8 workers (this runs real backprop"
+               " on every worker)...\n";
+  const dist::SessionResult baseline =
+      dist::run_session(configure(core::Scheme::kNone, 1.0));
+  const dist::SessionResult sidco =
+      dist::run_session(configure(core::Scheme::kSidcoExponential, 0.01));
+
+  util::Table table({"run", "final loss", "final accuracy",
+                     "compute s/iter", "compression s/iter", "comm s/iter",
+                     "modeled total (s)"});
+  for (const dist::SessionResult* session : {&baseline, &sidco}) {
+    const auto& last = session->iterations.back();
+    table.add_row(
+        {std::string(core::scheme_name(session->config.scheme)),
+         util::format_double(session->final_loss),
+         util::format_double(session->final_quality),
+         util::format_double(last.compute_seconds),
+         util::format_double(last.compression_seconds),
+         util::format_double(last.communication_seconds),
+         util::format_double(session->total_modeled_seconds)});
+  }
+  table.print(std::cout, "no-compression vs SIDCo-E @ 0.01 (paper-scale timing)");
+
+  std::cout << "\nSIDCo cut the per-iteration communication from "
+            << util::format_double(
+                   baseline.iterations.back().communication_seconds)
+            << "s to "
+            << util::format_double(
+                   sidco.iterations.back().communication_seconds)
+            << "s while the training loss stayed comparable ("
+            << util::format_double(baseline.final_loss) << " vs "
+            << util::format_double(sidco.final_loss) << ").\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Quickstart: compress one gradient with SIDCo and compare against exact
+// Top-k.
+//
+//   $ ./quickstart
+//
+// Walks through the minimal public API:
+//   1. build a compressor via core::make_compressor (or core::make_sidco),
+//   2. call compress() on a float span,
+//   3. read back the sparse (indices, values) pair and its statistics.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "core/factory.h"
+#include "stats/distributions.h"
+#include "tensor/vector_ops.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sidco;
+
+  // A 1M-element "gradient" with Laplacian statistics — the shape SIDCo's
+  // double-exponential fit models (swap in your own float buffer here).
+  constexpr std::size_t kDim = 1000000;
+  constexpr double kTargetRatio = 0.001;  // keep ~0.1% of the elements
+  util::Rng rng(7);
+  const stats::Laplace prior(0.001);
+  std::vector<float> gradient(kDim);
+  for (float& g : gradient) g = static_cast<float>(prior.sample(rng));
+
+  util::Table table({"scheme", "kept", "khat/k", "threshold",
+                     "relative L2 error"});
+  const double norm = tensor::l2_norm(gradient);
+  for (core::Scheme scheme :
+       {core::Scheme::kSidcoExponential, core::Scheme::kTopK,
+        core::Scheme::kDgc}) {
+    auto compressor = core::make_compressor(scheme, kTargetRatio);
+    const compressors::CompressResult result = compressor->compress(gradient);
+
+    // Reconstruction error ||g - C(g)||_2 / ||g||_2.
+    std::vector<float> reconstructed = result.sparse.to_dense();
+    double err_sq = 0.0;
+    for (std::size_t i = 0; i < kDim; ++i) {
+      const double d = static_cast<double>(gradient[i]) - reconstructed[i];
+      err_sq += d * d;
+    }
+    table.add_row({std::string(compressor->name()),
+                   std::to_string(result.selected()),
+                   util::format_double(result.achieved_ratio() / kTargetRatio),
+                   util::format_double(result.threshold),
+                   util::format_double(std::sqrt(err_sq) / norm)});
+  }
+  table.print(std::cout, "SIDCo quickstart: 1M-element gradient @ delta=0.001");
+  std::cout << "\nSIDCo estimated the Top-k threshold in closed form (linear"
+               " time),\nwithout sorting or sampling — that is the paper's"
+               " entire trick.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Threshold-estimation example: take a REAL gradient (ResNet20 proxy,
+// mid-training), fit the three SIDs, and compare each closed-form threshold
+// against the exact empirical quantile — the statistical heart of the paper.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "core/threshold_estimator.h"
+#include "data/factory.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/zoo.h"
+#include "tensor/vector_ops.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sidco;
+
+  // Train the ResNet20 proxy for 200 iterations and keep the last gradient.
+  const nn::Benchmark benchmark = nn::Benchmark::kResNet20;
+  const nn::BenchmarkSpec& spec = nn::benchmark_spec(benchmark);
+  nn::Model model = nn::make_model(benchmark, 3);
+  const auto dataset = data::make_dataset(benchmark, 4);
+  nn::SgdOptimizer optimizer(spec.optimizer);
+  util::Rng rng(5);
+  std::vector<float> dlogits;
+  for (int iter = 0; iter < 200; ++iter) {
+    const data::Batch batch = dataset->sample(spec.batch_size, rng);
+    model.zero_gradients();
+    const std::span<const float> logits =
+        model.forward(batch.inputs, spec.batch_size);
+    dlogits.resize(logits.size());
+    nn::softmax_cross_entropy(logits, batch.labels, spec.classes, dlogits);
+    model.backward(dlogits);
+    optimizer.step(model.parameters(), model.gradients());
+  }
+  const std::vector<float> gradient(model.gradients().begin(),
+                                    model.gradients().end());
+  std::cout << "gradient dimension: " << gradient.size() << "\n";
+
+  util::Table table({"SID", "delta", "estimated eta", "exact quantile",
+                     "achieved khat/k"});
+  for (double delta : {0.1, 0.01, 0.001}) {
+    const std::size_t k = std::max<std::size_t>(
+        1, static_cast<std::size_t>(delta * static_cast<double>(gradient.size())));
+    const float exact = tensor::kth_largest_abs(gradient, k);
+    for (core::Sid sid : {core::Sid::kExponential, core::Sid::kGamma,
+                          core::Sid::kGeneralizedPareto}) {
+      const core::ThresholdEstimate est =
+          core::estimate_first_stage(sid, gradient, delta);
+      const double achieved =
+          static_cast<double>(tensor::count_at_least(
+              gradient, static_cast<float>(est.threshold))) /
+          (delta * static_cast<double>(gradient.size()));
+      table.add_row({std::string(core::sid_name(sid)),
+                     util::format_double(delta),
+                     util::format_double(est.threshold, 5),
+                     util::format_double(exact, 5),
+                     util::format_double(achieved)});
+    }
+  }
+  table.print(std::cout,
+              "single-stage SID thresholds vs exact quantiles (real gradient)");
+  std::cout << "\nSingle-stage fits drift at delta = 0.001 — that is why"
+               " SIDCo re-fits the exceedance tail (see adaptive_stages).\n";
+  return 0;
+}

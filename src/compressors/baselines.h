@@ -1,0 +1,95 @@
+// Baseline sparsifiers the paper compares against (§1.2, §4.1):
+//
+//  - TopK:         exact magnitude selection (nth_element, O(d) average) —
+//                  the quality gold standard and the overhead strawman.
+//  - Dgc:          Deep Gradient Compression (Lin et al. 2018) threshold
+//                  sampling: Top-k on a random sub-population yields a
+//                  threshold, then a hierarchical re-selection trims overshoot.
+//  - RedSync:      (Fang et al. 2019) moves a trial ratio between the mean and
+//                  max magnitude until the selected count lands near k.
+//  - GaussianKSgd: (Shi et al. 2019) initial threshold from a Gaussian fit,
+//                  refined by a fixed number of multiplicative adjustments.
+//  - RandomK:      uniform random support (convergence baseline).
+//  - HardThreshold / NoCompression: plumbing baselines.
+#pragma once
+
+#include <vector>
+
+#include "compressors/compressor.h"
+
+namespace sidco::compressors {
+
+class NoCompression final : public Compressor {
+ public:
+  explicit NoCompression(double target_ratio);
+  CompressResult compress(std::span<const float> gradient) override;
+  [[nodiscard]] std::string_view name() const override { return "NoComp"; }
+};
+
+class TopK final : public Compressor {
+ public:
+  explicit TopK(double target_ratio);
+  CompressResult compress(std::span<const float> gradient) override;
+  [[nodiscard]] std::string_view name() const override { return "Topk"; }
+};
+
+class Dgc final : public Compressor {
+ public:
+  /// `sample_ratio` is the sub-population fraction (paper: "e.g., 1%").
+  Dgc(double target_ratio, std::uint64_t seed, double sample_ratio = 0.01,
+      std::size_t min_samples = 1000);
+  CompressResult compress(std::span<const float> gradient) override;
+  [[nodiscard]] std::string_view name() const override { return "DGC"; }
+
+ private:
+  util::Rng rng_;
+  double sample_ratio_;
+  std::size_t min_samples_;
+  std::vector<float> sample_buffer_;
+};
+
+class RedSync final : public Compressor {
+ public:
+  /// `max_search_steps` bounds the geometric ratio escalation (and hence the
+  /// number of O(d) count passes).
+  explicit RedSync(double target_ratio, int max_search_steps = 12);
+  CompressResult compress(std::span<const float> gradient) override;
+  [[nodiscard]] std::string_view name() const override { return "RedSync"; }
+
+ private:
+  int max_search_steps_;
+};
+
+class GaussianKSgd final : public Compressor {
+ public:
+  explicit GaussianKSgd(double target_ratio, int max_adjust_steps = 3,
+                        double tolerance = 0.1);
+  CompressResult compress(std::span<const float> gradient) override;
+  [[nodiscard]] std::string_view name() const override { return "GaussK"; }
+
+ private:
+  int max_adjust_steps_;
+  double tolerance_;
+};
+
+class RandomK final : public Compressor {
+ public:
+  RandomK(double target_ratio, std::uint64_t seed);
+  CompressResult compress(std::span<const float> gradient) override;
+  [[nodiscard]] std::string_view name() const override { return "Randomk"; }
+
+ private:
+  util::Rng rng_;
+};
+
+class HardThreshold final : public Compressor {
+ public:
+  HardThreshold(double target_ratio, double threshold);
+  CompressResult compress(std::span<const float> gradient) override;
+  [[nodiscard]] std::string_view name() const override { return "HardThr"; }
+
+ private:
+  double threshold_;
+};
+
+}  // namespace sidco::compressors

@@ -1,0 +1,21 @@
+#include "compressors/compressor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sidco::compressors {
+
+Compressor::Compressor(double target_ratio) : target_ratio_(target_ratio) {
+  util::check(target_ratio > 0.0 && target_ratio <= 1.0,
+              "target ratio must be in (0, 1]");
+}
+
+std::size_t Compressor::target_k(std::size_t dimension) const {
+  const auto k = static_cast<std::size_t>(
+      std::llround(target_ratio_ * static_cast<double>(dimension)));
+  return std::clamp<std::size_t>(k, 1, dimension);
+}
+
+}  // namespace sidco::compressors

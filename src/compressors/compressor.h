@@ -1,0 +1,57 @@
+// Common interface for all gradient sparsifiers.
+//
+// A compressor maps a dense gradient g in R^d to a sparse (indices, values)
+// pair.  Implementations are stateful where the algorithm requires it (e.g.
+// SIDCo's stage controller) and must be deterministic given their
+// construction-time RNG seed.  The factory that builds any scheme by name
+// lives in core/factory.h (the SIDCo variants are part of the core library).
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "tensor/sparse.h"
+#include "util/rng.h"
+
+namespace sidco::compressors {
+
+struct CompressResult {
+  tensor::SparseGradient sparse;
+  /// Magnitude threshold that produced the selection (0 when the scheme is
+  /// not threshold-based, e.g. Random-k).
+  double threshold = 0.0;
+  /// Number of estimation stages used (1 for single-stage schemes).
+  int stages_used = 1;
+
+  [[nodiscard]] std::size_t selected() const { return sparse.nnz(); }
+  [[nodiscard]] double achieved_ratio() const { return sparse.density(); }
+};
+
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  Compressor(const Compressor&) = delete;
+  Compressor& operator=(const Compressor&) = delete;
+
+  /// Sparsifies `gradient`.  Must not modify external state other than the
+  /// compressor's own adaptation statistics.
+  virtual CompressResult compress(std::span<const float> gradient) = 0;
+
+  /// Scheme name as used in the paper's figures (e.g. "Topk", "DGC").
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Target compression ratio delta = k/d in (0, 1].
+  [[nodiscard]] double target_ratio() const { return target_ratio_; }
+
+  /// Target k for dimension d: max(1, round(delta * d)).
+  [[nodiscard]] std::size_t target_k(std::size_t dimension) const;
+
+ protected:
+  explicit Compressor(double target_ratio);
+
+ private:
+  double target_ratio_;
+};
+
+}  // namespace sidco::compressors

@@ -1,0 +1,55 @@
+#include "compressors/quantizers.h"
+
+#include <bit>
+#include <cmath>
+
+#include "tensor/vector_ops.h"
+#include "util/check.h"
+
+namespace sidco::compressors {
+
+QuantizeResult SignSgd::quantize(std::span<const float> gradient) {
+  util::check(!gradient.empty(), "cannot quantize an empty gradient");
+  const auto scale = static_cast<float>(tensor::mean_abs(gradient));
+  QuantizeResult result;
+  result.dequantized.resize(gradient.size());
+  for (std::size_t i = 0; i < gradient.size(); ++i) {
+    result.dequantized[i] = gradient[i] >= 0.0F ? scale : -scale;
+  }
+  result.wire_bytes = (gradient.size() + 7) / 8 + 4;
+  return result;
+}
+
+Qsgd::Qsgd(std::uint32_t levels, std::uint64_t seed)
+    : levels_(levels), rng_(seed) {
+  util::check(levels >= 1, "QSGD needs at least one level");
+}
+
+QuantizeResult Qsgd::quantize(std::span<const float> gradient) {
+  util::check(!gradient.empty(), "cannot quantize an empty gradient");
+  const double norm = tensor::l2_norm(gradient);
+  QuantizeResult result;
+  result.dequantized.resize(gradient.size());
+  if (norm == 0.0) {
+    result.wire_bytes = 4;
+    return result;
+  }
+  const double s = static_cast<double>(levels_);
+  for (std::size_t i = 0; i < gradient.size(); ++i) {
+    const double magnitude = std::fabs(gradient[i]) / norm;  // in [0, 1]
+    const double scaled = magnitude * s;
+    const double floor_level = std::floor(scaled);
+    // Stochastic rounding keeps the estimator unbiased.
+    const double level =
+        floor_level + (rng_.uniform() < scaled - floor_level ? 1.0 : 0.0);
+    const double value = norm * level / s;
+    result.dequantized[i] =
+        static_cast<float>(gradient[i] >= 0.0F ? value : -value);
+  }
+  // sign + level index per element, entropy-free upper bound.
+  const unsigned bits_per_elem = std::bit_width(2 * levels_ + 1);
+  result.wire_bytes = (gradient.size() * bits_per_elem + 7) / 8 + 4;
+  return result;
+}
+
+}  // namespace sidco::compressors

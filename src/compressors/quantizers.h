@@ -1,0 +1,74 @@
+// Gradient quantizers from the paper's related-work section (§1.1):
+// volume reduction by representing elements with fewer bits rather than by
+// dropping elements.  Included as comparison baselines for the extension
+// bench (volume vs quality trade-off against sparsification):
+//
+//  - SignSgd:   1 bit/element plus one scale (mean |g|); pairs with error
+//               compensation (EF-SignSGD, Karimireddy et al. 2019).
+//  - Qsgd:      stochastic uniform quantization to s levels per l2-normalized
+//               vector (Alistarh et al.), unbiased.
+//
+// Quantizers are not Compressors (they output dense low-precision payloads,
+// not index/value pairs), so they expose their own interface with an
+// explicit wire-volume accounting.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sidco::compressors {
+
+struct QuantizeResult {
+  /// Dequantized gradient (what the receiver reconstructs).
+  std::vector<float> dequantized;
+  /// Modeled wire bytes for the quantized payload.
+  std::size_t wire_bytes = 0;
+
+  /// Volume reduction relative to float32.
+  [[nodiscard]] double compression_factor() const {
+    return wire_bytes == 0 ? 0.0
+                           : static_cast<double>(4 * dequantized.size()) /
+                                 static_cast<double>(wire_bytes);
+  }
+};
+
+class Quantizer {
+ public:
+  virtual ~Quantizer() = default;
+  Quantizer(const Quantizer&) = delete;
+  Quantizer& operator=(const Quantizer&) = delete;
+
+  virtual QuantizeResult quantize(std::span<const float> gradient) = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+ protected:
+  Quantizer() = default;
+};
+
+/// sign(g) * mean(|g|): 1 bit/element + 4 bytes of scale.
+class SignSgd final : public Quantizer {
+ public:
+  SignSgd() = default;
+  QuantizeResult quantize(std::span<const float> gradient) override;
+  [[nodiscard]] std::string_view name() const override { return "SignSGD"; }
+};
+
+/// QSGD with `levels` uniform levels on |g| / ||g||_2, stochastic rounding.
+/// Wire cost model: ceil(log2(2*levels + 1)) bits/element + 4-byte norm.
+class Qsgd final : public Quantizer {
+ public:
+  Qsgd(std::uint32_t levels, std::uint64_t seed);
+  QuantizeResult quantize(std::span<const float> gradient) override;
+  [[nodiscard]] std::string_view name() const override { return "QSGD"; }
+  [[nodiscard]] std::uint32_t levels() const { return levels_; }
+
+ private:
+  std::uint32_t levels_;
+  util::Rng rng_;
+};
+
+}  // namespace sidco::compressors

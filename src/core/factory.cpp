@@ -1,0 +1,82 @@
+#include "core/factory.h"
+
+#include <array>
+
+#include "compressors/baselines.h"
+#include "core/sidco_compressor.h"
+#include "util/check.h"
+
+namespace sidco::core {
+
+std::string_view scheme_name(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kNone: return "NoComp";
+    case Scheme::kTopK: return "Topk";
+    case Scheme::kDgc: return "DGC";
+    case Scheme::kRedSync: return "RedSync";
+    case Scheme::kGaussianKSgd: return "GaussK";
+    case Scheme::kRandomK: return "Randomk";
+    case Scheme::kSidcoExponential: return "SIDCo-E";
+    case Scheme::kSidcoGammaPareto: return "SIDCo-GP";
+    case Scheme::kSidcoPareto: return "SIDCo-P";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<compressors::Compressor> make_compressor(Scheme scheme,
+                                                         double target_ratio,
+                                                         std::uint64_t seed) {
+  using compressors::Dgc;
+  using compressors::GaussianKSgd;
+  using compressors::NoCompression;
+  using compressors::RandomK;
+  using compressors::RedSync;
+  using compressors::TopK;
+  switch (scheme) {
+    case Scheme::kNone:
+      return std::make_unique<NoCompression>(target_ratio);
+    case Scheme::kTopK:
+      return std::make_unique<TopK>(target_ratio);
+    case Scheme::kDgc:
+      return std::make_unique<Dgc>(target_ratio, seed);
+    case Scheme::kRedSync:
+      return std::make_unique<RedSync>(target_ratio);
+    case Scheme::kGaussianKSgd:
+      return std::make_unique<GaussianKSgd>(target_ratio);
+    case Scheme::kRandomK:
+      return std::make_unique<RandomK>(target_ratio, seed);
+    case Scheme::kSidcoExponential:
+      return make_sidco(Sid::kExponential, target_ratio);
+    case Scheme::kSidcoGammaPareto:
+      return make_sidco(Sid::kGamma, target_ratio);
+    case Scheme::kSidcoPareto:
+      return make_sidco(Sid::kGeneralizedPareto, target_ratio);
+  }
+  util::check(false, "unknown compressor scheme");
+  return nullptr;
+}
+
+std::span<const Scheme> comparison_schemes() {
+  static constexpr std::array<Scheme, 5> kSchemes = {
+      Scheme::kTopK, Scheme::kDgc, Scheme::kRedSync, Scheme::kGaussianKSgd,
+      Scheme::kSidcoExponential};
+  return kSchemes;
+}
+
+std::span<const Scheme> sidco_schemes() {
+  static constexpr std::array<Scheme, 3> kSchemes = {
+      Scheme::kSidcoExponential, Scheme::kSidcoGammaPareto,
+      Scheme::kSidcoPareto};
+  return kSchemes;
+}
+
+std::span<const Scheme> extended_schemes() {
+  static constexpr std::array<Scheme, 7> kSchemes = {
+      Scheme::kTopK,          Scheme::kDgc,
+      Scheme::kRedSync,       Scheme::kGaussianKSgd,
+      Scheme::kSidcoExponential, Scheme::kSidcoGammaPareto,
+      Scheme::kSidcoPareto};
+  return kSchemes;
+}
+
+}  // namespace sidco::core

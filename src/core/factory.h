@@ -1,0 +1,41 @@
+// Scheme registry: builds any compressor (baselines + SIDCo variants) by
+// enum, with the paper's figure spellings.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "compressors/compressor.h"
+
+namespace sidco::core {
+
+enum class Scheme {
+  kNone,
+  kTopK,
+  kDgc,
+  kRedSync,
+  kGaussianKSgd,
+  kRandomK,
+  kSidcoExponential,
+  kSidcoGammaPareto,
+  kSidcoPareto,
+};
+
+/// Scheme name with the paper's figure spelling ("Topk", "DGC", "SIDCo-E"...).
+std::string_view scheme_name(Scheme scheme);
+
+/// Builds a compressor; `seed` feeds schemes that randomize (DGC, Random-k).
+std::unique_ptr<compressors::Compressor> make_compressor(
+    Scheme scheme, double target_ratio, std::uint64_t seed = 42);
+
+/// The five schemes in the paper's main comparison figures, plot order.
+std::span<const Scheme> comparison_schemes();
+
+/// The three SIDCo variants (Appendix F).
+std::span<const Scheme> sidco_schemes();
+
+/// comparison_schemes() plus the remaining SIDCo variants (Fig. 18 panels).
+std::span<const Scheme> extended_schemes();
+
+}  // namespace sidco::core

@@ -1,0 +1,117 @@
+#include "core/sidco_compressor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/vector_ops.h"
+#include "util/check.h"
+
+namespace sidco::core {
+
+SidcoCompressor::SidcoCompressor(const SidcoConfig& config)
+    : Compressor(config.target_ratio),
+      config_(config),
+      controller_(config.controller) {
+  util::check(config.first_stage_ratio > 0.0 && config.first_stage_ratio < 1.0,
+              "first stage ratio must be in (0, 1)");
+}
+
+std::string_view SidcoCompressor::name() const {
+  switch (config_.sid) {
+    case Sid::kExponential: return "SIDCo-E";
+    case Sid::kGamma: return "SIDCo-GP";
+    case Sid::kGeneralizedPareto: return "SIDCo-P";
+  }
+  return "SIDCo";
+}
+
+std::vector<double> SidcoCompressor::plan_stage_ratios(double target,
+                                                       double first_stage_ratio,
+                                                       int stage_count) {
+  util::check(target > 0.0 && target < 1.0, "target ratio must be in (0, 1)");
+  util::check(stage_count >= 1, "stage count must be >= 1");
+  std::vector<double> ratios;
+  // Add delta_1 stages while the residual target / delta_1^m stays strictly
+  // inside (0, 1); the final stage carries the residual.
+  double residual = target;
+  for (int m = 0; m < stage_count - 1; ++m) {
+    const double next = residual / first_stage_ratio;
+    if (next >= 1.0 - 1e-12) break;
+    ratios.push_back(first_stage_ratio);
+    residual = next;
+  }
+  ratios.push_back(residual);
+  return ratios;
+}
+
+compressors::CompressResult SidcoCompressor::compress(
+    std::span<const float> gradient) {
+  util::check(!gradient.empty(), "cannot compress an empty gradient");
+  const std::size_t d = gradient.size();
+  const std::size_t k = target_k(d);
+  const double delta = target_ratio();
+
+  const std::vector<double> stage_ratios =
+      plan_stage_ratios(delta, config_.first_stage_ratio, controller_.stages());
+
+  // Stage 1: fit raw magnitudes.
+  ThresholdEstimate est = estimate_first_stage(
+      config_.sid, gradient, stage_ratios.front(), config_.gamma_mode);
+  double eta = est.threshold;
+
+  // Stages 2..M: re-fit the exceedance tail and raise the threshold.
+  for (std::size_t m = 1; m < stage_ratios.size(); ++m) {
+    const std::size_t expect = std::max<std::size_t>(
+        16, static_cast<std::size_t>(static_cast<double>(d) *
+                                     std::pow(config_.first_stage_ratio,
+                                              static_cast<double>(m))));
+    exceedance_buffer_ = tensor::abs_exceedances(
+        gradient, static_cast<float>(eta), expect);
+    if (exceedance_buffer_.size() < 4) {
+      // Tail too small to fit; keep the current threshold.
+      break;
+    }
+    est = estimate_tail_stage(config_.sid, exceedance_buffer_, eta,
+                              stage_ratios[m]);
+    // Thresholds must be monotone across stages; a non-increasing estimate
+    // means the fit degenerated, so stop refining.
+    if (!(est.threshold > eta)) break;
+    eta = est.threshold;
+  }
+
+  compressors::CompressResult result;
+  result.threshold = eta;
+  result.stages_used = static_cast<int>(stage_ratios.size());
+  result.sparse = tensor::extract_at_least(gradient, static_cast<float>(eta),
+                                           k + k / 4);
+  if (result.sparse.nnz() == 0) {
+    // Degenerate overshoot (e.g. all-equal magnitudes): fall back to keeping
+    // the single largest element so training can always progress.
+    const float max_mag = tensor::max_abs(gradient);
+    if (max_mag > 0.0F) {
+      result.sparse = tensor::extract_at_least(gradient, max_mag, 1);
+    } else {
+      // All-zero gradient: keep one explicit zero (selection is arbitrary).
+      result.sparse.dense_dim = d;
+      result.sparse.indices = {0};
+      result.sparse.values = {0.0F};
+    }
+    result.threshold = max_mag;
+  }
+
+  controller_.observe(static_cast<double>(result.sparse.nnz()),
+                      static_cast<double>(k));
+  return result;
+}
+
+std::unique_ptr<compressors::Compressor> make_sidco(Sid sid,
+                                                    double target_ratio,
+                                                    StagePolicy policy) {
+  SidcoConfig config;
+  config.sid = sid;
+  config.target_ratio = target_ratio;
+  config.controller.policy = policy;
+  return std::make_unique<SidcoCompressor>(config);
+}
+
+}  // namespace sidco::core

@@ -1,0 +1,65 @@
+// SIDCo (Algorithm 1): multi-stage SID-threshold sparsification with online
+// stage adaptation.
+//
+// Per compress() call:
+//   1. Plan stage ratios: delta = prod_m delta_m with delta_m = delta_1 for
+//      all but the last stage (paper setting delta_1 = 0.25) and the residual
+//      on the last.  When delta >= delta_1 a single stage handles it.
+//   2. Stage 1 fits the chosen SID on |g| and thresholds at eta_1; stage
+//      m >= 2 re-fits the exceedances (shifted exponential, or GP by
+//      peaks-over-threshold) and raises the threshold to eta_m.
+//   3. The final eta_M sparsifies the *original* vector.
+//   4. The achieved k-hat feeds the StageController, which adapts M every Q
+//      iterations so that E[k-hat/k] stays within (1-epsL, 1+epsH).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "compressors/compressor.h"
+#include "core/stage_controller.h"
+#include "core/threshold_estimator.h"
+
+namespace sidco::core {
+
+struct SidcoConfig {
+  Sid sid = Sid::kExponential;
+  /// Target compression ratio delta = k/d.
+  double target_ratio = 0.001;
+  /// First-stage ratio delta_1 (paper: 0.25).
+  double first_stage_ratio = 0.25;
+  GammaThresholdMode gamma_mode = GammaThresholdMode::kClosedForm;
+  StageControllerConfig controller;
+};
+
+class SidcoCompressor final : public compressors::Compressor {
+ public:
+  explicit SidcoCompressor(const SidcoConfig& config);
+
+  compressors::CompressResult compress(
+      std::span<const float> gradient) override;
+
+  [[nodiscard]] std::string_view name() const override;
+
+  /// Current stage count chosen by the controller.
+  [[nodiscard]] int stages() const { return controller_.stages(); }
+  [[nodiscard]] const SidcoConfig& config() const { return config_; }
+
+  /// Stage ratios that multiply to `target` given `stage_count` stages; the
+  /// planning rule exposed for tests/ablations.
+  static std::vector<double> plan_stage_ratios(double target,
+                                               double first_stage_ratio,
+                                               int stage_count);
+
+ private:
+  SidcoConfig config_;
+  StageController controller_;
+  std::vector<float> exceedance_buffer_;
+};
+
+/// Convenience factory used by core/factory.cpp and examples.
+std::unique_ptr<compressors::Compressor> make_sidco(
+    Sid sid, double target_ratio,
+    StagePolicy policy = StagePolicy::kAdaptive);
+
+}  // namespace sidco::core

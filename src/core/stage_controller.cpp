@@ -1,0 +1,66 @@
+#include "core/stage_controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sidco::core {
+
+StageController::StageController(const StageControllerConfig& config)
+    : config_(config), stages_(config.initial_stages) {
+  util::check(config.initial_stages >= 1, "initial stages must be >= 1");
+  util::check(config.max_stages >= config.initial_stages,
+              "max stages must be >= initial stages");
+  util::check(config.period >= 1, "adaptation period must be >= 1");
+  util::check(config.epsilon_high >= 0.0 && config.epsilon_high < 1.0,
+              "epsilon_high must be in [0, 1)");
+  util::check(config.epsilon_low >= 0.0 && config.epsilon_low < 1.0,
+              "epsilon_low must be in [0, 1)");
+}
+
+double StageController::tolerance() const {
+  return std::max(config_.epsilon_high, config_.epsilon_low);
+}
+
+void StageController::observe(double achieved_k, double target_k) {
+  util::check(target_k > 0.0, "target k must be positive");
+  ratio_accumulator_ += achieved_k / target_k;
+  ++observations_;
+  if (observations_ >= config_.period) {
+    adapt(ratio_accumulator_ / static_cast<double>(observations_));
+    ratio_accumulator_ = 0.0;
+    observations_ = 0;
+  }
+}
+
+void StageController::adapt(double mean_ratio) {
+  const bool over = mean_ratio > 1.0 + config_.epsilon_high;
+  const bool under = mean_ratio < 1.0 - config_.epsilon_low;
+
+  if (config_.policy == StagePolicy::kPaperPseudocode) {
+    int delta = 0;
+    if (over) delta = -1;
+    if (under) delta = +1;
+    stages_ = std::clamp(stages_ + delta, 1, config_.max_stages);
+    return;
+  }
+
+  // kAdaptive: hill-climb on the symmetric log error.
+  if (!over && !under) {
+    // Back inside the band: stop climbing; a later violation restarts with an
+    // upward first move (deeper tail fits are the usual fix).
+    climbing_ = false;
+    direction_ = +1;
+    return;
+  }
+  const double error = std::fabs(std::log(std::max(mean_ratio, 1e-9)));
+  if (climbing_ && error > last_error_ + 1e-9) {
+    direction_ = -direction_;  // last move made things worse
+  }
+  stages_ = std::clamp(stages_ + direction_, 1, config_.max_stages);
+  last_error_ = error;
+  climbing_ = true;
+}
+
+}  // namespace sidco::core

@@ -1,0 +1,113 @@
+#include "core/threshold_estimator.h"
+
+#include <cmath>
+
+#include "stats/distributions.h"
+#include "stats/fitting.h"
+#include "util/check.h"
+
+namespace sidco::core {
+
+std::string_view sid_name(Sid sid) {
+  switch (sid) {
+    case Sid::kExponential: return "exponential";
+    case Sid::kGamma: return "gamma";
+    case Sid::kGeneralizedPareto: return "generalized-pareto";
+  }
+  return "unknown";
+}
+
+namespace {
+
+ThresholdEstimate exponential_threshold(std::span<const float> magnitudes,
+                                        double shift, double delta) {
+  // Corollary 1.1 / 2.1: eta = beta log(1/delta) + shift, beta from the MLE
+  // of the (shifted) exceedances.
+  const stats::Exponential fit =
+      shift == 0.0 ? stats::fit_exponential(magnitudes)
+                   : stats::fit_exponential_shifted(magnitudes, shift);
+  ThresholdEstimate est;
+  est.scale = fit.scale();
+  est.shape = 0.0;
+  est.threshold = fit.scale() * std::log(1.0 / delta) + shift;
+  return est;
+}
+
+ThresholdEstimate gp_threshold(std::span<const float> magnitudes, double shift,
+                               double delta) {
+  // Corollary 1.3 / Lemma 2: eta = (beta/alpha)(delta^{-alpha} - 1) + shift
+  // with moment-matched (alpha, beta) of the shifted exceedances.
+  const stats::GpFit fit = stats::fit_gp_moments(magnitudes, shift);
+  ThresholdEstimate est;
+  est.shape = fit.shape;
+  est.scale = fit.scale;
+  if (std::fabs(fit.shape) < 1e-12) {
+    est.threshold = fit.scale * std::log(1.0 / delta) + shift;
+  } else {
+    est.threshold =
+        fit.scale / fit.shape * (std::pow(delta, -fit.shape) - 1.0) + shift;
+  }
+  return est;
+}
+
+ThresholdEstimate gamma_threshold(std::span<const float> magnitudes,
+                                  double delta, GammaThresholdMode mode) {
+  const stats::GammaFit fit = stats::fit_gamma_minka(magnitudes);
+  ThresholdEstimate est;
+  est.shape = fit.shape;
+  est.scale = fit.scale;
+  if (mode == GammaThresholdMode::kClosedForm) {
+    // Eq. (15): -beta (log delta + log Gamma(alpha)); exact at alpha = 1.
+    est.threshold =
+        -fit.scale * (std::log(delta) + std::lgamma(fit.shape));
+    // The bound degrades when the implied x < 1; fall back to the exact
+    // quantile there (still cheap — Halley iterations on P(a, x)).
+    if (est.threshold <= fit.scale) {
+      est.threshold = stats::Gamma(fit.shape, fit.scale).quantile(1.0 - delta);
+    }
+  } else {
+    est.threshold = stats::Gamma(fit.shape, fit.scale).quantile(1.0 - delta);
+  }
+  est.threshold = std::max(est.threshold, 0.0);
+  return est;
+}
+
+}  // namespace
+
+ThresholdEstimate estimate_first_stage(Sid sid,
+                                       std::span<const float> magnitudes,
+                                       double delta,
+                                       GammaThresholdMode gamma_mode) {
+  util::check(!magnitudes.empty(), "estimation requires data");
+  util::check(delta > 0.0 && delta < 1.0, "stage ratio must be in (0, 1)");
+  switch (sid) {
+    case Sid::kExponential:
+      return exponential_threshold(magnitudes, /*shift=*/0.0, delta);
+    case Sid::kGamma:
+      return gamma_threshold(magnitudes, delta, gamma_mode);
+    case Sid::kGeneralizedPareto:
+      return gp_threshold(magnitudes, /*shift=*/0.0, delta);
+  }
+  util::check(false, "unknown SID");
+  return {};
+}
+
+ThresholdEstimate estimate_tail_stage(Sid sid,
+                                      std::span<const float> exceedances,
+                                      double previous_eta, double delta_m) {
+  util::check(!exceedances.empty(), "tail estimation requires data");
+  util::check(delta_m > 0.0 && delta_m < 1.0, "stage ratio must be in (0, 1)");
+  switch (sid) {
+    case Sid::kExponential:
+      // Corollary 2.1: memorylessness keeps the tail exponential.
+      return exponential_threshold(exceedances, previous_eta, delta_m);
+    case Sid::kGamma:
+    case Sid::kGeneralizedPareto:
+      // Lemma 2: peaks-over-threshold converge to a GP tail.
+      return gp_threshold(exceedances, previous_eta, delta_m);
+  }
+  util::check(false, "unknown SID");
+  return {};
+}
+
+}  // namespace sidco::core

@@ -1,0 +1,59 @@
+// Closed-form SID threshold estimation — the heart of SIDCo (paper §2.3–2.4).
+//
+// Single-stage (Lemma 1 + Corollaries 1.1–1.3): fit the chosen SID to the
+// absolute gradient and return eta with P(|G| >= eta) = delta.
+//
+// Later stages (Lemma 2 + Corollary 2.1): the exceedances over the previous
+// threshold are re-fitted — exponential stays exponential after shifting
+// (memorylessness); gamma- and GP-fitted first stages hand over to a GP tail
+// by the peaks-over-threshold theorem — and a new threshold is computed for
+// the residual stage ratio.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+namespace sidco::core {
+
+/// Which sparsity-inducing distribution drives the fit.
+enum class Sid {
+  kExponential,        ///< SIDCo-E: multi-stage (shifted) exponential
+  kGamma,              ///< SIDCo-GP: gamma first stage, GP tail stages
+  kGeneralizedPareto,  ///< SIDCo-P: GP in every stage
+};
+
+std::string_view sid_name(Sid sid);
+
+/// How the gamma quantile is evaluated.
+enum class GammaThresholdMode {
+  /// Paper Algorithm 1 / eq. (15): eta = -beta (log delta + log Gamma(alpha)).
+  /// Exact for alpha = 1 and a good approximation near it; O(1).
+  kClosedForm,
+  /// Exact inverse regularized incomplete gamma (eq. (14)); a few Halley
+  /// iterations, still cheap but not branch-free.
+  kExactQuantile,
+};
+
+struct ThresholdEstimate {
+  double threshold = 0.0;
+  /// Parameters of the fitted magnitude distribution (meaning depends on the
+  /// SID: exponential scale / gamma shape+scale / GP shape+scale).
+  double shape = 0.0;
+  double scale = 0.0;
+};
+
+/// First-stage estimation on raw magnitudes: threshold for ratio `delta`.
+/// `magnitudes` are |g| values (not shifted).
+ThresholdEstimate estimate_first_stage(
+    Sid sid, std::span<const float> magnitudes, double delta,
+    GammaThresholdMode gamma_mode = GammaThresholdMode::kClosedForm);
+
+/// Later-stage estimation on exceedance magnitudes (all >= `previous_eta`):
+/// threshold for residual ratio `delta_m`, measured relative to the
+/// exceedance population (Lemma 2 / Corollary 2.1).  For Sid::kGamma the
+/// tail is fitted by a GP per the paper.
+ThresholdEstimate estimate_tail_stage(Sid sid,
+                                      std::span<const float> exceedances,
+                                      double previous_eta, double delta_m);
+
+}  // namespace sidco::core

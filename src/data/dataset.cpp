@@ -1,0 +1,207 @@
+#include "data/dataset.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sidco::data {
+
+// -------------------------------------------------------------- SyntheticImages
+
+SyntheticImages::SyntheticImages(std::size_t classes, std::size_t channels,
+                                 std::size_t height, std::size_t width,
+                                 std::uint64_t seed, double noise)
+    : classes_(classes),
+      channels_(channels),
+      height_(height),
+      width_(width),
+      noise_(noise),
+      seed_(seed) {
+  util::check(classes >= 2, "need at least two classes");
+  // Each class prototype is a sum of a few random 2D sinusoids — smooth,
+  // structured, and distinct across classes (texture-like images).
+  util::Rng rng(seed);
+  prototypes_.resize(classes * input_features());
+  for (std::size_t cls = 0; cls < classes; ++cls) {
+    float* proto = prototypes_.data() + cls * input_features();
+    for (std::size_t ch = 0; ch < channels_; ++ch) {
+      const double fx = 1.0 + rng.uniform() * 3.0;
+      const double fy = 1.0 + rng.uniform() * 3.0;
+      const double phase = rng.uniform() * 6.2831853;
+      const double amp = 0.6 + 0.4 * rng.uniform();
+      for (std::size_t r = 0; r < height_; ++r) {
+        for (std::size_t c = 0; c < width_; ++c) {
+          const double u = static_cast<double>(r) / static_cast<double>(height_);
+          const double v = static_cast<double>(c) / static_cast<double>(width_);
+          proto[ch * height_ * width_ + r * width_ + c] = static_cast<float>(
+              amp * std::sin(6.2831853 * (fx * u + fy * v) + phase));
+        }
+      }
+    }
+  }
+}
+
+std::size_t SyntheticImages::input_features() const {
+  return channels_ * height_ * width_;
+}
+
+void SyntheticImages::fill_sample(std::size_t cls, util::Rng& rng,
+                                  float* out) const {
+  const float* proto = prototypes_.data() + cls * input_features();
+  const auto gain = static_cast<float>(0.8 + 0.4 * rng.uniform());
+  for (std::size_t i = 0; i < input_features(); ++i) {
+    out[i] = gain * proto[i] + static_cast<float>(rng.normal(0.0, noise_));
+  }
+}
+
+Batch SyntheticImages::sample(std::size_t batch_size, util::Rng& rng) const {
+  Batch batch;
+  batch.inputs.resize(batch_size * input_features());
+  batch.labels.resize(batch_size);
+  for (std::size_t b = 0; b < batch_size; ++b) {
+    const auto cls = static_cast<std::size_t>(rng.uniform_index(classes_));
+    batch.labels[b] = static_cast<int>(cls);
+    fill_sample(cls, rng, batch.inputs.data() + b * input_features());
+  }
+  return batch;
+}
+
+Batch SyntheticImages::eval_batch(std::size_t batch_size,
+                                  std::size_t index) const {
+  // Held-out stream: a distinct deterministic RNG per eval batch index.
+  util::Rng rng(seed_ ^ 0xe7a111a710eULL);
+  util::Rng stream = rng.fork(index + 1);
+  return sample(batch_size, stream);
+}
+
+// ------------------------------------------------------------ MarkovTextCorpus
+
+MarkovTextCorpus::MarkovTextCorpus(std::size_t vocab,
+                                   std::size_t sequence_length,
+                                   std::uint64_t seed)
+    : vocab_(vocab), time_(sequence_length), seed_(seed) {
+  util::check(vocab >= 4, "vocab must be >= 4");
+  util::check(sequence_length >= 2, "sequence length must be >= 2");
+  // Row v prefers tokens near a class-dependent successor (v * 7 + 3 mod V)
+  // with power-law falloff -> entropy well below log V.
+  util::Rng rng(seed);
+  transition_cdf_.resize(vocab * vocab);
+  std::vector<double> row(vocab);
+  for (std::size_t v = 0; v < vocab_; ++v) {
+    const std::size_t hub = (v * 7 + 3) % vocab_;
+    double total = 0.0;
+    for (std::size_t u = 0; u < vocab_; ++u) {
+      const std::size_t dist =
+          std::min((u + vocab_ - hub) % vocab_, (hub + vocab_ - u) % vocab_);
+      row[u] = 1.0 / std::pow(1.0 + static_cast<double>(dist), 2.0) +
+               0.02 * rng.uniform();
+      total += row[u];
+    }
+    double acc = 0.0;
+    for (std::size_t u = 0; u < vocab_; ++u) {
+      acc += row[u] / total;
+      transition_cdf_[v * vocab_ + u] = acc;
+    }
+    transition_cdf_[v * vocab_ + vocab_ - 1] = 1.0;
+  }
+}
+
+int MarkovTextCorpus::next_token(int current, util::Rng& rng) const {
+  const double u = rng.uniform();
+  const double* cdf =
+      transition_cdf_.data() + static_cast<std::size_t>(current) * vocab_;
+  // Binary search over the row CDF.
+  std::size_t lo = 0;
+  std::size_t hi = vocab_ - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (cdf[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return static_cast<int>(lo);
+}
+
+Batch MarkovTextCorpus::make_batch(std::size_t batch_size,
+                                   util::Rng& rng) const {
+  Batch batch;
+  batch.inputs.resize(batch_size * time_);
+  batch.labels.resize(batch_size * time_);
+  for (std::size_t b = 0; b < batch_size; ++b) {
+    int token = static_cast<int>(rng.uniform_index(vocab_));
+    for (std::size_t t = 0; t < time_; ++t) {
+      batch.inputs[b * time_ + t] = static_cast<float>(token);
+      token = next_token(token, rng);
+      batch.labels[b * time_ + t] = token;  // next-token target
+    }
+  }
+  return batch;
+}
+
+Batch MarkovTextCorpus::sample(std::size_t batch_size, util::Rng& rng) const {
+  return make_batch(batch_size, rng);
+}
+
+Batch MarkovTextCorpus::eval_batch(std::size_t batch_size,
+                                   std::size_t index) const {
+  util::Rng rng(seed_ ^ 0x7e57c0de5ULL);
+  util::Rng stream = rng.fork(index + 1);
+  return make_batch(batch_size, stream);
+}
+
+// ------------------------------------------------------------- SyntheticSpeech
+
+SyntheticSpeech::SyntheticSpeech(std::size_t phonemes, std::size_t frames,
+                                 std::size_t feature_dim, std::uint64_t seed,
+                                 double noise, double self_transition)
+    : phonemes_(phonemes),
+      frames_(frames),
+      feature_dim_(feature_dim),
+      noise_(noise),
+      self_transition_(self_transition),
+      seed_(seed) {
+  util::check(phonemes >= 2, "need at least two phonemes");
+  util::check(self_transition > 0.0 && self_transition < 1.0,
+              "self transition must be in (0, 1)");
+  util::Rng rng(seed);
+  prototypes_.resize(phonemes * feature_dim);
+  for (float& p : prototypes_) p = static_cast<float>(rng.normal(0.0, 1.0));
+}
+
+Batch SyntheticSpeech::make_batch(std::size_t batch_size,
+                                  util::Rng& rng) const {
+  Batch batch;
+  batch.inputs.resize(batch_size * input_features());
+  batch.labels.resize(batch_size * frames_);
+  for (std::size_t b = 0; b < batch_size; ++b) {
+    auto phoneme = static_cast<std::size_t>(rng.uniform_index(phonemes_));
+    for (std::size_t t = 0; t < frames_; ++t) {
+      if (rng.uniform() > self_transition_) {
+        phoneme = static_cast<std::size_t>(rng.uniform_index(phonemes_));
+      }
+      batch.labels[b * frames_ + t] = static_cast<int>(phoneme);
+      const float* proto = prototypes_.data() + phoneme * feature_dim_;
+      float* frame =
+          batch.inputs.data() + b * input_features() + t * feature_dim_;
+      for (std::size_t f = 0; f < feature_dim_; ++f) {
+        frame[f] = proto[f] + static_cast<float>(rng.normal(0.0, noise_));
+      }
+    }
+  }
+  return batch;
+}
+
+Batch SyntheticSpeech::sample(std::size_t batch_size, util::Rng& rng) const {
+  return make_batch(batch_size, rng);
+}
+
+Batch SyntheticSpeech::eval_batch(std::size_t batch_size,
+                                  std::size_t index) const {
+  util::Rng rng(seed_ ^ 0x5beec4e7a1ULL);
+  util::Rng stream = rng.fork(index + 1);
+  return make_batch(batch_size, stream);
+}
+
+}  // namespace sidco::data

@@ -1,0 +1,30 @@
+#include "data/factory.h"
+
+#include "util/check.h"
+
+namespace sidco::data {
+
+std::unique_ptr<Dataset> make_dataset(nn::Benchmark benchmark,
+                                      std::uint64_t seed) {
+  const nn::BenchmarkSpec& spec = nn::benchmark_spec(benchmark);
+  switch (benchmark) {
+    case nn::Benchmark::kResNet20:
+    case nn::Benchmark::kVgg16:
+    case nn::Benchmark::kResNet50:
+    case nn::Benchmark::kVgg19:
+      return std::make_unique<SyntheticImages>(spec.classes, 3, 16, 16, seed);
+    case nn::Benchmark::kLstmPtb:
+      return std::make_unique<MarkovTextCorpus>(spec.classes, spec.time_steps,
+                                                seed);
+    case nn::Benchmark::kLstmAn4:
+      // High frame noise keeps the proxy CER away from zero within short
+      // sessions, so time-to-quality comparisons stay discriminative.
+      return std::make_unique<SyntheticSpeech>(spec.classes, spec.time_steps,
+                                               /*feature_dim=*/24, seed,
+                                               /*noise=*/0.8);
+  }
+  util::check(false, "unknown benchmark");
+  return nullptr;
+}
+
+}  // namespace sidco::data

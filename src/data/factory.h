@@ -1,0 +1,15 @@
+// Maps each paper benchmark to its synthetic dataset.
+#pragma once
+
+#include <memory>
+
+#include "data/dataset.h"
+#include "nn/zoo.h"
+
+namespace sidco::data {
+
+/// Builds the dataset whose shapes match nn::make_model(benchmark, ...).
+std::unique_ptr<Dataset> make_dataset(nn::Benchmark benchmark,
+                                      std::uint64_t seed);
+
+}  // namespace sidco::data

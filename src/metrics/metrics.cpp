@@ -1,0 +1,95 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sidco::metrics {
+
+EstimationQuality estimation_quality(const dist::SessionResult& session,
+                                     double warmup_fraction) {
+  util::check(!session.iterations.empty(), "session has no iterations");
+  util::check(warmup_fraction >= 0.0 && warmup_fraction < 1.0,
+              "warmup fraction must be in [0, 1)");
+  const std::size_t skip = std::min<std::size_t>(
+      static_cast<std::size_t>(warmup_fraction *
+                               static_cast<double>(session.iterations.size())),
+      30);
+  std::vector<double> normalized;
+  normalized.reserve(session.iterations.size() - skip);
+  for (std::size_t i = skip; i < session.iterations.size(); ++i) {
+    normalized.push_back(session.iterations[i].achieved_ratio /
+                         session.config.target_ratio);
+  }
+  const stats::ConfidenceInterval ci =
+      stats::mean_confidence_interval(normalized, 0.90);
+  return {.mean_normalized_ratio = ci.mean,
+          .ci_lower = ci.lower,
+          .ci_upper = ci.upper};
+}
+
+namespace {
+double quality_score(const dist::SessionResult& s) {
+  return s.quality_higher_is_better ? s.final_quality
+                                    : 1.0 / std::max(s.final_quality, 1e-9);
+}
+}  // namespace
+
+double normalized_speedup(const dist::SessionResult& session,
+                          const dist::SessionResult& baseline,
+                          double quality_floor) {
+  util::check(baseline.total_modeled_seconds > 0.0,
+              "baseline must have nonzero time");
+  const double base_score = quality_score(baseline);
+  const double score = quality_score(session);
+  // Diverged / non-converged runs score zero, as in the paper's figures.
+  if (base_score > 0.0 && score < quality_floor * base_score) return 0.0;
+  const double base = base_score / baseline.total_modeled_seconds;
+  if (base <= 0.0) return 0.0;
+  return (score / session.total_modeled_seconds) / base;
+}
+
+double normalized_throughput(const dist::SessionResult& session,
+                             const dist::SessionResult& baseline) {
+  const double base = baseline.throughput_samples_per_second();
+  util::check(base > 0.0, "baseline throughput must be positive");
+  return session.throughput_samples_per_second() / base;
+}
+
+double time_to_quality(const dist::SessionResult& session,
+                       double target_quality) {
+  // Walk evals in order, converting eval iteration to modeled elapsed time.
+  double elapsed = 0.0;
+  std::size_t next_iter = 0;
+  for (const auto& eval : session.evals) {
+    while (next_iter < eval.iteration &&
+           next_iter < session.iterations.size()) {
+      elapsed += session.iterations[next_iter].wall_seconds();
+      ++next_iter;
+    }
+    const bool reached = session.quality_higher_is_better
+                             ? eval.quality >= target_quality
+                             : eval.quality <= target_quality;
+    if (reached) return elapsed;
+  }
+  return -1.0;
+}
+
+std::vector<std::pair<std::size_t, double>> downsample(
+    const std::vector<double>& series, std::size_t points) {
+  util::check(points >= 2, "downsample needs >= 2 points");
+  std::vector<std::pair<std::size_t, double>> out;
+  if (series.empty()) return out;
+  const std::size_t n = series.size();
+  const std::size_t count = std::min(points, n);
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t idx =
+        (n - 1) * i / (count - 1 == 0 ? 1 : count - 1);
+    out.emplace_back(idx, series[idx]);
+  }
+  return out;
+}
+
+}  // namespace sidco::metrics

@@ -1,0 +1,53 @@
+// Paper metrics (§4.1):
+//  - Normalized Training Speed-up: quality at iteration T divided by time to
+//    complete T iterations, normalized by the no-compression baseline.
+//  - Normalized Average Training Throughput: samples/s over baseline's.
+//  - Estimation Quality: mean achieved/target ratio with 90% CI error bars.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dist/session.h"
+#include "stats/descriptive.h"
+
+namespace sidco::metrics {
+
+struct EstimationQuality {
+  double mean_normalized_ratio = 0.0;  ///< mean of (k-hat/d) / delta
+  double ci_lower = 0.0;               ///< 90% CI
+  double ci_upper = 0.0;
+};
+
+/// Computes k-hat/k statistics over a session's iterations.  The first
+/// `warmup_fraction` of iterations (capped at 30) is excluded: SIDCo starts
+/// single-stage by design and the paper averages over runs long enough that
+/// the Adapt_Stages start-up transient is negligible; our sessions are short,
+/// so the transient is removed explicitly (it is still visible in the Fig. 4
+/// and Fig. 9 time-series benches).
+EstimationQuality estimation_quality(const dist::SessionResult& session,
+                                     double warmup_fraction = 0.25);
+
+/// Training speed-up of `session` relative to `baseline` (quality-per-time
+/// ratio, the paper's normalized training speed-up).  Returns 0 when the
+/// session failed to reach `quality_floor` of the baseline's quality —
+/// mirroring the zero-speedup bars for diverged runs in Figs. 3/5.
+double normalized_speedup(const dist::SessionResult& session,
+                          const dist::SessionResult& baseline,
+                          double quality_floor = 0.5);
+
+/// Throughput (samples/s) over the baseline's.
+double normalized_throughput(const dist::SessionResult& session,
+                             const dist::SessionResult& baseline);
+
+/// Modeled seconds until the session first reaches `target_quality`
+/// (direction-aware); returns a negative value when never reached.
+double time_to_quality(const dist::SessionResult& session,
+                       double target_quality);
+
+/// Downsamples `series` to at most `points` evenly spaced entries (console
+/// rendering of the paper's line plots).
+std::vector<std::pair<std::size_t, double>> downsample(
+    const std::vector<double>& series, std::size_t points);
+
+}  // namespace sidco::metrics

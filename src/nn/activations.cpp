@@ -1,0 +1,62 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sidco::nn {
+
+Activation::Activation(ActivationKind kind, std::size_t features)
+    : Layer(features, features), kind_(kind) {}
+
+void Activation::bind(std::span<float> params, std::span<float> grads) {
+  util::check(params.empty() && grads.empty(),
+              "activation layers own no parameters");
+}
+
+void Activation::init(util::Rng& /*rng*/) {}
+
+void Activation::forward(std::span<const float> in, std::span<float> out,
+                         std::size_t batch) {
+  const std::size_t n = batch * in_features();
+  switch (kind_) {
+    case ActivationKind::kRelu:
+      for (std::size_t i = 0; i < n; ++i) out[i] = in[i] > 0.0F ? in[i] : 0.0F;
+      break;
+    case ActivationKind::kTanh:
+      for (std::size_t i = 0; i < n; ++i) out[i] = std::tanh(in[i]);
+      break;
+    case ActivationKind::kSigmoid:
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = 1.0F / (1.0F + std::exp(-in[i]));
+      }
+      break;
+  }
+}
+
+void Activation::backward(std::span<const float> in,
+                          std::span<const float> grad_out,
+                          std::span<float> grad_in, std::size_t batch) {
+  const std::size_t n = batch * in_features();
+  switch (kind_) {
+    case ActivationKind::kRelu:
+      for (std::size_t i = 0; i < n; ++i) {
+        grad_in[i] = in[i] > 0.0F ? grad_out[i] : 0.0F;
+      }
+      break;
+    case ActivationKind::kTanh:
+      for (std::size_t i = 0; i < n; ++i) {
+        const float t = std::tanh(in[i]);
+        grad_in[i] = grad_out[i] * (1.0F - t * t);
+      }
+      break;
+    case ActivationKind::kSigmoid:
+      for (std::size_t i = 0; i < n; ++i) {
+        const float s = 1.0F / (1.0F + std::exp(-in[i]));
+        grad_in[i] = grad_out[i] * s * (1.0F - s);
+      }
+      break;
+  }
+}
+
+}  // namespace sidco::nn

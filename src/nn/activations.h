@@ -1,0 +1,26 @@
+// Parameter-free elementwise activations.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace sidco::nn {
+
+enum class ActivationKind { kRelu, kTanh, kSigmoid };
+
+class Activation final : public Layer {
+ public:
+  Activation(ActivationKind kind, std::size_t features);
+
+  [[nodiscard]] std::size_t parameter_count() const override { return 0; }
+  void bind(std::span<float> params, std::span<float> grads) override;
+  void init(util::Rng& rng) override;
+  void forward(std::span<const float> in, std::span<float> out,
+               std::size_t batch) override;
+  void backward(std::span<const float> in, std::span<const float> grad_out,
+                std::span<float> grad_in, std::size_t batch) override;
+
+ private:
+  ActivationKind kind_;
+};
+
+}  // namespace sidco::nn

@@ -1,0 +1,73 @@
+#include "nn/dense.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sidco::nn {
+
+Dense::Dense(std::size_t in_features, std::size_t out_features)
+    : Layer(in_features, out_features) {
+  util::check(in_features > 0 && out_features > 0,
+              "Dense dimensions must be positive");
+}
+
+std::size_t Dense::parameter_count() const {
+  return in_features() * out_features() + out_features();
+}
+
+void Dense::bind(std::span<float> params, std::span<float> grads) {
+  util::check(params.size() == parameter_count(), "Dense bind size mismatch");
+  const std::size_t w = in_features() * out_features();
+  weight_ = params.subspan(0, w);
+  bias_ = params.subspan(w);
+  grad_weight_ = grads.subspan(0, w);
+  grad_bias_ = grads.subspan(w);
+}
+
+void Dense::init(util::Rng& rng) {
+  // He initialization (fan-in); biases start at zero.
+  const double stddev = std::sqrt(2.0 / static_cast<double>(in_features()));
+  for (float& w : weight_) w = static_cast<float>(rng.normal(0.0, stddev));
+  for (float& b : bias_) b = 0.0F;
+}
+
+void Dense::forward(std::span<const float> in, std::span<float> out,
+                    std::size_t batch) {
+  const std::size_t ni = in_features();
+  const std::size_t no = out_features();
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* x = in.data() + b * ni;
+    float* y = out.data() + b * no;
+    for (std::size_t o = 0; o < no; ++o) {
+      const float* w = weight_.data() + o * ni;
+      float acc = bias_[o];
+      for (std::size_t i = 0; i < ni; ++i) acc += w[i] * x[i];
+      y[o] = acc;
+    }
+  }
+}
+
+void Dense::backward(std::span<const float> in, std::span<const float> grad_out,
+                     std::span<float> grad_in, std::size_t batch) {
+  const std::size_t ni = in_features();
+  const std::size_t no = out_features();
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* x = in.data() + b * ni;
+    const float* dy = grad_out.data() + b * no;
+    float* dx = grad_in.data() + b * ni;
+    for (std::size_t i = 0; i < ni; ++i) dx[i] = 0.0F;
+    for (std::size_t o = 0; o < no; ++o) {
+      const float g = dy[o];
+      const float* w = weight_.data() + o * ni;
+      float* dw = grad_weight_.data() + o * ni;
+      grad_bias_[o] += g;
+      for (std::size_t i = 0; i < ni; ++i) {
+        dx[i] += g * w[i];
+        dw[i] += g * x[i];
+      }
+    }
+  }
+}
+
+}  // namespace sidco::nn

@@ -1,0 +1,28 @@
+// Fully connected layer: y = W x + b.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace sidco::nn {
+
+class Dense final : public Layer {
+ public:
+  Dense(std::size_t in_features, std::size_t out_features);
+
+  [[nodiscard]] std::size_t parameter_count() const override;
+  void bind(std::span<float> params, std::span<float> grads) override;
+  void init(util::Rng& rng) override;
+  void forward(std::span<const float> in, std::span<float> out,
+               std::size_t batch) override;
+  void backward(std::span<const float> in, std::span<const float> grad_out,
+                std::span<float> grad_in, std::size_t batch) override;
+
+ private:
+  // W is (out, in) row-major; bias is (out).
+  std::span<float> weight_;
+  std::span<float> bias_;
+  std::span<float> grad_weight_;
+  std::span<float> grad_bias_;
+};
+
+}  // namespace sidco::nn

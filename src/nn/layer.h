@@ -1,0 +1,63 @@
+// Minimal manual-backprop layer interface.
+//
+// Design: the Model owns two flat arenas — one for all parameters, one for
+// all gradients — and each layer is bound to a slice of both.  This gives the
+// distributed layer a single contiguous gradient vector per backward pass
+// (exactly what bucket-fused allreduce implementations ship), which is the
+// object SIDCo compresses.
+//
+// Data layout: activations flow as row-major (batch, features) buffers;
+// convolutional layers interpret features as C*H*W, recurrent layers as
+// T*D.  Layers that need intermediate state for the backward pass (pooling
+// argmax, LSTM gate activations) cache it during forward; callers must pair
+// every backward() with the immediately preceding forward().
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "util/rng.h"
+
+namespace sidco::nn {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  /// Flattened per-sample input/output sizes.
+  [[nodiscard]] std::size_t in_features() const { return in_features_; }
+  [[nodiscard]] std::size_t out_features() const { return out_features_; }
+
+  /// Number of parameters this layer owns in the shared arenas.
+  [[nodiscard]] virtual std::size_t parameter_count() const = 0;
+
+  /// Binds the layer to its slices of the model's parameter/gradient arenas.
+  /// Called exactly once, before init().
+  virtual void bind(std::span<float> params, std::span<float> grads) = 0;
+
+  /// Initializes bound parameters (He/Xavier as appropriate).
+  virtual void init(util::Rng& rng) = 0;
+
+  /// Computes out (batch x out_features) from in (batch x in_features).
+  virtual void forward(std::span<const float> in, std::span<float> out,
+                       std::size_t batch) = 0;
+
+  /// Computes grad_in from grad_out and ACCUMULATES parameter gradients into
+  /// the bound gradient slice.  `in` is the same buffer passed to the paired
+  /// forward() call.
+  virtual void backward(std::span<const float> in,
+                        std::span<const float> grad_out,
+                        std::span<float> grad_in, std::size_t batch) = 0;
+
+ protected:
+  Layer(std::size_t in_features, std::size_t out_features)
+      : in_features_(in_features), out_features_(out_features) {}
+
+ private:
+  std::size_t in_features_;
+  std::size_t out_features_;
+};
+
+}  // namespace sidco::nn

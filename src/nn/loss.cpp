@@ -1,0 +1,79 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sidco::nn {
+
+namespace {
+
+LossResult softmax_ce_impl(std::span<const float> logits,
+                           std::span<const int> labels, std::size_t classes,
+                           float* grad_logits) {
+  util::check(classes > 0, "classes must be positive");
+  util::check(logits.size() == labels.size() * classes,
+              "logits/labels size mismatch");
+  const std::size_t rows = labels.size();
+  util::check(rows > 0, "loss requires at least one row");
+  double total_loss = 0.0;
+  std::size_t correct = 0;
+  const float inv_rows = 1.0F / static_cast<float>(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* z = logits.data() + r * classes;
+    const int label = labels[r];
+    SIDCO_DCHECK(label >= 0 && static_cast<std::size_t>(label) < classes,
+                 "label out of range");
+    float max_z = z[0];
+    std::size_t arg = 0;
+    for (std::size_t c = 1; c < classes; ++c) {
+      if (z[c] > max_z) {
+        max_z = z[c];
+        arg = c;
+      }
+    }
+    if (arg == static_cast<std::size_t>(label)) ++correct;
+    double denom = 0.0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      denom += std::exp(static_cast<double>(z[c] - max_z));
+    }
+    const double log_denom = std::log(denom);
+    total_loss -= static_cast<double>(z[static_cast<std::size_t>(label)] - max_z) -
+                  log_denom;
+    if (grad_logits != nullptr) {
+      float* dz = grad_logits + r * classes;
+      for (std::size_t c = 0; c < classes; ++c) {
+        const float p = static_cast<float>(
+            std::exp(static_cast<double>(z[c] - max_z)) / denom);
+        dz[c] = (p - (c == static_cast<std::size_t>(label) ? 1.0F : 0.0F)) *
+                inv_rows;
+      }
+    }
+  }
+  return {.loss = total_loss / static_cast<double>(rows),
+          .accuracy = static_cast<double>(correct) / static_cast<double>(rows)};
+}
+
+}  // namespace
+
+LossResult softmax_cross_entropy(std::span<const float> logits,
+                                 std::span<const int> labels,
+                                 std::size_t classes,
+                                 std::span<float> grad_logits) {
+  util::check(grad_logits.size() == logits.size(),
+              "grad buffer must match logits");
+  return softmax_ce_impl(logits, labels, classes, grad_logits.data());
+}
+
+LossResult softmax_cross_entropy_eval(std::span<const float> logits,
+                                      std::span<const int> labels,
+                                      std::size_t classes) {
+  return softmax_ce_impl(logits, labels, classes, nullptr);
+}
+
+double perplexity(double mean_cross_entropy) {
+  return std::exp(std::min(mean_cross_entropy, 30.0));
+}
+
+}  // namespace sidco::nn

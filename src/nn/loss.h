@@ -1,0 +1,30 @@
+// Losses and quality metrics.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace sidco::nn {
+
+struct LossResult {
+  double loss = 0.0;      ///< mean loss over rows
+  double accuracy = 0.0;  ///< fraction of rows where argmax == label
+};
+
+/// Softmax cross-entropy over `rows` rows of `classes` logits each.
+/// Fills `grad_logits` (same shape) with d(mean loss)/d(logits).
+/// For sequence models pass rows = batch * time.
+LossResult softmax_cross_entropy(std::span<const float> logits,
+                                 std::span<const int> labels,
+                                 std::size_t classes,
+                                 std::span<float> grad_logits);
+
+/// Evaluation-only variant (no gradient).
+LossResult softmax_cross_entropy_eval(std::span<const float> logits,
+                                      std::span<const int> labels,
+                                      std::size_t classes);
+
+/// Perplexity = exp(mean cross-entropy); the PTB quality metric.
+double perplexity(double mean_cross_entropy);
+
+}  // namespace sidco::nn

@@ -1,0 +1,2 @@
+// Module identity symbol; keeps the static library non-empty on all toolchains.
+namespace sidco::nn { const char* module_name() { return "sidco_nn"; } }

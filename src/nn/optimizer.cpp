@@ -1,0 +1,84 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sidco::nn {
+
+SgdOptimizer::SgdOptimizer(const OptimizerConfig& config) : config_(config) {
+  util::check(config.learning_rate > 0.0, "learning rate must be positive");
+  util::check(config.momentum >= 0.0 && config.momentum < 1.0,
+              "momentum must be in [0, 1)");
+  util::check(!config.nesterov || config.momentum > 0.0,
+              "Nesterov requires momentum > 0");
+}
+
+void SgdOptimizer::step(std::span<float> params, std::span<const float> grad) {
+  util::check(params.size() == grad.size(), "optimizer size mismatch");
+  const std::size_t n = params.size();
+
+  // Effective gradient = grad + weight_decay * params, clipped by global norm.
+  scratch_.assign(grad.begin(), grad.end());
+  if (config_.weight_decay > 0.0) {
+    const auto wd = static_cast<float>(config_.weight_decay);
+    for (std::size_t i = 0; i < n; ++i) scratch_[i] += wd * params[i];
+  }
+  if (config_.clip_norm > 0.0) {
+    double norm_sq = 0.0;
+    for (float g : scratch_) norm_sq += static_cast<double>(g) * g;
+    const double norm = std::sqrt(norm_sq);
+    if (norm > config_.clip_norm) {
+      const auto scale = static_cast<float>(config_.clip_norm / norm);
+      for (float& g : scratch_) g *= scale;
+    }
+  }
+
+  const auto lr = static_cast<float>(config_.learning_rate);
+  if (config_.momentum == 0.0) {
+    for (std::size_t i = 0; i < n; ++i) params[i] -= lr * scratch_[i];
+    return;
+  }
+  if (velocity_.size() != n) velocity_.assign(n, 0.0F);
+  const auto mu = static_cast<float>(config_.momentum);
+  if (config_.nesterov) {
+    for (std::size_t i = 0; i < n; ++i) {
+      velocity_[i] = mu * velocity_[i] + scratch_[i];
+      params[i] -= lr * (scratch_[i] + mu * velocity_[i]);
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      velocity_[i] = mu * velocity_[i] + scratch_[i];
+      params[i] -= lr * velocity_[i];
+    }
+  }
+}
+
+LearningRateSchedule::LearningRateSchedule(double base_lr,
+                                           std::size_t warmup_iterations,
+                                           std::size_t decay_every,
+                                           double decay_factor)
+    : base_lr_(base_lr),
+      warmup_(warmup_iterations),
+      decay_every_(decay_every),
+      decay_factor_(decay_factor) {
+  util::check(base_lr > 0.0, "base lr must be positive");
+  util::check(decay_factor > 0.0 && decay_factor <= 1.0,
+              "decay factor must be in (0, 1]");
+}
+
+double LearningRateSchedule::at(std::size_t iteration) const {
+  if (warmup_ > 0 && iteration < warmup_) {
+    // Linear ramp from base/10 to base.
+    const double frac =
+        static_cast<double>(iteration + 1) / static_cast<double>(warmup_);
+    return base_lr_ * (0.1 + 0.9 * frac);
+  }
+  if (decay_every_ == 0) return base_lr_;
+  const std::size_t decays = (iteration - warmup_) / decay_every_;
+  double lr = base_lr_;
+  for (std::size_t i = 0; i < decays; ++i) lr *= decay_factor_;
+  return lr;
+}
+
+}  // namespace sidco::nn

@@ -1,0 +1,51 @@
+// SGD family optimizers (vanilla / momentum / Nesterov momentum) with weight
+// decay and global-norm gradient clipping — the local optimizers of Table 1.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace sidco::nn {
+
+struct OptimizerConfig {
+  double learning_rate = 0.1;
+  double momentum = 0.0;       ///< 0 = vanilla SGD
+  bool nesterov = false;       ///< Nesterov momentum (requires momentum > 0)
+  double weight_decay = 0.0;   ///< decoupled L2 added to the gradient
+  double clip_norm = 0.0;      ///< 0 = no clipping; else clip ||g||_2
+};
+
+class SgdOptimizer {
+ public:
+  explicit SgdOptimizer(const OptimizerConfig& config);
+
+  /// Applies one update with gradient `grad` to `params` (equal sizes).
+  /// The velocity buffer is lazily sized on first use.
+  void step(std::span<float> params, std::span<const float> grad);
+
+  void set_learning_rate(double lr) { config_.learning_rate = lr; }
+  [[nodiscard]] double learning_rate() const { return config_.learning_rate; }
+  [[nodiscard]] const OptimizerConfig& config() const { return config_; }
+
+ private:
+  OptimizerConfig config_;
+  std::vector<float> velocity_;
+  std::vector<float> scratch_;
+};
+
+/// Warm-up then multiplicative decay schedule (paper: 5 warm-up epochs).
+class LearningRateSchedule {
+ public:
+  LearningRateSchedule(double base_lr, std::size_t warmup_iterations,
+                       std::size_t decay_every = 0, double decay_factor = 1.0);
+
+  [[nodiscard]] double at(std::size_t iteration) const;
+
+ private:
+  double base_lr_;
+  std::size_t warmup_;
+  std::size_t decay_every_;
+  double decay_factor_;
+};
+
+}  // namespace sidco::nn

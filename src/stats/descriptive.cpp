@@ -1,0 +1,94 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/special_functions.h"
+#include "util/check.h"
+
+namespace sidco::stats {
+
+void StreamingMoments::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double StreamingMoments::sample_variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double StreamingMoments::stddev() const { return std::sqrt(sample_variance()); }
+
+double empirical_quantile(std::vector<double> data, double p) {
+  util::check(!data.empty(), "empirical_quantile requires data");
+  util::check(p >= 0.0 && p <= 1.0, "quantile probability must be in [0, 1]");
+  std::sort(data.begin(), data.end());
+  if (data.size() == 1) return data.front();
+  const double pos = p * static_cast<double>(data.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, data.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return data[lo] * (1.0 - frac) + data[hi] * frac;
+}
+
+ConfidenceInterval mean_confidence_interval(std::span<const double> data,
+                                            double confidence) {
+  util::check(!data.empty(), "confidence interval requires data");
+  util::check(confidence > 0.0 && confidence < 1.0,
+              "confidence must be in (0, 1)");
+  StreamingMoments m;
+  for (double x : data) m.add(x);
+  ConfidenceInterval ci;
+  ci.mean = m.mean();
+  if (data.size() < 2) {
+    ci.lower = ci.upper = ci.mean;
+    return ci;
+  }
+  const double z = normal_quantile(0.5 + confidence / 2.0);
+  const double half =
+      z * m.stddev() / std::sqrt(static_cast<double>(data.size()));
+  ci.lower = ci.mean - half;
+  ci.upper = ci.mean + half;
+  return ci;
+}
+
+std::vector<double> running_average(std::span<const double> series,
+                                    std::size_t window) {
+  util::check(window >= 1, "running_average window must be >= 1");
+  std::vector<double> out;
+  out.reserve(series.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    acc += series[i];
+    if (i >= window) acc -= series[i - window];
+    const std::size_t n = std::min(i + 1, window);
+    out.push_back(acc / static_cast<double>(n));
+  }
+  return out;
+}
+
+std::vector<double> exponential_moving_average(std::span<const double> series,
+                                               double alpha) {
+  util::check(alpha > 0.0 && alpha <= 1.0, "EMA alpha must be in (0, 1]");
+  std::vector<double> out;
+  out.reserve(series.size());
+  double state = 0.0;
+  bool primed = false;
+  for (double x : series) {
+    state = primed ? alpha * x + (1.0 - alpha) * state : x;
+    primed = true;
+    out.push_back(state);
+  }
+  return out;
+}
+
+}  // namespace sidco::stats

@@ -1,0 +1,55 @@
+// Descriptive statistics: streaming moments, empirical quantiles, confidence
+// intervals, and smoothed series.  Used by the metrics layer and the
+// estimation-quality figures.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sidco::stats {
+
+/// Welford one-pass mean/variance accumulator.
+class StreamingMoments {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  /// Sample variance (divides by n - 1); 0 for fewer than two samples.
+  [[nodiscard]] double sample_variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Empirical quantile with linear interpolation; `p` in [0, 1].
+double empirical_quantile(std::vector<double> data, double p);
+
+/// Normal-approximation confidence interval for the mean of `data`.
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+/// `confidence` defaults to the paper's 90% error bars.
+ConfidenceInterval mean_confidence_interval(std::span<const double> data,
+                                            double confidence = 0.90);
+
+/// Running average with window `w` (the paper's "smoothed" ratio curves).
+std::vector<double> running_average(std::span<const double> series,
+                                    std::size_t window);
+
+/// Exponential moving average with smoothing factor `alpha` in (0, 1].
+std::vector<double> exponential_moving_average(std::span<const double> series,
+                                               double alpha);
+
+}  // namespace sidco::stats

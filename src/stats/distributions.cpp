@@ -1,0 +1,191 @@
+#include "stats/distributions.h"
+
+#include <cmath>
+
+#include "stats/special_functions.h"
+#include "util/check.h"
+
+namespace sidco::stats {
+
+// ---------------------------------------------------------------- Exponential
+
+Exponential::Exponential(double scale) : scale_(scale) {
+  util::check(scale > 0.0, "Exponential scale must be positive");
+}
+
+double Exponential::pdf(double x) const {
+  return x < 0.0 ? 0.0 : std::exp(-x / scale_) / scale_;
+}
+
+double Exponential::cdf(double x) const {
+  return x < 0.0 ? 0.0 : 1.0 - std::exp(-x / scale_);
+}
+
+double Exponential::quantile(double p) const {
+  util::check(p >= 0.0 && p < 1.0, "quantile requires p in [0, 1)");
+  return -scale_ * std::log1p(-p);
+}
+
+double Exponential::sample(util::Rng& rng) const {
+  double u = 0.0;
+  while (u <= 0.0) u = rng.uniform();
+  return -scale_ * std::log(u);
+}
+
+// ---------------------------------------------------------------------- Gamma
+
+Gamma::Gamma(double shape, double scale) : shape_(shape), scale_(scale) {
+  util::check(shape > 0.0, "Gamma shape must be positive");
+  util::check(scale > 0.0, "Gamma scale must be positive");
+}
+
+double Gamma::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) {
+    if (shape_ < 1.0) return std::numeric_limits<double>::infinity();
+    return shape_ == 1.0 ? 1.0 / scale_ : 0.0;
+  }
+  const double log_pdf = (shape_ - 1.0) * std::log(x) - x / scale_ -
+                         shape_ * std::log(scale_) - std::lgamma(shape_);
+  return std::exp(log_pdf);
+}
+
+double Gamma::cdf(double x) const {
+  return x <= 0.0 ? 0.0 : regularized_gamma_p(shape_, x / scale_);
+}
+
+double Gamma::quantile(double p) const {
+  util::check(p >= 0.0 && p < 1.0, "quantile requires p in [0, 1)");
+  return scale_ * inverse_regularized_gamma_p(shape_, p);
+}
+
+double Gamma::sample(util::Rng& rng) const {
+  // Marsaglia–Tsang squeeze; for shape < 1 use the boosting identity
+  // Gamma(a) = Gamma(a + 1) * U^{1/a}.
+  double shape = shape_;
+  double boost = 1.0;
+  if (shape < 1.0) {
+    double u = 0.0;
+    while (u <= 0.0) u = rng.uniform();
+    boost = std::pow(u, 1.0 / shape);
+    shape += 1.0;
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = rng.normal();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    double u = 0.0;
+    while (u <= 0.0) u = rng.uniform();
+    const double x2 = x * x;
+    if (u < 1.0 - 0.0331 * x2 * x2 ||
+        std::log(u) < 0.5 * x2 + d * (1.0 - v + std::log(v))) {
+      return boost * d * v * scale_;
+    }
+  }
+}
+
+// --------------------------------------------------------- GeneralizedPareto
+
+GeneralizedPareto::GeneralizedPareto(double shape, double scale,
+                                     double location)
+    : shape_(shape), scale_(scale), location_(location) {
+  util::check(scale > 0.0, "GP scale must be positive");
+  util::check(shape > -0.5 && shape < 0.5,
+              "GP shape must lie in (-1/2, 1/2) for finite moments");
+}
+
+double GeneralizedPareto::pdf(double x) const {
+  const double z = (x - location_) / scale_;
+  if (z < 0.0) return 0.0;
+  if (std::fabs(shape_) < 1e-12) return std::exp(-z) / scale_;
+  const double base = 1.0 + shape_ * z;
+  if (base <= 0.0) return 0.0;  // outside support for negative shape
+  return std::pow(base, -1.0 / shape_ - 1.0) / scale_;
+}
+
+double GeneralizedPareto::cdf(double x) const {
+  const double z = (x - location_) / scale_;
+  if (z <= 0.0) return 0.0;
+  if (std::fabs(shape_) < 1e-12) return 1.0 - std::exp(-z);
+  const double base = 1.0 + shape_ * z;
+  if (base <= 0.0) return 1.0;  // beyond upper endpoint (negative shape)
+  return 1.0 - std::pow(base, -1.0 / shape_);
+}
+
+double GeneralizedPareto::quantile(double p) const {
+  util::check(p >= 0.0 && p < 1.0, "quantile requires p in [0, 1)");
+  if (std::fabs(shape_) < 1e-12) return location_ - scale_ * std::log1p(-p);
+  // (beta/alpha) * ((1-p)^{-alpha} - 1) + location; the paper's eq. (7) with
+  // p = 1 - delta gives exp(-alpha log(delta)) = delta^{-alpha}.
+  return location_ + scale_ / shape_ * (std::pow(1.0 - p, -shape_) - 1.0);
+}
+
+double GeneralizedPareto::sample(util::Rng& rng) const {
+  return quantile(rng.uniform());
+}
+
+double GeneralizedPareto::mean() const {
+  return location_ + scale_ / (1.0 - shape_);
+}
+
+double GeneralizedPareto::variance() const {
+  const double denom = (1.0 - shape_) * (1.0 - shape_) * (1.0 - 2.0 * shape_);
+  return scale_ * scale_ / denom;
+}
+
+// -------------------------------------------------------------------- Laplace
+
+Laplace::Laplace(double scale) : scale_(scale) {
+  util::check(scale > 0.0, "Laplace scale must be positive");
+}
+
+double Laplace::pdf(double x) const {
+  return 0.5 / scale_ * std::exp(-std::fabs(x) / scale_);
+}
+
+double Laplace::cdf(double x) const {
+  if (x < 0.0) return 0.5 * std::exp(x / scale_);
+  return 1.0 - 0.5 * std::exp(-x / scale_);
+}
+
+double Laplace::quantile(double p) const {
+  util::check(p > 0.0 && p < 1.0, "Laplace quantile requires p in (0, 1)");
+  if (p < 0.5) return scale_ * std::log(2.0 * p);
+  return -scale_ * std::log(2.0 * (1.0 - p));
+}
+
+double Laplace::sample(util::Rng& rng) const {
+  const Exponential magnitude(scale_);
+  const double m = magnitude.sample(rng);
+  return rng.uniform() < 0.5 ? -m : m;
+}
+
+// --------------------------------------------------------------------- Normal
+
+Normal::Normal(double mean, double stddev) : mean_(mean), stddev_(stddev) {
+  util::check(stddev > 0.0, "Normal stddev must be positive");
+}
+
+double Normal::pdf(double x) const {
+  static const double kInvSqrt2Pi = 0.39894228040143267794;
+  const double z = (x - mean_) / stddev_;
+  return kInvSqrt2Pi / stddev_ * std::exp(-0.5 * z * z);
+}
+
+double Normal::cdf(double x) const {
+  static const double kInvSqrt2 = 0.70710678118654752440;
+  return 0.5 * std::erfc(-(x - mean_) / stddev_ * kInvSqrt2);
+}
+
+double Normal::quantile(double p) const {
+  return mean_ + stddev_ * normal_quantile(p);
+}
+
+double Normal::sample(util::Rng& rng) const {
+  return rng.normal(mean_, stddev_);
+}
+
+}  // namespace sidco::stats

@@ -1,0 +1,135 @@
+// The sparsity-inducing distributions (SIDs) used by SIDCo, plus the Normal
+// distribution needed by the GaussianKSGD baseline.
+//
+// Each distribution exposes pdf / cdf / quantile / sample and its first two
+// moments.  The "double" (symmetric around zero) variants used to model the
+// signed gradient are provided as thin wrappers: if |G| ~ D then
+// f_G(g) = f_D(|g|) / 2 and the (1 - delta/2) signed quantile equals the
+// (1 - delta) quantile of |G| (Lemma 1).
+#pragma once
+
+#include "util/rng.h"
+
+namespace sidco::stats {
+
+/// Exponential(beta): f(x) = exp(-x/beta)/beta on x >= 0.
+/// Models |G| when G is double-exponential (Laplace).
+class Exponential {
+ public:
+  explicit Exponential(double scale);
+
+  [[nodiscard]] double pdf(double x) const;
+  [[nodiscard]] double cdf(double x) const;
+  /// Inverse CDF: -beta log(1 - p).
+  [[nodiscard]] double quantile(double p) const;
+  [[nodiscard]] double sample(util::Rng& rng) const;
+  [[nodiscard]] double mean() const { return scale_; }
+  [[nodiscard]] double variance() const { return scale_ * scale_; }
+  [[nodiscard]] double scale() const { return scale_; }
+
+ private:
+  double scale_;
+};
+
+/// Gamma(alpha, beta): f(x) = x^{a-1} e^{-x/b} / (b^a Gamma(a)) on x >= 0.
+/// Models |G| when G is double-gamma.
+class Gamma {
+ public:
+  Gamma(double shape, double scale);
+
+  [[nodiscard]] double pdf(double x) const;
+  [[nodiscard]] double cdf(double x) const;
+  [[nodiscard]] double quantile(double p) const;
+  [[nodiscard]] double sample(util::Rng& rng) const;
+  [[nodiscard]] double mean() const { return shape_ * scale_; }
+  [[nodiscard]] double variance() const { return shape_ * scale_ * scale_; }
+  [[nodiscard]] double shape() const { return shape_; }
+  [[nodiscard]] double scale() const { return scale_; }
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+/// Generalized Pareto GP(shape alpha, scale beta, location a):
+///   F(x) = 1 - (1 + alpha (x - a) / beta)^{-1/alpha},  x >= a.
+/// alpha -> 0 degenerates to the shifted exponential; both signs of alpha in
+/// (-1/2, 1/2) are supported (the range where mean and variance exist).
+class GeneralizedPareto {
+ public:
+  GeneralizedPareto(double shape, double scale, double location = 0.0);
+
+  [[nodiscard]] double pdf(double x) const;
+  [[nodiscard]] double cdf(double x) const;
+  [[nodiscard]] double quantile(double p) const;
+  [[nodiscard]] double sample(util::Rng& rng) const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double shape() const { return shape_; }
+  [[nodiscard]] double scale() const { return scale_; }
+  [[nodiscard]] double location() const { return location_; }
+
+ private:
+  double shape_;
+  double scale_;
+  double location_;
+};
+
+/// Laplace(beta) centred at zero — the signed double-exponential SID.
+class Laplace {
+ public:
+  explicit Laplace(double scale);
+
+  [[nodiscard]] double pdf(double x) const;
+  [[nodiscard]] double cdf(double x) const;
+  [[nodiscard]] double quantile(double p) const;
+  [[nodiscard]] double sample(util::Rng& rng) const;
+  [[nodiscard]] double scale() const { return scale_; }
+
+ private:
+  double scale_;
+};
+
+/// Normal(mu, sigma).
+class Normal {
+ public:
+  Normal(double mean, double stddev);
+
+  [[nodiscard]] double pdf(double x) const;
+  [[nodiscard]] double cdf(double x) const;
+  [[nodiscard]] double quantile(double p) const;
+  [[nodiscard]] double sample(util::Rng& rng) const;
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double stddev() const { return stddev_; }
+
+ private:
+  double mean_;
+  double stddev_;
+};
+
+/// Symmetric (signed) PDF of a magnitude distribution D: f(g) = f_D(|g|)/2.
+/// Used for plotting/validating the "double" SIDs against empirical signed
+/// gradient histograms (paper Figs. 2 and 8).
+template <typename MagnitudeDist>
+class Symmetric {
+ public:
+  explicit Symmetric(MagnitudeDist dist) : dist_(std::move(dist)) {}
+
+  [[nodiscard]] double pdf(double g) const {
+    return 0.5 * dist_.pdf(g < 0 ? -g : g);
+  }
+  [[nodiscard]] double cdf(double g) const {
+    const double tail = 0.5 * (1.0 - dist_.cdf(g < 0 ? -g : g));
+    return g < 0 ? tail : 1.0 - tail;
+  }
+  [[nodiscard]] double sample(util::Rng& rng) const {
+    const double magnitude = dist_.sample(rng);
+    return rng.uniform() < 0.5 ? -magnitude : magnitude;
+  }
+  [[nodiscard]] const MagnitudeDist& magnitude() const { return dist_; }
+
+ private:
+  MagnitudeDist dist_;
+};
+
+}  // namespace sidco::stats

@@ -1,0 +1,81 @@
+#include "stats/fitting.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/vector_ops.h"
+#include "util/check.h"
+
+namespace sidco::stats {
+
+namespace {
+constexpr double kMinScale = 1e-30;
+constexpr double kGpShapeLimit = 0.499;
+}  // namespace
+
+Exponential fit_exponential(std::span<const float> magnitudes) {
+  util::check(!magnitudes.empty(), "fit_exponential requires data");
+  const double mu = tensor::mean_abs(magnitudes);
+  return Exponential(std::max(mu, kMinScale));
+}
+
+Exponential fit_exponential_shifted(std::span<const float> exceedances,
+                                    double shift) {
+  util::check(!exceedances.empty(), "fit_exponential_shifted requires data");
+  const double mu = tensor::mean_abs(exceedances) - shift;
+  return Exponential(std::max(mu, kMinScale));
+}
+
+GammaFit fit_gamma_minka(std::span<const float> magnitudes) {
+  util::check(!magnitudes.empty(), "fit_gamma_minka requires data");
+  const double mu = std::max(tensor::mean_abs(magnitudes), kMinScale);
+  const auto log_moment = tensor::mean_log_abs(magnitudes);
+  GammaFit fit;
+  if (log_moment.used == 0) {
+    // All-zero input: no magnitude information; return a flat exponential.
+    fit.shape = 1.0;
+    fit.scale = kMinScale;
+    return fit;
+  }
+  const double s = std::log(mu) - log_moment.mean_log;
+  fit.s_statistic = s;
+  if (s <= 0.0 || !std::isfinite(s)) {
+    // Jensen guarantees s >= 0; s == 0 means a point mass -> exponential-ish.
+    fit.shape = 1.0;
+  } else {
+    fit.shape = (3.0 - s + std::sqrt((s - 3.0) * (s - 3.0) + 24.0 * s)) /
+                (12.0 * s);
+  }
+  fit.shape = std::clamp(fit.shape, 1e-3, 1e6);
+  fit.scale = std::max(mu / fit.shape, kMinScale);
+  return fit;
+}
+
+GpFit fit_gp_moments(std::span<const float> magnitudes, double location) {
+  util::check(!magnitudes.empty(), "fit_gp_moments requires data");
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (float m : magnitudes) {
+    const double z = std::fabs(static_cast<double>(m)) - location;
+    sum += z;
+    sum_sq += z * z;
+  }
+  const double n = static_cast<double>(magnitudes.size());
+  const double mu = std::max(sum / n, kMinScale);
+  const double var = std::max(sum_sq / n - mu * mu, kMinScale * kMinScale);
+  const double ratio = mu * mu / var;
+  GpFit fit;
+  fit.location = location;
+  fit.shape = std::clamp(0.5 * (1.0 - ratio), -kGpShapeLimit, kGpShapeLimit);
+  fit.scale = std::max(0.5 * mu * (ratio + 1.0), kMinScale);
+  return fit;
+}
+
+Normal fit_normal(std::span<const float> values) {
+  util::check(!values.empty(), "fit_normal requires data");
+  const double mu = tensor::mean(values);
+  const double var = tensor::variance(values);
+  return Normal(mu, std::max(std::sqrt(var), kMinScale));
+}
+
+}  // namespace sidco::stats

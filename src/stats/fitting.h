@@ -1,0 +1,56 @@
+// Closed-form parameter estimators for the SIDs (paper §2.3, Appendix B.3).
+//
+// These are the *entire* per-iteration statistical cost of SIDCo: one or two
+// linear passes producing sample moments, then O(1) arithmetic.
+//  - Exponential: MLE  beta = mean(|g|)                       (Corollary 1.1)
+//  - Gamma:       Minka/moment closed form for (alpha, beta)  (Corollary 1.2)
+//  - GP:          moment matching for (alpha, beta)           (Corollary 1.3)
+//  - Normal:      sample moments (GaussianKSGD baseline).
+#pragma once
+
+#include <span>
+
+#include "stats/distributions.h"
+
+namespace sidco::stats {
+
+/// MLE of the exponential scale: beta-hat = mean(|m|).  Inputs may be signed
+/// (raw gradients); magnitudes are taken internally.
+Exponential fit_exponential(std::span<const float> magnitudes);
+
+/// Exponential fit of exceedances over `shift` (Corollary 2.1):
+/// beta-hat = mean(m - shift) for m already filtered to m >= shift.
+Exponential fit_exponential_shifted(std::span<const float> exceedances,
+                                    double shift);
+
+struct GammaFit {
+  double shape = 1.0;
+  double scale = 1.0;
+  /// s = log(mean) - mean(log); the Minka statistic.  Kept for diagnostics.
+  double s_statistic = 0.0;
+};
+
+/// Closed-form gamma fit (Minka 2002 approximation of the MLE):
+///   alpha = (3 - s + sqrt((s-3)^2 + 24 s)) / (12 s),  beta = mean / alpha.
+/// Zero magnitudes are skipped in the log moment (they carry no magnitude
+/// information); degenerate inputs fall back to an exponential-shaped fit
+/// (alpha = 1).
+GammaFit fit_gamma_minka(std::span<const float> magnitudes);
+
+struct GpFit {
+  double shape = 0.0;
+  double scale = 1.0;
+  double location = 0.0;
+};
+
+/// Moment-matching GP fit (Hosking & Wallis 1987):
+///   alpha = (1 - mu^2/sigma^2) / 2,   beta = mu (mu^2/sigma^2 + 1) / 2.
+/// When `location` > 0 the moments are computed on (m - location) — the
+/// peak-over-threshold fit of Lemma 2.  The shape is clamped to the
+/// finite-moment range (-1/2, 1/2).
+GpFit fit_gp_moments(std::span<const float> magnitudes, double location = 0.0);
+
+/// Sample-moment Normal fit on the *signed* values.
+Normal fit_normal(std::span<const float> values);
+
+}  // namespace sidco::stats

@@ -1,0 +1,39 @@
+#include "stats/goodness_of_fit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace sidco::stats {
+
+double ks_statistic(std::span<const float> data,
+                    const std::function<double(double)>& model_cdf,
+                    std::size_t sample_cap) {
+  util::check(!data.empty(), "ks_statistic requires data");
+  std::vector<double> sorted;
+  if (sample_cap != 0 && data.size() > sample_cap) {
+    sorted.reserve(sample_cap);
+    const double stride =
+        static_cast<double>(data.size()) / static_cast<double>(sample_cap);
+    for (std::size_t i = 0; i < sample_cap; ++i) {
+      sorted.push_back(
+          static_cast<double>(data[static_cast<std::size_t>(i * stride)]));
+    }
+  } else {
+    sorted.assign(data.begin(), data.end());
+  }
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double d_max = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double model = model_cdf(sorted[i]);
+    const double below = static_cast<double>(i) / n;
+    const double above = static_cast<double>(i + 1) / n;
+    d_max = std::max({d_max, std::fabs(model - below), std::fabs(above - model)});
+  }
+  return d_max;
+}
+
+}  // namespace sidco::stats

@@ -1,0 +1,18 @@
+// Goodness-of-fit: Kolmogorov–Smirnov distance between data and a model CDF.
+// Used to validate Property 2 (gradients follow a SID) in the Fig. 2/8
+// benches and in tests.
+#pragma once
+
+#include <functional>
+#include <span>
+
+namespace sidco::stats {
+
+/// sup_x |F_empirical(x) - model_cdf(x)| over the sample points.
+/// `sample_cap` bounds the cost on multi-million-element gradients by using
+/// an evenly strided subsample (0 = use all points).
+double ks_statistic(std::span<const float> data,
+                    const std::function<double(double)>& model_cdf,
+                    std::size_t sample_cap = 0);
+
+}  // namespace sidco::stats

@@ -1,0 +1,86 @@
+#include "stats/powerlaw.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/vector_ops.h"
+#include "util/check.h"
+
+namespace sidco::stats {
+
+PowerLawFit fit_power_law_decay(std::span<const float> gradient,
+                                std::size_t head_skip,
+                                std::size_t head_count) {
+  util::check(gradient.size() >= 4, "power-law fit requires >= 4 elements");
+  std::vector<double> mags;
+  mags.reserve(gradient.size());
+  for (float v : gradient) {
+    const double a = std::fabs(static_cast<double>(v));
+    if (a > 0.0) mags.push_back(a);
+  }
+  util::check(mags.size() >= 4, "power-law fit requires >= 4 non-zeros");
+  std::sort(mags.begin(), mags.end(), std::greater<>());
+
+  const std::size_t first = std::min(head_skip, mags.size() - 2);
+  const std::size_t last = std::min(mags.size(), head_count);
+  util::check(last > first + 1, "power-law fit window is empty");
+
+  // Least squares of y = log(mag) on x = log(rank), rank is 1-based.
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  std::size_t n = 0;
+  for (std::size_t j = first; j < last; ++j) {
+    const double x = std::log(static_cast<double>(j + 1));
+    const double y = std::log(mags[j]);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    syy += y * y;
+    ++n;
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  PowerLawFit fit;
+  fit.points = n;
+  if (denom <= 0.0) return fit;
+  const double slope = (dn * sxy - sx * sy) / denom;
+  fit.exponent = -slope;
+  fit.log_c1 = (sy - slope * sx) / dn;
+  const double ss_tot = syy - sy * sy / dn;
+  const double ss_res = ss_tot - slope * (sxy - sx * sy / dn);
+  fit.r_squared = ss_tot <= 0.0 ? 1.0 : std::max(0.0, 1.0 - ss_res / ss_tot);
+  return fit;
+}
+
+bool is_compressible(const PowerLawFit& fit) { return fit.exponent > 0.5; }
+
+std::vector<SparsificationErrorPoint> sparsification_error_curve(
+    std::span<const float> gradient, std::size_t points) {
+  util::check(points >= 2, "curve requires >= 2 points");
+  std::vector<double> mags(gradient.size());
+  for (std::size_t i = 0; i < gradient.size(); ++i) {
+    mags[i] = std::fabs(static_cast<double>(gradient[i]));
+  }
+  std::sort(mags.begin(), mags.end(), std::greater<>());
+  // Suffix sums of squared magnitudes: sigma_k^2 = sum_{j>k} mag_j^2.
+  std::vector<double> suffix_sq(mags.size() + 1, 0.0);
+  for (std::size_t j = mags.size(); j > 0; --j) {
+    suffix_sq[j - 1] = suffix_sq[j] + mags[j - 1] * mags[j - 1];
+  }
+  std::vector<SparsificationErrorPoint> curve;
+  curve.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double frac = static_cast<double>(i) / static_cast<double>(points - 1);
+    const auto k = static_cast<std::size_t>(
+        frac * static_cast<double>(mags.size()));
+    curve.push_back({.k = k, .sigma_k = std::sqrt(suffix_sq[std::min(
+                                  k, mags.size())])});
+  }
+  return curve;
+}
+
+}  // namespace sidco::stats

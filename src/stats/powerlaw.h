@@ -1,0 +1,41 @@
+// Compressibility analysis (paper Definition 1, Property 1, Fig. 7).
+//
+// A vector g is compressible if its sorted magnitudes obey a power-law decay
+// g~_j <= c1 j^{-p} with p > 1/2; the Top-k error then decays as
+// sigma_k <= c2 k^{1/2 - p}.  We estimate the decay exponent by least-squares
+// regression of log(g~_j) on log(j) over the significant head of the vector.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sidco::stats {
+
+struct PowerLawFit {
+  double exponent = 0.0;    ///< p in g~_j ~ c1 j^{-p}
+  double log_c1 = 0.0;      ///< intercept
+  double r_squared = 0.0;   ///< regression quality
+  std::size_t points = 0;   ///< samples used
+};
+
+/// Fits the decay exponent of sorted |g| over ranks [head_skip, head_count].
+/// The head skip avoids the few largest outliers; the count restricts the fit
+/// to the significant region (paper fits over j <= 1e5).  Zero magnitudes are
+/// excluded.
+PowerLawFit fit_power_law_decay(std::span<const float> gradient,
+                                std::size_t head_skip = 10,
+                                std::size_t head_count = 100000);
+
+/// True when the fitted decay exponent exceeds 1/2 (Definition 1).
+bool is_compressible(const PowerLawFit& fit);
+
+/// sigma_k(g) for a grid of k values (for the Fig. 7b decay plot).
+struct SparsificationErrorPoint {
+  std::size_t k = 0;
+  double sigma_k = 0.0;
+};
+std::vector<SparsificationErrorPoint> sparsification_error_curve(
+    std::span<const float> gradient, std::size_t points = 16);
+
+}  // namespace sidco::stats

@@ -1,0 +1,220 @@
+#include "stats/special_functions.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace sidco::stats {
+
+namespace {
+
+constexpr int kMaxIterations = 500;
+constexpr double kEps = 1e-15;
+constexpr double kTiny = 1e-300;
+
+/// Series expansion of P(a, x); converges quickly for x < a + 1.
+double gamma_p_series(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int i = 0; i < kMaxIterations; ++i) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * kEps) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/// Continued fraction for Q(a, x); converges quickly for x >= a + 1.
+double gamma_q_continued_fraction(double a, double x) {
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+}  // namespace
+
+double regularized_gamma_p(double a, double x) {
+  util::check(a > 0.0, "regularized_gamma_p requires a > 0");
+  util::check(x >= 0.0, "regularized_gamma_p requires x >= 0");
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return gamma_p_series(a, x);
+  return 1.0 - gamma_q_continued_fraction(a, x);
+}
+
+double regularized_gamma_q(double a, double x) {
+  return 1.0 - regularized_gamma_p(a, x);
+}
+
+double inverse_regularized_gamma_p(double a, double p) {
+  util::check(a > 0.0, "inverse_regularized_gamma_p requires a > 0");
+  util::check(p >= 0.0 && p < 1.0,
+              "inverse_regularized_gamma_p requires p in [0, 1)");
+  if (p == 0.0) return 0.0;
+
+  // Initial guess (Numerical-Recipes-style): Wilson–Hilferty for a > 1,
+  // small-a asymptotic otherwise.
+  const double gln = std::lgamma(a);
+  double x = 0.0;
+  if (a > 1.0) {
+    const double pp = (p < 0.5) ? p : 1.0 - p;
+    const double t = std::sqrt(-2.0 * std::log(pp));
+    double z = (2.30753 + t * 0.27061) / (1.0 + t * (0.99229 + t * 0.04481)) - t;
+    if (p < 0.5) z = -z;
+    const double a1 = 1.0 - 1.0 / (9.0 * a) + z / (3.0 * std::sqrt(a));
+    x = a * a1 * a1 * a1;
+  } else {
+    const double t = 1.0 - a * (0.253 + a * 0.12);
+    if (p < t) {
+      x = std::pow(p / t, 1.0 / a);
+    } else {
+      x = 1.0 - std::log(1.0 - (p - t) / (1.0 - t));
+    }
+  }
+  x = std::max(x, 1e-300);
+
+  // Halley refinement on f(x) = P(a, x) - p.
+  for (int it = 0; it < 60; ++it) {
+    const double err = regularized_gamma_p(a, x) - p;
+    const double log_pdf = -x + (a - 1.0) * std::log(x) - gln;
+    const double pdf = std::exp(log_pdf);
+    if (pdf <= 0.0) break;
+    double dx = err / pdf;
+    // Halley correction.
+    dx /= std::max(0.5, 1.0 - 0.5 * std::min(1.0, dx * ((a - 1.0) / x - 1.0)));
+    double next = x - dx;
+    if (next <= 0.0) next = 0.5 * x;
+    if (std::fabs(next - x) < 1e-14 * std::fabs(next) + 1e-300) {
+      x = next;
+      break;
+    }
+    x = next;
+  }
+  return x;
+}
+
+double digamma(double x) {
+  util::check(x > 0.0, "digamma requires x > 0");
+  double result = 0.0;
+  // Shift x upward until the asymptotic series is accurate.
+  while (x < 6.0) {
+    result -= 1.0 / x;
+    x += 1.0;
+  }
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  // Asymptotic expansion: ln x - 1/(2x) - sum B_{2n} / (2n x^{2n}).
+  result += std::log(x) - 0.5 * inv -
+            inv2 * (1.0 / 12.0 -
+                    inv2 * (1.0 / 120.0 -
+                            inv2 * (1.0 / 252.0 -
+                                    inv2 * (1.0 / 240.0 - inv2 / 132.0))));
+  return result;
+}
+
+double erf_inv(double x) {
+  util::check(x > -1.0 && x < 1.0, "erf_inv requires |x| < 1");
+  if (x == 0.0) return 0.0;
+  // Giles (2012) polynomial initialization, then two Newton steps on
+  // f(w) = erf(w) - x, which give ~1e-15 accuracy.
+  double w = -std::log((1.0 - x) * (1.0 + x));
+  double p;
+  if (w < 6.25) {
+    w -= 3.125;
+    p = -3.6444120640178196996e-21;
+    p = -1.685059138182016589e-19 + p * w;
+    p = 1.2858480715256400167e-18 + p * w;
+    p = 1.115787767802518096e-17 + p * w;
+    p = -1.333171662854620906e-16 + p * w;
+    p = 2.0972767875968561637e-17 + p * w;
+    p = 6.6376381343583238325e-15 + p * w;
+    p = -4.0545662729752068639e-14 + p * w;
+    p = -8.1519341976054721522e-14 + p * w;
+    p = 2.6335093153082322977e-12 + p * w;
+    p = -1.2975133253453532498e-11 + p * w;
+    p = -5.4154120542946279317e-11 + p * w;
+    p = 1.051212273321532285e-09 + p * w;
+    p = -4.1126339803469836976e-09 + p * w;
+    p = -2.9070369957882005086e-08 + p * w;
+    p = 4.2347877827932403518e-07 + p * w;
+    p = -1.3654692000834678645e-06 + p * w;
+    p = -1.3882523362786468719e-05 + p * w;
+    p = 0.0001867342080340571352 + p * w;
+    p = -0.00074070253416626697512 + p * w;
+    p = -0.0060336708714301490533 + p * w;
+    p = 0.24015818242558961693 + p * w;
+    p = 1.6536545626831027356 + p * w;
+  } else if (w < 16.0) {
+    w = std::sqrt(w) - 3.25;
+    p = 2.2137376921775787049e-09;
+    p = 9.0756561938885390979e-08 + p * w;
+    p = -2.7517406297064545428e-07 + p * w;
+    p = 1.8239629214389227755e-08 + p * w;
+    p = 1.5027403968909827627e-06 + p * w;
+    p = -4.013867526981545969e-06 + p * w;
+    p = 2.9234449089955446044e-06 + p * w;
+    p = 1.2475304481671778723e-05 + p * w;
+    p = -4.7318229009055733981e-05 + p * w;
+    p = 6.8284851459573175448e-05 + p * w;
+    p = 2.4031110387097893999e-05 + p * w;
+    p = -0.0003550375203628474796 + p * w;
+    p = 0.00095328937973738049703 + p * w;
+    p = -0.0016882755560235047313 + p * w;
+    p = 0.0024914420961078508066 + p * w;
+    p = -0.0037512085075692412107 + p * w;
+    p = 0.005370914553590063617 + p * w;
+    p = 1.0052589676941592334 + p * w;
+    p = 3.0838856104922207635 + p * w;
+  } else {
+    w = std::sqrt(w) - 5.0;
+    p = -2.7109920616438573243e-11;
+    p = -2.5556418169965252055e-10 + p * w;
+    p = 1.5076572693500548083e-09 + p * w;
+    p = -3.7894654401267369937e-09 + p * w;
+    p = 7.6157012080783393804e-09 + p * w;
+    p = -1.4960026627149240478e-08 + p * w;
+    p = 2.9147953450901080826e-08 + p * w;
+    p = -6.7711997758452339498e-08 + p * w;
+    p = 2.2900482228026654717e-07 + p * w;
+    p = -9.9298272942317002539e-07 + p * w;
+    p = 4.5260625972231537039e-06 + p * w;
+    p = -1.9681778105531670567e-05 + p * w;
+    p = 7.5995277030017761139e-05 + p * w;
+    p = -0.00021503011930044477347 + p * w;
+    p = -0.00013871931833623122026 + p * w;
+    p = 1.0103004648645343977 + p * w;
+    p = 4.8499064014085844221 + p * w;
+  }
+  double result = p * x;
+  // Two Newton refinements.
+  static const double kTwoOverSqrtPi = 1.1283791670955125739;
+  for (int i = 0; i < 2; ++i) {
+    const double err = std::erf(result) - x;
+    result -= err / (kTwoOverSqrtPi * std::exp(-result * result));
+  }
+  return result;
+}
+
+double normal_quantile(double p) {
+  util::check(p > 0.0 && p < 1.0, "normal_quantile requires p in (0, 1)");
+  static const double kSqrt2 = 1.4142135623730950488;
+  return kSqrt2 * erf_inv(2.0 * p - 1.0);
+}
+
+}  // namespace sidco::stats

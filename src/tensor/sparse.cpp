@@ -1,0 +1,38 @@
+#include "tensor/sparse.h"
+
+#include "util/check.h"
+
+namespace sidco::tensor {
+
+std::vector<float> SparseGradient::to_dense() const {
+  std::vector<float> dense(dense_dim, 0.0F);
+  add_to(dense);
+  return dense;
+}
+
+void SparseGradient::add_to(std::span<float> out, float scale) const {
+  util::check(out.size() == dense_dim,
+              "add_to target size must equal dense_dim");
+  util::check(indices.size() == values.size(),
+              "sparse gradient index/value arity mismatch");
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    SIDCO_DCHECK(indices[i] < dense_dim, "sparse index out of range");
+    out[indices[i]] += scale * values[i];
+  }
+}
+
+std::vector<float> aggregate_mean(std::span<const SparseGradient> parts,
+                                  std::size_t dense_dim,
+                                  double count_divisor) {
+  util::check(count_divisor > 0.0, "aggregate divisor must be positive");
+  std::vector<float> dense(dense_dim, 0.0F);
+  const auto scale = static_cast<float>(1.0 / count_divisor);
+  for (const auto& part : parts) {
+    util::check(part.dense_dim == dense_dim,
+                "all aggregated parts must share dense_dim");
+    part.add_to(dense, scale);
+  }
+  return dense;
+}
+
+}  // namespace sidco::tensor

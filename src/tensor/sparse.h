@@ -1,0 +1,45 @@
+// Sparse gradient representation produced by all compressors.
+//
+// A compressed gradient is a pair of parallel arrays (indices, values) plus
+// the dense dimension.  Wire volume is modeled as 4 bytes per index + 4 bytes
+// per value, matching the (int32, float32) encoding used by sparse allgather
+// in Horovod-style systems.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sidco::tensor {
+
+struct SparseGradient {
+  std::vector<std::uint32_t> indices;
+  std::vector<float> values;
+  std::size_t dense_dim = 0;
+
+  [[nodiscard]] std::size_t nnz() const { return values.size(); }
+
+  /// Achieved compression ratio k̂/d.
+  [[nodiscard]] double density() const {
+    return dense_dim == 0 ? 0.0
+                          : static_cast<double>(nnz()) /
+                                static_cast<double>(dense_dim);
+  }
+
+  /// Bytes on the wire: (index + value) per kept element.
+  [[nodiscard]] std::size_t wire_bytes() const { return nnz() * 8; }
+
+  /// Scatters values into a dense vector of zeros.
+  [[nodiscard]] std::vector<float> to_dense() const;
+
+  /// Adds `scale * this` into `out` (out.size() == dense_dim).
+  void add_to(std::span<float> out, float scale = 1.0F) const;
+};
+
+/// Sums sparse gradients from several workers into one dense vector,
+/// dividing by `count_divisor` (typically the worker count N).
+std::vector<float> aggregate_mean(std::span<const SparseGradient> parts,
+                                  std::size_t dense_dim,
+                                  double count_divisor);
+
+}  // namespace sidco::tensor

@@ -1,0 +1,189 @@
+#include "tensor/vector_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sidco::tensor {
+
+double mean_abs(std::span<const float> x) {
+  double acc = 0.0;
+  for (float v : x) acc += std::fabs(static_cast<double>(v));
+  return x.empty() ? 0.0 : acc / static_cast<double>(x.size());
+}
+
+double mean(std::span<const float> x) {
+  double acc = 0.0;
+  for (float v : x) acc += static_cast<double>(v);
+  return x.empty() ? 0.0 : acc / static_cast<double>(x.size());
+}
+
+double variance(std::span<const float> x) {
+  if (x.empty()) return 0.0;
+  const double mu = mean(x);
+  double acc = 0.0;
+  for (float v : x) {
+    const double d = static_cast<double>(v) - mu;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(x.size());
+}
+
+MeanVar mean_var_abs(std::span<const float> x) {
+  if (x.empty()) return {};
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (float v : x) {
+    const double a = std::fabs(static_cast<double>(v));
+    sum += a;
+    sum_sq += a * a;
+  }
+  const double n = static_cast<double>(x.size());
+  const double mu = sum / n;
+  return {.mean = mu, .variance = std::max(0.0, sum_sq / n - mu * mu)};
+}
+
+LogMoment mean_log_abs(std::span<const float> x) {
+  double acc = 0.0;
+  std::size_t used = 0;
+  for (float v : x) {
+    const double a = std::fabs(static_cast<double>(v));
+    if (a > 0.0) {
+      acc += std::log(a);
+      ++used;
+    }
+  }
+  return {.mean_log = used == 0 ? 0.0 : acc / static_cast<double>(used),
+          .used = used};
+}
+
+float max_abs(std::span<const float> x) {
+  float best = 0.0F;
+  for (float v : x) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+double l2_norm(std::span<const float> x) {
+  double acc = 0.0;
+  for (float v : x) acc += static_cast<double>(v) * static_cast<double>(v);
+  return std::sqrt(acc);
+}
+
+std::size_t count_at_least(std::span<const float> x, float threshold) {
+  std::size_t n = 0;
+  for (float v : x) n += (std::fabs(v) >= threshold) ? 1U : 0U;
+  return n;
+}
+
+void axpy(float a, std::span<const float> x, std::span<float> y) {
+  util::check(x.size() == y.size(), "axpy size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+}
+
+void scale(std::span<float> x, float a) {
+  for (float& v : x) v *= a;
+}
+
+void fill(std::span<float> x, float value) {
+  std::fill(x.begin(), x.end(), value);
+}
+
+SparseGradient extract_at_least(std::span<const float> x, float threshold,
+                                std::size_t reserve_hint) {
+  SparseGradient out;
+  out.dense_dim = x.size();
+  out.indices.reserve(reserve_hint);
+  out.values.reserve(reserve_hint);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (std::fabs(x[i]) >= threshold) {
+      out.indices.push_back(static_cast<std::uint32_t>(i));
+      out.values.push_back(x[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<float> abs_exceedances(std::span<const float> x, float threshold,
+                                   std::size_t reserve_hint) {
+  std::vector<float> out;
+  out.reserve(reserve_hint);
+  for (float v : x) {
+    const float a = std::fabs(v);
+    if (a >= threshold) out.push_back(a);
+  }
+  return out;
+}
+
+float kth_largest_abs(std::span<const float> x, std::size_t k) {
+  util::check(k >= 1 && k <= x.size(),
+              "kth_largest_abs requires 1 <= k <= size");
+  std::vector<float> mags(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) mags[i] = std::fabs(x[i]);
+  std::nth_element(mags.begin(), mags.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   mags.end(), std::greater<>());
+  return mags[k - 1];
+}
+
+SparseGradient top_k(std::span<const float> x, std::size_t k) {
+  util::check(k <= x.size(), "top_k requires k <= size");
+  SparseGradient out;
+  out.dense_dim = x.size();
+  if (k == 0) return out;
+  const float eta = kth_largest_abs(x, k);
+  out.indices.reserve(k);
+  out.values.reserve(k);
+  // First pass: everything strictly above the threshold.
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (std::fabs(x[i]) > eta) {
+      out.indices.push_back(static_cast<std::uint32_t>(i));
+      out.values.push_back(x[i]);
+    }
+  }
+  // Second pass: fill the remainder with ties at the threshold, index order.
+  for (std::size_t i = 0; i < x.size() && out.values.size() < k; ++i) {
+    if (std::fabs(x[i]) == eta) {
+      out.indices.push_back(static_cast<std::uint32_t>(i));
+      out.values.push_back(x[i]);
+    }
+  }
+  // Keep indices sorted for downstream reproducibility.
+  std::vector<std::size_t> order(out.indices.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return out.indices[a] < out.indices[b];
+  });
+  SparseGradient sorted;
+  sorted.dense_dim = out.dense_dim;
+  sorted.indices.reserve(out.indices.size());
+  sorted.values.reserve(out.values.size());
+  for (std::size_t i : order) {
+    sorted.indices.push_back(out.indices[i]);
+    sorted.values.push_back(out.values[i]);
+  }
+  return sorted;
+}
+
+double sparsification_error(std::span<const float> x, std::size_t k) {
+  if (k >= x.size()) return 0.0;
+  if (k == 0) return l2_norm(x);
+  const float eta = kth_largest_abs(x, k);
+  // ||g - T_k(g)||_2 = l2 norm of the dropped elements.  Ties at eta are
+  // handled by dropping the surplus smallest-index ties, mirroring top_k.
+  double acc = 0.0;
+  std::size_t kept = 0;
+  for (float v : x) kept += (std::fabs(v) > eta) ? 1U : 0U;
+  std::size_t tie_budget = k - kept;
+  for (float v : x) {
+    const float a = std::fabs(v);
+    if (a > eta) continue;
+    if (a == eta && tie_budget > 0) {
+      --tie_budget;
+      continue;
+    }
+    acc += static_cast<double>(a) * static_cast<double>(a);
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace sidco::tensor

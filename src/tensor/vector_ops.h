@@ -1,0 +1,81 @@
+// Dense vector kernels shared by compressors, estimators and the NN library.
+//
+// All kernels are single linear passes over contiguous float data; they are
+// the building blocks whose O(d) cost the paper's complexity argument rests
+// on.  Accumulations are done in double to keep statistics stable for
+// d in the hundreds of millions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/sparse.h"
+
+namespace sidco::tensor {
+
+/// Sum of |x_i| / d — the exponential-fit MLE input.
+double mean_abs(std::span<const float> x);
+
+/// Sample mean.
+double mean(std::span<const float> x);
+
+/// Population variance (divides by n).
+double variance(std::span<const float> x);
+
+/// Mean and population variance of |x_i| in one pass.
+struct MeanVar {
+  double mean = 0.0;
+  double variance = 0.0;
+};
+MeanVar mean_var_abs(std::span<const float> x);
+
+/// Mean of log(|x_i|); zero elements are skipped (they carry no magnitude
+/// information and would produce -inf).  Returns the count actually used.
+struct LogMoment {
+  double mean_log = 0.0;
+  std::size_t used = 0;
+};
+LogMoment mean_log_abs(std::span<const float> x);
+
+/// max |x_i| (0 for empty input).
+float max_abs(std::span<const float> x);
+
+/// ||x||_2.
+double l2_norm(std::span<const float> x);
+
+/// Number of elements with |x_i| >= threshold.
+std::size_t count_at_least(std::span<const float> x, float threshold);
+
+/// y += a * x.
+void axpy(float a, std::span<const float> x, std::span<float> y);
+
+/// x *= a.
+void scale(std::span<float> x, float a);
+
+void fill(std::span<float> x, float value);
+
+/// Extracts {i : |x_i| >= threshold} into a SparseGradient.  `reserve_hint`
+/// pre-sizes the output (pass the expected k to avoid reallocation).
+SparseGradient extract_at_least(std::span<const float> x, float threshold,
+                                std::size_t reserve_hint = 0);
+
+/// Collects |x_i| for elements with |x_i| >= threshold (exceedance set used
+/// by multi-stage fitting).  Values are NOT shifted by the threshold.
+std::vector<float> abs_exceedances(std::span<const float> x, float threshold,
+                                   std::size_t reserve_hint = 0);
+
+/// Magnitude of the k-th largest |x_i| (exact selection, O(d) average).
+/// k must satisfy 1 <= k <= x.size().
+float kth_largest_abs(std::span<const float> x, std::size_t k);
+
+/// Exact Top-k sparsification: keeps the k elements of largest magnitude.
+/// Ties at the threshold are broken by index order so exactly k elements are
+/// returned.
+SparseGradient top_k(std::span<const float> x, std::size_t k);
+
+/// Sparsification error sigma_k(g) = ||g - T_k(g)||_2 (Definition 1, eq. 2).
+double sparsification_error(std::span<const float> x, std::size_t k);
+
+}  // namespace sidco::tensor

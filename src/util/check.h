@@ -1,0 +1,37 @@
+// Lightweight precondition / invariant checking.
+//
+// Following the Core Guidelines (I.6, E.12) we express contract violations as
+// exceptions carrying a readable message.  These checks are cheap enough to be
+// left on in release builds; hot loops use SIDCO_DCHECK which compiles away in
+// NDEBUG builds.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace sidco::util {
+
+/// Thrown when a precondition or invariant check fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Throws CheckError when `condition` is false.  `what` should describe the
+/// violated expectation, e.g. "ratio must be in (0, 1]".
+inline void check(bool condition, const std::string& what,
+                  std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw CheckError(std::string(loc.file_name()) + ":" +
+                     std::to_string(loc.line()) + ": check failed: " + what);
+  }
+}
+
+}  // namespace sidco::util
+
+#ifdef NDEBUG
+#define SIDCO_DCHECK(cond, what) (static_cast<void>(0))
+#else
+#define SIDCO_DCHECK(cond, what) ::sidco::util::check((cond), (what))
+#endif

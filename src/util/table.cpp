@@ -1,0 +1,112 @@
+#include "util/table.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace sidco::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  check(!header_.empty(), "table header must have at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  check(cells.size() == header_.size(),
+        "row arity must match header arity (" +
+            std::to_string(header_.size()) + " columns)");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  if (!title.empty()) os << "== " << title << " ==\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << std::left << std::setw(static_cast<int>(widths[c])) << row[c]
+         << " |";
+    }
+    os << '\n';
+  };
+  emit(header_);
+  os << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream os(path);
+  check(os.good(), "cannot open CSV output file: " + path);
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::optional<std::string> Table::maybe_write_csv(const std::string& name) const {
+  const char* dir = std::getenv("SIDCO_BENCH_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return std::nullopt;
+  std::filesystem::create_directories(dir);
+  std::string path = std::string(dir) + "/" + name + ".csv";
+  write_csv(path);
+  return path;
+}
+
+std::string format_double(double value, int digits) {
+  std::ostringstream ss;
+  ss << std::setprecision(digits) << value;
+  return ss.str();
+}
+
+std::string format_bytes(double bytes) {
+  static constexpr const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 4) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(unit == 0 ? 0 : 1) << bytes << ' '
+     << kUnits[unit];
+  return ss.str();
+}
+
+std::string format_speedup(double x) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(x < 10 ? 2 : 1) << x << 'x';
+  return ss.str();
+}
+
+}  // namespace sidco::util

@@ -1,0 +1,50 @@
+// Console table and CSV emission.
+//
+// Every bench binary prints the paper's rows as an aligned ASCII table; when
+// the environment variable SIDCO_BENCH_CSV_DIR is set, the same rows are also
+// written as CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sidco::util {
+
+/// Accumulates rows of string cells and prints them column-aligned.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows.
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with column alignment, `| a | b |` style.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  /// Writes header + rows as CSV to `path`.
+  void write_csv(const std::string& path) const;
+
+  /// If SIDCO_BENCH_CSV_DIR is set, writes `<dir>/<name>.csv` and returns the
+  /// path; otherwise does nothing.
+  std::optional<std::string> maybe_write_csv(const std::string& name) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with `digits` significant digits (bench-friendly widths).
+std::string format_double(double value, int digits = 4);
+
+/// Formats e.g. 1536 -> "1.5 KB", 26000000 -> "24.8 MB".
+std::string format_bytes(double bytes);
+
+/// Formats a ratio as a multiplier, e.g. 41.66 -> "41.7x".
+std::string format_speedup(double x);
+
+}  // namespace sidco::util

@@ -1,0 +1,200 @@
+// Baseline compressor behaviour: exact-k guarantees, estimation quality
+// envelopes, determinism, and the paper's characteristic failure modes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compressors/baselines.h"
+#include "core/factory.h"
+#include "stats/distributions.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sidco {
+namespace {
+
+std::vector<float> laplace_gradient(std::size_t n, double scale,
+                                    std::uint64_t seed) {
+  const stats::Laplace d(scale);
+  util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(d.sample(rng));
+  return v;
+}
+
+TEST(TopKCompressor, SelectsExactlyK) {
+  compressors::TopK topk(0.01);
+  const std::vector<float> g = laplace_gradient(100000, 0.001, 1);
+  const compressors::CompressResult r = topk.compress(g);
+  EXPECT_EQ(r.selected(), 1000U);
+  EXPECT_GT(r.threshold, 0.0);
+  // Every kept magnitude must be >= threshold.
+  for (float v : r.sparse.values) EXPECT_GE(std::fabs(v), r.threshold);
+}
+
+TEST(TopKCompressor, KeptMassDominatesDroppedMass) {
+  compressors::TopK topk(0.1);
+  const std::vector<float> g = laplace_gradient(20000, 0.01, 2);
+  const compressors::CompressResult r = topk.compress(g);
+  double kept = 0.0;
+  for (float v : r.sparse.values) kept += std::fabs(v);
+  double total = 0.0;
+  for (float v : g) total += std::fabs(v);
+  // Top 10% of a Laplace vector carries far more than 10% of the mass.
+  EXPECT_GT(kept / total, 0.3);
+}
+
+class DgcQuality : public ::testing::TestWithParam<double> {};
+
+TEST_P(DgcQuality, AchievedRatioCloseToTarget) {
+  const double delta = GetParam();
+  compressors::Dgc dgc(delta, /*seed=*/77);
+  const std::vector<float> g = laplace_gradient(200000, 0.001, 3);
+  const compressors::CompressResult r = dgc.compress(g);
+  const double achieved = r.achieved_ratio();
+  // DGC trims overshoot exactly; undershoot is bounded by sampling noise.
+  EXPECT_LE(achieved, delta * 1.05 + 1e-6);
+  EXPECT_GE(achieved, delta * 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, DgcQuality,
+                         ::testing::Values(0.1, 0.01, 0.001));
+
+TEST(Dgc, DeterministicForSameSeed) {
+  const std::vector<float> g = laplace_gradient(50000, 0.01, 4);
+  compressors::Dgc a(0.01, 123);
+  compressors::Dgc b(0.01, 123);
+  const auto ra = a.compress(g);
+  const auto rb = b.compress(g);
+  EXPECT_EQ(ra.sparse.indices, rb.sparse.indices);
+}
+
+TEST(RedSync, ProducesBoundedSelection) {
+  compressors::RedSync redsync(0.01);
+  const std::vector<float> g = laplace_gradient(100000, 0.001, 5);
+  const compressors::CompressResult r = redsync.compress(g);
+  EXPECT_GT(r.selected(), 0U);
+  EXPECT_LT(r.achieved_ratio(), 0.5);
+  EXPECT_GT(r.threshold, 0.0);
+}
+
+std::vector<float> heavy_tail_gradient(std::size_t n, std::uint64_t seed) {
+  // Signed GP(0.35) magnitudes: rare huge outliers, as gradients with error
+  // feedback accumulate in practice.
+  const stats::GeneralizedPareto d(0.35, 0.001, 0.0);
+  util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) {
+    const double m = d.sample(rng);
+    x = static_cast<float>(rng.uniform() < 0.5 ? -m : m);
+  }
+  return v;
+}
+
+TEST(RedSync, AggressiveRatioEstimateIsCoarseOnHeavyTails) {
+  // The defect the paper demonstrates: the mean/max interpolation inherits
+  // the scale of the maximum, so on heavy-tailed data the bounded search
+  // lands far from the target at delta = 0.001 for at least some inputs.
+  compressors::RedSync redsync(0.001, /*max_search_steps=*/6);
+  double worst = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    const std::vector<float> g =
+        heavy_tail_gradient(200000, 600 + static_cast<std::uint64_t>(i));
+    const compressors::CompressResult r = redsync.compress(g);
+    const double err = std::fabs(std::log(r.achieved_ratio() / 0.001));
+    worst = std::max(worst, err);
+  }
+  EXPECT_GT(worst, std::log(1.25)) << "worst log-error=" << worst;
+}
+
+TEST(GaussianKSgd, MisestimatesOnHeavyTailedData) {
+  // Outliers inflate the fitted sigma, pushing the Gaussian quantile far into
+  // the tail; the bounded refinement cannot fully recover at delta = 0.001.
+  compressors::GaussianKSgd gauss(0.001);
+  double worst = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    const std::vector<float> g =
+        heavy_tail_gradient(200000, 700 + static_cast<std::uint64_t>(i));
+    const compressors::CompressResult r = gauss.compress(g);
+    const double err = std::fabs(std::log(
+        std::max(r.achieved_ratio(), 1e-9) / 0.001));
+    worst = std::max(worst, err);
+  }
+  EXPECT_GT(worst, std::log(1.25)) << "worst log-error=" << worst;
+}
+
+TEST(GaussianKSgd, ExactOnGaussianDataAtModerateRatio) {
+  // Control case: on truly Gaussian data at delta = 0.1 the Gaussian fit is
+  // the right model and the estimate is good.
+  compressors::GaussianKSgd gauss(0.1, /*max_adjust_steps=*/0);
+  util::Rng rng(8);
+  std::vector<float> g(200000);
+  for (float& x : g) x = static_cast<float>(rng.normal(0.0, 0.01));
+  const compressors::CompressResult r = gauss.compress(g);
+  EXPECT_NEAR(r.achieved_ratio() / 0.1, 1.0, 0.1);
+}
+
+TEST(RandomK, ExactCountAndValidIndices) {
+  compressors::RandomK randomk(0.01, 99);
+  const std::vector<float> g = laplace_gradient(50000, 0.01, 9);
+  const compressors::CompressResult r = randomk.compress(g);
+  EXPECT_EQ(r.selected(), 500U);
+  for (std::size_t j = 0; j < r.sparse.nnz(); ++j) {
+    EXPECT_LT(r.sparse.indices[j], g.size());
+    EXPECT_EQ(r.sparse.values[j], g[r.sparse.indices[j]]);
+  }
+  // Indices must be unique (sorted ascending).
+  for (std::size_t j = 1; j < r.sparse.nnz(); ++j) {
+    EXPECT_LT(r.sparse.indices[j - 1], r.sparse.indices[j]);
+  }
+}
+
+TEST(HardThreshold, SelectsByMagnitude) {
+  compressors::HardThreshold hard(1.0, 0.5);
+  const std::vector<float> g = {0.4F, -0.6F, 0.5F, -0.1F};
+  const compressors::CompressResult r = hard.compress(g);
+  EXPECT_EQ(r.selected(), 2U);
+}
+
+TEST(NoCompression, IdentityRoundTrip) {
+  compressors::NoCompression none(1.0);
+  const std::vector<float> g = laplace_gradient(1000, 0.01, 10);
+  const compressors::CompressResult r = none.compress(g);
+  EXPECT_EQ(r.selected(), g.size());
+  EXPECT_EQ(r.sparse.to_dense(), g);
+}
+
+TEST(Factory, BuildsEverySchemeWithPaperNames) {
+  const std::pair<core::Scheme, std::string_view> expected[] = {
+      {core::Scheme::kNone, "NoComp"},
+      {core::Scheme::kTopK, "Topk"},
+      {core::Scheme::kDgc, "DGC"},
+      {core::Scheme::kRedSync, "RedSync"},
+      {core::Scheme::kGaussianKSgd, "GaussK"},
+      {core::Scheme::kRandomK, "Randomk"},
+      {core::Scheme::kSidcoExponential, "SIDCo-E"},
+      {core::Scheme::kSidcoGammaPareto, "SIDCo-GP"},
+      {core::Scheme::kSidcoPareto, "SIDCo-P"},
+  };
+  for (const auto& [scheme, name] : expected) {
+    const auto compressor = core::make_compressor(scheme, 0.01);
+    ASSERT_NE(compressor, nullptr);
+    EXPECT_EQ(compressor->name(), name);
+    EXPECT_EQ(core::scheme_name(scheme), name);
+    EXPECT_DOUBLE_EQ(compressor->target_ratio(), 0.01);
+  }
+}
+
+TEST(Factory, TargetKClampsToValidRange) {
+  const auto topk = core::make_compressor(core::Scheme::kTopK, 0.001);
+  EXPECT_EQ(topk->target_k(10), 1U);       // floor at 1
+  EXPECT_EQ(topk->target_k(100000), 100U); // round(0.001 * 1e5)
+}
+
+TEST(Compressor, RejectsInvalidRatio) {
+  EXPECT_THROW(compressors::TopK(0.0), util::CheckError);
+  EXPECT_THROW(compressors::TopK(1.5), util::CheckError);
+}
+
+}  // namespace
+}  // namespace sidco

@@ -1,0 +1,259 @@
+// Core threshold-estimation properties (Lemma 1, Corollaries 1.1-1.3,
+// Lemma 2): on data genuinely drawn from a SID, the estimated threshold
+// selects ~delta * d elements; multi-stage fitting fixes the far tail.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/stage_controller.h"
+#include "core/threshold_estimator.h"
+#include "core/sidco_compressor.h"
+#include "stats/distributions.h"
+#include "tensor/vector_ops.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sidco {
+namespace {
+
+template <typename Dist>
+std::vector<float> magnitudes(const Dist& dist, std::size_t n,
+                              std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> out(n);
+  for (float& x : out) x = static_cast<float>(dist.sample(rng));
+  return out;
+}
+
+double selection_ratio(std::span<const float> mags, double eta) {
+  return static_cast<double>(
+             tensor::count_at_least(mags, static_cast<float>(eta))) /
+         static_cast<double>(mags.size());
+}
+
+// --- Single-stage estimators on matched data --------------------------------
+
+class SingleStageMatched
+    : public ::testing::TestWithParam<std::tuple<core::Sid, double>> {};
+
+TEST_P(SingleStageMatched, SelectsTargetFraction) {
+  const auto [sid, delta] = GetParam();
+  std::vector<float> mags;
+  switch (sid) {
+    case core::Sid::kExponential:
+      mags = magnitudes(stats::Exponential(0.003), 400000, 41);
+      break;
+    case core::Sid::kGamma:
+      mags = magnitudes(stats::Gamma(0.8, 0.004), 400000, 42);
+      break;
+    case core::Sid::kGeneralizedPareto:
+      mags = magnitudes(stats::GeneralizedPareto(0.15, 0.002, 0.0), 400000, 43);
+      break;
+  }
+  const core::ThresholdEstimate est =
+      core::estimate_first_stage(sid, mags, delta);
+  const double achieved = selection_ratio(mags, est.threshold);
+  // Single-stage on matched data: within 35% at moderate ratios (the paper's
+  // motivation for multi-stage is that this degrades as delta -> 0).
+  EXPECT_NEAR(achieved / delta, 1.0, 0.35)
+      << core::sid_name(sid) << " delta=" << delta;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SidsByRatio, SingleStageMatched,
+    ::testing::Combine(::testing::Values(core::Sid::kExponential,
+                                         core::Sid::kGamma,
+                                         core::Sid::kGeneralizedPareto),
+                       ::testing::Values(0.1, 0.05, 0.01)));
+
+// --- Multi-stage improves the far tail ---------------------------------------
+
+TEST(MultiStage, TailStageMatchesMemorylessExponential) {
+  // For exponential data the two-stage threshold must essentially equal the
+  // single-stage one (memorylessness): eta = beta log(1/d1) + beta log(1/d2).
+  const std::vector<float> mags = magnitudes(stats::Exponential(1.0), 500000, 47);
+  const double delta = 0.001;
+  const core::ThresholdEstimate one =
+      core::estimate_first_stage(core::Sid::kExponential, mags, delta);
+  const core::ThresholdEstimate stage1 =
+      core::estimate_first_stage(core::Sid::kExponential, mags, 0.25);
+  const std::vector<float> tail = tensor::abs_exceedances(
+      mags, static_cast<float>(stage1.threshold), 1000);
+  const core::ThresholdEstimate stage2 = core::estimate_tail_stage(
+      core::Sid::kExponential, tail, stage1.threshold, delta / 0.25);
+  EXPECT_NEAR(stage2.threshold, one.threshold, 0.05 * one.threshold);
+  const double achieved = selection_ratio(mags, stage2.threshold);
+  EXPECT_NEAR(achieved / delta, 1.0, 0.25);
+}
+
+TEST(MultiStage, ImprovesAggressiveRatioOnMismatchedData) {
+  // Gamma(alpha<1) magnitudes fitted by an exponential: single-stage
+  // misplaces the far tail; a second PoT stage must get closer.
+  const std::vector<float> mags = magnitudes(stats::Gamma(0.5, 1.0), 500000, 53);
+  const double delta = 0.001;
+  const core::ThresholdEstimate single =
+      core::estimate_first_stage(core::Sid::kExponential, mags, delta);
+  const double single_err =
+      std::fabs(std::log(selection_ratio(mags, single.threshold) / delta));
+
+  const core::ThresholdEstimate stage1 =
+      core::estimate_first_stage(core::Sid::kExponential, mags, 0.25);
+  std::vector<float> tail = tensor::abs_exceedances(
+      mags, static_cast<float>(stage1.threshold), 1000);
+  const core::ThresholdEstimate stage2 = core::estimate_tail_stage(
+      core::Sid::kExponential, tail, stage1.threshold, 0.25);
+  tail = tensor::abs_exceedances(mags, static_cast<float>(stage2.threshold),
+                                 1000);
+  const core::ThresholdEstimate stage3 = core::estimate_tail_stage(
+      core::Sid::kExponential, tail, stage2.threshold,
+      delta / (0.25 * 0.25));
+  const double multi_err =
+      std::fabs(std::log(selection_ratio(mags, stage3.threshold) / delta));
+  EXPECT_LT(multi_err, single_err);
+  EXPECT_NEAR(selection_ratio(mags, stage3.threshold) / delta, 1.0, 0.4);
+}
+
+TEST(GammaThreshold, ClosedFormAgreesWithExactQuantileNearShapeOne) {
+  const std::vector<float> mags = magnitudes(stats::Gamma(0.95, 0.01), 300000, 59);
+  const core::ThresholdEstimate closed = core::estimate_first_stage(
+      core::Sid::kGamma, mags, 0.01, core::GammaThresholdMode::kClosedForm);
+  const core::ThresholdEstimate exact = core::estimate_first_stage(
+      core::Sid::kGamma, mags, 0.01, core::GammaThresholdMode::kExactQuantile);
+  EXPECT_NEAR(closed.threshold, exact.threshold, 0.1 * exact.threshold);
+}
+
+TEST(Estimators, RejectBadInputs) {
+  const std::vector<float> empty;
+  EXPECT_THROW(
+      core::estimate_first_stage(core::Sid::kExponential, empty, 0.01),
+      util::CheckError);
+  const std::vector<float> some = {1.0F, 2.0F};
+  EXPECT_THROW(core::estimate_first_stage(core::Sid::kExponential, some, 0.0),
+               util::CheckError);
+  EXPECT_THROW(core::estimate_first_stage(core::Sid::kExponential, some, 1.0),
+               util::CheckError);
+}
+
+// --- Stage ratio planning -----------------------------------------------------
+
+TEST(StagePlanning, ProductEqualsTarget) {
+  for (double target : {0.1, 0.01, 0.001, 0.0001}) {
+    for (int stages : {1, 2, 3, 5, 8}) {
+      const std::vector<double> plan =
+          core::SidcoCompressor::plan_stage_ratios(target, 0.25, stages);
+      double product = 1.0;
+      for (double r : plan) {
+        EXPECT_GT(r, 0.0);
+        EXPECT_LT(r, 1.0 + 1e-12);
+        product *= r;
+      }
+      EXPECT_NEAR(product, target, 1e-12)
+          << "target=" << target << " stages=" << stages;
+      EXPECT_LE(static_cast<int>(plan.size()), stages);
+    }
+  }
+}
+
+TEST(StagePlanning, CapsUnusableStages) {
+  // target 0.1 with delta1 = 0.25 supports at most 2 stages (0.25 * 0.4).
+  const std::vector<double> plan =
+      core::SidcoCompressor::plan_stage_ratios(0.1, 0.25, 8);
+  EXPECT_LE(plan.size(), 2U);
+}
+
+// --- Stage controller ---------------------------------------------------------
+
+TEST(StageController, AdaptiveFirstMoveIsUpOnOverSelection) {
+  core::StageControllerConfig config;
+  config.period = 5;
+  core::StageController controller(config);
+  EXPECT_EQ(controller.stages(), 1);
+  for (int i = 0; i < 5; ++i) controller.observe(2.0, 1.0);  // 2x over
+  EXPECT_EQ(controller.stages(), 2);
+  // Same error again: not worse, keep climbing up.
+  for (int i = 0; i < 5; ++i) controller.observe(2.0, 1.0);
+  EXPECT_EQ(controller.stages(), 3);
+}
+
+TEST(StageController, AdaptiveFirstMoveIsUpOnUnderSelectionToo) {
+  // Under-selection also benefits from deeper tail fits (the closed-form
+  // gamma threshold under-selects at single stage).
+  core::StageControllerConfig config;
+  config.initial_stages = 2;
+  config.period = 5;
+  core::StageController controller(config);
+  for (int i = 0; i < 5; ++i) controller.observe(0.5, 1.0);
+  EXPECT_EQ(controller.stages(), 3);
+}
+
+TEST(StageController, AdaptiveReversesWhenErrorWorsens) {
+  core::StageControllerConfig config;
+  config.initial_stages = 2;
+  config.period = 1;
+  core::StageController controller(config);
+  controller.observe(2.0, 1.0);  // err log2 -> first move up: 3
+  EXPECT_EQ(controller.stages(), 3);
+  controller.observe(4.0, 1.0);  // worse -> reverse: 2
+  EXPECT_EQ(controller.stages(), 2);
+  controller.observe(2.0, 1.0);  // improved -> keep direction down: 1
+  EXPECT_EQ(controller.stages(), 1);
+}
+
+TEST(StageController, AdaptiveResetsDirectionAfterSettling) {
+  core::StageControllerConfig config;
+  config.initial_stages = 3;
+  config.period = 1;
+  core::StageController controller(config);
+  controller.observe(2.0, 1.0);   // up: 4
+  controller.observe(4.0, 1.0);   // worse -> down: 3
+  controller.observe(1.0, 1.0);   // in band: settle, reset direction
+  EXPECT_EQ(controller.stages(), 3);
+  controller.observe(3.0, 1.0);   // violation again -> first move up
+  EXPECT_EQ(controller.stages(), 4);
+}
+
+TEST(StageController, HoldsWithinToleranceBand) {
+  core::StageControllerConfig config;
+  config.initial_stages = 3;
+  config.period = 5;
+  config.epsilon_high = 0.2;
+  config.epsilon_low = 0.2;
+  core::StageController controller(config);
+  for (int i = 0; i < 25; ++i) controller.observe(1.1, 1.0);  // within band
+  EXPECT_EQ(controller.stages(), 3);
+}
+
+TEST(StageController, ClampsToValidRange) {
+  core::StageControllerConfig config;
+  config.period = 1;
+  config.max_stages = 3;
+  core::StageController controller(config);
+  // Constant over-selection: climbs to max and stays clamped there.
+  for (int i = 0; i < 20; ++i) controller.observe(10.0, 1.0);
+  EXPECT_EQ(controller.stages(), 3);
+}
+
+TEST(StageController, PaperPseudocodeMatchesPrintedRules) {
+  core::StageControllerConfig config;
+  config.initial_stages = 2;
+  config.period = 1;
+  config.policy = core::StagePolicy::kPaperPseudocode;
+  core::StageController controller(config);
+  controller.observe(10.0, 1.0);  // over-selection -> M - 1 as printed
+  EXPECT_EQ(controller.stages(), 1);
+  controller.observe(0.1, 1.0);   // under-selection -> M + 1 as printed
+  EXPECT_EQ(controller.stages(), 2);
+  controller.observe(1.0, 1.0);   // in band -> unchanged
+  EXPECT_EQ(controller.stages(), 2);
+}
+
+TEST(StageController, ToleranceIsMaxOfBounds) {
+  core::StageControllerConfig config;
+  config.epsilon_high = 0.2;
+  config.epsilon_low = 0.1;
+  core::StageController controller(config);
+  EXPECT_DOUBLE_EQ(controller.tolerance(), 0.2);
+}
+
+}  // namespace
+}  // namespace sidco

@@ -1,0 +1,176 @@
+// Dataset contracts: shapes, label ranges, determinism of eval batches,
+// distinctness of worker streams, and learnable structure.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "data/factory.h"
+#include "nn/zoo.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sidco {
+namespace {
+
+class DatasetContract : public ::testing::TestWithParam<nn::Benchmark> {};
+
+TEST_P(DatasetContract, ShapesMatchSpec) {
+  const nn::Benchmark benchmark = GetParam();
+  const nn::BenchmarkSpec& spec = nn::benchmark_spec(benchmark);
+  const auto dataset = data::make_dataset(benchmark, 11);
+  EXPECT_EQ(dataset->input_features(), spec.input_features);
+  EXPECT_EQ(dataset->classes(), spec.classes);
+  const std::size_t lps = spec.time_steps == 0 ? 1 : spec.time_steps;
+  EXPECT_EQ(dataset->labels_per_sample(), lps);
+
+  util::Rng rng(1);
+  const data::Batch batch = dataset->sample(4, rng);
+  EXPECT_EQ(batch.inputs.size(), 4 * spec.input_features);
+  EXPECT_EQ(batch.labels.size(), 4 * lps);
+  for (int label : batch.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, static_cast<int>(spec.classes));
+  }
+}
+
+TEST_P(DatasetContract, EvalBatchesAreDeterministic) {
+  const nn::Benchmark benchmark = GetParam();
+  const auto dataset = data::make_dataset(benchmark, 11);
+  const data::Batch a = dataset->eval_batch(4, 2);
+  const data::Batch b = dataset->eval_batch(4, 2);
+  EXPECT_EQ(a.inputs, b.inputs);
+  EXPECT_EQ(a.labels, b.labels);
+  const data::Batch c = dataset->eval_batch(4, 3);
+  EXPECT_NE(a.inputs, c.inputs);
+}
+
+TEST_P(DatasetContract, DistinctRngStreamsGiveDistinctBatches) {
+  const nn::Benchmark benchmark = GetParam();
+  const auto dataset = data::make_dataset(benchmark, 11);
+  util::Rng rng_a(100);
+  util::Rng rng_b(200);
+  const data::Batch a = dataset->sample(4, rng_a);
+  const data::Batch b = dataset->sample(4, rng_b);
+  EXPECT_NE(a.inputs, b.inputs);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, DatasetContract,
+                         ::testing::ValuesIn(nn::kAllBenchmarks));
+
+TEST(SyntheticImages, ClassesAreSeparable) {
+  // Same-class samples must correlate more than cross-class samples.
+  const data::SyntheticImages images(4, 3, 8, 8, 55, /*noise=*/0.1);
+  util::Rng rng(5);
+  std::map<int, std::vector<float>> by_class;
+  for (int tries = 0; tries < 200 && by_class.size() < 4; ++tries) {
+    const data::Batch b = images.sample(1, rng);
+    if (by_class.find(b.labels[0]) == by_class.end()) {
+      by_class[b.labels[0]] = b.inputs;
+    }
+  }
+  ASSERT_EQ(by_class.size(), 4U);
+  auto correlation = [](const std::vector<float>& x,
+                        const std::vector<float>& y) {
+    double xy = 0.0;
+    double xx = 0.0;
+    double yy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      xy += static_cast<double>(x[i]) * y[i];
+      xx += static_cast<double>(x[i]) * x[i];
+      yy += static_cast<double>(y[i]) * y[i];
+    }
+    return xy / std::sqrt(xx * yy + 1e-12);
+  };
+  // Two fresh samples of class 0 vs a class-0 and class-1 reference.
+  util::Rng rng2(6);
+  std::vector<float> same;
+  for (int tries = 0; tries < 400; ++tries) {
+    const data::Batch b = images.sample(1, rng2);
+    if (b.labels[0] == 0) {
+      same = b.inputs;
+      break;
+    }
+  }
+  ASSERT_FALSE(same.empty());
+  const double corr_same = correlation(same, by_class[0]);
+  const double corr_diff = correlation(same, by_class[1]);
+  EXPECT_GT(corr_same, corr_diff + 0.2);
+}
+
+TEST(MarkovTextCorpus, TransitionsArePredictable) {
+  // Empirical successor entropy must be far below log2(V) — otherwise the LM
+  // task would be unlearnable.
+  const data::MarkovTextCorpus corpus(32, 8, 77);
+  util::Rng rng(9);
+  std::map<std::pair<int, int>, int> bigrams;
+  std::map<int, int> unigrams;
+  for (int i = 0; i < 3000; ++i) {
+    const data::Batch b = corpus.sample(1, rng);
+    for (std::size_t t = 0; t + 1 < 8; ++t) {
+      const int cur = b.labels[t];
+      const int nxt = b.labels[t + 1];
+      ++bigrams[{cur, nxt}];
+      ++unigrams[cur];
+    }
+  }
+  double entropy = 0.0;
+  double total = 0.0;
+  for (const auto& [bigram, count] : bigrams) {
+    const double p_joint = count;
+    const double p_cond =
+        static_cast<double>(count) / unigrams[bigram.first];
+    entropy -= p_joint * std::log2(p_cond);
+    total += p_joint;
+  }
+  entropy /= total;
+  EXPECT_LT(entropy, 0.7 * std::log2(32.0)) << "conditional entropy too high";
+}
+
+TEST(SyntheticSpeech, FramesFollowLabels) {
+  const data::SyntheticSpeech speech(6, 10, 8, 88, /*noise=*/0.05);
+  util::Rng rng(10);
+  const data::Batch b = speech.sample(2, rng);
+  // Frames with the same label must be closer than frames with different
+  // labels (low noise makes prototypes dominate).
+  double same_dist = 0.0;
+  int same_n = 0;
+  double diff_dist = 0.0;
+  int diff_n = 0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = i + 1; j < 10; ++j) {
+      double dist = 0.0;
+      for (std::size_t f = 0; f < 8; ++f) {
+        const double d = b.inputs[i * 8 + f] - b.inputs[j * 8 + f];
+        dist += d * d;
+      }
+      if (b.labels[i] == b.labels[j]) {
+        same_dist += dist;
+        ++same_n;
+      } else {
+        diff_dist += dist;
+        ++diff_n;
+      }
+    }
+  }
+  if (same_n > 0 && diff_n > 0) {
+    EXPECT_LT(same_dist / same_n, diff_dist / diff_n);
+  }
+}
+
+TEST(SyntheticSpeech, SelfTransitionControlsSegmentLength) {
+  const data::SyntheticSpeech sticky(6, 50, 4, 99, 0.1, /*self=*/0.95);
+  const data::SyntheticSpeech jumpy(6, 50, 4, 99, 0.1, /*self=*/0.05);
+  util::Rng rng_a(1);
+  util::Rng rng_b(1);
+  auto switches = [](const data::Batch& b) {
+    int n = 0;
+    for (std::size_t t = 1; t < 50; ++t) {
+      n += (b.labels[t] != b.labels[t - 1]) ? 1 : 0;
+    }
+    return n;
+  };
+  EXPECT_LT(switches(sticky.sample(1, rng_a)), switches(jumpy.sample(1, rng_b)));
+}
+
+}  // namespace
+}  // namespace sidco

@@ -1,0 +1,123 @@
+// Metrics layer: estimation quality CIs, speed-up normalization conventions,
+// time-to-quality, series downsampling.
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.h"
+
+namespace sidco {
+namespace {
+
+dist::SessionResult fake_session(double target_ratio, double achieved_ratio,
+                                 double quality, bool higher_better,
+                                 double seconds_per_iter, std::size_t iters) {
+  dist::SessionResult r;
+  r.config.target_ratio = target_ratio;
+  r.config.benchmark = nn::Benchmark::kVgg16;
+  r.config.workers = 8;
+  r.gradient_dimension = 1000;
+  for (std::size_t i = 0; i < iters; ++i) {
+    dist::IterationRecord it;
+    it.achieved_ratio = achieved_ratio;
+    it.compute_seconds = seconds_per_iter;
+    r.iterations.push_back(it);
+    r.total_modeled_seconds += it.wall_seconds();
+  }
+  r.final_quality = quality;
+  r.quality_higher_is_better = higher_better;
+  r.evals.push_back({.iteration = iters, .loss = 0.0, .accuracy = quality,
+                     .quality = quality});
+  return r;
+}
+
+TEST(EstimationQuality, PerfectEstimatorScoresOne) {
+  const auto session = fake_session(0.01, 0.01, 0.8, true, 1.0, 50);
+  const metrics::EstimationQuality q = metrics::estimation_quality(session);
+  EXPECT_NEAR(q.mean_normalized_ratio, 1.0, 1e-12);
+  EXPECT_NEAR(q.ci_lower, 1.0, 1e-9);
+  EXPECT_NEAR(q.ci_upper, 1.0, 1e-9);
+}
+
+TEST(EstimationQuality, UnderEstimatorScoresBelowOne) {
+  const auto session = fake_session(0.001, 0.00001, 0.8, true, 1.0, 50);
+  const metrics::EstimationQuality q = metrics::estimation_quality(session);
+  EXPECT_NEAR(q.mean_normalized_ratio, 0.01, 1e-9);
+}
+
+TEST(Speedup, FasterSameQualityScoresProportionally) {
+  const auto baseline = fake_session(1.0, 1.0, 0.8, true, 10.0, 10);
+  const auto fast = fake_session(0.01, 0.01, 0.8, true, 1.0, 10);
+  EXPECT_NEAR(metrics::normalized_speedup(fast, baseline), 10.0, 1e-9);
+}
+
+TEST(Speedup, HigherQualitySameTimeScoresAboveOne) {
+  const auto baseline = fake_session(1.0, 1.0, 0.4, true, 1.0, 10);
+  const auto better = fake_session(0.01, 0.01, 0.8, true, 1.0, 10);
+  EXPECT_NEAR(metrics::normalized_speedup(better, baseline), 2.0, 1e-9);
+}
+
+TEST(Speedup, DivergedRunScoresZero) {
+  const auto baseline = fake_session(1.0, 1.0, 0.8, true, 1.0, 10);
+  const auto diverged = fake_session(0.001, 0.001, 0.05, true, 0.1, 10);
+  EXPECT_DOUBLE_EQ(metrics::normalized_speedup(diverged, baseline), 0.0);
+}
+
+TEST(Speedup, LowerIsBetterMetricsAreInverted) {
+  // Perplexity 10 vs 20: the lower one is better, and with equal time the
+  // speed-up is 2x.
+  const auto baseline = fake_session(1.0, 1.0, 20.0, false, 1.0, 10);
+  const auto session = fake_session(0.01, 0.01, 10.0, false, 1.0, 10);
+  EXPECT_NEAR(metrics::normalized_speedup(session, baseline), 2.0, 1e-9);
+}
+
+TEST(Throughput, NormalizesBySamplesPerSecond) {
+  const auto baseline = fake_session(1.0, 1.0, 0.8, true, 10.0, 10);
+  const auto fast = fake_session(0.01, 0.01, 0.8, true, 2.0, 10);
+  EXPECT_NEAR(metrics::normalized_throughput(fast, baseline), 5.0, 1e-9);
+}
+
+TEST(TimeToQuality, FindsFirstCrossing) {
+  auto session = fake_session(0.01, 0.01, 0.9, true, 1.0, 10);
+  session.evals.clear();
+  session.evals.push_back({.iteration = 5, .loss = 0, .accuracy = 0.5,
+                           .quality = 0.5});
+  session.evals.push_back({.iteration = 10, .loss = 0, .accuracy = 0.9,
+                           .quality = 0.9});
+  EXPECT_NEAR(metrics::time_to_quality(session, 0.4), 5.0, 1e-9);
+  EXPECT_NEAR(metrics::time_to_quality(session, 0.8), 10.0, 1e-9);
+  EXPECT_LT(metrics::time_to_quality(session, 0.95), 0.0);  // never reached
+}
+
+TEST(TimeToQuality, LowerIsBetterDirection) {
+  auto session = fake_session(0.01, 0.01, 10.0, false, 1.0, 10);
+  session.evals.clear();
+  session.evals.push_back({.iteration = 4, .loss = 0, .accuracy = 0,
+                           .quality = 50.0});
+  session.evals.push_back({.iteration = 8, .loss = 0, .accuracy = 0,
+                           .quality = 9.0});
+  EXPECT_NEAR(metrics::time_to_quality(session, 10.0), 8.0, 1e-9);
+}
+
+TEST(Downsample, PreservesEndpoints) {
+  std::vector<double> series(100);
+  for (std::size_t i = 0; i < 100; ++i) series[i] = static_cast<double>(i);
+  const auto points = metrics::downsample(series, 5);
+  ASSERT_EQ(points.size(), 5U);
+  EXPECT_EQ(points.front().first, 0U);
+  EXPECT_EQ(points.back().first, 99U);
+  EXPECT_DOUBLE_EQ(points.back().second, 99.0);
+}
+
+TEST(Downsample, ShortSeriesPassesThrough) {
+  const std::vector<double> series = {1.0, 2.0, 3.0};
+  const auto points = metrics::downsample(series, 10);
+  EXPECT_EQ(points.size(), 3U);
+}
+
+TEST(SessionResult, ThroughputUsesSpecBatchAndWorkers) {
+  const auto session = fake_session(0.01, 0.01, 0.8, true, 2.0, 10);
+  // VGG16 spec batch = 16, 8 workers, 2 s/iter -> 64 samples/s.
+  EXPECT_NEAR(session.throughput_samples_per_second(), 64.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sidco

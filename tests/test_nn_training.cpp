@@ -1,0 +1,184 @@
+// Learning sanity: single-process SGD on the synthetic tasks must reduce the
+// loss and beat chance accuracy; optimizer mechanics (momentum, Nesterov,
+// clipping, schedule) behave as specified.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "data/factory.h"
+#include "nn/dense.h"
+#include "nn/loss.h"
+#include "nn/model.h"
+#include "nn/optimizer.h"
+#include "nn/zoo.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sidco {
+namespace {
+
+struct TrainOutcome {
+  double first_loss = 0.0;
+  double last_loss = 0.0;
+  double final_accuracy = 0.0;
+};
+
+TrainOutcome train_locally(nn::Benchmark benchmark, std::size_t iterations,
+                           std::size_t batch) {
+  const nn::BenchmarkSpec& spec = nn::benchmark_spec(benchmark);
+  nn::Model model = nn::make_model(benchmark, 123);
+  auto dataset = data::make_dataset(benchmark, 321);
+  nn::SgdOptimizer optimizer(spec.optimizer);
+  util::Rng rng(7);
+
+  TrainOutcome outcome;
+  std::vector<float> dlogits;
+  for (std::size_t i = 0; i < iterations; ++i) {
+    const data::Batch b = dataset->sample(batch, rng);
+    model.zero_gradients();
+    const std::span<const float> logits = model.forward(b.inputs, batch);
+    dlogits.resize(logits.size());
+    const nn::LossResult loss =
+        nn::softmax_cross_entropy(logits, b.labels, spec.classes, dlogits);
+    model.backward(dlogits);
+    optimizer.step(model.parameters(), model.gradients());
+    if (i == 0) outcome.first_loss = loss.loss;
+    outcome.last_loss = loss.loss;
+    outcome.final_accuracy = loss.accuracy;
+  }
+  return outcome;
+}
+
+class LearnsTask : public ::testing::TestWithParam<nn::Benchmark> {};
+
+TEST_P(LearnsTask, LossDropsAndBeatsChance) {
+  const nn::Benchmark benchmark = GetParam();
+  const nn::BenchmarkSpec& spec = nn::benchmark_spec(benchmark);
+  // Recurrent models ramp slower at the tuned (stable) learning rates.
+  const std::size_t iterations = spec.time_steps == 0 ? 120 : 280;
+  const TrainOutcome outcome = train_locally(benchmark, iterations, 8);
+  EXPECT_LT(outcome.last_loss, outcome.first_loss * 0.9)
+      << spec.name << ": loss did not decrease";
+  const double chance = 1.0 / static_cast<double>(spec.classes);
+  EXPECT_GT(outcome.final_accuracy, chance * 1.5)
+      << spec.name << ": accuracy not above chance";
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, LearnsTask,
+                         ::testing::Values(nn::Benchmark::kResNet20,
+                                           nn::Benchmark::kVgg16,
+                                           nn::Benchmark::kLstmPtb,
+                                           nn::Benchmark::kLstmAn4));
+
+TEST(Optimizer, VanillaSgdStep) {
+  nn::OptimizerConfig config;
+  config.learning_rate = 0.5;
+  nn::SgdOptimizer opt(config);
+  std::vector<float> params = {1.0F, 2.0F};
+  const std::vector<float> grad = {0.2F, -0.4F};
+  opt.step(params, grad);
+  EXPECT_FLOAT_EQ(params[0], 0.9F);
+  EXPECT_FLOAT_EQ(params[1], 2.2F);
+}
+
+TEST(Optimizer, MomentumAccumulates) {
+  nn::OptimizerConfig config;
+  config.learning_rate = 1.0;
+  config.momentum = 0.5;
+  nn::SgdOptimizer opt(config);
+  std::vector<float> params = {0.0F};
+  const std::vector<float> grad = {1.0F};
+  opt.step(params, grad);  // v = 1, p = -1
+  EXPECT_FLOAT_EQ(params[0], -1.0F);
+  opt.step(params, grad);  // v = 1.5, p = -2.5
+  EXPECT_FLOAT_EQ(params[0], -2.5F);
+}
+
+TEST(Optimizer, NesterovLookahead) {
+  nn::OptimizerConfig config;
+  config.learning_rate = 1.0;
+  config.momentum = 0.5;
+  config.nesterov = true;
+  nn::SgdOptimizer opt(config);
+  std::vector<float> params = {0.0F};
+  const std::vector<float> grad = {1.0F};
+  opt.step(params, grad);  // v = 1; update = g + mu v = 1.5
+  EXPECT_FLOAT_EQ(params[0], -1.5F);
+}
+
+TEST(Optimizer, ClippingBoundsGlobalNorm) {
+  nn::OptimizerConfig config;
+  config.learning_rate = 1.0;
+  config.clip_norm = 1.0;
+  nn::SgdOptimizer opt(config);
+  std::vector<float> params = {0.0F, 0.0F};
+  const std::vector<float> grad = {3.0F, 4.0F};  // norm 5 -> scaled by 1/5
+  opt.step(params, grad);
+  EXPECT_NEAR(params[0], -0.6F, 1e-6);
+  EXPECT_NEAR(params[1], -0.8F, 1e-6);
+}
+
+TEST(Optimizer, WeightDecayAddsToGradient) {
+  nn::OptimizerConfig config;
+  config.learning_rate = 1.0;
+  config.weight_decay = 0.1;
+  nn::SgdOptimizer opt(config);
+  std::vector<float> params = {2.0F};
+  const std::vector<float> grad = {0.0F};
+  opt.step(params, grad);  // effective grad = 0.2
+  EXPECT_NEAR(params[0], 1.8F, 1e-6);
+}
+
+TEST(Optimizer, RejectsBadConfig) {
+  nn::OptimizerConfig config;
+  config.learning_rate = 0.0;
+  EXPECT_THROW(nn::SgdOptimizer{config}, util::CheckError);
+  config.learning_rate = 0.1;
+  config.nesterov = true;  // without momentum
+  EXPECT_THROW(nn::SgdOptimizer{config}, util::CheckError);
+}
+
+TEST(Schedule, WarmupRampsThenHolds) {
+  const nn::LearningRateSchedule schedule(1.0, 10);
+  EXPECT_LT(schedule.at(0), 0.25);
+  EXPECT_NEAR(schedule.at(9), 1.0, 1e-9);
+  EXPECT_NEAR(schedule.at(100), 1.0, 1e-9);
+}
+
+TEST(Schedule, DecaySteps) {
+  const nn::LearningRateSchedule schedule(1.0, 0, /*decay_every=*/10,
+                                          /*decay_factor=*/0.5);
+  EXPECT_NEAR(schedule.at(5), 1.0, 1e-12);
+  EXPECT_NEAR(schedule.at(10), 0.5, 1e-12);
+  EXPECT_NEAR(schedule.at(25), 0.25, 1e-12);
+}
+
+TEST(Loss, PerfectPredictionHasLowLossAndFullAccuracy) {
+  // Two rows, three classes; logits strongly favor the labels.
+  const std::vector<float> logits = {10.0F, 0.0F, 0.0F, 0.0F, 0.0F, 10.0F};
+  const std::vector<int> labels = {0, 2};
+  const nn::LossResult r = nn::softmax_cross_entropy_eval(logits, labels, 3);
+  EXPECT_LT(r.loss, 1e-3);
+  EXPECT_DOUBLE_EQ(r.accuracy, 1.0);
+}
+
+TEST(Loss, GradientSumsToZeroPerRow) {
+  const std::vector<float> logits = {0.3F, -0.2F, 1.0F};
+  const std::vector<int> labels = {1};
+  std::vector<float> dlogits(3);
+  nn::softmax_cross_entropy(logits, labels, 3, dlogits);
+  EXPECT_NEAR(dlogits[0] + dlogits[1] + dlogits[2], 0.0, 1e-6);
+  EXPECT_LT(dlogits[1], 0.0);  // true class pushes up
+}
+
+TEST(Loss, UniformLogitsGiveLogCClassLoss) {
+  const std::vector<float> logits(8, 0.0F);
+  const std::vector<int> labels = {3};
+  const nn::LossResult r = nn::softmax_cross_entropy_eval(logits, labels, 8);
+  EXPECT_NEAR(r.loss, std::log(8.0), 1e-6);
+  EXPECT_NEAR(nn::perplexity(r.loss), 8.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace sidco

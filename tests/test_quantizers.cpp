@@ -1,0 +1,109 @@
+// Quantizer baselines: volume accounting, sign/scale correctness, QSGD
+// unbiasedness and level monotonicity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compressors/quantizers.h"
+#include "stats/distributions.h"
+#include "tensor/vector_ops.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sidco {
+namespace {
+
+std::vector<float> laplace_vector(std::size_t n, std::uint64_t seed) {
+  const stats::Laplace d(0.01);
+  util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(d.sample(rng));
+  return v;
+}
+
+TEST(SignSgd, SignsAndScalePreserved) {
+  compressors::SignSgd sign;
+  const std::vector<float> g = {1.0F, -2.0F, 0.5F, -0.5F};
+  const compressors::QuantizeResult r = sign.quantize(g);
+  ASSERT_EQ(r.dequantized.size(), 4U);
+  const float scale = 1.0F;  // mean |g| = (1+2+0.5+0.5)/4
+  EXPECT_FLOAT_EQ(r.dequantized[0], scale);
+  EXPECT_FLOAT_EQ(r.dequantized[1], -scale);
+  EXPECT_FLOAT_EQ(r.dequantized[2], scale);
+  EXPECT_FLOAT_EQ(r.dequantized[3], -scale);
+}
+
+TEST(SignSgd, VolumeIsOneBitPerElement) {
+  compressors::SignSgd sign;
+  const std::vector<float> g = laplace_vector(4096, 1);
+  const compressors::QuantizeResult r = sign.quantize(g);
+  EXPECT_EQ(r.wire_bytes, 4096 / 8 + 4U);
+  // ~32x reduction (paper: quantization is capped at 32x).
+  EXPECT_NEAR(r.compression_factor(), 31.75, 0.5);
+}
+
+TEST(SignSgd, RejectsEmpty) {
+  compressors::SignSgd sign;
+  const std::vector<float> empty;
+  EXPECT_THROW(sign.quantize(empty), util::CheckError);
+}
+
+TEST(Qsgd, IsUnbiasedOnAverage) {
+  // E[dequantized] = gradient under stochastic rounding.
+  compressors::Qsgd qsgd(4, 77);
+  const std::vector<float> g = {0.3F, -0.7F, 0.05F, 0.9F};
+  std::vector<double> mean(4, 0.0);
+  constexpr int kReps = 4000;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const compressors::QuantizeResult r = qsgd.quantize(g);
+    for (std::size_t i = 0; i < 4; ++i) mean[i] += r.dequantized[i];
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(mean[i] / kReps, g[i], 0.02) << "i=" << i;
+  }
+}
+
+TEST(Qsgd, MoreLevelsReduceError) {
+  const std::vector<float> g = laplace_vector(20000, 2);
+  auto mse_with_levels = [&](std::uint32_t levels) {
+    compressors::Qsgd qsgd(levels, 99);
+    const compressors::QuantizeResult r = qsgd.quantize(g);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      const double d = static_cast<double>(g[i]) - r.dequantized[i];
+      acc += d * d;
+    }
+    return acc;
+  };
+  const double coarse = mse_with_levels(1);
+  const double fine = mse_with_levels(64);
+  EXPECT_LT(fine, coarse * 0.1);
+}
+
+TEST(Qsgd, WireBytesGrowWithLevels) {
+  const std::vector<float> g = laplace_vector(8192, 3);
+  compressors::Qsgd one(1, 1);
+  compressors::Qsgd many(127, 1);
+  EXPECT_LT(one.quantize(g).wire_bytes, many.quantize(g).wire_bytes);
+}
+
+TEST(Qsgd, ZeroVectorIsStable) {
+  compressors::Qsgd qsgd(4, 5);
+  const std::vector<float> zeros(64, 0.0F);
+  const compressors::QuantizeResult r = qsgd.quantize(zeros);
+  for (float v : r.dequantized) EXPECT_EQ(v, 0.0F);
+}
+
+TEST(Qsgd, SignsArePreserved) {
+  compressors::Qsgd qsgd(8, 6);
+  const std::vector<float> g = laplace_vector(1000, 7);
+  const compressors::QuantizeResult r = qsgd.quantize(g);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (r.dequantized[i] != 0.0F) {
+      EXPECT_EQ(std::signbit(r.dequantized[i]), std::signbit(g[i]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sidco

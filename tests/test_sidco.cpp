@@ -1,0 +1,200 @@
+// End-to-end SIDCo compressor tests (Algorithm 1): estimation quality within
+// the epsilon band after adaptation, across SID variants, ratios, and data
+// distributions; degenerate-input safety; determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sidco_compressor.h"
+#include "stats/distributions.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sidco {
+namespace {
+
+enum class DataKind { kLaplace, kGammaLike, kHeavyTail };
+
+std::vector<float> gradient_like(DataKind kind, std::size_t n,
+                                 std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> v(n);
+  switch (kind) {
+    case DataKind::kLaplace: {
+      const stats::Laplace d(0.002);
+      for (float& x : v) x = static_cast<float>(d.sample(rng));
+      break;
+    }
+    case DataKind::kGammaLike: {
+      // Signed double-gamma with alpha < 1: sparser than Laplace.
+      const stats::Gamma d(0.5, 0.004);
+      for (float& x : v) {
+        const double m = d.sample(rng);
+        x = static_cast<float>(rng.uniform() < 0.5 ? -m : m);
+      }
+      break;
+    }
+    case DataKind::kHeavyTail: {
+      const stats::GeneralizedPareto d(0.25, 0.001, 0.0);
+      for (float& x : v) {
+        const double m = d.sample(rng);
+        x = static_cast<float>(rng.uniform() < 0.5 ? -m : m);
+      }
+      break;
+    }
+  }
+  return v;
+}
+
+struct SidcoCase {
+  core::Sid sid;
+  double delta;
+  DataKind data;
+};
+
+class SidcoQuality : public ::testing::TestWithParam<SidcoCase> {};
+
+TEST_P(SidcoQuality, ConvergesIntoEpsilonBand) {
+  const SidcoCase param = GetParam();
+  core::SidcoConfig config;
+  config.sid = param.sid;
+  config.target_ratio = param.delta;
+  core::SidcoCompressor sidco(config);
+
+  // Fresh gradient every iteration (distribution static), as in training.
+  constexpr int kWarmupIters = 40;  // let Adapt_Stages settle
+  constexpr int kMeasureIters = 20;
+  double sum_ratio = 0.0;
+  for (int i = 0; i < kWarmupIters + kMeasureIters; ++i) {
+    const std::vector<float> g =
+        gradient_like(param.data, 200000, 1000 + static_cast<std::uint64_t>(i));
+    const compressors::CompressResult r = sidco.compress(g);
+    if (i >= kWarmupIters) sum_ratio += r.achieved_ratio() / param.delta;
+  }
+  const double mean_ratio = sum_ratio / kMeasureIters;
+  // Paper's tolerance: |delta-hat - delta| <= eps * delta with eps = 20%;
+  // allow a grace factor for finite-sample noise at delta = 0.001 (k = 200).
+  EXPECT_NEAR(mean_ratio, 1.0, 0.35)
+      << core::sid_name(param.sid) << " delta=" << param.delta;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantsByRatioAndData, SidcoQuality,
+    ::testing::Values(
+        // SIDCo-E across ratios and data families.
+        SidcoCase{core::Sid::kExponential, 0.1, DataKind::kLaplace},
+        SidcoCase{core::Sid::kExponential, 0.01, DataKind::kLaplace},
+        SidcoCase{core::Sid::kExponential, 0.001, DataKind::kLaplace},
+        SidcoCase{core::Sid::kExponential, 0.01, DataKind::kGammaLike},
+        SidcoCase{core::Sid::kExponential, 0.001, DataKind::kGammaLike},
+        SidcoCase{core::Sid::kExponential, 0.01, DataKind::kHeavyTail},
+        // SIDCo-GP (gamma first stage).
+        SidcoCase{core::Sid::kGamma, 0.1, DataKind::kGammaLike},
+        SidcoCase{core::Sid::kGamma, 0.01, DataKind::kGammaLike},
+        SidcoCase{core::Sid::kGamma, 0.001, DataKind::kGammaLike},
+        SidcoCase{core::Sid::kGamma, 0.01, DataKind::kLaplace},
+        // SIDCo-P (GP everywhere).
+        SidcoCase{core::Sid::kGeneralizedPareto, 0.1, DataKind::kHeavyTail},
+        SidcoCase{core::Sid::kGeneralizedPareto, 0.01, DataKind::kHeavyTail},
+        SidcoCase{core::Sid::kGeneralizedPareto, 0.001, DataKind::kHeavyTail},
+        SidcoCase{core::Sid::kGeneralizedPareto, 0.01, DataKind::kLaplace}));
+
+TEST(Sidco, ThresholdSelectionIsConsistent) {
+  core::SidcoConfig config;
+  config.target_ratio = 0.01;
+  core::SidcoCompressor sidco(config);
+  const std::vector<float> g = gradient_like(DataKind::kLaplace, 100000, 5);
+  const compressors::CompressResult r = sidco.compress(g);
+  for (std::size_t j = 0; j < r.sparse.nnz(); ++j) {
+    EXPECT_GE(std::fabs(g[r.sparse.indices[j]]),
+              static_cast<float>(r.threshold));
+    EXPECT_EQ(r.sparse.values[j], g[r.sparse.indices[j]]);
+  }
+}
+
+TEST(Sidco, StagesAdaptUpwardAtAggressiveRatios) {
+  core::SidcoConfig config;
+  config.target_ratio = 0.001;
+  core::SidcoCompressor sidco(config);
+  EXPECT_EQ(sidco.stages(), 1);
+  for (int i = 0; i < 30; ++i) {
+    const std::vector<float> g =
+        gradient_like(DataKind::kGammaLike, 150000, 100 + static_cast<std::uint64_t>(i));
+    sidco.compress(g);
+  }
+  // Gamma-like data is sparser than the exponential fit; the single-stage
+  // threshold over-selects, so the controller must have added stages.
+  EXPECT_GT(sidco.stages(), 1);
+}
+
+TEST(Sidco, ModerateRatioStaysSingleStage) {
+  core::SidcoConfig config;
+  config.target_ratio = 0.25;  // equals delta1 -> one stage is enough
+  core::SidcoCompressor sidco(config);
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<float> g =
+        gradient_like(DataKind::kLaplace, 50000, 300 + static_cast<std::uint64_t>(i));
+    const compressors::CompressResult r = sidco.compress(g);
+    EXPECT_EQ(r.stages_used, 1);
+  }
+}
+
+TEST(Sidco, HandlesDegenerateInputs) {
+  core::SidcoConfig config;
+  config.target_ratio = 0.01;
+  core::SidcoCompressor sidco(config);
+
+  // All zeros: must keep exactly one element and not throw.
+  const std::vector<float> zeros(1000, 0.0F);
+  const compressors::CompressResult rz = sidco.compress(zeros);
+  EXPECT_EQ(rz.selected(), 1U);
+
+  // All equal magnitudes: threshold lands above -> fallback keeps max ties.
+  const std::vector<float> flat(1000, 0.5F);
+  const compressors::CompressResult rf = sidco.compress(flat);
+  EXPECT_GE(rf.selected(), 1U);
+
+  // Single element.
+  const std::vector<float> one = {0.3F};
+  const compressors::CompressResult ro = sidco.compress(one);
+  EXPECT_EQ(ro.selected(), 1U);
+
+  // Empty input must throw, not crash.
+  const std::vector<float> empty;
+  EXPECT_THROW(sidco.compress(empty), util::CheckError);
+}
+
+TEST(Sidco, DeterministicAcrossInstances) {
+  const std::vector<float> g = gradient_like(DataKind::kLaplace, 80000, 6);
+  core::SidcoConfig config;
+  config.target_ratio = 0.001;
+  core::SidcoCompressor a(config);
+  core::SidcoCompressor b(config);
+  const auto ra = a.compress(g);
+  const auto rb = b.compress(g);
+  EXPECT_EQ(ra.sparse.indices, rb.sparse.indices);
+  EXPECT_DOUBLE_EQ(ra.threshold, rb.threshold);
+}
+
+TEST(Sidco, VariantNamesMatchPaper) {
+  EXPECT_EQ(core::make_sidco(core::Sid::kExponential, 0.01)->name(), "SIDCo-E");
+  EXPECT_EQ(core::make_sidco(core::Sid::kGamma, 0.01)->name(), "SIDCo-GP");
+  EXPECT_EQ(core::make_sidco(core::Sid::kGeneralizedPareto, 0.01)->name(),
+            "SIDCo-P");
+}
+
+TEST(Sidco, RespectsMaxStagesBound) {
+  core::SidcoConfig config;
+  config.target_ratio = 0.0001;
+  config.controller.max_stages = 3;
+  core::SidcoCompressor sidco(config);
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<float> g = gradient_like(
+        DataKind::kHeavyTail, 100000, 400 + static_cast<std::uint64_t>(i));
+    const compressors::CompressResult r = sidco.compress(g);
+    EXPECT_LE(r.stages_used, 3);
+  }
+}
+
+}  // namespace
+}  // namespace sidco

@@ -1,0 +1,189 @@
+// Distribution property tests: quantile/cdf round trips, pdf-cdf consistency
+// (numeric differentiation), sampling moments.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "stats/distributions.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sidco {
+namespace {
+
+// Generic property harness over (cdf, quantile, pdf).
+struct DistAdapter {
+  std::string name;
+  std::function<double(double)> pdf;
+  std::function<double(double)> cdf;
+  std::function<double(double)> quantile;
+  std::function<double(util::Rng&)> sample;
+  double mean;
+  double variance;
+  double support_lo;
+};
+
+class DistributionProperty : public ::testing::TestWithParam<int> {
+ protected:
+  static DistAdapter adapter(int id) {
+    switch (id) {
+      case 0: {
+        stats::Exponential d(0.7);
+        return {"Exponential(0.7)",
+                [d](double x) { return d.pdf(x); },
+                [d](double x) { return d.cdf(x); },
+                [d](double p) { return d.quantile(p); },
+                [d](util::Rng& r) { return d.sample(r); },
+                d.mean(), d.variance(), 0.0};
+      }
+      case 1: {
+        stats::Gamma d(0.6, 1.3);
+        return {"Gamma(0.6,1.3)",
+                [d](double x) { return d.pdf(x); },
+                [d](double x) { return d.cdf(x); },
+                [d](double p) { return d.quantile(p); },
+                [d](util::Rng& r) { return d.sample(r); },
+                d.mean(), d.variance(), 0.0};
+      }
+      case 2: {
+        stats::Gamma d(3.5, 0.4);
+        return {"Gamma(3.5,0.4)",
+                [d](double x) { return d.pdf(x); },
+                [d](double x) { return d.cdf(x); },
+                [d](double p) { return d.quantile(p); },
+                [d](util::Rng& r) { return d.sample(r); },
+                d.mean(), d.variance(), 0.0};
+      }
+      case 3: {
+        stats::GeneralizedPareto d(0.2, 1.0, 0.0);
+        return {"GP(0.2,1.0)",
+                [d](double x) { return d.pdf(x); },
+                [d](double x) { return d.cdf(x); },
+                [d](double p) { return d.quantile(p); },
+                [d](util::Rng& r) { return d.sample(r); },
+                d.mean(), d.variance(), 0.0};
+      }
+      case 4: {
+        stats::GeneralizedPareto d(-0.2, 2.0, 0.5);
+        return {"GP(-0.2,2.0,loc0.5)",
+                [d](double x) { return d.pdf(x); },
+                [d](double x) { return d.cdf(x); },
+                [d](double p) { return d.quantile(p); },
+                [d](util::Rng& r) { return d.sample(r); },
+                d.mean(), d.variance(), 0.5};
+      }
+      case 5: {
+        stats::Normal d(-1.0, 2.0);
+        return {"Normal(-1,2)",
+                [d](double x) { return d.pdf(x); },
+                [d](double x) { return d.cdf(x); },
+                [d](double p) { return d.quantile(p); },
+                [d](util::Rng& r) { return d.sample(r); },
+                -1.0, 4.0, -1e30};
+      }
+      case 6: {
+        stats::Laplace d(0.8);
+        return {"Laplace(0.8)",
+                [d](double x) { return d.pdf(x); },
+                [d](double x) { return d.cdf(x); },
+                [d](double p) { return d.quantile(p); },
+                [d](util::Rng& r) { return d.sample(r); },
+                0.0, 2.0 * 0.8 * 0.8, -1e30};
+      }
+      default:
+        throw std::logic_error("bad id");
+    }
+  }
+};
+
+TEST_P(DistributionProperty, QuantileCdfRoundTrip) {
+  const DistAdapter d = adapter(GetParam());
+  for (double p : {0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999, 0.9999}) {
+    const double x = d.quantile(p);
+    EXPECT_NEAR(d.cdf(x), p, 1e-8) << d.name << " p=" << p;
+  }
+}
+
+TEST_P(DistributionProperty, CdfIsMonotone) {
+  const DistAdapter d = adapter(GetParam());
+  double prev = -0.1;
+  for (double p = 0.05; p < 1.0; p += 0.05) {
+    const double cur = d.cdf(d.quantile(p));
+    EXPECT_GE(cur, prev - 1e-12) << d.name;
+    prev = cur;
+  }
+}
+
+TEST_P(DistributionProperty, PdfIsDerivativeOfCdf) {
+  const DistAdapter d = adapter(GetParam());
+  for (double p : {0.15, 0.4, 0.6, 0.85}) {
+    const double x = d.quantile(p);
+    const double h = 1e-5 * (std::fabs(x) + 1.0);
+    const double numeric = (d.cdf(x + h) - d.cdf(x - h)) / (2.0 * h);
+    EXPECT_NEAR(d.pdf(x), numeric, 1e-4 * (1.0 + d.pdf(x)))
+        << d.name << " x=" << x;
+  }
+}
+
+TEST_P(DistributionProperty, SampleMomentsMatch) {
+  const DistAdapter d = adapter(GetParam());
+  util::Rng rng(2024);
+  constexpr int kN = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = d.sample(rng);
+    ASSERT_GE(x, d.support_lo - 1e-9) << d.name;
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, d.mean, 0.03 * (1.0 + std::fabs(d.mean))) << d.name;
+  EXPECT_NEAR(var, d.variance, 0.08 * (1.0 + d.variance)) << d.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDistributions, DistributionProperty,
+                         ::testing::Range(0, 7));
+
+TEST(GeneralizedPareto, DegeneratesToExponentialAtZeroShape) {
+  const stats::GeneralizedPareto gp(0.0, 1.5, 0.0);
+  const stats::Exponential exp_dist(1.5);
+  for (double x : {0.1, 1.0, 3.0, 8.0}) {
+    EXPECT_NEAR(gp.cdf(x), exp_dist.cdf(x), 1e-9);
+    EXPECT_NEAR(gp.pdf(x), exp_dist.pdf(x), 1e-9);
+  }
+}
+
+TEST(GeneralizedPareto, RejectsNonFiniteMomentShapes) {
+  EXPECT_THROW(stats::GeneralizedPareto(0.6, 1.0), util::CheckError);
+  EXPECT_THROW(stats::GeneralizedPareto(-0.6, 1.0), util::CheckError);
+}
+
+TEST(Laplace, SymmetricAroundZero) {
+  const stats::Laplace d(1.0);
+  for (double x : {0.2, 0.8, 2.0}) {
+    EXPECT_NEAR(d.pdf(x), d.pdf(-x), 1e-14);
+    EXPECT_NEAR(d.cdf(-x), 1.0 - d.cdf(x), 1e-14);
+  }
+  EXPECT_NEAR(d.cdf(0.0), 0.5, 1e-14);
+}
+
+TEST(Symmetric, WrapsMagnitudeDistribution) {
+  const stats::Symmetric<stats::Exponential> sym{stats::Exponential(1.0)};
+  const stats::Laplace laplace(1.0);
+  for (double x : {-2.0, -0.5, 0.0, 0.5, 2.0}) {
+    EXPECT_NEAR(sym.pdf(x), laplace.pdf(x), 1e-12);
+    EXPECT_NEAR(sym.cdf(x), laplace.cdf(x), 1e-12);
+  }
+}
+
+TEST(Exponential, RejectsNonPositiveScale) {
+  EXPECT_THROW(stats::Exponential(0.0), util::CheckError);
+  EXPECT_THROW(stats::Gamma(1.0, -1.0), util::CheckError);
+  EXPECT_THROW(stats::Normal(0.0, 0.0), util::CheckError);
+}
+
+}  // namespace
+}  // namespace sidco

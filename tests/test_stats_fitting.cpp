@@ -1,0 +1,143 @@
+// Estimator recovery property tests: sample from a known SID, fit, and check
+// the recovered parameters / implied quantiles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/distributions.h"
+#include "stats/fitting.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sidco {
+namespace {
+
+template <typename Dist>
+std::vector<float> draw(const Dist& dist, std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> out(n);
+  for (float& x : out) x = static_cast<float>(dist.sample(rng));
+  return out;
+}
+
+class ExponentialRecovery : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExponentialRecovery, MleRecoversScale) {
+  const double beta = GetParam();
+  const std::vector<float> data = draw(stats::Exponential(beta), 100000, 7);
+  const stats::Exponential fit = stats::fit_exponential(data);
+  EXPECT_NEAR(fit.scale(), beta, 0.02 * beta);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ExponentialRecovery,
+                         ::testing::Values(0.01, 0.5, 1.0, 17.0));
+
+TEST(ExponentialShifted, RecoversTailScale) {
+  // Memorylessness: exceedances of Exp(beta) over eta are eta + Exp(beta).
+  const double beta = 1.4;
+  const double eta = 2.0;
+  const std::vector<float> base = draw(stats::Exponential(beta), 400000, 11);
+  std::vector<float> tail;
+  for (float x : base) {
+    if (x >= eta) tail.push_back(x);
+  }
+  ASSERT_GT(tail.size(), 1000U);
+  const stats::Exponential fit = stats::fit_exponential_shifted(tail, eta);
+  EXPECT_NEAR(fit.scale(), beta, 0.05 * beta);
+}
+
+class GammaRecovery
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(GammaRecovery, MinkaRecoversShapeAndScale) {
+  const auto [shape, scale] = GetParam();
+  const std::vector<float> data = draw(stats::Gamma(shape, scale), 200000, 13);
+  const stats::GammaFit fit = stats::fit_gamma_minka(data);
+  // Minka's closed form is within ~1.5% of the MLE; allow sampling noise too.
+  EXPECT_NEAR(fit.shape, shape, 0.06 * shape);
+  EXPECT_NEAR(fit.shape * fit.scale, shape * scale,
+              0.04 * shape * scale);  // mean is matched almost exactly
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeScaleGrid, GammaRecovery,
+    ::testing::Combine(::testing::Values(0.3, 0.7, 1.0, 2.5),
+                       ::testing::Values(0.05, 1.0, 4.0)));
+
+class GpRecovery : public ::testing::TestWithParam<std::tuple<double, double>> {
+};
+
+TEST_P(GpRecovery, MomentMatchingRecoversParameters) {
+  const auto [shape, scale] = GetParam();
+  const std::vector<float> data =
+      draw(stats::GeneralizedPareto(shape, scale, 0.0), 400000, 17);
+  const stats::GpFit fit = stats::fit_gp_moments(data);
+  EXPECT_NEAR(fit.shape, shape, 0.05 + 0.1 * std::fabs(shape));
+  EXPECT_NEAR(fit.scale, scale, 0.08 * scale);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeScaleGrid, GpRecovery,
+    ::testing::Combine(::testing::Values(-0.3, -0.1, 0.0, 0.15, 0.3),
+                       ::testing::Values(0.1, 1.0)));
+
+TEST(GpShifted, PotFitRecoversTail) {
+  // Exceedances of a GP over eta are GP with the same shape and scale
+  // beta + alpha * eta (threshold stability property).
+  const double shape = 0.25;
+  const double scale = 1.0;
+  const double eta = 1.5;
+  const std::vector<float> base =
+      draw(stats::GeneralizedPareto(shape, scale, 0.0), 600000, 19);
+  std::vector<float> tail;
+  for (float x : base) {
+    if (x >= eta) tail.push_back(x);
+  }
+  ASSERT_GT(tail.size(), 5000U);
+  const stats::GpFit fit = stats::fit_gp_moments(tail, eta);
+  EXPECT_NEAR(fit.shape, shape, 0.08);
+  EXPECT_NEAR(fit.scale, scale + shape * eta, 0.12);
+}
+
+TEST(NormalFit, RecoversMoments) {
+  const stats::Normal source(2.0, 3.0);
+  const std::vector<float> data = draw(source, 100000, 23);
+  const stats::Normal fit = stats::fit_normal(data);
+  EXPECT_NEAR(fit.mean(), 2.0, 0.05);
+  EXPECT_NEAR(fit.stddev(), 3.0, 0.05);
+}
+
+TEST(Fitting, RejectsEmptyInput) {
+  const std::vector<float> empty;
+  EXPECT_THROW(stats::fit_exponential(empty), util::CheckError);
+  EXPECT_THROW(stats::fit_gamma_minka(empty), util::CheckError);
+  EXPECT_THROW(stats::fit_gp_moments(empty), util::CheckError);
+  EXPECT_THROW(stats::fit_normal(empty), util::CheckError);
+}
+
+TEST(Fitting, DegenerateAllZerosIsSafe) {
+  const std::vector<float> zeros(100, 0.0F);
+  EXPECT_NO_THROW({
+    const stats::GammaFit fit = stats::fit_gamma_minka(zeros);
+    EXPECT_GT(fit.scale, 0.0);
+  });
+  EXPECT_NO_THROW(stats::fit_exponential(zeros));
+  EXPECT_NO_THROW(stats::fit_gp_moments(zeros));
+}
+
+TEST(Fitting, GammaOfExponentialDataHasShapeNearOne) {
+  const std::vector<float> data = draw(stats::Exponential(0.5), 200000, 29);
+  const stats::GammaFit fit = stats::fit_gamma_minka(data);
+  EXPECT_NEAR(fit.shape, 1.0, 0.05);
+}
+
+TEST(Fitting, GpOfExponentialDataHasShapeNearZero) {
+  const std::vector<float> data = draw(stats::Exponential(0.5), 200000, 31);
+  const stats::GpFit fit = stats::fit_gp_moments(data);
+  EXPECT_NEAR(fit.shape, 0.0, 0.03);
+  EXPECT_NEAR(fit.scale, 0.5, 0.03);
+}
+
+}  // namespace
+}  // namespace sidco

@@ -1,0 +1,151 @@
+// Tests for descriptive stats, KS goodness-of-fit, and the power-law
+// compressibility analysis (paper Definition 1 / Fig. 7).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "stats/distributions.h"
+#include "stats/goodness_of_fit.h"
+#include "stats/powerlaw.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sidco {
+namespace {
+
+TEST(StreamingMoments, MatchesBatchComputation) {
+  stats::StreamingMoments m;
+  const std::vector<double> data = {1.0, 2.0, 4.0, 8.0, 16.0};
+  for (double x : data) m.add(x);
+  EXPECT_EQ(m.count(), 5U);
+  EXPECT_DOUBLE_EQ(m.mean(), 6.2);
+  // Sample variance: sum of squared deviations 148.8 over n-1 = 4.
+  EXPECT_NEAR(m.sample_variance(), 37.2, 1e-9);
+  EXPECT_DOUBLE_EQ(m.min(), 1.0);
+  EXPECT_DOUBLE_EQ(m.max(), 16.0);
+}
+
+TEST(EmpiricalQuantile, InterpolatesLinearly) {
+  const std::vector<double> data = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(stats::empirical_quantile(data, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats::empirical_quantile(data, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(stats::empirical_quantile(data, 0.5), 2.5);
+}
+
+TEST(ConfidenceInterval, CoversTrueMeanAtNominalRate) {
+  // Property: ~90% of 90% CIs built from N(0,1) samples contain 0.
+  util::Rng rng(99);
+  int covered = 0;
+  constexpr int kTrials = 400;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<double> sample(50);
+    for (double& x : sample) x = rng.normal();
+    const stats::ConfidenceInterval ci =
+        stats::mean_confidence_interval(sample, 0.90);
+    if (ci.lower <= 0.0 && 0.0 <= ci.upper) ++covered;
+  }
+  const double coverage = static_cast<double>(covered) / kTrials;
+  EXPECT_NEAR(coverage, 0.90, 0.06);
+}
+
+TEST(RunningAverage, WindowedMean) {
+  const std::vector<double> series = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> smoothed = stats::running_average(series, 2);
+  ASSERT_EQ(smoothed.size(), 4U);
+  EXPECT_DOUBLE_EQ(smoothed[0], 1.0);
+  EXPECT_DOUBLE_EQ(smoothed[1], 1.5);
+  EXPECT_DOUBLE_EQ(smoothed[2], 2.5);
+  EXPECT_DOUBLE_EQ(smoothed[3], 3.5);
+}
+
+TEST(Ema, ConvergesToConstant) {
+  const std::vector<double> series(50, 3.0);
+  const std::vector<double> ema = stats::exponential_moving_average(series, 0.2);
+  EXPECT_DOUBLE_EQ(ema.back(), 3.0);
+  EXPECT_THROW(stats::exponential_moving_average(series, 0.0),
+               util::CheckError);
+}
+
+TEST(KsStatistic, SmallForCorrectModel) {
+  const stats::Exponential d(1.0);
+  util::Rng rng(5);
+  std::vector<float> data(20000);
+  for (float& x : data) x = static_cast<float>(d.sample(rng));
+  const double ks =
+      stats::ks_statistic(data, [&](double x) { return d.cdf(x); });
+  EXPECT_LT(ks, 0.02);
+}
+
+TEST(KsStatistic, LargeForWrongModel) {
+  const stats::Exponential d(1.0);
+  util::Rng rng(5);
+  std::vector<float> data(20000);
+  for (float& x : data) x = static_cast<float>(d.sample(rng));
+  const stats::Normal wrong(0.0, 1.0);
+  const double ks =
+      stats::ks_statistic(data, [&](double x) { return wrong.cdf(x); });
+  EXPECT_GT(ks, 0.2);
+}
+
+TEST(KsStatistic, SubsamplingApproximatesFull) {
+  const stats::Gamma d(0.7, 1.0);
+  util::Rng rng(6);
+  std::vector<float> data(50000);
+  for (float& x : data) x = static_cast<float>(d.sample(rng));
+  const auto cdf = [&](double x) { return d.cdf(x); };
+  const double full = stats::ks_statistic(data, cdf);
+  const double sub = stats::ks_statistic(data, cdf, /*sample_cap=*/5000);
+  EXPECT_NEAR(full, sub, 0.02);
+}
+
+TEST(PowerLaw, RecoversSyntheticExponent) {
+  // g_j = j^{-0.8} exactly.
+  std::vector<float> v(20000);
+  for (std::size_t j = 0; j < v.size(); ++j) {
+    v[j] = static_cast<float>(std::pow(static_cast<double>(j + 1), -0.8));
+  }
+  const stats::PowerLawFit fit = stats::fit_power_law_decay(v, 0, 20000);
+  EXPECT_NEAR(fit.exponent, 0.8, 0.01);
+  EXPECT_GT(fit.r_squared, 0.999);
+  EXPECT_TRUE(stats::is_compressible(fit));
+}
+
+TEST(PowerLaw, MultiScaleGradientsAreCompressible) {
+  // Real gradient vectors mix layers whose magnitude scales span orders of
+  // magnitude; a lognormal magnitude model captures that and its sorted head
+  // decays with p > 1/2 (Definition 1) — the phenomenon the paper leans on.
+  // (A single iid Laplace layer is NOT enough: its sorted head decays only
+  // logarithmically.)
+  util::Rng rng(8);
+  std::vector<float> v(200000);
+  for (float& x : v) x = static_cast<float>(std::exp(rng.normal(0.0, 3.0)));
+  const stats::PowerLawFit fit = stats::fit_power_law_decay(v, 10, 3000);
+  EXPECT_TRUE(stats::is_compressible(fit)) << "p=" << fit.exponent;
+}
+
+TEST(PowerLaw, UniformVectorIsNotCompressible) {
+  // Near-constant magnitudes decay with p ~ 0.
+  util::Rng rng(9);
+  std::vector<float> v(10000);
+  for (float& x : v) x = static_cast<float>(1.0 + 0.01 * rng.uniform());
+  const stats::PowerLawFit fit = stats::fit_power_law_decay(v, 10, 5000);
+  EXPECT_FALSE(stats::is_compressible(fit)) << "p=" << fit.exponent;
+}
+
+TEST(SparsificationCurve, EndpointsAndMonotonicity) {
+  util::Rng rng(10);
+  std::vector<float> v(5000);
+  for (float& x : v) x = static_cast<float>(rng.normal());
+  const auto curve = stats::sparsification_error_curve(v, 8);
+  ASSERT_EQ(curve.size(), 8U);
+  EXPECT_EQ(curve.front().k, 0U);
+  EXPECT_EQ(curve.back().k, v.size());
+  EXPECT_NEAR(curve.back().sigma_k, 0.0, 1e-9);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].sigma_k, curve[i - 1].sigma_k + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace sidco

@@ -1,0 +1,92 @@
+// Tests for special functions against known values and inverse round trips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/special_functions.h"
+#include "util/check.h"
+
+namespace sidco {
+namespace {
+
+TEST(RegularizedGammaP, KnownValues) {
+  // P(1, x) = 1 - exp(-x).
+  for (double x : {0.1, 0.5, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(stats::regularized_gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12)
+        << "x=" << x;
+  }
+  // P(a, 0) = 0.
+  EXPECT_DOUBLE_EQ(stats::regularized_gamma_p(2.5, 0.0), 0.0);
+  // P(0.5, x) = erf(sqrt(x)).
+  for (double x : {0.25, 1.0, 4.0}) {
+    EXPECT_NEAR(stats::regularized_gamma_p(0.5, x), std::erf(std::sqrt(x)),
+                1e-10)
+        << "x=" << x;
+  }
+  // Large x saturates to 1.
+  EXPECT_NEAR(stats::regularized_gamma_p(3.0, 100.0), 1.0, 1e-12);
+}
+
+TEST(RegularizedGammaP, ComplementConsistency) {
+  for (double a : {0.3, 1.0, 2.0, 7.5}) {
+    for (double x : {0.2, 1.0, 5.0, 20.0}) {
+      EXPECT_NEAR(stats::regularized_gamma_p(a, x) +
+                      stats::regularized_gamma_q(a, x),
+                  1.0, 1e-12);
+    }
+  }
+}
+
+TEST(RegularizedGammaP, RejectsBadArguments) {
+  EXPECT_THROW(stats::regularized_gamma_p(0.0, 1.0), util::CheckError);
+  EXPECT_THROW(stats::regularized_gamma_p(1.0, -1.0), util::CheckError);
+}
+
+class GammaInverseRoundTrip
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(GammaInverseRoundTrip, PInverseOfPIsIdentity) {
+  const auto [a, p] = GetParam();
+  const double x = stats::inverse_regularized_gamma_p(a, p);
+  EXPECT_NEAR(stats::regularized_gamma_p(a, x), p, 1e-9)
+      << "a=" << a << " p=" << p << " x=" << x;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GammaInverseRoundTrip,
+    ::testing::Combine(::testing::Values(0.2, 0.5, 0.9, 1.0, 2.0, 5.0, 20.0),
+                       ::testing::Values(0.001, 0.01, 0.1, 0.5, 0.9, 0.99,
+                                         0.999, 0.9999)));
+
+TEST(Digamma, KnownValues) {
+  constexpr double kEulerMascheroni = 0.5772156649015328606;
+  EXPECT_NEAR(stats::digamma(1.0), -kEulerMascheroni, 1e-10);
+  EXPECT_NEAR(stats::digamma(2.0), 1.0 - kEulerMascheroni, 1e-10);
+  // psi(1/2) = -gamma - 2 ln 2.
+  EXPECT_NEAR(stats::digamma(0.5),
+              -kEulerMascheroni - 2.0 * std::log(2.0), 1e-10);
+  // Recurrence psi(x+1) = psi(x) + 1/x.
+  for (double x : {0.3, 1.7, 4.2}) {
+    EXPECT_NEAR(stats::digamma(x + 1.0), stats::digamma(x) + 1.0 / x, 1e-10);
+  }
+}
+
+TEST(ErfInv, RoundTripsWithErf) {
+  for (double x : {-0.999, -0.9, -0.5, -0.1, 0.0, 0.1, 0.5, 0.9, 0.999}) {
+    EXPECT_NEAR(std::erf(stats::erf_inv(x)), x, 1e-12) << "x=" << x;
+  }
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(stats::normal_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(stats::normal_quantile(0.975), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(stats::normal_quantile(0.95), 1.6448536269514722, 1e-9);
+  // Symmetry.
+  EXPECT_NEAR(stats::normal_quantile(0.25), -stats::normal_quantile(0.75),
+              1e-12);
+  EXPECT_THROW(stats::normal_quantile(0.0), util::CheckError);
+  EXPECT_THROW(stats::normal_quantile(1.0), util::CheckError);
+}
+
+}  // namespace
+}  // namespace sidco

@@ -1,0 +1,195 @@
+// Tests for tensor kernels: moments, selection, sparse representation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "tensor/sparse.h"
+#include "tensor/vector_ops.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sidco {
+namespace {
+
+std::vector<float> random_vector(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.normal(0.0, 1.0));
+  return v;
+}
+
+TEST(VectorOps, MeanAbsAndMean) {
+  const std::vector<float> v = {1.0F, -2.0F, 3.0F, -4.0F};
+  EXPECT_DOUBLE_EQ(tensor::mean_abs(v), 2.5);
+  EXPECT_DOUBLE_EQ(tensor::mean(v), -0.5);
+}
+
+TEST(VectorOps, EmptyInputsAreSafe) {
+  const std::vector<float> empty;
+  EXPECT_DOUBLE_EQ(tensor::mean_abs(empty), 0.0);
+  EXPECT_DOUBLE_EQ(tensor::mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(tensor::variance(empty), 0.0);
+  EXPECT_EQ(tensor::max_abs(empty), 0.0F);
+}
+
+TEST(VectorOps, VarianceMatchesDefinition) {
+  const std::vector<float> v = {1.0F, 2.0F, 3.0F, 4.0F};
+  // population variance of {1,2,3,4} = 1.25
+  EXPECT_NEAR(tensor::variance(v), 1.25, 1e-12);
+}
+
+TEST(VectorOps, MeanVarAbsSinglePassMatchesTwoPass) {
+  const std::vector<float> v = random_vector(10000, 1);
+  const tensor::MeanVar mv = tensor::mean_var_abs(v);
+  std::vector<float> abs_v(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) abs_v[i] = std::fabs(v[i]);
+  EXPECT_NEAR(mv.mean, tensor::mean(abs_v), 1e-9);
+  EXPECT_NEAR(mv.variance, tensor::variance(abs_v), 1e-6);
+}
+
+TEST(VectorOps, MeanLogAbsSkipsZeros) {
+  const std::vector<float> v = {0.0F, std::exp(1.0F), std::exp(3.0F), 0.0F};
+  const tensor::LogMoment lm = tensor::mean_log_abs(v);
+  EXPECT_EQ(lm.used, 2U);
+  EXPECT_NEAR(lm.mean_log, 2.0, 1e-5);
+}
+
+TEST(VectorOps, CountAtLeast) {
+  const std::vector<float> v = {0.1F, -0.5F, 0.9F, -1.5F};
+  EXPECT_EQ(tensor::count_at_least(v, 0.5F), 3U);
+  EXPECT_EQ(tensor::count_at_least(v, 2.0F), 0U);
+  EXPECT_EQ(tensor::count_at_least(v, 0.0F), 4U);
+}
+
+TEST(VectorOps, KthLargestAbsExact) {
+  const std::vector<float> v = {0.1F, -0.5F, 0.9F, -1.5F, 0.3F};
+  EXPECT_FLOAT_EQ(tensor::kth_largest_abs(v, 1), 1.5F);
+  EXPECT_FLOAT_EQ(tensor::kth_largest_abs(v, 2), 0.9F);
+  EXPECT_FLOAT_EQ(tensor::kth_largest_abs(v, 5), 0.1F);
+  EXPECT_THROW(tensor::kth_largest_abs(v, 0), util::CheckError);
+  EXPECT_THROW(tensor::kth_largest_abs(v, 6), util::CheckError);
+}
+
+TEST(TopK, SelectsLargestMagnitudes) {
+  const std::vector<float> v = {0.1F, -0.5F, 0.9F, -1.5F, 0.3F};
+  const tensor::SparseGradient sparse = tensor::top_k(v, 2);
+  ASSERT_EQ(sparse.nnz(), 2U);
+  EXPECT_EQ(sparse.indices[0], 2U);
+  EXPECT_EQ(sparse.indices[1], 3U);
+  EXPECT_FLOAT_EQ(sparse.values[0], 0.9F);
+  EXPECT_FLOAT_EQ(sparse.values[1], -1.5F);
+}
+
+TEST(TopK, TieBreakGivesExactlyK) {
+  const std::vector<float> v(100, 0.5F);  // all ties
+  for (std::size_t k : {1U, 7U, 50U, 100U}) {
+    const tensor::SparseGradient sparse = tensor::top_k(v, k);
+    EXPECT_EQ(sparse.nnz(), k);
+  }
+}
+
+TEST(TopK, ZeroKAndFullK) {
+  const std::vector<float> v = random_vector(64, 3);
+  EXPECT_EQ(tensor::top_k(v, 0).nnz(), 0U);
+  EXPECT_EQ(tensor::top_k(v, 64).nnz(), 64U);
+}
+
+class TopKParam : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TopKParam, MatchesSortBaseline) {
+  const std::size_t k = GetParam();
+  const std::vector<float> v = random_vector(2000, k);
+  const tensor::SparseGradient sparse = tensor::top_k(v, k);
+  ASSERT_EQ(sparse.nnz(), k);
+  // Baseline: sort by magnitude.
+  std::vector<float> mags(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) mags[i] = std::fabs(v[i]);
+  std::sort(mags.begin(), mags.end(), std::greater<>());
+  double expected = 0.0;
+  double got = 0.0;
+  for (std::size_t i = 0; i < k; ++i) expected += mags[i];
+  for (float val : sparse.values) got += std::fabs(val);
+  EXPECT_NEAR(got, expected, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TopKParam,
+                         ::testing::Values(1, 2, 20, 200, 1000, 1999));
+
+TEST(SparsificationError, MatchesManualComputation) {
+  const std::vector<float> v = {3.0F, -4.0F, 1.0F, 0.0F};
+  // k=2 keeps {3,-4}; error = sqrt(1^2 + 0) = 1.
+  EXPECT_NEAR(tensor::sparsification_error(v, 2), 1.0, 1e-6);
+  EXPECT_NEAR(tensor::sparsification_error(v, 4), 0.0, 1e-12);
+  EXPECT_NEAR(tensor::sparsification_error(v, 0), tensor::l2_norm(v), 1e-9);
+}
+
+TEST(SparsificationError, MonotoneNonIncreasingInK) {
+  const std::vector<float> v = random_vector(500, 9);
+  double prev = tensor::sparsification_error(v, 0);
+  for (std::size_t k = 1; k <= 500; k += 25) {
+    const double cur = tensor::sparsification_error(v, k);
+    EXPECT_LE(cur, prev + 1e-9);
+    prev = cur;
+  }
+}
+
+TEST(Sparse, RoundTripToDense) {
+  tensor::SparseGradient sparse;
+  sparse.dense_dim = 6;
+  sparse.indices = {1, 4};
+  sparse.values = {2.5F, -1.0F};
+  const std::vector<float> dense = sparse.to_dense();
+  const std::vector<float> expected = {0.0F, 2.5F, 0.0F, 0.0F, -1.0F, 0.0F};
+  EXPECT_EQ(dense, expected);
+  EXPECT_DOUBLE_EQ(sparse.density(), 2.0 / 6.0);
+  EXPECT_EQ(sparse.wire_bytes(), 16U);
+}
+
+TEST(Sparse, AggregateMeanSumsAndScales) {
+  tensor::SparseGradient a;
+  a.dense_dim = 4;
+  a.indices = {0, 2};
+  a.values = {2.0F, 4.0F};
+  tensor::SparseGradient b;
+  b.dense_dim = 4;
+  b.indices = {2, 3};
+  b.values = {2.0F, 6.0F};
+  const std::vector<tensor::SparseGradient> parts = {a, b};
+  const std::vector<float> mean = tensor::aggregate_mean(parts, 4, 2.0);
+  const std::vector<float> expected = {1.0F, 0.0F, 3.0F, 3.0F};
+  EXPECT_EQ(mean, expected);
+}
+
+TEST(Sparse, AggregateRejectsMismatchedDims) {
+  tensor::SparseGradient a;
+  a.dense_dim = 4;
+  const std::vector<tensor::SparseGradient> parts = {a};
+  EXPECT_THROW(tensor::aggregate_mean(parts, 5, 1.0), util::CheckError);
+}
+
+TEST(ExtractAtLeast, BoundaryIsInclusive) {
+  const std::vector<float> v = {0.5F, -0.5F, 0.4F};
+  const tensor::SparseGradient sparse = tensor::extract_at_least(v, 0.5F);
+  EXPECT_EQ(sparse.nnz(), 2U);
+}
+
+TEST(AbsExceedances, CollectsMagnitudes) {
+  const std::vector<float> v = {0.5F, -2.0F, 0.1F, 3.0F};
+  const std::vector<float> ex = tensor::abs_exceedances(v, 0.5F);
+  const std::vector<float> expected = {0.5F, 2.0F, 3.0F};
+  EXPECT_EQ(ex, expected);
+}
+
+TEST(Axpy, AccumulatesScaled) {
+  const std::vector<float> x = {1.0F, 2.0F};
+  std::vector<float> y = {10.0F, 20.0F};
+  tensor::axpy(2.0F, x, y);
+  EXPECT_FLOAT_EQ(y[0], 12.0F);
+  EXPECT_FLOAT_EQ(y[1], 24.0F);
+  std::vector<float> wrong_size = {1.0F};
+  EXPECT_THROW(tensor::axpy(1.0F, x, wrong_size), util::CheckError);
+}
+
+}  // namespace
+}  // namespace sidco

@@ -1,0 +1,122 @@
+// Tests for util: RNG determinism and quality, check(), tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace sidco {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  util::Rng a(123);
+  util::Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  util::Rng a(1);
+  util::Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b()) ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkIsIndependentOfParentConsumption) {
+  util::Rng parent(7);
+  util::Rng child1 = parent.fork(5);
+  (void)parent();  // advance parent
+  // fork derives from captured state; re-fork from a fresh parent matches.
+  util::Rng parent2(7);
+  util::Rng child2 = parent2.fork(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(child1(), child2());
+}
+
+TEST(Rng, ForkStreamsDiffer) {
+  util::Rng parent(7);
+  util::Rng a = parent.fork(1);
+  util::Rng b = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b()) ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  util::Rng rng(42);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversRangeUnbiased) {
+  util::Rng rng(42);
+  constexpr std::uint64_t kN = 10;
+  std::vector<int> counts(kN, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t v = rng.uniform_index(kN);
+    ASSERT_LT(v, kN);
+    ++counts[v];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  util::Rng rng(42);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.02);
+}
+
+TEST(Check, ThrowsWithMessage) {
+  EXPECT_NO_THROW(util::check(true, "fine"));
+  try {
+    util::check(false, "ratio must be positive");
+    FAIL() << "expected CheckError";
+  } catch (const util::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("ratio must be positive"),
+              std::string::npos);
+  }
+}
+
+TEST(Table, AlignsAndCountsRows) {
+  util::Table table({"scheme", "speedup"});
+  table.add_row({"Topk", "1.00x"});
+  table.add_row({"SIDCo-E", "41.7x"});
+  EXPECT_EQ(table.rows(), 2U);
+  std::ostringstream os;
+  table.print(os, "demo");
+  const std::string text = os.str();
+  EXPECT_NE(text.find("SIDCo-E"), std::string::npos);
+  EXPECT_NE(text.find("== demo =="), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity) {
+  util::Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), util::CheckError);
+}
+
+TEST(Format, Helpers) {
+  EXPECT_EQ(util::format_speedup(41.66), "41.7x");
+  EXPECT_EQ(util::format_speedup(1.5), "1.50x");
+  EXPECT_EQ(util::format_bytes(512), "512 B");
+  EXPECT_EQ(util::format_bytes(1536), "1.5 KB");
+}
+
+}  // namespace
+}  // namespace sidco
