@@ -40,10 +40,11 @@ int main() {
     // One shared synthetic gradient per model size (CPU measurements).
     const std::vector<float> gradient =
         bench::synthetic_laplace(model.dim, 0.0005, 7 + model.dim);
+    compressors::Compressor::validate_gradient(gradient);
     for (double ratio : bench::kRatios) {
       auto topk = core::make_compressor(core::Scheme::kTopK, ratio);
       util::Timer timer;
-      (void)topk->compress(gradient);
+      (void)topk->compress_unchecked(gradient);
       const double topk_cpu = timer.seconds();
       const double topk_gpu =
           gpu.gpu_seconds(core::Scheme::kTopK, model.dim, ratio);
@@ -53,9 +54,11 @@ int main() {
                        util::format_double(topk_cpu * 1e3)});
       for (core::Scheme scheme : schemes) {
         auto compressor = core::make_compressor(scheme, ratio);
-        for (int warm = 0; warm < 2; ++warm) (void)compressor->compress(gradient);
+        for (int warm = 0; warm < 2; ++warm) {
+          (void)compressor->compress_unchecked(gradient);
+        }
         util::Timer t2;
-        (void)compressor->compress(gradient);
+        (void)compressor->compress_unchecked(gradient);
         const double cpu_s = t2.seconds();
         const double gpu_s = gpu.gpu_seconds(scheme, model.dim, ratio, 3);
         const std::string name(core::scheme_name(scheme));

@@ -13,7 +13,7 @@ namespace sidco::compressors {
 
 NoCompression::NoCompression(double target_ratio) : Compressor(target_ratio) {}
 
-CompressResult NoCompression::compress(std::span<const float> gradient) {
+CompressResult NoCompression::do_compress(std::span<const float> gradient) {
   CompressResult result;
   result.sparse.dense_dim = gradient.size();
   result.sparse.indices.resize(gradient.size());
@@ -28,7 +28,7 @@ CompressResult NoCompression::compress(std::span<const float> gradient) {
 
 TopK::TopK(double target_ratio) : Compressor(target_ratio) {}
 
-CompressResult TopK::compress(std::span<const float> gradient) {
+CompressResult TopK::do_compress(std::span<const float> gradient) {
   const std::size_t k = target_k(gradient.size());
   CompressResult result;
   result.sparse = tensor::top_k(gradient, k);
@@ -48,7 +48,7 @@ Dgc::Dgc(double target_ratio, std::uint64_t seed, double sample_ratio,
               "DGC sample ratio must be in (0, 1]");
 }
 
-CompressResult Dgc::compress(std::span<const float> gradient) {
+CompressResult Dgc::do_compress(std::span<const float> gradient) {
   const std::size_t d = gradient.size();
   const std::size_t k = target_k(d);
 
@@ -113,7 +113,7 @@ RedSync::RedSync(double target_ratio, int max_search_steps)
   util::check(max_search_steps >= 1, "RedSync needs at least one step");
 }
 
-CompressResult RedSync::compress(std::span<const float> gradient) {
+CompressResult RedSync::do_compress(std::span<const float> gradient) {
   const std::size_t d = gradient.size();
   const std::size_t k = target_k(d);
   const double mean_mag = tensor::mean_abs(gradient);
@@ -154,7 +154,7 @@ GaussianKSgd::GaussianKSgd(double target_ratio, int max_adjust_steps,
   util::check(tolerance > 0.0, "tolerance must be positive");
 }
 
-CompressResult GaussianKSgd::compress(std::span<const float> gradient) {
+CompressResult GaussianKSgd::do_compress(std::span<const float> gradient) {
   const std::size_t d = gradient.size();
   const std::size_t k = target_k(d);
 
@@ -197,7 +197,7 @@ CompressResult GaussianKSgd::compress(std::span<const float> gradient) {
 RandomK::RandomK(double target_ratio, std::uint64_t seed)
     : Compressor(target_ratio), rng_(seed) {}
 
-CompressResult RandomK::compress(std::span<const float> gradient) {
+CompressResult RandomK::do_compress(std::span<const float> gradient) {
   const std::size_t d = gradient.size();
   const std::size_t k = target_k(d);
   // Floyd's algorithm for a uniform k-subset without replacement.
@@ -228,7 +228,7 @@ HardThreshold::HardThreshold(double target_ratio, double threshold)
   util::check(threshold >= 0.0, "hard threshold must be non-negative");
 }
 
-CompressResult HardThreshold::compress(std::span<const float> gradient) {
+CompressResult HardThreshold::do_compress(std::span<const float> gradient) {
   CompressResult result;
   result.threshold = threshold_;
   result.sparse =

@@ -22,15 +22,19 @@ namespace sidco::compressors {
 class NoCompression final : public Compressor {
  public:
   explicit NoCompression(double target_ratio);
-  CompressResult compress(std::span<const float> gradient) override;
   [[nodiscard]] std::string_view name() const override { return "NoComp"; }
+
+ private:
+  CompressResult do_compress(std::span<const float> gradient) override;
 };
 
 class TopK final : public Compressor {
  public:
   explicit TopK(double target_ratio);
-  CompressResult compress(std::span<const float> gradient) override;
   [[nodiscard]] std::string_view name() const override { return "Topk"; }
+
+ private:
+  CompressResult do_compress(std::span<const float> gradient) override;
 };
 
 class Dgc final : public Compressor {
@@ -38,10 +42,10 @@ class Dgc final : public Compressor {
   /// `sample_ratio` is the sub-population fraction (paper: "e.g., 1%").
   Dgc(double target_ratio, std::uint64_t seed, double sample_ratio = 0.01,
       std::size_t min_samples = 1000);
-  CompressResult compress(std::span<const float> gradient) override;
   [[nodiscard]] std::string_view name() const override { return "DGC"; }
 
  private:
+  CompressResult do_compress(std::span<const float> gradient) override;
   util::Rng rng_;
   double sample_ratio_;
   std::size_t min_samples_;
@@ -53,10 +57,10 @@ class RedSync final : public Compressor {
   /// `max_search_steps` bounds the geometric ratio escalation (and hence the
   /// number of O(d) count passes).
   explicit RedSync(double target_ratio, int max_search_steps = 12);
-  CompressResult compress(std::span<const float> gradient) override;
   [[nodiscard]] std::string_view name() const override { return "RedSync"; }
 
  private:
+  CompressResult do_compress(std::span<const float> gradient) override;
   int max_search_steps_;
 };
 
@@ -64,10 +68,10 @@ class GaussianKSgd final : public Compressor {
  public:
   explicit GaussianKSgd(double target_ratio, int max_adjust_steps = 3,
                         double tolerance = 0.1);
-  CompressResult compress(std::span<const float> gradient) override;
   [[nodiscard]] std::string_view name() const override { return "GaussK"; }
 
  private:
+  CompressResult do_compress(std::span<const float> gradient) override;
   int max_adjust_steps_;
   double tolerance_;
 };
@@ -75,20 +79,20 @@ class GaussianKSgd final : public Compressor {
 class RandomK final : public Compressor {
  public:
   RandomK(double target_ratio, std::uint64_t seed);
-  CompressResult compress(std::span<const float> gradient) override;
   [[nodiscard]] std::string_view name() const override { return "Randomk"; }
 
  private:
+  CompressResult do_compress(std::span<const float> gradient) override;
   util::Rng rng_;
 };
 
 class HardThreshold final : public Compressor {
  public:
   HardThreshold(double target_ratio, double threshold);
-  CompressResult compress(std::span<const float> gradient) override;
   [[nodiscard]] std::string_view name() const override { return "HardThr"; }
 
  private:
+  CompressResult do_compress(std::span<const float> gradient) override;
   double threshold_;
 };
 

@@ -12,6 +12,27 @@ Compressor::Compressor(double target_ratio) : target_ratio_(target_ratio) {
               "target ratio must be in (0, 1]");
 }
 
+CompressResult Compressor::compress(std::span<const float> gradient) {
+  validate_gradient(gradient);
+  return do_compress(gradient);
+}
+
+CompressResult Compressor::compress_unchecked(
+    std::span<const float> gradient) {
+  return do_compress(gradient);
+}
+
+void Compressor::validate_gradient(std::span<const float> gradient) {
+  util::check(!gradient.empty(), "cannot compress an empty gradient");
+  // One early-exit streaming pass.  Every paper scheme already streams the
+  // full gradient at least once, so this stays a small constant factor of
+  // the compression cost it guards.
+  const bool finite = std::all_of(
+      gradient.begin(), gradient.end(),
+      [](float g) { return std::isfinite(g); });
+  util::check(finite, "gradient contains non-finite values");
+}
+
 std::size_t Compressor::target_k(std::size_t dimension) const {
   const auto k = static_cast<std::size_t>(
       std::llround(target_ratio_ * static_cast<double>(dimension)));

@@ -34,9 +34,18 @@ class Compressor {
   Compressor(const Compressor&) = delete;
   Compressor& operator=(const Compressor&) = delete;
 
-  /// Sparsifies `gradient`.  Must not modify external state other than the
-  /// compressor's own adaptation statistics.
-  virtual CompressResult compress(std::span<const float> gradient) = 0;
+  /// Validates `gradient` (non-empty, all finite) then sparsifies it.  Must
+  /// not modify external state other than the compressor's own adaptation
+  /// statistics.
+  CompressResult compress(std::span<const float> gradient);
+
+  /// Sparsifies without re-validating — for callers that already ran
+  /// validate_gradient() and want measured latency to exclude that pass.
+  CompressResult compress_unchecked(std::span<const float> gradient);
+
+  /// Input contract shared by every scheme: the gradient must be non-empty
+  /// and contain only finite values.  Throws util::CheckError otherwise.
+  static void validate_gradient(std::span<const float> gradient);
 
   /// Scheme name as used in the paper's figures (e.g. "Topk", "DGC").
   [[nodiscard]] virtual std::string_view name() const = 0;
@@ -49,6 +58,9 @@ class Compressor {
 
  protected:
   explicit Compressor(double target_ratio);
+
+  /// Scheme-specific selection logic; input is already validated.
+  virtual CompressResult do_compress(std::span<const float> gradient) = 0;
 
  private:
   double target_ratio_;

@@ -19,6 +19,7 @@ std::string_view scheme_name(Scheme scheme) {
     case Scheme::kSidcoExponential: return "SIDCo-E";
     case Scheme::kSidcoGammaPareto: return "SIDCo-GP";
     case Scheme::kSidcoPareto: return "SIDCo-P";
+    case Scheme::kSchemeCount: break;
   }
   return "unknown";
 }
@@ -51,9 +52,24 @@ std::unique_ptr<compressors::Compressor> make_compressor(Scheme scheme,
       return make_sidco(Sid::kGamma, target_ratio);
     case Scheme::kSidcoPareto:
       return make_sidco(Sid::kGeneralizedPareto, target_ratio);
+    case Scheme::kSchemeCount:
+      break;
   }
   util::check(false, "unknown compressor scheme");
   return nullptr;
+}
+
+std::span<const Scheme> all_schemes() {
+  static constexpr std::array<Scheme, 9> kSchemes = {
+      Scheme::kNone,          Scheme::kTopK,
+      Scheme::kDgc,           Scheme::kRedSync,
+      Scheme::kGaussianKSgd,  Scheme::kRandomK,
+      Scheme::kSidcoExponential, Scheme::kSidcoGammaPareto,
+      Scheme::kSidcoPareto};
+  static_assert(kSchemes.size() == static_cast<std::size_t>(
+                                       Scheme::kSchemeCount),
+                "all_schemes() must list every Scheme enumerator");
+  return kSchemes;
 }
 
 std::span<const Scheme> comparison_schemes() {

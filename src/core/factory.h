@@ -20,6 +20,7 @@ enum class Scheme {
   kSidcoExponential,
   kSidcoGammaPareto,
   kSidcoPareto,
+  kSchemeCount,  ///< sentinel — keep last (sizes all_schemes())
 };
 
 /// Scheme name with the paper's figure spelling ("Topk", "DGC", "SIDCo-E"...).
@@ -28,6 +29,10 @@ std::string_view scheme_name(Scheme scheme);
 /// Builds a compressor; `seed` feeds schemes that randomize (DGC, Random-k).
 std::unique_ptr<compressors::Compressor> make_compressor(
     Scheme scheme, double target_ratio, std::uint64_t seed = 42);
+
+/// Every registered scheme, in enum order (tests iterate this so new schemes
+/// are covered automatically).
+std::span<const Scheme> all_schemes();
 
 /// The five schemes in the paper's main comparison figures, plot order.
 std::span<const Scheme> comparison_schemes();

@@ -44,9 +44,8 @@ std::vector<double> SidcoCompressor::plan_stage_ratios(double target,
   return ratios;
 }
 
-compressors::CompressResult SidcoCompressor::compress(
+compressors::CompressResult SidcoCompressor::do_compress(
     std::span<const float> gradient) {
-  util::check(!gradient.empty(), "cannot compress an empty gradient");
   const std::size_t d = gradient.size();
   const std::size_t k = target_k(d);
   const double delta = target_ratio();

@@ -36,9 +36,6 @@ class SidcoCompressor final : public compressors::Compressor {
  public:
   explicit SidcoCompressor(const SidcoConfig& config);
 
-  compressors::CompressResult compress(
-      std::span<const float> gradient) override;
-
   [[nodiscard]] std::string_view name() const override;
 
   /// Current stage count chosen by the controller.
@@ -50,6 +47,10 @@ class SidcoCompressor final : public compressors::Compressor {
   static std::vector<double> plan_stage_ratios(double target,
                                                double first_stage_ratio,
                                                int stage_count);
+
+ protected:
+  compressors::CompressResult do_compress(
+      std::span<const float> gradient) override;
 
  private:
   SidcoConfig config_;

@@ -1,0 +1,48 @@
+// Compression-latency model per device (paper Figs. 1, 12, 14-16).
+//
+// Two modes:
+//  - kGpuModel: analytic GPU cost.  Top-k pays a full sort (n log n); DGC
+//    samples ~1% (a strided random gather, expensive on GPU) and sorts only
+//    the sample; threshold schemes (SIDCo, RedSync, GaussianKSGD) pay cheap
+//    streaming passes.  Constants are calibrated so the relative ordering of
+//    Fig. 1 holds at paper-scale dimensions.
+//  - kCpuMeasured: scales a *measured* proxy latency linearly to the target
+//    model dimension, for runs where this process is the compression device.
+#pragma once
+
+#include <cstddef>
+
+#include "core/factory.h"
+
+namespace sidco::dist {
+
+enum class Device {
+  kGpuModel,     ///< analytic GPU timing model
+  kCpuMeasured,  ///< extrapolate from latency measured in-process
+};
+
+class DeviceModel {
+ public:
+  explicit DeviceModel(Device device) : device_(device) {}
+
+  [[nodiscard]] Device device() const { return device_; }
+
+  /// Analytic GPU compression latency for `scheme` on a gradient of dimension
+  /// `d` at target ratio `ratio`, with `stages` estimation stages for the
+  /// SIDCo variants.
+  [[nodiscard]] double gpu_seconds(core::Scheme scheme, std::size_t d,
+                                   double ratio, int stages = 1) const;
+
+  /// Latency extrapolated from a measurement: `measured` seconds observed on
+  /// a proxy gradient of `measured_dim` elements, scaled linearly to
+  /// `model_dim` (compression kernels are bandwidth-bound).
+  [[nodiscard]] double compression_seconds(core::Scheme scheme,
+                                           std::size_t model_dim, double ratio,
+                                           double measured,
+                                           std::size_t measured_dim) const;
+
+ private:
+  Device device_;
+};
+
+}  // namespace sidco::dist

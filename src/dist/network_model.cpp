@@ -1,0 +1,43 @@
+#include "dist/network_model.h"
+
+#include "util/check.h"
+
+namespace sidco::dist {
+
+NetworkModel::NetworkModel(const NetworkConfig& config) : config_(config) {
+  util::check(config.workers >= 1, "network model needs >= 1 worker");
+  util::check(config.bandwidth_gbps > 0.0, "bandwidth must be positive");
+  util::check(config.latency_us >= 0.0, "latency must be non-negative");
+}
+
+double NetworkModel::bytes_per_second() const {
+  return config_.bandwidth_gbps * 1e9 / 8.0;
+}
+
+double NetworkModel::dense_allreduce_seconds(std::size_t bytes) const {
+  const auto n = static_cast<double>(config_.workers);
+  if (config_.workers <= 1) return 0.0;
+  // Reduce-scatter + allgather: 2 (N-1)/N of the buffer crosses each link,
+  // with 2 (N-1) latency hops.
+  return 2.0 * (n - 1.0) / n * static_cast<double>(bytes) / bytes_per_second() +
+         2.0 * (n - 1.0) * config_.latency_us * 1e-6;
+}
+
+double NetworkModel::sparse_allgather_seconds(std::size_t bytes) const {
+  const auto n = static_cast<double>(config_.workers);
+  if (config_.workers <= 1) return 0.0;
+  // Ring allgather: each worker receives N-1 remote payloads.
+  return (n - 1.0) * static_cast<double>(bytes) / bytes_per_second() +
+         (n - 1.0) * config_.latency_us * 1e-6;
+}
+
+double NetworkModel::parameter_server_seconds(std::size_t bytes) const {
+  const auto n = static_cast<double>(config_.workers);
+  if (config_.workers <= 1) return 0.0;
+  // All N pushes then N pulls serialize on the server's link (the reason
+  // bandwidth-optimal collectives win at scale).
+  return 2.0 * n * static_cast<double>(bytes) / bytes_per_second() +
+         2.0 * config_.latency_us * 1e-6;
+}
+
+}  // namespace sidco::dist

@@ -1,0 +1,48 @@
+// Analytic communication timing for synchronous data-parallel training.
+//
+// Three collectives are modeled (Appendix A of the paper):
+//  - ring allreduce for dense gradients: 2 (N-1)/N bytes / BW + 2 (N-1) hops,
+//  - allgather for sparse (indices, values) pairs: each worker receives the
+//    other N-1 workers' payloads,
+//  - a central parameter server, which serializes push + pull on one link.
+// All formulas return 0 for a single worker (nothing crosses the wire).
+#pragma once
+
+#include <cstddef>
+
+namespace sidco::dist {
+
+struct NetworkConfig {
+  std::size_t workers = 2;
+  double bandwidth_gbps = 10.0;  ///< per-link bandwidth (Cluster 1: 10 Gbps)
+  double latency_us = 25.0;      ///< per-hop latency
+};
+
+class NetworkModel {
+ public:
+  explicit NetworkModel(const NetworkConfig& config);
+
+  /// Ring allreduce of a dense buffer of `bytes`.
+  [[nodiscard]] double dense_allreduce_seconds(std::size_t bytes) const;
+
+  /// Allgather of each worker's sparse payload of `bytes`.
+  [[nodiscard]] double sparse_allgather_seconds(std::size_t bytes) const;
+
+  /// Parameter-server push + pull of `bytes` per worker over the server link.
+  [[nodiscard]] double parameter_server_seconds(std::size_t bytes) const;
+
+  [[nodiscard]] const NetworkConfig& config() const { return config_; }
+
+  /// Wire bytes of a dense float32 gradient of dimension `n`.
+  [[nodiscard]] static std::size_t dense_bytes(std::size_t n) { return 4 * n; }
+
+  /// Wire bytes of k (uint32 index, float32 value) pairs.
+  [[nodiscard]] static std::size_t sparse_bytes(std::size_t k) { return 8 * k; }
+
+ private:
+  [[nodiscard]] double bytes_per_second() const;
+
+  NetworkConfig config_;
+};
+
+}  // namespace sidco::dist

@@ -1,0 +1,99 @@
+// Synchronous data-parallel training session (the paper's evaluation
+// harness).  N workers run real forward/backward/compress steps; gradients
+// are exchanged by modeled collectives (sparse allgather when compressing,
+// ring allreduce otherwise) and each iteration's wall time is the modeled
+// compute + compression + communication breakdown.  Timing can be evaluated
+// at the proxy model's dimension or at the paper-scale parameter counts of
+// Table 1 (`paper_scale_timing`, the default).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/factory.h"
+#include "dist/device_model.h"
+#include "dist/network_model.h"
+#include "nn/zoo.h"
+
+namespace sidco::dist {
+
+struct SessionConfig {
+  nn::Benchmark benchmark = nn::Benchmark::kResNet20;
+  core::Scheme scheme = core::Scheme::kNone;
+  double target_ratio = 1.0;
+  std::size_t workers = 4;
+  std::size_t iterations = 100;
+  /// Evaluate every `eval_every` iterations (0 = final evaluation only).
+  std::size_t eval_every = 0;
+  std::size_t eval_batches = 2;
+  std::uint64_t seed = 42;
+  bool error_feedback = true;
+  /// Run worker steps on a thread per worker; numerically identical to the
+  /// serial path (workers are fully independent between aggregations).
+  bool parallel_workers = false;
+  /// Evaluate the timing model at Table 1's paper-scale parameter counts
+  /// rather than at the proxy model's dimension.
+  bool paper_scale_timing = true;
+  Device device = Device::kGpuModel;
+  /// Fabric parameters; `network.workers` is overridden by `workers`.
+  NetworkConfig network;
+};
+
+struct IterationRecord {
+  double train_loss = 0.0;
+  double train_accuracy = 0.0;
+  double achieved_ratio = 0.0;
+  int stages_used = 1;
+  double compute_seconds = 0.0;
+  double compression_seconds = 0.0;
+  double communication_seconds = 0.0;
+
+  [[nodiscard]] double wall_seconds() const {
+    return compute_seconds + compression_seconds + communication_seconds;
+  }
+};
+
+struct EvalRecord {
+  std::size_t iteration = 0;  ///< 1-based iteration the eval follows
+  double loss = 0.0;
+  double accuracy = 0.0;
+  /// Benchmark quality metric (accuracy / perplexity / CER), direction per
+  /// benchmark_quality().
+  double quality = 0.0;
+};
+
+/// Direction-aware quality value (Table 1's metric per benchmark).
+struct QualityMetric {
+  double value = 0.0;
+  bool higher_is_better = true;
+};
+
+/// Maps (mean eval loss, eval accuracy) to the benchmark's quality metric:
+/// accuracy for the image models, perplexity exp(loss) for PTB, character
+/// error rate 1 - accuracy for AN4.
+QualityMetric benchmark_quality(nn::Benchmark benchmark, double mean_loss,
+                                double accuracy);
+
+struct SessionResult {
+  SessionConfig config;
+  std::size_t gradient_dimension = 0;
+  std::vector<IterationRecord> iterations;
+  std::vector<EvalRecord> evals;
+  double final_loss = 0.0;
+  double final_quality = 0.0;
+  bool quality_higher_is_better = true;
+  double total_modeled_seconds = 0.0;
+
+  /// Aggregate samples/s under the modeled wall time.
+  [[nodiscard]] double throughput_samples_per_second() const;
+
+  [[nodiscard]] std::vector<double> loss_series() const;
+  [[nodiscard]] std::vector<double> achieved_ratio_series() const;
+};
+
+/// Runs a full synchronous training session.  Deterministic in `config`
+/// (including across parallel_workers on/off) for everything except the
+/// measured-CPU latency fields.
+SessionResult run_session(const SessionConfig& config);
+
+}  // namespace sidco::dist

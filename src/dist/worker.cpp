@@ -1,0 +1,94 @@
+#include "dist/worker.h"
+
+#include <utility>
+
+#include "data/factory.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace sidco::dist {
+
+Worker::Worker(nn::Benchmark benchmark, std::uint64_t model_seed,
+               std::uint64_t stream_seed, core::Scheme scheme,
+               double target_ratio, bool error_feedback)
+    : benchmark_(benchmark),
+      model_(nn::make_model(benchmark, model_seed)),
+      // All workers see the same data distribution; only the sampling
+      // stream below differs per worker.
+      dataset_(data::make_dataset(benchmark, model_seed ^ 0xd474ULL)),
+      compressor_(core::make_compressor(scheme, target_ratio, stream_seed)),
+      optimizer_(nn::benchmark_spec(benchmark).optimizer),
+      rng_(stream_seed),
+      error_feedback_(error_feedback),
+      memory_(model_.parameter_count(), 0.0F),
+      ec_gradient_(model_.parameter_count(), 0.0F) {}
+
+WorkerStepResult Worker::step(std::size_t batch_size) {
+  util::check(batch_size >= 1, "batch size must be >= 1");
+  const nn::BenchmarkSpec& spec = nn::benchmark_spec(benchmark_);
+
+  const data::Batch batch = dataset_->sample(batch_size, rng_);
+  model_.zero_gradients();
+  const std::span<const float> logits = model_.forward(batch.inputs, batch_size);
+  dlogits_.resize(logits.size());
+  const nn::LossResult loss = nn::softmax_cross_entropy(
+      logits, batch.labels, spec.classes, dlogits_);
+  model_.backward(dlogits_);
+
+  const std::span<const float> grad = model_.gradients();
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    ec_gradient_[i] = grad[i] + (error_feedback_ ? memory_[i] : 0.0F);
+  }
+
+  // Validate outside the timed window so measured latency reflects only the
+  // scheme's own selection work.
+  compressors::Compressor::validate_gradient(ec_gradient_);
+  util::Timer timer;
+  compressors::CompressResult compressed =
+      compressor_->compress_unchecked(ec_gradient_);
+  const double measured = timer.seconds();
+
+  if (error_feedback_) {
+    // Residual = corrected gradient off the selected support (Algorithm 2).
+    memory_ = ec_gradient_;
+    for (std::size_t j = 0; j < compressed.sparse.nnz(); ++j) {
+      memory_[compressed.sparse.indices[j]] = 0.0F;
+    }
+  }
+
+  WorkerStepResult result;
+  result.sparse = std::move(compressed.sparse);
+  result.selected = result.sparse.nnz();
+  result.train_loss = loss.loss;
+  result.train_accuracy = loss.accuracy;
+  result.threshold = compressed.threshold;
+  result.stages_used = compressed.stages_used;
+  result.measured_compression_seconds = measured;
+  return result;
+}
+
+void Worker::apply_update(std::span<const float> aggregated_gradient) {
+  util::check(aggregated_gradient.size() == model_.parameter_count(),
+              "aggregated gradient dimension mismatch");
+  optimizer_.step(model_.parameters(), aggregated_gradient);
+}
+
+nn::LossResult Worker::evaluate(std::size_t batch_size, std::size_t batches) {
+  util::check(batches >= 1, "evaluation needs >= 1 batch");
+  const nn::BenchmarkSpec& spec = nn::benchmark_spec(benchmark_);
+  double loss = 0.0;
+  double accuracy = 0.0;
+  for (std::size_t b = 0; b < batches; ++b) {
+    const data::Batch batch = dataset_->eval_batch(batch_size, b);
+    const std::span<const float> logits =
+        model_.forward(batch.inputs, batch_size);
+    const nn::LossResult r =
+        nn::softmax_cross_entropy_eval(logits, batch.labels, spec.classes);
+    loss += r.loss;
+    accuracy += r.accuracy;
+  }
+  const auto n = static_cast<double>(batches);
+  return {.loss = loss / n, .accuracy = accuracy / n};
+}
+
+}  // namespace sidco::dist

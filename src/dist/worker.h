@@ -1,0 +1,77 @@
+// One simulated data-parallel worker: a model replica, a private data stream,
+// a compressor instance, and an error-feedback memory (Algorithm 2).
+//
+// step() runs a real forward/backward on a locally sampled batch, adds the
+// residual memory when error feedback is on, compresses, and retains the
+// unselected remainder as the new residual.  apply_update() applies the
+// aggregated (averaged) gradient, so replicas that start from the same
+// model seed stay bit-identical across workers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "compressors/compressor.h"
+#include "core/factory.h"
+#include "data/dataset.h"
+#include "nn/loss.h"
+#include "nn/model.h"
+#include "nn/optimizer.h"
+#include "nn/zoo.h"
+#include "util/rng.h"
+
+namespace sidco::dist {
+
+struct WorkerStepResult {
+  tensor::SparseGradient sparse;
+  std::size_t selected = 0;
+  double train_loss = 0.0;
+  double train_accuracy = 0.0;
+  double threshold = 0.0;
+  int stages_used = 1;
+  /// Wall-clock seconds spent inside compress() on this process (feeds the
+  /// CPU-measured device model).
+  double measured_compression_seconds = 0.0;
+};
+
+class Worker {
+ public:
+  /// `model_seed` fixes the replica initialization (identical across workers
+  /// of one session); `stream_seed` fixes this worker's private batch stream
+  /// and compressor randomness.
+  Worker(nn::Benchmark benchmark, std::uint64_t model_seed,
+         std::uint64_t stream_seed, core::Scheme scheme, double target_ratio,
+         bool error_feedback);
+
+  /// Forward/backward on one sampled batch of `batch_size`, then compress.
+  WorkerStepResult step(std::size_t batch_size);
+
+  /// Applies the aggregated dense gradient through this worker's optimizer.
+  void apply_update(std::span<const float> aggregated_gradient);
+
+  /// Mean loss/accuracy over `batches` deterministic held-out batches.
+  [[nodiscard]] nn::LossResult evaluate(std::size_t batch_size,
+                                        std::size_t batches);
+
+  [[nodiscard]] std::size_t gradient_dimension() const {
+    return model_.parameter_count();
+  }
+  [[nodiscard]] std::span<const float> error_memory() const { return memory_; }
+  [[nodiscard]] const nn::Model& model() const { return model_; }
+
+ private:
+  nn::Benchmark benchmark_;
+  nn::Model model_;
+  std::unique_ptr<data::Dataset> dataset_;
+  std::unique_ptr<compressors::Compressor> compressor_;
+  nn::SgdOptimizer optimizer_;
+  util::Rng rng_;
+  bool error_feedback_;
+  std::vector<float> memory_;       ///< error-feedback residual
+  std::vector<float> ec_gradient_;  ///< gradient + residual scratch
+  std::vector<float> dlogits_;
+};
+
+}  // namespace sidco::dist

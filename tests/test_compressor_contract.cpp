@@ -17,13 +17,6 @@
 namespace sidco {
 namespace {
 
-constexpr core::Scheme kAllSchemes[] = {
-    core::Scheme::kNone,          core::Scheme::kTopK,
-    core::Scheme::kDgc,           core::Scheme::kRedSync,
-    core::Scheme::kGaussianKSgd,  core::Scheme::kRandomK,
-    core::Scheme::kSidcoExponential, core::Scheme::kSidcoGammaPareto,
-    core::Scheme::kSidcoPareto};
-
 std::vector<float> laplace_gradient(std::size_t n, std::uint64_t seed) {
   const stats::Laplace d(0.005);
   util::Rng rng(seed);
@@ -46,7 +39,9 @@ TEST_P(CompressorContract, IndicesSortedUniqueInRangeAndValuesMatch) {
   ASSERT_EQ(r.sparse.indices.size(), r.sparse.values.size());
   for (std::size_t j = 0; j < r.sparse.nnz(); ++j) {
     ASSERT_LT(r.sparse.indices[j], g.size());
-    if (j > 0) ASSERT_LT(r.sparse.indices[j - 1], r.sparse.indices[j]);
+    if (j > 0) {
+      ASSERT_LT(r.sparse.indices[j - 1], r.sparse.indices[j]);
+    }
     ASSERT_EQ(r.sparse.values[j], g[r.sparse.indices[j]]);
   }
   EXPECT_GT(r.achieved_ratio(), 0.0);
@@ -73,7 +68,9 @@ TEST_P(CompressorContract, SurvivesAdversarialInputs) {
   // guarantee is waived for it; crash-freedom and finiteness still apply.
   const bool may_be_empty = scheme == core::Scheme::kGaussianKSgd;
   const auto check_selected = [&](const compressors::CompressResult& r) {
-    if (!may_be_empty) EXPECT_GT(r.selected(), 0U);
+    if (!may_be_empty) {
+      EXPECT_GT(r.selected(), 0U);
+    }
     for (float v : r.sparse.values) EXPECT_TRUE(std::isfinite(v));
   };
 
@@ -130,7 +127,8 @@ TEST_P(CompressorContract, SelectionIsMagnitudeDownwardClosed) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllSchemesAllRatios, CompressorContract,
-    ::testing::Combine(::testing::ValuesIn(kAllSchemes),
+    ::testing::Combine(::testing::ValuesIn(core::all_schemes().begin(),
+                                            core::all_schemes().end()),
                        ::testing::Values(0.1, 0.01, 0.001)));
 
 }  // namespace

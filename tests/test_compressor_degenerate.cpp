@@ -1,0 +1,75 @@
+// Degenerate-input contract for every compressor the factory can build:
+// empty gradients and non-finite values are rejected with util::CheckError;
+// all-zero and single-element gradients must produce a structurally valid
+// CompressResult (selected() <= d, finite threshold, in-range indices).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/factory.h"
+#include "util/check.h"
+
+namespace sidco {
+namespace {
+
+class DegenerateInput : public ::testing::TestWithParam<core::Scheme> {};
+
+void expect_valid(const compressors::CompressResult& r, std::size_t d) {
+  EXPECT_LE(r.selected(), d);
+  EXPECT_TRUE(std::isfinite(r.threshold));
+  ASSERT_EQ(r.sparse.indices.size(), r.sparse.values.size());
+  EXPECT_EQ(r.sparse.dense_dim, d);
+  for (std::size_t j = 0; j < r.sparse.nnz(); ++j) {
+    EXPECT_LT(r.sparse.indices[j], d);
+    EXPECT_TRUE(std::isfinite(r.sparse.values[j]));
+  }
+}
+
+TEST_P(DegenerateInput, EmptyGradientIsRejected) {
+  auto compressor = core::make_compressor(GetParam(), 0.01, 5);
+  const std::vector<float> empty;
+  EXPECT_THROW((void)compressor->compress(empty), util::CheckError);
+}
+
+TEST_P(DegenerateInput, AllZerosProducesValidResult) {
+  auto compressor = core::make_compressor(GetParam(), 0.01, 5);
+  const std::vector<float> zeros(4096, 0.0F);
+  const compressors::CompressResult r = compressor->compress(zeros);
+  expect_valid(r, zeros.size());
+  for (float v : r.sparse.values) EXPECT_EQ(v, 0.0F);
+}
+
+TEST_P(DegenerateInput, SingleElementProducesValidResult) {
+  auto compressor = core::make_compressor(GetParam(), 0.01, 5);
+  const std::vector<float> one = {0.5F};
+  const compressors::CompressResult r = compressor->compress(one);
+  expect_valid(r, 1);
+  ASSERT_EQ(r.selected(), 1U);
+  EXPECT_EQ(r.sparse.indices[0], 0U);
+  EXPECT_EQ(r.sparse.values[0], 0.5F);
+}
+
+TEST_P(DegenerateInput, NaNIsRejected) {
+  auto compressor = core::make_compressor(GetParam(), 0.01, 5);
+  std::vector<float> g(1024, 0.001F);
+  g[512] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_THROW((void)compressor->compress(g), util::CheckError);
+}
+
+TEST_P(DegenerateInput, InfinityIsRejected) {
+  auto compressor = core::make_compressor(GetParam(), 0.01, 5);
+  std::vector<float> g(1024, 0.001F);
+  g[100] = std::numeric_limits<float>::infinity();
+  EXPECT_THROW((void)compressor->compress(g), util::CheckError);
+  g[100] = -std::numeric_limits<float>::infinity();
+  EXPECT_THROW((void)compressor->compress(g), util::CheckError);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, DegenerateInput,
+                         ::testing::ValuesIn(core::all_schemes().begin(),
+                                            core::all_schemes().end()));
+
+}  // namespace
+}  // namespace sidco

@@ -1,0 +1,109 @@
+// Property-style tests for SidcoCompressor::plan_stage_ratios — the stage
+// planning rule of Algorithm 1: delta = prod_m delta_m, delta_m = delta_1 for
+// every stage but the last, single stage when delta >= delta_1.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/sidco_compressor.h"
+#include "util/check.h"
+
+namespace sidco {
+namespace {
+
+constexpr double kTargets[] = {0.3, 0.1, 0.05, 0.01, 0.001, 0.0001, 1e-6};
+constexpr double kFirstStage[] = {0.1, 0.25, 0.5, 0.9};
+constexpr int kStageCounts[] = {1, 2, 3, 4, 8};
+
+TEST(PlanStageRatios, ProductEqualsTarget) {
+  for (double target : kTargets) {
+    for (double d1 : kFirstStage) {
+      for (int stages : kStageCounts) {
+        const std::vector<double> ratios =
+            core::SidcoCompressor::plan_stage_ratios(target, d1, stages);
+        ASSERT_FALSE(ratios.empty());
+        double product = 1.0;
+        for (double r : ratios) product *= r;
+        EXPECT_NEAR(product, target, target * 1e-9)
+            << "target=" << target << " d1=" << d1 << " stages=" << stages;
+      }
+    }
+  }
+}
+
+TEST(PlanStageRatios, AllButLastStageUseFirstStageRatio) {
+  for (double target : kTargets) {
+    for (double d1 : kFirstStage) {
+      for (int stages : kStageCounts) {
+        const std::vector<double> ratios =
+            core::SidcoCompressor::plan_stage_ratios(target, d1, stages);
+        for (std::size_t m = 0; m + 1 < ratios.size(); ++m) {
+          EXPECT_DOUBLE_EQ(ratios[m], d1);
+        }
+      }
+    }
+  }
+}
+
+TEST(PlanStageRatios, EveryStageRatioIsAValidProbability) {
+  for (double target : kTargets) {
+    for (double d1 : kFirstStage) {
+      for (int stages : kStageCounts) {
+        const std::vector<double> ratios =
+            core::SidcoCompressor::plan_stage_ratios(target, d1, stages);
+        for (double r : ratios) {
+          EXPECT_GT(r, 0.0);
+          EXPECT_LT(r, 1.0);
+        }
+      }
+    }
+  }
+}
+
+TEST(PlanStageRatios, SingleStageWhenTargetAtLeastFirstStageRatio) {
+  // delta >= delta_1 means one stage already over-covers the first-stage
+  // quantile: the residual delta / delta_1 would leave (0, 1).
+  for (double d1 : kFirstStage) {
+    for (double target : {d1, d1 * 1.5, 0.99}) {
+      if (target >= 1.0) continue;
+      const std::vector<double> ratios =
+          core::SidcoCompressor::plan_stage_ratios(target, d1, 4);
+      ASSERT_EQ(ratios.size(), 1U) << "target=" << target << " d1=" << d1;
+      EXPECT_DOUBLE_EQ(ratios.front(), target);
+    }
+  }
+}
+
+TEST(PlanStageRatios, NeverExceedsRequestedStageCount) {
+  for (double target : kTargets) {
+    for (double d1 : kFirstStage) {
+      for (int stages : kStageCounts) {
+        const std::vector<double> ratios =
+            core::SidcoCompressor::plan_stage_ratios(target, d1, stages);
+        EXPECT_LE(ratios.size(), static_cast<std::size_t>(stages));
+      }
+    }
+  }
+}
+
+TEST(PlanStageRatios, PaperExampleThreeStagesAtQuarter) {
+  // delta = 0.001 with delta_1 = 0.25 and M = 3: {0.25, 0.25, 0.016}.
+  const std::vector<double> ratios =
+      core::SidcoCompressor::plan_stage_ratios(0.001, 0.25, 3);
+  ASSERT_EQ(ratios.size(), 3U);
+  EXPECT_DOUBLE_EQ(ratios[0], 0.25);
+  EXPECT_DOUBLE_EQ(ratios[1], 0.25);
+  EXPECT_NEAR(ratios[2], 0.016, 1e-12);
+}
+
+TEST(PlanStageRatios, RejectsInvalidArguments) {
+  EXPECT_THROW(core::SidcoCompressor::plan_stage_ratios(0.0, 0.25, 3),
+               util::CheckError);
+  EXPECT_THROW(core::SidcoCompressor::plan_stage_ratios(1.0, 0.25, 3),
+               util::CheckError);
+  EXPECT_THROW(core::SidcoCompressor::plan_stage_ratios(0.01, 0.25, 0),
+               util::CheckError);
+}
+
+}  // namespace
+}  // namespace sidco
