@@ -1,14 +1,37 @@
 // Kernel microbenchmarks (google-benchmark): the linear passes SIDCo's O(d)
 // claim rests on, vs the selection kernels the baselines pay for.
+//
+// PR 2 additions — the fused/parallel kernel layer:
+//  - BM_AbsMomentsFused vs BM_SeparateMomentPasses: one fused scan replacing
+//    the mean/log/max pass stack the gamma fit used to make.
+//  - BM_SidcoMultiStageCompress{,Legacy}: the end-to-end multi-stage compress
+//    path, new (single full-gradient refinement scan + geometric buffer
+//    filters, allocation-free) vs a faithful replica of the pre-PR algorithm
+//    (per-stage full rescans with fresh allocations).
+//  - BM_SidcoTailRefit{Fused,Legacy}: the stage-2..M refinement loop in
+//    isolation — the part whose full rescans were eliminated.
+//  - *Threads variants: same kernels under ThreadPool::set_threads(T); the
+//    fixed-block partitioning keeps outputs bit-identical, so these measure
+//    pure scaling.
+//
+// The CI bench-smoke job stores this binary's JSON output as BENCH_PR2.json
+// and tools/check_bench_regression.py gates regressions on the multi-stage
+// path (see README "Performance").
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "core/factory.h"
+#include "core/sidco_compressor.h"
 #include "core/threshold_estimator.h"
 #include "stats/distributions.h"
 #include "tensor/vector_ops.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -20,8 +43,24 @@ std::vector<float> laplace_vector(std::size_t n) {
   return v;
 }
 
+/// Shared large inputs so each size is generated once per process.  Fails
+/// loudly on a size with no cached vector — silently benchmarking the wrong
+/// input would corrupt the committed baseline comparisons.
+const std::vector<float>& shared_vector(std::size_t n) {
+  static const std::vector<float> big = laplace_vector(std::size_t{1} << 24);
+  static const std::vector<float> mid = laplace_vector(std::size_t{1} << 22);
+  static const std::vector<float> small = laplace_vector(std::size_t{1} << 18);
+  if (n == (std::size_t{1} << 24)) return big;
+  if (n == (std::size_t{1} << 22)) return mid;
+  if (n == (std::size_t{1} << 18)) return small;
+  std::fprintf(stderr, "shared_vector: unsupported size %zu\n", n);
+  std::abort();
+}
+
+// ------------------------------------------------------------- basic kernels
+
 void BM_MeanAbs(benchmark::State& state) {
-  const auto v = laplace_vector(static_cast<std::size_t>(state.range(0)));
+  const auto& v = shared_vector(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
     benchmark::DoNotOptimize(sidco::tensor::mean_abs(v));
   }
@@ -30,7 +69,7 @@ void BM_MeanAbs(benchmark::State& state) {
 BENCHMARK(BM_MeanAbs)->Arg(1 << 18)->Arg(1 << 22)->Arg(1 << 24);
 
 void BM_MeanVarAbs(benchmark::State& state) {
-  const auto v = laplace_vector(static_cast<std::size_t>(state.range(0)));
+  const auto& v = shared_vector(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
     benchmark::DoNotOptimize(sidco::tensor::mean_var_abs(v));
   }
@@ -39,7 +78,7 @@ void BM_MeanVarAbs(benchmark::State& state) {
 BENCHMARK(BM_MeanVarAbs)->Arg(1 << 22);
 
 void BM_CountAtLeast(benchmark::State& state) {
-  const auto v = laplace_vector(static_cast<std::size_t>(state.range(0)));
+  const auto& v = shared_vector(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
     benchmark::DoNotOptimize(sidco::tensor::count_at_least(v, 0.003F));
   }
@@ -48,26 +87,56 @@ void BM_CountAtLeast(benchmark::State& state) {
 BENCHMARK(BM_CountAtLeast)->Arg(1 << 22);
 
 void BM_ExactTopK(benchmark::State& state) {
-  const auto v = laplace_vector(static_cast<std::size_t>(state.range(0)));
+  const auto& v = shared_vector(static_cast<std::size_t>(state.range(0)));
   const std::size_t k = static_cast<std::size_t>(state.range(0)) / 100;
+  sidco::tensor::Workspace ws;
+  sidco::tensor::SparseGradient out;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sidco::tensor::top_k(v, k));
+    benchmark::DoNotOptimize(sidco::tensor::top_k(v, k, ws, out));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_ExactTopK)->Arg(1 << 18)->Arg(1 << 22)->Arg(1 << 24);
 
 void BM_ExtractAtLeast(benchmark::State& state) {
-  const auto v = laplace_vector(static_cast<std::size_t>(state.range(0)));
+  const auto& v = shared_vector(static_cast<std::size_t>(state.range(0)));
+  sidco::tensor::Workspace ws;
+  sidco::tensor::SparseGradient out;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sidco::tensor::extract_at_least(v, 0.003F, 1024));
+    sidco::tensor::extract_at_least(v, 0.003F, ws, out);
+    benchmark::DoNotOptimize(out.nnz());
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_ExtractAtLeast)->Arg(1 << 22);
 
+// ------------------------------------------------------------- fused moments
+
+void BM_AbsMomentsFused(benchmark::State& state) {
+  const auto& v = shared_vector(static_cast<std::size_t>(state.range(0)));
+  sidco::tensor::Workspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sidco::tensor::abs_moments(
+        v, std::numeric_limits<float>::infinity(), /*with_log=*/true, &ws));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AbsMomentsFused)->Arg(1 << 22)->Arg(1 << 24);
+
+void BM_SeparateMomentPasses(benchmark::State& state) {
+  // What the gamma fit + fallback used to cost: three independent scans.
+  const auto& v = shared_vector(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sidco::tensor::mean_abs(v));
+    benchmark::DoNotOptimize(sidco::tensor::mean_log_abs(v));
+    benchmark::DoNotOptimize(sidco::tensor::max_abs(v));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SeparateMomentPasses)->Arg(1 << 22)->Arg(1 << 24);
+
 void BM_SidcoEstimateFirstStage(benchmark::State& state) {
-  const auto v = laplace_vector(static_cast<std::size_t>(state.range(0)));
+  const auto& v = shared_vector(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
     benchmark::DoNotOptimize(sidco::core::estimate_first_stage(
         sidco::core::Sid::kExponential, v, 0.25));
@@ -76,14 +145,239 @@ void BM_SidcoEstimateFirstStage(benchmark::State& state) {
 }
 BENCHMARK(BM_SidcoEstimateFirstStage)->Arg(1 << 22)->Arg(1 << 24);
 
+// ----------------------------------------------- multi-stage SIDCo pipeline
+
+// Deep-compression operating point: delta = 1e-4 plans six stages
+// (0.25^5 * 0.1024), so the legacy algorithm pays five full-gradient rescans
+// per call where the fused pipeline pays zero.
+constexpr double kTargetRatio = 1e-4;
+constexpr double kFirstStageRatio = 0.25;
+constexpr int kStages = 6;
+
+// ---- seed-faithful kernel replicas -----------------------------------------
+// The legacy benchmarks below measure the *pre-PR* implementation: the
+// original serial kernels (simple loops, branchy conditional push_back,
+// fresh allocations per call) verbatim from the seed vector_ops.cpp, driving
+// the original per-stage full-rescan algorithm from the seed
+// sidco_compressor.cpp.  This is the baseline the fused pipeline replaced.
+
+double seed_mean_abs(std::span<const float> x) {
+  double acc = 0.0;
+  for (float v : x) acc += std::fabs(static_cast<double>(v));
+  return x.empty() ? 0.0 : acc / static_cast<double>(x.size());
+}
+
+std::vector<float> seed_abs_exceedances(std::span<const float> x,
+                                        float threshold,
+                                        std::size_t reserve_hint) {
+  std::vector<float> out;
+  out.reserve(reserve_hint);
+  for (float v : x) {
+    const float a = std::fabs(v);
+    if (a >= threshold) out.push_back(a);
+  }
+  return out;
+}
+
+sidco::tensor::SparseGradient seed_extract_at_least(std::span<const float> x,
+                                                    float threshold,
+                                                    std::size_t reserve_hint) {
+  sidco::tensor::SparseGradient out;
+  out.dense_dim = x.size();
+  out.indices.reserve(reserve_hint);
+  out.values.reserve(reserve_hint);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (std::fabs(x[i]) >= threshold) {
+      out.indices.push_back(static_cast<std::uint32_t>(i));
+      out.values.push_back(x[i]);
+    }
+  }
+  return out;
+}
+
+double seed_tail_threshold(std::span<const float> exceedances, double shift,
+                           double delta) {
+  // Seed estimate_tail_stage, exponential: beta = mean(m) - shift.
+  const double beta =
+      std::max(seed_mean_abs(exceedances) - shift, 1e-30);
+  return beta * std::log(1.0 / delta) + shift;
+}
+
+/// The seed SidcoCompressor::do_compress multi-stage path: stage-1 fit scan,
+/// then one full-gradient exceedance rescan per stage, then a full-gradient
+/// extraction.
+sidco::tensor::SparseGradient legacy_multi_stage_compress(
+    std::span<const float> gradient) {
+  using sidco::core::SidcoCompressor;
+  const std::size_t d = gradient.size();
+  const std::vector<double> ratios = SidcoCompressor::plan_stage_ratios(
+      kTargetRatio, kFirstStageRatio, kStages);
+  // Seed estimate_first_stage, exponential: beta = mean|g|.
+  double eta = std::max(seed_mean_abs(gradient), 1e-30) *
+               std::log(1.0 / ratios.front());
+  for (std::size_t m = 1; m < ratios.size(); ++m) {
+    const std::size_t expect = std::max<std::size_t>(
+        16, static_cast<std::size_t>(
+                static_cast<double>(d) *
+                std::pow(kFirstStageRatio, static_cast<double>(m))));
+    const std::vector<float> exceedances =
+        seed_abs_exceedances(gradient, static_cast<float>(eta), expect);
+    if (exceedances.size() < 4) break;
+    const double next = seed_tail_threshold(exceedances, eta, ratios[m]);
+    if (!(next > eta)) break;
+    eta = next;
+  }
+  const auto k = static_cast<std::size_t>(kTargetRatio *
+                                          static_cast<double>(d));
+  return seed_extract_at_least(gradient, static_cast<float>(eta), k + k / 4);
+}
+
+std::unique_ptr<sidco::core::SidcoCompressor> fixed_stage_sidco(
+    sidco::core::Sid sid) {
+  sidco::core::SidcoConfig config;
+  config.sid = sid;
+  config.target_ratio = kTargetRatio;
+  config.first_stage_ratio = kFirstStageRatio;
+  config.controller.initial_stages = kStages;
+  config.controller.period = 1U << 30;  // freeze the stage count
+  return std::make_unique<sidco::core::SidcoCompressor>(config);
+}
+
+void BM_SidcoMultiStageCompress(benchmark::State& state) {
+  const auto& v = shared_vector(static_cast<std::size_t>(state.range(0)));
+  auto compressor = fixed_stage_sidco(sidco::core::Sid::kExponential);
+  sidco::compressors::CompressResult out;
+  for (int warm = 0; warm < 3; ++warm) compressor->compress_into(v, out);
+  for (auto _ : state) {
+    compressor->compress_into_unchecked(v, out);
+    benchmark::DoNotOptimize(out.sparse.nnz());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SidcoMultiStageCompress)->Arg(1 << 22)->Arg(1 << 24);
+
+void BM_SidcoMultiStageCompressLegacy(benchmark::State& state) {
+  const auto& v = shared_vector(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(legacy_multi_stage_compress(v));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SidcoMultiStageCompressLegacy)->Arg(1 << 22)->Arg(1 << 24);
+
+/// The refinement loop alone (stages 2..M from a fixed stage-1 threshold):
+/// legacy pays (M-1) full gradient rescans + allocations, the fused path one
+/// rescan plus geometrically shrinking buffer filters.
+void BM_SidcoTailRefitLegacy(benchmark::State& state) {
+  const auto& v = shared_vector(static_cast<std::size_t>(state.range(0)));
+  const std::vector<double> ratios =
+      sidco::core::SidcoCompressor::plan_stage_ratios(kTargetRatio,
+                                                      kFirstStageRatio,
+                                                      kStages);
+  const double eta1 = std::max(seed_mean_abs(v), 1e-30) *
+                      std::log(1.0 / ratios.front());
+  for (auto _ : state) {
+    double eta = eta1;
+    for (std::size_t m = 1; m < ratios.size(); ++m) {
+      const std::vector<float> exceedances = seed_abs_exceedances(
+          v, static_cast<float>(eta), static_cast<std::size_t>(
+              static_cast<double>(v.size()) *
+              std::pow(kFirstStageRatio, static_cast<double>(m))));
+      if (exceedances.size() < 4) break;
+      const double next = seed_tail_threshold(exceedances, eta, ratios[m]);
+      if (!(next > eta)) break;
+      eta = next;
+    }
+    benchmark::DoNotOptimize(eta);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SidcoTailRefitLegacy)->Arg(1 << 22)->Arg(1 << 24);
+
+void BM_SidcoTailRefitFused(benchmark::State& state) {
+  const auto& v = shared_vector(static_cast<std::size_t>(state.range(0)));
+  const auto sid = sidco::core::Sid::kExponential;
+  const std::vector<double> ratios =
+      sidco::core::SidcoCompressor::plan_stage_ratios(kTargetRatio,
+                                                      kFirstStageRatio,
+                                                      kStages);
+  const double eta1 =
+      sidco::core::estimate_first_stage(sid, v, ratios.front()).threshold;
+  sidco::tensor::Workspace ws;
+  std::vector<float> buffers[2];
+  for (auto _ : state) {
+    double eta = eta1;
+    int buffer = 0;
+    for (std::size_t m = 1; m < ratios.size(); ++m) {
+      if (m == 1) {
+        sidco::tensor::abs_exceedances(v, static_cast<float>(eta), ws,
+                                       buffers[buffer]);
+      } else {
+        sidco::tensor::abs_exceedances(buffers[buffer],
+                                       static_cast<float>(eta), ws,
+                                       buffers[1 - buffer]);
+        buffer = 1 - buffer;
+      }
+      if (buffers[buffer].size() < 4) break;
+      const auto est = sidco::core::estimate_tail_stage(sid, buffers[buffer],
+                                                        eta, ratios[m]);
+      if (!(est.threshold > eta)) break;
+      eta = est.threshold;
+    }
+    benchmark::DoNotOptimize(eta);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SidcoTailRefitFused)->Arg(1 << 22)->Arg(1 << 24);
+
+// ------------------------------------------------------------ thread scaling
+
+void BM_AbsMomentsThreads(benchmark::State& state) {
+  const int saved_threads = sidco::util::ThreadPool::instance().threads();
+  sidco::util::ThreadPool::instance().set_threads(
+      static_cast<int>(state.range(0)));
+  const auto& v = shared_vector(std::size_t{1} << 24);
+  sidco::tensor::Workspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sidco::tensor::abs_moments(
+        v, std::numeric_limits<float>::infinity(), false, &ws));
+  }
+  sidco::util::ThreadPool::instance().set_threads(saved_threads);
+  state.SetItemsProcessed(state.iterations() * (std::int64_t{1} << 24));
+}
+BENCHMARK(BM_AbsMomentsThreads)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_SidcoMultiStageCompressThreads(benchmark::State& state) {
+  const int saved_threads = sidco::util::ThreadPool::instance().threads();
+  sidco::util::ThreadPool::instance().set_threads(
+      static_cast<int>(state.range(0)));
+  const auto& v = shared_vector(std::size_t{1} << 24);
+  auto compressor = fixed_stage_sidco(sidco::core::Sid::kExponential);
+  sidco::compressors::CompressResult out;
+  for (int warm = 0; warm < 3; ++warm) compressor->compress_into(v, out);
+  for (auto _ : state) {
+    compressor->compress_into_unchecked(v, out);
+    benchmark::DoNotOptimize(out.sparse.nnz());
+  }
+  sidco::util::ThreadPool::instance().set_threads(saved_threads);
+  state.SetItemsProcessed(state.iterations() * (std::int64_t{1} << 24));
+}
+BENCHMARK(BM_SidcoMultiStageCompressThreads)->Arg(1)->Arg(2)->Arg(4);
+
+// --------------------------------------------------------------- end to end
+
 void BM_CompressorEndToEnd(benchmark::State& state) {
   const auto scheme = static_cast<sidco::core::Scheme>(state.range(0));
-  const auto v = laplace_vector(1 << 22);
+  const auto& v = shared_vector(std::size_t{1} << 22);
   auto compressor = sidco::core::make_compressor(scheme, 0.001);
   sidco::compressors::Compressor::validate_gradient(v);
-  for (int warm = 0; warm < 6; ++warm) (void)compressor->compress_unchecked(v);
+  sidco::compressors::CompressResult out;
+  for (int warm = 0; warm < 6; ++warm) {
+    compressor->compress_into_unchecked(v, out);
+  }
   for (auto _ : state) {
-    benchmark::DoNotOptimize(compressor->compress_unchecked(v));
+    compressor->compress_into_unchecked(v, out);
+    benchmark::DoNotOptimize(out.sparse.nnz());
   }
   state.SetLabel(std::string(sidco::core::scheme_name(scheme)));
   state.SetItemsProcessed(state.iterations() * (1 << 22));

@@ -13,27 +13,23 @@ namespace sidco::compressors {
 
 NoCompression::NoCompression(double target_ratio) : Compressor(target_ratio) {}
 
-CompressResult NoCompression::do_compress(std::span<const float> gradient) {
-  CompressResult result;
-  result.sparse.dense_dim = gradient.size();
-  result.sparse.indices.resize(gradient.size());
-  result.sparse.values.assign(gradient.begin(), gradient.end());
+void NoCompression::do_compress_into(std::span<const float> gradient,
+                                     CompressResult& out) {
+  out.sparse.indices.resize(gradient.size());
+  out.sparse.values.assign(gradient.begin(), gradient.end());
   for (std::size_t i = 0; i < gradient.size(); ++i) {
-    result.sparse.indices[i] = static_cast<std::uint32_t>(i);
+    out.sparse.indices[i] = static_cast<std::uint32_t>(i);
   }
-  return result;
 }
 
 // ----------------------------------------------------------------------- TopK
 
 TopK::TopK(double target_ratio) : Compressor(target_ratio) {}
 
-CompressResult TopK::do_compress(std::span<const float> gradient) {
+void TopK::do_compress_into(std::span<const float> gradient,
+                            CompressResult& out) {
   const std::size_t k = target_k(gradient.size());
-  CompressResult result;
-  result.sparse = tensor::top_k(gradient, k);
-  result.threshold = tensor::kth_largest_abs(gradient, k);
-  return result;
+  out.threshold = tensor::top_k(gradient, k, workspace_, out.sparse);
 }
 
 // ------------------------------------------------------------------------ DGC
@@ -48,7 +44,8 @@ Dgc::Dgc(double target_ratio, std::uint64_t seed, double sample_ratio,
               "DGC sample ratio must be in (0, 1]");
 }
 
-CompressResult Dgc::do_compress(std::span<const float> gradient) {
+void Dgc::do_compress_into(std::span<const float> gradient,
+                           CompressResult& out) {
   const std::size_t d = gradient.size();
   const std::size_t k = target_k(d);
 
@@ -63,47 +60,60 @@ CompressResult Dgc::do_compress(std::span<const float> gradient) {
       static_cast<std::size_t>(sample_ratio_ * static_cast<double>(d)));
   sample_size = std::max(sample_size, quantile_floor);
   sample_size = std::min(sample_size, d);
-  sample_buffer_.resize(sample_size);
+
+  float eta = 0.0F;
   if (sample_size == d) {
-    for (std::size_t i = 0; i < d; ++i) sample_buffer_[i] = std::fabs(gradient[i]);
+    // The "sample" is the full population: the trial threshold is exactly the
+    // k-th largest magnitude (workspace-backed selection — no extra copy of
+    // the gradient into the sample buffer).
+    eta = tensor::kth_largest_abs(gradient, k, workspace_);
   } else {
+    sample_buffer_.resize(sample_size);
     for (std::size_t i = 0; i < sample_size; ++i) {
       sample_buffer_[i] = std::fabs(gradient[rng_.uniform_index(d)]);
     }
+    // 2) Top-k on the sample to get a trial threshold at the target quantile.
+    const std::size_t sample_k = std::clamp<std::size_t>(
+        static_cast<std::size_t>(
+            std::llround(target_ratio() * static_cast<double>(sample_size))),
+        1, sample_size);
+    std::nth_element(
+        sample_buffer_.begin(),
+        sample_buffer_.begin() + static_cast<std::ptrdiff_t>(sample_k - 1),
+        sample_buffer_.end(), std::greater<>());
+    eta = sample_buffer_[sample_k - 1];
   }
-
-  // 2) Top-k on the sample to get a trial threshold at the target quantile.
-  const std::size_t sample_k = std::clamp<std::size_t>(
-      static_cast<std::size_t>(
-          std::llround(target_ratio() * static_cast<double>(sample_size))),
-      1, sample_size);
-  std::nth_element(sample_buffer_.begin(),
-                   sample_buffer_.begin() + static_cast<std::ptrdiff_t>(sample_k - 1),
-                   sample_buffer_.end(), std::greater<>());
-  const float eta = sample_buffer_[sample_k - 1];
 
   // 3) Hierarchical selection: apply the trial threshold to the full vector;
-  //    if it overshoots the target, run exact Top-k on the (much smaller)
-  //    exceedance set — the paper's "invokes Topk twice" worst case.
-  CompressResult result;
-  result.threshold = eta;
-  result.sparse = tensor::extract_at_least(gradient, eta, 2 * k);
-  if (result.sparse.nnz() > k) {
-    std::vector<float> exceed_values = std::move(result.sparse.values);
-    std::vector<std::uint32_t> exceed_indices = std::move(result.sparse.indices);
-    tensor::SparseGradient trimmed = tensor::top_k(exceed_values, k);
-    result.sparse.indices.clear();
-    result.sparse.values.clear();
-    result.sparse.indices.reserve(k);
-    result.sparse.values.reserve(k);
-    for (std::size_t j = 0; j < trimmed.nnz(); ++j) {
-      result.sparse.indices.push_back(exceed_indices[trimmed.indices[j]]);
-      result.sparse.values.push_back(trimmed.values[j]);
+  //    if it overshoots the target, trim the (much smaller) exceedance set
+  //    down to k in place — the paper's "invokes Topk twice" worst case,
+  //    without materializing a second index/value pair.
+  out.threshold = eta;
+  tensor::extract_at_least(gradient, eta, workspace_, out.sparse);
+  if (out.sparse.nnz() > k) {
+    const float trim_eta =
+        tensor::kth_largest_abs(out.sparse.values, k, workspace_);
+    std::size_t above = 0;
+    for (float v : out.sparse.values) {
+      above += (std::fabs(v) > trim_eta) ? 1U : 0U;
     }
-    result.sparse.dense_dim = gradient.size();
-    result.threshold = tensor::kth_largest_abs(exceed_values, k);
+    std::size_t tie_budget = k - above;
+    std::size_t w = 0;
+    for (std::size_t j = 0; j < out.sparse.nnz(); ++j) {
+      const float a = std::fabs(out.sparse.values[j]);
+      if (a < trim_eta) continue;
+      if (a == trim_eta) {
+        if (tie_budget == 0) continue;
+        --tie_budget;
+      }
+      out.sparse.indices[w] = out.sparse.indices[j];
+      out.sparse.values[w] = out.sparse.values[j];
+      ++w;
+    }
+    out.sparse.indices.resize(w);
+    out.sparse.values.resize(w);
+    out.threshold = trim_eta;
   }
-  return result;
 }
 
 // -------------------------------------------------------------------- RedSync
@@ -113,11 +123,16 @@ RedSync::RedSync(double target_ratio, int max_search_steps)
   util::check(max_search_steps >= 1, "RedSync needs at least one step");
 }
 
-CompressResult RedSync::do_compress(std::span<const float> gradient) {
+void RedSync::do_compress_into(std::span<const float> gradient,
+                               CompressResult& out) {
   const std::size_t d = gradient.size();
   const std::size_t k = target_k(d);
-  const double mean_mag = tensor::mean_abs(gradient);
-  const double max_mag = tensor::max_abs(gradient);
+  // One fused pass for both anchors of the interpolation.
+  const tensor::AbsMoments moments =
+      tensor::abs_moments(gradient, std::numeric_limits<float>::infinity(),
+                          /*with_log=*/false, &workspace_);
+  const double mean_mag = moments.mean_abs();
+  const double max_mag = static_cast<double>(moments.max_abs);
 
   // Move the interpolation ratio between mean and max upward geometrically
   // (eta = mean + r (max - mean)) and stop at the FIRST ratio whose count
@@ -127,20 +142,19 @@ CompressResult RedSync::do_compress(std::span<const float> gradient) {
   // the tail can jump across most of the survivors (paper Figs. 1c, 4b).
   double ratio = 1.0 / 1024.0;
   double eta = mean_mag + ratio * (max_mag - mean_mag);
-  std::size_t selected =
-      tensor::count_at_least(gradient, static_cast<float>(eta));
+  std::size_t selected = tensor::count_at_least(
+      gradient, static_cast<float>(eta), &workspace_);
   for (int step = 0; step < max_search_steps_ && selected > k && ratio < 1.0;
        ++step) {
     ratio = std::min(ratio * 2.0, 1.0);
     eta = mean_mag + ratio * (max_mag - mean_mag);
-    selected = tensor::count_at_least(gradient, static_cast<float>(eta));
+    selected = tensor::count_at_least(gradient, static_cast<float>(eta),
+                                      &workspace_);
   }
 
-  CompressResult result;
-  result.threshold = eta;
-  result.sparse =
-      tensor::extract_at_least(gradient, static_cast<float>(eta), selected);
-  return result;
+  out.threshold = eta;
+  tensor::extract_at_least(gradient, static_cast<float>(eta), workspace_,
+                           out.sparse);
 }
 
 // --------------------------------------------------------------- GaussianKSgd
@@ -154,25 +168,28 @@ GaussianKSgd::GaussianKSgd(double target_ratio, int max_adjust_steps,
   util::check(tolerance > 0.0, "tolerance must be positive");
 }
 
-CompressResult GaussianKSgd::do_compress(std::span<const float> gradient) {
+void GaussianKSgd::do_compress_into(std::span<const float> gradient,
+                                    CompressResult& out) {
   const std::size_t d = gradient.size();
   const std::size_t k = target_k(d);
 
   // Threshold from a Gaussian fit of the signed gradient: the (1 - delta/2)
-  // quantile.  The bounded refinement re-evaluates the *Gaussian* quantile at
-  // an adjusted probability delta_est *= k / k-hat (Shi et al.'s heuristic).
-  // Because real gradients are leptokurtic, feedback through the wrong
-  // distribution converges very slowly deep in the tail (quantiles compress
-  // as z grows) — the defect the paper demonstrates at delta = 0.001.
-  const stats::Normal fit = stats::fit_normal(gradient);
+  // quantile.  Mean and variance come from one fused pass.  The bounded
+  // refinement re-evaluates the *Gaussian* quantile at an adjusted
+  // probability delta_est *= k / k-hat (Shi et al.'s heuristic).  Because
+  // real gradients are leptokurtic, feedback through the wrong distribution
+  // converges very slowly deep in the tail (quantiles compress as z grows) —
+  // the defect the paper demonstrates at delta = 0.001.
+  const stats::Normal fit =
+      stats::fit_normal(tensor::signed_moments(gradient, &workspace_));
   double delta_est = target_ratio();
   auto threshold_at = [&](double delta_value) {
     const double q = fit.quantile(1.0 - delta_value / 2.0);
     return std::fabs(q - fit.mean()) + std::fabs(fit.mean());
   };
   double eta = threshold_at(delta_est);
-  std::size_t selected =
-      tensor::count_at_least(gradient, static_cast<float>(eta));
+  std::size_t selected = tensor::count_at_least(
+      gradient, static_cast<float>(eta), &workspace_);
   for (int it = 0; it < max_adjust_steps_; ++it) {
     const double ratio_error =
         (static_cast<double>(selected) - static_cast<double>(k)) /
@@ -182,14 +199,13 @@ CompressResult GaussianKSgd::do_compress(std::span<const float> gradient) {
                  std::max<double>(static_cast<double>(selected), 1.0);
     delta_est = std::clamp(delta_est, 1e-12, 0.9);
     eta = threshold_at(delta_est);
-    selected = tensor::count_at_least(gradient, static_cast<float>(eta));
+    selected = tensor::count_at_least(gradient, static_cast<float>(eta),
+                                      &workspace_);
   }
 
-  CompressResult result;
-  result.threshold = eta;
-  result.sparse =
-      tensor::extract_at_least(gradient, static_cast<float>(eta), selected);
-  return result;
+  out.threshold = eta;
+  tensor::extract_at_least(gradient, static_cast<float>(eta), workspace_,
+                           out.sparse);
 }
 
 // -------------------------------------------------------------------- RandomK
@@ -197,28 +213,30 @@ CompressResult GaussianKSgd::do_compress(std::span<const float> gradient) {
 RandomK::RandomK(double target_ratio, std::uint64_t seed)
     : Compressor(target_ratio), rng_(seed) {}
 
-CompressResult RandomK::do_compress(std::span<const float> gradient) {
+void RandomK::do_compress_into(std::span<const float> gradient,
+                               CompressResult& out) {
   const std::size_t d = gradient.size();
   const std::size_t k = target_k(d);
-  // Floyd's algorithm for a uniform k-subset without replacement.
-  std::vector<std::uint32_t> chosen;
-  chosen.reserve(k);
-  std::vector<bool> used(d, false);
+  // Floyd's algorithm for a uniform k-subset without replacement.  Membership
+  // is tracked by epoch stamps in a reusable O(d) buffer: bumping the epoch
+  // invalidates all previous marks, so per-call work is O(k log k), not O(d).
+  if (used_stamp_.size() < d) used_stamp_.resize(d, 0);
+  ++epoch_;
+  if (epoch_ == 0) {  // stamp wraparound: all marks must be invalidated
+    std::fill(used_stamp_.begin(), used_stamp_.end(), 0U);
+    epoch_ = 1;
+  }
   for (std::size_t j = d - k; j < d; ++j) {
     const std::size_t t = rng_.uniform_index(j + 1);
-    const std::size_t pick = used[t] ? j : t;
-    used[pick] = true;
-    chosen.push_back(static_cast<std::uint32_t>(pick));
+    const std::size_t pick = (used_stamp_[t] == epoch_) ? j : t;
+    used_stamp_[pick] = epoch_;
+    out.sparse.indices.push_back(static_cast<std::uint32_t>(pick));
   }
-  std::sort(chosen.begin(), chosen.end());
-  CompressResult result;
-  result.sparse.dense_dim = d;
-  result.sparse.indices = std::move(chosen);
-  result.sparse.values.reserve(k);
-  for (std::uint32_t idx : result.sparse.indices) {
-    result.sparse.values.push_back(gradient[idx]);
+  std::sort(out.sparse.indices.begin(), out.sparse.indices.end());
+  out.sparse.values.resize(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    out.sparse.values[j] = gradient[out.sparse.indices[j]];
   }
-  return result;
 }
 
 // -------------------------------------------------------------- HardThreshold
@@ -228,12 +246,11 @@ HardThreshold::HardThreshold(double target_ratio, double threshold)
   util::check(threshold >= 0.0, "hard threshold must be non-negative");
 }
 
-CompressResult HardThreshold::do_compress(std::span<const float> gradient) {
-  CompressResult result;
-  result.threshold = threshold_;
-  result.sparse =
-      tensor::extract_at_least(gradient, static_cast<float>(threshold_), 0);
-  return result;
+void HardThreshold::do_compress_into(std::span<const float> gradient,
+                                     CompressResult& out) {
+  out.threshold = threshold_;
+  tensor::extract_at_least(gradient, static_cast<float>(threshold_),
+                           workspace_, out.sparse);
 }
 
 }  // namespace sidco::compressors

@@ -11,11 +11,15 @@
 //                  refined by a fixed number of multiplicative adjustments.
 //  - RandomK:      uniform random support (convergence baseline).
 //  - HardThreshold / NoCompression: plumbing baselines.
+//
+// Every scheme owns a tensor::Workspace (and scheme-specific buffers) so that
+// steady-state compress_into() calls are allocation-free.
 #pragma once
 
 #include <vector>
 
 #include "compressors/compressor.h"
+#include "tensor/vector_ops.h"
 
 namespace sidco::compressors {
 
@@ -25,7 +29,8 @@ class NoCompression final : public Compressor {
   [[nodiscard]] std::string_view name() const override { return "NoComp"; }
 
  private:
-  CompressResult do_compress(std::span<const float> gradient) override;
+  void do_compress_into(std::span<const float> gradient,
+                        CompressResult& out) override;
 };
 
 class TopK final : public Compressor {
@@ -34,7 +39,9 @@ class TopK final : public Compressor {
   [[nodiscard]] std::string_view name() const override { return "Topk"; }
 
  private:
-  CompressResult do_compress(std::span<const float> gradient) override;
+  void do_compress_into(std::span<const float> gradient,
+                        CompressResult& out) override;
+  tensor::Workspace workspace_;
 };
 
 class Dgc final : public Compressor {
@@ -45,11 +52,13 @@ class Dgc final : public Compressor {
   [[nodiscard]] std::string_view name() const override { return "DGC"; }
 
  private:
-  CompressResult do_compress(std::span<const float> gradient) override;
+  void do_compress_into(std::span<const float> gradient,
+                        CompressResult& out) override;
   util::Rng rng_;
   double sample_ratio_;
   std::size_t min_samples_;
   std::vector<float> sample_buffer_;
+  tensor::Workspace workspace_;
 };
 
 class RedSync final : public Compressor {
@@ -60,8 +69,10 @@ class RedSync final : public Compressor {
   [[nodiscard]] std::string_view name() const override { return "RedSync"; }
 
  private:
-  CompressResult do_compress(std::span<const float> gradient) override;
+  void do_compress_into(std::span<const float> gradient,
+                        CompressResult& out) override;
   int max_search_steps_;
+  tensor::Workspace workspace_;
 };
 
 class GaussianKSgd final : public Compressor {
@@ -71,9 +82,11 @@ class GaussianKSgd final : public Compressor {
   [[nodiscard]] std::string_view name() const override { return "GaussK"; }
 
  private:
-  CompressResult do_compress(std::span<const float> gradient) override;
+  void do_compress_into(std::span<const float> gradient,
+                        CompressResult& out) override;
   int max_adjust_steps_;
   double tolerance_;
+  tensor::Workspace workspace_;
 };
 
 class RandomK final : public Compressor {
@@ -82,8 +95,14 @@ class RandomK final : public Compressor {
   [[nodiscard]] std::string_view name() const override { return "Randomk"; }
 
  private:
-  CompressResult do_compress(std::span<const float> gradient) override;
+  void do_compress_into(std::span<const float> gradient,
+                        CompressResult& out) override;
   util::Rng rng_;
+  /// Floyd-sampling membership marks, epoch-stamped so the buffer is reused
+  /// across calls without an O(d) clear (and without the former per-call
+  /// std::vector<bool> allocation).
+  std::vector<std::uint32_t> used_stamp_;
+  std::uint32_t epoch_ = 0;
 };
 
 class HardThreshold final : public Compressor {
@@ -92,8 +111,10 @@ class HardThreshold final : public Compressor {
   [[nodiscard]] std::string_view name() const override { return "HardThr"; }
 
  private:
-  CompressResult do_compress(std::span<const float> gradient) override;
+  void do_compress_into(std::span<const float> gradient,
+                        CompressResult& out) override;
   double threshold_;
+  tensor::Workspace workspace_;
 };
 
 }  // namespace sidco::compressors

@@ -12,14 +12,47 @@ Compressor::Compressor(double target_ratio) : target_ratio_(target_ratio) {
               "target ratio must be in (0, 1]");
 }
 
+namespace {
+
+/// Resets `out` for reuse: clears the sparse arrays without releasing their
+/// capacity and restores the scalar fields' defaults.
+void reset_result(std::span<const float> gradient, CompressResult& out) {
+  out.sparse.indices.clear();
+  out.sparse.values.clear();
+  out.sparse.dense_dim = gradient.size();
+  out.threshold = 0.0;
+  out.stages_used = 1;
+}
+
+}  // namespace
+
 CompressResult Compressor::compress(std::span<const float> gradient) {
   validate_gradient(gradient);
-  return do_compress(gradient);
+  CompressResult result;
+  reset_result(gradient, result);
+  do_compress_into(gradient, result);
+  return result;
 }
 
 CompressResult Compressor::compress_unchecked(
     std::span<const float> gradient) {
-  return do_compress(gradient);
+  CompressResult result;
+  reset_result(gradient, result);
+  do_compress_into(gradient, result);
+  return result;
+}
+
+void Compressor::compress_into(std::span<const float> gradient,
+                               CompressResult& out) {
+  validate_gradient(gradient);
+  reset_result(gradient, out);
+  do_compress_into(gradient, out);
+}
+
+void Compressor::compress_into_unchecked(std::span<const float> gradient,
+                                         CompressResult& out) {
+  reset_result(gradient, out);
+  do_compress_into(gradient, out);
 }
 
 void Compressor::validate_gradient(std::span<const float> gradient) {

@@ -43,6 +43,17 @@ class Compressor {
   /// validate_gradient() and want measured latency to exclude that pass.
   CompressResult compress_unchecked(std::span<const float> gradient);
 
+  /// Sparsifies into `out`, reusing its storage.  Together with the
+  /// compressor-owned scratch (tensor::Workspace, sample/exceedance buffers)
+  /// this makes steady-state compression allocation-free: once `out` and the
+  /// internal buffers have reached their high-water capacity, repeated calls
+  /// perform zero heap allocations.
+  void compress_into(std::span<const float> gradient, CompressResult& out);
+
+  /// compress_into without re-validating the gradient.
+  void compress_into_unchecked(std::span<const float> gradient,
+                               CompressResult& out);
+
   /// Input contract shared by every scheme: the gradient must be non-empty
   /// and contain only finite values.  Throws util::CheckError otherwise.
   static void validate_gradient(std::span<const float> gradient);
@@ -59,8 +70,13 @@ class Compressor {
  protected:
   explicit Compressor(double target_ratio);
 
-  /// Scheme-specific selection logic; input is already validated.
-  virtual CompressResult do_compress(std::span<const float> gradient) = 0;
+  /// Scheme-specific selection logic; input is already validated and `out`
+  /// already reset (cleared index/value vectors with retained capacity,
+  /// dense_dim set, threshold 0, stages_used 1).  Implementations must only
+  /// append/resize within `out` and their own reusable scratch so the
+  /// steady-state allocation contract of compress_into() holds.
+  virtual void do_compress_into(std::span<const float> gradient,
+                                CompressResult& out) = 0;
 
  private:
   double target_ratio_;

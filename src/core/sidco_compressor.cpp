@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "tensor/vector_ops.h"
 #include "util/check.h"
@@ -25,12 +26,13 @@ std::string_view SidcoCompressor::name() const {
   return "SIDCo";
 }
 
-std::vector<double> SidcoCompressor::plan_stage_ratios(double target,
-                                                       double first_stage_ratio,
-                                                       int stage_count) {
+void SidcoCompressor::plan_stage_ratios_into(double target,
+                                             double first_stage_ratio,
+                                             int stage_count,
+                                             std::vector<double>& ratios) {
   util::check(target > 0.0 && target < 1.0, "target ratio must be in (0, 1)");
   util::check(stage_count >= 1, "stage count must be >= 1");
-  std::vector<double> ratios;
+  ratios.clear();
   // Add delta_1 stages while the residual target / delta_1^m stays strictly
   // inside (0, 1); the final stage carries the residual.
   double residual = target;
@@ -41,66 +43,121 @@ std::vector<double> SidcoCompressor::plan_stage_ratios(double target,
     residual = next;
   }
   ratios.push_back(residual);
+}
+
+std::vector<double> SidcoCompressor::plan_stage_ratios(double target,
+                                                       double first_stage_ratio,
+                                                       int stage_count) {
+  std::vector<double> ratios;
+  plan_stage_ratios_into(target, first_stage_ratio, stage_count, ratios);
   return ratios;
 }
 
-compressors::CompressResult SidcoCompressor::do_compress(
-    std::span<const float> gradient) {
+void SidcoCompressor::do_compress_into(std::span<const float> gradient,
+                                       compressors::CompressResult& out) {
   const std::size_t d = gradient.size();
   const std::size_t k = target_k(d);
-  const double delta = target_ratio();
 
-  const std::vector<double> stage_ratios =
-      plan_stage_ratios(delta, config_.first_stage_ratio, controller_.stages());
+  plan_stage_ratios_into(target_ratio(), config_.first_stage_ratio,
+                         controller_.stages(), stage_ratios_);
 
-  // Stage 1: fit raw magnitudes.
-  ThresholdEstimate est = estimate_first_stage(
-      config_.sid, gradient, stage_ratios.front(), config_.gamma_mode);
+  // Stage 1: one fused scan of the gradient feeds the SID fit (the gamma fit
+  // additionally needs the log moment), the max magnitude used by the
+  // degenerate-overshoot fallback below and — when a speculative threshold
+  // from the previous call is available — the candidate set every later step
+  // filters instead of the gradient.
+  const bool need_log = config_.sid == Sid::kGamma;
+  const bool speculate = speculative_tau_ >= 0.0F && speculative_dim_ == d &&
+                         config_.speculative_margin > 0.0;
+  tensor::AbsMoments moments;
+  if (speculate) {
+    moments = tensor::abs_moments_extract(gradient, speculative_tau_, need_log,
+                                          workspace_, candidates_);
+  } else {
+    moments =
+        tensor::abs_moments(gradient, std::numeric_limits<float>::infinity(),
+                            need_log, &workspace_);
+  }
+  ThresholdEstimate est =
+      estimate_first_stage(config_.sid, moments, stage_ratios_.front(),
+                           config_.gamma_mode);
   double eta = est.threshold;
 
-  // Stages 2..M: re-fit the exceedance tail and raise the threshold.
-  for (std::size_t m = 1; m < stage_ratios.size(); ++m) {
-    const std::size_t expect = std::max<std::size_t>(
-        16, static_cast<std::size_t>(static_cast<double>(d) *
-                                     std::pow(config_.first_stage_ratio,
-                                              static_cast<double>(m))));
-    exceedance_buffer_ = tensor::abs_exceedances(
-        gradient, static_cast<float>(eta), expect);
-    if (exceedance_buffer_.size() < 4) {
+  // The speculative candidates are usable iff they form a superset of every
+  // downstream selection, i.e. tau <= eta_1 (thresholds only rise from
+  // here), AND they are not absurdly oversized: when the gradient *grows*
+  // (loss spike, LR warmup) tau lands deep below the fresh eta_1 and the
+  // fused scan stages a near-O(d) set — re-extracting exactly then bounds
+  // both the retained memory high-water mark and the downstream filter work.
+  // Either way candidates_ stays an exact superset, so outputs never change.
+  const bool usable = speculate &&
+                      speculative_tau_ <= static_cast<float>(eta) &&
+                      candidates_.nnz() <= d / 2;
+  if (usable) {
+    ++spec_hits_;
+  } else {
+    if (speculate) ++spec_misses_;
+    tensor::extract_at_least(gradient, static_cast<float>(eta), workspace_,
+                             candidates_);
+  }
+  // Arm the speculation for the next call off the fresh stage-1 threshold.
+  speculative_tau_ =
+      config_.speculative_margin > 0.0
+          ? static_cast<float>(config_.speculative_margin * eta)
+          : -1.0F;
+  speculative_dim_ = d;
+
+  // Stages 2..M: re-fit the exceedance tail and raise the threshold.  Stage 2
+  // filters the candidate set; every later stage filters the previous
+  // stage's buffer, whose size decays geometrically (~delta_1^m d), because
+  // thresholds are monotone.  No stage touches the dense gradient.
+  int buffer = 0;
+  for (std::size_t m = 1; m < stage_ratios_.size(); ++m) {
+    if (m == 1) {
+      tensor::abs_exceedances(candidates_.values, static_cast<float>(eta),
+                              workspace_, exceedance_buffers_[buffer]);
+    } else {
+      tensor::abs_exceedances(exceedance_buffers_[buffer],
+                              static_cast<float>(eta), workspace_,
+                              exceedance_buffers_[1 - buffer]);
+      buffer = 1 - buffer;
+    }
+    const std::vector<float>& exceedances = exceedance_buffers_[buffer];
+    if (exceedances.size() < 4) {
       // Tail too small to fit; keep the current threshold.
       break;
     }
-    est = estimate_tail_stage(config_.sid, exceedance_buffer_, eta,
-                              stage_ratios[m]);
+    est = estimate_tail_stage(config_.sid, exceedances, eta, stage_ratios_[m]);
     // Thresholds must be monotone across stages; a non-increasing estimate
     // means the fit degenerated, so stop refining.
     if (!(est.threshold > eta)) break;
     eta = est.threshold;
   }
 
-  compressors::CompressResult result;
-  result.threshold = eta;
-  result.stages_used = static_cast<int>(stage_ratios.size());
-  result.sparse = tensor::extract_at_least(gradient, static_cast<float>(eta),
-                                           k + k / 4);
-  if (result.sparse.nnz() == 0) {
+  out.threshold = eta;
+  out.stages_used = static_cast<int>(stage_ratios_.size());
+  // The final selection is a subset of the candidates (eta only rose), so
+  // the extraction filters the candidate set, not the gradient.
+  tensor::filter_at_least(candidates_, static_cast<float>(eta), workspace_,
+                          out.sparse);
+  if (out.sparse.nnz() == 0) {
     // Degenerate overshoot (e.g. all-equal magnitudes): fall back to keeping
-    // the single largest element so training can always progress.
-    const float max_mag = tensor::max_abs(gradient);
+    // the single largest element so training can always progress.  The max
+    // magnitude is already known from the fused stage-1 scan.
+    const float max_mag = moments.max_abs;
     if (max_mag > 0.0F) {
-      result.sparse = tensor::extract_at_least(gradient, max_mag, 1);
+      tensor::extract_at_least(gradient, max_mag, workspace_, out.sparse);
     } else {
       // All-zero gradient: keep one explicit zero (selection is arbitrary).
-      result.sparse.dense_dim = d;
-      result.sparse.indices = {0};
-      result.sparse.values = {0.0F};
+      out.sparse.dense_dim = d;
+      out.sparse.indices.push_back(0);
+      out.sparse.values.push_back(0.0F);
     }
-    result.threshold = max_mag;
+    out.threshold = max_mag;
   }
 
-  controller_.observe(static_cast<double>(result.sparse.nnz()),
+  controller_.observe(static_cast<double>(out.sparse.nnz()),
                       static_cast<double>(k));
-  return result;
 }
 
 std::unique_ptr<compressors::Compressor> make_sidco(Sid sid,

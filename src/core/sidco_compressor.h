@@ -5,12 +5,35 @@
 //   1. Plan stage ratios: delta = prod_m delta_m with delta_m = delta_1 for
 //      all but the last stage (paper setting delta_1 = 0.25) and the residual
 //      on the last.  When delta >= delta_1 a single stage handles it.
-//   2. Stage 1 fits the chosen SID on |g| and thresholds at eta_1; stage
-//      m >= 2 re-fits the exceedances (shifted exponential, or GP by
-//      peaks-over-threshold) and raises the threshold to eta_m.
+//   2. Stage 1 fits the chosen SID on |g| — from ONE fused-moment scan — and
+//      thresholds at eta_1; stage m >= 2 re-fits the exceedances (shifted
+//      exponential, or GP by peaks-over-threshold) and raises the threshold
+//      to eta_m.  Because eta is monotone across stages, the stage-m
+//      exceedance set is a subset of the stage-(m-1) set: stages 3..M filter
+//      the previous stage's buffer (which shrinks geometrically as
+//      delta_1^m d) instead of rescanning the full gradient, so the whole
+//      multi-stage loop costs O(d + sum_m delta_1^m d) instead of O(M d).
 //   3. The final eta_M sparsifies the *original* vector.
 //   4. The achieved k-hat feeds the StageController, which adapts M every Q
 //      iterations so that E[k-hat/k] stays within (1-epsL, 1+epsH).
+//
+// Single-scan pipeline (speculative candidate extraction).  Training
+// gradients drift slowly between iterations, so the previous call's stage-1
+// threshold predicts this call's.  The stage-1 moment scan therefore also
+// extracts a candidate set {i : |g_i| >= tau} with tau = speculative_margin *
+// eta_1^{prev} — tensor::abs_moments_extract, one read of the gradient.  If
+// the fresh eta_1 confirms tau <= eta_1, every later consumer (the stage-2
+// exceedance set, the final extraction) filters this candidate set and the
+// dense gradient is touched exactly ONCE per compress call.  If the
+// speculation misses (gradient shrank by more than the margin), the exact
+// candidate set is re-extracted at eta_1 — two scans, still fewer than the
+// legacy 2+M.  Outputs are bit-identical with speculation on, off, hit or
+// missed: candidates are an exact superset filtered at exact thresholds.
+//
+// All scratch (fused-moment partials, the candidate set, the ping-pong
+// exceedance buffers, the stage-ratio plan) is owned by the compressor and
+// reused, so steady-state compress_into() calls perform zero heap
+// allocations.
 #pragma once
 
 #include <memory>
@@ -19,6 +42,7 @@
 #include "compressors/compressor.h"
 #include "core/stage_controller.h"
 #include "core/threshold_estimator.h"
+#include "tensor/vector_ops.h"
 
 namespace sidco::core {
 
@@ -29,6 +53,12 @@ struct SidcoConfig {
   /// First-stage ratio delta_1 (paper: 0.25).
   double first_stage_ratio = 0.25;
   GammaThresholdMode gamma_mode = GammaThresholdMode::kClosedForm;
+  /// Speculative candidate margin in (0, 1): the next call extracts
+  /// candidates at margin * eta_1 during its moment scan.  Smaller margins
+  /// tolerate faster gradient shrinkage between iterations but stage larger
+  /// candidate sets; <= 0 disables speculation (every call does the exact
+  /// two-scan pipeline).  Does not affect outputs, only scan counts.
+  double speculative_margin = 0.85;
   StageControllerConfig controller;
 };
 
@@ -48,14 +78,37 @@ class SidcoCompressor final : public compressors::Compressor {
                                                double first_stage_ratio,
                                                int stage_count);
 
+  /// Speculation telemetry: calls whose candidate set from the fused scan
+  /// was confirmed valid (single gradient read) vs. re-extracted.
+  [[nodiscard]] std::size_t speculation_hits() const { return spec_hits_; }
+  [[nodiscard]] std::size_t speculation_misses() const { return spec_misses_; }
+
  protected:
-  compressors::CompressResult do_compress(
-      std::span<const float> gradient) override;
+  void do_compress_into(std::span<const float> gradient,
+                        compressors::CompressResult& out) override;
 
  private:
+  static void plan_stage_ratios_into(double target, double first_stage_ratio,
+                                     int stage_count,
+                                     std::vector<double>& ratios);
+
   SidcoConfig config_;
   StageController controller_;
-  std::vector<float> exceedance_buffer_;
+  tensor::Workspace workspace_;
+  std::vector<double> stage_ratios_;
+  /// Candidate set {i : |g_i| >= tau} from the fused stage-1 scan (or the
+  /// exact eta_1 re-extraction on a speculation miss); every later stage and
+  /// the final selection filter this set instead of the dense gradient.
+  tensor::SparseGradient candidates_;
+  /// Ping-pong exceedance magnitudes: stage m filters buffer (m-1) into the
+  /// other buffer, so no stage rescans the full gradient.
+  std::vector<float> exceedance_buffers_[2];
+  /// Speculation state: candidate threshold for the next call (< 0 until the
+  /// first call completes) and the dimension it was computed for.
+  float speculative_tau_ = -1.0F;
+  std::size_t speculative_dim_ = 0;
+  std::size_t spec_hits_ = 0;
+  std::size_t spec_misses_ = 0;
 };
 
 /// Convenience factory used by core/factory.cpp and examples.

@@ -19,13 +19,10 @@ std::string_view sid_name(Sid sid) {
 
 namespace {
 
-ThresholdEstimate exponential_threshold(std::span<const float> magnitudes,
-                                        double shift, double delta) {
+ThresholdEstimate exponential_threshold_from_fit(const stats::Exponential& fit,
+                                                 double shift, double delta) {
   // Corollary 1.1 / 2.1: eta = beta log(1/delta) + shift, beta from the MLE
   // of the (shifted) exceedances.
-  const stats::Exponential fit =
-      shift == 0.0 ? stats::fit_exponential(magnitudes)
-                   : stats::fit_exponential_shifted(magnitudes, shift);
   ThresholdEstimate est;
   est.scale = fit.scale();
   est.shape = 0.0;
@@ -33,11 +30,18 @@ ThresholdEstimate exponential_threshold(std::span<const float> magnitudes,
   return est;
 }
 
-ThresholdEstimate gp_threshold(std::span<const float> magnitudes, double shift,
-                               double delta) {
+ThresholdEstimate exponential_threshold(std::span<const float> magnitudes,
+                                        double shift, double delta) {
+  const stats::Exponential fit =
+      shift == 0.0 ? stats::fit_exponential(magnitudes)
+                   : stats::fit_exponential_shifted(magnitudes, shift);
+  return exponential_threshold_from_fit(fit, shift, delta);
+}
+
+ThresholdEstimate gp_threshold_from_fit(const stats::GpFit& fit, double shift,
+                                        double delta) {
   // Corollary 1.3 / Lemma 2: eta = (beta/alpha)(delta^{-alpha} - 1) + shift
   // with moment-matched (alpha, beta) of the shifted exceedances.
-  const stats::GpFit fit = stats::fit_gp_moments(magnitudes, shift);
   ThresholdEstimate est;
   est.shape = fit.shape;
   est.scale = fit.scale;
@@ -50,9 +54,15 @@ ThresholdEstimate gp_threshold(std::span<const float> magnitudes, double shift,
   return est;
 }
 
-ThresholdEstimate gamma_threshold(std::span<const float> magnitudes,
-                                  double delta, GammaThresholdMode mode) {
-  const stats::GammaFit fit = stats::fit_gamma_minka(magnitudes);
+ThresholdEstimate gp_threshold(std::span<const float> magnitudes, double shift,
+                               double delta) {
+  return gp_threshold_from_fit(stats::fit_gp_moments(magnitudes, shift), shift,
+                               delta);
+}
+
+ThresholdEstimate gamma_threshold_from_fit(const stats::GammaFit& fit,
+                                           double delta,
+                                           GammaThresholdMode mode) {
   ThresholdEstimate est;
   est.shape = fit.shape;
   est.scale = fit.scale;
@@ -72,6 +82,12 @@ ThresholdEstimate gamma_threshold(std::span<const float> magnitudes,
   return est;
 }
 
+ThresholdEstimate gamma_threshold(std::span<const float> magnitudes,
+                                  double delta, GammaThresholdMode mode) {
+  return gamma_threshold_from_fit(stats::fit_gamma_minka(magnitudes), delta,
+                                  mode);
+}
+
 }  // namespace
 
 ThresholdEstimate estimate_first_stage(Sid sid,
@@ -87,6 +103,27 @@ ThresholdEstimate estimate_first_stage(Sid sid,
       return gamma_threshold(magnitudes, delta, gamma_mode);
     case Sid::kGeneralizedPareto:
       return gp_threshold(magnitudes, /*shift=*/0.0, delta);
+  }
+  util::check(false, "unknown SID");
+  return {};
+}
+
+ThresholdEstimate estimate_first_stage(Sid sid,
+                                       const tensor::AbsMoments& moments,
+                                       double delta,
+                                       GammaThresholdMode gamma_mode) {
+  util::check(moments.n > 0, "estimation requires data");
+  util::check(delta > 0.0 && delta < 1.0, "stage ratio must be in (0, 1)");
+  switch (sid) {
+    case Sid::kExponential:
+      return exponential_threshold_from_fit(stats::fit_exponential(moments),
+                                            /*shift=*/0.0, delta);
+    case Sid::kGamma:
+      return gamma_threshold_from_fit(stats::fit_gamma_minka(moments), delta,
+                                      gamma_mode);
+    case Sid::kGeneralizedPareto:
+      return gp_threshold_from_fit(stats::fit_gp_moments(moments),
+                                   /*shift=*/0.0, delta);
   }
   util::check(false, "unknown SID");
   return {};

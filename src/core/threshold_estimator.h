@@ -13,6 +13,8 @@
 #include <span>
 #include <string_view>
 
+#include "tensor/vector_ops.h"
+
 namespace sidco::core {
 
 /// Which sparsity-inducing distribution drives the fit.
@@ -46,6 +48,13 @@ struct ThresholdEstimate {
 /// `magnitudes` are |g| values (not shifted).
 ThresholdEstimate estimate_first_stage(
     Sid sid, std::span<const float> magnitudes, double delta,
+    GammaThresholdMode gamma_mode = GammaThresholdMode::kClosedForm);
+
+/// First-stage estimation from precomputed fused moments — the single-scan
+/// hot path.  For Sid::kGamma the moments must carry the log term
+/// (tensor::abs_moments with with_log = true).
+ThresholdEstimate estimate_first_stage(
+    Sid sid, const tensor::AbsMoments& moments, double delta,
     GammaThresholdMode gamma_mode = GammaThresholdMode::kClosedForm);
 
 /// Later-stage estimation on exceedance magnitudes (all >= `previous_eta`):

@@ -61,6 +61,10 @@ double DeviceModel::gpu_seconds(core::Scheme scheme, std::size_t d,
       // Stage m >= 2 fits only the exceedances of stage m-1 (the population
       // shrinks by roughly the first-stage ratio, paper delta_1 = 0.25), so
       // the fit cost is a geometric series; one final mask pass sparsifies.
+      // The CPU implementation (SidcoCompressor) realizes exactly this cost
+      // structure: stages 3..M filter the previous stage's exceedance buffer
+      // instead of rescanning the gradient, so the analytic GPU model and the
+      // measured-CPU extrapolation share one complexity shape.
       double fit_elems = 0.0;
       double population = n;
       for (int m = 0; m < stages; ++m) {

@@ -72,6 +72,10 @@ class Worker {
   std::vector<float> memory_;       ///< error-feedback residual
   std::vector<float> ec_gradient_;  ///< gradient + residual scratch
   std::vector<float> dlogits_;
+  /// Reused across steps so the timed compress_into window measures the
+  /// steady-state (allocation-free) kernel path, which is what the
+  /// CPU-measured device model extrapolates from.
+  compressors::CompressResult compressed_;
 };
 
 }  // namespace sidco::dist

@@ -33,9 +33,10 @@ void Model::build(std::uint64_t seed) {
   util::check(!layers_.empty(), "model has no layers");
   util::check(!built(), "build() called twice");
   for (std::size_t i = 1; i < layers_.size(); ++i) {
-    util::check(layers_[i]->in_features() == layers_[i - 1]->out_features(),
-                "layer dimension mismatch between layers " +
-                    std::to_string(i - 1) + " and " + std::to_string(i));
+    if (layers_[i]->in_features() != layers_[i - 1]->out_features()) {
+      util::check_fail("layer dimension mismatch between layers " +
+                       std::to_string(i - 1) + " and " + std::to_string(i));
+    }
   }
   const std::size_t total = parameter_count();
   params_.assign(total, 0.0F);

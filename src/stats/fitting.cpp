@@ -11,12 +11,31 @@ namespace sidco::stats {
 namespace {
 constexpr double kMinScale = 1e-30;
 constexpr double kGpShapeLimit = 0.499;
+
+/// Shared Hosking & Wallis moment matching: both fit_gp_moments overloads
+/// feed raw sums of the (already shifted) exceedance variable z through this
+/// one clamp-and-match step so they cannot diverge.
+stats::GpFit gp_moment_match(double sum_z, double sum_sq_z, double n,
+                             double location) {
+  const double mu = std::max(sum_z / n, kMinScale);
+  const double var = std::max(sum_sq_z / n - mu * mu, kMinScale * kMinScale);
+  const double ratio = mu * mu / var;
+  stats::GpFit fit;
+  fit.location = location;
+  fit.shape = std::clamp(0.5 * (1.0 - ratio), -kGpShapeLimit, kGpShapeLimit);
+  fit.scale = std::max(0.5 * mu * (ratio + 1.0), kMinScale);
+  return fit;
+}
 }  // namespace
 
 Exponential fit_exponential(std::span<const float> magnitudes) {
   util::check(!magnitudes.empty(), "fit_exponential requires data");
-  const double mu = tensor::mean_abs(magnitudes);
-  return Exponential(std::max(mu, kMinScale));
+  return fit_exponential(tensor::abs_moments(magnitudes));
+}
+
+Exponential fit_exponential(const tensor::AbsMoments& moments) {
+  util::check(moments.n > 0, "fit_exponential requires data");
+  return Exponential(std::max(moments.mean_abs(), kMinScale));
 }
 
 Exponential fit_exponential_shifted(std::span<const float> exceedances,
@@ -26,18 +45,29 @@ Exponential fit_exponential_shifted(std::span<const float> exceedances,
   return Exponential(std::max(mu, kMinScale));
 }
 
+
 GammaFit fit_gamma_minka(std::span<const float> magnitudes) {
   util::check(!magnitudes.empty(), "fit_gamma_minka requires data");
-  const double mu = std::max(tensor::mean_abs(magnitudes), kMinScale);
-  const auto log_moment = tensor::mean_log_abs(magnitudes);
+  return fit_gamma_minka(tensor::abs_moments(
+      magnitudes, std::numeric_limits<float>::infinity(), /*with_log=*/true));
+}
+
+GammaFit fit_gamma_minka(const tensor::AbsMoments& moments) {
+  util::check(moments.n > 0, "fit_gamma_minka requires data");
+  // Nonzero magnitudes with no log moment means the caller computed
+  // abs_moments without with_log — fail loudly instead of silently
+  // degenerating to the all-zero fallback below.
+  util::check(moments.log_used > 0 || moments.sum_abs == 0.0,
+              "gamma fit needs moments computed with with_log = true");
+  const double mu = std::max(moments.mean_abs(), kMinScale);
   GammaFit fit;
-  if (log_moment.used == 0) {
+  if (moments.log_used == 0) {
     // All-zero input: no magnitude information; return a flat exponential.
     fit.shape = 1.0;
     fit.scale = kMinScale;
     return fit;
   }
-  const double s = std::log(mu) - log_moment.mean_log;
+  const double s = std::log(mu) - moments.mean_log();
   fit.s_statistic = s;
   if (s <= 0.0 || !std::isfinite(s)) {
     // Jensen guarantees s >= 0; s == 0 means a point mass -> exponential-ish.
@@ -60,22 +90,29 @@ GpFit fit_gp_moments(std::span<const float> magnitudes, double location) {
     sum += z;
     sum_sq += z * z;
   }
-  const double n = static_cast<double>(magnitudes.size());
-  const double mu = std::max(sum / n, kMinScale);
-  const double var = std::max(sum_sq / n - mu * mu, kMinScale * kMinScale);
-  const double ratio = mu * mu / var;
-  GpFit fit;
-  fit.location = location;
-  fit.shape = std::clamp(0.5 * (1.0 - ratio), -kGpShapeLimit, kGpShapeLimit);
-  fit.scale = std::max(0.5 * mu * (ratio + 1.0), kMinScale);
-  return fit;
+  return gp_moment_match(sum, sum_sq,
+                         static_cast<double>(magnitudes.size()), location);
+}
+
+GpFit fit_gp_moments(const tensor::AbsMoments& moments) {
+  util::check(moments.n > 0, "fit_gp_moments requires data");
+  return gp_moment_match(moments.sum_abs, moments.sum_sq,
+                         static_cast<double>(moments.n), /*location=*/0.0);
 }
 
 Normal fit_normal(std::span<const float> values) {
   util::check(!values.empty(), "fit_normal requires data");
+  // Two-pass moments: stable for arbitrary (non-centered) data.  The hot
+  // gradient path uses the SignedMoments overload, where one pass suffices.
   const double mu = tensor::mean(values);
   const double var = tensor::variance(values);
   return Normal(mu, std::max(std::sqrt(var), kMinScale));
+}
+
+Normal fit_normal(const tensor::SignedMoments& moments) {
+  util::check(moments.n > 0, "fit_normal requires data");
+  return Normal(moments.mean(),
+                std::max(std::sqrt(moments.variance()), kMinScale));
 }
 
 }  // namespace sidco::stats

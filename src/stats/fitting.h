@@ -11,12 +11,17 @@
 #include <span>
 
 #include "stats/distributions.h"
+#include "tensor/vector_ops.h"
 
 namespace sidco::stats {
 
 /// MLE of the exponential scale: beta-hat = mean(|m|).  Inputs may be signed
 /// (raw gradients); magnitudes are taken internally.
 Exponential fit_exponential(std::span<const float> magnitudes);
+
+/// Same fit from precomputed fused moments (tensor::abs_moments) — lets one
+/// gradient scan feed several fits.
+Exponential fit_exponential(const tensor::AbsMoments& moments);
 
 /// Exponential fit of exceedances over `shift` (Corollary 2.1):
 /// beta-hat = mean(m - shift) for m already filtered to m >= shift.
@@ -37,6 +42,10 @@ struct GammaFit {
 /// (alpha = 1).
 GammaFit fit_gamma_minka(std::span<const float> magnitudes);
 
+/// Same fit from fused moments; `moments` must have been computed with
+/// `with_log = true`.
+GammaFit fit_gamma_minka(const tensor::AbsMoments& moments);
+
 struct GpFit {
   double shape = 0.0;
   double scale = 1.0;
@@ -50,7 +59,13 @@ struct GpFit {
 /// finite-moment range (-1/2, 1/2).
 GpFit fit_gp_moments(std::span<const float> magnitudes, double location = 0.0);
 
+/// Same fit at location 0 from fused moments.
+GpFit fit_gp_moments(const tensor::AbsMoments& moments);
+
 /// Sample-moment Normal fit on the *signed* values.
 Normal fit_normal(std::span<const float> values);
+
+/// Same fit from fused signed moments (one gradient scan).
+Normal fit_normal(const tensor::SignedMoments& moments);
 
 }  // namespace sidco::stats

@@ -2,78 +2,266 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace sidco::tensor {
 
-double mean_abs(std::span<const float> x) {
-  double acc = 0.0;
-  for (float v : x) acc += std::fabs(static_cast<double>(v));
-  return x.empty() ? 0.0 : acc / static_cast<double>(x.size());
+namespace {
+
+std::size_t block_count(std::size_t n) {
+  return n == 0 ? 0 : (n - 1) / kKernelBlock + 1;
 }
 
-double mean(std::span<const float> x) {
-  double acc = 0.0;
-  for (float v : x) acc += static_cast<double>(v);
-  return x.empty() ? 0.0 : acc / static_cast<double>(x.size());
+/// Runs body(block, lo, hi) over every block.  Serial when a single thread is
+/// configured or there is only one block, so small inputs never pay dispatch
+/// overhead (and never construct a std::function).
+template <typename Body>
+void for_each_block(std::size_t n, Body&& body) {
+  const std::size_t blocks = block_count(n);
+  if (blocks == 0) return;
+  util::ThreadPool& pool = util::ThreadPool::instance();
+  if (blocks == 1 || pool.threads() <= 1) {
+    for (std::size_t b = 0; b < blocks; ++b) {
+      body(b, b * kKernelBlock, std::min(n, (b + 1) * kKernelBlock));
+    }
+    return;
+  }
+  const std::size_t total = n;
+  Body* body_ptr = &body;
+  pool.run(blocks, std::function<void(std::size_t)>(
+                       [body_ptr, total](std::size_t b) {
+                         (*body_ptr)(b, b * kKernelBlock,
+                                     std::min(total, (b + 1) * kKernelBlock));
+                       }));
 }
+
+/// Thread-local scratch backing the workspace-free wrapper signatures.
+Workspace& tls_workspace() {
+  static thread_local Workspace workspace;
+  return workspace;
+}
+
+/// Per-block fused moment accumulation, optionally emitting matching
+/// elements (Emit(index, value, take)) in index order — the same code path
+/// backs abs_moments and abs_moments_extract so their sums are bit-identical.
+/// Four independent accumulator lanes break the serial double-add dependency
+/// chain (deterministic: lane assignment depends only on the in-block
+/// position, never on thread count).
+template <typename Emit>
+AbsMoments abs_moments_block_emit(std::span<const float> x, std::size_t lo,
+                                  std::size_t hi, float count_threshold,
+                                  bool with_log, Emit&& emit) {
+  double sum[4] = {0.0, 0.0, 0.0, 0.0};
+  double sq[4] = {0.0, 0.0, 0.0, 0.0};
+  float mx[4] = {0.0F, 0.0F, 0.0F, 0.0F};
+  AbsMoments m;
+  std::size_t i = lo;
+  for (; i + 4 <= hi; i += 4) {
+    for (std::size_t lane = 0; lane < 4; ++lane) {
+      const float v = x[i + lane];
+      const float af = std::fabs(v);
+      const double a = static_cast<double>(af);
+      sum[lane] += a;
+      sq[lane] += a * a;
+      mx[lane] = std::max(mx[lane], af);
+      if (with_log && a > 0.0) {
+        m.sum_log += std::log(a);
+        ++m.log_used;
+      }
+      const bool take = af >= count_threshold;
+      m.count_at_least += take ? 1U : 0U;
+      emit(i + lane, v, take);
+    }
+  }
+  for (; i < hi; ++i) {
+    const float v = x[i];
+    const float af = std::fabs(v);
+    const double a = static_cast<double>(af);
+    sum[0] += a;
+    sq[0] += a * a;
+    mx[0] = std::max(mx[0], af);
+    if (with_log && a > 0.0) {
+      m.sum_log += std::log(a);
+      ++m.log_used;
+    }
+    const bool take = af >= count_threshold;
+    m.count_at_least += take ? 1U : 0U;
+    emit(i, v, take);
+  }
+  m.sum_abs = (sum[0] + sum[1]) + (sum[2] + sum[3]);
+  m.sum_sq = (sq[0] + sq[1]) + (sq[2] + sq[3]);
+  m.max_abs = std::max(std::max(mx[0], mx[1]), std::max(mx[2], mx[3]));
+  return m;
+}
+
+struct NoEmit {
+  void operator()(std::size_t, float, bool) const {}
+};
+
+AbsMoments abs_moments_block(std::span<const float> x, std::size_t lo,
+                             std::size_t hi, float count_threshold,
+                             bool with_log) {
+  return abs_moments_block_emit(x, lo, hi, count_threshold, with_log,
+                                NoEmit{});
+}
+
+}  // namespace
+
+AbsMoments abs_moments(std::span<const float> x, float count_threshold,
+                       bool with_log, Workspace* workspace) {
+  AbsMoments total;
+  total.n = x.size();
+  const std::size_t blocks = block_count(x.size());
+  if (blocks == 0) return total;
+  if (blocks == 1) {
+    AbsMoments m = abs_moments_block(x, 0, x.size(), count_threshold, with_log);
+    m.n = x.size();
+    return m;
+  }
+  Workspace& ws = workspace != nullptr ? *workspace : tls_workspace();
+  ws.moment_partials.resize(blocks);
+  for_each_block(x.size(), [&ws, x, count_threshold, with_log](
+                               std::size_t b, std::size_t lo, std::size_t hi) {
+    ws.moment_partials[b] =
+        abs_moments_block(x, lo, hi, count_threshold, with_log);
+  });
+  // Serial combine in block order: bit-identical at any thread count.
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const AbsMoments& p = ws.moment_partials[b];
+    total.sum_abs += p.sum_abs;
+    total.sum_sq += p.sum_sq;
+    total.sum_log += p.sum_log;
+    total.log_used += p.log_used;
+    total.max_abs = std::max(total.max_abs, p.max_abs);
+    total.count_at_least += p.count_at_least;
+  }
+  return total;
+}
+
+SignedMoments signed_moments(std::span<const float> x, Workspace* workspace) {
+  SignedMoments total;
+  total.n = x.size();
+  const std::size_t blocks = block_count(x.size());
+  if (blocks == 0) return total;
+  auto block_body = [x](std::size_t lo, std::size_t hi) {
+    double sum[4] = {0.0, 0.0, 0.0, 0.0};
+    double sq[4] = {0.0, 0.0, 0.0, 0.0};
+    std::size_t i = lo;
+    for (; i + 4 <= hi; i += 4) {
+      for (std::size_t lane = 0; lane < 4; ++lane) {
+        const double v = static_cast<double>(x[i + lane]);
+        sum[lane] += v;
+        sq[lane] += v * v;
+      }
+    }
+    for (; i < hi; ++i) {
+      const double v = static_cast<double>(x[i]);
+      sum[0] += v;
+      sq[0] += v * v;
+    }
+    SignedMoments m;
+    m.sum = (sum[0] + sum[1]) + (sum[2] + sum[3]);
+    m.sum_sq = (sq[0] + sq[1]) + (sq[2] + sq[3]);
+    return m;
+  };
+  if (blocks == 1) {
+    SignedMoments m = block_body(0, x.size());
+    m.n = x.size();
+    return m;
+  }
+  Workspace& ws = workspace != nullptr ? *workspace : tls_workspace();
+  ws.signed_partials.resize(blocks);
+  for_each_block(x.size(), [&ws, &block_body](std::size_t b, std::size_t lo,
+                                              std::size_t hi) {
+    ws.signed_partials[b] = block_body(lo, hi);
+  });
+  for (std::size_t b = 0; b < blocks; ++b) {
+    total.sum += ws.signed_partials[b].sum;
+    total.sum_sq += ws.signed_partials[b].sum_sq;
+  }
+  return total;
+}
+
+double mean_abs(std::span<const float> x) { return abs_moments(x).mean_abs(); }
+
+double mean(std::span<const float> x) { return signed_moments(x).mean(); }
 
 double variance(std::span<const float> x) {
+  // Two-pass for numerical stability on non-centered data: the one-pass
+  // identity in SignedMoments::variance() cancels when |mean| >> stddev.
   if (x.empty()) return 0.0;
-  const double mu = mean(x);
-  double acc = 0.0;
-  for (float v : x) {
-    const double d = static_cast<double>(v) - mu;
-    acc += d * d;
+  const double mu = signed_moments(x).mean();
+  const std::size_t blocks = block_count(x.size());
+  auto block_body = [x, mu](std::size_t lo, std::size_t hi) {
+    double sq[4] = {0.0, 0.0, 0.0, 0.0};
+    std::size_t i = lo;
+    for (; i + 4 <= hi; i += 4) {
+      for (std::size_t lane = 0; lane < 4; ++lane) {
+        const double d = static_cast<double>(x[i + lane]) - mu;
+        sq[lane] += d * d;
+      }
+    }
+    for (; i < hi; ++i) {
+      const double d = static_cast<double>(x[i]) - mu;
+      sq[0] += d * d;
+    }
+    return (sq[0] + sq[1]) + (sq[2] + sq[3]);
+  };
+  if (blocks == 1) {
+    return block_body(0, x.size()) / static_cast<double>(x.size());
   }
+  Workspace& ws = tls_workspace();
+  ws.signed_partials.resize(blocks);
+  for_each_block(x.size(), [&ws, &block_body](std::size_t b, std::size_t lo,
+                                              std::size_t hi) {
+    ws.signed_partials[b].sum = block_body(lo, hi);
+  });
+  double acc = 0.0;
+  for (std::size_t b = 0; b < blocks; ++b) acc += ws.signed_partials[b].sum;
   return acc / static_cast<double>(x.size());
 }
 
 MeanVar mean_var_abs(std::span<const float> x) {
-  if (x.empty()) return {};
-  double sum = 0.0;
-  double sum_sq = 0.0;
-  for (float v : x) {
-    const double a = std::fabs(static_cast<double>(v));
-    sum += a;
-    sum_sq += a * a;
-  }
-  const double n = static_cast<double>(x.size());
-  const double mu = sum / n;
-  return {.mean = mu, .variance = std::max(0.0, sum_sq / n - mu * mu)};
+  const AbsMoments m = abs_moments(x);
+  return {.mean = m.mean_abs(), .variance = m.variance_abs()};
 }
 
 LogMoment mean_log_abs(std::span<const float> x) {
-  double acc = 0.0;
-  std::size_t used = 0;
-  for (float v : x) {
-    const double a = std::fabs(static_cast<double>(v));
-    if (a > 0.0) {
-      acc += std::log(a);
-      ++used;
-    }
-  }
-  return {.mean_log = used == 0 ? 0.0 : acc / static_cast<double>(used),
-          .used = used};
+  const AbsMoments m = abs_moments(
+      x, std::numeric_limits<float>::infinity(), /*with_log=*/true);
+  return {.mean_log = m.mean_log(), .used = m.log_used};
 }
 
-float max_abs(std::span<const float> x) {
-  float best = 0.0F;
-  for (float v : x) best = std::max(best, std::fabs(v));
-  return best;
-}
+float max_abs(std::span<const float> x) { return abs_moments(x).max_abs; }
 
 double l2_norm(std::span<const float> x) {
-  double acc = 0.0;
-  for (float v : x) acc += static_cast<double>(v) * static_cast<double>(v);
-  return std::sqrt(acc);
+  return std::sqrt(signed_moments(x).sum_sq);
 }
 
-std::size_t count_at_least(std::span<const float> x, float threshold) {
-  std::size_t n = 0;
-  for (float v : x) n += (std::fabs(v) >= threshold) ? 1U : 0U;
-  return n;
+std::size_t count_at_least(std::span<const float> x, float threshold,
+                           Workspace* workspace) {
+  const std::size_t blocks = block_count(x.size());
+  if (blocks == 0) return 0;
+  auto block_body = [x, threshold](std::size_t lo, std::size_t hi) {
+    std::size_t n = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      n += (std::fabs(x[i]) >= threshold) ? 1U : 0U;
+    }
+    return n;
+  };
+  if (blocks == 1) return block_body(0, x.size());
+  Workspace& ws = workspace != nullptr ? *workspace : tls_workspace();
+  ws.count_partials.resize(blocks);
+  for_each_block(x.size(), [&ws, &block_body](std::size_t b, std::size_t lo,
+                                              std::size_t hi) {
+    ws.count_partials[b] = block_body(lo, hi);
+  });
+  std::size_t total = 0;
+  for (std::size_t b = 0; b < blocks; ++b) total += ws.count_partials[b];
+  return total;
 }
 
 void axpy(float a, std::span<const float> x, std::span<float> y) {
@@ -89,79 +277,347 @@ void fill(std::span<float> x, float value) {
   std::fill(x.begin(), x.end(), value);
 }
 
+namespace {
+
+/// True when selection should use the two-pass parallel scheme: with T >= 2
+/// threads the input is read twice but each read is split T ways.  With one
+/// thread, one block, or inline execution (SerialScope / nested pool call —
+/// where run() cannot actually parallelize) the serial staged path below
+/// reads the input exactly once and emits matches branchlessly, which is
+/// strictly faster.
+bool parallel_selection(std::size_t n) {
+  return block_count(n) > 1 && util::ThreadPool::instance().threads() > 1 &&
+         !util::ThreadPool::executing_inline();
+}
+
+void ensure_staging(Workspace& ws) {
+  ws.stage_indices.resize(kKernelBlock);
+  ws.stage_values.resize(kKernelBlock);
+}
+
+/// Serial single-input-pass (index, value) filter.  Matches are emitted
+/// branchlessly into the fixed-size staging block (every element is written,
+/// the cursor only advances on a match) and appended in block order, so the
+/// unpredictable 'keep?' decision never becomes a branch misprediction.
+/// `index_of(j)` maps the position in `values` to the emitted index — the
+/// dense position itself for gradient filtering, a gather from a sparse
+/// set's index array for candidate filtering.
+template <bool kStrict, typename IndexOf>
+void serial_filter_pairs_impl(std::span<const float> values, float threshold,
+                              Workspace& ws, SparseGradient& out,
+                              IndexOf&& index_of) {
+  ensure_staging(ws);
+  out.indices.clear();
+  out.values.clear();
+  std::uint32_t* stage_i = ws.stage_indices.data();
+  float* stage_v = ws.stage_values.data();
+  for (std::size_t base = 0; base < values.size(); base += kKernelBlock) {
+    const std::size_t end = std::min(values.size(), base + kKernelBlock);
+    std::size_t m = 0;
+    for (std::size_t j = base; j < end; ++j) {
+      const float v = values[j];
+      stage_i[m] = index_of(j);
+      stage_v[m] = v;
+      const float a = std::fabs(v);
+      m += kStrict ? (a > threshold ? 1U : 0U) : (a >= threshold ? 1U : 0U);
+    }
+    out.indices.insert(out.indices.end(), stage_i, stage_i + m);
+    out.values.insert(out.values.end(), stage_v, stage_v + m);
+  }
+}
+
+template <bool kStrict>
+void serial_filter_pairs(std::span<const float> x, float threshold,
+                         Workspace& ws, SparseGradient& out) {
+  serial_filter_pairs_impl<kStrict>(
+      x, threshold, ws, out,
+      [](std::size_t j) { return static_cast<std::uint32_t>(j); });
+}
+
+/// Serial single-input-pass magnitude filter (abs_exceedances fast path).
+void serial_filter_mags(std::span<const float> x, float threshold,
+                        Workspace& ws, std::vector<float>& out) {
+  ensure_staging(ws);
+  out.clear();
+  float* stage_v = ws.stage_values.data();
+  for (std::size_t base = 0; base < x.size(); base += kKernelBlock) {
+    const std::size_t end = std::min(x.size(), base + kKernelBlock);
+    std::size_t m = 0;
+    for (std::size_t i = base; i < end; ++i) {
+      const float a = std::fabs(x[i]);
+      stage_v[m] = a;
+      m += (a >= threshold) ? 1U : 0U;
+    }
+    out.insert(out.end(), stage_v, stage_v + m);
+  }
+}
+
+/// Shared two-pass parallel selection: counts matches per block and
+/// prefix-sums the counts into disjoint write offsets; emit_blocks() then
+/// lets each block write its matches in parallel.  Returns the total count.
+template <typename Match>
+std::size_t select_blocks(std::size_t n, Workspace& ws, const Match& match) {
+  const std::size_t blocks = block_count(n);
+  ws.block_offsets.resize(blocks + 1);
+  for_each_block(n, [&ws, &match](std::size_t b, std::size_t lo,
+                                  std::size_t hi) {
+    std::size_t count = 0;
+    for (std::size_t i = lo; i < hi; ++i) count += match(i) ? 1U : 0U;
+    ws.block_offsets[b + 1] = count;
+  });
+  ws.block_offsets[0] = 0;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    ws.block_offsets[b + 1] += ws.block_offsets[b];
+  }
+  return ws.block_offsets[blocks];
+}
+
+template <typename Match, typename Emit>
+void emit_blocks(std::size_t n, const Workspace& ws, const Match& match,
+                 const Emit& emit) {
+  for_each_block(n, [&ws, &match, &emit](std::size_t b, std::size_t lo,
+                                         std::size_t hi) {
+    std::size_t slot = ws.block_offsets[b];
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (match(i)) emit(i, slot++);
+    }
+  });
+}
+
+}  // namespace
+
+void extract_at_least(std::span<const float> x, float threshold,
+                      Workspace& workspace, SparseGradient& out) {
+  out.dense_dim = x.size();
+  if (!parallel_selection(x.size())) {
+    serial_filter_pairs<false>(x, threshold, workspace, out);
+    return;
+  }
+  const auto match = [x, threshold](std::size_t i) {
+    return std::fabs(x[i]) >= threshold;
+  };
+  const std::size_t total = select_blocks(x.size(), workspace, match);
+  out.indices.resize(total);
+  out.values.resize(total);
+  emit_blocks(x.size(), workspace, match,
+              [&out, x](std::size_t i, std::size_t slot) {
+                out.indices[slot] = static_cast<std::uint32_t>(i);
+                out.values[slot] = x[i];
+              });
+}
+
+AbsMoments abs_moments_extract(std::span<const float> x, float tau,
+                               bool with_log, Workspace& workspace,
+                               SparseGradient& candidates) {
+  candidates.dense_dim = x.size();
+  if (!parallel_selection(x.size())) {
+    // Fully fused: one read of the gradient produces both the moments and
+    // the candidate set.  The shared block kernel keeps the sums
+    // bit-identical to plain abs_moments (speculation never changes fits).
+    ensure_staging(workspace);
+    candidates.indices.clear();
+    candidates.values.clear();
+    std::uint32_t* stage_i = workspace.stage_indices.data();
+    float* stage_v = workspace.stage_values.data();
+    AbsMoments total;
+    total.n = x.size();
+    for (std::size_t base = 0; base < x.size(); base += kKernelBlock) {
+      const std::size_t end = std::min(x.size(), base + kKernelBlock);
+      std::size_t matches = 0;
+      const AbsMoments m = abs_moments_block_emit(
+          x, base, end, tau, with_log,
+          [stage_i, stage_v, &matches](std::size_t i, float v, bool take) {
+            stage_i[matches] = static_cast<std::uint32_t>(i);
+            stage_v[matches] = v;
+            matches += take ? 1U : 0U;
+          });
+      total.sum_abs += m.sum_abs;
+      total.sum_sq += m.sum_sq;
+      total.sum_log += m.sum_log;
+      total.log_used += m.log_used;
+      total.max_abs = std::max(total.max_abs, m.max_abs);
+      total.count_at_least += m.count_at_least;
+      candidates.indices.insert(candidates.indices.end(), stage_i,
+                                stage_i + matches);
+      candidates.values.insert(candidates.values.end(), stage_v,
+                               stage_v + matches);
+    }
+    return total;
+  }
+  // Parallel: the fused moment reduction already counts matches per block
+  // (count_at_least partials), so the selection offsets come for free and
+  // only one extra emission pass is needed.
+  const AbsMoments total = abs_moments(x, tau, with_log, &workspace);
+  const std::size_t blocks = block_count(x.size());
+  workspace.block_offsets.resize(blocks + 1);
+  workspace.block_offsets[0] = 0;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    workspace.block_offsets[b + 1] =
+        workspace.block_offsets[b] + workspace.moment_partials[b].count_at_least;
+  }
+  candidates.indices.resize(workspace.block_offsets[blocks]);
+  candidates.values.resize(workspace.block_offsets[blocks]);
+  emit_blocks(x.size(), workspace,
+              [x, tau](std::size_t i) { return std::fabs(x[i]) >= tau; },
+              [&candidates, x](std::size_t i, std::size_t slot) {
+                candidates.indices[slot] = static_cast<std::uint32_t>(i);
+                candidates.values[slot] = x[i];
+              });
+  return total;
+}
+
+void filter_at_least(const SparseGradient& in, float threshold,
+                     Workspace& workspace, SparseGradient& out) {
+  out.dense_dim = in.dense_dim;
+  const std::span<const float> values(in.values);
+  if (!parallel_selection(values.size())) {
+    serial_filter_pairs_impl<false>(
+        values, threshold, workspace, out,
+        [&in](std::size_t j) { return in.indices[j]; });
+    return;
+  }
+  const auto match = [values, threshold](std::size_t j) {
+    return std::fabs(values[j]) >= threshold;
+  };
+  const std::size_t total = select_blocks(values.size(), workspace, match);
+  out.indices.resize(total);
+  out.values.resize(total);
+  emit_blocks(values.size(), workspace, match,
+              [&out, &in](std::size_t j, std::size_t slot) {
+                out.indices[slot] = in.indices[j];
+                out.values[slot] = in.values[j];
+              });
+}
+
 SparseGradient extract_at_least(std::span<const float> x, float threshold,
                                 std::size_t reserve_hint) {
   SparseGradient out;
-  out.dense_dim = x.size();
   out.indices.reserve(reserve_hint);
   out.values.reserve(reserve_hint);
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    if (std::fabs(x[i]) >= threshold) {
-      out.indices.push_back(static_cast<std::uint32_t>(i));
-      out.values.push_back(x[i]);
-    }
-  }
+  extract_at_least(x, threshold, tls_workspace(), out);
   return out;
+}
+
+void abs_exceedances(std::span<const float> x, float threshold,
+                     Workspace& workspace, std::vector<float>& out) {
+  if (!parallel_selection(x.size())) {
+    serial_filter_mags(x, threshold, workspace, out);
+    return;
+  }
+  const auto match = [x, threshold](std::size_t i) {
+    return std::fabs(x[i]) >= threshold;
+  };
+  const std::size_t total = select_blocks(x.size(), workspace, match);
+  out.resize(total);
+  emit_blocks(x.size(), workspace, match,
+              [&out, x](std::size_t i, std::size_t slot) {
+                out[slot] = std::fabs(x[i]);
+              });
 }
 
 std::vector<float> abs_exceedances(std::span<const float> x, float threshold,
                                    std::size_t reserve_hint) {
   std::vector<float> out;
   out.reserve(reserve_hint);
-  for (float v : x) {
-    const float a = std::fabs(v);
-    if (a >= threshold) out.push_back(a);
-  }
+  abs_exceedances(x, threshold, tls_workspace(), out);
   return out;
 }
 
-float kth_largest_abs(std::span<const float> x, std::size_t k) {
+float kth_largest_abs(std::span<const float> x, std::size_t k,
+                      Workspace& workspace) {
   util::check(k >= 1 && k <= x.size(),
               "kth_largest_abs requires 1 <= k <= size");
-  std::vector<float> mags(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) mags[i] = std::fabs(x[i]);
-  std::nth_element(mags.begin(), mags.begin() + static_cast<std::ptrdiff_t>(k - 1),
-                   mags.end(), std::greater<>());
-  return mags[k - 1];
+  workspace.mags.resize(x.size());
+  for_each_block(x.size(), [&workspace, x](std::size_t, std::size_t lo,
+                                           std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      workspace.mags[i] = std::fabs(x[i]);
+    }
+  });
+  std::nth_element(workspace.mags.begin(),
+                   workspace.mags.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   workspace.mags.end(), std::greater<>());
+  return workspace.mags[k - 1];
+}
+
+float kth_largest_abs(std::span<const float> x, std::size_t k) {
+  return kth_largest_abs(x, k, tls_workspace());
+}
+
+float top_k(std::span<const float> x, std::size_t k, Workspace& workspace,
+            SparseGradient& out) {
+  util::check(k <= x.size(), "top_k requires k <= size");
+  out.dense_dim = x.size();
+  out.indices.clear();
+  out.values.clear();
+  if (k == 0) return 0.0F;
+  const float eta = kth_largest_abs(x, k, workspace);
+
+  // Pass 1: everything strictly above the threshold, ascending index order
+  // (parallel per-block emission preserves it).
+  if (!parallel_selection(x.size())) {
+    serial_filter_pairs<true>(x, eta, workspace, out);
+    out.dense_dim = x.size();
+  } else {
+    const auto match = [x, eta](std::size_t i) {
+      return std::fabs(x[i]) > eta;
+    };
+    const std::size_t total = select_blocks(x.size(), workspace, match);
+    out.indices.resize(total);
+    out.values.resize(total);
+    emit_blocks(x.size(), workspace, match,
+                [&out, x](std::size_t i, std::size_t slot) {
+                  out.indices[slot] = static_cast<std::uint32_t>(i);
+                  out.values[slot] = x[i];
+                });
+  }
+  const std::size_t above = out.indices.size();
+  if (above == k) return eta;
+
+  // Pass 2: collect the tie run (|x_i| == eta, smallest indices first) into
+  // workspace scratch, early-exiting once the remainder is filled.
+  const std::size_t need = k - above;
+  workspace.tie_indices.clear();
+  workspace.tie_values.clear();
+  for (std::size_t i = 0; i < x.size() && workspace.tie_indices.size() < need;
+       ++i) {
+    if (std::fabs(x[i]) == eta) {
+      workspace.tie_indices.push_back(static_cast<std::uint32_t>(i));
+      workspace.tie_values.push_back(x[i]);
+    }
+  }
+
+  // Both runs are index-sorted; a backward in-place merge restores global
+  // index order without building a second SparseGradient.
+  out.indices.resize(k);
+  out.values.resize(k);
+  std::ptrdiff_t i = static_cast<std::ptrdiff_t>(above) - 1;
+  std::ptrdiff_t j = static_cast<std::ptrdiff_t>(need) - 1;
+  std::ptrdiff_t w = static_cast<std::ptrdiff_t>(k) - 1;
+  while (j >= 0) {
+    if (i >= 0 && out.indices[static_cast<std::size_t>(i)] >
+                      workspace.tie_indices[static_cast<std::size_t>(j)]) {
+      out.indices[static_cast<std::size_t>(w)] =
+          out.indices[static_cast<std::size_t>(i)];
+      out.values[static_cast<std::size_t>(w)] =
+          out.values[static_cast<std::size_t>(i)];
+      --i;
+    } else {
+      out.indices[static_cast<std::size_t>(w)] =
+          workspace.tie_indices[static_cast<std::size_t>(j)];
+      out.values[static_cast<std::size_t>(w)] =
+          workspace.tie_values[static_cast<std::size_t>(j)];
+      --j;
+    }
+    --w;
+  }
+  return eta;
 }
 
 SparseGradient top_k(std::span<const float> x, std::size_t k) {
-  util::check(k <= x.size(), "top_k requires k <= size");
   SparseGradient out;
-  out.dense_dim = x.size();
-  if (k == 0) return out;
-  const float eta = kth_largest_abs(x, k);
-  out.indices.reserve(k);
-  out.values.reserve(k);
-  // First pass: everything strictly above the threshold.
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    if (std::fabs(x[i]) > eta) {
-      out.indices.push_back(static_cast<std::uint32_t>(i));
-      out.values.push_back(x[i]);
-    }
-  }
-  // Second pass: fill the remainder with ties at the threshold, index order.
-  for (std::size_t i = 0; i < x.size() && out.values.size() < k; ++i) {
-    if (std::fabs(x[i]) == eta) {
-      out.indices.push_back(static_cast<std::uint32_t>(i));
-      out.values.push_back(x[i]);
-    }
-  }
-  // Keep indices sorted for downstream reproducibility.
-  std::vector<std::size_t> order(out.indices.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return out.indices[a] < out.indices[b];
-  });
-  SparseGradient sorted;
-  sorted.dense_dim = out.dense_dim;
-  sorted.indices.reserve(out.indices.size());
-  sorted.values.reserve(out.values.size());
-  for (std::size_t i : order) {
-    sorted.indices.push_back(out.indices[i]);
-    sorted.values.push_back(out.values[i]);
-  }
-  return sorted;
+  top_k(x, k, tls_workspace(), out);
+  return out;
 }
 
 double sparsification_error(std::span<const float> x, std::size_t k) {

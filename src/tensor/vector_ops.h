@@ -1,13 +1,27 @@
 // Dense vector kernels shared by compressors, estimators and the NN library.
 //
-// All kernels are single linear passes over contiguous float data; they are
-// the building blocks whose O(d) cost the paper's complexity argument rests
-// on.  Accumulations are done in double to keep statistics stable for
-// d in the hundreds of millions.
+// All kernels are blocked data-parallel passes over contiguous float data;
+// they are the building blocks whose O(d) cost the paper's complexity
+// argument rests on.  Accumulations are done in double to keep statistics
+// stable for d in the hundreds of millions.
+//
+// Parallel execution contract: every kernel partitions its input into
+// fixed-size blocks of kKernelBlock elements (independent of the thread
+// count), reduces each block serially, and combines per-block partials in
+// block order.  Results are therefore bit-identical for any SIDCO_THREADS
+// setting, including 1.
+//
+// Allocation contract: the Workspace overloads perform zero steady-state heap
+// allocations — all scratch (per-block partials, prefix-sum offsets, output
+// storage) lives in the caller-provided Workspace / output objects and is
+// reused across calls once warm.  The workspace-free signatures are wrappers
+// over an internal thread-local Workspace, so they too stop allocating after
+// the first call of a given size per thread.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -15,13 +29,117 @@
 
 namespace sidco::tensor {
 
+/// Fixed parallel block size (elements).  Small enough to load-balance a
+/// handful of threads at bench scales, large enough that per-block dispatch
+/// cost is negligible.
+inline constexpr std::size_t kKernelBlock = std::size_t{1} << 15;
+
+/// Fused one-pass absolute moments: everything the exponential / gamma / GP
+/// fits and the RedSync / GaussianKSGD searches need from |x|, in a single
+/// read of the gradient.
+struct AbsMoments {
+  double sum_abs = 0.0;    ///< sum |x_i|
+  double sum_sq = 0.0;     ///< sum x_i^2
+  double sum_log = 0.0;    ///< sum log |x_i| over nonzero x_i (if with_log)
+  std::size_t log_used = 0;  ///< nonzero count feeding sum_log
+  float max_abs = 0.0F;    ///< max |x_i|
+  std::size_t count_at_least = 0;  ///< #{i : |x_i| >= count_threshold}
+  std::size_t n = 0;
+
+  [[nodiscard]] double mean_abs() const {
+    return n == 0 ? 0.0 : sum_abs / static_cast<double>(n);
+  }
+  /// Population variance of |x|.
+  [[nodiscard]] double variance_abs() const {
+    if (n == 0) return 0.0;
+    const double mu = mean_abs();
+    const double v = sum_sq / static_cast<double>(n) - mu * mu;
+    return v > 0.0 ? v : 0.0;
+  }
+  [[nodiscard]] double mean_log() const {
+    return log_used == 0 ? 0.0 : sum_log / static_cast<double>(log_used);
+  }
+};
+
+/// Fused one-pass signed moments (Normal fit for GaussianKSGD).
+struct SignedMoments {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  std::size_t n = 0;
+
+  [[nodiscard]] double mean() const {
+    return n == 0 ? 0.0 : sum / static_cast<double>(n);
+  }
+  /// Population variance via the one-pass E[x^2] - mu^2 identity.  Fine for
+  /// gradient-like data centered near zero (the compression hot path); for
+  /// arbitrary data with |mean| >> stddev prefer the two-pass
+  /// tensor::variance(), which does not cancel.
+  [[nodiscard]] double variance() const {
+    if (n == 0) return 0.0;
+    const double mu = mean();
+    const double v = sum_sq / static_cast<double>(n) - mu * mu;
+    return v > 0.0 ? v : 0.0;
+  }
+};
+
+/// Reusable scratch for the parallel kernels.  Hold one per compressor (or
+/// per thread) and pass it to every call; buffers grow to a high-water mark
+/// and are never shrunk, so steady-state calls allocate nothing.
+struct Workspace {
+  std::vector<AbsMoments> moment_partials;
+  std::vector<SignedMoments> signed_partials;
+  std::vector<std::size_t> count_partials;
+  /// Per-block output offsets (exclusive prefix sums) for selection kernels.
+  std::vector<std::size_t> block_offsets;
+  /// Block-local staging for the serial single-input-pass selection path:
+  /// matches are emitted branchlessly into these fixed-size buffers and then
+  /// appended to the output in block order.
+  std::vector<std::uint32_t> stage_indices;
+  std::vector<float> stage_values;
+  /// Magnitude scratch for kth_largest_abs / top_k.
+  std::vector<float> mags;
+  /// Tie scratch for top_k's in-place index merge.
+  std::vector<std::uint32_t> tie_indices;
+  std::vector<float> tie_values;
+};
+
+/// Fused absolute-moment reduction.  `count_threshold` feeds count_at_least
+/// (pass +inf when unused); `with_log` additionally accumulates sum log |x|
+/// (skipping zeros), which costs a transcendental per element and is
+/// therefore opt-in.
+AbsMoments abs_moments(
+    std::span<const float> x,
+    float count_threshold = std::numeric_limits<float>::infinity(),
+    bool with_log = false, Workspace* workspace = nullptr);
+
+/// Fused signed-moment reduction (mean + variance in one pass).
+SignedMoments signed_moments(std::span<const float> x,
+                             Workspace* workspace = nullptr);
+
+/// Fully fused moments + selection: computes abs_moments(x, tau, with_log)
+/// AND extracts {i : |x_i| >= tau} into `candidates` in the same read of the
+/// gradient — the kernel behind SIDCo's single-scan multi-stage pipeline
+/// (the caller supplies tau speculatively from the previous iteration's
+/// stage-1 threshold).
+AbsMoments abs_moments_extract(std::span<const float> x, float tau,
+                               bool with_log, Workspace& workspace,
+                               SparseGradient& candidates);
+
+/// Filters an already-sparse candidate set: keeps entries with
+/// |values[j]| >= threshold, preserving order, into `out` (which must be a
+/// different object).  Used to narrow a SIDCo candidate set to the final
+/// selection without touching the dense gradient again.
+void filter_at_least(const SparseGradient& in, float threshold,
+                     Workspace& workspace, SparseGradient& out);
+
 /// Sum of |x_i| / d — the exponential-fit MLE input.
 double mean_abs(std::span<const float> x);
 
 /// Sample mean.
 double mean(std::span<const float> x);
 
-/// Population variance (divides by n).
+/// Population variance (divides by n).  Two-pass (mean first, then centered
+/// squares), so it stays accurate when |mean| >> stddev.
 double variance(std::span<const float> x);
 
 /// Mean and population variance of |x_i| in one pass.
@@ -46,7 +164,8 @@ float max_abs(std::span<const float> x);
 double l2_norm(std::span<const float> x);
 
 /// Number of elements with |x_i| >= threshold.
-std::size_t count_at_least(std::span<const float> x, float threshold);
+std::size_t count_at_least(std::span<const float> x, float threshold,
+                           Workspace* workspace = nullptr);
 
 /// y += a * x.
 void axpy(float a, std::span<const float> x, std::span<float> y);
@@ -56,23 +175,45 @@ void scale(std::span<float> x, float a);
 
 void fill(std::span<float> x, float value);
 
-/// Extracts {i : |x_i| >= threshold} into a SparseGradient.  `reserve_hint`
-/// pre-sizes the output (pass the expected k to avoid reallocation).
+/// Extracts {i : |x_i| >= threshold} into `out` (indices ascending), reusing
+/// `out`'s storage.  Parallel: per-block counts are merged by prefix sum into
+/// per-block write offsets, then blocks write disjoint output segments.
+void extract_at_least(std::span<const float> x, float threshold,
+                      Workspace& workspace, SparseGradient& out);
+
+/// Allocating convenience wrapper.  `reserve_hint` pre-sizes the output.
 SparseGradient extract_at_least(std::span<const float> x, float threshold,
                                 std::size_t reserve_hint = 0);
 
-/// Collects |x_i| for elements with |x_i| >= threshold (exceedance set used
-/// by multi-stage fitting).  Values are NOT shifted by the threshold.
+/// Collects |x_i| for elements with |x_i| >= threshold into `out` (exceedance
+/// set used by multi-stage fitting), reusing `out`'s storage.  Values are NOT
+/// shifted by the threshold.  Because outputs are magnitudes, the kernel can
+/// be chained — filter one exceedance buffer into ANOTHER at a higher
+/// threshold (the single-scan multi-stage path ping-pongs two buffers).
+/// `out` must not alias `x`: it is cleared/overwritten while `x` is read.
+void abs_exceedances(std::span<const float> x, float threshold,
+                     Workspace& workspace, std::vector<float>& out);
+
+/// Allocating convenience wrapper.
 std::vector<float> abs_exceedances(std::span<const float> x, float threshold,
                                    std::size_t reserve_hint = 0);
 
 /// Magnitude of the k-th largest |x_i| (exact selection, O(d) average).
-/// k must satisfy 1 <= k <= x.size().
+/// k must satisfy 1 <= k <= x.size().  The Workspace overload reuses
+/// workspace.mags as the selection scratch.
+float kth_largest_abs(std::span<const float> x, std::size_t k,
+                      Workspace& workspace);
 float kth_largest_abs(std::span<const float> x, std::size_t k);
 
-/// Exact Top-k sparsification: keeps the k elements of largest magnitude.
-/// Ties at the threshold are broken by index order so exactly k elements are
-/// returned.
+/// Exact Top-k sparsification into `out`, reusing its storage.  Ties at the
+/// threshold are broken by index order so exactly k elements are returned;
+/// indices come out ascending via an in-place backward merge of the tie run
+/// (no second SparseGradient is built).  Returns the selection threshold
+/// (the k-th largest magnitude; 0 when k == 0).
+float top_k(std::span<const float> x, std::size_t k, Workspace& workspace,
+            SparseGradient& out);
+
+/// Allocating convenience wrapper.
 SparseGradient top_k(std::span<const float> x, std::size_t k);
 
 /// Sparsification error sigma_k(g) = ||g - T_k(g)||_2 (Definition 1, eq. 2).

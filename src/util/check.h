@@ -19,13 +19,26 @@ class CheckError : public std::logic_error {
 };
 
 /// Throws CheckError when `condition` is false.  `what` should describe the
-/// violated expectation, e.g. "ratio must be in (0, 1]".
-inline void check(bool condition, const std::string& what,
+/// violated expectation, e.g. "ratio must be in (0, 1]".  Takes a C string so
+/// the passing path costs one branch and zero allocations — checks sit on
+/// per-iteration compression hot paths (see the steady-state allocation
+/// contract in compressors/compressor.h).
+inline void check(bool condition, const char* what,
                   std::source_location loc = std::source_location::current()) {
-  if (!condition) {
+  if (!condition) [[unlikely]] {
     throw CheckError(std::string(loc.file_name()) + ":" +
                      std::to_string(loc.line()) + ": check failed: " + what);
   }
+}
+
+/// Unconditional failure with a dynamically built message.  For cold-path
+/// call sites whose message needs formatting: the caller branches first, so
+/// the hot path never constructs the std::string.
+[[noreturn]] inline void check_fail(
+    const std::string& what,
+    std::source_location loc = std::source_location::current()) {
+  throw CheckError(std::string(loc.file_name()) + ":" +
+                   std::to_string(loc.line()) + ": check failed: " + what);
 }
 
 }  // namespace sidco::util

@@ -16,9 +16,10 @@ Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
 }
 
 void Table::add_row(std::vector<std::string> cells) {
-  check(cells.size() == header_.size(),
-        "row arity must match header arity (" +
-            std::to_string(header_.size()) + " columns)");
+  if (cells.size() != header_.size()) {
+    check_fail("row arity must match header arity (" +
+               std::to_string(header_.size()) + " columns)");
+  }
   rows_.push_back(std::move(cells));
 }
 
@@ -63,7 +64,9 @@ std::string csv_escape(const std::string& cell) {
 
 void Table::write_csv(const std::string& path) const {
   std::ofstream os(path);
-  check(os.good(), "cannot open CSV output file: " + path);
+  if (!os.good()) {
+    check_fail("cannot open CSV output file: " + path);
+  }
   auto emit = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
       if (c > 0) os << ',';

@@ -1,0 +1,171 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace sidco::util {
+
+namespace {
+// Set while a pool worker (or a caller inside run()) executes job bodies, so
+// nested kernel calls degrade to inline execution instead of deadlocking.
+thread_local bool t_inside_pool_job = false;
+}  // namespace
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool(env_thread_count());
+  return pool;
+}
+
+bool ThreadPool::executing_inline() { return t_inside_pool_job; }
+
+ThreadPool::SerialScope::SerialScope() : previous_(t_inside_pool_job) {
+  t_inside_pool_job = true;
+}
+
+ThreadPool::SerialScope::~SerialScope() { t_inside_pool_job = previous_; }
+
+int ThreadPool::env_thread_count() {
+  if (const char* env = std::getenv("SIDCO_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env) {
+      // Non-positive values (SIDCO_THREADS=0 is a common "disable" idiom)
+      // mean serial execution, not "fall back to all cores".
+      return static_cast<int>(std::clamp<long>(parsed, 1, kMaxThreads));
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp(static_cast<int>(hw), 1, kMaxThreads);
+}
+
+ThreadPool::ThreadPool(int thread_count)
+    : thread_count_(std::clamp(thread_count, 1, kMaxThreads)) {
+  spawn_workers();
+}
+
+ThreadPool::~ThreadPool() { join_workers(); }
+
+void ThreadPool::set_threads(int thread_count) {
+  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  join_workers();
+  thread_count_ = std::clamp(thread_count, 1, kMaxThreads);
+  spawn_workers();
+}
+
+void ThreadPool::spawn_workers() {
+  shutting_down_ = false;
+  workers_.reserve(static_cast<std::size_t>(thread_count_ - 1));
+  for (int t = 1; t < thread_count_; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void ThreadPool::join_workers() {
+  {
+    std::lock_guard<std::mutex> lock(job_mutex_);
+    shutting_down_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+void ThreadPool::run(std::size_t tasks,
+                     const std::function<void(std::size_t)>& body) {
+  if (tasks == 0) return;
+  if (thread_count_ <= 1 || tasks == 1 || t_inside_pool_job ||
+      workers_.empty()) {
+    // Save/restore rather than set/clear: on a pool worker the flag is
+    // already true for the thread's lifetime and must stay that way after a
+    // nested inline run, or a later nested call would deadlock on run_mutex_.
+    const bool was_inside = t_inside_pool_job;
+    t_inside_pool_job = true;
+    try {
+      for (std::size_t i = 0; i < tasks; ++i) body(i);
+    } catch (...) {
+      t_inside_pool_job = was_inside;
+      throw;
+    }
+    t_inside_pool_job = was_inside;
+    return;
+  }
+
+  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(job_mutex_);
+    job_ = &body;
+    total_tasks_ = tasks;
+    next_task_ = 0;
+    remaining_ = tasks;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  job_cv_.notify_all();
+
+  // The caller is execution lane 0: it drains tasks alongside the workers.
+  t_inside_pool_job = true;
+  for (;;) {
+    std::size_t index = 0;
+    {
+      std::lock_guard<std::mutex> lock(job_mutex_);
+      if (next_task_ >= total_tasks_) break;
+      index = next_task_++;
+    }
+    try {
+      (*job_)(index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job_mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(job_mutex_);
+    if (--remaining_ == 0) done_cv_.notify_all();
+  }
+  t_inside_pool_job = false;
+
+  std::unique_lock<std::mutex> lock(job_mutex_);
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  t_inside_pool_job = true;
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(job_mutex_);
+      job_cv_.wait(lock, [&] {
+        return shutting_down_ ||
+               (generation_ != seen_generation && job_ != nullptr &&
+                next_task_ < total_tasks_);
+      });
+      if (shutting_down_) return;
+      seen_generation = generation_;
+    }
+    for (;;) {
+      std::size_t index = 0;
+      const std::function<void(std::size_t)>* job = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(job_mutex_);
+        if (job_ == nullptr || next_task_ >= total_tasks_) break;
+        index = next_task_++;
+        job = job_;
+      }
+      try {
+        (*job)(index);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(job_mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(job_mutex_);
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace sidco::util

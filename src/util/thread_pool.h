@@ -1,0 +1,107 @@
+// Internal thread pool for the blocked data-parallel kernels in src/tensor.
+//
+// Design constraints (and why this is not a generic executor):
+//  - Work is always a fixed index range [0, tasks) of equally shaped blocks;
+//    the pool hands out block indices through an atomic counter, so there is
+//    no per-task allocation and no queue.
+//  - Results must be bit-identical at any thread count.  The pool therefore
+//    never reduces anything itself: callers store per-block partials into
+//    pre-sized slots and combine them serially in block order.
+//  - The calling thread participates in the work, so thread count 1 means
+//    "run inline with zero synchronization" and the pool is safe to use from
+//    binaries that never spawn a worker.
+//
+// The worker count defaults to the SIDCO_THREADS environment variable
+// (clamped to [1, 64]), falling back to std::thread::hardware_concurrency().
+// set_threads() re-provisions the pool at runtime for tests and benches.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sidco::util {
+
+class ThreadPool {
+ public:
+  /// Process-wide pool shared by all tensor kernels.
+  static ThreadPool& instance();
+
+  /// Reads SIDCO_THREADS (fallback: hardware_concurrency), clamped to
+  /// [1, kMaxThreads].
+  static int env_thread_count();
+
+  explicit ThreadPool(int thread_count);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution width including the calling thread (always >= 1).
+  [[nodiscard]] int threads() const { return thread_count_; }
+
+  /// Joins existing workers and re-provisions the pool with `thread_count`
+  /// threads (clamped to [1, kMaxThreads]).  Not safe concurrently with
+  /// run(); intended for startup, tests and benches.
+  void set_threads(int thread_count);
+
+  /// Invokes body(i) for every i in [0, tasks), distributing indices across
+  /// the workers plus the calling thread, and blocks until all complete.
+  /// Exceptions thrown by `body` are captured and the first one is rethrown
+  /// on the calling thread.  Concurrent run() calls from different caller
+  /// threads serialize; run() from inside a pool worker executes inline.
+  void run(std::size_t tasks, const std::function<void(std::size_t)>& body);
+
+  /// True when run() on this thread would execute inline — inside a pool
+  /// worker, a running job, or a SerialScope.  Kernels use this to pick
+  /// their serial single-pass algorithms instead of multi-pass schemes that
+  /// only pay off with real parallel execution.
+  static bool executing_inline();
+
+  /// While alive, every run() issued from the constructing thread executes
+  /// inline (no pool dispatch, no run_mutex_ contention).  Use around timed
+  /// regions that must measure single-device work — e.g. a simulated
+  /// worker's compression latency — when several caller threads would
+  /// otherwise serialize on the shared pool.
+  class SerialScope {
+   public:
+    SerialScope();
+    ~SerialScope();
+    SerialScope(const SerialScope&) = delete;
+    SerialScope& operator=(const SerialScope&) = delete;
+
+   private:
+    bool previous_;
+  };
+
+  static constexpr int kMaxThreads = 64;
+
+ private:
+  void worker_loop();
+  void spawn_workers();
+  void join_workers();
+
+  int thread_count_;
+  std::vector<std::thread> workers_;
+
+  // One job at a time; callers serialize on run_mutex_.
+  std::mutex run_mutex_;
+
+  std::mutex job_mutex_;
+  std::condition_variable job_cv_;   // workers wait for a new generation
+  std::condition_variable done_cv_;  // caller waits for remaining_ == 0
+  std::uint64_t generation_ = 0;
+  bool shutting_down_ = false;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t total_tasks_ = 0;
+  std::size_t next_task_ = 0;      // guarded by job_mutex_
+  std::size_t remaining_ = 0;      // guarded by job_mutex_
+  std::exception_ptr first_error_;
+};
+
+}  // namespace sidco::util

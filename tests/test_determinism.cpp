@@ -7,8 +7,10 @@
 #include <vector>
 
 #include "core/factory.h"
+#include "core/sidco_compressor.h"
 #include "stats/distributions.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace sidco {
 namespace {
@@ -62,9 +64,88 @@ TEST_P(Determinism, DifferentSeedStillDeterministicPerSeed) {
   }
 }
 
+TEST_P(Determinism, SameSeedSameOutputsUnderOneVsFourThreads) {
+  // The blocked kernels promise bit-identical results at any SIDCO_THREADS
+  // setting; set_threads() is the in-process equivalent of the env var.
+  constexpr std::uint64_t kSeed = 20210407;
+  auto run_with_threads = [&](int threads) {
+    util::ThreadPool::instance().set_threads(threads);
+    auto compressor = core::make_compressor(GetParam(), 0.01, kSeed);
+    util::Rng stream(77);
+    std::vector<compressors::CompressResult> results;
+    for (std::size_t iter = 0; iter < 10; ++iter) {
+      const std::vector<float> g = evolving_gradient(20000, iter, stream);
+      results.push_back(compressor->compress(g));
+    }
+    return results;
+  };
+  const auto serial = run_with_threads(1);
+  const auto parallel = run_with_threads(4);
+  util::ThreadPool::instance().set_threads(1);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t iter = 0; iter < serial.size(); ++iter) {
+    ASSERT_EQ(serial[iter].sparse.indices, parallel[iter].sparse.indices)
+        << "iteration " << iter;
+    ASSERT_EQ(serial[iter].sparse.values, parallel[iter].sparse.values)
+        << "iteration " << iter;
+    ASSERT_EQ(serial[iter].stages_used, parallel[iter].stages_used);
+    ASSERT_DOUBLE_EQ(serial[iter].threshold, parallel[iter].threshold);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllSchemes, Determinism,
                          ::testing::ValuesIn(core::all_schemes().begin(),
                                             core::all_schemes().end()));
+
+class SidcoSpeculation : public ::testing::TestWithParam<core::Sid> {};
+
+TEST_P(SidcoSpeculation, OutputsIdenticalWithSpeculationOnAndOff) {
+  // The speculative single-scan pipeline must never change what is selected
+  // — only how many gradient scans produce it.  Drive both configurations
+  // over an evolving stream (which forces both hits and misses) and compare
+  // bit-for-bit.
+  core::SidcoConfig spec_config;
+  spec_config.sid = GetParam();
+  spec_config.target_ratio = 0.001;
+  core::SidcoConfig exact_config = spec_config;
+  exact_config.speculative_margin = 0.0;  // disable speculation
+  core::SidcoCompressor speculative(spec_config);
+  core::SidcoCompressor exact(exact_config);
+  util::Rng stream(2024);
+  for (std::size_t iter = 0; iter < 12; ++iter) {
+    const std::vector<float> g = evolving_gradient(30000, iter, stream);
+    const compressors::CompressResult a = speculative.compress(g);
+    const compressors::CompressResult b = exact.compress(g);
+    ASSERT_EQ(a.sparse.indices, b.sparse.indices) << "iteration " << iter;
+    ASSERT_EQ(a.sparse.values, b.sparse.values) << "iteration " << iter;
+    ASSERT_DOUBLE_EQ(a.threshold, b.threshold) << "iteration " << iter;
+    ASSERT_EQ(a.stages_used, b.stages_used) << "iteration " << iter;
+  }
+}
+
+TEST_P(SidcoSpeculation, StableStreamHitsAfterFirstCall) {
+  // On a stationary gradient distribution the previous threshold predicts
+  // the next one, so every call after the first should reuse its fused-scan
+  // candidates (single gradient read).
+  core::SidcoConfig config;
+  config.sid = GetParam();
+  config.target_ratio = 0.001;
+  core::SidcoCompressor compressor(config);
+  util::Rng rng(7);
+  const stats::Laplace dist(0.001);
+  for (std::size_t iter = 0; iter < 8; ++iter) {
+    std::vector<float> g(30000);
+    for (float& x : g) x = static_cast<float>(dist.sample(rng));
+    (void)compressor.compress(g);
+  }
+  EXPECT_EQ(compressor.speculation_misses(), 0U);
+  EXPECT_EQ(compressor.speculation_hits(), 7U);  // all but the cold call
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSids, SidcoSpeculation,
+                         ::testing::Values(core::Sid::kExponential,
+                                           core::Sid::kGamma,
+                                           core::Sid::kGeneralizedPareto));
 
 }  // namespace
 }  // namespace sidco

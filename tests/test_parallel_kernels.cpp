@@ -1,0 +1,324 @@
+// Parallel kernel correctness: every blocked kernel must agree with a naive
+// serial reference at awkward sizes (empty, single element, block boundaries,
+// non-divisible lengths) and must be *bit-identical* across thread counts
+// {1, 2, 4, 7} — the guarantee the fixed-block partitioning scheme exists to
+// provide (see src/tensor/vector_ops.h).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/vector_ops.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace sidco {
+namespace {
+
+const std::vector<int> kThreadCounts = {1, 2, 4, 7};
+
+const std::vector<std::size_t> kSizes = {
+    0,
+    1,
+    2,
+    1000,
+    tensor::kKernelBlock - 1,
+    tensor::kKernelBlock,
+    tensor::kKernelBlock + 1,
+    2 * tensor::kKernelBlock,
+    3 * tensor::kKernelBlock + 17,
+};
+
+std::vector<float> test_vector(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) {
+    x = static_cast<float>(rng.normal(0.0, 0.01));
+    // Sprinkle exact zeros so the log-moment skip path is exercised.
+    if (rng.uniform() < 0.05) x = 0.0F;
+  }
+  return v;
+}
+
+/// RAII thread-count override so a failing assertion cannot leak a setting
+/// into later tests.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int n) : saved_(util::ThreadPool::instance().threads()) {
+    util::ThreadPool::instance().set_threads(n);
+  }
+  ~ScopedThreads() { util::ThreadPool::instance().set_threads(saved_); }
+
+ private:
+  int saved_;
+};
+
+// ------------------------------------------------------- serial references
+
+std::size_t ref_count_at_least(const std::vector<float>& x, float eta) {
+  std::size_t n = 0;
+  for (float v : x) n += (std::fabs(v) >= eta) ? 1U : 0U;
+  return n;
+}
+
+float ref_max_abs(const std::vector<float>& x) {
+  float best = 0.0F;
+  for (float v : x) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+tensor::SparseGradient ref_extract(const std::vector<float>& x, float eta) {
+  tensor::SparseGradient out;
+  out.dense_dim = x.size();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (std::fabs(x[i]) >= eta) {
+      out.indices.push_back(static_cast<std::uint32_t>(i));
+      out.values.push_back(x[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<float> ref_exceedances(const std::vector<float>& x, float eta) {
+  std::vector<float> out;
+  for (float v : x) {
+    const float a = std::fabs(v);
+    if (a >= eta) out.push_back(a);
+  }
+  return out;
+}
+
+// --------------------------------------------------------- exact selection
+
+TEST(ParallelKernels, CountAtLeastMatchesSerialReferenceAtAllThreadCounts) {
+  for (std::size_t n : kSizes) {
+    const std::vector<float> v = test_vector(n, n + 1);
+    const float eta = 0.01F;
+    const std::size_t expected = ref_count_at_least(v, eta);
+    for (int threads : kThreadCounts) {
+      ScopedThreads scope(threads);
+      EXPECT_EQ(tensor::count_at_least(v, eta), expected)
+          << "n=" << n << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelKernels, MaxAbsMatchesSerialReferenceAtAllThreadCounts) {
+  for (std::size_t n : kSizes) {
+    const std::vector<float> v = test_vector(n, n + 2);
+    const float expected = ref_max_abs(v);
+    for (int threads : kThreadCounts) {
+      ScopedThreads scope(threads);
+      EXPECT_EQ(tensor::max_abs(v), expected)
+          << "n=" << n << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelKernels, ExtractAtLeastMatchesSerialReferenceAtAllThreadCounts) {
+  for (std::size_t n : kSizes) {
+    const std::vector<float> v = test_vector(n, n + 3);
+    const float eta = 0.008F;
+    const tensor::SparseGradient expected = ref_extract(v, eta);
+    tensor::Workspace ws;
+    tensor::SparseGradient out;
+    for (int threads : kThreadCounts) {
+      ScopedThreads scope(threads);
+      tensor::extract_at_least(v, eta, ws, out);
+      EXPECT_EQ(out.dense_dim, expected.dense_dim);
+      EXPECT_EQ(out.indices, expected.indices)
+          << "n=" << n << " threads=" << threads;
+      EXPECT_EQ(out.values, expected.values)
+          << "n=" << n << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelKernels, AbsExceedancesMatchesSerialReferenceAtAllThreadCounts) {
+  for (std::size_t n : kSizes) {
+    const std::vector<float> v = test_vector(n, n + 4);
+    const float eta = 0.008F;
+    const std::vector<float> expected = ref_exceedances(v, eta);
+    tensor::Workspace ws;
+    std::vector<float> out;
+    for (int threads : kThreadCounts) {
+      ScopedThreads scope(threads);
+      tensor::abs_exceedances(v, eta, ws, out);
+      EXPECT_EQ(out, expected) << "n=" << n << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelKernels, TopKMatchesAllocatingPathAndIsSortedAtAllThreadCounts) {
+  for (std::size_t n : kSizes) {
+    if (n == 0) continue;
+    const std::vector<float> v = test_vector(n, n + 5);
+    const std::size_t k = std::max<std::size_t>(1, n / 37);
+    tensor::SparseGradient expected;
+    {
+      ScopedThreads scope(1);
+      expected = tensor::top_k(v, k);
+    }
+    ASSERT_EQ(expected.nnz(), k);
+    ASSERT_TRUE(std::is_sorted(expected.indices.begin(),
+                               expected.indices.end()));
+    tensor::Workspace ws;
+    tensor::SparseGradient out;
+    for (int threads : kThreadCounts) {
+      ScopedThreads scope(threads);
+      const float eta = tensor::top_k(v, k, ws, out);
+      EXPECT_EQ(out.indices, expected.indices)
+          << "n=" << n << " threads=" << threads;
+      EXPECT_EQ(out.values, expected.values)
+          << "n=" << n << " threads=" << threads;
+      EXPECT_FLOAT_EQ(eta, tensor::kth_largest_abs(v, k, ws));
+    }
+  }
+}
+
+TEST(ParallelKernels, TopKAllTiesStillReturnsExactlyK) {
+  const std::vector<float> v(2 * tensor::kKernelBlock + 5, 0.25F);
+  tensor::Workspace ws;
+  tensor::SparseGradient out;
+  for (int threads : kThreadCounts) {
+    ScopedThreads scope(threads);
+    for (std::size_t k : {std::size_t{1}, std::size_t{1000}, v.size()}) {
+      tensor::top_k(v, k, ws, out);
+      ASSERT_EQ(out.nnz(), k) << "threads=" << threads;
+      EXPECT_TRUE(std::is_sorted(out.indices.begin(), out.indices.end()));
+      // Smallest-index ties win.
+      EXPECT_EQ(out.indices.front(), 0U);
+      EXPECT_EQ(out.indices.back(), static_cast<std::uint32_t>(k - 1));
+    }
+  }
+}
+
+TEST(ParallelKernels, KthLargestAbsMatchesSortAtAllThreadCounts) {
+  const std::vector<float> v = test_vector(tensor::kKernelBlock + 123, 99);
+  std::vector<float> sorted(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) sorted[i] = std::fabs(v[i]);
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  tensor::Workspace ws;
+  for (int threads : kThreadCounts) {
+    ScopedThreads scope(threads);
+    for (std::size_t k : {std::size_t{1}, std::size_t{17},
+                          std::size_t{5000}, v.size()}) {
+      EXPECT_FLOAT_EQ(tensor::kth_largest_abs(v, k, ws), sorted[k - 1])
+          << "threads=" << threads;
+    }
+  }
+}
+
+// ------------------------------------------------------- fused reductions
+
+TEST(ParallelKernels, AbsMomentsBitIdenticalAcrossThreadCounts) {
+  for (std::size_t n : kSizes) {
+    const std::vector<float> v = test_vector(n, n + 6);
+    const float eta = 0.005F;
+    tensor::AbsMoments baseline;
+    {
+      ScopedThreads scope(1);
+      baseline = tensor::abs_moments(v, eta, /*with_log=*/true);
+    }
+    for (int threads : kThreadCounts) {
+      ScopedThreads scope(threads);
+      const tensor::AbsMoments m = tensor::abs_moments(v, eta, true);
+      // Bit-identity, not tolerance: the fixed-block partitioning must make
+      // thread count invisible.
+      EXPECT_EQ(m.sum_abs, baseline.sum_abs) << "n=" << n << " t=" << threads;
+      EXPECT_EQ(m.sum_sq, baseline.sum_sq) << "n=" << n << " t=" << threads;
+      EXPECT_EQ(m.sum_log, baseline.sum_log) << "n=" << n << " t=" << threads;
+      EXPECT_EQ(m.log_used, baseline.log_used);
+      EXPECT_EQ(m.max_abs, baseline.max_abs);
+      EXPECT_EQ(m.count_at_least, baseline.count_at_least);
+      EXPECT_EQ(m.n, baseline.n);
+    }
+  }
+}
+
+TEST(ParallelKernels, AbsMomentsAgreesWithNaiveAccumulation) {
+  const std::vector<float> v = test_vector(3 * tensor::kKernelBlock + 17, 7);
+  double sum_abs = 0.0;
+  double sum_sq = 0.0;
+  double sum_log = 0.0;
+  std::size_t log_used = 0;
+  std::size_t count = 0;
+  const float eta = 0.005F;
+  for (float x : v) {
+    const double a = std::fabs(static_cast<double>(x));
+    sum_abs += a;
+    sum_sq += a * a;
+    if (a > 0.0) {
+      sum_log += std::log(a);
+      ++log_used;
+    }
+    count += (std::fabs(x) >= eta) ? 1U : 0U;
+  }
+  const tensor::AbsMoments m = tensor::abs_moments(v, eta, true);
+  EXPECT_NEAR(m.sum_abs, sum_abs, 1e-9 * std::fabs(sum_abs));
+  EXPECT_NEAR(m.sum_sq, sum_sq, 1e-9 * std::fabs(sum_sq) + 1e-12);
+  EXPECT_NEAR(m.sum_log, sum_log, 1e-9 * std::fabs(sum_log));
+  EXPECT_EQ(m.log_used, log_used);
+  EXPECT_EQ(m.count_at_least, count);
+}
+
+TEST(ParallelKernels, SignedMomentsBitIdenticalAcrossThreadCounts) {
+  for (std::size_t n : kSizes) {
+    const std::vector<float> v = test_vector(n, n + 8);
+    tensor::SignedMoments baseline;
+    {
+      ScopedThreads scope(1);
+      baseline = tensor::signed_moments(v);
+    }
+    for (int threads : kThreadCounts) {
+      ScopedThreads scope(threads);
+      const tensor::SignedMoments m = tensor::signed_moments(v);
+      EXPECT_EQ(m.sum, baseline.sum) << "n=" << n << " t=" << threads;
+      EXPECT_EQ(m.sum_sq, baseline.sum_sq) << "n=" << n << " t=" << threads;
+      EXPECT_EQ(m.n, baseline.n);
+    }
+  }
+}
+
+// ------------------------------------------------------------ thread pool
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  util::ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  pool.run(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                          [](int h) { return h == 1; }));
+}
+
+TEST(ThreadPool, PropagatesExceptionsFromWorkers) {
+  util::ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.run(64,
+               [](std::size_t i) {
+                 if (i == 13) throw std::runtime_error("boom");
+               }),
+      std::runtime_error);
+  // The pool must remain usable afterwards.
+  std::vector<int> hits(8, 0);
+  pool.run(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  EXPECT_EQ(std::count(hits.begin(), hits.end(), 1),
+            static_cast<std::ptrdiff_t>(hits.size()));
+}
+
+TEST(ThreadPool, SetThreadsReprovisions) {
+  util::ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1);
+  pool.set_threads(3);
+  EXPECT_EQ(pool.threads(), 3);
+  std::vector<int> hits(100, 0);
+  pool.run(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                          [](int h) { return h == 1; }));
+  pool.set_threads(0);  // clamps to 1
+  EXPECT_EQ(pool.threads(), 1);
+}
+
+}  // namespace
+}  // namespace sidco

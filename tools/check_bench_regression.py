@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Bench smoke gate for the SIDCo multi-stage compress path.
+
+Usage:
+    check_bench_regression.py CURRENT.json [BASELINE.json]
+
+CURRENT.json is a `bench_micro_kernels --benchmark_format=json` dump.  The
+script:
+  1. prints the seed-vs-fused speedups measured in CURRENT.json,
+  2. if BASELINE.json is given and exists, fails (exit 1) when the
+     multi-stage SIDCo path regressed by more than REGRESSION_TOLERANCE.
+
+The gated quantity is the *in-run speedup ratio* legacy_time / fused_time
+(seed-replica vs fused pipeline, measured in the same process on the same
+machine), compared against the same ratio in the committed baseline.
+Machine speed cancels out of the ratio, so the gate is robust to CI runners
+being faster or slower than the box that recorded the baseline; absolute
+times are printed for information only.
+"""
+
+import json
+import sys
+
+# (legacy prefix, fused prefix, label): the multi-stage path pairs that gate.
+GATED_PAIRS = [
+    ("BM_SidcoMultiStageCompressLegacy/", "BM_SidcoMultiStageCompress/",
+     "multi-stage compress (seed vs fused)"),
+    ("BM_SidcoTailRefitLegacy/", "BM_SidcoTailRefitFused/",
+     "tail refit (seed vs fused)"),
+]
+REGRESSION_TOLERANCE = 0.20  # fail if the speedup ratio drops >20%
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        out[bench["name"]] = float(bench["cpu_time"])
+    return out
+
+
+def speedups(results):
+    """{(label, size): legacy_time / fused_time} for every gated pair."""
+    out = {}
+    for legacy_prefix, fused_prefix, label in GATED_PAIRS:
+        for name, legacy_time in results.items():
+            if not name.startswith(legacy_prefix):
+                continue
+            size = name[len(legacy_prefix):]
+            fused_time = results.get(fused_prefix + size)
+            if fused_time:
+                out[(label, size)] = legacy_time / fused_time
+    return out
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    current = load(argv[1])
+    if not current:
+        print("error: no benchmarks found in", argv[1])
+        return 1
+    current_speedups = speedups(current)
+    for (label, size), ratio in sorted(current_speedups.items()):
+        print(f"{label} @ d={size}: {ratio:.2f}x")
+
+    if len(argv) < 3:
+        print("no baseline given; smoke check passes")
+        return 0
+    try:
+        baseline = load(argv[2])
+    except FileNotFoundError:
+        print("no committed baseline yet; smoke check passes")
+        return 0
+    baseline_speedups = speedups(baseline)
+
+    # A baseline pair with no counterpart in the current run means the gated
+    # benchmarks were renamed or dropped — that must fail loudly, or the gate
+    # would silently turn itself off.
+    missing = sorted(set(baseline_speedups) - set(current_speedups))
+    if missing:
+        print("FAIL: gated benchmarks missing from current run:",
+              "; ".join(f"{label} @ d={size}" for label, size in missing))
+        return 1
+
+    failures = []
+    for key, base_ratio in sorted(baseline_speedups.items()):
+        cur_ratio = current_speedups[key]
+        label, size = key
+        rel = cur_ratio / base_ratio
+        status = "ok" if rel >= 1.0 - REGRESSION_TOLERANCE else "REGRESSED"
+        print(f"{label} @ d={size}: baseline {base_ratio:.2f}x -> "
+              f"current {cur_ratio:.2f}x ({rel:.2f} of baseline) {status}")
+        if status == "REGRESSED":
+            failures.append(f"{label} @ d={size}")
+
+    if failures:
+        print(f"FAIL: multi-stage speedup dropped >{REGRESSION_TOLERANCE:.0%} "
+              f"vs committed baseline: " + "; ".join(failures))
+        return 1
+    print("bench smoke check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
