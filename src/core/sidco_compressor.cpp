@@ -15,6 +15,10 @@ SidcoCompressor::SidcoCompressor(const SidcoConfig& config)
       controller_(config.controller) {
   util::check(config.first_stage_ratio > 0.0 && config.first_stage_ratio < 1.0,
               "first stage ratio must be in (0, 1)");
+  // Fail fast: the staged estimators have no tail to fit at delta = 1, and
+  // plan_stage_ratios would reject it on the first compress anyway.
+  util::check(config.target_ratio > 0.0 && config.target_ratio < 1.0,
+              "target ratio must be in (0, 1)");
 }
 
 std::string_view SidcoCompressor::name() const {

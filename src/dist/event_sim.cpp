@@ -1,0 +1,68 @@
+#include "dist/event_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sidco::dist {
+
+void EventQueue::push(double time, std::size_t worker, EventKind kind,
+                      std::size_t round) {
+  util::check(std::isfinite(time) && time >= 0.0,
+              "event time must be finite and non-negative");
+  heap_.push({.time = time,
+              .seq = next_seq_++,
+              .worker = worker,
+              .kind = kind,
+              .round = round});
+}
+
+SimEvent EventQueue::pop() {
+  util::check(!heap_.empty(), "pop on an empty event queue");
+  SimEvent event = heap_.top();
+  heap_.pop();
+  return event;
+}
+
+FifoLink::FifoLink(double bytes_per_second, double latency_seconds)
+    : bytes_per_second_(bytes_per_second), latency_seconds_(latency_seconds) {
+  util::check(bytes_per_second > 0.0, "link bandwidth must be positive");
+  util::check(latency_seconds >= 0.0, "link latency must be non-negative");
+}
+
+double FifoLink::transfer(double now, std::size_t bytes) {
+  util::check(std::isfinite(now) && now >= 0.0,
+              "transfer time must be finite and non-negative");
+  if (bytes == 0) return now;
+  const double start = std::max(now, busy_until_);
+  busy_until_ = start + latency_seconds_ +
+                static_cast<double>(bytes) / bytes_per_second_;
+  return busy_until_;
+}
+
+double overlapped_iteration_seconds(std::span<const double> produce_seconds,
+                                    std::size_t chunks,
+                                    double chunk_collective_seconds) {
+  util::check(!produce_seconds.empty(), "overlap pipeline needs >= 1 worker");
+  util::check(chunks >= 1, "overlap pipeline needs >= 1 chunk");
+  util::check(chunk_collective_seconds >= 0.0,
+              "chunk collective time must be non-negative");
+  double max_produce = 0.0;
+  for (double p : produce_seconds) {
+    util::check(p >= 0.0, "produce time must be non-negative");
+    max_produce = std::max(max_produce, p);
+  }
+  // The collective for chunk j starts once the slowest worker has produced
+  // fraction (j+1)/chunks of its gradient and the previous chunk has left
+  // the fabric.
+  double finish = 0.0;
+  const auto c = static_cast<double>(chunks);
+  for (std::size_t j = 0; j < chunks; ++j) {
+    const double ready = max_produce * static_cast<double>(j + 1) / c;
+    finish = std::max(ready, finish) + chunk_collective_seconds;
+  }
+  return finish;
+}
+
+}  // namespace sidco::dist

@@ -1,0 +1,90 @@
+// Discrete-event machinery for the distributed runtime.
+//
+// Three pieces, shared by the session drivers in session.cpp:
+//  - EventQueue: a min-heap on (time, sequence).  The sequence number is
+//    assigned in push order, so ties between simultaneous events (e.g.
+//    homogeneous workers finishing a lock-step round) resolve in schedule
+//    order and every simulation is bit-reproducible.
+//  - FifoLink: one half-duplex link on which transfers serialize in request
+//    order — the parameter-server NIC.  Contention (a push queueing behind
+//    another worker's pull) falls out of the busy-until bookkeeping.
+//  - overlapped_iteration_seconds: the chunked compute/communication overlap
+//    pipeline of the synchronous collective path.  Gradient chunk j becomes
+//    available once (j+1)/chunks of the producing compute+compress work is
+//    done; chunk collectives serialize on the fabric.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <span>
+#include <vector>
+
+namespace sidco::dist {
+
+/// What a scheduled event means to the parameter-server driver.
+enum class EventKind : std::uint8_t {
+  kPullDone,    ///< worker received fresh parameters, compute may start
+  kStepDone,    ///< worker finished compute + compress, push may start
+  kPushArrive,  ///< worker's gradient fully received by the server
+  kWake,        ///< staleness guard released a blocked worker
+};
+
+struct SimEvent {
+  double time = 0.0;
+  std::uint64_t seq = 0;  ///< push order; deterministic tie-break
+  std::size_t worker = 0;
+  EventKind kind = EventKind::kStepDone;
+  std::size_t round = 0;
+};
+
+class EventQueue {
+ public:
+  /// Schedules an event; `time` must be finite and non-negative.
+  void push(double time, std::size_t worker, EventKind kind, std::size_t round);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+
+  /// Removes and returns the earliest event (ties by push order).
+  SimEvent pop();
+
+ private:
+  struct Later {
+    bool operator()(const SimEvent& a, const SimEvent& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<SimEvent, std::vector<SimEvent>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+class FifoLink {
+ public:
+  FifoLink(double bytes_per_second, double latency_seconds);
+
+  /// Starts a transfer of `bytes` at `now` or when the link frees up,
+  /// whichever is later; occupies the link until completion and returns the
+  /// completion time.  Zero-byte transfers complete immediately.
+  double transfer(double now, std::size_t bytes);
+
+  [[nodiscard]] double busy_until() const { return busy_until_; }
+
+ private:
+  double bytes_per_second_;
+  double latency_seconds_;
+  double busy_until_ = 0.0;
+};
+
+/// Wall-clock seconds of one synchronous collective iteration whose gradient
+/// is exchanged in `chunks` equal pieces.  `produce_seconds` holds each
+/// worker's modeled compute+compress time; chunk j of the slowest worker is
+/// ready at (j+1)/chunks of its produce time, and each chunk's collective
+/// costs `chunk_collective_seconds` on the shared fabric (chunks serialize).
+/// With chunks == 1 this degenerates to max(produce) + collective — the
+/// non-overlapped schedule.
+double overlapped_iteration_seconds(std::span<const double> produce_seconds,
+                                    std::size_t chunks,
+                                    double chunk_collective_seconds);
+
+}  // namespace sidco::dist

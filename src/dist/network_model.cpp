@@ -31,6 +31,11 @@ double NetworkModel::sparse_allgather_seconds(std::size_t bytes) const {
          (n - 1.0) * config_.latency_us * 1e-6;
 }
 
+double NetworkModel::link_transfer_seconds(std::size_t bytes) const {
+  return static_cast<double>(bytes) / bytes_per_second() +
+         config_.latency_us * 1e-6;
+}
+
 double NetworkModel::parameter_server_seconds(std::size_t bytes) const {
   const auto n = static_cast<double>(config_.workers);
   if (config_.workers <= 1) return 0.0;

@@ -31,6 +31,23 @@ class NetworkModel {
   /// Parameter-server push + pull of `bytes` per worker over the server link.
   [[nodiscard]] double parameter_server_seconds(std::size_t bytes) const;
 
+  /// One point-to-point transfer of `bytes` over a single link (one latency
+  /// hop + serialization) — the contention-free reference cost of a single
+  /// parameter-server push/pull.  The event-driven PS driver models the same
+  /// link with queueing via dist::FifoLink, built from the two accessors
+  /// below.
+  [[nodiscard]] double link_transfer_seconds(std::size_t bytes) const;
+
+  /// Bytes per second of one link (bandwidth_gbps expressed in B/s).
+  [[nodiscard]] double link_bytes_per_second() const {
+    return bytes_per_second();
+  }
+
+  /// Per-hop latency in seconds.
+  [[nodiscard]] double link_latency_seconds() const {
+    return config_.latency_us * 1e-6;
+  }
+
   [[nodiscard]] const NetworkConfig& config() const { return config_; }
 
   /// Wire bytes of a dense float32 gradient of dimension `n`.

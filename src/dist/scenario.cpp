@@ -1,0 +1,495 @@
+#include "dist/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "util/check.h"
+
+namespace sidco::dist {
+
+namespace {
+
+std::string trim(std::string_view s) {
+  const auto first = s.find_first_not_of(" \t\r\n");
+  if (first == std::string_view::npos) return "";
+  const auto last = s.find_last_not_of(" \t\r\n");
+  return std::string(s.substr(first, last - first + 1));
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const auto pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(trim(s.substr(start)));
+      break;
+    }
+    out.push_back(trim(s.substr(start, pos - start)));
+    start = pos + 1;
+  }
+  return out;
+}
+
+struct BenchmarkToken {
+  std::string_view token;
+  nn::Benchmark benchmark;
+};
+constexpr BenchmarkToken kBenchmarkTokens[] = {
+    {"resnet20", nn::Benchmark::kResNet20},
+    {"vgg16", nn::Benchmark::kVgg16},
+    {"resnet50", nn::Benchmark::kResNet50},
+    {"vgg19", nn::Benchmark::kVgg19},
+    {"lstm-ptb", nn::Benchmark::kLstmPtb},
+    {"lstm-an4", nn::Benchmark::kLstmAn4},
+};
+
+struct SchemeToken {
+  std::string_view token;
+  core::Scheme scheme;
+};
+constexpr SchemeToken kSchemeTokens[] = {
+    {"none", core::Scheme::kNone},
+    {"topk", core::Scheme::kTopK},
+    {"dgc", core::Scheme::kDgc},
+    {"redsync", core::Scheme::kRedSync},
+    {"gaussiank", core::Scheme::kGaussianKSgd},
+    {"randomk", core::Scheme::kRandomK},
+    {"sidco-e", core::Scheme::kSidcoExponential},
+    {"sidco-gp", core::Scheme::kSidcoGammaPareto},
+    {"sidco-p", core::Scheme::kSidcoPareto},
+};
+
+nn::Benchmark parse_benchmark(const std::string& token) {
+  for (const auto& [t, b] : kBenchmarkTokens) {
+    if (token == t) return b;
+  }
+  util::check_fail("unknown benchmark token: " + token);
+}
+
+std::string_view benchmark_token(nn::Benchmark benchmark) {
+  for (const auto& [t, b] : kBenchmarkTokens) {
+    if (benchmark == b) return t;
+  }
+  return "unknown";
+}
+
+core::Scheme parse_scheme(const std::string& token) {
+  for (const auto& [t, s] : kSchemeTokens) {
+    if (token == t) return s;
+  }
+  util::check_fail("unknown scheme token: " + token);
+}
+
+std::string_view scheme_token(core::Scheme scheme) {
+  for (const auto& [t, s] : kSchemeTokens) {
+    if (scheme == s) return t;
+  }
+  return "unknown";
+}
+
+Topology parse_topology(const std::string& token) {
+  if (token == "allgather" || token == "allreduce") {
+    return Topology::kAllreduce;
+  }
+  if (token == "ps" || token == "parameter-server") {
+    return Topology::kParameterServer;
+  }
+  util::check_fail("unknown topology token: " + token);
+}
+
+double parse_double(const std::string& token) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(token, &consumed);
+  } catch (const std::exception&) {
+    util::check_fail("malformed number: " + token);
+  }
+  util::check(consumed == token.size(), "trailing characters in number");
+  return value;
+}
+
+std::size_t parse_size(const std::string& token) {
+  const double value = parse_double(token);
+  util::check(value >= 0.0 && value == std::floor(value),
+              "expected a non-negative integer");
+  return static_cast<std::size_t>(value);
+}
+
+/// `<bandwidth>gbps` with an optional `@<latency>us` suffix, e.g. "10gbps"
+/// (25 us default) or "1gbps@50us".
+NetworkProfile parse_network(const std::string& token) {
+  NetworkProfile profile{.name = token, .config = NetworkConfig{}};
+  std::string bw_part = token;
+  if (const auto at = token.find('@'); at != std::string::npos) {
+    bw_part = token.substr(0, at);
+    std::string lat_part = token.substr(at + 1);
+    util::check(lat_part.size() > 2 &&
+                    lat_part.compare(lat_part.size() - 2, 2, "us") == 0,
+                "network latency must end in 'us'");
+    profile.config.latency_us =
+        parse_double(lat_part.substr(0, lat_part.size() - 2));
+  }
+  util::check(bw_part.size() > 4 &&
+                  bw_part.compare(bw_part.size() - 4, 4, "gbps") == 0,
+              "network bandwidth must end in 'gbps'");
+  profile.config.bandwidth_gbps =
+      parse_double(bw_part.substr(0, bw_part.size() - 4));
+  util::check(profile.config.bandwidth_gbps > 0.0,
+              "network bandwidth must be positive");
+  util::check(profile.config.latency_us >= 0.0,
+              "network latency must be non-negative");
+  return profile;
+}
+
+bool parse_on_off(const std::string& token) {
+  if (token == "on" || token == "true" || token == "1") return true;
+  if (token == "off" || token == "false" || token == "0") return false;
+  util::check_fail("expected on/off: " + token);
+}
+
+std::string format_g(double value, int precision = 9) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<double> resolve_device_profile(const DeviceProfile& profile,
+                                           std::size_t workers) {
+  util::check(workers >= 1, "device profile needs >= 1 worker");
+  if (profile.name == "homogeneous") return {};
+  std::vector<double> scale(workers, 1.0);
+  if (profile.name == "one-straggler-2x") {
+    scale[0] = 2.0;
+  } else if (profile.name == "one-straggler-4x") {
+    scale[0] = 4.0;
+  } else if (profile.name == "linear-ramp") {
+    // Worker 0 at full speed, the last worker 2x slower.
+    for (std::size_t w = 0; w < workers; ++w) {
+      scale[w] = workers == 1
+                     ? 1.0
+                     : 1.0 + static_cast<double>(w) /
+                                 static_cast<double>(workers - 1);
+    }
+  } else {
+    util::check_fail("unknown device profile: " + profile.name);
+  }
+  return scale;
+}
+
+MatrixSpec parse_matrix_spec(std::string_view text) {
+  MatrixSpec spec;
+  std::istringstream in{std::string(text)};
+  std::string raw_line;
+  while (std::getline(in, raw_line)) {
+    std::string line = raw_line;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    util::check(eq != std::string::npos,
+                "scenario spec lines must be 'key = value[, value...]'");
+    const std::string key = trim(line.substr(0, eq));
+    const std::vector<std::string> values = split(line.substr(eq + 1), ',');
+    util::check(!values.empty() && !values.front().empty(),
+                "scenario key needs at least one value");
+
+    const auto single = [&]() -> const std::string& {
+      if (values.size() != 1) {
+        util::check_fail("scenario key '" + key + "' takes a single value");
+      }
+      return values.front();
+    };
+
+    if (key == "workers") {
+      spec.workers = parse_size(single());
+    } else if (key == "iterations") {
+      spec.iterations = parse_size(single());
+    } else if (key == "eval_every") {
+      spec.eval_every = parse_size(single());
+    } else if (key == "eval_batches") {
+      spec.eval_batches = parse_size(single());
+    } else if (key == "seed") {
+      spec.seed = static_cast<std::uint64_t>(parse_size(single()));
+    } else if (key == "benchmark") {
+      spec.benchmarks.clear();
+      for (const auto& v : values) spec.benchmarks.push_back(parse_benchmark(v));
+    } else if (key == "scheme") {
+      spec.schemes.clear();
+      for (const auto& v : values) spec.schemes.push_back(parse_scheme(v));
+    } else if (key == "ratio") {
+      spec.ratios.clear();
+      for (const auto& v : values) spec.ratios.push_back(parse_double(v));
+    } else if (key == "topology") {
+      spec.topologies.clear();
+      for (const auto& v : values) spec.topologies.push_back(parse_topology(v));
+    } else if (key == "network") {
+      spec.networks.clear();
+      for (const auto& v : values) spec.networks.push_back(parse_network(v));
+    } else if (key == "device") {
+      spec.devices.clear();
+      for (const auto& v : values) {
+        // Resolve now with a representative count so unknown names fail at
+        // parse time, not mid-matrix.
+        (void)resolve_device_profile({.name = v}, 2);
+        spec.devices.push_back({.name = v});
+      }
+    } else if (key == "error_feedback") {
+      spec.error_feedback.clear();
+      for (const auto& v : values) spec.error_feedback.push_back(parse_on_off(v));
+    } else if (key == "staleness") {
+      spec.staleness.clear();
+      for (const auto& v : values) spec.staleness.push_back(parse_size(v));
+    } else if (key == "chunks") {
+      spec.chunks.clear();
+      for (const auto& v : values) {
+        const std::size_t c = parse_size(v);
+        util::check(c >= 1, "chunks must be >= 1");
+        spec.chunks.push_back(c);
+      }
+    } else {
+      util::check_fail("unknown scenario key: " + key);
+    }
+  }
+  util::check(spec.workers >= 1, "scenario matrix needs >= 1 worker");
+  util::check(spec.iterations >= 1, "scenario matrix needs >= 1 iteration");
+  return spec;
+}
+
+std::vector<Scenario> expand(const MatrixSpec& spec) {
+  std::vector<Scenario> cells;
+  for (nn::Benchmark benchmark : spec.benchmarks) {
+    for (core::Scheme scheme : spec.schemes) {
+      for (double ratio : spec.ratios) {
+        for (Topology topology : spec.topologies) {
+          for (const NetworkProfile& network : spec.networks) {
+            for (const DeviceProfile& device : spec.devices) {
+              for (bool ec : spec.error_feedback) {
+                for (std::size_t stale : spec.staleness) {
+                  for (std::size_t chunk : spec.chunks) {
+                    Scenario cell;
+                    cell.config.benchmark = benchmark;
+                    cell.config.scheme = scheme;
+                    cell.config.target_ratio = ratio;
+                    cell.config.workers = spec.workers;
+                    cell.config.iterations = spec.iterations;
+                    cell.config.eval_every = spec.eval_every;
+                    cell.config.eval_batches = spec.eval_batches;
+                    cell.config.seed = spec.seed;
+                    cell.config.error_feedback = ec;
+                    cell.config.topology = topology;
+                    cell.config.staleness_bound =
+                        topology == Topology::kParameterServer ? stale : 0;
+                    cell.config.overlap_chunks = chunk;
+                    cell.config.network = network.config;
+                    cell.config.device = Device::kGpuModel;
+                    cell.config.worker_time_scale =
+                        resolve_device_profile(device, spec.workers);
+                    std::ostringstream name;
+                    name << benchmark_token(benchmark) << '/'
+                         << scheme_token(scheme) << "/r" << format_g(ratio, 6)
+                         << '/' << topology_name(topology) << '/'
+                         << network.name << '/' << device.name << "/ec"
+                         << (ec ? 1 : 0) << "/s" << stale << "/c" << chunk;
+                    cell.name = name.str();
+                    cells.push_back(std::move(cell));
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+ScenarioMetrics run_scenario(const Scenario& scenario) {
+  SessionConfig config = scenario.config;
+  config.device = Device::kGpuModel;  // keep the event timeline deterministic
+  const SessionResult result = run_session(config);
+
+  ScenarioMetrics metrics;
+  metrics.name = scenario.name;
+  metrics.final_loss = result.final_loss;
+  metrics.final_quality = result.final_quality;
+  double fraction = 0.0;
+  for (const IterationRecord& it : result.iterations) {
+    fraction += it.achieved_ratio;
+  }
+  metrics.mean_selected_fraction =
+      result.iterations.empty()
+          ? 0.0
+          : fraction / static_cast<double>(result.iterations.size());
+  metrics.simulated_wall_seconds = result.total_modeled_seconds;
+  metrics.mean_staleness = result.mean_staleness();
+  metrics.staleness_histogram = result.staleness_histogram;
+  return metrics;
+}
+
+std::vector<ScenarioMetrics> run_matrix(const MatrixSpec& spec) {
+  std::vector<ScenarioMetrics> out;
+  for (const Scenario& cell : expand(spec)) {
+    out.push_back(run_scenario(cell));
+  }
+  return out;
+}
+
+std::string format_metrics(std::span<const ScenarioMetrics> metrics) {
+  std::ostringstream out;
+  for (const ScenarioMetrics& m : metrics) {
+    out << m.name << " loss=" << format_g(m.final_loss)
+        << " quality=" << format_g(m.final_quality)
+        << " frac=" << format_g(m.mean_selected_fraction)
+        << " wall=" << format_g(m.simulated_wall_seconds)
+        << " mean_stale=" << format_g(m.mean_staleness) << " stale=";
+    for (std::size_t s = 0; s < m.staleness_histogram.size(); ++s) {
+      if (s > 0) out << '|';
+      out << m.staleness_histogram[s];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+namespace {
+
+struct GoldenCell {
+  ScenarioMetrics metrics;
+  bool matched = false;
+};
+
+/// Parses one golden line back into metrics; returns false on malformed
+/// lines (reported as a diff by the caller).
+bool parse_golden_line(const std::string& line, ScenarioMetrics& out) {
+  std::istringstream in(line);
+  if (!(in >> out.name)) return false;
+  std::string token;
+  while (in >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    try {
+      if (key == "loss") {
+        out.final_loss = std::stod(value);
+      } else if (key == "quality") {
+        out.final_quality = std::stod(value);
+      } else if (key == "frac") {
+        out.mean_selected_fraction = std::stod(value);
+      } else if (key == "wall") {
+        out.simulated_wall_seconds = std::stod(value);
+      } else if (key == "mean_stale") {
+        out.mean_staleness = std::stod(value);
+      } else if (key == "stale") {
+        out.staleness_histogram.clear();
+        for (const std::string& bin : split(value, '|')) {
+          out.staleness_histogram.push_back(
+              static_cast<std::size_t>(std::stoull(bin)));
+        }
+      } else {
+        return false;
+      }
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool within_rel(double fresh, double golden, double rel) {
+  const double scale = std::max(std::abs(fresh), std::abs(golden));
+  return std::abs(fresh - golden) <= rel * scale + 1e-9;
+}
+
+std::size_t histogram_total(const std::vector<std::size_t>& histogram) {
+  std::size_t total = 0;
+  for (std::size_t c : histogram) total += c;
+  return total;
+}
+
+}  // namespace
+
+GoldenReport compare_with_golden(std::span<const ScenarioMetrics> metrics,
+                                 std::string_view golden_text,
+                                 const GoldenTolerance& tolerance) {
+  GoldenReport report;
+  std::map<std::string, GoldenCell> golden;
+  std::istringstream in{std::string(golden_text)};
+  std::string line;
+  while (std::getline(in, line)) {
+    line = trim(line);
+    if (line.empty() || line.front() == '#') continue;
+    ScenarioMetrics cell;
+    if (!parse_golden_line(line, cell)) {
+      report.diffs.push_back("malformed golden line: " + line);
+      continue;
+    }
+    // Copy the key out first: the RHS is sequenced before the subscript and
+    // would otherwise move the name away.
+    const std::string name = cell.name;
+    golden[name] = {.metrics = std::move(cell)};
+  }
+
+  for (const ScenarioMetrics& fresh : metrics) {
+    const auto it = golden.find(fresh.name);
+    if (it == golden.end()) {
+      report.diffs.push_back("cell missing from golden: " + fresh.name);
+      continue;
+    }
+    it->second.matched = true;
+    const ScenarioMetrics& want = it->second.metrics;
+    const auto field_diff = [&](const char* field, double got, double expect) {
+      report.diffs.push_back(fresh.name + " " + field + ": got " +
+                             format_g(got) + ", golden " + format_g(expect));
+    };
+    if (!within_rel(fresh.final_loss, want.final_loss, tolerance.loss_rel)) {
+      field_diff("loss", fresh.final_loss, want.final_loss);
+    }
+    if (std::abs(fresh.final_quality - want.final_quality) >
+        tolerance.quality_abs) {
+      field_diff("quality", fresh.final_quality, want.final_quality);
+    }
+    if (!within_rel(fresh.mean_selected_fraction, want.mean_selected_fraction,
+                    tolerance.fraction_rel)) {
+      field_diff("frac", fresh.mean_selected_fraction,
+                 want.mean_selected_fraction);
+    }
+    if (!within_rel(fresh.simulated_wall_seconds, want.simulated_wall_seconds,
+                    tolerance.wall_rel)) {
+      field_diff("wall", fresh.simulated_wall_seconds,
+                 want.simulated_wall_seconds);
+    }
+    if (std::abs(fresh.mean_staleness - want.mean_staleness) >
+        tolerance.staleness_abs) {
+      field_diff("mean_stale", fresh.mean_staleness, want.mean_staleness);
+    }
+    if (histogram_total(fresh.staleness_histogram) !=
+        histogram_total(want.staleness_histogram)) {
+      field_diff("stale total",
+                 static_cast<double>(
+                     histogram_total(fresh.staleness_histogram)),
+                 static_cast<double>(
+                     histogram_total(want.staleness_histogram)));
+    }
+  }
+  for (const auto& [name, cell] : golden) {
+    if (!cell.matched) {
+      report.diffs.push_back("golden cell not produced: " + name);
+    }
+  }
+  report.ok = report.diffs.empty();
+  return report;
+}
+
+}  // namespace sidco::dist

@@ -1,0 +1,131 @@
+// Declarative scenario matrix over the distributed runtime.
+//
+// A matrix spec is a TOML-like text block of `key = value[, value...]` lines;
+// multi-valued keys are axes and the matrix is their cartesian product in a
+// fixed expansion order, so a spec always produces the same cell sequence.
+// Example:
+//
+//   # scheme x topology x network x staleness smoke matrix
+//   workers    = 4
+//   iterations = 10
+//   seed       = 99
+//   benchmark  = resnet20
+//   ratio      = 0.01
+//   scheme     = topk, dgc, sidco-e
+//   topology   = allgather, ps
+//   network    = 10gbps, 1gbps@50us
+//   device     = homogeneous
+//   error_feedback = on
+//   staleness  = 0, 2
+//
+// Each cell runs one deterministic run_session() (analytic device model) and
+// reports golden-comparable metrics: final loss, quality, mean selected
+// fraction, simulated wall-clock, and the staleness histogram.  Golden files
+// are plain text (one cell per line, format_metrics); comparisons apply
+// per-field tolerances so behavioral regressions fail while cross-compiler
+// floating-point jitter does not.  `tools/run_scenarios --update-golden`
+// regenerates the files.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dist/session.h"
+
+namespace sidco::dist {
+
+/// Named fabric profile (axis token like "10gbps" or "1gbps@50us").
+struct NetworkProfile {
+  std::string name;
+  NetworkConfig config;
+};
+
+/// Named per-worker speed profile, resolved against the worker count at run
+/// time: homogeneous | one-straggler-2x | one-straggler-4x | linear-ramp.
+struct DeviceProfile {
+  std::string name;
+};
+
+/// Resolves a device profile to per-worker time multipliers (empty =
+/// homogeneous).  Throws util::CheckError on an unknown profile name.
+std::vector<double> resolve_device_profile(const DeviceProfile& profile,
+                                           std::size_t workers);
+
+struct MatrixSpec {
+  // Scalars (single-valued keys).
+  std::size_t workers = 4;
+  std::size_t iterations = 10;
+  std::size_t eval_every = 0;
+  std::size_t eval_batches = 2;
+  std::uint64_t seed = 42;
+
+  // Axes (multi-valued keys), expanded outermost-first in this order.
+  std::vector<nn::Benchmark> benchmarks{nn::Benchmark::kResNet20};
+  std::vector<core::Scheme> schemes{core::Scheme::kTopK};
+  std::vector<double> ratios{0.01};
+  std::vector<Topology> topologies{Topology::kAllreduce};
+  std::vector<NetworkProfile> networks{
+      {.name = "10gbps", .config = NetworkConfig{}}};
+  std::vector<DeviceProfile> devices{{.name = "homogeneous"}};
+  std::vector<bool> error_feedback{true};
+  std::vector<std::size_t> staleness{0};
+  std::vector<std::size_t> chunks{1};
+};
+
+/// One expanded matrix cell: a stable name plus a ready-to-run config.
+struct Scenario {
+  std::string name;
+  SessionConfig config;
+};
+
+/// Parses a spec text block.  Unknown keys, empty axes and malformed values
+/// throw util::CheckError with the offending line.
+MatrixSpec parse_matrix_spec(std::string_view text);
+
+/// Cartesian expansion in the documented axis order.
+std::vector<Scenario> expand(const MatrixSpec& spec);
+
+struct ScenarioMetrics {
+  std::string name;
+  double final_loss = 0.0;
+  double final_quality = 0.0;
+  double mean_selected_fraction = 0.0;
+  double simulated_wall_seconds = 0.0;
+  double mean_staleness = 0.0;
+  std::vector<std::size_t> staleness_histogram;
+};
+
+/// Runs one cell.  Forces the analytic device model so the event timeline —
+/// and therefore every metric — is a deterministic function of the spec.
+ScenarioMetrics run_scenario(const Scenario& scenario);
+
+/// Runs every cell of the matrix in expansion order.
+std::vector<ScenarioMetrics> run_matrix(const MatrixSpec& spec);
+
+/// Stable text rendering, one cell per line — the golden-file format.  Equal
+/// metric vectors render to byte-identical text (the determinism check).
+std::string format_metrics(std::span<const ScenarioMetrics> metrics);
+
+struct GoldenTolerance {
+  double loss_rel = 0.05;
+  double quality_abs = 0.05;     ///< quality values are fractions in [0, 1]
+  double fraction_rel = 0.10;
+  double wall_rel = 0.10;
+  double staleness_abs = 0.5;    ///< tolerance on the histogram mean
+};
+
+struct GoldenReport {
+  bool ok = true;
+  std::vector<std::string> diffs;  ///< human-readable mismatch descriptions
+};
+
+/// Compares fresh metrics against golden-file text: the cell sets must match
+/// exactly; per-cell fields must agree within `tolerance`.  The total
+/// histogram count (gradients applied) must match exactly.
+GoldenReport compare_with_golden(std::span<const ScenarioMetrics> metrics,
+                                 std::string_view golden_text,
+                                 const GoldenTolerance& tolerance = {});
+
+}  // namespace sidco::dist

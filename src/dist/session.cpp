@@ -6,11 +6,21 @@
 #include <memory>
 #include <utility>
 
+#include "dist/event_sim.h"
 #include "dist/worker.h"
+#include "nn/optimizer.h"
 #include "tensor/sparse.h"
 #include "util/check.h"
 
 namespace sidco::dist {
+
+std::string_view topology_name(Topology topology) {
+  switch (topology) {
+    case Topology::kAllreduce: return "allgather";
+    case Topology::kParameterServer: return "ps";
+  }
+  return "unknown";
+}
 
 QualityMetric benchmark_quality(nn::Benchmark benchmark, double mean_loss,
                                 double accuracy) {
@@ -22,6 +32,24 @@ QualityMetric benchmark_quality(nn::Benchmark benchmark, double mean_loss,
     default:
       return {.value = accuracy, .higher_is_better = true};
   }
+}
+
+double SessionResult::mean_staleness() const {
+  double total = 0.0;
+  double weighted = 0.0;
+  for (std::size_t s = 0; s < staleness_histogram.size(); ++s) {
+    total += static_cast<double>(staleness_histogram[s]);
+    weighted += static_cast<double>(s) *
+                static_cast<double>(staleness_histogram[s]);
+  }
+  return total > 0.0 ? weighted / total : 0.0;
+}
+
+std::size_t SessionResult::max_staleness() const {
+  for (std::size_t s = staleness_histogram.size(); s > 0; --s) {
+    if (staleness_histogram[s - 1] > 0) return s - 1;
+  }
+  return 0;
 }
 
 double SessionResult::throughput_samples_per_second() const {
@@ -49,7 +77,499 @@ std::vector<double> SessionResult::achieved_ratio_series() const {
   return out;
 }
 
+namespace {
+
+void validate_config(const SessionConfig& config) {
+  util::check(config.workers >= 1, "session needs >= 1 worker");
+  util::check(config.iterations >= 1, "session needs >= 1 iteration");
+  util::check(config.target_ratio > 0.0 && config.target_ratio <= 1.0,
+              "target ratio must be in (0, 1]");
+  util::check(config.eval_batches >= 1, "session needs >= 1 eval batch");
+  util::check(config.overlap_chunks >= 1, "session needs >= 1 overlap chunk");
+  util::check(config.worker_time_scale.empty() ||
+                  config.worker_time_scale.size() == config.workers,
+              "worker_time_scale must be empty or one entry per worker");
+  for (double s : config.worker_time_scale) {
+    util::check(s > 0.0, "worker time scale must be positive");
+  }
+}
+
+/// Identical replicas with private streams; the seed derivation is shared by
+/// every driver (and frozen: run_session_reference depends on it).
+std::vector<std::unique_ptr<Worker>> make_workers(
+    const SessionConfig& config) {
+  std::vector<std::unique_ptr<Worker>> workers;
+  workers.reserve(config.workers);
+  for (std::size_t w = 0; w < config.workers; ++w) {
+    workers.push_back(std::make_unique<Worker>(
+        config.benchmark, config.seed, config.seed * 0x10001ULL + 7919 * w + 1,
+        config.scheme, config.target_ratio, config.error_feedback));
+  }
+  return workers;
+}
+
+double worker_scale(const SessionConfig& config, std::size_t w) {
+  return config.worker_time_scale.empty() ? 1.0
+                                          : config.worker_time_scale[w];
+}
+
+/// Shared timing inputs: modeled compute seconds are pinned so that for the
+/// uncompressed synchronous run comm / (comm + compute) reproduces the
+/// benchmark's measured communication overhead (Table 1) by construction.
+struct TimingContext {
+  NetworkModel network;
+  DeviceModel device;
+  std::size_t dim = 0;
+  std::size_t timing_dim = 0;
+  double dense_comm = 0.0;
+  double base_compute = 0.0;
+};
+
+TimingContext make_timing(const SessionConfig& config, std::size_t dim) {
+  const nn::BenchmarkSpec& spec = nn::benchmark_spec(config.benchmark);
+  NetworkConfig net_config = config.network;
+  net_config.workers = config.workers;
+  TimingContext t{.network = NetworkModel(net_config),
+                  .device = DeviceModel(config.device),
+                  .dim = dim,
+                  .timing_dim =
+                      config.paper_scale_timing ? spec.paper_parameters : dim};
+  t.dense_comm = t.network.dense_allreduce_seconds(
+      NetworkModel::dense_bytes(t.timing_dim));
+  const double overhead = spec.comm_overhead;
+  util::check(overhead > 0.0 && overhead < 1.0,
+              "benchmark comm overhead must be in (0, 1)");
+  t.base_compute = t.dense_comm * (1.0 - overhead) / overhead;
+  return t;
+}
+
+/// Per-iteration compression seconds shared across workers (legacy
+/// semantics: analytic model at the worst-case stage count, measured-CPU
+/// latency averaged over workers).
+double common_compression_seconds(const SessionConfig& config,
+                                  const TimingContext& t, int max_stages,
+                                  double mean_measured) {
+  if (config.scheme == core::Scheme::kNone) return 0.0;
+  return config.device == Device::kCpuMeasured
+             ? t.device.compression_seconds(config.scheme, t.timing_dim,
+                                            config.target_ratio, mean_measured,
+                                            t.dim)
+             : t.device.gpu_seconds(config.scheme, t.timing_dim,
+                                    config.target_ratio, max_stages);
+}
+
+/// Wire bytes of one worker's payload, scaled to the timing dimension.
+std::size_t push_bytes(const SessionConfig& config, const TimingContext& t,
+                       double achieved_ratio) {
+  if (config.scheme == core::Scheme::kNone) {
+    return NetworkModel::dense_bytes(t.timing_dim);
+  }
+  const double k_timing =
+      achieved_ratio * static_cast<double>(t.timing_dim);
+  return NetworkModel::sparse_bytes(
+      static_cast<std::size_t>(std::ceil(std::max(k_timing, 1.0))));
+}
+
+std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+void run_worker_steps(const SessionConfig& config,
+                      std::vector<std::unique_ptr<Worker>>& workers,
+                      std::size_t batch_size,
+                      std::vector<WorkerStepResult>& steps) {
+  if (config.parallel_workers && config.workers > 1) {
+    std::vector<std::future<WorkerStepResult>> futures;
+    futures.reserve(config.workers);
+    for (auto& worker : workers) {
+      futures.push_back(std::async(std::launch::async, [&worker, batch_size] {
+        return worker->step(batch_size);
+      }));
+    }
+    for (std::size_t w = 0; w < config.workers; ++w) {
+      steps[w] = futures[w].get();
+    }
+  } else {
+    for (std::size_t w = 0; w < config.workers; ++w) {
+      steps[w] = workers[w]->step(batch_size);
+    }
+  }
+}
+
+void finalize_result(SessionResult& result) {
+  const EvalRecord& final_eval = result.evals.back();
+  const QualityMetric quality = benchmark_quality(
+      result.config.benchmark, final_eval.loss, final_eval.accuracy);
+  result.final_loss = final_eval.loss;
+  result.final_quality = quality.value;
+  result.quality_higher_is_better = quality.higher_is_better;
+}
+
+// ---------------------------------------------------------------------------
+// Synchronous collective driver (event-runtime timing: heterogeneous worker
+// speeds and chunked compute/communication overlap; lock-step numerics
+// identical to run_session_reference).
+// ---------------------------------------------------------------------------
+SessionResult run_allreduce(const SessionConfig& config) {
+  const nn::BenchmarkSpec& spec = nn::benchmark_spec(config.benchmark);
+  std::vector<std::unique_ptr<Worker>> workers = make_workers(config);
+
+  SessionResult result;
+  result.config = config;
+  const std::size_t dim = workers.front()->gradient_dimension();
+  result.gradient_dimension = dim;
+  const TimingContext timing = make_timing(config, dim);
+
+  const std::size_t chunks = config.overlap_chunks;
+  std::vector<WorkerStepResult> steps(config.workers);
+  std::vector<double> produce(config.workers, 0.0);
+  const std::size_t eval_batch = std::max<std::size_t>(spec.batch_size, 1);
+  double max_scale = 0.0;
+  for (std::size_t w = 0; w < config.workers; ++w) {
+    max_scale = std::max(max_scale, worker_scale(config, w));
+  }
+
+  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    run_worker_steps(config, workers, spec.batch_size, steps);
+
+    // Modeled collective exchange + exact mean aggregation, then a
+    // synchronous update of every replica with the same averaged gradient.
+    std::vector<tensor::SparseGradient> parts;
+    parts.reserve(config.workers);
+    for (WorkerStepResult& s : steps) parts.push_back(std::move(s.sparse));
+    const std::vector<float> mean = tensor::aggregate_mean(
+        parts, dim, static_cast<double>(config.workers));
+    for (auto& worker : workers) worker->apply_update(mean);
+
+    IterationRecord record;
+    double nnz = 0.0;
+    double measured = 0.0;
+    int stages = 1;
+    for (std::size_t w = 0; w < config.workers; ++w) {
+      record.train_loss += steps[w].train_loss;
+      record.train_accuracy += steps[w].train_accuracy;
+      nnz += static_cast<double>(parts[w].nnz());
+      measured += steps[w].measured_compression_seconds;
+      stages = std::max(stages, steps[w].stages_used);
+    }
+    const auto n = static_cast<double>(config.workers);
+    record.train_loss /= n;
+    record.train_accuracy /= n;
+    nnz /= n;
+    measured /= n;
+    record.achieved_ratio = nnz / static_cast<double>(dim);
+    record.stages_used = stages;
+
+    const double compression =
+        common_compression_seconds(config, timing, stages, measured);
+    const std::size_t total_bytes =
+        push_bytes(config, timing, record.achieved_ratio);
+    const std::size_t chunk_bytes = ceil_div(total_bytes, chunks);
+    const double chunk_comm =
+        config.scheme == core::Scheme::kNone
+            ? timing.network.dense_allreduce_seconds(chunk_bytes)
+            : timing.network.sparse_allgather_seconds(chunk_bytes);
+    for (std::size_t w = 0; w < config.workers; ++w) {
+      produce[w] = worker_scale(config, w) *
+                   (timing.base_compute + compression);
+    }
+    record.compute_seconds = max_scale * timing.base_compute;
+    record.compression_seconds = max_scale * compression;
+    record.communication_seconds = static_cast<double>(chunks) * chunk_comm;
+    record.modeled_wall_seconds =
+        overlapped_iteration_seconds(produce, chunks, chunk_comm);
+    result.total_modeled_seconds += record.wall_seconds();
+    result.iterations.push_back(record);
+
+    const bool last = iter + 1 == config.iterations;
+    const bool scheduled =
+        config.eval_every > 0 && (iter + 1) % config.eval_every == 0;
+    if (scheduled || last) {
+      const nn::LossResult eval =
+          workers.front()->evaluate(eval_batch, config.eval_batches);
+      result.evals.push_back({.iteration = iter + 1,
+                              .loss = eval.loss,
+                              .accuracy = eval.accuracy,
+                              .quality = benchmark_quality(config.benchmark,
+                                                           eval.loss,
+                                                           eval.accuracy)
+                                             .value});
+      if (last) break;  // do not evaluate the final iteration twice
+    }
+  }
+
+  const std::span<const float> params = workers.front()->parameters();
+  result.final_parameters.assign(params.begin(), params.end());
+  result.staleness_histogram.assign(
+      1, config.workers * result.iterations.size());
+  finalize_result(result);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Bounded-staleness parameter-server driver (fully event-driven).
+// ---------------------------------------------------------------------------
+
+/// One worker's contribution to a round, staged until the round aggregates.
+struct RoundPart {
+  tensor::SparseGradient sparse;
+  double train_loss = 0.0;
+  double train_accuracy = 0.0;
+  double compression_seconds = 0.0;  ///< modeled, speed-scaled
+  int stages_used = 1;
+  std::size_t staleness = 0;  ///< applied rounds missing at compute time
+};
+
+struct RoundBucket {
+  std::vector<RoundPart> parts;
+  std::size_t arrived = 0;
+};
+
+SessionResult run_parameter_server(const SessionConfig& config) {
+  const nn::BenchmarkSpec& spec = nn::benchmark_spec(config.benchmark);
+  std::vector<std::unique_ptr<Worker>> workers = make_workers(config);
+
+  SessionResult result;
+  result.config = config;
+  const std::size_t dim = workers.front()->gradient_dimension();
+  result.gradient_dimension = dim;
+  const TimingContext timing = make_timing(config, dim);
+
+  const std::size_t n = config.workers;
+  const std::size_t rounds = config.iterations;
+  const std::size_t slack = config.staleness_bound;
+  const std::size_t eval_batch = std::max<std::size_t>(spec.batch_size, 1);
+
+  // Canonical server state: the replicas all start bit-identical, so the
+  // server copy is worker 0's initial parameters, updated through one
+  // canonical optimizer (the s == 0 degeneracy to the synchronous session
+  // rests on every update flowing through this single state).
+  const std::span<const float> init = workers.front()->parameters();
+  std::vector<float> server_params(init.begin(), init.end());
+  nn::SgdOptimizer server_optimizer(spec.optimizer);
+
+  // A dedicated evaluation head: same model seed (identical architecture +
+  // init) and same dataset stream as every worker's held-out batches; its
+  // parameters are overwritten with the server copy before each eval.
+  Worker eval_head(config.benchmark, config.seed,
+                   config.seed * 0x10001ULL + 0xe7a1ULL, core::Scheme::kNone,
+                   1.0, false);
+
+  EventQueue queue;
+  // The server NIC: pushes and pulls serialize in event order.  A single
+  // worker trains locally — nothing crosses the wire (matching NetworkModel's
+  // collectives, which return 0 for one worker).
+  FifoLink link(timing.network.link_bytes_per_second(),
+                timing.network.link_latency_seconds());
+  const bool wired = n > 1;
+
+  std::vector<RoundBucket> buckets(rounds);
+  for (auto& b : buckets) b.parts.resize(n);
+  std::vector<std::size_t> pull_bytes_of_round(rounds, 0);
+  std::vector<double> apply_time(rounds, 0.0);
+  std::size_t version = 0;  // rounds applied so far
+
+  std::vector<std::size_t> worker_version(n, 0);  // version last pulled
+  std::vector<bool> blocked(n, false);
+  std::vector<std::size_t> blocked_round(n, 0);
+
+  result.staleness_histogram.assign(slack + 1, 0);
+  result.iterations.resize(rounds);
+
+  // Runs the real forward/backward/compress step for (w, round) at simulated
+  // time `now`, stages the gradient into the round bucket, and schedules the
+  // step-completion event.
+  const auto compute = [&](std::size_t w, std::size_t round, double now) {
+    WorkerStepResult step = workers[w]->step(spec.batch_size);
+    const double compression =
+        config.scheme == core::Scheme::kNone
+            ? 0.0
+            : (config.device == Device::kCpuMeasured
+                   ? timing.device.compression_seconds(
+                         config.scheme, timing.timing_dim, config.target_ratio,
+                         step.measured_compression_seconds, dim)
+                   : timing.device.gpu_seconds(config.scheme, timing.timing_dim,
+                                               config.target_ratio,
+                                               step.stages_used));
+    const double scale = worker_scale(config, w);
+    RoundPart& part = buckets[round].parts[w];
+    part.sparse = std::move(step.sparse);
+    part.train_loss = step.train_loss;
+    part.train_accuracy = step.train_accuracy;
+    part.compression_seconds = scale * compression;
+    part.stages_used = step.stages_used;
+    part.staleness = round - worker_version[w];
+    queue.push(now + scale * (timing.base_compute + compression), w,
+               EventKind::kStepDone, round);
+  };
+
+  // Moves worker w to `round`: blocks on the staleness guard, pulls fresh
+  // parameters when the server has moved on, then computes.
+  const auto start_round = [&](std::size_t w, std::size_t round, double now) {
+    if (round >= rounds) return;  // this worker is done
+    if (version + slack < round) {
+      blocked[w] = true;
+      blocked_round[w] = round;
+      return;
+    }
+    if (worker_version[w] < version) {
+      std::size_t bytes = 0;
+      for (std::size_t r = worker_version[w]; r < version; ++r) {
+        bytes += pull_bytes_of_round[r];
+      }
+      // Snapshot semantics: the transfer carries the parameters as of pull
+      // start, so the replica is overwritten now and compute begins when the
+      // wire drains.
+      workers[w]->overwrite_parameters(server_params);
+      worker_version[w] = version;
+      queue.push(wired ? link.transfer(now, bytes) : now, w,
+                 EventKind::kPullDone, round);
+      return;
+    }
+    compute(w, round, now);
+  };
+
+  // Applies round r (all n contributions arrived) at simulated time `now`.
+  const auto apply_round = [&](std::size_t r, double now) {
+    RoundBucket& bucket = buckets[r];
+    std::vector<tensor::SparseGradient> parts;
+    parts.reserve(n);
+    for (RoundPart& p : bucket.parts) parts.push_back(std::move(p.sparse));
+    const std::vector<float> mean =
+        tensor::aggregate_mean(parts, dim, static_cast<double>(n));
+
+    std::size_t update_nnz = 0;
+    for (float v : mean) update_nnz += v != 0.0F ? 1 : 0;
+    pull_bytes_of_round[r] =
+        config.scheme == core::Scheme::kNone
+            ? NetworkModel::dense_bytes(timing.timing_dim)
+            : NetworkModel::sparse_bytes(static_cast<std::size_t>(std::ceil(
+                  std::max(static_cast<double>(update_nnz) /
+                               static_cast<double>(dim) *
+                               static_cast<double>(timing.timing_dim),
+                           1.0))));
+
+    server_optimizer.step(server_params, mean);
+    version = r + 1;
+    apply_time[r] = now;
+
+    IterationRecord& record = result.iterations[r];
+    double nnz = 0.0;
+    double max_compression = 0.0;
+    int stages = 1;
+    for (std::size_t w = 0; w < n; ++w) {
+      const RoundPart& p = bucket.parts[w];
+      record.train_loss += p.train_loss;
+      record.train_accuracy += p.train_accuracy;
+      nnz += static_cast<double>(parts[w].nnz());
+      max_compression = std::max(max_compression, p.compression_seconds);
+      stages = std::max(stages, p.stages_used);
+      result.staleness_histogram[p.staleness] += 1;
+    }
+    const auto nd = static_cast<double>(n);
+    record.train_loss /= nd;
+    record.train_accuracy /= nd;
+    record.achieved_ratio = nnz / nd / static_cast<double>(dim);
+    record.stages_used = stages;
+    double max_scale = 0.0;
+    for (std::size_t w = 0; w < n; ++w) {
+      max_scale = std::max(max_scale, worker_scale(config, w));
+    }
+    record.compute_seconds = max_scale * timing.base_compute;
+    record.compression_seconds = max_compression;
+    record.modeled_wall_seconds = r == 0 ? now : now - apply_time[r - 1];
+    // Exposed (non-overlapped) transfer + wait time of the round.
+    record.communication_seconds =
+        std::max(0.0, record.modeled_wall_seconds - record.compute_seconds -
+                          record.compression_seconds);
+
+    const bool last = r + 1 == rounds;
+    const bool scheduled =
+        config.eval_every > 0 && (r + 1) % config.eval_every == 0;
+    if (scheduled || last) {
+      eval_head.overwrite_parameters(server_params);
+      const nn::LossResult eval =
+          eval_head.evaluate(eval_batch, config.eval_batches);
+      result.evals.push_back({.iteration = r + 1,
+                              .loss = eval.loss,
+                              .accuracy = eval.accuracy,
+                              .quality = benchmark_quality(config.benchmark,
+                                                           eval.loss,
+                                                           eval.accuracy)
+                                             .value});
+    }
+
+    // The new version may release workers parked on the staleness guard.
+    for (std::size_t w = 0; w < n; ++w) {
+      if (blocked[w] && version + slack >= blocked_round[w]) {
+        blocked[w] = false;
+        queue.push(now, w, EventKind::kWake, blocked_round[w]);
+      }
+    }
+    bucket.parts.clear();
+    bucket.parts.shrink_to_fit();
+  };
+
+  for (std::size_t w = 0; w < n; ++w) start_round(w, 0, 0.0);
+
+  while (!queue.empty()) {
+    const SimEvent event = queue.pop();
+    switch (event.kind) {
+      case EventKind::kPullDone:
+      case EventKind::kWake:
+        if (event.kind == EventKind::kPullDone) {
+          compute(event.worker, event.round, event.time);
+        } else {
+          start_round(event.worker, event.round, event.time);
+        }
+        break;
+      case EventKind::kStepDone: {
+        const RoundPart& part = buckets[event.round].parts[event.worker];
+        const std::size_t bytes =
+            push_bytes(config, timing, part.sparse.density());
+        queue.push(wired ? link.transfer(event.time, bytes) : event.time,
+                   event.worker, EventKind::kPushArrive, event.round);
+        // The device is free as soon as the NIC owns the payload.
+        start_round(event.worker, event.round + 1, event.time);
+        break;
+      }
+      case EventKind::kPushArrive: {
+        buckets[event.round].arrived += 1;
+        // Per-worker pushes traverse the FIFO link in round order, so
+        // buckets complete in order and rounds apply in order.
+        while (version < rounds && buckets[version].arrived == n) {
+          apply_round(version, event.time);
+        }
+        break;
+      }
+    }
+  }
+
+  util::check(version == rounds,
+              "event simulation ended before all rounds were applied");
+  result.total_modeled_seconds = apply_time[rounds - 1];
+  result.final_parameters = std::move(server_params);
+  finalize_result(result);
+  return result;
+}
+
+}  // namespace
+
 SessionResult run_session(const SessionConfig& config) {
+  validate_config(config);
+  switch (config.topology) {
+    case Topology::kAllreduce:
+      return run_allreduce(config);
+    case Topology::kParameterServer:
+      return run_parameter_server(config);
+  }
+  util::check(false, "unknown session topology");
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// Frozen pre-event-runtime synchronous loop.  Regression oracle for the
+// event drivers above — do not modify alongside them (that is the point).
+// ---------------------------------------------------------------------------
+SessionResult run_session_reference(const SessionConfig& config) {
   util::check(config.workers >= 1, "session needs >= 1 worker");
   util::check(config.iterations >= 1, "session needs >= 1 iteration");
   util::check(config.target_ratio > 0.0 && config.target_ratio <= 1.0,
@@ -63,13 +583,7 @@ SessionResult run_session(const SessionConfig& config) {
   const DeviceModel device(config.device);
 
   // Independent worker replicas: identical model seed, private streams.
-  std::vector<std::unique_ptr<Worker>> workers;
-  workers.reserve(config.workers);
-  for (std::size_t w = 0; w < config.workers; ++w) {
-    workers.push_back(std::make_unique<Worker>(
-        config.benchmark, config.seed, config.seed * 0x10001ULL + 7919 * w + 1,
-        config.scheme, config.target_ratio, config.error_feedback));
-  }
+  std::vector<std::unique_ptr<Worker>> workers = make_workers(config);
 
   SessionResult result;
   result.config = config;
@@ -93,22 +607,7 @@ SessionResult run_session(const SessionConfig& config) {
       std::max<std::size_t>(spec.batch_size, 1);
 
   for (std::size_t iter = 0; iter < config.iterations; ++iter) {
-    if (config.parallel_workers && config.workers > 1) {
-      std::vector<std::future<WorkerStepResult>> futures;
-      futures.reserve(config.workers);
-      for (auto& worker : workers) {
-        futures.push_back(std::async(std::launch::async, [&worker, &spec] {
-          return worker->step(spec.batch_size);
-        }));
-      }
-      for (std::size_t w = 0; w < config.workers; ++w) {
-        steps[w] = futures[w].get();
-      }
-    } else {
-      for (std::size_t w = 0; w < config.workers; ++w) {
-        steps[w] = workers[w]->step(spec.batch_size);
-      }
-    }
+    run_worker_steps(config, workers, spec.batch_size, steps);
 
     // Modeled sparse allgather + exact mean aggregation, then a synchronous
     // update of every replica with the same averaged gradient.
@@ -176,12 +675,9 @@ SessionResult run_session(const SessionConfig& config) {
     }
   }
 
-  const EvalRecord& final_eval = result.evals.back();
-  const QualityMetric quality = benchmark_quality(
-      config.benchmark, final_eval.loss, final_eval.accuracy);
-  result.final_loss = final_eval.loss;
-  result.final_quality = quality.value;
-  result.quality_higher_is_better = quality.higher_is_better;
+  const std::span<const float> params = workers.front()->parameters();
+  result.final_parameters.assign(params.begin(), params.end());
+  finalize_result(result);
   return result;
 }
 

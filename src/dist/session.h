@@ -1,13 +1,30 @@
-// Synchronous data-parallel training session (the paper's evaluation
-// harness).  N workers run real forward/backward/compress steps; gradients
-// are exchanged by modeled collectives (sparse allgather when compressing,
-// ring allreduce otherwise) and each iteration's wall time is the modeled
-// compute + compression + communication breakdown.  Timing can be evaluated
-// at the proxy model's dimension or at the paper-scale parameter counts of
-// Table 1 (`paper_scale_timing`, the default).
+// Distributed training sessions (the paper's evaluation harness), built on a
+// discrete-event runtime (event_sim.h).  N workers run real forward /
+// backward / compress steps; gradient exchange and wall-clock are modeled on
+// NetworkModel / DeviceModel timelines.  Two topologies:
+//
+//  - kAllreduce: synchronous collective exchange (sparse allgather when
+//    compressing, ring allreduce otherwise).  Lock-step numerics; timing
+//    supports per-worker speed profiles (stragglers / heterogeneous devices)
+//    and chunked compute/communication overlap.  With homogeneous workers
+//    and overlap_chunks == 1 this reproduces the legacy synchronous session
+//    (run_session_reference) bit-for-bit, timing included.
+//
+//  - kParameterServer: bounded-staleness asynchronous aggregation.  Workers
+//    push compressed gradients to a central server over a FIFO link; the
+//    server applies each round's mean update (in worker order, through one
+//    canonical optimizer) as soon as the round is complete, and a worker may
+//    compute round c on parameters that miss at most `staleness_bound`
+//    applied rounds (SSP slack).  staleness_bound == 0 degenerates to fully
+//    synchronous training and produces parameters bit-identical to the
+//    legacy session — a regression test enforces this.
+//
+// Timing can be evaluated at the proxy model's dimension or at the
+// paper-scale parameter counts of Table 1 (`paper_scale_timing`, default).
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "core/factory.h"
@@ -16,6 +33,13 @@
 #include "nn/zoo.h"
 
 namespace sidco::dist {
+
+enum class Topology {
+  kAllreduce,        ///< synchronous collective (allgather / ring allreduce)
+  kParameterServer,  ///< central server; async when staleness_bound > 0
+};
+
+std::string_view topology_name(Topology topology);
 
 struct SessionConfig {
   nn::Benchmark benchmark = nn::Benchmark::kResNet20;
@@ -30,6 +54,7 @@ struct SessionConfig {
   bool error_feedback = true;
   /// Run worker steps on a thread per worker; numerically identical to the
   /// serial path (workers are fully independent between aggregations).
+  /// Allreduce topology only.
   bool parallel_workers = false;
   /// Evaluate the timing model at Table 1's paper-scale parameter counts
   /// rather than at the proxy model's dimension.
@@ -37,6 +62,21 @@ struct SessionConfig {
   Device device = Device::kGpuModel;
   /// Fabric parameters; `network.workers` is overridden by `workers`.
   NetworkConfig network;
+
+  Topology topology = Topology::kAllreduce;
+  /// SSP slack for kParameterServer: a worker may compute round c on
+  /// parameters missing at most this many applied rounds.  0 = fully
+  /// synchronous (BSP).  Ignored by kAllreduce.
+  std::size_t staleness_bound = 0;
+  /// Number of gradient chunks whose collective transfer overlaps the
+  /// producing compute/compress pipeline (kAllreduce only; 1 = no overlap).
+  /// Chunking pays one latency hop per chunk — the classic tradeoff.
+  std::size_t overlap_chunks = 1;
+  /// Per-worker multipliers on modeled compute+compress seconds (> 1 slows a
+  /// worker down: stragglers / heterogeneous devices).  Empty = homogeneous;
+  /// otherwise size must equal `workers`.  Timing-only in kAllreduce; in
+  /// kParameterServer it also reorders pushes and therefore staleness.
+  std::vector<double> worker_time_scale;
 };
 
 struct IterationRecord {
@@ -47,8 +87,13 @@ struct IterationRecord {
   double compute_seconds = 0.0;
   double compression_seconds = 0.0;
   double communication_seconds = 0.0;
+  /// Modeled wall-clock of this iteration/round when the event runtime
+  /// computed one (overlap and async make the breakdown non-additive);
+  /// negative = not set, wall_seconds() falls back to the sum.
+  double modeled_wall_seconds = -1.0;
 
   [[nodiscard]] double wall_seconds() const {
+    if (modeled_wall_seconds >= 0.0) return modeled_wall_seconds;
     return compute_seconds + compression_seconds + communication_seconds;
   }
 };
@@ -83,6 +128,15 @@ struct SessionResult {
   double final_quality = 0.0;
   bool quality_higher_is_better = true;
   double total_modeled_seconds = 0.0;
+  /// Final model parameters (worker-0 replica; the canonical server copy in
+  /// kParameterServer).  Enables bit-identity regression tests.
+  std::vector<float> final_parameters;
+  /// staleness_histogram[s] counts applied gradients computed on parameters
+  /// missing s rounds.  Synchronous paths record everything in bin 0.
+  std::vector<std::size_t> staleness_histogram;
+
+  [[nodiscard]] double mean_staleness() const;
+  [[nodiscard]] std::size_t max_staleness() const;
 
   /// Aggregate samples/s under the modeled wall time.
   [[nodiscard]] double throughput_samples_per_second() const;
@@ -91,9 +145,18 @@ struct SessionResult {
   [[nodiscard]] std::vector<double> achieved_ratio_series() const;
 };
 
-/// Runs a full synchronous training session.  Deterministic in `config`
-/// (including across parallel_workers on/off) for everything except the
-/// measured-CPU latency fields.
+/// Runs a full training session on the event runtime, dispatching on
+/// `config.topology`.  Deterministic in `config` (including across
+/// parallel_workers on/off) for everything except the measured-CPU latency
+/// fields — and, in kParameterServer, determinism of the event order itself
+/// requires the analytic device model (Device::kGpuModel).
 SessionResult run_session(const SessionConfig& config);
+
+/// The frozen pre-event-runtime synchronous loop, kept verbatim as the
+/// regression oracle: run_session with the default topology/overlap/speed
+/// fields — and the kParameterServer path at staleness_bound == 0 — must
+/// match it bit-for-bit on parameters, losses and evals.  New code should
+/// call run_session.
+SessionResult run_session_reference(const SessionConfig& config);
 
 }  // namespace sidco::dist

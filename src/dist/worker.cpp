@@ -1,5 +1,6 @@
 #include "dist/worker.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "data/factory.h"
@@ -73,6 +74,12 @@ WorkerStepResult Worker::step(std::size_t batch_size) {
   result.stages_used = compressed_.stages_used;
   result.measured_compression_seconds = measured;
   return result;
+}
+
+void Worker::overwrite_parameters(std::span<const float> params) {
+  util::check(params.size() == model_.parameter_count(),
+              "pulled parameter dimension mismatch");
+  std::copy(params.begin(), params.end(), model_.parameters().begin());
 }
 
 void Worker::apply_update(std::span<const float> aggregated_gradient) {

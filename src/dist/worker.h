@@ -55,6 +55,14 @@ class Worker {
   [[nodiscard]] nn::LossResult evaluate(std::size_t batch_size,
                                         std::size_t batches);
 
+  /// Overwrites this replica's parameters (a pull from the canonical
+  /// parameter-server copy).  Size must equal parameter_count().
+  void overwrite_parameters(std::span<const float> params);
+
+  [[nodiscard]] std::span<const float> parameters() const {
+    return model_.parameters();
+  }
+
   [[nodiscard]] std::size_t gradient_dimension() const {
     return model_.parameter_count();
   }

@@ -1,0 +1,208 @@
+// Property/fuzz suite for the compressor contract, across every factory
+// scheme x randomized sizes (degenerate, kernel-block boundaries, primes up
+// to 2^18) x target ratios x value patterns:
+//   - selected count k in [1, d], indices strictly increasing and in range,
+//   - selected values are finite, bit-exact copies of the input,
+//   - residual + selected reconstructs the input exactly (the error-feedback
+//     identity of Algorithm 2),
+//   - same seed => same output (fresh compressor instances),
+//   - empty input throws.
+// Deterministic "fuzzing": fixed seeds, so failures reproduce.  Runs under
+// ASan/UBSan in CI via the `unit` label.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "core/factory.h"
+#include "tensor/vector_ops.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sidco {
+namespace {
+
+constexpr std::size_t kBlock = tensor::kKernelBlock;
+
+// Degenerate sizes, kernel-block boundaries, and primes up to 2^18.
+const std::vector<std::size_t>& fuzz_sizes() {
+  static const std::vector<std::size_t> kSizes = {
+      1,          2,          3,          31,        997,
+      kBlock - 1, kBlock,     kBlock + 1, 65537,     131071,
+      262139};
+  return kSizes;
+}
+
+const std::vector<double>& fuzz_ratios() {
+  static const std::vector<double> kRatios = {0.001, 0.01, 0.1, 0.5, 1.0};
+  return kRatios;
+}
+
+bool is_sidco(core::Scheme scheme) {
+  for (core::Scheme s : core::sidco_schemes()) {
+    if (s == scheme) return true;
+  }
+  return false;
+}
+
+enum class Pattern { kGaussian, kHeavyTail, kConstant };
+
+std::vector<float> make_gradient(std::size_t d, Pattern pattern,
+                                 std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::normal_distribution<float> normal(0.0F, 1.0F);
+  std::vector<float> g(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    switch (pattern) {
+      case Pattern::kGaussian:
+        g[i] = normal(rng);
+        break;
+      case Pattern::kHeavyTail: {
+        const float z = normal(rng);
+        g[i] = z * z * z;  // cube: heavy-tailed, sign-preserving
+        break;
+      }
+      case Pattern::kConstant:
+        g[i] = 0.125F;  // maximal ties
+        break;
+    }
+  }
+  return g;
+}
+
+// GaussianKSGD may legitimately select nothing on inputs whose Gaussian-fit
+// quantile lands beyond every magnitude (the defect the paper demonstrates);
+// every other scheme must select at least one element.
+void check_contract(const compressors::CompressResult& result,
+                    const std::vector<float>& input, bool may_be_empty) {
+  const std::size_t d = input.size();
+  const tensor::SparseGradient& sparse = result.sparse;
+  ASSERT_EQ(sparse.dense_dim, d);
+  ASSERT_EQ(sparse.indices.size(), sparse.values.size());
+  const std::size_t k = sparse.nnz();
+  if (!may_be_empty) {
+    ASSERT_GE(k, 1U);
+  }
+  ASSERT_LE(k, d);
+  for (std::size_t j = 0; j < k; ++j) {
+    ASSERT_LT(sparse.indices[j], d);
+    if (j > 0) {
+      // Strictly increasing == sorted and unique.
+      ASSERT_LT(sparse.indices[j - 1], sparse.indices[j]);
+    }
+    ASSERT_TRUE(std::isfinite(sparse.values[j]));
+    // Sparsifiers carry exact gradient values — bit-equal, not approximate.
+    ASSERT_EQ(sparse.values[j], input[sparse.indices[j]]);
+  }
+  // Error-feedback identity: the residual (input off the selected support)
+  // plus the selected values reconstructs the input exactly.
+  const std::vector<float> dense = sparse.to_dense();
+  ASSERT_EQ(dense.size(), d);
+  std::vector<float> residual = input;
+  for (std::size_t j = 0; j < k; ++j) residual[sparse.indices[j]] = 0.0F;
+  for (std::size_t i = 0; i < d; ++i) {
+    ASSERT_EQ(residual[i] + dense[i], input[i]) << "position " << i;
+  }
+}
+
+TEST(CompressorFuzz, ContractHoldsAcrossSchemesSizesAndRatios) {
+  for (core::Scheme scheme : core::all_schemes()) {
+    for (std::size_t d : fuzz_sizes()) {
+      for (double ratio : fuzz_ratios()) {
+        // Cap the largest sizes to two ratios to bound suite runtime.
+        if (d > 100000 && ratio != 0.001 && ratio != 0.1) continue;
+        if (ratio >= 1.0 && is_sidco(scheme)) continue;  // open-interval domain
+        const std::uint64_t seed = 0x5eedULL ^ (d * 1315423911ULL) ^
+                                   static_cast<std::uint64_t>(ratio * 1e6);
+        const std::vector<float> g =
+            make_gradient(d, Pattern::kGaussian, seed);
+        auto compressor = core::make_compressor(scheme, ratio, seed);
+        const compressors::CompressResult result = compressor->compress(g);
+        SCOPED_TRACE(::testing::Message()
+                     << core::scheme_name(scheme) << " d=" << d
+                     << " ratio=" << ratio);
+        check_contract(result, g, scheme == core::Scheme::kGaussianKSgd);
+      }
+    }
+  }
+}
+
+TEST(CompressorFuzz, SidcoRejectsDegenerateRatioAtConstruction) {
+  // The SIDCo estimators work on the open interval (0, 1): delta = 1 has no
+  // tail to fit.  The factory must reject it up front, not mid-compress.
+  for (core::Scheme scheme : core::sidco_schemes()) {
+    EXPECT_THROW((void)core::make_compressor(scheme, 1.0, 7),
+                 util::CheckError);
+  }
+}
+
+TEST(CompressorFuzz, AdversarialValuePatterns) {
+  for (core::Scheme scheme : core::all_schemes()) {
+    for (Pattern pattern : {Pattern::kHeavyTail, Pattern::kConstant}) {
+      for (std::size_t d : {std::size_t{3}, kBlock, std::size_t{65537}}) {
+        const std::vector<float> g = make_gradient(d, pattern, 0xabcdULL);
+        auto compressor = core::make_compressor(scheme, 0.01, 0xabcdULL);
+        const compressors::CompressResult result = compressor->compress(g);
+        SCOPED_TRACE(::testing::Message()
+                     << core::scheme_name(scheme) << " pattern="
+                     << static_cast<int>(pattern) << " d=" << d);
+        check_contract(result, g, scheme == core::Scheme::kGaussianKSgd);
+      }
+    }
+  }
+}
+
+TEST(CompressorFuzz, MultiStepErrorFeedbackSimulation) {
+  // Drive several compress steps with residual accumulation, as a worker
+  // would, and assert the contract at every step — stateful schemes (SIDCo
+  // stage adaptation, RedSync search) must uphold it mid-adaptation too.
+  for (core::Scheme scheme : core::all_schemes()) {
+    const std::size_t d = 4099;  // prime
+    auto compressor = core::make_compressor(scheme, 0.05, 99);
+    std::vector<float> memory(d, 0.0F);
+    for (int step = 0; step < 5; ++step) {
+      const std::vector<float> g = make_gradient(
+          d, Pattern::kGaussian, 0x900dULL + static_cast<std::uint64_t>(step));
+      std::vector<float> corrected(d);
+      for (std::size_t i = 0; i < d; ++i) corrected[i] = g[i] + memory[i];
+      const compressors::CompressResult result =
+          compressor->compress(corrected);
+      SCOPED_TRACE(::testing::Message()
+                   << core::scheme_name(scheme) << " step=" << step);
+      check_contract(result, corrected,
+                     scheme == core::Scheme::kGaussianKSgd);
+      memory = corrected;
+      for (std::size_t j = 0; j < result.sparse.nnz(); ++j) {
+        memory[result.sparse.indices[j]] = 0.0F;
+      }
+    }
+  }
+}
+
+TEST(CompressorFuzz, SameSeedSameOutput) {
+  for (core::Scheme scheme : core::all_schemes()) {
+    const std::vector<float> g =
+        make_gradient(10007, Pattern::kGaussian, 0xf00dULL);
+    auto a = core::make_compressor(scheme, 0.01, 1234);
+    auto b = core::make_compressor(scheme, 0.01, 1234);
+    const compressors::CompressResult ra = a->compress(g);
+    const compressors::CompressResult rb = b->compress(g);
+    ASSERT_EQ(ra.sparse.indices, rb.sparse.indices)
+        << core::scheme_name(scheme);
+    ASSERT_EQ(ra.sparse.values, rb.sparse.values);
+    ASSERT_EQ(ra.threshold, rb.threshold);
+  }
+}
+
+TEST(CompressorFuzz, EmptyInputThrowsForEveryScheme) {
+  const std::vector<float> empty;
+  for (core::Scheme scheme : core::all_schemes()) {
+    auto compressor = core::make_compressor(scheme, 0.01, 7);
+    EXPECT_THROW((void)compressor->compress(empty), util::CheckError)
+        << core::scheme_name(scheme);
+  }
+}
+
+}  // namespace
+}  // namespace sidco

@@ -1,0 +1,172 @@
+// Scenario subsystem: spec parsing, matrix expansion, device/network profile
+// resolution, metric formatting, golden round-trips and tolerance behavior,
+// plus a tiny end-to-end matrix determinism check.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dist/scenario.h"
+#include "util/check.h"
+
+namespace sidco {
+namespace {
+
+constexpr const char* kSpecText = R"(
+# comment line
+workers    = 2
+iterations = 3          # trailing comment
+seed       = 123
+eval_batches = 2
+benchmark  = resnet20
+scheme     = topk, sidco-e
+ratio      = 0.01
+topology   = allgather, ps
+network    = 10gbps, 1gbps@50us
+device     = homogeneous
+error_feedback = on
+staleness  = 0
+)";
+
+TEST(ScenarioSpec, ParsesScalarsAndAxes) {
+  const dist::MatrixSpec spec = dist::parse_matrix_spec(kSpecText);
+  EXPECT_EQ(spec.workers, 2U);
+  EXPECT_EQ(spec.iterations, 3U);
+  EXPECT_EQ(spec.seed, 123U);
+  EXPECT_EQ(spec.eval_batches, 2U);
+  ASSERT_EQ(spec.schemes.size(), 2U);
+  EXPECT_EQ(spec.schemes[0], core::Scheme::kTopK);
+  EXPECT_EQ(spec.schemes[1], core::Scheme::kSidcoExponential);
+  ASSERT_EQ(spec.topologies.size(), 2U);
+  ASSERT_EQ(spec.networks.size(), 2U);
+  EXPECT_DOUBLE_EQ(spec.networks[0].config.bandwidth_gbps, 10.0);
+  EXPECT_DOUBLE_EQ(spec.networks[0].config.latency_us, 25.0);  // default
+  EXPECT_DOUBLE_EQ(spec.networks[1].config.bandwidth_gbps, 1.0);
+  EXPECT_DOUBLE_EQ(spec.networks[1].config.latency_us, 50.0);
+  EXPECT_EQ(spec.networks[1].name, "1gbps@50us");
+}
+
+TEST(ScenarioSpec, RejectsMalformedInput) {
+  EXPECT_THROW(dist::parse_matrix_spec("bogus_key = 1"), util::CheckError);
+  EXPECT_THROW(dist::parse_matrix_spec("scheme = not-a-scheme"),
+               util::CheckError);
+  EXPECT_THROW(dist::parse_matrix_spec("network = fast"), util::CheckError);
+  EXPECT_THROW(dist::parse_matrix_spec("network = 10gbps@fastus"),
+               util::CheckError);
+  EXPECT_THROW(dist::parse_matrix_spec("workers = 2, 4"), util::CheckError);
+  EXPECT_THROW(dist::parse_matrix_spec("workers = 0"), util::CheckError);
+  EXPECT_THROW(dist::parse_matrix_spec("device = warp-speed"),
+               util::CheckError);
+  EXPECT_THROW(dist::parse_matrix_spec("just a line"), util::CheckError);
+  EXPECT_THROW(dist::parse_matrix_spec("error_feedback = maybe"),
+               util::CheckError);
+}
+
+TEST(ScenarioSpec, DeviceProfilesResolve) {
+  EXPECT_TRUE(
+      dist::resolve_device_profile({.name = "homogeneous"}, 4).empty());
+  const auto straggler =
+      dist::resolve_device_profile({.name = "one-straggler-4x"}, 3);
+  ASSERT_EQ(straggler.size(), 3U);
+  EXPECT_DOUBLE_EQ(straggler[0], 4.0);
+  EXPECT_DOUBLE_EQ(straggler[1], 1.0);
+  const auto ramp = dist::resolve_device_profile({.name = "linear-ramp"}, 3);
+  ASSERT_EQ(ramp.size(), 3U);
+  EXPECT_DOUBLE_EQ(ramp[0], 1.0);
+  EXPECT_DOUBLE_EQ(ramp[1], 1.5);
+  EXPECT_DOUBLE_EQ(ramp[2], 2.0);
+  EXPECT_THROW(dist::resolve_device_profile({.name = "nope"}, 3),
+               util::CheckError);
+}
+
+TEST(ScenarioSpec, ExpansionIsCartesianAndStable) {
+  const dist::MatrixSpec spec = dist::parse_matrix_spec(kSpecText);
+  const std::vector<dist::Scenario> cells = dist::expand(spec);
+  // 2 schemes x 2 topologies x 2 networks.
+  ASSERT_EQ(cells.size(), 8U);
+  EXPECT_EQ(cells[0].name,
+            "resnet20/topk/r0.01/allgather/10gbps/homogeneous/ec1/s0/c1");
+  EXPECT_EQ(cells[1].name,
+            "resnet20/topk/r0.01/allgather/1gbps@50us/homogeneous/ec1/s0/c1");
+  // Cell names are unique.
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    for (std::size_t j = i + 1; j < cells.size(); ++j) {
+      EXPECT_NE(cells[i].name, cells[j].name);
+    }
+  }
+  // Staleness is normalized to 0 for the synchronous topology.
+  EXPECT_EQ(cells[0].config.staleness_bound, 0U);
+  EXPECT_EQ(cells[0].config.topology, dist::Topology::kAllreduce);
+  EXPECT_EQ(cells[2].config.topology, dist::Topology::kParameterServer);
+}
+
+TEST(ScenarioRun, TinyMatrixIsDeterministic) {
+  dist::MatrixSpec spec = dist::parse_matrix_spec(kSpecText);
+  spec.schemes = {core::Scheme::kTopK};
+  spec.networks.resize(1);
+  const std::vector<dist::ScenarioMetrics> first = dist::run_matrix(spec);
+  const std::vector<dist::ScenarioMetrics> second = dist::run_matrix(spec);
+  ASSERT_EQ(first.size(), 2U);  // allgather + ps
+  const std::string a = dist::format_metrics(first);
+  const std::string b = dist::format_metrics(second);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+  for (const auto& m : first) {
+    EXPECT_GT(m.simulated_wall_seconds, 0.0);
+    EXPECT_GT(m.mean_selected_fraction, 0.0);
+    EXPECT_LE(m.mean_selected_fraction, 1.0);
+  }
+}
+
+TEST(ScenarioGolden, RoundTripAndTolerances) {
+  dist::ScenarioMetrics m;
+  m.name = "cell-a";
+  m.final_loss = 2.0;
+  m.final_quality = 0.5;
+  m.mean_selected_fraction = 0.01;
+  m.simulated_wall_seconds = 1.5;
+  m.mean_staleness = 0.25;
+  m.staleness_histogram = {30, 10};
+  const std::vector<dist::ScenarioMetrics> metrics = {m};
+  const std::string golden = dist::format_metrics(metrics);
+
+  // Identical metrics pass.
+  EXPECT_TRUE(dist::compare_with_golden(metrics, golden).ok);
+
+  // Drift within tolerance passes.
+  std::vector<dist::ScenarioMetrics> drifted = metrics;
+  drifted[0].final_loss *= 1.01;
+  drifted[0].simulated_wall_seconds *= 1.05;
+  EXPECT_TRUE(dist::compare_with_golden(drifted, golden).ok);
+
+  // Behavioral regressions fail, with a per-field diff.
+  std::vector<dist::ScenarioMetrics> broken = metrics;
+  broken[0].final_loss *= 1.5;
+  const dist::GoldenReport report =
+      dist::compare_with_golden(broken, golden);
+  EXPECT_FALSE(report.ok);
+  ASSERT_EQ(report.diffs.size(), 1U);
+  EXPECT_NE(report.diffs[0].find("loss"), std::string::npos);
+
+  // Histogram totals are exact: one lost gradient fails.
+  std::vector<dist::ScenarioMetrics> lost = metrics;
+  lost[0].staleness_histogram = {30, 9};
+  EXPECT_FALSE(dist::compare_with_golden(lost, golden).ok);
+
+  // Cell-set mismatches fail in both directions.
+  std::vector<dist::ScenarioMetrics> renamed = metrics;
+  renamed[0].name = "cell-b";
+  const dist::GoldenReport missing =
+      dist::compare_with_golden(renamed, golden);
+  EXPECT_FALSE(missing.ok);
+  EXPECT_EQ(missing.diffs.size(), 2U);  // cell-b unexpected, cell-a missing
+
+  // Malformed golden lines are reported, comments ignored.
+  EXPECT_FALSE(
+      dist::compare_with_golden(metrics, "# comment\ncell-a loss").ok);
+  EXPECT_TRUE(dist::compare_with_golden(
+                  metrics, "# comment only preamble\n" + golden)
+                  .ok);
+}
+
+}  // namespace
+}  // namespace sidco

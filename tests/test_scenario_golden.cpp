@@ -1,0 +1,57 @@
+// Golden-metric regression over the committed CI scenario matrix
+// (scenarios/ci.scn, >= 24 cells of scheme x topology x network x
+// staleness): the matrix must run deterministically (two repeats,
+// byte-identical metric text) and match scenarios/golden/ci.golden within
+// tolerances.  Regenerate the golden after an intentional behavior change:
+//   ./build/tools/run_scenarios --spec scenarios/ci.scn
+//       --golden scenarios/golden/ci.golden --update-golden  (one line)
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "dist/scenario.h"
+
+#ifndef SIDCO_SOURCE_DIR
+#error "SIDCO_SOURCE_DIR must be defined by the build"
+#endif
+
+namespace sidco {
+namespace {
+
+std::string read_file_or_die(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(ScenarioGoldenMatrix, DeterministicAndMatchesCommittedGolden) {
+  const std::string root = SIDCO_SOURCE_DIR;
+  const std::string spec_text = read_file_or_die(root + "/scenarios/ci.scn");
+  const std::string golden_text =
+      read_file_or_die(root + "/scenarios/golden/ci.golden");
+  ASSERT_FALSE(spec_text.empty());
+  ASSERT_FALSE(golden_text.empty());
+
+  const dist::MatrixSpec spec = dist::parse_matrix_spec(spec_text);
+  const std::vector<dist::Scenario> cells = dist::expand(spec);
+  ASSERT_GE(cells.size(), 24U) << "the CI matrix contract is >= 24 cells";
+
+  const std::vector<dist::ScenarioMetrics> first = dist::run_matrix(spec);
+  const std::vector<dist::ScenarioMetrics> second = dist::run_matrix(spec);
+  EXPECT_EQ(dist::format_metrics(first), dist::format_metrics(second))
+      << "scenario matrix is not deterministic across repeats";
+
+  const dist::GoldenReport report =
+      dist::compare_with_golden(first, golden_text);
+  EXPECT_TRUE(report.ok);
+  for (const std::string& diff : report.diffs) {
+    ADD_FAILURE() << "golden mismatch: " << diff;
+  }
+}
+
+}  // namespace
+}  // namespace sidco

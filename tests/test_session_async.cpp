@@ -1,0 +1,226 @@
+// Event-runtime regression suite: the synchronous allreduce driver must
+// reproduce the frozen legacy session bit-for-bit (timing included), the
+// bounded-staleness parameter-server driver must degenerate to it at
+// staleness 0 (the async-degeneracy acceptance criterion), and the async
+// path must be deterministic with bounded, observable staleness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/session.h"
+#include "util/check.h"
+
+namespace sidco {
+namespace {
+
+dist::SessionConfig small_config(core::Scheme scheme, bool error_feedback) {
+  dist::SessionConfig config;
+  config.benchmark = nn::Benchmark::kResNet20;
+  config.scheme = scheme;
+  config.target_ratio = scheme == core::Scheme::kNone ? 1.0 : 0.01;
+  config.workers = 3;
+  config.iterations = 8;
+  config.eval_every = 4;
+  config.eval_batches = 2;
+  config.seed = 77;
+  config.error_feedback = error_feedback;
+  return config;
+}
+
+void expect_numerics_bit_identical(const dist::SessionResult& a,
+                                   const dist::SessionResult& b) {
+  ASSERT_EQ(a.iterations.size(), b.iterations.size());
+  for (std::size_t i = 0; i < a.iterations.size(); ++i) {
+    // EXPECT_EQ, not EXPECT_DOUBLE_EQ: the claim is bit-identity, not
+    // almost-equality.
+    EXPECT_EQ(a.iterations[i].train_loss, b.iterations[i].train_loss) << i;
+    EXPECT_EQ(a.iterations[i].train_accuracy,
+              b.iterations[i].train_accuracy) << i;
+    EXPECT_EQ(a.iterations[i].achieved_ratio,
+              b.iterations[i].achieved_ratio) << i;
+    EXPECT_EQ(a.iterations[i].stages_used, b.iterations[i].stages_used) << i;
+  }
+  ASSERT_EQ(a.evals.size(), b.evals.size());
+  for (std::size_t i = 0; i < a.evals.size(); ++i) {
+    EXPECT_EQ(a.evals[i].iteration, b.evals[i].iteration);
+    EXPECT_EQ(a.evals[i].loss, b.evals[i].loss);
+    EXPECT_EQ(a.evals[i].accuracy, b.evals[i].accuracy);
+    EXPECT_EQ(a.evals[i].quality, b.evals[i].quality);
+  }
+  EXPECT_EQ(a.final_loss, b.final_loss);
+  EXPECT_EQ(a.final_quality, b.final_quality);
+  ASSERT_EQ(a.final_parameters.size(), b.final_parameters.size());
+  ASSERT_GT(a.final_parameters.size(), 0U);
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < a.final_parameters.size(); ++i) {
+    if (a.final_parameters[i] != b.final_parameters[i]) ++mismatches;
+  }
+  EXPECT_EQ(mismatches, 0U) << "final parameters differ at " << mismatches
+                            << " of " << a.final_parameters.size()
+                            << " positions";
+}
+
+TEST(SyncEventPath, BitIdenticalToReferenceIncludingTiming) {
+  for (core::Scheme scheme :
+       {core::Scheme::kNone, core::Scheme::kTopK,
+        core::Scheme::kSidcoExponential}) {
+    const dist::SessionConfig config = small_config(scheme, true);
+    const dist::SessionResult event = dist::run_session(config);
+    const dist::SessionResult reference = dist::run_session_reference(config);
+    expect_numerics_bit_identical(event, reference);
+    // The homogeneous, chunk-1 sync schedule is the legacy schedule: the
+    // timing breakdown must match bit-for-bit too.
+    ASSERT_EQ(event.iterations.size(), reference.iterations.size());
+    for (std::size_t i = 0; i < event.iterations.size(); ++i) {
+      EXPECT_EQ(event.iterations[i].compute_seconds,
+                reference.iterations[i].compute_seconds);
+      EXPECT_EQ(event.iterations[i].compression_seconds,
+                reference.iterations[i].compression_seconds);
+      EXPECT_EQ(event.iterations[i].communication_seconds,
+                reference.iterations[i].communication_seconds);
+      EXPECT_EQ(event.iterations[i].wall_seconds(),
+                reference.iterations[i].wall_seconds());
+    }
+    EXPECT_EQ(event.total_modeled_seconds, reference.total_modeled_seconds);
+  }
+}
+
+// The acceptance criterion: staleness bound 0 + homogeneous devices must be
+// bit-identical to the pre-event-runtime synchronous session, across schemes
+// and error feedback on/off.
+TEST(AsyncDegeneracy, StalenessZeroBitIdenticalToReference) {
+  for (core::Scheme scheme :
+       {core::Scheme::kTopK, core::Scheme::kDgc,
+        core::Scheme::kSidcoExponential}) {
+    for (bool error_feedback : {true, false}) {
+      dist::SessionConfig config = small_config(scheme, error_feedback);
+      config.topology = dist::Topology::kParameterServer;
+      config.staleness_bound = 0;
+      const dist::SessionResult async = dist::run_session(config);
+      dist::SessionConfig sync_config = config;
+      sync_config.topology = dist::Topology::kAllreduce;
+      const dist::SessionResult reference =
+          dist::run_session_reference(sync_config);
+      expect_numerics_bit_identical(async, reference);
+      // Everything aggregates fresh.
+      ASSERT_EQ(async.staleness_histogram.size(), 1U);
+      EXPECT_EQ(async.staleness_histogram[0],
+                config.workers * config.iterations);
+    }
+  }
+}
+
+TEST(AsyncRuntime, DeterministicAcrossRuns) {
+  dist::SessionConfig config = small_config(core::Scheme::kTopK, true);
+  config.topology = dist::Topology::kParameterServer;
+  config.staleness_bound = 2;
+  config.worker_time_scale = {2.5, 1.0, 1.0};
+  const dist::SessionResult a = dist::run_session(config);
+  const dist::SessionResult b = dist::run_session(config);
+  expect_numerics_bit_identical(a, b);
+  EXPECT_EQ(a.total_modeled_seconds, b.total_modeled_seconds);
+  ASSERT_EQ(a.staleness_histogram.size(), b.staleness_histogram.size());
+  for (std::size_t s = 0; s < a.staleness_histogram.size(); ++s) {
+    EXPECT_EQ(a.staleness_histogram[s], b.staleness_histogram[s]);
+  }
+}
+
+TEST(AsyncRuntime, StalenessBoundedAndObservedUnderStraggler) {
+  dist::SessionConfig config = small_config(core::Scheme::kTopK, true);
+  config.topology = dist::Topology::kParameterServer;
+  config.staleness_bound = 2;
+  config.iterations = 10;
+  config.worker_time_scale = {4.0, 1.0, 1.0};
+  const dist::SessionResult r = dist::run_session(config);
+  ASSERT_EQ(r.staleness_histogram.size(), 3U);
+  std::size_t total = 0;
+  std::size_t stale = 0;
+  for (std::size_t s = 0; s < r.staleness_histogram.size(); ++s) {
+    total += r.staleness_histogram[s];
+    if (s > 0) stale += r.staleness_histogram[s];
+  }
+  // Every gradient lands exactly once, staleness never exceeds the bound
+  // (histogram size), and the straggler forces genuinely stale aggregation.
+  EXPECT_EQ(total, config.workers * config.iterations);
+  EXPECT_GT(stale, 0U);
+  EXPECT_LE(r.max_staleness(), config.staleness_bound);
+  EXPECT_GT(r.mean_staleness(), 0.0);
+}
+
+TEST(AsyncRuntime, SlackAbsorbsStragglerWallClock) {
+  dist::SessionConfig config = small_config(core::Scheme::kTopK, true);
+  config.topology = dist::Topology::kParameterServer;
+  config.iterations = 10;
+  config.worker_time_scale = {4.0, 1.0, 1.0};
+  config.staleness_bound = 0;
+  const double bsp_wall = dist::run_session(config).total_modeled_seconds;
+  config.staleness_bound = 2;
+  const double ssp_wall = dist::run_session(config).total_modeled_seconds;
+  // With slack, fast workers overlap the straggler's rounds instead of
+  // barriering on every one.
+  EXPECT_LE(ssp_wall, bsp_wall);
+}
+
+TEST(SyncEventPath, StragglerStretchesIterationWall) {
+  dist::SessionConfig config = small_config(core::Scheme::kTopK, true);
+  config.iterations = 4;
+  const double homogeneous = dist::run_session(config).total_modeled_seconds;
+  config.worker_time_scale = {4.0, 1.0, 1.0};
+  const dist::SessionResult straggled = dist::run_session(config);
+  EXPECT_GT(straggled.total_modeled_seconds, homogeneous);
+  // Numerics are untouched by timing-only heterogeneity in the sync path.
+  dist::SessionConfig clean = config;
+  clean.worker_time_scale.clear();
+  expect_numerics_bit_identical(straggled, dist::run_session(clean));
+}
+
+TEST(SyncEventPath, ChunkedOverlapHidesCommunication) {
+  dist::SessionConfig config = small_config(core::Scheme::kNone, true);
+  config.benchmark = nn::Benchmark::kVgg16;  // comm-heavy (60% overhead)
+  config.iterations = 3;
+  const dist::SessionResult serial = dist::run_session(config);
+  config.overlap_chunks = 8;
+  const dist::SessionResult overlapped = dist::run_session(config);
+  expect_numerics_bit_identical(serial, overlapped);  // timing-only feature
+  ASSERT_EQ(serial.iterations.size(), overlapped.iterations.size());
+  for (std::size_t i = 0; i < serial.iterations.size(); ++i) {
+    const auto& s = serial.iterations[i];
+    const auto& o = overlapped.iterations[i];
+    EXPECT_LT(o.wall_seconds(), s.wall_seconds());
+    // Overlap can never beat the compute-only or wire-only lower bounds.
+    EXPECT_GE(o.wall_seconds(), s.compute_seconds);
+    EXPECT_GE(o.wall_seconds(), s.communication_seconds);
+  }
+}
+
+TEST(SessionConfigValidation, RejectsBadRuntimeFields) {
+  dist::SessionConfig config = small_config(core::Scheme::kTopK, true);
+  config.overlap_chunks = 0;
+  EXPECT_THROW(dist::run_session(config), util::CheckError);
+  config = small_config(core::Scheme::kTopK, true);
+  config.worker_time_scale = {1.0, 2.0};  // 2 entries for 3 workers
+  EXPECT_THROW(dist::run_session(config), util::CheckError);
+  config.worker_time_scale = {1.0, 0.0, 1.0};
+  EXPECT_THROW(dist::run_session(config), util::CheckError);
+}
+
+TEST(Topology, Names) {
+  EXPECT_EQ(dist::topology_name(dist::Topology::kAllreduce), "allgather");
+  EXPECT_EQ(dist::topology_name(dist::Topology::kParameterServer), "ps");
+}
+
+TEST(AsyncRuntime, SingleWorkerTrainsWithoutWire) {
+  dist::SessionConfig config = small_config(core::Scheme::kTopK, true);
+  config.workers = 1;
+  config.iterations = 4;
+  config.topology = dist::Topology::kParameterServer;
+  config.staleness_bound = 1;
+  const dist::SessionResult r = dist::run_session(config);
+  ASSERT_EQ(r.iterations.size(), 4U);
+  for (const auto& it : r.iterations) {
+    EXPECT_TRUE(std::isfinite(it.train_loss));
+  }
+}
+
+}  // namespace
+}  // namespace sidco

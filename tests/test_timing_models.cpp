@@ -1,0 +1,281 @@
+// Dedicated timing-math suite: closed-form hand-computed cases for every
+// NetworkModel collective, every DeviceModel analytic branch, the measured-
+// CPU extrapolation, and the event-sim primitives (queue ordering, FIFO
+// link serialization, chunked overlap pipeline).  Previously these formulas
+// were only exercised indirectly through the session suite.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/device_model.h"
+#include "dist/event_sim.h"
+#include "dist/network_model.h"
+#include "util/check.h"
+
+namespace sidco {
+namespace {
+
+// ---------------------------------------------------------------------------
+// NetworkModel
+// ---------------------------------------------------------------------------
+
+dist::NetworkConfig net_config(std::size_t workers, double gbps, double us) {
+  return {.workers = workers, .bandwidth_gbps = gbps, .latency_us = us};
+}
+
+TEST(NetworkTiming, RingAllreduceClosedForm) {
+  const dist::NetworkModel net(net_config(4, 8.0, 10.0));
+  // 2 * 3/4 * bytes / (8 Gb/s = 1e9 B/s) + 2 * 3 hops * 10 us.
+  const double expected = 2.0 * 3.0 / 4.0 * 4e6 / 1e9 + 6.0 * 10e-6;
+  EXPECT_NEAR(net.dense_allreduce_seconds(4000000), expected, 1e-15);
+}
+
+TEST(NetworkTiming, AllgatherClosedForm) {
+  const dist::NetworkModel net(net_config(4, 8.0, 10.0));
+  // (N-1) remote payloads + (N-1) hops.
+  const double expected = 3.0 * 1e6 / 1e9 + 3.0 * 10e-6;
+  EXPECT_NEAR(net.sparse_allgather_seconds(1000000), expected, 1e-15);
+}
+
+TEST(NetworkTiming, ParameterServerClosedForm) {
+  const dist::NetworkModel net(net_config(4, 8.0, 10.0));
+  // N pushes + N pulls serialized on one link + 2 hops.
+  const double expected = 2.0 * 4.0 * 1e6 / 1e9 + 2.0 * 10e-6;
+  EXPECT_NEAR(net.parameter_server_seconds(1000000), expected, 1e-15);
+}
+
+TEST(NetworkTiming, LinkTransferClosedForm) {
+  const dist::NetworkModel net(net_config(4, 8.0, 10.0));
+  EXPECT_NEAR(net.link_transfer_seconds(1000000), 1e6 / 1e9 + 10e-6, 1e-15);
+  EXPECT_NEAR(net.link_bytes_per_second(), 1e9, 1e-3);
+  EXPECT_NEAR(net.link_latency_seconds(), 10e-6, 1e-15);
+  // Latency-only for an empty payload.
+  EXPECT_NEAR(net.link_transfer_seconds(0), 10e-6, 1e-15);
+}
+
+TEST(NetworkTiming, SingleWorkerCollectivesAreFree) {
+  const dist::NetworkModel net(net_config(1, 8.0, 10.0));
+  EXPECT_DOUBLE_EQ(net.dense_allreduce_seconds(1 << 20), 0.0);
+  EXPECT_DOUBLE_EQ(net.sparse_allgather_seconds(1 << 20), 0.0);
+  EXPECT_DOUBLE_EQ(net.parameter_server_seconds(1 << 20), 0.0);
+}
+
+TEST(NetworkTiming, WireEncodings) {
+  EXPECT_EQ(dist::NetworkModel::dense_bytes(3), 12U);
+  EXPECT_EQ(dist::NetworkModel::sparse_bytes(3), 24U);
+}
+
+TEST(NetworkTiming, RejectsInvalidConfig) {
+  EXPECT_THROW(dist::NetworkModel(net_config(0, 8.0, 10.0)), util::CheckError);
+  EXPECT_THROW(dist::NetworkModel(net_config(4, 0.0, 10.0)), util::CheckError);
+  EXPECT_THROW(dist::NetworkModel(net_config(4, 8.0, -1.0)), util::CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// DeviceModel — analytic GPU branches, hand-computed from the documented
+// cost constants (kLaunch 3e-5, kStream 1e-10, kGather 4e-10, kSort 2.5e-10,
+// kFit 8e-11).  These are regression anchors: changing a constant or a
+// formula must be a conscious act that updates the expected values here.
+// ---------------------------------------------------------------------------
+
+constexpr double kLaunch = 3e-5;
+constexpr double kStream = 1e-10;
+constexpr double kGather = 4e-10;
+constexpr double kSort = 2.5e-10;
+constexpr double kFit = 8e-11;
+
+TEST(DeviceTiming, NoCompressionIsFree) {
+  const dist::DeviceModel gpu(dist::Device::kGpuModel);
+  EXPECT_DOUBLE_EQ(gpu.gpu_seconds(core::Scheme::kNone, 1 << 20, 0.01), 0.0);
+}
+
+TEST(DeviceTiming, TopkClosedForm) {
+  const dist::DeviceModel gpu(dist::Device::kGpuModel);
+  const double n = 1 << 20;
+  EXPECT_NEAR(gpu.gpu_seconds(core::Scheme::kTopK, 1 << 20, 0.01),
+              kLaunch + kSort * n * 20.0, 1e-12);
+}
+
+TEST(DeviceTiming, DgcClosedForm) {
+  const dist::DeviceModel gpu(dist::Device::kGpuModel);
+  const double n = 1 << 20;
+  const double sample = std::floor(0.01 * n);  // 10485 > the 64 floor
+  const double expected = 2.0 * kLaunch + kGather * n +
+                          kSort * sample * std::log2(sample) + kStream * n;
+  EXPECT_NEAR(gpu.gpu_seconds(core::Scheme::kDgc, 1 << 20, 0.01), expected,
+              1e-12);
+}
+
+TEST(DeviceTiming, RedSyncClosedForm) {
+  const dist::DeviceModel gpu(dist::Device::kGpuModel);
+  const double n = 1 << 20;
+  EXPECT_NEAR(gpu.gpu_seconds(core::Scheme::kRedSync, 1 << 20, 0.01),
+              12.0 * (1e-5 + 1.2 * kStream * n), 1e-12);
+}
+
+TEST(DeviceTiming, GaussianClosedForm) {
+  const dist::DeviceModel gpu(dist::Device::kGpuModel);
+  const double n = 1 << 20;
+  EXPECT_NEAR(gpu.gpu_seconds(core::Scheme::kGaussianKSgd, 1 << 20, 0.01),
+              3.0 * (1e-5 + 1.2 * kStream * n) + kStream * n, 1e-12);
+}
+
+TEST(DeviceTiming, RandomkClosedForm) {
+  const dist::DeviceModel gpu(dist::Device::kGpuModel);
+  const double n = 1 << 20;
+  EXPECT_NEAR(gpu.gpu_seconds(core::Scheme::kRandomK, 1 << 20, 0.01),
+              kLaunch + kStream * n, 1e-12);
+}
+
+TEST(DeviceTiming, SidcoGeometricStageSeries) {
+  const dist::DeviceModel gpu(dist::Device::kGpuModel);
+  const double n = 1 << 20;
+  // Stage m fits 0.25^m of the population; one stream pass sparsifies.
+  const double fit3 = n * (1.0 + 0.25 + 0.0625);
+  EXPECT_NEAR(
+      gpu.gpu_seconds(core::Scheme::kSidcoExponential, 1 << 20, 0.01, 3),
+      3.0 * kLaunch + kFit * fit3 + kStream * n, 1e-12);
+  // The two-parameter SIDs pay a 1.25x fit factor.
+  EXPECT_NEAR(
+      gpu.gpu_seconds(core::Scheme::kSidcoGammaPareto, 1 << 20, 0.01, 3),
+      3.0 * kLaunch + 1.25 * kFit * fit3 + kStream * n, 1e-12);
+  EXPECT_NEAR(gpu.gpu_seconds(core::Scheme::kSidcoPareto, 1 << 20, 0.01, 3),
+              3.0 * kLaunch + 1.25 * kFit * fit3 + kStream * n, 1e-12);
+  // More stages cost more, and the increments shrink geometrically.
+  const double s1 =
+      gpu.gpu_seconds(core::Scheme::kSidcoExponential, 1 << 20, 0.01, 1);
+  const double s2 =
+      gpu.gpu_seconds(core::Scheme::kSidcoExponential, 1 << 20, 0.01, 2);
+  const double s3 =
+      gpu.gpu_seconds(core::Scheme::kSidcoExponential, 1 << 20, 0.01, 3);
+  EXPECT_LT(s1, s2);
+  EXPECT_LT(s2, s3);
+  EXPECT_LT(s3 - s2, s2 - s1);
+}
+
+TEST(DeviceTiming, GpuModelRejectsBadArguments) {
+  const dist::DeviceModel gpu(dist::Device::kGpuModel);
+  EXPECT_THROW((void)gpu.gpu_seconds(core::Scheme::kTopK, 0, 0.01),
+               util::CheckError);
+  EXPECT_THROW((void)gpu.gpu_seconds(core::Scheme::kTopK, 100, 0.0),
+               util::CheckError);
+  EXPECT_THROW((void)gpu.gpu_seconds(core::Scheme::kTopK, 100, 1.5),
+               util::CheckError);
+  EXPECT_THROW((void)gpu.gpu_seconds(core::Scheme::kTopK, 100, 0.01, 0),
+               util::CheckError);
+}
+
+TEST(DeviceTiming, CpuMeasuredExtrapolatesLinearly) {
+  const dist::DeviceModel cpu(dist::Device::kCpuMeasured);
+  // 3 ms measured on 1M elements -> 45 ms at 15M.
+  EXPECT_NEAR(cpu.compression_seconds(core::Scheme::kSidcoExponential,
+                                      15000000, 0.01, 0.003, 1000000),
+              0.045, 1e-12);
+  EXPECT_DOUBLE_EQ(cpu.compression_seconds(core::Scheme::kNone, 15000000,
+                                           1.0, 0.003, 1000000),
+                   0.0);
+  EXPECT_THROW((void)cpu.compression_seconds(core::Scheme::kTopK, 100, 0.01,
+                                       0.003, 0),
+               util::CheckError);
+  EXPECT_THROW((void)cpu.compression_seconds(core::Scheme::kTopK, 100, 0.01,
+                                       -1.0, 100),
+               util::CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Event-sim primitives
+// ---------------------------------------------------------------------------
+
+TEST(EventQueue, PopsInTimeOrder) {
+  dist::EventQueue queue;
+  queue.push(3.0, 0, dist::EventKind::kStepDone, 0);
+  queue.push(1.0, 1, dist::EventKind::kStepDone, 0);
+  queue.push(2.0, 2, dist::EventKind::kStepDone, 0);
+  EXPECT_EQ(queue.pop().worker, 1U);
+  EXPECT_EQ(queue.pop().worker, 2U);
+  EXPECT_EQ(queue.pop().worker, 0U);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, TiesResolveInPushOrder) {
+  dist::EventQueue queue;
+  for (std::size_t w = 0; w < 8; ++w) {
+    queue.push(1.0, 7 - w, dist::EventKind::kStepDone, 0);
+  }
+  for (std::size_t w = 0; w < 8; ++w) {
+    EXPECT_EQ(queue.pop().worker, 7 - w);
+  }
+}
+
+TEST(EventQueue, RejectsBadTimesAndEmptyPop) {
+  dist::EventQueue queue;
+  EXPECT_THROW(queue.push(-1.0, 0, dist::EventKind::kStepDone, 0),
+               util::CheckError);
+  EXPECT_THROW(queue.push(std::nan(""), 0, dist::EventKind::kStepDone, 0),
+               util::CheckError);
+  EXPECT_THROW(queue.pop(), util::CheckError);
+}
+
+TEST(FifoLink, SerializesTransfersInRequestOrder) {
+  dist::FifoLink link(1e9, 10e-6);  // 1 GB/s, 10 us
+  const double first = link.transfer(0.0, 1000000);   // 10 us + 1 ms
+  EXPECT_NEAR(first, 0.00101, 1e-12);
+  // Requested while busy: queues behind the first transfer.
+  const double second = link.transfer(0.0005, 1000000);
+  EXPECT_NEAR(second, first + 0.00101, 1e-12);
+  // Requested after the link idles: starts immediately.
+  const double third = link.transfer(second + 1.0, 500000);
+  EXPECT_NEAR(third, second + 1.0 + 10e-6 + 0.0005, 1e-12);
+}
+
+TEST(FifoLink, ZeroBytesCompleteImmediately) {
+  dist::FifoLink link(1e9, 10e-6);
+  EXPECT_DOUBLE_EQ(link.transfer(5.0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(link.busy_until(), 0.0);  // the wire never got occupied
+}
+
+TEST(FifoLink, RejectsInvalidConstruction) {
+  EXPECT_THROW(dist::FifoLink(0.0, 10e-6), util::CheckError);
+  EXPECT_THROW(dist::FifoLink(1e9, -1.0), util::CheckError);
+}
+
+TEST(OverlapPipeline, SingleChunkIsTheSerialSchedule) {
+  const std::vector<double> produce = {10.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(dist::overlapped_iteration_seconds(produce, 1, 2.0), 12.0);
+}
+
+TEST(OverlapPipeline, ComputeBoundPipelinesToProduceRate) {
+  // 2 chunks: chunk 0 ready at 5, done 6; chunk 1 ready at 10, done 11.
+  const std::vector<double> produce = {10.0};
+  EXPECT_DOUBLE_EQ(dist::overlapped_iteration_seconds(produce, 2, 1.0), 11.0);
+}
+
+TEST(OverlapPipeline, CommBoundSerializesOnTheFabric) {
+  // 4 chunks of 5 s each against 2 s of produce: first chunk waits 0.5 s,
+  // the rest queue on the fabric -> 0.5 + 4 * 5.
+  const std::vector<double> produce = {2.0};
+  EXPECT_DOUBLE_EQ(dist::overlapped_iteration_seconds(produce, 4, 5.0), 20.5);
+}
+
+TEST(OverlapPipeline, SlowestWorkerGatesEveryChunk) {
+  const std::vector<double> fast = {1.0, 1.0};
+  const std::vector<double> straggled = {1.0, 8.0};
+  const double a = dist::overlapped_iteration_seconds(fast, 4, 0.5);
+  const double b = dist::overlapped_iteration_seconds(straggled, 4, 0.5);
+  EXPECT_GT(b, a);
+  EXPECT_DOUBLE_EQ(b, 8.0 + 0.5);  // last chunk ready at 8, one chunk tail
+}
+
+TEST(OverlapPipeline, RejectsDegenerateInputs) {
+  const std::vector<double> produce = {1.0};
+  const std::vector<double> empty;
+  EXPECT_THROW(dist::overlapped_iteration_seconds(empty, 1, 1.0),
+               util::CheckError);
+  EXPECT_THROW(dist::overlapped_iteration_seconds(produce, 0, 1.0),
+               util::CheckError);
+  EXPECT_THROW(dist::overlapped_iteration_seconds(produce, 1, -1.0),
+               util::CheckError);
+}
+
+}  // namespace
+}  // namespace sidco

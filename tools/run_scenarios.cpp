@@ -1,0 +1,157 @@
+// Scenario-matrix runner: expands a declarative spec, executes every cell on
+// the distributed event runtime, and checks (or regenerates) golden metrics.
+//
+//   run_scenarios --spec scenarios/ci.scn --golden scenarios/golden/ci.golden
+//   run_scenarios --spec ... --golden ... --update-golden
+//   run_scenarios --spec ... --repeat 2          # determinism check
+//   run_scenarios --spec ... --list              # print cells, run nothing
+//
+// Exit codes: 0 = success, 1 = golden mismatch or nondeterminism,
+// 2 = usage / IO error.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dist/scenario.h"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: run_scenarios --spec FILE [--golden FILE] [--update-golden]\n"
+      << "                     [--repeat N] [--list]\n";
+  return 2;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec_path;
+  std::string golden_path;
+  bool update_golden = false;
+  bool list_only = false;
+  int repeat = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--spec") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      spec_path = v;
+    } else if (arg == "--golden") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      golden_path = v;
+    } else if (arg == "--update-golden") {
+      update_golden = true;
+    } else if (arg == "--list") {
+      list_only = true;
+    } else if (arg == "--repeat") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      repeat = std::atoi(v);
+      if (repeat < 1) return usage();
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return usage();
+    }
+  }
+  if (spec_path.empty()) return usage();
+  if (update_golden && golden_path.empty()) {
+    std::cerr << "--update-golden requires --golden\n";
+    return usage();
+  }
+
+  std::string spec_text;
+  if (!read_file(spec_path, spec_text)) {
+    std::cerr << "cannot read spec: " << spec_path << "\n";
+    return 2;
+  }
+
+  try {
+    const sidco::dist::MatrixSpec spec =
+        sidco::dist::parse_matrix_spec(spec_text);
+    const std::vector<sidco::dist::Scenario> cells = sidco::dist::expand(spec);
+    std::cerr << "scenario matrix: " << cells.size() << " cells ("
+              << spec_path << ")\n";
+    if (list_only) {
+      for (const auto& cell : cells) std::cout << cell.name << "\n";
+      return 0;
+    }
+
+    std::vector<sidco::dist::ScenarioMetrics> metrics;
+    std::string first_run;
+    for (int r = 0; r < repeat; ++r) {
+      std::vector<sidco::dist::ScenarioMetrics> run;
+      run.reserve(cells.size());
+      for (const auto& cell : cells) {
+        std::cerr << "  run " << (r + 1) << "/" << repeat << ": " << cell.name
+                  << "\n";
+        run.push_back(sidco::dist::run_scenario(cell));
+      }
+      const std::string text = sidco::dist::format_metrics(run);
+      if (r == 0) {
+        first_run = text;
+        metrics = std::move(run);
+        std::cout << text;
+      } else if (text != first_run) {
+        std::cerr << "FAIL: repeat " << (r + 1)
+                  << " produced different metrics than the first run\n";
+        return 1;
+      }
+    }
+    if (repeat > 1) {
+      std::cerr << "determinism: " << repeat
+                << " repeats produced byte-identical metrics\n";
+    }
+
+    if (!golden_path.empty()) {
+      if (update_golden) {
+        std::ofstream out(golden_path);
+        if (!out) {
+          std::cerr << "cannot write golden: " << golden_path << "\n";
+          return 2;
+        }
+        out << "# Golden scenario metrics for " << spec_path << "\n"
+            << "# Regenerate: run_scenarios --spec " << spec_path
+            << " --golden " << golden_path << " --update-golden\n"
+            << sidco::dist::format_metrics(metrics);
+        std::cerr << "golden updated: " << golden_path << "\n";
+        return 0;
+      }
+      std::string golden_text;
+      if (!read_file(golden_path, golden_text)) {
+        std::cerr << "cannot read golden: " << golden_path << "\n";
+        return 2;
+      }
+      const sidco::dist::GoldenReport report =
+          sidco::dist::compare_with_golden(metrics, golden_text);
+      if (!report.ok) {
+        std::cerr << "FAIL: " << report.diffs.size()
+                  << " golden mismatches:\n";
+        for (const auto& diff : report.diffs) std::cerr << "  " << diff << "\n";
+        return 1;
+      }
+      std::cerr << "golden comparison passed (" << cells.size() << " cells)\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}
