@@ -1,0 +1,91 @@
+// Wire-codec microbench: encoded bytes per element, effective compression
+// ratio vs the analytic 8-bytes-per-pair estimate, index-mode selection, and
+// encode/decode/aggregate throughput across the density sweep the paper's
+// ratio axis covers.  This is the bytes-on-wire ground truth behind the
+// session/scenario metrics.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "comm/aggregate.h"
+#include "comm/codec.h"
+#include "common.h"
+#include "tensor/sparse.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+sidco::tensor::SparseGradient random_sparse(std::size_t d, double density,
+                                            std::uint64_t seed) {
+  sidco::tensor::SparseGradient g;
+  g.dense_dim = d;
+  sidco::util::Rng rng(seed);
+  for (std::size_t i = 0; i < d; ++i) {
+    if (rng.uniform() < density) {
+      g.indices.push_back(static_cast<std::uint32_t>(i));
+      g.values.push_back(static_cast<float>(rng.normal()));
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sidco;
+  const std::size_t d = 1U << 22;
+  const int reps = static_cast<int>(bench::scaled(20));
+
+  std::cout << "-- Wire codec: measured bytes vs the analytic 8B/pair model (d = "
+            << d << ")" << std::endl;
+
+  util::Table table({"density", "mode", "bytes/elt", "vs 8B/pair", "eff ratio",
+                     "enc GB/s", "dec GB/s", "agg GB/s"});
+  std::vector<std::uint8_t> buffer;
+  tensor::SparseGradient decoded;
+  comm::SparseAccumulator accumulator;
+
+  for (double density : {0.0001, 0.001, 0.01, 0.1, 0.125, 0.25, 0.5}) {
+    const tensor::SparseGradient g = random_sparse(
+        d, density, 0xB17C0DEULL ^ std::llround(density * 1e6));
+    const std::size_t k = g.nnz();
+    if (k == 0) continue;
+
+    const std::size_t encoded = comm::encode_sparse(
+        g, comm::ValueMode::kFp32, buffer);
+    const comm::MessageInfo info = comm::peek_header(buffer);
+
+    util::Timer enc_timer;
+    for (int r = 0; r < reps; ++r) {
+      comm::encode_sparse(g, comm::ValueMode::kFp32, buffer);
+    }
+    const double enc_s = enc_timer.seconds() / reps;
+
+    util::Timer dec_timer;
+    for (int r = 0; r < reps; ++r) comm::decode_sparse(buffer, decoded);
+    const double dec_s = dec_timer.seconds() / reps;
+
+    util::Timer agg_timer;
+    for (int r = 0; r < reps; ++r) {
+      accumulator.reset(d);
+      accumulator.accumulate_encoded(buffer, 0.25F);
+    }
+    const double agg_s = agg_timer.seconds() / reps;
+
+    const double payload = static_cast<double>(encoded);
+    const double gb = payload / 1e9;
+    table.add_row(
+        {util::format_double(density, 4),
+         info.index_mode == comm::IndexMode::kVarintDelta ? "varint" : "bitmap",
+         util::format_double(payload / static_cast<double>(k), 4),
+         util::format_double(payload / (8.0 * static_cast<double>(k)), 4),
+         util::format_double(payload / (4.0 * static_cast<double>(d)), 5),
+         util::format_double(gb / enc_s, 3), util::format_double(gb / dec_s, 3),
+         util::format_double(gb / agg_s, 3)});
+  }
+  table.print(std::cout, "codec: bytes on the wire + throughput");
+  table.maybe_write_csv("codec_density_sweep");
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "comm/aggregate.h"
+
+#include "util/check.h"
+
+namespace sidco::comm {
+
+void check_canonical(const tensor::SparseGradient& gradient) {
+  // One authoritative definition of canonical form lives on SparseGradient.
+  util::check(gradient.is_canonical(),
+              "aggregate: sparse payload is not canonical (sorted unique "
+              "in-range indices required)");
+}
+
+void SparseAccumulator::reset(std::size_t dense_dim) {
+  dense_.assign(dense_dim, 0.0F);
+}
+
+void SparseAccumulator::accumulate(const tensor::SparseGradient& part,
+                                   float scale) {
+  util::check(part.dense_dim == dense_.size(),
+              "aggregate: part dense_dim mismatch");
+  check_canonical(part);
+  // Same element op and order as tensor::SparseGradient::add_to — the
+  // bit-identity contract with the dense reference mean rests on this.
+  for (std::size_t j = 0; j < part.indices.size(); ++j) {
+    dense_[part.indices[j]] += scale * part.values[j];
+  }
+}
+
+MessageInfo SparseAccumulator::accumulate_encoded(
+    std::span<const std::uint8_t> buffer, float scale) {
+  const MessageInfo header = peek_header(buffer);
+  if (header.kind == PayloadKind::kDense) {
+    const MessageInfo info = decode_dense(buffer, dense_staging_);
+    util::check(info.dense_dim == dense_.size(),
+                "aggregate: dense payload dimension mismatch");
+    for (std::size_t i = 0; i < dense_staging_.size(); ++i) {
+      dense_[i] += scale * dense_staging_[i];
+    }
+    return info;
+  }
+  // decode_sparse guarantees canonical output (and rejects anything else),
+  // so the canonical re-check in accumulate() only guards raw callers.
+  const MessageInfo info = decode_sparse(buffer, staging_);
+  accumulate(staging_, scale);
+  return info;
+}
+
+void allgather_mean(std::span<const std::vector<std::uint8_t>> encoded,
+                    std::size_t dense_dim, double count_divisor,
+                    SparseAccumulator& acc) {
+  util::check(count_divisor > 0.0, "aggregate: divisor must be positive");
+  acc.reset(dense_dim);
+  const auto scale = static_cast<float>(1.0 / count_divisor);
+  for (const std::vector<std::uint8_t>& buffer : encoded) {
+    acc.accumulate_encoded(buffer, scale);
+  }
+}
+
+std::vector<float> allgather_mean(
+    std::span<const std::vector<std::uint8_t>> encoded, std::size_t dense_dim,
+    double count_divisor) {
+  SparseAccumulator acc;
+  allgather_mean(encoded, dense_dim, count_divisor, acc);
+  return std::vector<float>(acc.dense().begin(), acc.dense().end());
+}
+
+}  // namespace sidco::comm

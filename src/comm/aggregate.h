@@ -1,0 +1,70 @@
+// Sparse collective aggregation over decoded wire payloads.
+//
+// These primitives are the receive side of the codec: a parameter server (or
+// each allgather participant) accumulates per-worker payloads — decoded from
+// their wire buffers — into one dense mean.  The accumulation order and the
+// per-element operation (`out[i] += scale * v`, fp32) are exactly those of
+// tensor::aggregate_mean, so with fp32 value payloads the result is
+// bit-identical to the dense reference mean of the decoded gradients.
+//
+// Hostile inputs are rejected, never mis-summed: encoded buffers go through
+// the strict codec validation, and raw SparseGradient inputs are checked for
+// canonical form (sorted unique in-range indices) before any element lands
+// in the accumulator.  The check is O(k) on a payload whose accumulation is
+// already O(k), so it stays on in release builds.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "comm/codec.h"
+#include "tensor/sparse.h"
+
+namespace sidco::comm {
+
+/// Throws util::CheckError unless `gradient` is canonical: index/value arity
+/// match, indices strictly increasing and < dense_dim.
+void check_canonical(const tensor::SparseGradient& gradient);
+
+/// Accumulates worker payloads into a dense sum, mirroring the exact
+/// float-add order of tensor::aggregate_mean.  All scratch (the dense buffer
+/// and the decode staging) is reused across rounds: steady-state
+/// accumulation performs zero heap allocations.
+class SparseAccumulator {
+ public:
+  /// Starts a fresh round over `dense_dim` elements (buffer reused).
+  void reset(std::size_t dense_dim);
+
+  /// Adds `scale * part` into the dense buffer.  `part` must be canonical
+  /// and share the round's dense_dim.
+  void accumulate(const tensor::SparseGradient& part, float scale);
+
+  /// Decodes an encoded sparse or dense message into internal staging and
+  /// accumulates it.  Returns the decoded header summary.
+  MessageInfo accumulate_encoded(std::span<const std::uint8_t> buffer,
+                                 float scale);
+
+  [[nodiscard]] std::span<const float> dense() const { return dense_; }
+  [[nodiscard]] std::size_t dense_dim() const { return dense_.size(); }
+
+ private:
+  std::vector<float> dense_;
+  tensor::SparseGradient staging_;
+  std::vector<float> dense_staging_;
+};
+
+/// Decode-side allgather-sum: every worker receives all payloads and reduces
+/// them locally to the mean (divided by `count_divisor`, typically the
+/// worker count).  Bit-identical to tensor::aggregate_mean of the decoded
+/// parts.  The `acc` overload reuses the accumulator's storage; the
+/// convenience overload allocates the result.
+void allgather_mean(std::span<const std::vector<std::uint8_t>> encoded,
+                    std::size_t dense_dim, double count_divisor,
+                    SparseAccumulator& acc);
+
+std::vector<float> allgather_mean(
+    std::span<const std::vector<std::uint8_t>> encoded, std::size_t dense_dim,
+    double count_divisor);
+
+}  // namespace sidco::comm

@@ -1,0 +1,486 @@
+#include "comm/codec.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "util/check.h"
+
+namespace sidco::comm {
+
+namespace {
+
+constexpr std::uint8_t kMagic0 = 0x53;  // 'S'
+constexpr std::uint8_t kMagic1 = 0x43;  // 'C'
+constexpr std::size_t kMaxIndexVarintBytes = 5;  // u32 range
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xFF));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xFF));
+  }
+}
+
+std::uint64_t get_u64(std::span<const std::uint8_t> buf, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int b = 0; b < 8; ++b) {
+    v |= static_cast<std::uint64_t>(buf[at + b]) << (8 * b);
+  }
+  return v;
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> buf, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int b = 0; b < 4; ++b) {
+    v |= static_cast<std::uint32_t>(buf[at + b]) << (8 * b);
+  }
+  return v;
+}
+
+void put_f32(std::vector<std::uint8_t>& out, float v) {
+  put_u32(out, std::bit_cast<std::uint32_t>(v));
+}
+
+float get_f32(std::span<const std::uint8_t> buf, std::size_t at) {
+  return std::bit_cast<float>(get_u32(buf, at));
+}
+
+std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80U);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Reads one index varint at `pos` (advanced past it).  Bounded to the u32
+/// range so hostile length prefixes cannot drive unbounded reads or
+/// accumulator overflow downstream.
+std::uint64_t get_varint(std::span<const std::uint8_t> buf, std::size_t& pos) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < kMaxIndexVarintBytes; ++i) {
+    util::check(pos < buf.size(), "wire: truncated varint");
+    const std::uint8_t byte = buf[pos++];
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << (7 * i);
+    if ((byte & 0x80U) == 0) return v;
+  }
+  util::check_fail("wire: varint exceeds index range");
+}
+
+void write_header(std::vector<std::uint8_t>& out, PayloadKind kind,
+                  std::uint8_t flags, std::uint8_t aux, std::uint64_t dense_dim,
+                  std::uint64_t count) {
+  out.clear();
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+  out.push_back(kWireVersion);
+  out.push_back(static_cast<std::uint8_t>(kind));
+  out.push_back(flags);
+  out.push_back(aux);
+  put_u16(out, 0);  // reserved
+  put_u64(out, dense_dim);
+  put_u64(out, count);
+}
+
+void write_values(std::vector<std::uint8_t>& out,
+                  std::span<const float> values, ValueMode mode) {
+  if (mode == ValueMode::kFp32) {
+    for (float v : values) put_f32(out, v);
+  } else {
+    for (float v : values) put_u16(out, float_to_half(v));
+  }
+}
+
+float read_value(std::span<const std::uint8_t> buf, std::size_t at,
+                 ValueMode mode) {
+  if (mode == ValueMode::kFp32) return get_f32(buf, at);
+  return half_to_float(
+      static_cast<std::uint16_t>(buf[at] | (buf[at + 1] << 8)));
+}
+
+void check_canonical_for_encode(const tensor::SparseGradient& g) {
+  util::check(g.dense_dim <= std::numeric_limits<std::uint32_t>::max(),
+              "wire: dense_dim exceeds the u32 index range");
+  // One authoritative definition of canonical form (arity match, strictly
+  // increasing in-range indices): SparseGradient::is_canonical().
+  util::check(g.is_canonical(),
+              "wire: sparse gradient is not canonical (sorted unique "
+              "in-range indices required)");
+}
+
+}  // namespace
+
+std::uint16_t float_to_half(float value) {
+  const std::uint32_t bits = std::bit_cast<std::uint32_t>(value);
+  const std::uint32_t sign = (bits >> 16) & 0x8000U;
+  const std::uint32_t exponent = (bits >> 23) & 0xFFU;
+  std::uint32_t mantissa = bits & 0x007FFFFFU;
+
+  if (exponent == 0xFFU) {  // inf / NaN
+    return static_cast<std::uint16_t>(
+        sign | 0x7C00U | (mantissa != 0 ? 0x0200U : 0));
+  }
+  // Rebias 127 -> 15.
+  const int half_exp = static_cast<int>(exponent) - 127 + 15;
+  if (half_exp >= 0x1F) {  // overflow -> inf
+    return static_cast<std::uint16_t>(sign | 0x7C00U);
+  }
+  if (half_exp <= 0) {  // subnormal or zero
+    if (half_exp < -10) return static_cast<std::uint16_t>(sign);
+    mantissa |= 0x00800000U;  // implicit leading 1
+    const int shift = 14 - half_exp;  // in [14, 24]
+    const std::uint32_t rounded =
+        (mantissa >> shift) +
+        // Round to nearest, ties to even.
+        (((mantissa >> (shift - 1)) & 1U) &&
+                 ((mantissa & ((1U << (shift - 1)) - 1U)) != 0 ||
+                  ((mantissa >> shift) & 1U))
+             ? 1U
+             : 0U);
+    return static_cast<std::uint16_t>(sign | rounded);
+  }
+  std::uint32_t half =
+      static_cast<std::uint32_t>(half_exp) << 10 | (mantissa >> 13);
+  // Round to nearest, ties to even, possibly carrying into the exponent
+  // (and to infinity at the top — IEEE-correct).
+  const std::uint32_t round_bits = mantissa & 0x1FFFU;
+  if (round_bits > 0x1000U || (round_bits == 0x1000U && (half & 1U))) {
+    half += 1;
+  }
+  return static_cast<std::uint16_t>(sign | half);
+}
+
+float half_to_float(std::uint16_t half) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(half & 0x8000U) << 16;
+  const std::uint32_t exponent = (half >> 10) & 0x1FU;
+  std::uint32_t mantissa = half & 0x03FFU;
+
+  std::uint32_t bits;
+  if (exponent == 0x1FU) {  // inf / NaN
+    bits = sign | 0x7F800000U | (mantissa << 13);
+  } else if (exponent == 0) {
+    if (mantissa == 0) {
+      bits = sign;  // signed zero
+    } else {
+      // Normalize the subnormal.
+      int e = -1;
+      do {
+        mantissa <<= 1;
+        ++e;
+      } while ((mantissa & 0x0400U) == 0);
+      mantissa &= 0x03FFU;
+      bits = sign |
+             (static_cast<std::uint32_t>(127 - 15 - e) << 23) |
+             (mantissa << 13);
+    }
+  } else {
+    bits = sign | ((exponent - 15 + 127) << 23) | (mantissa << 13);
+  }
+  return std::bit_cast<float>(bits);
+}
+
+std::size_t varint_index_bytes(const tensor::SparseGradient& gradient) {
+  std::size_t bytes = 0;
+  std::uint32_t prev = 0;
+  for (std::size_t j = 0; j < gradient.indices.size(); ++j) {
+    const std::uint64_t delta =
+        j == 0 ? gradient.indices[0]
+               : static_cast<std::uint64_t>(gradient.indices[j]) - prev - 1;
+    bytes += varint_size(delta);
+    prev = gradient.indices[j];
+  }
+  return bytes;
+}
+
+IndexMode select_index_mode(const tensor::SparseGradient& gradient) {
+  return varint_index_bytes(gradient) <= bitmap_index_bytes(gradient.dense_dim)
+             ? IndexMode::kVarintDelta
+             : IndexMode::kBitmap;
+}
+
+std::size_t encoded_sparse_bytes(const tensor::SparseGradient& gradient,
+                                 ValueMode mode) {
+  const std::size_t index_bytes =
+      std::min(varint_index_bytes(gradient),
+               bitmap_index_bytes(gradient.dense_dim));
+  return kHeaderBytes + index_bytes + gradient.nnz() * value_bytes(mode);
+}
+
+std::size_t encode_sparse(const tensor::SparseGradient& gradient,
+                          ValueMode mode, std::vector<std::uint8_t>& out) {
+  check_canonical_for_encode(gradient);
+  const IndexMode index_mode = select_index_mode(gradient);
+  const std::uint8_t flags =
+      static_cast<std::uint8_t>(index_mode) |
+      static_cast<std::uint8_t>(static_cast<std::uint8_t>(mode) << 1);
+  write_header(out, PayloadKind::kSparse, flags, 0, gradient.dense_dim,
+               gradient.nnz());
+
+  if (index_mode == IndexMode::kVarintDelta) {
+    std::uint32_t prev = 0;
+    for (std::size_t j = 0; j < gradient.indices.size(); ++j) {
+      const std::uint64_t delta =
+          j == 0 ? gradient.indices[0]
+                 : static_cast<std::uint64_t>(gradient.indices[j]) - prev - 1;
+      put_varint(out, delta);
+      prev = gradient.indices[j];
+    }
+  } else {
+    const std::size_t bitmap_at = out.size();
+    out.resize(out.size() + bitmap_index_bytes(gradient.dense_dim), 0);
+    for (std::uint32_t index : gradient.indices) {
+      out[bitmap_at + index / 8] |= static_cast<std::uint8_t>(1U << (index % 8));
+    }
+  }
+  write_values(out, gradient.values, mode);
+  return out.size();
+}
+
+MessageInfo peek_header(std::span<const std::uint8_t> buffer) {
+  util::check(buffer.size() >= kHeaderBytes, "wire: buffer shorter than header");
+  util::check(buffer[0] == kMagic0 && buffer[1] == kMagic1,
+              "wire: bad magic");
+  util::check(buffer[2] == kWireVersion, "wire: unsupported wire version");
+  const std::uint8_t kind = buffer[3];
+  util::check(kind <= static_cast<std::uint8_t>(PayloadKind::kQuantized),
+              "wire: unknown payload kind");
+  const std::uint8_t flags = buffer[4];
+  util::check((flags & ~0x03U) == 0, "wire: unknown flag bits");
+  util::check(buffer[6] == 0 && buffer[7] == 0, "wire: nonzero reserved bytes");
+
+  MessageInfo info;
+  info.kind = static_cast<PayloadKind>(kind);
+  info.index_mode = static_cast<IndexMode>(flags & 0x01U);
+  info.value_mode = static_cast<ValueMode>((flags >> 1) & 0x01U);
+  info.symbol_bits = buffer[5];
+  const std::uint64_t dense_dim = get_u64(buffer, 8);
+  const std::uint64_t count = get_u64(buffer, 16);
+  util::check(dense_dim <= std::numeric_limits<std::uint32_t>::max(),
+              "wire: dense_dim exceeds the u32 index range");
+  info.dense_dim = static_cast<std::size_t>(dense_dim);
+  info.count = static_cast<std::size_t>(count);
+  info.encoded_bytes = buffer.size();
+  if (info.kind == PayloadKind::kQuantized) {
+    util::check(info.symbol_bits >= 1 && info.symbol_bits <= 32,
+                "wire: quantized symbol bits out of range");
+  } else {
+    util::check(info.symbol_bits == 0, "wire: nonzero aux byte");
+  }
+  return info;
+}
+
+MessageInfo decode_sparse(std::span<const std::uint8_t> buffer,
+                          tensor::SparseGradient& out) {
+  const MessageInfo info = peek_header(buffer);
+  util::check(info.kind == PayloadKind::kSparse,
+              "wire: expected a sparse payload");
+  util::check(info.count <= info.dense_dim, "wire: nnz exceeds dense_dim");
+
+  // Bound the declared nnz by what the buffer could possibly hold (>= 1
+  // byte per varint index / the full bitmap, plus the value section) BEFORE
+  // reserving output storage — a 24-byte hostile buffer claiming 2^32
+  // entries must fail with CheckError, not a multi-GB allocation.
+  const std::size_t vb = value_bytes(info.value_mode);
+  if (info.index_mode == IndexMode::kVarintDelta) {
+    util::check(buffer.size() >= kHeaderBytes + info.count * (1 + vb),
+                "wire: buffer too small for declared nnz");
+  } else {
+    util::check(buffer.size() == kHeaderBytes +
+                                     bitmap_index_bytes(info.dense_dim) +
+                                     info.count * vb,
+                "wire: payload size does not match header");
+  }
+
+  out.dense_dim = info.dense_dim;
+  out.indices.clear();
+  out.values.clear();
+  out.indices.reserve(info.count);
+  out.values.reserve(info.count);
+
+  std::size_t pos = kHeaderBytes;
+  if (info.index_mode == IndexMode::kVarintDelta) {
+    std::uint64_t prev = 0;
+    for (std::size_t j = 0; j < info.count; ++j) {
+      const std::uint64_t delta = get_varint(buffer, pos);
+      const std::uint64_t index = j == 0 ? delta : prev + 1 + delta;
+      util::check(index < info.dense_dim, "wire: sparse index out of range");
+      out.indices.push_back(static_cast<std::uint32_t>(index));
+      prev = index;
+    }
+  } else {
+    const std::size_t bitmap_bytes = bitmap_index_bytes(info.dense_dim);
+    for (std::size_t byte = 0; byte < bitmap_bytes; ++byte) {
+      const std::uint8_t bits = buffer[pos + byte];
+      if (bits == 0) continue;
+      for (std::size_t bit = 0; bit < 8; ++bit) {
+        if ((bits & (1U << bit)) == 0) continue;
+        const std::size_t index = byte * 8 + bit;
+        util::check(index < info.dense_dim,
+                    "wire: bitmap bit beyond dense_dim");
+        out.indices.push_back(static_cast<std::uint32_t>(index));
+      }
+    }
+    util::check(out.indices.size() == info.count,
+                "wire: bitmap population does not match nnz");
+    pos += bitmap_bytes;
+  }
+
+  util::check(buffer.size() == pos + info.count * vb,
+              "wire: payload size does not match header");
+  for (std::size_t j = 0; j < info.count; ++j) {
+    out.values.push_back(read_value(buffer, pos + j * vb, info.value_mode));
+  }
+  return info;
+}
+
+std::size_t encode_dense(std::span<const float> values, ValueMode mode,
+                         std::vector<std::uint8_t>& out) {
+  const std::uint8_t flags =
+      static_cast<std::uint8_t>(static_cast<std::uint8_t>(mode) << 1);
+  write_header(out, PayloadKind::kDense, flags, 0, values.size(),
+               values.size());
+  write_values(out, values, mode);
+  return out.size();
+}
+
+MessageInfo decode_dense(std::span<const std::uint8_t> buffer,
+                         std::vector<float>& out) {
+  const MessageInfo info = peek_header(buffer);
+  util::check(info.kind == PayloadKind::kDense,
+              "wire: expected a dense payload");
+  util::check(info.count == info.dense_dim,
+              "wire: dense count must equal dense_dim");
+  util::check(info.index_mode == IndexMode::kVarintDelta,
+              "wire: dense payloads take no index mode bit");
+  const std::size_t vb = value_bytes(info.value_mode);
+  util::check(buffer.size() == kHeaderBytes + info.count * vb,
+              "wire: payload size does not match header");
+  out.clear();
+  out.reserve(info.count);
+  for (std::size_t j = 0; j < info.count; ++j) {
+    out.push_back(read_value(buffer, kHeaderBytes + j * vb, info.value_mode));
+  }
+  return info;
+}
+
+std::size_t encode_quantized(const QuantizedPayload& payload,
+                             std::vector<std::uint8_t>& out) {
+  util::check(payload.symbol_bits >= 1 && payload.symbol_bits <= 32,
+              "wire: quantized symbol bits out of range");
+  const std::size_t n = payload.symbols.size();
+  write_header(out, PayloadKind::kQuantized, 0, payload.symbol_bits, n, n);
+  put_f32(out, payload.scale);
+
+  const std::size_t packed_bytes =
+      (n * payload.symbol_bits + 7) / 8;
+  const std::size_t packed_at = out.size();
+  out.resize(out.size() + packed_bytes, 0);
+  const std::uint64_t mask = payload.symbol_bits == 32
+                                 ? 0xFFFFFFFFULL
+                                 : (1ULL << payload.symbol_bits) - 1;
+  std::size_t bit_pos = 0;
+  for (std::uint32_t symbol : payload.symbols) {
+    util::check((symbol & ~mask) == 0, "wire: symbol exceeds symbol_bits");
+    std::uint64_t v = symbol;
+    std::size_t bits_left = payload.symbol_bits;
+    while (bits_left > 0) {
+      const std::size_t byte = packed_at + bit_pos / 8;
+      const std::size_t offset = bit_pos % 8;
+      const std::size_t take = std::min<std::size_t>(8 - offset, bits_left);
+      out[byte] |= static_cast<std::uint8_t>((v & ((1ULL << take) - 1))
+                                             << offset);
+      v >>= take;
+      bit_pos += take;
+      bits_left -= take;
+    }
+  }
+  return out.size();
+}
+
+MessageInfo decode_quantized(std::span<const std::uint8_t> buffer,
+                             QuantizedPayload& out) {
+  const MessageInfo info = peek_header(buffer);
+  util::check(info.kind == PayloadKind::kQuantized,
+              "wire: expected a quantized payload");
+  util::check(info.count == info.dense_dim,
+              "wire: quantized count must equal dense_dim");
+  util::check(info.index_mode == IndexMode::kVarintDelta &&
+                  info.value_mode == ValueMode::kFp32,
+              "wire: quantized payloads take no mode bits");
+  const std::size_t packed_bytes = (info.count * info.symbol_bits + 7) / 8;
+  util::check(buffer.size() == kHeaderBytes + 4 + packed_bytes,
+              "wire: payload size does not match header");
+
+  out.scale = get_f32(buffer, kHeaderBytes);
+  out.symbol_bits = info.symbol_bits;
+  out.symbols.clear();
+  out.symbols.reserve(info.count);
+  const std::size_t packed_at = kHeaderBytes + 4;
+  std::size_t bit_pos = 0;
+  for (std::size_t j = 0; j < info.count; ++j) {
+    std::uint64_t v = 0;
+    std::size_t got = 0;
+    while (got < info.symbol_bits) {
+      const std::size_t byte = packed_at + bit_pos / 8;
+      const std::size_t offset = bit_pos % 8;
+      const std::size_t take =
+          std::min<std::size_t>(8 - offset, info.symbol_bits - got);
+      v |= (static_cast<std::uint64_t>(buffer[byte] >> offset) &
+            ((1ULL << take) - 1))
+           << got;
+      got += take;
+      bit_pos += take;
+    }
+    out.symbols.push_back(static_cast<std::uint32_t>(v));
+  }
+  return info;
+}
+
+std::size_t encode_gradient(const tensor::SparseGradient& gradient,
+                            ValueMode mode, std::vector<std::uint8_t>& out) {
+  if (gradient.nnz() == gradient.dense_dim) {
+    return encode_dense(gradient.values, mode, out);
+  }
+  return encode_sparse(gradient, mode, out);
+}
+
+std::size_t encode_dense_or_sparse(std::span<const float> values,
+                                   ValueMode mode,
+                                   tensor::SparseGradient& scratch,
+                                   std::vector<std::uint8_t>& out) {
+  scratch.dense_dim = values.size();
+  scratch.indices.clear();
+  scratch.values.clear();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] != 0.0F) {
+      scratch.indices.push_back(static_cast<std::uint32_t>(i));
+      scratch.values.push_back(values[i]);
+    }
+  }
+  if (encoded_sparse_bytes(scratch, mode) <
+      encoded_dense_bytes(values.size(), mode)) {
+    return encode_sparse(scratch, mode, out);
+  }
+  return encode_dense(values, mode, out);
+}
+
+}  // namespace sidco::comm

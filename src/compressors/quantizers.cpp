@@ -11,12 +11,22 @@ namespace sidco::compressors {
 QuantizeResult SignSgd::quantize(std::span<const float> gradient) {
   util::check(!gradient.empty(), "cannot quantize an empty gradient");
   const auto scale = static_cast<float>(tensor::mean_abs(gradient));
+
+  payload_.scale = scale;
+  payload_.symbol_bits = 1;
+  payload_.symbols.clear();
+  payload_.symbols.reserve(gradient.size());
+  for (float g : gradient) {
+    payload_.symbols.push_back(g >= 0.0F ? 0U : 1U);
+  }
+
   QuantizeResult result;
+  result.wire_bytes = comm::encode_quantized(payload_, result.encoded);
+  // Receiver view: symbol 0 -> +scale, symbol 1 -> -scale.
   result.dequantized.resize(gradient.size());
   for (std::size_t i = 0; i < gradient.size(); ++i) {
-    result.dequantized[i] = gradient[i] >= 0.0F ? scale : -scale;
+    result.dequantized[i] = payload_.symbols[i] == 0U ? scale : -scale;
   }
-  result.wire_bytes = (gradient.size() + 7) / 8 + 4;
   return result;
 }
 
@@ -28,27 +38,42 @@ Qsgd::Qsgd(std::uint32_t levels, std::uint64_t seed)
 QuantizeResult Qsgd::quantize(std::span<const float> gradient) {
   util::check(!gradient.empty(), "cannot quantize an empty gradient");
   const double norm = tensor::l2_norm(gradient);
-  QuantizeResult result;
-  result.dequantized.resize(gradient.size());
-  if (norm == 0.0) {
-    result.wire_bytes = 4;
-    return result;
-  }
+  const auto wire_norm = static_cast<float>(norm);
   const double s = static_cast<double>(levels_);
-  for (std::size_t i = 0; i < gradient.size(); ++i) {
-    const double magnitude = std::fabs(gradient[i]) / norm;  // in [0, 1]
-    const double scaled = magnitude * s;
-    const double floor_level = std::floor(scaled);
-    // Stochastic rounding keeps the estimator unbiased.
-    const double level =
-        floor_level + (rng_.uniform() < scaled - floor_level ? 1.0 : 0.0);
-    const double value = norm * level / s;
-    result.dequantized[i] =
-        static_cast<float>(gradient[i] >= 0.0F ? value : -value);
+
+  payload_.scale = wire_norm;
+  // Zigzag-coded signed levels span [0, 2*levels]: sign + level index per
+  // element, the entropy-free upper bound of the paper's accounting.
+  payload_.symbol_bits =
+      static_cast<std::uint8_t>(std::bit_width(2 * levels_));
+  payload_.symbols.clear();
+  payload_.symbols.reserve(gradient.size());
+  for (float g : gradient) {
+    std::uint32_t level = 0;
+    if (norm != 0.0) {
+      const double magnitude = std::fabs(g) / norm;  // in [0, 1]
+      const double scaled = magnitude * s;
+      const double floor_level = std::floor(scaled);
+      // Stochastic rounding keeps the estimator unbiased.
+      level = static_cast<std::uint32_t>(
+          floor_level + (rng_.uniform() < scaled - floor_level ? 1.0 : 0.0));
+    }
+    // Zigzag: non-negative inputs map to 2l, negative to 2l - 1.
+    const bool negative = g < 0.0F && level > 0;
+    payload_.symbols.push_back(negative ? 2 * level - 1 : 2 * level);
   }
-  // sign + level index per element, entropy-free upper bound.
-  const unsigned bits_per_elem = std::bit_width(2 * levels_ + 1);
-  result.wire_bytes = (gradient.size() * bits_per_elem + 7) / 8 + 4;
+
+  QuantizeResult result;
+  result.wire_bytes = comm::encode_quantized(payload_, result.encoded);
+  // Receiver view: reconstruct from the fp32 wire norm.
+  result.dequantized.resize(gradient.size());
+  for (std::size_t i = 0; i < gradient.size(); ++i) {
+    const std::uint32_t symbol = payload_.symbols[i];
+    const bool negative = (symbol & 1U) != 0;
+    const auto level = static_cast<double>((symbol + 1) / 2);
+    const double value = static_cast<double>(wire_norm) * level / s;
+    result.dequantized[i] = static_cast<float>(negative ? -value : value);
+  }
   return result;
 }
 

@@ -9,8 +9,12 @@
 //               vector (Alistarh et al.), unbiased.
 //
 // Quantizers are not Compressors (they output dense low-precision payloads,
-// not index/value pairs), so they expose their own interface with an
-// explicit wire-volume accounting.
+// not index/value pairs), so they expose their own interface.  Wire volume
+// is measured, not modeled: each quantize() serializes the payload through
+// the comm codec (header + fp32 scale + bit-packed symbols) and reports the
+// encoded buffer's actual size; the dequantized view is reconstructed from
+// that payload — scale at wire (fp32) precision — so it is exactly what a
+// receiver would decode.
 #pragma once
 
 #include <cstdint>
@@ -18,14 +22,17 @@
 #include <string_view>
 #include <vector>
 
+#include "comm/codec.h"
 #include "util/rng.h"
 
 namespace sidco::compressors {
 
 struct QuantizeResult {
-  /// Dequantized gradient (what the receiver reconstructs).
+  /// Dequantized gradient (what the receiver reconstructs from `encoded`).
   std::vector<float> dequantized;
-  /// Modeled wire bytes for the quantized payload.
+  /// The serialized wire payload (comm codec quantized message).
+  std::vector<std::uint8_t> encoded;
+  /// Measured wire bytes: encoded.size().
   std::size_t wire_bytes = 0;
 
   /// Volume reduction relative to float32.
@@ -49,16 +56,20 @@ class Quantizer {
   Quantizer() = default;
 };
 
-/// sign(g) * mean(|g|): 1 bit/element + 4 bytes of scale.
+/// sign(g) * mean(|g|): 1 bit/element + the scale, on a real wire buffer.
 class SignSgd final : public Quantizer {
  public:
   SignSgd() = default;
   QuantizeResult quantize(std::span<const float> gradient) override;
   [[nodiscard]] std::string_view name() const override { return "SignSGD"; }
+
+ private:
+  comm::QuantizedPayload payload_;  ///< reused encode scratch
 };
 
 /// QSGD with `levels` uniform levels on |g| / ||g||_2, stochastic rounding.
-/// Wire cost model: ceil(log2(2*levels + 1)) bits/element + 4-byte norm.
+/// Signed levels travel zigzag-coded in ceil(log2(2*levels + 1)) bits each,
+/// plus the 4-byte norm, bit-packed by the comm codec.
 class Qsgd final : public Quantizer {
  public:
   Qsgd(std::uint32_t levels, std::uint64_t seed);
@@ -69,6 +80,7 @@ class Qsgd final : public Quantizer {
  private:
   std::uint32_t levels_;
   util::Rng rng_;
+  comm::QuantizedPayload payload_;  ///< reused encode scratch
 };
 
 }  // namespace sidco::compressors

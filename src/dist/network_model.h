@@ -50,10 +50,15 @@ class NetworkModel {
 
   [[nodiscard]] const NetworkConfig& config() const { return config_; }
 
-  /// Wire bytes of a dense float32 gradient of dimension `n`.
+  /// Raw bytes of a dense float32 gradient of dimension `n` — the
+  /// dense-equivalent denominator of measured wire ratios, and the payload
+  /// model of the uncompressed baseline in closed-form analyses.
   [[nodiscard]] static std::size_t dense_bytes(std::size_t n) { return 4 * n; }
 
-  /// Wire bytes of k (uint32 index, float32 value) pairs.
+  /// Analytic wire estimate of k (uint32 index, float32 value) pairs.  The
+  /// session drivers no longer price communication from this idealization —
+  /// they measure the comm::codec-encoded payloads — but the closed-form
+  /// benches and timing tests still exercise it.
   [[nodiscard]] static std::size_t sparse_bytes(std::size_t k) { return 8 * k; }
 
  private:

@@ -332,6 +332,8 @@ ScenarioMetrics run_scenario(const Scenario& scenario) {
           ? 0.0
           : fraction / static_cast<double>(result.iterations.size());
   metrics.simulated_wall_seconds = result.total_modeled_seconds;
+  metrics.wire_bytes = result.total_wire_bytes;
+  metrics.effective_ratio = result.effective_wire_ratio();
   metrics.mean_staleness = result.mean_staleness();
   metrics.staleness_histogram = result.staleness_histogram;
   return metrics;
@@ -352,6 +354,8 @@ std::string format_metrics(std::span<const ScenarioMetrics> metrics) {
         << " quality=" << format_g(m.final_quality)
         << " frac=" << format_g(m.mean_selected_fraction)
         << " wall=" << format_g(m.simulated_wall_seconds)
+        << " bytes=" << m.wire_bytes
+        << " eff=" << format_g(m.effective_ratio)
         << " mean_stale=" << format_g(m.mean_staleness) << " stale=";
     for (std::size_t s = 0; s < m.staleness_histogram.size(); ++s) {
       if (s > 0) out << '|';
@@ -389,6 +393,10 @@ bool parse_golden_line(const std::string& line, ScenarioMetrics& out) {
         out.mean_selected_fraction = std::stod(value);
       } else if (key == "wall") {
         out.simulated_wall_seconds = std::stod(value);
+      } else if (key == "bytes") {
+        out.wire_bytes = static_cast<std::size_t>(std::stoull(value));
+      } else if (key == "eff") {
+        out.effective_ratio = std::stod(value);
       } else if (key == "mean_stale") {
         out.mean_staleness = std::stod(value);
       } else if (key == "stale") {
@@ -469,6 +477,16 @@ GoldenReport compare_with_golden(std::span<const ScenarioMetrics> metrics,
                     tolerance.wall_rel)) {
       field_diff("wall", fresh.simulated_wall_seconds,
                  want.simulated_wall_seconds);
+    }
+    if (!within_rel(static_cast<double>(fresh.wire_bytes),
+                    static_cast<double>(want.wire_bytes),
+                    tolerance.wire_rel)) {
+      field_diff("bytes", static_cast<double>(fresh.wire_bytes),
+                 static_cast<double>(want.wire_bytes));
+    }
+    if (!within_rel(fresh.effective_ratio, want.effective_ratio,
+                    tolerance.wire_rel)) {
+      field_diff("eff", fresh.effective_ratio, want.effective_ratio);
     }
     if (std::abs(fresh.mean_staleness - want.mean_staleness) >
         tolerance.staleness_abs) {

@@ -20,7 +20,8 @@
 //
 // Each cell runs one deterministic run_session() (analytic device model) and
 // reports golden-comparable metrics: final loss, quality, mean selected
-// fraction, simulated wall-clock, and the staleness histogram.  Golden files
+// fraction, simulated wall-clock, measured bytes-on-wire with the effective
+// compression ratio, and the staleness histogram.  Golden files
 // are plain text (one cell per line, format_metrics); comparisons apply
 // per-field tolerances so behavioral regressions fail while cross-compiler
 // floating-point jitter does not.  `tools/run_scenarios --update-golden`
@@ -93,6 +94,12 @@ struct ScenarioMetrics {
   double final_quality = 0.0;
   double mean_selected_fraction = 0.0;
   double simulated_wall_seconds = 0.0;
+  /// Measured bytes-on-wire over the whole session (comm-codec payloads at
+  /// the proxy dimension; pushes plus PS pulls).
+  std::size_t wire_bytes = 0;
+  /// Measured bytes relative to dense-fp32 traffic on the same schedule
+  /// (SessionResult::effective_wire_ratio).
+  double effective_ratio = 0.0;
   double mean_staleness = 0.0;
   std::vector<std::size_t> staleness_histogram;
 };
@@ -113,6 +120,10 @@ struct GoldenTolerance {
   double quality_abs = 0.05;     ///< quality values are fractions in [0, 1]
   double fraction_rel = 0.10;
   double wall_rel = 0.10;
+  /// Measured bytes-on-wire (and effective ratio) may drift with
+  /// cross-compiler training jitter, but a >10% regression is a real wire
+  /// format / selection change — the CI gate the codec goldens hang off.
+  double wire_rel = 0.10;
   double staleness_abs = 0.5;    ///< tolerance on the histogram mean
 };
 

@@ -6,6 +6,8 @@
 #include <memory>
 #include <utility>
 
+#include "comm/aggregate.h"
+#include "comm/codec.h"
 #include "dist/event_sim.h"
 #include "dist/worker.h"
 #include "nn/optimizer.h"
@@ -50,6 +52,13 @@ std::size_t SessionResult::max_staleness() const {
     if (staleness_histogram[s - 1] > 0) return s - 1;
   }
   return 0;
+}
+
+double SessionResult::effective_wire_ratio() const {
+  return total_dense_equiv_bytes == 0
+             ? 0.0
+             : static_cast<double>(total_wire_bytes) /
+                   static_cast<double>(total_dense_equiv_bytes);
 }
 
 double SessionResult::throughput_samples_per_second() const {
@@ -113,6 +122,47 @@ double worker_scale(const SessionConfig& config, std::size_t w) {
                                           : config.worker_time_scale[w];
 }
 
+/// Scales a measured proxy-dimension payload size to the timing dimension
+/// (headers and per-element costs scale linearly — a conservative model of
+/// re-encoding the same density at paper scale).
+std::size_t payload_timing_bytes(std::size_t measured_bytes, std::size_t dim,
+                                 std::size_t timing_dim) {
+  if (timing_dim == dim) return measured_bytes;
+  const double scaled = static_cast<double>(measured_bytes) *
+                        static_cast<double>(timing_dim) /
+                        static_cast<double>(dim);
+  return static_cast<std::size_t>(std::ceil(std::max(scaled, 1.0)));
+}
+
+/// Mean measured push-payload bytes per worker this iteration, scaled to the
+/// timing dimension.  Shared verbatim by the event driver and the frozen
+/// reference loop — their timing bit-identity contract rests on running the
+/// exact same arithmetic here.
+std::size_t mean_push_timing_bytes(const std::vector<WorkerStepResult>& steps,
+                                   std::size_t dim, std::size_t timing_dim) {
+  double sum = 0.0;
+  for (const WorkerStepResult& s : steps) {
+    sum += static_cast<double>(s.wire_bytes);
+  }
+  const double mean = sum / static_cast<double>(steps.size());
+  const double scaled =
+      mean * static_cast<double>(timing_dim) / static_cast<double>(dim);
+  return static_cast<std::size_t>(std::ceil(std::max(scaled, 1.0)));
+}
+
+/// Modeled allreduce seconds of the uncompressed wire payload (a dense fp32
+/// comm-codec message at the proxy dimension, scaled to timing_dim) — the
+/// anchor from which compute time is pinned so that for the uncompressed run
+/// comm / (comm + compute) reproduces the benchmark's measured communication
+/// overhead by construction.  Every uncompressed worker push serializes to
+/// exactly this payload, so the identity is exact, headers included.
+double dense_payload_comm_seconds(const NetworkModel& network, std::size_t dim,
+                                  std::size_t timing_dim) {
+  return network.dense_allreduce_seconds(payload_timing_bytes(
+      comm::encoded_dense_bytes(dim, comm::ValueMode::kFp32), dim,
+      timing_dim));
+}
+
 /// Shared timing inputs: modeled compute seconds are pinned so that for the
 /// uncompressed synchronous run comm / (comm + compute) reproduces the
 /// benchmark's measured communication overhead (Table 1) by construction.
@@ -134,8 +184,7 @@ TimingContext make_timing(const SessionConfig& config, std::size_t dim) {
                   .dim = dim,
                   .timing_dim =
                       config.paper_scale_timing ? spec.paper_parameters : dim};
-  t.dense_comm = t.network.dense_allreduce_seconds(
-      NetworkModel::dense_bytes(t.timing_dim));
+  t.dense_comm = dense_payload_comm_seconds(t.network, dim, t.timing_dim);
   const double overhead = spec.comm_overhead;
   util::check(overhead > 0.0 && overhead < 1.0,
               "benchmark comm overhead must be in (0, 1)");
@@ -156,18 +205,6 @@ double common_compression_seconds(const SessionConfig& config,
                                             t.dim)
              : t.device.gpu_seconds(config.scheme, t.timing_dim,
                                     config.target_ratio, max_stages);
-}
-
-/// Wire bytes of one worker's payload, scaled to the timing dimension.
-std::size_t push_bytes(const SessionConfig& config, const TimingContext& t,
-                       double achieved_ratio) {
-  if (config.scheme == core::Scheme::kNone) {
-    return NetworkModel::dense_bytes(t.timing_dim);
-  }
-  const double k_timing =
-      achieved_ratio * static_cast<double>(t.timing_dim);
-  return NetworkModel::sparse_bytes(
-      static_cast<std::size_t>(std::ceil(std::max(k_timing, 1.0))));
 }
 
 std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
@@ -219,8 +256,10 @@ SessionResult run_allreduce(const SessionConfig& config) {
   const TimingContext timing = make_timing(config, dim);
 
   const std::size_t chunks = config.overlap_chunks;
+  const bool wired = config.workers > 1;
   std::vector<WorkerStepResult> steps(config.workers);
   std::vector<double> produce(config.workers, 0.0);
+  comm::SparseAccumulator accumulator;
   const std::size_t eval_batch = std::max<std::size_t>(spec.batch_size, 1);
   double max_scale = 0.0;
   for (std::size_t w = 0; w < config.workers; ++w) {
@@ -230,14 +269,17 @@ SessionResult run_allreduce(const SessionConfig& config) {
   for (std::size_t iter = 0; iter < config.iterations; ++iter) {
     run_worker_steps(config, workers, spec.batch_size, steps);
 
-    // Modeled collective exchange + exact mean aggregation, then a
-    // synchronous update of every replica with the same averaged gradient.
-    std::vector<tensor::SparseGradient> parts;
-    parts.reserve(config.workers);
-    for (WorkerStepResult& s : steps) parts.push_back(std::move(s.sparse));
-    const std::vector<float> mean = tensor::aggregate_mean(
-        parts, dim, static_cast<double>(config.workers));
-    for (auto& worker : workers) worker->apply_update(mean);
+    // Collective exchange over the actual wire payloads: every replica
+    // decodes all workers' encoded gradients and reduces them to the mean
+    // (bit-identical to the dense reference mean), then applies the same
+    // averaged gradient synchronously.
+    accumulator.reset(dim);
+    const auto agg_scale =
+        static_cast<float>(1.0 / static_cast<double>(config.workers));
+    for (const WorkerStepResult& s : steps) {
+      accumulator.accumulate_encoded(s.encoded, agg_scale);
+    }
+    for (auto& worker : workers) worker->apply_update(accumulator.dense());
 
     IterationRecord record;
     double nnz = 0.0;
@@ -246,9 +288,10 @@ SessionResult run_allreduce(const SessionConfig& config) {
     for (std::size_t w = 0; w < config.workers; ++w) {
       record.train_loss += steps[w].train_loss;
       record.train_accuracy += steps[w].train_accuracy;
-      nnz += static_cast<double>(parts[w].nnz());
+      nnz += static_cast<double>(steps[w].sparse.nnz());
       measured += steps[w].measured_compression_seconds;
       stages = std::max(stages, steps[w].stages_used);
+      if (wired) record.wire_bytes += steps[w].wire_bytes;
     }
     const auto n = static_cast<double>(config.workers);
     record.train_loss /= n;
@@ -257,11 +300,16 @@ SessionResult run_allreduce(const SessionConfig& config) {
     measured /= n;
     record.achieved_ratio = nnz / static_cast<double>(dim);
     record.stages_used = stages;
+    result.total_wire_bytes += record.wire_bytes;
+    if (wired) {
+      result.total_dense_equiv_bytes +=
+          config.workers * NetworkModel::dense_bytes(dim);
+    }
 
     const double compression =
         common_compression_seconds(config, timing, stages, measured);
     const std::size_t total_bytes =
-        push_bytes(config, timing, record.achieved_ratio);
+        mean_push_timing_bytes(steps, dim, timing.timing_dim);
     const std::size_t chunk_bytes = ceil_div(total_bytes, chunks);
     const double chunk_comm =
         config.scheme == core::Scheme::kNone
@@ -311,6 +359,8 @@ SessionResult run_allreduce(const SessionConfig& config) {
 /// One worker's contribution to a round, staged until the round aggregates.
 struct RoundPart {
   tensor::SparseGradient sparse;
+  std::vector<std::uint8_t> encoded;  ///< the wire payload actually pushed
+  std::size_t wire_bytes = 0;         ///< encoded.size(), proxy dimension
   double train_loss = 0.0;
   double train_accuracy = 0.0;
   double compression_seconds = 0.0;  ///< modeled, speed-scaled
@@ -367,6 +417,13 @@ SessionResult run_parameter_server(const SessionConfig& config) {
   std::vector<double> apply_time(rounds, 0.0);
   std::size_t version = 0;  // rounds applied so far
 
+  // Server-side aggregation state: decoded-payload accumulation plus the
+  // scratch for serializing each round's mean update (the pull payload whose
+  // measured size exposes aggregation-side densification).  All reused.
+  comm::SparseAccumulator accumulator;
+  tensor::SparseGradient update_scratch;
+  std::vector<std::uint8_t> update_encoded;
+
   std::vector<std::size_t> worker_version(n, 0);  // version last pulled
   std::vector<bool> blocked(n, false);
   std::vector<std::size_t> blocked_round(n, 0);
@@ -392,6 +449,8 @@ SessionResult run_parameter_server(const SessionConfig& config) {
     const double scale = worker_scale(config, w);
     RoundPart& part = buckets[round].parts[w];
     part.sparse = std::move(step.sparse);
+    part.encoded = std::move(step.encoded);
+    part.wire_bytes = step.wire_bytes;
     part.train_loss = step.train_loss;
     part.train_accuracy = step.train_accuracy;
     part.compression_seconds = scale * compression;
@@ -415,13 +474,22 @@ SessionResult run_parameter_server(const SessionConfig& config) {
       for (std::size_t r = worker_version[w]; r < version; ++r) {
         bytes += pull_bytes_of_round[r];
       }
+      if (wired) {
+        // One pull event ships the missed round updates; a dense system
+        // would ship the parameter vector once.
+        result.total_wire_bytes += bytes;
+        result.total_dense_equiv_bytes += NetworkModel::dense_bytes(dim);
+      }
       // Snapshot semantics: the transfer carries the parameters as of pull
       // start, so the replica is overwritten now and compute begins when the
       // wire drains.
       workers[w]->overwrite_parameters(server_params);
       worker_version[w] = version;
-      queue.push(wired ? link.transfer(now, bytes) : now, w,
-                 EventKind::kPullDone, round);
+      queue.push(wired ? link.transfer(
+                             now, payload_timing_bytes(bytes, dim,
+                                                       timing.timing_dim))
+                       : now,
+                 w, EventKind::kPullDone, round);
       return;
     }
     compute(w, round, now);
@@ -430,22 +498,20 @@ SessionResult run_parameter_server(const SessionConfig& config) {
   // Applies round r (all n contributions arrived) at simulated time `now`.
   const auto apply_round = [&](std::size_t r, double now) {
     RoundBucket& bucket = buckets[r];
-    std::vector<tensor::SparseGradient> parts;
-    parts.reserve(n);
-    for (RoundPart& p : bucket.parts) parts.push_back(std::move(p.sparse));
-    const std::vector<float> mean =
-        tensor::aggregate_mean(parts, dim, static_cast<double>(n));
+    // PS-side accumulate over the decoded wire payloads, in worker order —
+    // bit-identical to the dense reference mean of the decoded gradients.
+    accumulator.reset(dim);
+    const auto agg_scale = static_cast<float>(1.0 / static_cast<double>(n));
+    for (const RoundPart& p : bucket.parts) {
+      accumulator.accumulate_encoded(p.encoded, agg_scale);
+    }
+    const std::span<const float> mean = accumulator.dense();
 
-    std::size_t update_nnz = 0;
-    for (float v : mean) update_nnz += v != 0.0F ? 1 : 0;
-    pull_bytes_of_round[r] =
-        config.scheme == core::Scheme::kNone
-            ? NetworkModel::dense_bytes(timing.timing_dim)
-            : NetworkModel::sparse_bytes(static_cast<std::size_t>(std::ceil(
-                  std::max(static_cast<double>(update_nnz) /
-                               static_cast<double>(dim) *
-                               static_cast<double>(timing.timing_dim),
-                           1.0))));
+    // Serialize the round's mean update as it would be pulled: the union of
+    // worker supports densifies, and the measured payload — not an analytic
+    // nnz estimate — is what pulls pay for.
+    pull_bytes_of_round[r] = comm::encode_dense_or_sparse(
+        mean, comm::ValueMode::kFp32, update_scratch, update_encoded);
 
     server_optimizer.step(server_params, mean);
     version = r + 1;
@@ -459,10 +525,15 @@ SessionResult run_parameter_server(const SessionConfig& config) {
       const RoundPart& p = bucket.parts[w];
       record.train_loss += p.train_loss;
       record.train_accuracy += p.train_accuracy;
-      nnz += static_cast<double>(parts[w].nnz());
+      nnz += static_cast<double>(p.sparse.nnz());
       max_compression = std::max(max_compression, p.compression_seconds);
       stages = std::max(stages, p.stages_used);
       result.staleness_histogram[p.staleness] += 1;
+      if (wired) record.wire_bytes += p.wire_bytes;
+    }
+    result.total_wire_bytes += record.wire_bytes;
+    if (wired) {
+      result.total_dense_equiv_bytes += n * NetworkModel::dense_bytes(dim);
     }
     const auto nd = static_cast<double>(n);
     record.train_loss /= nd;
@@ -523,8 +594,8 @@ SessionResult run_parameter_server(const SessionConfig& config) {
         break;
       case EventKind::kStepDone: {
         const RoundPart& part = buckets[event.round].parts[event.worker];
-        const std::size_t bytes =
-            push_bytes(config, timing, part.sparse.density());
+        const std::size_t bytes = payload_timing_bytes(
+            part.wire_bytes, dim, timing.timing_dim);
         queue.push(wired ? link.transfer(event.time, bytes) : event.time,
                    event.worker, EventKind::kPushArrive, event.round);
         // The device is free as soon as the NIC owns the payload.
@@ -567,7 +638,11 @@ SessionResult run_session(const SessionConfig& config) {
 
 // ---------------------------------------------------------------------------
 // Frozen pre-event-runtime synchronous loop.  Regression oracle for the
-// event drivers above — do not modify alongside them (that is the point).
+// event drivers above — its control flow must not be modified alongside them
+// (that is the point).  Byte accounting is the one shared piece: both sides
+// price communication from the measured wire payloads via the exact same
+// helper (mean_push_timing_bytes), so the timing bit-identity contract keeps
+// holding while the payload model evolves.
 // ---------------------------------------------------------------------------
 SessionResult run_session_reference(const SessionConfig& config) {
   util::check(config.workers >= 1, "session needs >= 1 worker");
@@ -594,7 +669,7 @@ SessionResult run_session_reference(const SessionConfig& config) {
   const std::size_t timing_dim =
       config.paper_scale_timing ? spec.paper_parameters : dim;
   const double dense_comm =
-      network.dense_allreduce_seconds(NetworkModel::dense_bytes(timing_dim));
+      dense_payload_comm_seconds(network, dim, timing_dim);
   // Compute time is pinned so that comm / (comm + compute) reproduces the
   // benchmark's measured communication overhead (Table 1) by construction.
   const double overhead = spec.comm_overhead;
@@ -622,12 +697,14 @@ SessionResult run_session_reference(const SessionConfig& config) {
     double nnz = 0.0;
     double measured = 0.0;
     int stages = 1;
+    const bool wired = config.workers > 1;
     for (std::size_t w = 0; w < config.workers; ++w) {
       record.train_loss += steps[w].train_loss;
       record.train_accuracy += steps[w].train_accuracy;
       nnz += static_cast<double>(parts[w].nnz());
       measured += steps[w].measured_compression_seconds;
       stages = std::max(stages, steps[w].stages_used);
+      if (wired) record.wire_bytes += steps[w].wire_bytes;
     }
     const auto n = static_cast<double>(config.workers);
     record.train_loss /= n;
@@ -636,11 +713,17 @@ SessionResult run_session_reference(const SessionConfig& config) {
     measured /= n;
     record.achieved_ratio = nnz / static_cast<double>(dim);
     record.stages_used = stages;
+    result.total_wire_bytes += record.wire_bytes;
+    if (wired) {
+      result.total_dense_equiv_bytes +=
+          config.workers * NetworkModel::dense_bytes(dim);
+    }
 
     record.compute_seconds = compute_seconds;
     if (config.scheme == core::Scheme::kNone) {
       record.compression_seconds = 0.0;
-      record.communication_seconds = dense_comm;
+      record.communication_seconds = network.dense_allreduce_seconds(
+          mean_push_timing_bytes(steps, dim, timing_dim));
     } else {
       record.compression_seconds =
           config.device == Device::kCpuMeasured
@@ -648,12 +731,10 @@ SessionResult run_session_reference(const SessionConfig& config) {
                                            config.target_ratio, measured, dim)
               : device.gpu_seconds(config.scheme, timing_dim,
                                    config.target_ratio, stages);
-      // The wire carries each worker's k-hat pairs, scaled to timing_dim.
-      const double k_timing = record.achieved_ratio *
-                              static_cast<double>(timing_dim);
+      // The wire carries each worker's measured encoded payload, scaled to
+      // timing_dim.
       record.communication_seconds = network.sparse_allgather_seconds(
-          NetworkModel::sparse_bytes(static_cast<std::size_t>(
-              std::ceil(std::max(k_timing, 1.0)))));
+          mean_push_timing_bytes(steps, dim, timing_dim));
     }
     result.total_modeled_seconds += record.wall_seconds();
     result.iterations.push_back(record);

@@ -83,6 +83,12 @@ struct IterationRecord {
   double train_loss = 0.0;
   double train_accuracy = 0.0;
   double achieved_ratio = 0.0;
+  /// Measured bytes-on-wire of this iteration's worker pushes: the summed
+  /// sizes of the actual comm-codec payloads (proxy dimension).  Zero for
+  /// single-worker sessions — nothing crosses the wire.  Parameter-server
+  /// pull traffic is accounted on SessionResult::total_wire_bytes only
+  /// (pulls span rounds).
+  std::size_t wire_bytes = 0;
   int stages_used = 1;
   double compute_seconds = 0.0;
   double compression_seconds = 0.0;
@@ -128,6 +134,13 @@ struct SessionResult {
   double final_quality = 0.0;
   bool quality_higher_is_better = true;
   double total_modeled_seconds = 0.0;
+  /// Total measured bytes-on-wire serialized by the comm codec at the proxy
+  /// dimension: every worker push payload, plus parameter-pull payloads in
+  /// kParameterServer.  Zero when workers == 1.
+  std::size_t total_wire_bytes = 0;
+  /// Dense-fp32 equivalent of the same traffic (4 bytes x dimension per
+  /// payload) — the denominator of effective_wire_ratio().
+  std::size_t total_dense_equiv_bytes = 0;
   /// Final model parameters (worker-0 replica; the canonical server copy in
   /// kParameterServer).  Enables bit-identity regression tests.
   std::vector<float> final_parameters;
@@ -137,6 +150,13 @@ struct SessionResult {
 
   [[nodiscard]] double mean_staleness() const;
   [[nodiscard]] std::size_t max_staleness() const;
+
+  /// Measured bytes-on-wire relative to shipping dense fp32 payloads on the
+  /// same schedule: total_wire_bytes / total_dense_equiv_bytes.  This is the
+  /// honest counterpart of achieved_ratio — index-encoding overhead and
+  /// aggregation-side densification (PS pulls) land here.  0 when nothing
+  /// crossed the wire.
+  [[nodiscard]] double effective_wire_ratio() const;
 
   /// Aggregate samples/s under the modeled wall time.
   [[nodiscard]] double throughput_samples_per_second() const;

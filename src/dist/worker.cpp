@@ -65,8 +65,14 @@ WorkerStepResult Worker::step(std::size_t batch_size) {
     }
   }
 
+  // Serialize the payload as it would travel (outside the timed window, so
+  // measured compression latency stays a pure selection cost).
+  comm::encode_gradient(compressed_.sparse, comm::ValueMode::kFp32, encoded_);
+
   WorkerStepResult result;
   result.sparse = compressed_.sparse;  // copy: compressed_ keeps its capacity
+  result.encoded = encoded_;           // copy: encoded_ keeps its capacity
+  result.wire_bytes = encoded_.size();
   result.selected = result.sparse.nnz();
   result.train_loss = loss.loss;
   result.train_accuracy = loss.accuracy;

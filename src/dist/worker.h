@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "comm/codec.h"
 #include "compressors/compressor.h"
 #include "core/factory.h"
 #include "data/dataset.h"
@@ -26,6 +27,12 @@ namespace sidco::dist {
 
 struct WorkerStepResult {
   tensor::SparseGradient sparse;
+  /// The gradient as it would travel: a comm-codec message (sparse payload
+  /// with auto-selected index mode, or a dense message when every coordinate
+  /// is kept).  Its size is the measured bytes-on-wire for this push.
+  std::vector<std::uint8_t> encoded;
+  /// encoded.size() — measured, not modeled.
+  std::size_t wire_bytes = 0;
   std::size_t selected = 0;
   double train_loss = 0.0;
   double train_accuracy = 0.0;
@@ -84,6 +91,8 @@ class Worker {
   /// steady-state (allocation-free) kernel path, which is what the
   /// CPU-measured device model extrapolates from.
   compressors::CompressResult compressed_;
+  /// Reused wire-encode buffer (encoding sits outside the timed window).
+  std::vector<std::uint8_t> encoded_;
 };
 
 }  // namespace sidco::dist

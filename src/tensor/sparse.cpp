@@ -4,6 +4,15 @@
 
 namespace sidco::tensor {
 
+bool SparseGradient::is_canonical() const {
+  if (indices.size() != values.size()) return false;
+  for (std::size_t j = 0; j < indices.size(); ++j) {
+    if (indices[j] >= dense_dim) return false;
+    if (j > 0 && indices[j - 1] >= indices[j]) return false;
+  }
+  return true;
+}
+
 std::vector<float> SparseGradient::to_dense() const {
   std::vector<float> dense(dense_dim, 0.0F);
   add_to(dense);
@@ -17,6 +26,10 @@ void SparseGradient::add_to(std::span<float> out, float scale) const {
               "sparse gradient index/value arity mismatch");
   for (std::size_t i = 0; i < indices.size(); ++i) {
     SIDCO_DCHECK(indices[i] < dense_dim, "sparse index out of range");
+    // Unsorted or duplicate indices would silently mis-sum downstream
+    // consumers that assume one contribution per coordinate.
+    SIDCO_DCHECK(i == 0 || indices[i - 1] < indices[i],
+                 "sparse indices must be strictly increasing");
     out[indices[i]] += scale * values[i];
   }
 }

@@ -1,9 +1,11 @@
 // Sparse gradient representation produced by all compressors.
 //
 // A compressed gradient is a pair of parallel arrays (indices, values) plus
-// the dense dimension.  Wire volume is modeled as 4 bytes per index + 4 bytes
-// per value, matching the (int32, float32) encoding used by sparse allgather
-// in Horovod-style systems.
+// the dense dimension.  Canonical form — indices strictly increasing and in
+// range — is required by every consumer (equality, merge, aggregation, the
+// wire codec); is_canonical() spells the invariant out, debug builds assert
+// it on the accumulation paths, and comm::check_canonical() enforces it
+// unconditionally where payloads may come from a decoder.
 #pragma once
 
 #include <cstdint>
@@ -26,8 +28,17 @@ struct SparseGradient {
                                 static_cast<double>(dense_dim);
   }
 
-  /// Bytes on the wire: (index + value) per kept element.
+  /// Analytic wire estimate: (4-byte index + 4-byte value) per kept element,
+  /// the (int32, float32) sparse-allgather encoding of Horovod-style
+  /// systems.  The dist runtime now prices communication from real encoded
+  /// buffers (comm::encode_sparse) instead; this estimate remains for the
+  /// paper-figure benches that reproduce the idealized accounting.
   [[nodiscard]] std::size_t wire_bytes() const { return nnz() * 8; }
+
+  /// Canonical-form invariant shared by every consumer: index/value arity
+  /// match, and indices are strictly increasing (hence unique) and all
+  /// < dense_dim.  Vacuously true for an empty gradient.
+  [[nodiscard]] bool is_canonical() const;
 
   /// Scatters values into a dense vector of zeros.
   [[nodiscard]] std::vector<float> to_dense() const;

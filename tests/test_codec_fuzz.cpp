@@ -1,0 +1,387 @@
+// Deterministic round-trip property fuzz for the comm wire codec.
+//
+// Three layers of coverage:
+//  - synthetic sparse sets (every density regime, crafted index patterns,
+//    sizes {0, 1, kernel-block boundaries, primes, 2^18}): decode(encode(g))
+//    is bit-exact, the encoded size is header + min(varint, bitmap) + values,
+//    and the index-mode auto-select flips exactly at the predicted density
+//    boundary;
+//  - every factory scheme's real output on random gradients round-trips
+//    bit-exactly (fp32) and idempotently (fp16);
+//  - hostile buffers (bad magic/version/kind/flags, truncation, trailing
+//    bytes, out-of-range indices, bitmap popcount lies) throw CheckError.
+// Deterministic "fuzzing": fixed seeds, so failures reproduce.  Runs under
+// ASan/UBSan in CI via the `unit`/`comm` labels.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "comm/codec.h"
+#include "core/factory.h"
+#include "tensor/vector_ops.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sidco {
+namespace {
+
+constexpr std::size_t kBlock = tensor::kKernelBlock;
+
+const std::vector<std::size_t>& fuzz_dims() {
+  static const std::vector<std::size_t> kDims = {
+      0,          1,      2,          3,      31,    997,
+      kBlock - 1, kBlock, kBlock + 1, 65537,  131071, 262144};
+  return kDims;
+}
+
+/// Uniform random sparse set with `k` of `d` coordinates, canonical order.
+tensor::SparseGradient random_sparse(std::size_t d, std::size_t k,
+                                     std::uint64_t seed) {
+  tensor::SparseGradient g;
+  g.dense_dim = d;
+  util::Rng rng(seed);
+  std::normal_distribution<float> normal(0.0F, 1.0F);
+  // Floyd-style distinct sampling via a bitmap walk (deterministic order).
+  std::vector<bool> keep(d, false);
+  std::size_t placed = 0;
+  while (placed < k) {
+    const auto i = static_cast<std::size_t>(rng.uniform_index(d));
+    if (!keep[i]) {
+      keep[i] = true;
+      ++placed;
+    }
+  }
+  for (std::size_t i = 0; i < d; ++i) {
+    if (keep[i]) {
+      g.indices.push_back(static_cast<std::uint32_t>(i));
+      g.values.push_back(normal(rng));
+    }
+  }
+  return g;
+}
+
+void expect_bit_exact(const tensor::SparseGradient& got,
+                      const tensor::SparseGradient& want) {
+  ASSERT_EQ(got.dense_dim, want.dense_dim);
+  ASSERT_EQ(got.indices, want.indices);
+  ASSERT_EQ(got.values.size(), want.values.size());
+  for (std::size_t j = 0; j < got.values.size(); ++j) {
+    // Bit equality, not ==: keeps NaN payloads and signed zeros honest.
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(got.values[j]),
+              std::bit_cast<std::uint32_t>(want.values[j]))
+        << "value " << j;
+  }
+}
+
+TEST(CodecFuzz, SparseRoundTripAcrossDensities) {
+  std::vector<std::uint8_t> buffer;
+  tensor::SparseGradient decoded;
+  for (std::size_t d : fuzz_dims()) {
+    for (double density : {0.0, 0.001, 0.01, 0.1, 0.126, 0.5, 1.0}) {
+      const auto k = static_cast<std::size_t>(
+          std::floor(density * static_cast<double>(d)));
+      const std::uint64_t seed = 0xC0DECULL ^ (d * 2654435761ULL) ^ k;
+      const tensor::SparseGradient g = random_sparse(d, k, seed);
+
+      const std::size_t encoded = comm::encode_sparse(
+          g, comm::ValueMode::kFp32, buffer);
+      ASSERT_EQ(encoded, buffer.size());
+      // Size law: header + the cheaper index section + fp32 values.
+      const std::size_t index_bytes =
+          std::min(comm::varint_index_bytes(g), comm::bitmap_index_bytes(d));
+      ASSERT_EQ(encoded, comm::kHeaderBytes + index_bytes + 4 * g.nnz());
+      ASSERT_EQ(encoded, comm::encoded_sparse_bytes(g, comm::ValueMode::kFp32));
+
+      const comm::MessageInfo info = comm::decode_sparse(buffer, decoded);
+      ASSERT_EQ(info.count, g.nnz());
+      ASSERT_EQ(info.dense_dim, d);
+      ASSERT_EQ(info.index_mode, comm::select_index_mode(g));
+      expect_bit_exact(decoded, g);
+    }
+  }
+}
+
+TEST(CodecFuzz, IndexModeFlipsAtThePredictedBoundary) {
+  // Consecutive indices starting at 0: every varint is one byte, so the
+  // varint section costs exactly nnz bytes while the bitmap costs
+  // ceil(d / 8) regardless.  The auto-select must therefore flip from
+  // varint to bitmap exactly when nnz exceeds ceil(d / 8).
+  for (std::size_t d : {64UL, 1000UL, 4096UL, 65536UL}) {
+    const std::size_t boundary = comm::bitmap_index_bytes(d);
+    for (std::size_t k : {boundary - 1, boundary, boundary + 1}) {
+      tensor::SparseGradient g;
+      g.dense_dim = d;
+      for (std::size_t i = 0; i < k; ++i) {
+        g.indices.push_back(static_cast<std::uint32_t>(i));
+        g.values.push_back(1.0F);
+      }
+      ASSERT_EQ(comm::varint_index_bytes(g), k);
+      const comm::IndexMode want = k <= boundary
+                                       ? comm::IndexMode::kVarintDelta
+                                       : comm::IndexMode::kBitmap;
+      EXPECT_EQ(comm::select_index_mode(g), want)
+          << "d=" << d << " k=" << k;
+    }
+  }
+}
+
+TEST(CodecFuzz, FactorySchemePayloadsRoundTripBitExact) {
+  std::vector<std::uint8_t> buffer;
+  tensor::SparseGradient decoded;
+  for (core::Scheme scheme : core::all_schemes()) {
+    for (std::size_t d : {1UL, 997UL, kBlock, kBlock + 1, 65537UL}) {
+      const double ratio = 0.01;
+      const std::uint64_t seed = 0xFACE5ULL ^ (d * 1315423911ULL);
+      util::Rng rng(seed);
+      std::normal_distribution<float> normal(0.0F, 1.0F);
+      std::vector<float> gradient(d);
+      for (float& x : gradient) x = normal(rng);
+
+      auto compressor = core::make_compressor(
+          scheme, scheme == core::Scheme::kNone ? 1.0 : ratio, seed);
+      const compressors::CompressResult result =
+          compressor->compress(gradient);
+
+      comm::encode_sparse(result.sparse, comm::ValueMode::kFp32, buffer);
+      comm::decode_sparse(buffer, decoded);
+      expect_bit_exact(decoded, result.sparse);
+
+      // The worker-push entry point (dense message when everything is kept)
+      // must round-trip to the same dense view.
+      comm::encode_gradient(result.sparse, comm::ValueMode::kFp32, buffer);
+      const comm::MessageInfo info = comm::peek_header(buffer);
+      if (result.sparse.nnz() == d) {
+        ASSERT_EQ(info.kind, comm::PayloadKind::kDense);
+        std::vector<float> dense;
+        comm::decode_dense(buffer, dense);
+        ASSERT_EQ(dense.size(), d);
+        for (std::size_t j = 0; j < d; ++j) {
+          EXPECT_EQ(std::bit_cast<std::uint32_t>(dense[j]),
+                    std::bit_cast<std::uint32_t>(result.sparse.values[j]));
+        }
+      } else {
+        ASSERT_EQ(info.kind, comm::PayloadKind::kSparse);
+      }
+    }
+  }
+}
+
+TEST(CodecFuzz, Fp16ModeIsIdempotent) {
+  // fp16 is lossy once (round-to-nearest-even) but must be exact from then
+  // on: decode(encode(g)) re-encodes to byte-identical buffers, and every
+  // decoded value equals the half-precision rounding of the input.
+  std::vector<std::uint8_t> first;
+  std::vector<std::uint8_t> second;
+  tensor::SparseGradient decoded;
+  tensor::SparseGradient twice;
+  for (std::size_t d : {1UL, 997UL, 65537UL}) {
+    const tensor::SparseGradient g = random_sparse(d, d / 7 + 1, 0xF16ULL ^ d);
+    comm::encode_sparse(g, comm::ValueMode::kFp16, first);
+    comm::decode_sparse(first, decoded);
+    ASSERT_EQ(decoded.indices, g.indices);
+    for (std::size_t j = 0; j < g.nnz(); ++j) {
+      EXPECT_EQ(std::bit_cast<std::uint32_t>(decoded.values[j]),
+                std::bit_cast<std::uint32_t>(comm::half_to_float(
+                    comm::float_to_half(g.values[j]))));
+    }
+    comm::encode_sparse(decoded, comm::ValueMode::kFp16, second);
+    ASSERT_EQ(first, second);
+    comm::decode_sparse(second, twice);
+    expect_bit_exact(twice, decoded);
+  }
+}
+
+TEST(CodecFuzz, HalfConversionCoversSpecialValues) {
+  // Exactly-representable halves survive unchanged.
+  for (float v : {0.0F, -0.0F, 1.0F, -1.0F, 0.5F, 65504.0F, -65504.0F,
+                  6.103515625e-05F /* smallest normal half */,
+                  5.960464477539063e-08F /* smallest subnormal half */}) {
+    EXPECT_EQ(comm::half_to_float(comm::float_to_half(v)), v) << v;
+  }
+  // Overflow saturates to infinity, infinities and NaN stay themselves.
+  EXPECT_TRUE(std::isinf(comm::half_to_float(comm::float_to_half(1e6F))));
+  EXPECT_TRUE(std::isinf(
+      comm::half_to_float(comm::float_to_half(
+          std::numeric_limits<float>::infinity()))));
+  EXPECT_TRUE(std::isnan(comm::half_to_float(comm::float_to_half(
+      std::numeric_limits<float>::quiet_NaN()))));
+  // Round-to-nearest-even at the midpoint: 1 + 2^-11 is exactly between
+  // 1.0 and the next half (1 + 2^-10); ties go to the even mantissa (1.0).
+  EXPECT_EQ(comm::half_to_float(comm::float_to_half(1.0F + 0x1p-11F)), 1.0F);
+  // Just above the midpoint rounds up.
+  EXPECT_EQ(comm::half_to_float(comm::float_to_half(1.0F + 0x1.8p-11F)),
+            1.0F + 0x1p-10F);
+}
+
+TEST(CodecFuzz, QuantizedPayloadRoundTripsAcrossSymbolWidths) {
+  std::vector<std::uint8_t> buffer;
+  comm::QuantizedPayload decoded;
+  for (std::uint8_t bits : {1, 2, 3, 7, 8, 13, 32}) {
+    for (std::size_t n : {1UL, 7UL, 64UL, 4097UL}) {
+      comm::QuantizedPayload payload;
+      payload.scale = 0.125F;
+      payload.symbol_bits = bits;
+      util::Rng rng(0x9A17ULL ^ bits ^ n);
+      const std::uint64_t mask =
+          bits == 32 ? 0xFFFFFFFFULL : (1ULL << bits) - 1;
+      for (std::size_t i = 0; i < n; ++i) {
+        payload.symbols.push_back(static_cast<std::uint32_t>(rng() & mask));
+      }
+      const std::size_t encoded = comm::encode_quantized(payload, buffer);
+      ASSERT_EQ(encoded,
+                comm::kHeaderBytes + 4 + (n * bits + 7) / 8);
+      const comm::MessageInfo info = comm::decode_quantized(buffer, decoded);
+      ASSERT_EQ(info.symbol_bits, bits);
+      ASSERT_EQ(decoded.scale, payload.scale);
+      ASSERT_EQ(decoded.symbols, payload.symbols);
+    }
+  }
+}
+
+TEST(CodecFuzz, HostileBuffersAreRejected) {
+  tensor::SparseGradient sink;
+  std::vector<std::uint8_t> buffer;
+  const tensor::SparseGradient g = random_sparse(1000, 50, 0xBAD5EEDULL);
+  comm::encode_sparse(g, comm::ValueMode::kFp32, buffer);
+
+  const auto expect_reject = [&](std::vector<std::uint8_t> mutant) {
+    EXPECT_THROW(comm::decode_sparse(mutant, sink), util::CheckError);
+  };
+
+  // Too short for a header.
+  expect_reject({0x53, 0x43, 0x01});
+  // Bad magic.
+  {
+    auto m = buffer;
+    m[0] ^= 0xFF;
+    expect_reject(std::move(m));
+  }
+  // Unknown version (the negative test the format contract hinges on).
+  {
+    auto m = buffer;
+    m[2] = comm::kWireVersion + 1;
+    expect_reject(std::move(m));
+  }
+  // Unknown kind and flag bits; nonzero reserved bytes and aux.
+  for (const auto& [at, value] :
+       {std::pair<std::size_t, std::uint8_t>{3, 0x07},
+        {4, 0x04}, {5, 0x01}, {6, 0x01}, {7, 0x80}}) {
+    auto m = buffer;
+    m[at] = value;
+    expect_reject(std::move(m));
+  }
+  // Truncated payload and trailing garbage.
+  {
+    auto m = buffer;
+    m.pop_back();
+    expect_reject(std::move(m));
+  }
+  {
+    auto m = buffer;
+    m.push_back(0);
+    expect_reject(std::move(m));
+  }
+  // nnz beyond dense_dim.
+  {
+    auto m = buffer;
+    m[16] = 0xFF;
+    m[17] = 0xFF;
+    expect_reject(std::move(m));
+  }
+  // A header-only buffer claiming 2^32 - 1 entries must be rejected by the
+  // size bound BEFORE any output storage is reserved (no multi-GB
+  // allocation on hostile input).
+  {
+    std::vector<std::uint8_t> m = {0x53, 0x43, 0x01, 0x00,
+                                   0x00, 0x00, 0x00, 0x00};
+    for (int i = 0; i < 4; ++i) m.push_back(0xFF);  // dense_dim low u32
+    for (int i = 0; i < 4; ++i) m.push_back(0x00);
+    for (int i = 0; i < 4; ++i) m.push_back(0xFF);  // count low u32
+    for (int i = 0; i < 4; ++i) m.push_back(0x00);
+    expect_reject(std::move(m));
+  }
+  // A varint index pointing past dense_dim: encode a 2-index gradient and
+  // enlarge the first delta beyond the dimension.
+  {
+    tensor::SparseGradient small;
+    small.dense_dim = 10;
+    small.indices = {1, 3};
+    small.values = {1.0F, 2.0F};
+    std::vector<std::uint8_t> m;
+    comm::encode_sparse(small, comm::ValueMode::kFp32, m);
+    m[comm::kHeaderBytes] = 9;  // first index 9, second lands at >= 11
+    expect_reject(std::move(m));
+  }
+  // Bitmap population lying about nnz.
+  {
+    tensor::SparseGradient dense_set = random_sparse(64, 60, 0xB17ULL);
+    std::vector<std::uint8_t> m;
+    comm::encode_sparse(dense_set, comm::ValueMode::kFp32, m);
+    ASSERT_EQ(comm::peek_header(m).index_mode, comm::IndexMode::kBitmap);
+    m[comm::kHeaderBytes] ^= 0x01;  // flip a bitmap bit
+    expect_reject(std::move(m));
+  }
+
+  // Kind/function mismatches.
+  std::vector<float> dense_sink;
+  EXPECT_THROW(comm::decode_dense(buffer, dense_sink), util::CheckError);
+  comm::QuantizedPayload quant_sink;
+  EXPECT_THROW(comm::decode_quantized(buffer, quant_sink), util::CheckError);
+}
+
+TEST(CodecFuzz, NonCanonicalGradientsAreRejectedAtEncode) {
+  std::vector<std::uint8_t> buffer;
+  tensor::SparseGradient unsorted;
+  unsorted.dense_dim = 10;
+  unsorted.indices = {3, 1};
+  unsorted.values = {1.0F, 2.0F};
+  EXPECT_FALSE(unsorted.is_canonical());
+  EXPECT_THROW(comm::encode_sparse(unsorted, comm::ValueMode::kFp32, buffer),
+               util::CheckError);
+
+  tensor::SparseGradient duplicate;
+  duplicate.dense_dim = 10;
+  duplicate.indices = {4, 4};
+  duplicate.values = {1.0F, 2.0F};
+  EXPECT_FALSE(duplicate.is_canonical());
+  EXPECT_THROW(comm::encode_sparse(duplicate, comm::ValueMode::kFp32, buffer),
+               util::CheckError);
+
+  tensor::SparseGradient out_of_range;
+  out_of_range.dense_dim = 10;
+  out_of_range.indices = {10};
+  out_of_range.values = {1.0F};
+  EXPECT_FALSE(out_of_range.is_canonical());
+  EXPECT_THROW(
+      comm::encode_sparse(out_of_range, comm::ValueMode::kFp32, buffer),
+      util::CheckError);
+}
+
+TEST(CodecFuzz, SteadyStateEncodeDecodeReusesBuffers) {
+  // After warm-up, repeated encode/decode of same-shape payloads must not
+  // grow capacity (the Workspace-style reuse contract).
+  std::vector<std::uint8_t> buffer;
+  tensor::SparseGradient decoded;
+  const tensor::SparseGradient g = random_sparse(65536, 1024, 0x5AFEULL);
+  comm::encode_sparse(g, comm::ValueMode::kFp32, buffer);
+  comm::decode_sparse(buffer, decoded);
+  const std::size_t buffer_cap = buffer.capacity();
+  const std::size_t index_cap = decoded.indices.capacity();
+  const std::size_t value_cap = decoded.values.capacity();
+  for (int round = 0; round < 8; ++round) {
+    comm::encode_sparse(g, comm::ValueMode::kFp32, buffer);
+    comm::decode_sparse(buffer, decoded);
+  }
+  EXPECT_EQ(buffer.capacity(), buffer_cap);
+  EXPECT_EQ(decoded.indices.capacity(), index_cap);
+  EXPECT_EQ(decoded.values.capacity(), value_cap);
+}
+
+}  // namespace
+}  // namespace sidco

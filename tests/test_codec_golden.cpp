@@ -1,0 +1,242 @@
+// Byte-exact wire-format stability for the comm codec.
+//
+// Committed binary fixtures under tests/fixtures/ pin the exact encoding of
+// one representative message per payload kind/mode.  Each test re-encodes
+// the same payload (constructed from literals — no RNG) and requires the
+// bytes to match the committed file exactly, so any layout drift — header
+// fields, endianness, varint packing, bitmap bit order, value encoding —
+// fails loudly instead of silently invalidating every stored payload.
+//
+// Regenerating after an INTENTIONAL format change (which must also bump
+// comm::kWireVersion):
+//   SIDCO_UPDATE_FIXTURES=1 ./build/tests/test_codec_golden
+// then commit the changed tests/fixtures/*.bin.
+//
+// Also here: a hand-derived expected byte sequence for one full message
+// (independent of the encoder, so encoder and fixture cannot drift
+// together), and the version-bump negative test — decoders must reject an
+// unknown version with CheckError.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "comm/codec.h"
+#include "util/check.h"
+
+#ifndef SIDCO_SOURCE_DIR
+#error "SIDCO_SOURCE_DIR must point at the repository root"
+#endif
+
+namespace sidco {
+namespace {
+
+std::string fixture_path(const std::string& name) {
+  return std::string(SIDCO_SOURCE_DIR) + "/tests/fixtures/" + name;
+}
+
+bool update_fixtures() {
+  const char* env = std::getenv("SIDCO_UPDATE_FIXTURES");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+std::vector<std::uint8_t> read_fixture(const std::string& name) {
+  std::ifstream in(fixture_path(name), std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << name
+                         << " (regenerate: SIDCO_UPDATE_FIXTURES=1 "
+                            "./tests/test_codec_golden)";
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void write_fixture(const std::string& name,
+                   const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(fixture_path(name), std::ios::binary);
+  ASSERT_TRUE(out.good()) << "cannot write fixture " << name;
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Encodes, then either regenerates the fixture (opt-in) or requires the
+/// committed bytes to match exactly.
+void check_against_fixture(const std::string& name,
+                           const std::vector<std::uint8_t>& encoded) {
+  if (update_fixtures()) {
+    write_fixture(name, encoded);
+    return;
+  }
+  const std::vector<std::uint8_t> committed = read_fixture(name);
+  ASSERT_EQ(encoded.size(), committed.size()) << name;
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    ASSERT_EQ(encoded[i], committed[i]) << name << " byte " << i;
+  }
+}
+
+// The fixed payloads.  Literals only: fixture stability must not depend on
+// any RNG or library numeric behavior.
+
+tensor::SparseGradient varint_payload() {
+  return {.indices = {0, 1, 7, 130, 999},
+          .values = {1.0F, -2.5F, 3.25F, -0.875F, 0.001F},
+          .dense_dim = 1000};
+}
+
+tensor::SparseGradient bitmap_payload() {
+  tensor::SparseGradient g;
+  g.dense_dim = 64;
+  for (std::uint32_t i = 0; i < 64; i += 2) {
+    g.indices.push_back(i);
+    g.values.push_back(static_cast<float>(i) * 0.5F - 8.0F);
+  }
+  return g;
+}
+
+tensor::SparseGradient empty_payload() {
+  return {.indices = {}, .values = {}, .dense_dim = 9};
+}
+
+std::vector<float> dense_payload() {
+  return {0.0F, -0.0F, 1.5F, -3.75F, 1024.0F, -0.015625F};
+}
+
+comm::QuantizedPayload quantized_payload() {
+  return {.scale = 0.5F,
+          .symbol_bits = 3,
+          .symbols = {0, 1, 2, 3, 4, 5, 6, 7, 7, 3, 1}};
+}
+
+TEST(CodecGolden, SparseVarintFp32) {
+  std::vector<std::uint8_t> encoded;
+  comm::encode_sparse(varint_payload(), comm::ValueMode::kFp32, encoded);
+  ASSERT_EQ(comm::peek_header(encoded).index_mode,
+            comm::IndexMode::kVarintDelta);
+  check_against_fixture("sparse_varint_fp32.bin", encoded);
+
+  tensor::SparseGradient decoded;
+  comm::decode_sparse(encoded, decoded);
+  EXPECT_EQ(decoded.indices, varint_payload().indices);
+  EXPECT_EQ(decoded.values, varint_payload().values);
+}
+
+TEST(CodecGolden, SparseBitmapFp32) {
+  std::vector<std::uint8_t> encoded;
+  comm::encode_sparse(bitmap_payload(), comm::ValueMode::kFp32, encoded);
+  ASSERT_EQ(comm::peek_header(encoded).index_mode, comm::IndexMode::kBitmap);
+  check_against_fixture("sparse_bitmap_fp32.bin", encoded);
+
+  tensor::SparseGradient decoded;
+  comm::decode_sparse(encoded, decoded);
+  EXPECT_EQ(decoded.indices, bitmap_payload().indices);
+  EXPECT_EQ(decoded.values, bitmap_payload().values);
+}
+
+TEST(CodecGolden, SparseVarintFp16) {
+  std::vector<std::uint8_t> encoded;
+  comm::encode_sparse(varint_payload(), comm::ValueMode::kFp16, encoded);
+  check_against_fixture("sparse_varint_fp16.bin", encoded);
+}
+
+TEST(CodecGolden, EmptySparse) {
+  std::vector<std::uint8_t> encoded;
+  comm::encode_sparse(empty_payload(), comm::ValueMode::kFp32, encoded);
+  EXPECT_EQ(encoded.size(), comm::kHeaderBytes);
+  check_against_fixture("sparse_empty_fp32.bin", encoded);
+
+  tensor::SparseGradient decoded;
+  comm::decode_sparse(encoded, decoded);
+  EXPECT_EQ(decoded.nnz(), 0U);
+  EXPECT_EQ(decoded.dense_dim, 9U);
+}
+
+TEST(CodecGolden, DenseFp32AndFp16) {
+  std::vector<std::uint8_t> encoded;
+  comm::encode_dense(dense_payload(), comm::ValueMode::kFp32, encoded);
+  check_against_fixture("dense_fp32.bin", encoded);
+  comm::encode_dense(dense_payload(), comm::ValueMode::kFp16, encoded);
+  check_against_fixture("dense_fp16.bin", encoded);
+}
+
+TEST(CodecGolden, Quantized3Bit) {
+  std::vector<std::uint8_t> encoded;
+  comm::encode_quantized(quantized_payload(), encoded);
+  check_against_fixture("quantized_3bit.bin", encoded);
+
+  comm::QuantizedPayload decoded;
+  comm::decode_quantized(encoded, decoded);
+  EXPECT_EQ(decoded.scale, 0.5F);
+  EXPECT_EQ(decoded.symbols, quantized_payload().symbols);
+}
+
+TEST(CodecGolden, HandDerivedByteLayout) {
+  // Independent derivation of the varint fixture, byte by byte, straight
+  // from the format comment in codec.h.  If this and the encoder disagree,
+  // the format documentation (or the encoder) changed.
+  const std::vector<std::uint8_t> expected = {
+      // header -------------------------------------------------------------
+      0x53, 0x43,              // magic "SC"
+      0x01,                    // version 1
+      0x00,                    // kind: sparse
+      0x00,                    // flags: varint-delta, fp32
+      0x00,                    // aux
+      0x00, 0x00,              // reserved
+      0xE8, 0x03, 0, 0, 0, 0, 0, 0,  // dense_dim = 1000 (u64 LE)
+      0x05, 0, 0, 0, 0, 0, 0, 0,     // nnz = 5 (u64 LE)
+      // index section: 0, then gaps-1 = {0, 5, 122, 868} -------------------
+      0x00,        // first index 0
+      0x00,        // 1   -> gap 1  -> 0
+      0x05,        // 7   -> gap 6  -> 5
+      0x7A,        // 130 -> gap 123 -> 122
+      0xE4, 0x06,  // 999 -> gap 869 -> 868 = 0b110_1100100 (LEB128 LE)
+      // value section: fp32 little-endian ----------------------------------
+      0x00, 0x00, 0x80, 0x3F,  //  1.0
+      0x00, 0x00, 0x20, 0xC0,  // -2.5
+      0x00, 0x00, 0x50, 0x40,  //  3.25
+      0x00, 0x00, 0x60, 0xBF,  // -0.875
+      0x6F, 0x12, 0x83, 0x3A,  //  0.001
+  };
+  std::vector<std::uint8_t> encoded;
+  comm::encode_sparse(varint_payload(), comm::ValueMode::kFp32, encoded);
+  ASSERT_EQ(encoded.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(encoded[i], expected[i]) << "byte " << i;
+  }
+}
+
+TEST(CodecGolden, UnknownVersionIsRejected) {
+  // The committed fixture with only its version byte bumped must be refused
+  // by every decoder — forward compatibility is an explicit error, not a
+  // misparse.
+  std::vector<std::uint8_t> fixture = read_fixture("sparse_varint_fp32.bin");
+  ASSERT_GE(fixture.size(), comm::kHeaderBytes);
+  ASSERT_EQ(fixture[2], comm::kWireVersion);
+  fixture[2] = comm::kWireVersion + 1;
+  tensor::SparseGradient sink;
+  EXPECT_THROW(comm::decode_sparse(fixture, sink), util::CheckError);
+  EXPECT_THROW(comm::peek_header(fixture), util::CheckError);
+  fixture[2] = 0;
+  EXPECT_THROW(comm::decode_sparse(fixture, sink), util::CheckError);
+}
+
+TEST(CodecGolden, CommittedFixturesDecode) {
+  // The committed bytes themselves (not re-encodings) must decode — guards
+  // against fixtures and encoder drifting together via regeneration.
+  tensor::SparseGradient sparse;
+  comm::decode_sparse(read_fixture("sparse_varint_fp32.bin"), sparse);
+  EXPECT_EQ(sparse.indices, varint_payload().indices);
+  comm::decode_sparse(read_fixture("sparse_bitmap_fp32.bin"), sparse);
+  EXPECT_EQ(sparse.indices, bitmap_payload().indices);
+  comm::decode_sparse(read_fixture("sparse_varint_fp16.bin"), sparse);
+  EXPECT_EQ(sparse.indices, varint_payload().indices);
+  std::vector<float> dense;
+  comm::decode_dense(read_fixture("dense_fp32.bin"), dense);
+  EXPECT_EQ(dense, dense_payload());
+  comm::QuantizedPayload quantized;
+  comm::decode_quantized(read_fixture("quantized_3bit.bin"), quantized);
+  EXPECT_EQ(quantized.symbols, quantized_payload().symbols);
+}
+
+}  // namespace
+}  // namespace sidco

@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "comm/codec.h"
 #include "compressors/quantizers.h"
 #include "stats/distributions.h"
 #include "tensor/vector_ops.h"
@@ -37,9 +38,24 @@ TEST(SignSgd, VolumeIsOneBitPerElement) {
   compressors::SignSgd sign;
   const std::vector<float> g = laplace_vector(4096, 1);
   const compressors::QuantizeResult r = sign.quantize(g);
-  EXPECT_EQ(r.wire_bytes, 4096 / 8 + 4U);
-  // ~32x reduction (paper: quantization is capped at 32x).
-  EXPECT_NEAR(r.compression_factor(), 31.75, 0.5);
+  // Measured wire payload: codec header + fp32 scale + one sign bit per
+  // element, and wire_bytes is the encoded buffer's actual size.
+  EXPECT_EQ(r.wire_bytes, comm::kHeaderBytes + 4U + 4096 / 8);
+  EXPECT_EQ(r.wire_bytes, r.encoded.size());
+  // ~30x reduction (paper: quantization is capped at 32x; the real header
+  // and scale shave a little off the ideal).
+  EXPECT_NEAR(r.compression_factor(), 30.3, 0.5);
+
+  // The buffer round-trips: a receiver decodes the same signs and scale.
+  comm::QuantizedPayload decoded;
+  const comm::MessageInfo info = comm::decode_quantized(r.encoded, decoded);
+  ASSERT_EQ(info.count, g.size());
+  ASSERT_EQ(decoded.symbols.size(), g.size());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_EQ(decoded.symbols[i], g[i] >= 0.0F ? 0U : 1U);
+    EXPECT_EQ(r.dequantized[i],
+              decoded.symbols[i] == 0U ? decoded.scale : -decoded.scale);
+  }
 }
 
 TEST(SignSgd, RejectsEmpty) {

@@ -124,6 +124,8 @@ TEST(ScenarioGolden, RoundTripAndTolerances) {
   m.final_quality = 0.5;
   m.mean_selected_fraction = 0.01;
   m.simulated_wall_seconds = 1.5;
+  m.wire_bytes = 100000;
+  m.effective_ratio = 0.0125;
   m.mean_staleness = 0.25;
   m.staleness_histogram = {30, 10};
   const std::vector<dist::ScenarioMetrics> metrics = {m};
@@ -146,6 +148,22 @@ TEST(ScenarioGolden, RoundTripAndTolerances) {
   EXPECT_FALSE(report.ok);
   ASSERT_EQ(report.diffs.size(), 1U);
   EXPECT_NE(report.diffs[0].find("loss"), std::string::npos);
+
+  // Measured bytes-on-wire: drift within 10% passes, a >10% regression
+  // fails with a per-field diff (the CI scenario-smoke gate).
+  std::vector<dist::ScenarioMetrics> bytes_ok = metrics;
+  bytes_ok[0].wire_bytes = 105000;
+  EXPECT_TRUE(dist::compare_with_golden(bytes_ok, golden).ok);
+  std::vector<dist::ScenarioMetrics> bytes_regressed = metrics;
+  bytes_regressed[0].wire_bytes = 121000;
+  const dist::GoldenReport bytes_report =
+      dist::compare_with_golden(bytes_regressed, golden);
+  EXPECT_FALSE(bytes_report.ok);
+  ASSERT_EQ(bytes_report.diffs.size(), 1U);
+  EXPECT_NE(bytes_report.diffs[0].find("bytes"), std::string::npos);
+  std::vector<dist::ScenarioMetrics> eff_regressed = metrics;
+  eff_regressed[0].effective_ratio = 0.016;
+  EXPECT_FALSE(dist::compare_with_golden(eff_regressed, golden).ok);
 
   // Histogram totals are exact: one lost gradient fails.
   std::vector<dist::ScenarioMetrics> lost = metrics;

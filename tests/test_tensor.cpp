@@ -168,6 +168,51 @@ TEST(Sparse, AggregateRejectsMismatchedDims) {
   EXPECT_THROW(tensor::aggregate_mean(parts, 5, 1.0), util::CheckError);
 }
 
+TEST(Sparse, IsCanonicalSpellsOutTheInvariant) {
+  tensor::SparseGradient g;
+  g.dense_dim = 8;
+  EXPECT_TRUE(g.is_canonical());  // empty is vacuously canonical
+
+  g.indices = {1, 3, 7};
+  g.values = {1.0F, 2.0F, 3.0F};
+  EXPECT_TRUE(g.is_canonical());
+
+  tensor::SparseGradient unsorted = g;
+  unsorted.indices = {3, 1, 7};
+  EXPECT_FALSE(unsorted.is_canonical());
+
+  tensor::SparseGradient duplicate = g;
+  duplicate.indices = {1, 3, 3};
+  EXPECT_FALSE(duplicate.is_canonical());
+
+  tensor::SparseGradient out_of_range = g;
+  out_of_range.indices = {1, 3, 8};
+  EXPECT_FALSE(out_of_range.is_canonical());
+
+  tensor::SparseGradient arity = g;
+  arity.values = {1.0F, 2.0F};
+  EXPECT_FALSE(arity.is_canonical());
+}
+
+#ifndef NDEBUG
+TEST(Sparse, DebugBuildsAssertCanonicalOnAccumulation) {
+  // A hostile (e.g. decoder-bypassing) part with unsorted or duplicate
+  // indices must trip the debug invariant instead of silently mis-summing.
+  tensor::SparseGradient unsorted;
+  unsorted.dense_dim = 4;
+  unsorted.indices = {2, 0};
+  unsorted.values = {1.0F, 1.0F};
+  std::vector<float> out(4, 0.0F);
+  EXPECT_THROW(unsorted.add_to(out), util::CheckError);
+
+  tensor::SparseGradient duplicate;
+  duplicate.dense_dim = 4;
+  duplicate.indices = {2, 2};
+  duplicate.values = {1.0F, 1.0F};
+  EXPECT_THROW(duplicate.add_to(out), util::CheckError);
+}
+#endif
+
 TEST(ExtractAtLeast, BoundaryIsInclusive) {
   const std::vector<float> v = {0.5F, -0.5F, 0.4F};
   const tensor::SparseGradient sparse = tensor::extract_at_least(v, 0.5F);

@@ -119,6 +119,12 @@ int main(int argc, char** argv) {
       std::cerr << "determinism: " << repeat
                 << " repeats produced byte-identical metrics\n";
     }
+    {
+      unsigned long long total_bytes = 0;
+      for (const auto& m : metrics) total_bytes += m.wire_bytes;
+      std::cerr << "measured bytes-on-wire: " << total_bytes << " across "
+                << metrics.size() << " cells\n";
+    }
 
     if (!golden_path.empty()) {
       if (update_golden) {
