@@ -161,6 +161,12 @@ std::string format_g(double value, int precision = 9) {
 
 }  // namespace
 
+Engine parse_engine(const std::string& token) {
+  if (token == "simulated") return Engine::kSimulated;
+  if (token == "threads") return Engine::kThreads;
+  util::check_fail("unknown engine token: " + token);
+}
+
 std::vector<double> resolve_device_profile(const DeviceProfile& profile,
                                            std::size_t workers) {
   util::check(workers >= 1, "device profile needs >= 1 worker");
@@ -220,6 +226,11 @@ MatrixSpec parse_matrix_spec(std::string_view text) {
       spec.eval_batches = parse_size(single());
     } else if (key == "seed") {
       spec.seed = static_cast<std::uint64_t>(parse_size(single()));
+    } else if (key == "engine") {
+      spec.engine = parse_engine(single());
+    } else if (key == "channel_capacity") {
+      spec.channel_capacity = parse_size(single());
+      util::check(spec.channel_capacity >= 1, "channel_capacity must be >= 1");
     } else if (key == "benchmark") {
       spec.benchmarks.clear();
       for (const auto& v : values) spec.benchmarks.push_back(parse_benchmark(v));
@@ -294,12 +305,18 @@ std::vector<Scenario> expand(const MatrixSpec& spec) {
                     cell.config.device = Device::kGpuModel;
                     cell.config.worker_time_scale =
                         resolve_device_profile(device, spec.workers);
+                    cell.config.engine = spec.engine;
+                    cell.config.channel_capacity = spec.channel_capacity;
                     std::ostringstream name;
                     name << benchmark_token(benchmark) << '/'
                          << scheme_token(scheme) << "/r" << format_g(ratio, 6)
                          << '/' << topology_name(topology) << '/'
                          << network.name << '/' << device.name << "/ec"
                          << (ec ? 1 : 0) << "/s" << stale << "/c" << chunk;
+                    // Simulated cells keep their historical names so the
+                    // committed goldens stay valid; threads cells are a
+                    // distinct golden universe.
+                    if (spec.engine == Engine::kThreads) name << "/threads";
                     cell.name = name.str();
                     cells.push_back(std::move(cell));
                   }
@@ -336,6 +353,9 @@ ScenarioMetrics run_scenario(const Scenario& scenario) {
   metrics.effective_ratio = result.effective_wire_ratio();
   metrics.mean_staleness = result.mean_staleness();
   metrics.staleness_histogram = result.staleness_histogram;
+  metrics.measured_wall_seconds = result.measured_wall_seconds;
+  metrics.measured_compute_seconds = result.measured_compute_seconds;
+  metrics.measured_comm_seconds = result.measured_comm_seconds;
   return metrics;
 }
 
@@ -347,7 +367,8 @@ std::vector<ScenarioMetrics> run_matrix(const MatrixSpec& spec) {
   return out;
 }
 
-std::string format_metrics(std::span<const ScenarioMetrics> metrics) {
+std::string format_metrics(std::span<const ScenarioMetrics> metrics,
+                           bool include_measured) {
   std::ostringstream out;
   for (const ScenarioMetrics& m : metrics) {
     out << m.name << " loss=" << format_g(m.final_loss)
@@ -360,6 +381,11 @@ std::string format_metrics(std::span<const ScenarioMetrics> metrics) {
     for (std::size_t s = 0; s < m.staleness_histogram.size(); ++s) {
       if (s > 0) out << '|';
       out << m.staleness_histogram[s];
+    }
+    if (include_measured) {
+      out << " mwall=" << format_g(m.measured_wall_seconds)
+          << " mcomp=" << format_g(m.measured_compute_seconds)
+          << " mcomm=" << format_g(m.measured_comm_seconds);
     }
     out << '\n';
   }
@@ -399,6 +425,14 @@ bool parse_golden_line(const std::string& line, ScenarioMetrics& out) {
         out.effective_ratio = std::stod(value);
       } else if (key == "mean_stale") {
         out.mean_staleness = std::stod(value);
+      } else if (key == "mwall") {
+        // Measured-seconds columns: parsed for round-tripping, never
+        // golden-compared (hardware time is not reproducible).
+        out.measured_wall_seconds = std::stod(value);
+      } else if (key == "mcomp") {
+        out.measured_compute_seconds = std::stod(value);
+      } else if (key == "mcomm") {
+        out.measured_comm_seconds = std::stod(value);
       } else if (key == "stale") {
         out.staleness_histogram.clear();
         for (const std::string& bin : split(value, '|')) {

@@ -17,6 +17,7 @@
 //   device     = homogeneous
 //   error_feedback = on
 //   staleness  = 0, 2
+//   engine     = simulated            # | threads (real worker threads)
 //
 // Each cell runs one deterministic run_session() (analytic device model) and
 // reports golden-comparable metrics: final loss, quality, mean selected
@@ -61,6 +62,12 @@ struct MatrixSpec {
   std::size_t eval_every = 0;
   std::size_t eval_batches = 2;
   std::uint64_t seed = 42;
+  /// Execution engine for every cell (`engine = simulated | threads`).
+  /// `threads` cells carry a "/threads" name suffix so their goldens can
+  /// never collide with simulated goldens.
+  Engine engine = Engine::kSimulated;
+  /// Bounded-channel capacity for the threads engine (`channel_capacity`).
+  std::size_t channel_capacity = 8;
 
   // Axes (multi-valued keys), expanded outermost-first in this order.
   std::vector<nn::Benchmark> benchmarks{nn::Benchmark::kResNet20};
@@ -80,6 +87,11 @@ struct Scenario {
   std::string name;
   SessionConfig config;
 };
+
+/// Parses an engine token ("simulated" | "threads").  Shared by the spec
+/// parser and run_scenarios' --engine flag so the token set lives in one
+/// place.  Throws util::CheckError on unknown tokens.
+Engine parse_engine(const std::string& token);
 
 /// Parses a spec text block.  Unknown keys, empty axes and malformed values
 /// throw util::CheckError with the offending line.
@@ -102,6 +114,14 @@ struct ScenarioMetrics {
   double effective_ratio = 0.0;
   double mean_staleness = 0.0;
   std::vector<std::size_t> staleness_histogram;
+
+  /// Real measured wall-clock (threads engine; 0 under the simulated
+  /// engine).  Rendered only when format_metrics is asked to include the
+  /// measured columns, parsed when present, and never golden-compared —
+  /// hardware time is not reproducible.
+  double measured_wall_seconds = 0.0;
+  double measured_compute_seconds = 0.0;
+  double measured_comm_seconds = 0.0;
 };
 
 /// Runs one cell.  Forces the analytic device model so the event timeline —
@@ -113,7 +133,11 @@ std::vector<ScenarioMetrics> run_matrix(const MatrixSpec& spec);
 
 /// Stable text rendering, one cell per line — the golden-file format.  Equal
 /// metric vectors render to byte-identical text (the determinism check).
-std::string format_metrics(std::span<const ScenarioMetrics> metrics);
+/// `include_measured` appends the measured-seconds columns (mwall/mcomp/
+/// mcomm) for human consumption; golden files and determinism comparisons
+/// must leave it off — measured hardware time differs run to run.
+std::string format_metrics(std::span<const ScenarioMetrics> metrics,
+                           bool include_measured = false);
 
 struct GoldenTolerance {
   double loss_rel = 0.05;

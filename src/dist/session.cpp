@@ -9,8 +9,10 @@
 #include "comm/aggregate.h"
 #include "comm/codec.h"
 #include "dist/event_sim.h"
+#include "dist/session_detail.h"
 #include "dist/worker.h"
 #include "nn/optimizer.h"
+#include "runtime/threaded_session.h"
 #include "tensor/sparse.h"
 #include "util/check.h"
 
@@ -20,6 +22,14 @@ std::string_view topology_name(Topology topology) {
   switch (topology) {
     case Topology::kAllreduce: return "allgather";
     case Topology::kParameterServer: return "ps";
+  }
+  return "unknown";
+}
+
+std::string_view engine_name(Engine engine) {
+  switch (engine) {
+    case Engine::kSimulated: return "simulated";
+    case Engine::kThreads: return "threads";
   }
   return "unknown";
 }
@@ -86,7 +96,7 @@ std::vector<double> SessionResult::achieved_ratio_series() const {
   return out;
 }
 
-namespace {
+namespace detail {
 
 void validate_config(const SessionConfig& config) {
   util::check(config.workers >= 1, "session needs >= 1 worker");
@@ -95,6 +105,8 @@ void validate_config(const SessionConfig& config) {
               "target ratio must be in (0, 1]");
   util::check(config.eval_batches >= 1, "session needs >= 1 eval batch");
   util::check(config.overlap_chunks >= 1, "session needs >= 1 overlap chunk");
+  util::check(config.channel_capacity >= 1,
+              "session needs >= 1 channel capacity slot");
   util::check(config.worker_time_scale.empty() ||
                   config.worker_time_scale.size() == config.workers,
               "worker_time_scale must be empty or one entry per worker");
@@ -103,8 +115,8 @@ void validate_config(const SessionConfig& config) {
   }
 }
 
-/// Identical replicas with private streams; the seed derivation is shared by
-/// every driver (and frozen: run_session_reference depends on it).
+// Identical replicas with private streams; the seed derivation is shared by
+// every driver (and frozen: run_session_reference depends on it).
 std::vector<std::unique_ptr<Worker>> make_workers(
     const SessionConfig& config) {
   std::vector<std::unique_ptr<Worker>> workers;
@@ -122,9 +134,9 @@ double worker_scale(const SessionConfig& config, std::size_t w) {
                                           : config.worker_time_scale[w];
 }
 
-/// Scales a measured proxy-dimension payload size to the timing dimension
-/// (headers and per-element costs scale linearly — a conservative model of
-/// re-encoding the same density at paper scale).
+// Scales a measured proxy-dimension payload size to the timing dimension
+// (headers and per-element costs scale linearly — a conservative model of
+// re-encoding the same density at paper scale).
 std::size_t payload_timing_bytes(std::size_t measured_bytes, std::size_t dim,
                                  std::size_t timing_dim) {
   if (timing_dim == dim) return measured_bytes;
@@ -134,12 +146,27 @@ std::size_t payload_timing_bytes(std::size_t measured_bytes, std::size_t dim,
   return static_cast<std::size_t>(std::ceil(std::max(scaled, 1.0)));
 }
 
-/// Mean measured push-payload bytes per worker this iteration, scaled to the
-/// timing dimension.  Shared verbatim by the event driver and the frozen
-/// reference loop — their timing bit-identity contract rests on running the
-/// exact same arithmetic here.
+// Mean measured push-payload bytes per worker this iteration, scaled to the
+// timing dimension.  Shared verbatim by every engine and the frozen
+// reference loop — their timing bit-identity contract rests on running the
+// exact same arithmetic here.
+std::size_t mean_push_timing_bytes(std::span<const StepScalars> steps,
+                                   std::size_t dim, std::size_t timing_dim) {
+  double sum = 0.0;
+  for (const StepScalars& s : steps) {
+    sum += static_cast<double>(s.wire_bytes);
+  }
+  const double mean = sum / static_cast<double>(steps.size());
+  const double scaled =
+      mean * static_cast<double>(timing_dim) / static_cast<double>(dim);
+  return static_cast<std::size_t>(std::ceil(std::max(scaled, 1.0)));
+}
+
 std::size_t mean_push_timing_bytes(const std::vector<WorkerStepResult>& steps,
                                    std::size_t dim, std::size_t timing_dim) {
+  // One double-precision sum in worker order, exactly as the span overload:
+  // the two call paths must stay bit-identical (and allocation-free — this
+  // sits on every session iteration).
   double sum = 0.0;
   for (const WorkerStepResult& s : steps) {
     sum += static_cast<double>(s.wire_bytes);
@@ -163,18 +190,6 @@ double dense_payload_comm_seconds(const NetworkModel& network, std::size_t dim,
       timing_dim));
 }
 
-/// Shared timing inputs: modeled compute seconds are pinned so that for the
-/// uncompressed synchronous run comm / (comm + compute) reproduces the
-/// benchmark's measured communication overhead (Table 1) by construction.
-struct TimingContext {
-  NetworkModel network;
-  DeviceModel device;
-  std::size_t dim = 0;
-  std::size_t timing_dim = 0;
-  double dense_comm = 0.0;
-  double base_compute = 0.0;
-};
-
 TimingContext make_timing(const SessionConfig& config, std::size_t dim) {
   const nn::BenchmarkSpec& spec = nn::benchmark_spec(config.benchmark);
   NetworkConfig net_config = config.network;
@@ -192,9 +207,9 @@ TimingContext make_timing(const SessionConfig& config, std::size_t dim) {
   return t;
 }
 
-/// Per-iteration compression seconds shared across workers (legacy
-/// semantics: analytic model at the worst-case stage count, measured-CPU
-/// latency averaged over workers).
+// Per-iteration compression seconds shared across workers (legacy
+// semantics: analytic model at the worst-case stage count, measured-CPU
+// latency averaged over workers).
 double common_compression_seconds(const SessionConfig& config,
                                   const TimingContext& t, int max_stages,
                                   double mean_measured) {
@@ -208,6 +223,127 @@ double common_compression_seconds(const SessionConfig& config,
 }
 
 std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+IterationRecord collective_iteration_record(const SessionConfig& config,
+                                            const TimingContext& timing,
+                                            std::span<const StepScalars> steps,
+                                            std::span<double> produce) {
+  const std::size_t n = steps.size();
+  const bool wired = n > 1;
+  const std::size_t dim = timing.dim;
+  const std::size_t chunks = config.overlap_chunks;
+
+  IterationRecord record;
+  double nnz = 0.0;
+  double measured = 0.0;
+  int stages = 1;
+  double max_scale = 0.0;
+  for (std::size_t w = 0; w < n; ++w) {
+    record.train_loss += steps[w].train_loss;
+    record.train_accuracy += steps[w].train_accuracy;
+    nnz += static_cast<double>(steps[w].nnz);
+    measured += steps[w].measured_compression;
+    stages = std::max(stages, steps[w].stages_used);
+    max_scale = std::max(max_scale, worker_scale(config, w));
+    if (wired) record.wire_bytes += steps[w].wire_bytes;
+  }
+  const auto nd = static_cast<double>(n);
+  record.train_loss /= nd;
+  record.train_accuracy /= nd;
+  nnz /= nd;
+  measured /= nd;
+  record.achieved_ratio = nnz / static_cast<double>(dim);
+  record.stages_used = stages;
+
+  const double compression =
+      common_compression_seconds(config, timing, stages, measured);
+  const std::size_t total_bytes =
+      mean_push_timing_bytes(steps, dim, timing.timing_dim);
+  const std::size_t chunk_bytes = ceil_div(total_bytes, chunks);
+  const double chunk_comm =
+      config.scheme == core::Scheme::kNone
+          ? timing.network.dense_allreduce_seconds(chunk_bytes)
+          : timing.network.sparse_allgather_seconds(chunk_bytes);
+  for (std::size_t w = 0; w < n; ++w) {
+    produce[w] =
+        worker_scale(config, w) * (timing.base_compute + compression);
+  }
+  record.compute_seconds = max_scale * timing.base_compute;
+  record.compression_seconds = max_scale * compression;
+  record.communication_seconds = static_cast<double>(chunks) * chunk_comm;
+  record.modeled_wall_seconds =
+      overlapped_iteration_seconds(produce, chunks, chunk_comm);
+  return record;
+}
+
+void finalize_result(SessionResult& result) {
+  const EvalRecord& final_eval = result.evals.back();
+  const QualityMetric quality = benchmark_quality(
+      result.config.benchmark, final_eval.loss, final_eval.accuracy);
+  result.final_loss = final_eval.loss;
+  result.final_quality = quality.value;
+  result.quality_higher_is_better = quality.higher_is_better;
+}
+
+void ps_round_record(const SessionConfig& config, const TimingContext& timing,
+                     std::span<const PsPartScalars> parts,
+                     IterationRecord& record,
+                     std::vector<std::size_t>& staleness_histogram) {
+  const std::size_t n = parts.size();
+  const bool wired = n > 1;
+  double nnz = 0.0;
+  double max_compression = 0.0;
+  int stages = 1;
+  double max_scale = 0.0;
+  for (std::size_t w = 0; w < n; ++w) {
+    const PsPartScalars& p = parts[w];
+    record.train_loss += p.train_loss;
+    record.train_accuracy += p.train_accuracy;
+    nnz += static_cast<double>(p.nnz);
+    max_compression = std::max(max_compression, p.compression_seconds);
+    stages = std::max(stages, p.stages_used);
+    staleness_histogram[p.staleness] += 1;
+    max_scale = std::max(max_scale, worker_scale(config, w));
+    if (wired) record.wire_bytes += p.wire_bytes;
+  }
+  const auto nd = static_cast<double>(n);
+  record.train_loss /= nd;
+  record.train_accuracy /= nd;
+  record.achieved_ratio = nnz / nd / static_cast<double>(timing.dim);
+  record.stages_used = stages;
+  record.compute_seconds = max_scale * timing.base_compute;
+  record.compression_seconds = max_compression;
+}
+
+std::size_t PsApplyState::apply_round_mean(
+    std::span<const std::span<const std::uint8_t>> payloads,
+    std::size_t dense_dim, nn::SgdOptimizer& optimizer,
+    std::span<float> server_params) {
+  // Accumulate over the decoded wire payloads, in worker order —
+  // bit-identical to the dense reference mean of the decoded gradients.
+  accumulator.reset(dense_dim);
+  const auto agg_scale =
+      static_cast<float>(1.0 / static_cast<double>(payloads.size()));
+  for (const std::span<const std::uint8_t> payload : payloads) {
+    accumulator.accumulate_encoded(payload, agg_scale);
+  }
+  const std::span<const float> mean = accumulator.dense();
+
+  // Serialize the round's mean update as it would be pulled: the union of
+  // worker supports densifies, and the measured payload — not an analytic
+  // nnz estimate — is what pulls pay for.
+  const std::size_t pull_bytes = comm::encode_dense_or_sparse(
+      mean, comm::ValueMode::kFp32, update_scratch, update_encoded);
+
+  optimizer.step(server_params, mean);
+  return pull_bytes;
+}
+
+}  // namespace detail
+
+namespace {
+
+using namespace detail;  // the drivers share the engine-common helpers
 
 void run_worker_steps(const SessionConfig& config,
                       std::vector<std::unique_ptr<Worker>>& workers,
@@ -231,15 +367,6 @@ void run_worker_steps(const SessionConfig& config,
   }
 }
 
-void finalize_result(SessionResult& result) {
-  const EvalRecord& final_eval = result.evals.back();
-  const QualityMetric quality = benchmark_quality(
-      result.config.benchmark, final_eval.loss, final_eval.accuracy);
-  result.final_loss = final_eval.loss;
-  result.final_quality = quality.value;
-  result.quality_higher_is_better = quality.higher_is_better;
-}
-
 // ---------------------------------------------------------------------------
 // Synchronous collective driver (event-runtime timing: heterogeneous worker
 // speeds and chunked compute/communication overlap; lock-step numerics
@@ -255,16 +382,12 @@ SessionResult run_allreduce(const SessionConfig& config) {
   result.gradient_dimension = dim;
   const TimingContext timing = make_timing(config, dim);
 
-  const std::size_t chunks = config.overlap_chunks;
   const bool wired = config.workers > 1;
   std::vector<WorkerStepResult> steps(config.workers);
+  std::vector<StepScalars> scalars(config.workers);
   std::vector<double> produce(config.workers, 0.0);
   comm::SparseAccumulator accumulator;
   const std::size_t eval_batch = std::max<std::size_t>(spec.batch_size, 1);
-  double max_scale = 0.0;
-  for (std::size_t w = 0; w < config.workers; ++w) {
-    max_scale = std::max(max_scale, worker_scale(config, w));
-  }
 
   for (std::size_t iter = 0; iter < config.iterations; ++iter) {
     run_worker_steps(config, workers, spec.batch_size, steps);
@@ -281,49 +404,22 @@ SessionResult run_allreduce(const SessionConfig& config) {
     }
     for (auto& worker : workers) worker->apply_update(accumulator.dense());
 
-    IterationRecord record;
-    double nnz = 0.0;
-    double measured = 0.0;
-    int stages = 1;
     for (std::size_t w = 0; w < config.workers; ++w) {
-      record.train_loss += steps[w].train_loss;
-      record.train_accuracy += steps[w].train_accuracy;
-      nnz += static_cast<double>(steps[w].sparse.nnz());
-      measured += steps[w].measured_compression_seconds;
-      stages = std::max(stages, steps[w].stages_used);
-      if (wired) record.wire_bytes += steps[w].wire_bytes;
+      scalars[w] = {.nnz = steps[w].sparse.nnz(),
+                    .wire_bytes = steps[w].wire_bytes,
+                    .train_loss = steps[w].train_loss,
+                    .train_accuracy = steps[w].train_accuracy,
+                    .measured_compression =
+                        steps[w].measured_compression_seconds,
+                    .stages_used = steps[w].stages_used};
     }
-    const auto n = static_cast<double>(config.workers);
-    record.train_loss /= n;
-    record.train_accuracy /= n;
-    nnz /= n;
-    measured /= n;
-    record.achieved_ratio = nnz / static_cast<double>(dim);
-    record.stages_used = stages;
+    const IterationRecord record =
+        collective_iteration_record(config, timing, scalars, produce);
     result.total_wire_bytes += record.wire_bytes;
     if (wired) {
       result.total_dense_equiv_bytes +=
           config.workers * NetworkModel::dense_bytes(dim);
     }
-
-    const double compression =
-        common_compression_seconds(config, timing, stages, measured);
-    const std::size_t total_bytes =
-        mean_push_timing_bytes(steps, dim, timing.timing_dim);
-    const std::size_t chunk_bytes = ceil_div(total_bytes, chunks);
-    const double chunk_comm =
-        config.scheme == core::Scheme::kNone
-            ? timing.network.dense_allreduce_seconds(chunk_bytes)
-            : timing.network.sparse_allgather_seconds(chunk_bytes);
-    for (std::size_t w = 0; w < config.workers; ++w) {
-      produce[w] = worker_scale(config, w) *
-                   (timing.base_compute + compression);
-    }
-    record.compute_seconds = max_scale * timing.base_compute;
-    record.compression_seconds = max_scale * compression;
-    record.communication_seconds = static_cast<double>(chunks) * chunk_comm;
-    record.modeled_wall_seconds =
-        overlapped_iteration_seconds(produce, chunks, chunk_comm);
     result.total_modeled_seconds += record.wall_seconds();
     result.iterations.push_back(record);
 
@@ -400,8 +496,8 @@ SessionResult run_parameter_server(const SessionConfig& config) {
   // init) and same dataset stream as every worker's held-out batches; its
   // parameters are overwritten with the server copy before each eval.
   Worker eval_head(config.benchmark, config.seed,
-                   config.seed * 0x10001ULL + 0xe7a1ULL, core::Scheme::kNone,
-                   1.0, false);
+                   eval_head_stream_seed(config), core::Scheme::kNone, 1.0,
+                   false);
 
   EventQueue queue;
   // The server NIC: pushes and pulls serialize in event order.  A single
@@ -417,12 +513,12 @@ SessionResult run_parameter_server(const SessionConfig& config) {
   std::vector<double> apply_time(rounds, 0.0);
   std::size_t version = 0;  // rounds applied so far
 
-  // Server-side aggregation state: decoded-payload accumulation plus the
-  // scratch for serializing each round's mean update (the pull payload whose
-  // measured size exposes aggregation-side densification).  All reused.
-  comm::SparseAccumulator accumulator;
-  tensor::SparseGradient update_scratch;
-  std::vector<std::uint8_t> update_encoded;
+  // Server-side aggregation state (decoded-payload accumulation + the
+  // pull-payload scratch), shared with the threaded engine via detail so
+  // both apply rounds through literally the same code.  All reused.
+  PsApplyState apply_state;
+  std::vector<std::span<const std::uint8_t>> payload_spans(n);
+  std::vector<PsPartScalars> part_scalars(n);
 
   std::vector<std::size_t> worker_version(n, 0);  // version last pulled
   std::vector<bool> blocked(n, false);
@@ -436,16 +532,11 @@ SessionResult run_parameter_server(const SessionConfig& config) {
   // step-completion event.
   const auto compute = [&](std::size_t w, std::size_t round, double now) {
     WorkerStepResult step = workers[w]->step(spec.batch_size);
-    const double compression =
-        config.scheme == core::Scheme::kNone
-            ? 0.0
-            : (config.device == Device::kCpuMeasured
-                   ? timing.device.compression_seconds(
-                         config.scheme, timing.timing_dim, config.target_ratio,
-                         step.measured_compression_seconds, dim)
-                   : timing.device.gpu_seconds(config.scheme, timing.timing_dim,
-                                               config.target_ratio,
-                                               step.stages_used));
+    // Per-part modeled compression: the shared engine dispatch evaluated at
+    // this part's stage count / measured latency.  The threaded PS engine
+    // prices its parts through the exact same helper.
+    const double compression = common_compression_seconds(
+        config, timing, step.stages_used, step.measured_compression_seconds);
     const double scale = worker_scale(config, w);
     RoundPart& part = buckets[round].parts[w];
     part.sparse = std::move(step.sparse);
@@ -498,54 +589,29 @@ SessionResult run_parameter_server(const SessionConfig& config) {
   // Applies round r (all n contributions arrived) at simulated time `now`.
   const auto apply_round = [&](std::size_t r, double now) {
     RoundBucket& bucket = buckets[r];
-    // PS-side accumulate over the decoded wire payloads, in worker order —
-    // bit-identical to the dense reference mean of the decoded gradients.
-    accumulator.reset(dim);
-    const auto agg_scale = static_cast<float>(1.0 / static_cast<double>(n));
-    for (const RoundPart& p : bucket.parts) {
-      accumulator.accumulate_encoded(p.encoded, agg_scale);
+    for (std::size_t w = 0; w < n; ++w) {
+      const RoundPart& p = bucket.parts[w];
+      payload_spans[w] = p.encoded;
+      part_scalars[w] = {.nnz = p.sparse.nnz(),
+                         .wire_bytes = p.wire_bytes,
+                         .train_loss = p.train_loss,
+                         .train_accuracy = p.train_accuracy,
+                         .compression_seconds = p.compression_seconds,
+                         .stages_used = p.stages_used,
+                         .staleness = p.staleness};
     }
-    const std::span<const float> mean = accumulator.dense();
-
-    // Serialize the round's mean update as it would be pulled: the union of
-    // worker supports densifies, and the measured payload — not an analytic
-    // nnz estimate — is what pulls pay for.
-    pull_bytes_of_round[r] = comm::encode_dense_or_sparse(
-        mean, comm::ValueMode::kFp32, update_scratch, update_encoded);
-
-    server_optimizer.step(server_params, mean);
+    pull_bytes_of_round[r] = apply_state.apply_round_mean(
+        payload_spans, dim, server_optimizer, server_params);
     version = r + 1;
     apply_time[r] = now;
 
     IterationRecord& record = result.iterations[r];
-    double nnz = 0.0;
-    double max_compression = 0.0;
-    int stages = 1;
-    for (std::size_t w = 0; w < n; ++w) {
-      const RoundPart& p = bucket.parts[w];
-      record.train_loss += p.train_loss;
-      record.train_accuracy += p.train_accuracy;
-      nnz += static_cast<double>(p.sparse.nnz());
-      max_compression = std::max(max_compression, p.compression_seconds);
-      stages = std::max(stages, p.stages_used);
-      result.staleness_histogram[p.staleness] += 1;
-      if (wired) record.wire_bytes += p.wire_bytes;
-    }
+    ps_round_record(config, timing, part_scalars, record,
+                    result.staleness_histogram);
     result.total_wire_bytes += record.wire_bytes;
     if (wired) {
       result.total_dense_equiv_bytes += n * NetworkModel::dense_bytes(dim);
     }
-    const auto nd = static_cast<double>(n);
-    record.train_loss /= nd;
-    record.train_accuracy /= nd;
-    record.achieved_ratio = nnz / nd / static_cast<double>(dim);
-    record.stages_used = stages;
-    double max_scale = 0.0;
-    for (std::size_t w = 0; w < n; ++w) {
-      max_scale = std::max(max_scale, worker_scale(config, w));
-    }
-    record.compute_seconds = max_scale * timing.base_compute;
-    record.compression_seconds = max_compression;
     record.modeled_wall_seconds = r == 0 ? now : now - apply_time[r - 1];
     // Exposed (non-overlapped) transfer + wait time of the round.
     record.communication_seconds =
@@ -625,7 +691,13 @@ SessionResult run_parameter_server(const SessionConfig& config) {
 }  // namespace
 
 SessionResult run_session(const SessionConfig& config) {
-  validate_config(config);
+  detail::validate_config(config);
+  if (config.engine == Engine::kThreads) {
+    // Real worker threads over bounded channels (runtime module).  The
+    // dist -> runtime -> dist dependency cycle is confined to this one
+    // dispatch; both are static libraries and CMake links the cycle.
+    return runtime::run_session_threads(config);
+  }
   switch (config.topology) {
     case Topology::kAllreduce:
       return run_allreduce(config);

@@ -41,6 +41,25 @@ enum class Topology {
 
 std::string_view topology_name(Topology topology);
 
+/// Which execution engine runs the session.  Both engines share worker seed
+/// derivation, aggregation order and byte accounting, so at staleness 0 they
+/// are bit-identical on parameters / losses / wire bytes (enforced by
+/// test_runtime_differential).
+enum class Engine {
+  /// Single-threaded discrete-event simulation; wall-clock comes from the
+  /// Network/Device timing models.  Default, and the golden-metric oracle.
+  kSimulated,
+  /// One real thread per worker (plus a server thread in kParameterServer),
+  /// exchanging encoded wire payloads over bounded channels
+  /// (runtime/channel.h).  Measured wall-clock lands in the measured_*
+  /// fields of SessionResult; modeled timing is still reported where it is a
+  /// closed form (allgather), and omitted where it would need the event
+  /// timeline (parameter-server communication).
+  kThreads,
+};
+
+std::string_view engine_name(Engine engine);
+
 struct SessionConfig {
   nn::Benchmark benchmark = nn::Benchmark::kResNet20;
   core::Scheme scheme = core::Scheme::kNone;
@@ -76,7 +95,16 @@ struct SessionConfig {
   /// worker down: stragglers / heterogeneous devices).  Empty = homogeneous;
   /// otherwise size must equal `workers`.  Timing-only in kAllreduce; in
   /// kParameterServer it also reorders pushes and therefore staleness.
+  /// Modeled-timing only: the threads engine runs at real hardware speed.
   std::vector<double> worker_time_scale;
+
+  /// Execution engine (see Engine).  kThreads runs every worker on a real
+  /// thread; numerics/bytes match kSimulated bit-for-bit at staleness 0.
+  Engine engine = Engine::kSimulated;
+  /// Bounded-channel capacity (messages) for the threads engine.  Any value
+  /// >= 1 is deadlock-free and numerics-invariant; it only changes how much
+  /// backpressure producers feel.  Ignored by kSimulated.
+  std::size_t channel_capacity = 8;
 };
 
 struct IterationRecord {
@@ -148,6 +176,17 @@ struct SessionResult {
   /// missing s rounds.  Synchronous paths record everything in bin 0.
   std::vector<std::size_t> staleness_histogram;
 
+  /// Real measured wall-clock (util::Timer) of the whole session under the
+  /// threads engine; 0 under the simulated engine.  Excluded from golden
+  /// comparison — it reports what the hardware actually did.
+  double measured_wall_seconds = 0.0;
+  /// Max over workers of their summed real step (forward/backward/compress)
+  /// seconds — the measured critical-path compute.  Threads engine only.
+  double measured_compute_seconds = 0.0;
+  /// Max over workers of their summed real exchange seconds (channel sends,
+  /// payload collection/decode waits, parameter pulls).  Threads engine only.
+  double measured_comm_seconds = 0.0;
+
   [[nodiscard]] double mean_staleness() const;
   [[nodiscard]] std::size_t max_staleness() const;
 
@@ -165,11 +204,15 @@ struct SessionResult {
   [[nodiscard]] std::vector<double> achieved_ratio_series() const;
 };
 
-/// Runs a full training session on the event runtime, dispatching on
-/// `config.topology`.  Deterministic in `config` (including across
-/// parallel_workers on/off) for everything except the measured-CPU latency
-/// fields — and, in kParameterServer, determinism of the event order itself
-/// requires the analytic device model (Device::kGpuModel).
+/// Runs a full training session, dispatching on `config.engine` (simulated
+/// event runtime vs real threads) and `config.topology`.  The simulated
+/// engine is deterministic in `config` (including across parallel_workers
+/// on/off) for everything except the measured-CPU latency fields — and, in
+/// kParameterServer, determinism of the event order itself requires the
+/// analytic device model (Device::kGpuModel).  The threads engine is
+/// deterministic on numerics/bytes in kAllreduce and in kParameterServer at
+/// staleness 0; at staleness > 0 real scheduling decides which admissible
+/// version a worker computes on (README "Execution engines").
 SessionResult run_session(const SessionConfig& config);
 
 /// The frozen pre-event-runtime synchronous loop, kept verbatim as the

@@ -1,0 +1,149 @@
+// Bounded multi-producer channel for the threaded distributed runtime.
+//
+// Design constraints (and why this is not a generic lock-free queue):
+//  - Transfers are gradient-sized wire payloads: the per-message cost is
+//    dominated by the bytes moved, not by queue overhead, so a mutex + two
+//    condition variables is the right complexity point.
+//  - FIFO per producer is the ordering contract the runtime builds on: a
+//    worker's iteration-i payload is always received before its iteration-
+//    (i+1) payload.  (Messages from *different* producers interleave
+//    arbitrarily, which is exactly the contention the threaded engine is
+//    meant to exercise.)
+//  - Bounded capacity provides backpressure: a fast worker blocks in push()
+//    instead of growing an unbounded backlog, mirroring a real NIC send
+//    queue.  try_push()/try_push_for() exist so senders that could be part
+//    of a wait cycle can drain their own inbox instead of blocking forever.
+//  - close() makes shutdown composable: producers see push() fail, consumers
+//    drain every message already accepted and then observe end-of-stream
+//    (pop() returns nullopt).  No message accepted before close() is lost.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/check.h"
+
+namespace sidco::runtime {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(std::size_t capacity) : capacity_(capacity) {
+    util::check(capacity >= 1, "channel capacity must be >= 1");
+  }
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Blocks while the channel is full; returns true once the value is
+  /// enqueued.  Returns false (dropping the value) when the channel is
+  /// closed, before or while waiting.
+  bool push(T value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || queue_.size() < capacity_; });
+    if (closed_) return false;
+    queue_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push: on success moves from `value` and returns true; when
+  /// the channel is full, `value` is left untouched and the call returns
+  /// false.  Returns false on a closed channel.
+  bool try_push(T& value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || queue_.size() >= capacity_) return false;
+      queue_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// try_push that waits up to `timeout` for space.  Same value semantics as
+  /// try_push: `value` is only moved from on success.
+  template <typename Rep, typename Period>
+  bool try_push_for(T& value,
+                    const std::chrono::duration<Rep, Period>& timeout) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (!not_full_.wait_for(lock, timeout, [this] {
+            return closed_ || queue_.size() < capacity_;
+          })) {
+        return false;
+      }
+      if (closed_) return false;
+      queue_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the channel is empty; returns the next message in
+  /// acceptance order.  After close(), keeps returning buffered messages
+  /// until the channel is drained, then returns nullopt (end-of-stream).
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;  // closed and drained
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Non-blocking pop: nullopt when the channel is currently empty (whether
+  /// or not it is closed).
+  std::optional<T> try_pop() {
+    std::optional<T> value;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (queue_.empty()) return std::nullopt;
+      value = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Rejects all future pushes and wakes every blocked producer/consumer.
+  /// Messages already accepted remain poppable (drain semantics).
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace sidco::runtime

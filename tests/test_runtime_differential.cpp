@@ -1,0 +1,304 @@
+// Differential suite: the real multi-threaded runtime vs the frozen
+// single-threaded oracle.
+//
+// The contract (ISSUE 5 acceptance criterion): for every scheme x EC x
+// topology cell, at staleness 0, the threads engine must produce final
+// parameters, per-iteration losses and total wire bytes **bit-identical** to
+// run_session_reference, across worker counts {1, 2, 4, 7} and channel
+// capacities — the same oracle pattern that froze the event-sim in PR 3.
+// Push traffic is compared against the reference directly; the
+// parameter-server totals additionally include pull payloads the frozen
+// reference never modeled, so their oracle is the simulated PS engine
+// (itself pinned to the reference on numerics by test_session_async).
+//
+// Oracle runs are memoized per config: the reference is a pure function of
+// (scheme, ec, workers) here, and re-running it per threaded cell would
+// triple the suite's training time for no extra coverage.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "dist/session.h"
+#include "util/check.h"
+
+namespace sidco {
+namespace {
+
+constexpr std::size_t kIterations = 4;
+constexpr std::size_t kEvalEvery = 2;
+
+dist::SessionConfig cell_config(core::Scheme scheme, bool error_feedback,
+                                std::size_t workers) {
+  dist::SessionConfig config;
+  config.benchmark = nn::Benchmark::kResNet20;
+  config.scheme = scheme;
+  config.target_ratio = scheme == core::Scheme::kNone ? 1.0 : 0.01;
+  config.workers = workers;
+  config.iterations = kIterations;
+  config.eval_every = kEvalEvery;
+  config.eval_batches = 2;
+  config.seed = 91;
+  config.error_feedback = error_feedback;
+  return config;
+}
+
+std::string cell_name(const dist::SessionConfig& config) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "scheme=%d ec=%d topo=%s workers=%zu",
+                static_cast<int>(config.scheme),
+                config.error_feedback ? 1 : 0,
+                std::string(dist::topology_name(config.topology)).c_str(),
+                config.workers);
+  return buf;
+}
+
+/// Memoized oracle runs (the reference ignores topology/engine fields; the
+/// simulated-PS oracle is keyed the same way since staleness is 0).
+class OracleCache {
+ public:
+  const dist::SessionResult& reference(const dist::SessionConfig& config) {
+    // The frozen reference ignores topology, so PS and allgather cells with
+    // the same scheme/EC/workers share one oracle run.
+    const Key key{static_cast<int>(config.scheme), config.error_feedback,
+                  config.workers, 0};
+    return lookup(reference_, key, config, [](const dist::SessionConfig& c) {
+      return dist::run_session_reference(c);
+    });
+  }
+
+  const dist::SessionResult& simulated(const dist::SessionConfig& config) {
+    const Key key{static_cast<int>(config.scheme), config.error_feedback,
+                  config.workers, static_cast<int>(config.topology)};
+    return lookup(simulated_, key, config, [](const dist::SessionConfig& c) {
+      dist::SessionConfig sim = c;
+      sim.engine = dist::Engine::kSimulated;
+      return dist::run_session(sim);
+    });
+  }
+
+ private:
+  using Key = std::tuple<int, bool, std::size_t, int>;
+
+  template <typename Run>
+  const dist::SessionResult& lookup(std::map<Key, dist::SessionResult>& cache,
+                                    const Key& key,
+                                    const dist::SessionConfig& config,
+                                    Run run) {
+    const auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+    return cache.emplace(key, run(config)).first->second;
+  }
+
+  std::map<Key, dist::SessionResult> reference_;
+  std::map<Key, dist::SessionResult> simulated_;
+};
+
+OracleCache& oracles() {
+  static OracleCache cache;
+  return cache;
+}
+
+/// The bit-identity core: EXPECT_EQ (not near-equality) on per-iteration
+/// losses/metrics, evals, and every final parameter.
+void expect_numerics_bit_identical(const dist::SessionResult& threaded,
+                                   const dist::SessionResult& oracle) {
+  ASSERT_EQ(threaded.iterations.size(), oracle.iterations.size());
+  for (std::size_t i = 0; i < threaded.iterations.size(); ++i) {
+    EXPECT_EQ(threaded.iterations[i].train_loss,
+              oracle.iterations[i].train_loss) << "iteration " << i;
+    EXPECT_EQ(threaded.iterations[i].train_accuracy,
+              oracle.iterations[i].train_accuracy) << "iteration " << i;
+    EXPECT_EQ(threaded.iterations[i].achieved_ratio,
+              oracle.iterations[i].achieved_ratio) << "iteration " << i;
+    EXPECT_EQ(threaded.iterations[i].stages_used,
+              oracle.iterations[i].stages_used) << "iteration " << i;
+  }
+  ASSERT_EQ(threaded.evals.size(), oracle.evals.size());
+  for (std::size_t i = 0; i < threaded.evals.size(); ++i) {
+    EXPECT_EQ(threaded.evals[i].iteration, oracle.evals[i].iteration);
+    EXPECT_EQ(threaded.evals[i].loss, oracle.evals[i].loss);
+    EXPECT_EQ(threaded.evals[i].accuracy, oracle.evals[i].accuracy);
+  }
+  EXPECT_EQ(threaded.final_loss, oracle.final_loss);
+  EXPECT_EQ(threaded.final_quality, oracle.final_quality);
+  ASSERT_EQ(threaded.final_parameters.size(), oracle.final_parameters.size());
+  ASSERT_GT(threaded.final_parameters.size(), 0U);
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < threaded.final_parameters.size(); ++i) {
+    if (threaded.final_parameters[i] != oracle.final_parameters[i]) {
+      ++mismatches;
+    }
+  }
+  EXPECT_EQ(mismatches, 0U)
+      << "final parameters differ at " << mismatches << " of "
+      << threaded.final_parameters.size() << " positions";
+}
+
+/// Per-iteration push bytes must match the reference exactly (identical
+/// numerics => identical payloads => identical measured sizes).
+void expect_push_bytes_bit_identical(const dist::SessionResult& threaded,
+                                     const dist::SessionResult& reference) {
+  ASSERT_EQ(threaded.iterations.size(), reference.iterations.size());
+  for (std::size_t i = 0; i < threaded.iterations.size(); ++i) {
+    EXPECT_EQ(threaded.iterations[i].wire_bytes,
+              reference.iterations[i].wire_bytes) << "iteration " << i;
+  }
+}
+
+dist::SessionResult run_threaded(dist::SessionConfig config) {
+  config.engine = dist::Engine::kThreads;
+  return dist::run_session(config);
+}
+
+constexpr core::Scheme kSchemes[] = {core::Scheme::kTopK, core::Scheme::kDgc,
+                                     core::Scheme::kSidcoExponential};
+constexpr std::size_t kWorkerCounts[] = {1, 2, 4, 7};
+
+// The headline sweep, collective topology: 3 schemes x EC on/off x
+// {1,2,4,7} workers, threaded vs the frozen reference.  Total wire bytes
+// compare directly (the collective has no pull traffic), and since the
+// threaded collective reuses the simulated engine's closed-form timing, the
+// modeled breakdown must match the simulated engine bit-for-bit as well.
+TEST(RuntimeDifferential, AllgatherBitIdenticalToReference) {
+  for (core::Scheme scheme : kSchemes) {
+    for (bool error_feedback : {true, false}) {
+      for (std::size_t workers : kWorkerCounts) {
+        const dist::SessionConfig config =
+            cell_config(scheme, error_feedback, workers);
+        SCOPED_TRACE(cell_name(config));
+        const dist::SessionResult threaded = run_threaded(config);
+        const dist::SessionResult& reference = oracles().reference(config);
+        expect_numerics_bit_identical(threaded, reference);
+        expect_push_bytes_bit_identical(threaded, reference);
+        EXPECT_EQ(threaded.total_wire_bytes, reference.total_wire_bytes);
+        EXPECT_EQ(threaded.total_dense_equiv_bytes,
+                  reference.total_dense_equiv_bytes);
+        // Homogeneous chunk-1 modeled timing is the legacy schedule.
+        ASSERT_EQ(threaded.iterations.size(), reference.iterations.size());
+        for (std::size_t i = 0; i < threaded.iterations.size(); ++i) {
+          EXPECT_EQ(threaded.iterations[i].compute_seconds,
+                    reference.iterations[i].compute_seconds);
+          EXPECT_EQ(threaded.iterations[i].compression_seconds,
+                    reference.iterations[i].compression_seconds);
+          EXPECT_EQ(threaded.iterations[i].communication_seconds,
+                    reference.iterations[i].communication_seconds);
+          EXPECT_EQ(threaded.iterations[i].wall_seconds(),
+                    reference.iterations[i].wall_seconds());
+        }
+        EXPECT_EQ(threaded.total_modeled_seconds,
+                  reference.total_modeled_seconds);
+      }
+    }
+  }
+}
+
+// The headline sweep, parameter-server topology at staleness 0: numerics and
+// push traffic vs the frozen reference; total traffic (pushes + pulls) vs
+// the simulated PS engine, which models the identical pull accounting.
+TEST(RuntimeDifferential, ParameterServerStalenessZeroBitIdenticalToReference) {
+  for (core::Scheme scheme : kSchemes) {
+    for (bool error_feedback : {true, false}) {
+      for (std::size_t workers : kWorkerCounts) {
+        dist::SessionConfig config =
+            cell_config(scheme, error_feedback, workers);
+        config.topology = dist::Topology::kParameterServer;
+        config.staleness_bound = 0;
+        SCOPED_TRACE(cell_name(config));
+        const dist::SessionResult threaded = run_threaded(config);
+        const dist::SessionResult& reference = oracles().reference(config);
+        expect_numerics_bit_identical(threaded, reference);
+        expect_push_bytes_bit_identical(threaded, reference);
+        const dist::SessionResult& simulated = oracles().simulated(config);
+        EXPECT_EQ(threaded.total_wire_bytes, simulated.total_wire_bytes);
+        EXPECT_EQ(threaded.total_dense_equiv_bytes,
+                  simulated.total_dense_equiv_bytes);
+        // Everything aggregated fresh.
+        ASSERT_EQ(threaded.staleness_histogram.size(), 1U);
+        EXPECT_EQ(threaded.staleness_histogram[0],
+                  workers * config.iterations);
+      }
+    }
+  }
+}
+
+// Channel capacity is a pure backpressure knob: capacity 1 (maximal
+// contention, every push blocks), 2 and 16 must all produce bit-identical
+// results — and capacity 1 must not deadlock (ctest timeout is the
+// watchdog).
+TEST(RuntimeDifferential, ChannelCapacitySweepIsNumericsInvariant) {
+  for (dist::Topology topology :
+       {dist::Topology::kAllreduce, dist::Topology::kParameterServer}) {
+    dist::SessionConfig config =
+        cell_config(core::Scheme::kSidcoExponential, true, 4);
+    config.topology = topology;
+    config.staleness_bound = 0;
+    SCOPED_TRACE(cell_name(config));
+    const dist::SessionResult& reference = oracles().reference(config);
+    for (std::size_t capacity : {1U, 2U, 16U}) {
+      SCOPED_TRACE("channel_capacity=" + std::to_string(capacity));
+      config.channel_capacity = capacity;
+      const dist::SessionResult threaded = run_threaded(config);
+      expect_numerics_bit_identical(threaded, reference);
+      expect_push_bytes_bit_identical(threaded, reference);
+    }
+  }
+}
+
+// Bounded staleness under real scheduling: with slack the admission decides
+// *which* version a worker computes on nondeterministically, but the SSP
+// invariants must hold on every run: each gradient lands exactly once, and
+// observed staleness never exceeds the bound.
+TEST(RuntimeDifferential, ThreadedPsBoundedStalenessInvariants) {
+  dist::SessionConfig config = cell_config(core::Scheme::kTopK, true, 4);
+  config.topology = dist::Topology::kParameterServer;
+  config.iterations = 6;
+  config.staleness_bound = 2;
+  const dist::SessionResult r = run_threaded(config);
+  ASSERT_EQ(r.staleness_histogram.size(), config.staleness_bound + 1);
+  std::size_t total = 0;
+  for (std::size_t count : r.staleness_histogram) total += count;
+  EXPECT_EQ(total, config.workers * config.iterations);
+  EXPECT_LE(r.max_staleness(), config.staleness_bound);
+  ASSERT_EQ(r.iterations.size(), config.iterations);
+  for (const dist::IterationRecord& it : r.iterations) {
+    EXPECT_TRUE(std::isfinite(it.train_loss));
+  }
+}
+
+// The measured-seconds contract: the threads engine reports real wall-clock;
+// the simulated engine reports zero (nothing real happened).
+TEST(RuntimeDifferential, MeasuredSecondsReportedByThreadsEngineOnly) {
+  dist::SessionConfig config = cell_config(core::Scheme::kTopK, true, 2);
+  const dist::SessionResult threaded = run_threaded(config);
+  EXPECT_GT(threaded.measured_wall_seconds, 0.0);
+  EXPECT_GT(threaded.measured_compute_seconds, 0.0);
+  EXPECT_GT(threaded.measured_comm_seconds, 0.0);
+  // Phase totals are per-worker critical paths, so each is bounded by the
+  // session wall plus scheduling noise; sanity-bound them loosely.
+  EXPECT_LT(threaded.measured_compute_seconds,
+            threaded.measured_wall_seconds * 2.0);
+  const dist::SessionResult& simulated = oracles().simulated(config);
+  EXPECT_EQ(simulated.measured_wall_seconds, 0.0);
+  EXPECT_EQ(simulated.measured_compute_seconds, 0.0);
+  EXPECT_EQ(simulated.measured_comm_seconds, 0.0);
+}
+
+// Config validation still applies on the threads path.
+TEST(RuntimeDifferential, ThreadsEngineValidatesConfig) {
+  dist::SessionConfig config = cell_config(core::Scheme::kTopK, true, 2);
+  config.engine = dist::Engine::kThreads;
+  config.channel_capacity = 0;
+  EXPECT_THROW(dist::run_session(config), util::CheckError);
+}
+
+TEST(RuntimeDifferential, EngineNames) {
+  EXPECT_EQ(dist::engine_name(dist::Engine::kSimulated), "simulated");
+  EXPECT_EQ(dist::engine_name(dist::Engine::kThreads), "threads");
+}
+
+}  // namespace
+}  // namespace sidco

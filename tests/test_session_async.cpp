@@ -147,6 +147,87 @@ TEST(AsyncRuntime, StalenessBoundedAndObservedUnderStraggler) {
   EXPECT_GT(r.mean_staleness(), 0.0);
 }
 
+// Staleness-bound admission edge cases (simulated path).  The histogram
+// total is the conservation law: every pushed gradient lands in exactly one
+// staleness bin, whatever the slack or the straggler profile.
+
+TEST(AsyncRuntime, StalenessBoundZeroVsOneBoundary) {
+  dist::SessionConfig config = small_config(core::Scheme::kTopK, true);
+  config.topology = dist::Topology::kParameterServer;
+  config.iterations = 10;
+  config.worker_time_scale = {2.0, 1.0, 1.0};
+  const std::size_t pushes = config.workers * config.iterations;
+
+  config.staleness_bound = 0;
+  const dist::SessionResult bsp = dist::run_session(config);
+  // Bound 0 is BSP: exactly one bin, and it holds every gradient.
+  ASSERT_EQ(bsp.staleness_histogram.size(), 1U);
+  EXPECT_EQ(bsp.staleness_histogram[0], pushes);
+  EXPECT_EQ(bsp.max_staleness(), 0U);
+  EXPECT_EQ(bsp.mean_staleness(), 0.0);
+
+  config.staleness_bound = 1;
+  const dist::SessionResult ssp = dist::run_session(config);
+  // Bound 1 sizes the histogram for the extra bin, conserves the total, and
+  // with a 2x straggler actually uses the slack.
+  ASSERT_EQ(ssp.staleness_histogram.size(), 2U);
+  EXPECT_EQ(ssp.staleness_histogram[0] + ssp.staleness_histogram[1], pushes);
+  EXPECT_GT(ssp.staleness_histogram[1], 0U);
+  EXPECT_LE(ssp.max_staleness(), 1U);
+}
+
+TEST(AsyncRuntime, ExtremeStragglerSaturatesBoundWithoutExceedingIt) {
+  dist::SessionConfig config = small_config(core::Scheme::kTopK, true);
+  config.topology = dist::Topology::kParameterServer;
+  config.iterations = 8;
+  config.staleness_bound = 1;
+  // A 64x straggler: fast workers hit the admission wall every round, so
+  // (almost) all their gradients aggregate at exactly the bound.
+  config.worker_time_scale = {64.0, 1.0, 1.0};
+  const dist::SessionResult r = dist::run_session(config);
+  ASSERT_EQ(r.staleness_histogram.size(), 2U);
+  EXPECT_EQ(r.staleness_histogram[0] + r.staleness_histogram[1],
+            config.workers * config.iterations);
+  EXPECT_GT(r.staleness_histogram[1], 0U);
+  EXPECT_LE(r.max_staleness(), 1U);
+  // The straggler's own pushes are always fresh (it is the bottleneck), so
+  // bin 0 cannot be empty either.
+  EXPECT_GT(r.staleness_histogram[0], 0U);
+}
+
+TEST(AsyncRuntime, ExtremeFastWorkerRespectsBound) {
+  dist::SessionConfig config = small_config(core::Scheme::kTopK, true);
+  config.topology = dist::Topology::kParameterServer;
+  config.iterations = 8;
+  config.staleness_bound = 2;
+  // The mirrored extreme: one worker ~100x faster than its peers.
+  config.worker_time_scale = {1.0, 1.0, 0.01};
+  const dist::SessionResult r = dist::run_session(config);
+  ASSERT_EQ(r.staleness_histogram.size(), 3U);
+  std::size_t total = 0;
+  for (std::size_t count : r.staleness_histogram) total += count;
+  EXPECT_EQ(total, config.workers * config.iterations);
+  EXPECT_LE(r.max_staleness(), 2U);
+  // The fast worker runs into the admission wall, so the top bin is used.
+  EXPECT_GT(r.staleness_histogram[2], 0U);
+}
+
+TEST(AsyncRuntime, SlackBeyondRoundCountConservesTotals) {
+  dist::SessionConfig config = small_config(core::Scheme::kTopK, true);
+  config.topology = dist::Topology::kParameterServer;
+  config.iterations = 5;
+  config.staleness_bound = config.iterations + 3;  // never binds
+  config.worker_time_scale = {8.0, 1.0, 1.0};
+  const dist::SessionResult r = dist::run_session(config);
+  ASSERT_EQ(r.staleness_histogram.size(), config.staleness_bound + 1);
+  std::size_t total = 0;
+  for (std::size_t count : r.staleness_histogram) total += count;
+  EXPECT_EQ(total, config.workers * config.iterations);
+  // Round c can miss at most c applied rounds, so staleness is bounded by
+  // the round count even when the slack never binds.
+  EXPECT_LT(r.max_staleness(), config.iterations);
+}
+
 TEST(AsyncRuntime, SlackAbsorbsStragglerWallClock) {
   dist::SessionConfig config = small_config(core::Scheme::kTopK, true);
   config.topology = dist::Topology::kParameterServer;

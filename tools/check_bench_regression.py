@@ -7,8 +7,13 @@ Usage:
 CURRENT.json is a `bench_micro_kernels --benchmark_format=json` dump.  The
 script:
   1. prints the seed-vs-fused speedups measured in CURRENT.json,
-  2. if BASELINE.json is given and exists, fails (exit 1) when the
-     multi-stage SIDCo path regressed by more than REGRESSION_TOLERANCE.
+  2. if BASELINE.json is given, fails (exit 1) when the multi-stage SIDCo
+     path regressed by more than REGRESSION_TOLERANCE.
+
+A named baseline that cannot serve as a gate — missing file, unparseable
+JSON, or JSON with none of the gated benchmark pairs (e.g. a renamed
+"benchmarks" key) — is a loud failure, not a silent pass: the CI gate must
+never turn itself off because the committed baseline rotted.
 
 The gated quantity is the *in-run speedup ratio* legacy_time / fused_time
 (seed-replica vs fused pipeline, measured in the same process on the same
@@ -73,10 +78,16 @@ def main(argv):
         return 0
     try:
         baseline = load(argv[2])
-    except FileNotFoundError:
-        print("no committed baseline yet; smoke check passes")
-        return 0
+    except (OSError, ValueError) as err:
+        print(f"FAIL: cannot load baseline {argv[2]}: {err}")
+        return 1
     baseline_speedups = speedups(baseline)
+    if not baseline_speedups:
+        # An empty "benchmarks" list, a renamed key, or wholesale-renamed
+        # benchmark names would otherwise gate nothing and exit 0.
+        print(f"FAIL: baseline {argv[2]} contains no gated benchmark pairs "
+              "(missing/renamed 'benchmarks' entries?)")
+        return 1
 
     # A baseline pair with no counterpart in the current run means the gated
     # benchmarks were renamed or dropped — that must fail loudly, or the gate

@@ -5,6 +5,14 @@
 //   run_scenarios --spec ... --golden ... --update-golden
 //   run_scenarios --spec ... --repeat 2          # determinism check
 //   run_scenarios --spec ... --list              # print cells, run nothing
+//   run_scenarios --spec ... --engine threads    # real-thread engine
+//
+// --engine overrides the spec's engine for every cell (simulated | threads).
+// Threads-engine cells print measured wall-clock columns (mwall/mcomp/mcomm)
+// on stdout; golden files and the --repeat determinism comparison exclude
+// them (hardware time is not reproducible).  Note: with engine=threads a
+// staleness > 0 parameter-server cell is genuinely asynchronous, so --repeat
+// is expected to fail there — that is the runtime telling the truth.
 //
 // Exit codes: 0 = success, 1 = golden mismatch or nondeterminism,
 // 2 = usage / IO error.
@@ -22,7 +30,8 @@ namespace {
 int usage() {
   std::cerr
       << "usage: run_scenarios --spec FILE [--golden FILE] [--update-golden]\n"
-      << "                     [--repeat N] [--list]\n";
+      << "                     [--repeat N] [--list]\n"
+      << "                     [--engine simulated|threads]\n";
   return 2;
 }
 
@@ -40,6 +49,7 @@ bool read_file(const std::string& path, std::string& out) {
 int main(int argc, char** argv) {
   std::string spec_path;
   std::string golden_path;
+  std::string engine_override;
   bool update_golden = false;
   bool list_only = false;
   int repeat = 1;
@@ -57,6 +67,16 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       golden_path = v;
+    } else if (arg == "--engine") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      engine_override = v;
+      try {
+        (void)sidco::dist::parse_engine(engine_override);
+      } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n";
+        return usage();
+      }
     } else if (arg == "--update-golden") {
       update_golden = true;
     } else if (arg == "--list") {
@@ -84,11 +104,14 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const sidco::dist::MatrixSpec spec =
-        sidco::dist::parse_matrix_spec(spec_text);
+    sidco::dist::MatrixSpec spec = sidco::dist::parse_matrix_spec(spec_text);
+    if (!engine_override.empty()) {
+      spec.engine = sidco::dist::parse_engine(engine_override);
+    }
     const std::vector<sidco::dist::Scenario> cells = sidco::dist::expand(spec);
     std::cerr << "scenario matrix: " << cells.size() << " cells ("
-              << spec_path << ")\n";
+              << spec_path << ", engine "
+              << sidco::dist::engine_name(spec.engine) << ")\n";
     if (list_only) {
       for (const auto& cell : cells) std::cout << cell.name << "\n";
       return 0;
@@ -104,11 +127,14 @@ int main(int argc, char** argv) {
                   << "\n";
         run.push_back(sidco::dist::run_scenario(cell));
       }
+      // Comparisons (determinism, goldens) exclude the measured-seconds
+      // columns; the stdout report includes them.
       const std::string text = sidco::dist::format_metrics(run);
       if (r == 0) {
         first_run = text;
+        std::cout << sidco::dist::format_metrics(run,
+                                                 /*include_measured=*/true);
         metrics = std::move(run);
-        std::cout << text;
       } else if (text != first_run) {
         std::cerr << "FAIL: repeat " << (r + 1)
                   << " produced different metrics than the first run\n";

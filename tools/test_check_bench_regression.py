@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Self-test for check_bench_regression.py (the CI bench gate).
+
+Runs under plain `python3 tools/test_check_bench_regression.py` (unittest)
+and under pytest.  The cases pin the gate's failure modes, in particular
+that a named-but-unusable baseline (missing file, bad JSON, no gated keys)
+fails loudly instead of silently disabling the gate.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_bench_regression as gate  # noqa: E402
+
+
+def bench_json(pairs):
+    """Benchmark-format JSON with cpu_time per (name, time) pair."""
+    return {
+        "benchmarks": [
+            {"name": name, "run_type": "iteration", "cpu_time": time}
+            for name, time in pairs
+        ]
+    }
+
+
+def gated_run(legacy_time, fused_time):
+    return bench_json([
+        ("BM_SidcoMultiStageCompressLegacy/4096", legacy_time),
+        ("BM_SidcoMultiStageCompress/4096", fused_time),
+        ("BM_SidcoTailRefitLegacy/4096", legacy_time),
+        ("BM_SidcoTailRefitFused/4096", fused_time),
+    ])
+
+
+class CheckBenchRegressionTest(unittest.TestCase):
+    def setUp(self):
+        self._dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self._dir.cleanup)
+
+    def write(self, name, payload):
+        path = os.path.join(self._dir.name, name)
+        with open(path, "w") as f:
+            if isinstance(payload, str):
+                f.write(payload)
+            else:
+                json.dump(payload, f)
+        return path
+
+    def run_gate(self, *argv):
+        return gate.main(["check_bench_regression.py", *argv])
+
+    def test_no_baseline_given_passes(self):
+        current = self.write("current.json", gated_run(400.0, 100.0))
+        self.assertEqual(self.run_gate(current), 0)
+
+    def test_healthy_speedup_vs_baseline_passes(self):
+        current = self.write("current.json", gated_run(400.0, 100.0))
+        baseline = self.write("baseline.json", gated_run(390.0, 100.0))
+        self.assertEqual(self.run_gate(current, baseline), 0)
+
+    def test_regressed_speedup_fails(self):
+        # Baseline 4.0x, current 2.0x: a 50% drop, far past the tolerance.
+        current = self.write("current.json", gated_run(200.0, 100.0))
+        baseline = self.write("baseline.json", gated_run(400.0, 100.0))
+        self.assertEqual(self.run_gate(current, baseline), 1)
+
+    def test_missing_baseline_file_fails_loudly(self):
+        current = self.write("current.json", gated_run(400.0, 100.0))
+        missing = os.path.join(self._dir.name, "nope.json")
+        self.assertEqual(self.run_gate(current, missing), 1)
+
+    def test_unparseable_baseline_fails_loudly(self):
+        current = self.write("current.json", gated_run(400.0, 100.0))
+        baseline = self.write("baseline.json", "this is not json{")
+        self.assertEqual(self.run_gate(current, baseline), 1)
+
+    def test_baseline_without_gated_keys_fails_loudly(self):
+        # The key-rot case the fix targets: a baseline whose JSON parses but
+        # gates nothing (renamed top-level key) must not silently pass.
+        current = self.write("current.json", gated_run(400.0, 100.0))
+        baseline = self.write("baseline.json", {"renamed_benchmarks": []})
+        self.assertEqual(self.run_gate(current, baseline), 1)
+
+    def test_gated_bench_missing_from_current_fails(self):
+        current = self.write(
+            "current.json",
+            bench_json([("BM_SomethingElse/4096", 100.0)]))
+        baseline = self.write("baseline.json", gated_run(400.0, 100.0))
+        self.assertEqual(self.run_gate(current, baseline), 1)
+
+    def test_empty_current_fails(self):
+        current = self.write("current.json", {"benchmarks": []})
+        self.assertEqual(self.run_gate(current), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()
