@@ -294,6 +294,13 @@ MessageInfo decode_sparse(std::span<const std::uint8_t> buffer,
   util::check(info.kind == PayloadKind::kSparse,
               "wire: expected a sparse payload");
   util::check(info.count <= info.dense_dim, "wire: nnz exceeds dense_dim");
+  // The encoder never emits bitmap indexing for an empty selection: varint
+  // costs 0 index bytes there and select_index_mode breaks ties toward
+  // varint.  A bitmap header claiming zero nnz is therefore always a forged
+  // or corrupt buffer — reject it outright instead of accepting a payload no
+  // encoder can produce.
+  util::check(info.index_mode == IndexMode::kVarintDelta || info.count > 0,
+              "wire: bitmap index mode with zero nnz");
 
   // Bound the declared nnz by what the buffer could possibly hold (>= 1
   // byte per varint index / the full bitmap, plus the value section) BEFORE

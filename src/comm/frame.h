@@ -1,0 +1,112 @@
+// Length-prefixed frame header for socket transports (runtime module).
+//
+// The comm codec (codec.h) defines what a gradient payload *is*; this header
+// defines how one message is delimited on a byte stream that has no message
+// boundaries of its own (a TCP or Unix-domain socket).  Every frame is a
+// fixed 24-byte header followed by `body_len` opaque body bytes — for
+// gradient traffic the body is the exact codec buffer, byte for byte, so
+// framing adds delimitation without re-encoding anything:
+//
+//   offset size field
+//   0      4    magic 0x53464d31 ("1MFS" on the wire, little-endian)
+//   4      2    version (kFrameVersion; decoders reject anything else)
+//   6      1    kind (transport message kind; opaque to the framing layer)
+//   7      1    reserved, must be zero
+//   8      2    from (sender endpoint id)
+//   10     2    reserved, must be zero
+//   12     4    body_len (bytes following the header, <= kMaxFrameBody)
+//   16     8    seq (sender-assigned sequence / iteration tag)
+//
+// All fields are little-endian and written byte-by-byte, the same
+// endianness-normalization-by-construction contract as the codec header.
+//
+// Decoding is strict: a short buffer, wrong magic, unknown version, nonzero
+// reserved bytes, or a body_len beyond kMaxFrameBody throws util::CheckError
+// with a descriptive message.  A receiver therefore fails fast on a corrupt
+// or hostile stream instead of mis-framing it — the transport layer turns
+// that into a session error rather than a hang.
+//
+// The put_*/get_* helpers are exported so transport-level message
+// serializers (runtime/topology.cpp) reuse the exact same little-endian
+// primitives instead of growing private copies.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sidco::comm {
+
+inline constexpr std::uint32_t kFrameMagic = 0x53464d31;  // "1MFS" LE
+inline constexpr std::uint16_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 24;
+/// Upper bound on a frame body.  Far above any real gradient payload (the
+/// proxy models are a few hundred KiB encoded); its job is to make a corrupt
+/// length field fail fast instead of asking the receiver to buffer gigabytes.
+inline constexpr std::size_t kMaxFrameBody = std::size_t{1} << 30;
+
+/// Little-endian scalar append/read primitives shared by the frame codec and
+/// the transport message serializers.
+inline void put_u16_le(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+inline void put_u32_le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+inline void put_u64_le(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+/// Doubles cross the wire as their IEEE 754 bit pattern: bit-exact by
+/// construction, which the cross-engine bit-identity contracts rely on.
+inline void put_f64_le(std::vector<std::uint8_t>& out, double v) {
+  put_u64_le(out, std::bit_cast<std::uint64_t>(v));
+}
+
+inline void put_f32_le(std::vector<std::uint8_t>& out, float v) {
+  put_u32_le(out, std::bit_cast<std::uint32_t>(v));
+}
+
+std::uint16_t get_u16_le(std::span<const std::uint8_t> buffer,
+                         std::size_t pos);
+std::uint32_t get_u32_le(std::span<const std::uint8_t> buffer,
+                         std::size_t pos);
+std::uint64_t get_u64_le(std::span<const std::uint8_t> buffer,
+                         std::size_t pos);
+double get_f64_le(std::span<const std::uint8_t> buffer, std::size_t pos);
+float get_f32_le(std::span<const std::uint8_t> buffer, std::size_t pos);
+
+/// Parsed frame header (everything except the body bytes themselves).
+struct FrameHeader {
+  std::uint8_t kind = 0;
+  std::uint16_t from = 0;
+  std::uint64_t seq = 0;
+  std::size_t body_len = 0;
+};
+
+/// Serializes a frame header.  Throws util::CheckError when body_len exceeds
+/// kMaxFrameBody (a sender must never emit a frame its peers would reject).
+std::array<std::uint8_t, kFrameHeaderBytes> encode_frame_header(
+    const FrameHeader& header);
+
+/// Appends header + body to `out` as one contiguous frame.
+void encode_frame(const FrameHeader& header,
+                  std::span<const std::uint8_t> body,
+                  std::vector<std::uint8_t>& out);
+
+/// Strictly parses the frame header at the front of `buffer` (which may hold
+/// more bytes — the body, further frames).  Throws util::CheckError on a
+/// buffer shorter than kFrameHeaderBytes, wrong magic, unknown version,
+/// nonzero reserved bytes, or an oversized body_len.
+FrameHeader decode_frame_header(std::span<const std::uint8_t> buffer);
+
+}  // namespace sidco::comm

@@ -164,6 +164,7 @@ std::string format_g(double value, int precision = 9) {
 Engine parse_engine(const std::string& token) {
   if (token == "simulated") return Engine::kSimulated;
   if (token == "threads") return Engine::kThreads;
+  if (token == "sockets") return Engine::kSockets;
   util::check_fail("unknown engine token: " + token);
 }
 
@@ -314,9 +315,15 @@ std::vector<Scenario> expand(const MatrixSpec& spec) {
                          << network.name << '/' << device.name << "/ec"
                          << (ec ? 1 : 0) << "/s" << stale << "/c" << chunk;
                     // Simulated cells keep their historical names so the
-                    // committed goldens stay valid; threads cells are a
-                    // distinct golden universe.
-                    if (spec.engine == Engine::kThreads) name << "/threads";
+                    // committed goldens stay valid; every other engine gets
+                    // its name suffixed so each engine is a distinct golden
+                    // universe.  Keying on the engine value (not an
+                    // enumerated allowlist) means an engine override — e.g.
+                    // run_scenarios --engine sockets — can never collide
+                    // with another engine's goldens.
+                    if (spec.engine != Engine::kSimulated) {
+                      name << '/' << engine_name(spec.engine);
+                    }
                     cell.name = name.str();
                     cells.push_back(std::move(cell));
                   }

@@ -17,7 +17,7 @@
 //   device     = homogeneous
 //   error_feedback = on
 //   staleness  = 0, 2
-//   engine     = simulated            # | threads (real worker threads)
+//   engine     = simulated  # | threads (worker threads) | sockets (processes)
 //
 // Each cell runs one deterministic run_session() (analytic device model) and
 // reports golden-comparable metrics: final loss, quality, mean selected
@@ -62,11 +62,12 @@ struct MatrixSpec {
   std::size_t eval_every = 0;
   std::size_t eval_batches = 2;
   std::uint64_t seed = 42;
-  /// Execution engine for every cell (`engine = simulated | threads`).
-  /// `threads` cells carry a "/threads" name suffix so their goldens can
-  /// never collide with simulated goldens.
+  /// Execution engine for every cell (`engine = simulated | threads |
+  /// sockets`).  Every non-simulated cell carries a "/<engine>" name suffix
+  /// so each engine is its own golden universe and an overridden engine can
+  /// never collide with another engine's goldens.
   Engine engine = Engine::kSimulated;
-  /// Bounded-channel capacity for the threads engine (`channel_capacity`).
+  /// Bounded-queue capacity for the real engines (`channel_capacity`).
   std::size_t channel_capacity = 8;
 
   // Axes (multi-valued keys), expanded outermost-first in this order.
@@ -88,7 +89,8 @@ struct Scenario {
   SessionConfig config;
 };
 
-/// Parses an engine token ("simulated" | "threads").  Shared by the spec
+/// Parses an engine token ("simulated" | "threads" | "sockets").  Shared by
+/// the spec
 /// parser and run_scenarios' --engine flag so the token set lives in one
 /// place.  Throws util::CheckError on unknown tokens.
 Engine parse_engine(const std::string& token);

@@ -12,6 +12,7 @@
 #include "dist/session_detail.h"
 #include "dist/worker.h"
 #include "nn/optimizer.h"
+#include "runtime/process_session.h"
 #include "runtime/threaded_session.h"
 #include "tensor/sparse.h"
 #include "util/check.h"
@@ -30,6 +31,7 @@ std::string_view engine_name(Engine engine) {
   switch (engine) {
     case Engine::kSimulated: return "simulated";
     case Engine::kThreads: return "threads";
+    case Engine::kSockets: return "sockets";
   }
   return "unknown";
 }
@@ -117,14 +119,19 @@ void validate_config(const SessionConfig& config) {
 
 // Identical replicas with private streams; the seed derivation is shared by
 // every driver (and frozen: run_session_reference depends on it).
+std::unique_ptr<Worker> make_worker(const SessionConfig& config,
+                                    std::size_t w) {
+  return std::make_unique<Worker>(
+      config.benchmark, config.seed, config.seed * 0x10001ULL + 7919 * w + 1,
+      config.scheme, config.target_ratio, config.error_feedback);
+}
+
 std::vector<std::unique_ptr<Worker>> make_workers(
     const SessionConfig& config) {
   std::vector<std::unique_ptr<Worker>> workers;
   workers.reserve(config.workers);
   for (std::size_t w = 0; w < config.workers; ++w) {
-    workers.push_back(std::make_unique<Worker>(
-        config.benchmark, config.seed, config.seed * 0x10001ULL + 7919 * w + 1,
-        config.scheme, config.target_ratio, config.error_feedback));
+    workers.push_back(make_worker(config, w));
   }
   return workers;
 }
@@ -693,10 +700,14 @@ SessionResult run_parameter_server(const SessionConfig& config) {
 SessionResult run_session(const SessionConfig& config) {
   detail::validate_config(config);
   if (config.engine == Engine::kThreads) {
-    // Real worker threads over bounded channels (runtime module).  The
-    // dist -> runtime -> dist dependency cycle is confined to this one
-    // dispatch; both are static libraries and CMake links the cycle.
+    // Real worker threads over an in-memory transport (runtime module).
+    // The dist -> runtime -> dist dependency cycle is confined to these
+    // dispatches; both are static libraries and CMake links the cycle.
     return runtime::run_session_threads(config);
+  }
+  if (config.engine == Engine::kSockets) {
+    // Forked worker processes over real sockets (runtime module).
+    return runtime::run_session_processes(config);
   }
   switch (config.topology) {
     case Topology::kAllreduce:

@@ -41,21 +41,27 @@ enum class Topology {
 
 std::string_view topology_name(Topology topology);
 
-/// Which execution engine runs the session.  Both engines share worker seed
+/// Which execution engine runs the session.  All engines share worker seed
 /// derivation, aggregation order and byte accounting, so at staleness 0 they
 /// are bit-identical on parameters / losses / wire bytes (enforced by
-/// test_runtime_differential).
+/// test_runtime_differential and test_socket_differential).
 enum class Engine {
   /// Single-threaded discrete-event simulation; wall-clock comes from the
   /// Network/Device timing models.  Default, and the golden-metric oracle.
   kSimulated,
   /// One real thread per worker (plus a server thread in kParameterServer),
-  /// exchanging encoded wire payloads over bounded channels
-  /// (runtime/channel.h).  Measured wall-clock lands in the measured_*
-  /// fields of SessionResult; modeled timing is still reported where it is a
-  /// closed form (allgather), and omitted where it would need the event
-  /// timeline (parameter-server communication).
+  /// exchanging encoded wire payloads through an in-memory transport over
+  /// bounded channels (runtime/transport.h).  Measured wall-clock lands in
+  /// the measured_* fields of SessionResult; modeled timing is still
+  /// reported where it is a closed form (allgather), and omitted where it
+  /// would need the event timeline (parameter-server communication).
   kThreads,
+  /// One forked *process* per worker, exchanging the same framed codec
+  /// bytes over real Unix-domain (default) or loopback TCP sockets
+  /// (runtime/process_session.h; SIDCO_SOCKET_FAMILY selects the family).
+  /// Runs the identical topology protocol code as kThreads and is
+  /// bit-identical to it on parameters / losses / evals / wire bytes.
+  kSockets,
 };
 
 std::string_view engine_name(Engine engine);
@@ -98,12 +104,15 @@ struct SessionConfig {
   /// Modeled-timing only: the threads engine runs at real hardware speed.
   std::vector<double> worker_time_scale;
 
-  /// Execution engine (see Engine).  kThreads runs every worker on a real
-  /// thread; numerics/bytes match kSimulated bit-for-bit at staleness 0.
+  /// Execution engine (see Engine).  kThreads/kSockets run every worker on
+  /// a real thread/process; numerics/bytes match kSimulated bit-for-bit at
+  /// staleness 0.
   Engine engine = Engine::kSimulated;
-  /// Bounded-channel capacity (messages) for the threads engine.  Any value
-  /// >= 1 is deadlock-free and numerics-invariant; it only changes how much
-  /// backpressure producers feel.  Ignored by kSimulated.
+  /// Bounded-queue capacity (messages) for the real engines: channel
+  /// capacity under kThreads, per-peer socket send-queue bound under
+  /// kSockets.  Any value >= 1 is deadlock-free and numerics-invariant; it
+  /// only changes how much backpressure producers feel.  Ignored by
+  /// kSimulated.
   std::size_t channel_capacity = 8;
 };
 

@@ -35,6 +35,11 @@ void validate_config(const SessionConfig& config);
 /// every driver (and frozen: run_session_reference depends on it).
 std::vector<std::unique_ptr<Worker>> make_workers(const SessionConfig& config);
 
+/// One replica of the frozen derivation above — what a forked participant of
+/// the sockets engine builds for its own rank without instantiating the rest.
+std::unique_ptr<Worker> make_worker(const SessionConfig& config,
+                                    std::size_t w);
+
 /// Stream seed of the dedicated parameter-server evaluation head (same model
 /// seed as the workers, disjoint stream).
 inline std::uint64_t eval_head_stream_seed(const SessionConfig& config) {

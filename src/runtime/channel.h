@@ -68,13 +68,17 @@ class Channel {
   }
 
   /// try_push that waits up to `timeout` for space.  Same value semantics as
-  /// try_push: `value` is only moved from on success.
+  /// try_push: `value` is only moved from on success.  The timeout is an
+  /// absolute monotonic deadline computed once up front: however often the
+  /// wait wakes spuriously (or loses a capacity race to another producer and
+  /// re-waits), the total time this call can block is bounded by `timeout`.
   template <typename Rep, typename Period>
   bool try_push_for(T& value,
                     const std::chrono::duration<Rep, Period>& timeout) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      if (!not_full_.wait_for(lock, timeout, [this] {
+      if (!not_full_.wait_until(lock, deadline, [this] {
             return closed_ || queue_.size() < capacity_;
           })) {
         return false;

@@ -1,0 +1,245 @@
+#include "runtime/process_session.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dist/session_detail.h"
+#include "dist/worker.h"
+#include "runtime/socket_transport.h"
+#include "runtime/topology.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace sidco::runtime {
+
+namespace {
+
+using dist::SessionConfig;
+using dist::SessionResult;
+using dist::Worker;
+
+SocketTransport::Family family_from_env() {
+  const char* env = std::getenv("SIDCO_SOCKET_FAMILY");
+  if (env == nullptr || std::strcmp(env, "unix") == 0) {
+    return SocketTransport::Family::kUnix;
+  }
+  if (std::strcmp(env, "tcp") == 0) return SocketTransport::Family::kTcp;
+  util::check_fail(std::string("SIDCO_SOCKET_FAMILY must be \"unix\" or "
+                               "\"tcp\", got \"") +
+                   env + "\"");
+  return SocketTransport::Family::kUnix;
+}
+
+/// Narrows the process-wide ThreadPool to a single thread (joining every
+/// pool worker) for the lifetime of the scope.  fork() only duplicates the
+/// calling thread; forking with live pool workers would leave children with
+/// a pool whose threads do not exist but whose locks might be held.  The
+/// pool contract keeps numerics bit-identical at any width, so this cannot
+/// perturb results.
+class SingleThreadScope {
+ public:
+  SingleThreadScope() : saved_(util::ThreadPool::instance().threads()) {
+    util::ThreadPool::instance().set_threads(1);
+  }
+  ~SingleThreadScope() { util::ThreadPool::instance().set_threads(saved_); }
+
+  SingleThreadScope(const SingleThreadScope&) = delete;
+  SingleThreadScope& operator=(const SingleThreadScope&) = delete;
+
+ private:
+  int saved_;
+};
+
+/// Child-side session body.  Never returns: a forked child must not unwind
+/// into the duplicated caller stack (gtest would re-report the parent's
+/// tests), so every path ends in _exit().
+[[noreturn]] void run_child(const SessionConfig& config,
+                            SocketTransport& transport, std::size_t w,
+                            bool ps) {
+  Endpoint* endpoint = nullptr;
+  try {
+    transport.forget_other_listeners(w);
+    endpoint = &transport.establish(w);
+    const std::unique_ptr<Worker> worker =
+        dist::detail::make_worker(config, w);
+    if (ps) {
+      topo::run_ps_worker(config, w, *worker, *endpoint);
+    } else {
+      topo::run_collective_worker(config, w, *worker, *endpoint);
+    }
+    // The protocol body may return with its final frames (kDone, a last
+    // push) still in the bounded send queue; _exit-ing now would lose them
+    // and strand the peers waiting.  Drain before going quiet.
+    endpoint->flush();
+    std::fflush(nullptr);
+    ::_exit(0);
+  } catch (const topo::AbortedError&) {
+    // Transport closed under us — the originating failure is elsewhere.
+    ::_exit(1);
+  } catch (...) {
+    // Best-effort kError to the parent: it carries the real failure text
+    // across the process boundary (the exit status alone cannot).
+    std::string text = "unknown error";
+    try {
+      throw;
+    } catch (const std::exception& e) {
+      text = e.what();
+    } catch (...) {
+    }
+    if (endpoint != nullptr) {
+      try {
+        endpoint->send(
+            config.workers,
+            {.kind = topo::kErrorKind,
+             .from = w,
+             .seq = 0,
+             .payload = std::make_shared<const std::vector<std::uint8_t>>(
+                 text.begin(), text.end())});
+        endpoint->flush();  // the kError is useless stuck in the queue
+      } catch (...) {
+      }
+    }
+    ::_exit(1);
+  }
+}
+
+void fill_measured(SessionResult& result, util::Timer& wall,
+                   std::span<const topo::MeasuredSeconds> measured) {
+  result.measured_wall_seconds = wall.seconds();
+  for (const topo::MeasuredSeconds& m : measured) {
+    result.measured_compute_seconds =
+        std::max(result.measured_compute_seconds, m.compute);
+    result.measured_comm_seconds =
+        std::max(result.measured_comm_seconds, m.comm);
+  }
+}
+
+}  // namespace
+
+SessionResult run_session_processes(const SessionConfig& config) {
+  dist::detail::validate_config(config);
+  const std::size_t n = config.workers;
+  const bool ps = config.topology == dist::Topology::kParameterServer;
+
+  SessionResult result;
+  result.config = config;
+
+  // A parent-side replica of worker 0 pins the gradient dimension and (PS)
+  // the initial parameters without waiting on a child; the frozen seed
+  // derivation makes it identical to the child's own rank-0 replica.
+  std::vector<float> init_params;
+  std::size_t dim = 0;
+  {
+    const std::unique_ptr<Worker> probe = dist::detail::make_worker(config, 0);
+    dim = probe->gradient_dimension();
+    if (ps) {
+      const std::span<const float> init = probe->parameters();
+      init_params.assign(init.begin(), init.end());
+    }
+  }
+  result.gradient_dimension = dim;
+
+  SocketTransport transport(n + 1, config.channel_capacity,
+                            family_from_env());
+
+  // Pool narrowed and stdio flushed before the first fork.
+  SingleThreadScope single_thread;
+  std::fflush(nullptr);
+
+  util::Timer wall;
+  std::vector<pid_t> children(n, -1);
+  for (std::size_t w = 0; w < n; ++w) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      transport.shutdown();
+      for (std::size_t k = 0; k < w; ++k) ::kill(children[k], SIGKILL);
+      for (std::size_t k = 0; k < w; ++k) {
+        int status = 0;
+        while (::waitpid(children[k], &status, 0) < 0 && errno == EINTR) {
+        }
+      }
+      util::check_fail(std::string("sockets engine: fork failed: ") +
+                       std::strerror(errno));
+    }
+    if (pid == 0) run_child(config, transport, w, ps);  // never returns
+    children[w] = pid;
+  }
+  // Each child keeps only its own listener; with the parent dropping the
+  // rest too, a child that dies closes the last fd of its listener and every
+  // pending handshake against it fails fast instead of hanging.
+  transport.forget_other_listeners(n);
+
+  std::vector<topo::MeasuredSeconds> measured;
+  std::exception_ptr error;
+  bool aborted = false;
+  try {
+    Endpoint& endpoint = transport.establish(n);
+    if (ps) {
+      topo::run_ps_server(config, init_params, dim, endpoint, result,
+                          measured);
+    } else {
+      topo::run_collective_coordinator(config, dim, endpoint, result,
+                                       measured);
+    }
+    endpoint.flush();  // defensive: drain any queued tail frames
+  } catch (const topo::AbortedError&) {
+    aborted = true;
+  } catch (...) {
+    error = std::current_exception();
+  }
+  if (aborted || error) {
+    // The session is already lost; reap deterministically rather than wait
+    // on children that may be blocked mid-protocol.
+    transport.shutdown();
+    for (const pid_t pid : children) ::kill(pid, SIGKILL);
+  }
+
+  std::size_t first_bad_child = n;
+  int first_bad_status = 0;
+  for (std::size_t w = 0; w < n; ++w) {
+    int status = 0;
+    while (::waitpid(children[w], &status, 0) < 0 && errno == EINTR) {
+    }
+    const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    if (!clean && first_bad_child == n) {
+      first_bad_child = w;
+      first_bad_status = status;
+    }
+  }
+  if (error) std::rethrow_exception(error);
+  if (aborted) {
+    util::check_fail(
+        "sockets engine: transport closed before the session completed "
+        "(worker process " +
+        (first_bad_child < n ? std::to_string(first_bad_child)
+                             : std::string("?")) +
+        " exited abnormally)");
+  }
+  if (first_bad_child < n) {
+    util::check_fail("sockets engine: worker process " +
+                     std::to_string(first_bad_child) +
+                     " exited abnormally (status " +
+                     std::to_string(first_bad_status) + ")");
+  }
+
+  dist::detail::finalize_result(result);
+  fill_measured(result, wall, measured);
+  return result;
+}
+
+}  // namespace sidco::runtime

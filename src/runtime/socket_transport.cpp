@@ -1,0 +1,526 @@
+#include "runtime/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <utility>
+
+#include "comm/frame.h"
+#include "util/check.h"
+
+namespace sidco::runtime {
+
+namespace {
+
+/// Handshake frame kind; protocol kinds (runtime/topology.h) start at 1.
+constexpr std::uint8_t kHelloKind = 0;
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  util::check_fail(what + ": " + std::strerror(errno));
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    fail_errno("socket transport: fcntl(O_NONBLOCK) failed");
+  }
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  // Best-effort: gradient frames are latency-sensitive in lock-step
+  // topologies; ignore failure (e.g. not a TCP socket).
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Blocking write of the whole buffer (handshake only; established links
+/// are non-blocking and pumped).  MSG_NOSIGNAL: a dead peer must surface as
+/// an error, not SIGPIPE.
+void write_exact(int fd, const std::uint8_t* data, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t sent = ::send(fd, data + done, len - done, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("socket transport: handshake write failed");
+    }
+    done += static_cast<std::size_t>(sent);
+  }
+}
+
+/// Blocking read of exactly `len` bytes (handshake only).  A peer closing
+/// the link mid-handshake fails fast with a descriptive error.
+void read_exact(int fd, std::uint8_t* data, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t got = ::recv(fd, data + done, len - done, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("socket transport: handshake read failed");
+    }
+    if (got == 0) {
+      util::check_fail("socket transport: peer closed during transport "
+                       "handshake");
+    }
+    done += static_cast<std::size_t>(got);
+  }
+}
+
+void send_hello(int fd, std::size_t self) {
+  const auto head = comm::encode_frame_header(
+      {.kind = kHelloKind,
+       .from = static_cast<std::uint16_t>(self),
+       .seq = 0,
+       .body_len = 0});
+  write_exact(fd, head.data(), head.size());
+}
+
+/// Reads and validates the peer's hello, returning its endpoint id.
+std::size_t read_hello(int fd, std::size_t endpoint_count) {
+  std::uint8_t buf[comm::kFrameHeaderBytes];
+  read_exact(fd, buf, sizeof(buf));
+  const comm::FrameHeader h = comm::decode_frame_header(buf);
+  util::check(h.kind == kHelloKind && h.body_len == 0,
+              "socket transport: malformed handshake hello");
+  util::check(h.from < endpoint_count,
+              "socket transport: hello from an unknown endpoint id");
+  return h.from;
+}
+
+}  // namespace
+
+struct SocketTransport::Listener {
+  int fd = -1;
+  std::string address;   ///< socket path (kUnix) or "127.0.0.1:<port>"
+  std::string uds_path;  ///< empty for kTcp
+};
+
+struct SocketTransport::Rendezvous {
+  Family family = Family::kUnix;
+  std::string directory;  ///< mkdtemp directory (kUnix)
+  std::vector<Listener> listeners;
+
+  ~Rendezvous() {
+    for (Listener& l : listeners) {
+      close_fd(l.fd);
+      if (!l.uds_path.empty()) ::unlink(l.uds_path.c_str());
+    }
+    if (!directory.empty()) ::rmdir(directory.c_str());
+  }
+};
+
+class SocketTransport::SocketEndpoint final : public Endpoint {
+ public:
+  SocketEndpoint(std::size_t self, std::size_t count,
+                 std::size_t queue_capacity)
+      : self_(self), count_(count), queue_capacity_(queue_capacity),
+        peers_(count) {}
+
+  ~SocketEndpoint() override { close_all(); }
+
+  void adopt(std::size_t peer, int fd) {
+    set_nonblocking(fd);
+    peers_[peer].fd = fd;
+  }
+
+  [[nodiscard]] bool has(std::size_t peer) const {
+    return peers_[peer].fd >= 0;
+  }
+
+  void close_all() {
+    shutdown_ = true;
+    for (Peer& p : peers_) close_fd(p.fd);
+  }
+
+  bool send(std::size_t to, TransportMessage message) override {
+    util::check(to < count_ && to != self_,
+                "socket transport: send to an invalid endpoint");
+    util::check(message.from == self_,
+                "socket transport: message.from must be the sender");
+    if (shutdown_) return false;
+    Peer& peer = peers_[to];
+    if (peer.fd < 0) return false;  // link already closed by the peer
+
+    std::vector<std::uint8_t> frame;
+    const std::span<const std::uint8_t> body =
+        message.payload ? std::span<const std::uint8_t>(*message.payload)
+                        : std::span<const std::uint8_t>{};
+    comm::encode_frame({.kind = message.kind,
+                        .from = static_cast<std::uint16_t>(message.from),
+                        .seq = message.seq,
+                        .body_len = body.size()},
+                       body, frame);
+    peer.out.push_back(std::move(frame));
+
+    // Flush opportunistically; while this peer's queue is over its bound,
+    // block in the pump — which keeps reading every link, so two endpoints
+    // bursting at each other cannot deadlock.
+    pump(0);
+    while (!shutdown_ && peer.fd >= 0 && peer.out.size() > queue_capacity_) {
+      pump(-1);
+    }
+    return !shutdown_ && peer.fd >= 0;
+  }
+
+  std::optional<TransportMessage> recv() override {
+    for (;;) {
+      if (!ready_.empty()) {
+        TransportMessage m = std::move(ready_.front());
+        ready_.pop_front();
+        return m;
+      }
+      if (shutdown_ || all_links_closed()) return std::nullopt;
+      pump(-1);
+    }
+  }
+
+  // Pump until no live link holds queued frames.  Required before this
+  // endpoint goes quiet: send() may return with frames still in the
+  // user-space queue, and nothing flushes them once the owner stops calling
+  // send()/recv() — a worker that exits right after its final send would
+  // silently lose it (the bug shows up as a peer blocked forever waiting
+  // for a frame that was never written).
+  void flush() override {
+    for (;;) {
+      if (shutdown_) return;
+      bool pending = false;
+      for (const Peer& p : peers_) {
+        if (p.fd >= 0 && !p.out.empty()) {
+          pending = true;
+          break;
+        }
+      }
+      if (!pending) return;
+      pump(-1);
+    }
+  }
+
+ private:
+  struct Peer {
+    int fd = -1;
+    std::vector<std::uint8_t> in;  ///< unparsed inbound bytes
+    std::size_t in_pos = 0;        ///< parsed prefix of `in`
+    std::deque<std::vector<std::uint8_t>> out;  ///< frames awaiting write
+    std::size_t out_pos = 0;  ///< bytes of out.front() already written
+  };
+
+  [[nodiscard]] bool all_links_closed() const {
+    for (const Peer& p : peers_) {
+      if (p.fd >= 0) return false;
+    }
+    return true;
+  }
+
+  /// One poll round over every live link: always read (inbound frames land
+  /// in ready_), write whatever the send queues hold.  timeout_ms as in
+  /// poll(): -1 blocks, 0 polls.
+  void pump(int timeout_ms) {
+    std::vector<struct pollfd> fds;
+    std::vector<std::size_t> ids;
+    fds.reserve(count_);
+    ids.reserve(count_);
+    for (std::size_t i = 0; i < count_; ++i) {
+      const Peer& p = peers_[i];
+      if (p.fd < 0) continue;
+      short events = POLLIN;
+      if (!p.out.empty()) events |= POLLOUT;
+      fds.push_back({.fd = p.fd, .events = events, .revents = 0});
+      ids.push_back(i);
+    }
+    if (fds.empty()) return;
+    const int rc = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) return;
+      fail_errno("socket transport: poll failed");
+    }
+    for (std::size_t k = 0; k < fds.size(); ++k) {
+      const std::size_t i = ids[k];
+      if (fds[k].revents & (POLLIN | POLLHUP | POLLERR)) drain_reads(i);
+      if (peers_[i].fd >= 0 && (fds[k].revents & POLLOUT)) flush_writes(i);
+    }
+  }
+
+  void drain_reads(std::size_t i) {
+    Peer& p = peers_[i];
+    std::uint8_t buf[64 * 1024];
+    for (;;) {
+      const ssize_t got = ::recv(p.fd, buf, sizeof(buf), 0);
+      if (got > 0) {
+        p.in.insert(p.in.end(), buf, buf + got);
+        continue;
+      }
+      if (got == 0 || errno == ECONNRESET) {
+        // End of stream.  Complete frames already buffered stay
+        // receivable; a partial frame means the peer died (or lied about
+        // body_len) mid-message — fail fast, never hang.
+        parse_frames(i);
+        const bool truncated = p.in.size() > p.in_pos;
+        close_fd(p.fd);
+        p.out.clear();
+        if (truncated) {
+          util::check_fail(
+              "socket transport: truncated frame mid-stream from endpoint " +
+              std::to_string(i) + " (" +
+              std::to_string(p.in.size() - p.in_pos) + " dangling bytes)");
+        }
+        return;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      fail_errno("socket transport: recv failed");
+    }
+    parse_frames(i);
+  }
+
+  void parse_frames(std::size_t i) {
+    Peer& p = peers_[i];
+    for (;;) {
+      const std::size_t avail = p.in.size() - p.in_pos;
+      if (avail < comm::kFrameHeaderBytes) break;
+      const std::span<const std::uint8_t> view(p.in.data() + p.in_pos,
+                                               avail);
+      // Strict: bad magic / version / reserved bytes / oversized body_len
+      // throw util::CheckError out of recv()/send() — a corrupt stream is a
+      // session error, not a hang.
+      const comm::FrameHeader header = comm::decode_frame_header(view);
+      if (avail < comm::kFrameHeaderBytes + header.body_len) break;
+      util::check(header.from == i,
+                  "socket transport: frame from the wrong peer on this link");
+      util::check(header.kind != kHelloKind,
+                  "socket transport: unexpected handshake frame mid-stream");
+      const auto* body = view.data() + comm::kFrameHeaderBytes;
+      ready_.push_back(
+          {.kind = header.kind,
+           .from = header.from,
+           .seq = header.seq,
+           .payload = std::make_shared<const std::vector<std::uint8_t>>(
+               body, body + header.body_len)});
+      p.in_pos += comm::kFrameHeaderBytes + header.body_len;
+    }
+    // Compact the consumed prefix once it dominates the buffer, keeping the
+    // pump O(bytes) overall instead of O(bytes^2).
+    if (p.in_pos == p.in.size()) {
+      p.in.clear();
+      p.in_pos = 0;
+    } else if (p.in_pos > (64U * 1024U)) {
+      p.in.erase(p.in.begin(),
+                 p.in.begin() + static_cast<std::ptrdiff_t>(p.in_pos));
+      p.in_pos = 0;
+    }
+  }
+
+  void flush_writes(std::size_t i) {
+    Peer& p = peers_[i];
+    while (!p.out.empty()) {
+      const std::vector<std::uint8_t>& front = p.out.front();
+      const std::size_t remaining = front.size() - p.out_pos;
+      const ssize_t sent = ::send(p.fd, front.data() + p.out_pos, remaining,
+                                  MSG_NOSIGNAL);
+      if (sent < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EPIPE || errno == ECONNRESET) {
+          // Peer vanished; its process exit status / kError frame carries
+          // the real story.  Drop the link so senders observe failure.
+          close_fd(p.fd);
+          p.out.clear();
+          p.out_pos = 0;
+          return;
+        }
+        fail_errno("socket transport: send failed");
+      }
+      p.out_pos += static_cast<std::size_t>(sent);
+      if (p.out_pos == front.size()) {
+        p.out.pop_front();
+        p.out_pos = 0;
+      }
+    }
+  }
+
+  std::size_t self_;
+  std::size_t count_;
+  std::size_t queue_capacity_;
+  bool shutdown_ = false;
+  std::vector<Peer> peers_;
+  std::deque<TransportMessage> ready_;
+};
+
+SocketTransport::SocketTransport(std::size_t endpoints,
+                                 std::size_t send_queue_capacity,
+                                 Family family) {
+  util::check(endpoints >= 1 && endpoints < 65536,
+              "socket transport: endpoint count out of range");
+  util::check(send_queue_capacity >= 1,
+              "socket transport: send queue capacity must be >= 1");
+  rendezvous_ = std::make_unique<Rendezvous>();
+  rendezvous_->family = family;
+  rendezvous_->listeners.resize(endpoints);
+  endpoints_.resize(endpoints);
+  queue_capacity_ = send_queue_capacity;
+
+  if (family == Family::kUnix) {
+    char tmpl[] = "/tmp/sidco-skt-XXXXXX";
+    util::check(::mkdtemp(tmpl) != nullptr,
+                "socket transport: mkdtemp failed");
+    rendezvous_->directory = tmpl;
+  }
+
+  for (std::size_t i = 0; i < endpoints; ++i) {
+    Listener& l = rendezvous_->listeners[i];
+    if (family == Family::kUnix) {
+      l.uds_path = rendezvous_->directory + "/e" + std::to_string(i);
+      struct sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      util::check(l.uds_path.size() < sizeof(addr.sun_path),
+                  "socket transport: unix socket path too long");
+      std::strncpy(addr.sun_path, l.uds_path.c_str(),
+                   sizeof(addr.sun_path) - 1);
+      l.fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (l.fd < 0) fail_errno("socket transport: socket(AF_UNIX) failed");
+      if (::bind(l.fd, reinterpret_cast<struct sockaddr*>(&addr),
+                 sizeof(addr)) < 0) {
+        fail_errno("socket transport: bind(" + l.uds_path + ") failed");
+      }
+      l.address = l.uds_path;
+    } else {
+      struct sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = 0;  // ephemeral; read back with getsockname
+      l.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (l.fd < 0) fail_errno("socket transport: socket(AF_INET) failed");
+      if (::bind(l.fd, reinterpret_cast<struct sockaddr*>(&addr),
+                 sizeof(addr)) < 0) {
+        fail_errno("socket transport: bind(127.0.0.1) failed");
+      }
+      socklen_t len = sizeof(addr);
+      if (::getsockname(l.fd, reinterpret_cast<struct sockaddr*>(&addr),
+                        &len) < 0) {
+        fail_errno("socket transport: getsockname failed");
+      }
+      l.address = "127.0.0.1:" + std::to_string(ntohs(addr.sin_port));
+    }
+    if (::listen(l.fd, SOMAXCONN) < 0) {
+      fail_errno("socket transport: listen failed");
+    }
+  }
+}
+
+SocketTransport::~SocketTransport() = default;
+
+std::size_t SocketTransport::endpoint_count() const {
+  return rendezvous_->listeners.size();
+}
+
+Endpoint& SocketTransport::endpoint(std::size_t id) {
+  util::check(id < endpoints_.size() && endpoints_[id] != nullptr,
+              "socket transport: endpoint not established in this process");
+  return *endpoints_[id];
+}
+
+void SocketTransport::shutdown() {
+  for (auto& ep : endpoints_) {
+    if (ep) ep->close_all();
+  }
+  for (Listener& l : rendezvous_->listeners) close_fd(l.fd);
+}
+
+std::string SocketTransport::address(std::size_t id) const {
+  util::check(id < rendezvous_->listeners.size(),
+              "socket transport: unknown endpoint id");
+  return rendezvous_->listeners[id].address;
+}
+
+void SocketTransport::forget_other_listeners(std::size_t id) {
+  for (std::size_t i = 0; i < rendezvous_->listeners.size(); ++i) {
+    if (i != id) close_fd(rendezvous_->listeners[i].fd);
+  }
+}
+
+Endpoint& SocketTransport::establish(std::size_t id) {
+  const std::size_t count = rendezvous_->listeners.size();
+  util::check(id < count, "socket transport: unknown endpoint id");
+  util::check(endpoints_[id] == nullptr,
+              "socket transport: endpoint already established");
+  auto ep = std::make_unique<SocketEndpoint>(id, count, queue_capacity_);
+
+  // Connect to every lower-id listener (bound before any participant
+  // started, so connects cannot race the listen()).
+  for (std::size_t j = 0; j < id; ++j) {
+    const Listener& l = rendezvous_->listeners[j];
+    int fd = -1;
+    if (rendezvous_->family == Family::kUnix) {
+      struct sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      std::strncpy(addr.sun_path, l.uds_path.c_str(),
+                   sizeof(addr.sun_path) - 1);
+      fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (fd < 0) fail_errno("socket transport: socket(AF_UNIX) failed");
+      if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                    sizeof(addr)) < 0) {
+        fail_errno("socket transport: connect(" + l.address + ") failed");
+      }
+    } else {
+      const auto colon = l.address.rfind(':');
+      struct sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port =
+          htons(static_cast<std::uint16_t>(
+              std::stoi(l.address.substr(colon + 1))));
+      fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) fail_errno("socket transport: socket(AF_INET) failed");
+      if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                    sizeof(addr)) < 0) {
+        fail_errno("socket transport: connect(" + l.address + ") failed");
+      }
+      set_nodelay(fd);
+    }
+    send_hello(fd, id);
+    const std::size_t peer = read_hello(fd, count);
+    util::check(peer == j,
+                "socket transport: handshake hello from an unexpected peer");
+    ep->adopt(j, fd);
+  }
+
+  // Accept one connection from every higher-id endpoint; the peer's hello
+  // names the link (accept order is scheduler-dependent).
+  std::size_t remaining = count - id - 1;
+  while (remaining > 0) {
+    const int fd = ::accept(rendezvous_->listeners[id].fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("socket transport: accept failed");
+    }
+    if (rendezvous_->family == Family::kTcp) set_nodelay(fd);
+    const std::size_t peer = read_hello(fd, count);
+    util::check(peer > id && !ep->has(peer),
+                "socket transport: handshake hello from an unexpected peer");
+    send_hello(fd, id);
+    ep->adopt(peer, fd);
+    --remaining;
+  }
+
+  endpoints_[id] = std::move(ep);
+  return *endpoints_[id];
+}
+
+}  // namespace sidco::runtime

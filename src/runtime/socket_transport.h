@@ -1,0 +1,105 @@
+// Socket-backed Transport: the same TransportMessages as InMemoryTransport,
+// framed over real Unix-domain or TCP sockets (comm/frame.h) — one process
+// (or thread, in tests) per endpoint.
+//
+// Topology of the fabric: a full mesh.  For E endpoints the rendezvous
+// binds one listening socket per endpoint up front (so it can happen
+// *before* fork, making connect-vs-listen races impossible), then each
+// participant calls establish(id) exactly once:
+//
+//  - it connects to the listener of every lower-id endpoint, and
+//  - accepts one connection from every higher-id endpoint,
+//
+// exchanging a symmetric hello frame (kind 0, empty body, `from` = sender
+// id) on every link.  The hello is what names the peer on the accept side —
+// accept order is scheduler-dependent — and what authenticates the link on
+// both sides: wrong magic/version or an unexpected peer id fails fast with
+// util::CheckError, and a peer that closes mid-handshake surfaces as
+// "peer closed during transport handshake" instead of a hang.
+//
+// Address families: kUnix (default) binds per-endpoint sockets in a private
+// mkdtemp directory; kTcp binds 127.0.0.1 ephemeral ports (read back with
+// getsockname before fork).  address(id) exposes the bound address for
+// tests and diagnostics.
+//
+// Endpoint runtime model: strictly single-threaded.  All link fds are
+// non-blocking and serviced by one poll() pump that always reads (inbound
+// frames accumulate in a ready queue) and writes whatever the per-peer
+// bounded send queues hold.  send() enqueues a frame and, while the
+// destination queue is over `send_queue_capacity`, blocks *in the pump* —
+// so a blocked sender keeps draining its inbound links and two endpoints
+// sending large bursts at each other cannot deadlock (the socket-fabric
+// analogue of InMemoryTransport's drain-own-inbox rule).  The flip side of
+// buffered sends: an endpoint that stops calling send()/recv() stops
+// pumping, so up to `send_queue_capacity` tail frames could die in its
+// queue — callers MUST Endpoint::flush() before going quiet (the process
+// engine flushes every worker before _exit and the coordinator after its
+// protocol body).
+//
+// The stream decoder is strict: every frame header goes through
+// comm::decode_frame_header (bad magic / version / reserved bytes /
+// oversized body_len throw), a frame whose `from` is not the peer on that
+// link is rejected, and EOF with a partial frame buffered is reported as a
+// truncated stream.  Failures surface as util::CheckError from send()/
+// recv() — the engines route them into their error paths (ErrorSink slots
+// under threads, session failure in the process engine) rather than hang.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/transport.h"
+
+namespace sidco::runtime {
+
+class SocketTransport final : public Transport {
+ public:
+  enum class Family {
+    kUnix,  ///< AF_UNIX stream sockets in a private temp directory
+    kTcp,   ///< 127.0.0.1 ephemeral-port TCP (TCP_NODELAY)
+  };
+
+  /// Binds one listener per endpoint (rendezvous).  Do this before forking
+  /// participants.  `send_queue_capacity` bounds each per-peer send queue
+  /// in messages, mirroring Channel capacity semantics (>= 1).
+  SocketTransport(std::size_t endpoints, std::size_t send_queue_capacity,
+                  Family family = Family::kUnix);
+  ~SocketTransport() override;
+
+  [[nodiscard]] std::size_t endpoint_count() const override;
+
+  /// The established endpoint for `id`.  Throws util::CheckError when
+  /// establish(id) has not run in this process.
+  Endpoint& endpoint(std::size_t id) override;
+
+  /// Closes every established link and listener owned by this process;
+  /// blocked send()/recv() calls observe end-of-stream.
+  void shutdown() override;
+
+  /// Connects/accepts and handshakes every link of endpoint `id` (see file
+  /// comment).  Call exactly once per id, from the participant that owns
+  /// it.  Blocks until every peer has established its side.
+  Endpoint& establish(std::size_t id);
+
+  /// The listener address of `id`: the socket path (kUnix) or
+  /// "127.0.0.1:<port>" (kTcp).  Valid from construction.
+  [[nodiscard]] std::string address(std::size_t id) const;
+
+  /// Closes the listener fds of every endpoint except `id` in this process.
+  /// Forked children call this so the only rendezvous fd they keep is their
+  /// own listener.
+  void forget_other_listeners(std::size_t id);
+
+ private:
+  class SocketEndpoint;
+  struct Listener;
+  struct Rendezvous;
+
+  std::unique_ptr<Rendezvous> rendezvous_;
+  std::vector<std::unique_ptr<SocketEndpoint>> endpoints_;
+  std::size_t queue_capacity_ = 1;
+};
+
+}  // namespace sidco::runtime

@@ -2,24 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
-#include <cstdint>
-#include <deque>
 #include <exception>
 #include <memory>
-#include <optional>
 #include <span>
 #include <thread>
-#include <utility>
 #include <vector>
 
-#include "comm/aggregate.h"
-#include "comm/codec.h"
 #include "dist/session_detail.h"
 #include "dist/worker.h"
-#include "nn/optimizer.h"
-#include "nn/zoo.h"
-#include "runtime/channel.h"
+#include "runtime/topology.h"
+#include "runtime/transport.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -27,24 +19,9 @@ namespace sidco::runtime {
 
 namespace {
 
-using dist::EvalRecord;
-using dist::IterationRecord;
 using dist::SessionConfig;
 using dist::SessionResult;
 using dist::Worker;
-using dist::detail::common_compression_seconds;
-using dist::detail::TimingContext;
-using dist::detail::worker_scale;
-
-/// Thrown inside a worker/server loop when the session is shutting down
-/// (another thread failed, channels closed).  Swallowed at the thread
-/// boundary: the *first* real error is what gets rethrown to the caller.
-struct Aborted {};
-
-/// How long a blocked channel push waits before re-checking for shutdown and
-/// draining its own inbox (allgather broadcast).  Latency-insensitive: it
-/// only bounds how fast a deadlock-avoidance drain cycle spins.
-constexpr std::chrono::milliseconds kPushRetry{1};
 
 /// Per-thread error collection: worker threads never let an exception
 /// escape; the coordinator rethrows the first one after joining.
@@ -53,13 +30,14 @@ class ErrorSink {
   explicit ErrorSink(std::size_t slots) : errors_(slots) {}
 
   /// Runs `body`, capturing any exception into this thread's slot and
-  /// flagging the session as failed.  Aborted is not an error.
+  /// flagging the session as failed.  topo::AbortedError is not an error:
+  /// it is cooperative shutdown, and the originating error lives in another
+  /// thread's slot.
   template <typename Body>
   void guard(std::size_t slot, Body&& body) {
     try {
       body();
-    } catch (const Aborted&) {
-      // cooperative shutdown, the originating error lives in another slot
+    } catch (const topo::AbortedError&) {
     } catch (...) {
       errors_[slot] = std::current_exception();
       failed_.store(true, std::memory_order_release);
@@ -82,17 +60,10 @@ class ErrorSink {
   std::atomic<bool> failed_{false};
 };
 
-/// Per-worker measured wall-clock, written only by the owning thread and
-/// read by the coordinator after join.
-struct MeasuredSeconds {
-  double compute = 0.0;
-  double comm = 0.0;
-};
-
 void fill_measured(SessionResult& result, util::Timer& wall,
-                   std::span<const MeasuredSeconds> measured) {
+                   std::span<const topo::MeasuredSeconds> measured) {
   result.measured_wall_seconds = wall.seconds();
-  for (const MeasuredSeconds& m : measured) {
+  for (const topo::MeasuredSeconds& m : measured) {
     result.measured_compute_seconds =
         std::max(result.measured_compute_seconds, m.compute);
     result.measured_comm_seconds =
@@ -100,39 +71,11 @@ void fill_measured(SessionResult& result, util::Timer& wall,
   }
 }
 
-// ---------------------------------------------------------------------------
-// Lock-step collective (allgather) over per-worker inbox channels.
-// ---------------------------------------------------------------------------
-
-/// An encoded gradient in flight between workers.  The payload is shared:
-/// broadcasting to N-1 peers copies a pointer, not the bytes (a real NIC
-/// would DMA the same buffer; copying it N times would measure memcpy
-/// bandwidth, not exchange behavior).
-struct WireMessage {
-  std::size_t worker = 0;
-  std::size_t iter = 0;
-  std::shared_ptr<const std::vector<std::uint8_t>> payload;
-};
-
-/// Per-step scalars a worker reports to the coordinator, plus worker 0's
-/// eval results (riding the same message keeps the channel count at one and
-/// makes the eval's availability ordering trivial: it is always enqueued
-/// before that worker's next push).
-struct StepReport {
-  std::size_t worker = 0;
-  std::size_t iter = 0;
-  std::size_t nnz = 0;
-  std::size_t wire_bytes = 0;
-  double train_loss = 0.0;
-  double train_accuracy = 0.0;
-  double measured_compression = 0.0;
-  int stages_used = 1;
-  bool has_eval = false;
-  nn::LossResult eval;
-};
-
-SessionResult run_allgather_threads(const SessionConfig& config) {
-  const nn::BenchmarkSpec& spec = nn::benchmark_spec(config.benchmark);
+/// Runs the topology bodies (runtime/topology.h) with every worker on a real
+/// std::thread and the coordinator/server body on the calling thread, all
+/// wired through one InMemoryTransport (endpoint n = coordinator).  The
+/// protocol code itself is shared with the sockets engine verbatim.
+SessionResult run_topology_threads(const SessionConfig& config) {
   std::vector<std::unique_ptr<Worker>> workers =
       dist::detail::make_workers(config);
 
@@ -140,460 +83,54 @@ SessionResult run_allgather_threads(const SessionConfig& config) {
   result.config = config;
   const std::size_t dim = workers.front()->gradient_dimension();
   result.gradient_dimension = dim;
-  const TimingContext timing = dist::detail::make_timing(config, dim);
 
   const std::size_t n = config.workers;
-  const std::size_t iters = config.iterations;
-  const bool wired = n > 1;
-  const std::size_t eval_batch = std::max<std::size_t>(spec.batch_size, 1);
-
-  std::vector<std::unique_ptr<Channel<WireMessage>>> inbox;
-  inbox.reserve(n);
-  for (std::size_t w = 0; w < n; ++w) {
-    inbox.push_back(
-        std::make_unique<Channel<WireMessage>>(config.channel_capacity));
+  const bool ps = config.topology == dist::Topology::kParameterServer;
+  std::vector<float> init_params;
+  if (ps) {
+    const std::span<const float> init = workers.front()->parameters();
+    init_params.assign(init.begin(), init.end());
   }
-  Channel<StepReport> reports(config.channel_capacity);
 
-  std::vector<MeasuredSeconds> measured_by_worker(n);
+  InMemoryTransport transport(n + 1, config.channel_capacity);
+  std::vector<topo::MeasuredSeconds> measured;
   ErrorSink errors(n + 1);  // slot n belongs to the coordinator
   util::Timer wall;
 
-  const auto close_everything = [&] {
-    for (auto& ch : inbox) ch->close();
-    reports.close();
-  };
-
-  const auto worker_body = [&](std::size_t w) {
-    comm::SparseAccumulator accumulator;
-    // Messages popped from the inbox but not yet consumed, FIFO per
-    // producer.  A peer can run at most one iteration ahead (it cannot
-    // finish iteration i+1 without this worker's i+1 payload), so each
-    // queue holds at most two entries.
-    std::vector<std::deque<WireMessage>> stash(n);
-    util::Timer phase;
-    const auto drain_inbox = [&] {
-      while (std::optional<WireMessage> m = inbox[w]->try_pop()) {
-        stash[m->worker].push_back(std::move(*m));
-      }
-    };
-
-    for (std::size_t iter = 0; iter < iters; ++iter) {
-      phase.reset();
-      dist::WorkerStepResult step = workers[w]->step(spec.batch_size);
-      measured_by_worker[w].compute += phase.seconds();
-
-      phase.reset();
-      const auto payload = std::make_shared<const std::vector<std::uint8_t>>(
-          std::move(step.encoded));
-      // Broadcast to every peer.  A full peer inbox never blocks this
-      // thread outright: while waiting for space it keeps draining its own
-      // inbox, so a ring of mutually-full capacity-1 channels still makes
-      // progress (test_runtime_differential sweeps capacity 1).
-      for (std::size_t p = 0; p < n; ++p) {
-        if (p == w) continue;
-        WireMessage msg{.worker = w, .iter = iter, .payload = payload};
-        while (!inbox[p]->try_push_for(msg, kPushRetry)) {
-          if (errors.failed() || inbox[p]->closed()) throw Aborted{};
-          drain_inbox();
-        }
-      }
-      // Collect the iteration's payload from every peer.
-      for (std::size_t p = 0; p < n; ++p) {
-        if (p == w) continue;
-        while (stash[p].empty()) {
-          std::optional<WireMessage> m = inbox[w]->pop();
-          if (!m) throw Aborted{};
-          stash[m->worker].push_back(std::move(*m));
-        }
-      }
-      measured_by_worker[w].comm += phase.seconds();
-
-      phase.reset();
-      // Reduce the N decoded payloads in worker order — the exact order of
-      // tensor::aggregate_mean, so every replica computes a bit-identical
-      // mean and replicas never diverge.
-      accumulator.reset(dim);
-      const auto scale = static_cast<float>(1.0 / static_cast<double>(n));
-      for (std::size_t p = 0; p < n; ++p) {
-        if (p == w) {
-          accumulator.accumulate_encoded(*payload, scale);
-          continue;
-        }
-        WireMessage m = std::move(stash[p].front());
-        stash[p].pop_front();
-        util::check(m.iter == iter,
-                    "allgather payload from the wrong iteration");
-        accumulator.accumulate_encoded(*m.payload, scale);
-      }
-      workers[w]->apply_update(accumulator.dense());
-
-      measured_by_worker[w].compute += phase.seconds();
-
-      StepReport report{.worker = w,
-                        .iter = iter,
-                        .nnz = step.selected,
-                        .wire_bytes = step.wire_bytes,
-                        .train_loss = step.train_loss,
-                        .train_accuracy = step.train_accuracy,
-                        .measured_compression =
-                            step.measured_compression_seconds,
-                        .stages_used = step.stages_used,
-                        .has_eval = false,
-                        .eval = {}};
-      if (w == 0) {
-        // Evaluation is metric collection, not training — it stays outside
-        // the measured compute/comm phases.
-        const bool last = iter + 1 == iters;
-        const bool scheduled =
-            config.eval_every > 0 && (iter + 1) % config.eval_every == 0;
-        if (scheduled || last) {
-          report.has_eval = true;
-          report.eval = workers[0]->evaluate(eval_batch, config.eval_batches);
-        }
-      }
-      if (!reports.push(std::move(report))) throw Aborted{};
-    }
-  };
-
   std::vector<std::thread> threads;
   threads.reserve(n);
   for (std::size_t w = 0; w < n; ++w) {
     threads.emplace_back([&, w] {
-      errors.guard(w, [&] { worker_body(w); });
+      errors.guard(w, [&] {
+        if (ps) {
+          topo::run_ps_worker(config, w, *workers[w], transport.endpoint(w));
+        } else {
+          topo::run_collective_worker(config, w, *workers[w],
+                                      transport.endpoint(w));
+        }
+      });
       // A failing worker must wake the coordinator and its peers, or they
-      // would block forever on channels nobody feeds.
-      if (errors.failed()) close_everything();
+      // would block forever on links nobody feeds.
+      if (errors.failed()) transport.shutdown();
     });
   }
 
-  // Coordinator: assemble per-iteration records from the step reports
-  // through the shared detail::collective_iteration_record — identical
-  // inputs through the identical formulas keep the two engines' records
-  // (timing included) bit-identical by construction.
   errors.guard(n, [&] {
-    std::vector<std::deque<StepReport>> pending(n);
-    std::vector<StepReport> steps(n);
-    std::vector<dist::detail::StepScalars> scalars(n);
-    std::vector<double> produce(n, 0.0);
-
-    for (std::size_t iter = 0; iter < iters; ++iter) {
-      for (std::size_t w = 0; w < n; ++w) {
-        while (pending[w].empty()) {
-          std::optional<StepReport> r = reports.pop();
-          if (!r) throw Aborted{};
-          pending[r->worker].push_back(std::move(*r));
-        }
-        steps[w] = std::move(pending[w].front());
-        pending[w].pop_front();
-        util::check(steps[w].iter == iter,
-                    "allgather report from the wrong iteration");
-        scalars[w] = {.nnz = steps[w].nnz,
-                      .wire_bytes = steps[w].wire_bytes,
-                      .train_loss = steps[w].train_loss,
-                      .train_accuracy = steps[w].train_accuracy,
-                      .measured_compression = steps[w].measured_compression,
-                      .stages_used = steps[w].stages_used};
-      }
-
-      const IterationRecord record = dist::detail::collective_iteration_record(
-          config, timing, scalars, produce);
-      result.total_wire_bytes += record.wire_bytes;
-      if (wired) {
-        result.total_dense_equiv_bytes +=
-            n * dist::NetworkModel::dense_bytes(dim);
-      }
-      result.total_modeled_seconds += record.wall_seconds();
-      result.iterations.push_back(record);
-
-      if (steps[0].has_eval) {
-        result.evals.push_back(
-            {.iteration = iter + 1,
-             .loss = steps[0].eval.loss,
-             .accuracy = steps[0].eval.accuracy,
-             .quality = dist::benchmark_quality(config.benchmark,
-                                                steps[0].eval.loss,
-                                                steps[0].eval.accuracy)
-                            .value});
-      }
+    if (ps) {
+      topo::run_ps_server(config, init_params, dim, transport.endpoint(n),
+                          result, measured);
+    } else {
+      topo::run_collective_coordinator(config, dim, transport.endpoint(n),
+                                       result, measured);
     }
   });
 
-  close_everything();
+  transport.shutdown();
   for (std::thread& t : threads) t.join();
   errors.rethrow_if_any();
 
-  const std::span<const float> params = workers.front()->parameters();
-  result.final_parameters.assign(params.begin(), params.end());
-  result.staleness_histogram.assign(1, n * result.iterations.size());
   dist::detail::finalize_result(result);
-  fill_measured(result, wall, measured_by_worker);
-  return result;
-}
-
-// ---------------------------------------------------------------------------
-// Parameter server: a server thread (the calling thread) owns the canonical
-// parameters; workers push encoded gradients over one MPSC channel and
-// receive SSP admission grants (with fresh parameters when behind) on
-// per-worker channels.
-// ---------------------------------------------------------------------------
-
-struct PushMessage {
-  std::size_t worker = 0;
-  std::size_t round = 0;
-  std::size_t staleness = 0;  ///< applied rounds missing at compute time
-  std::vector<std::uint8_t> payload;
-  std::size_t nnz = 0;
-  std::size_t wire_bytes = 0;
-  double train_loss = 0.0;
-  double train_accuracy = 0.0;
-  double measured_compression = 0.0;
-  int stages_used = 1;
-};
-
-/// SSP admission for one round.  `params` is non-null exactly when the
-/// server moved on since this worker's last pull — the snapshot is shared
-/// between simultaneous grants of the same version.
-struct GrantMessage {
-  std::size_t version = 0;
-  std::shared_ptr<const std::vector<float>> params;
-};
-
-/// One worker's staged contribution, server side.
-struct PsPart {
-  PushMessage push;
-  bool arrived = false;
-};
-
-SessionResult run_parameter_server_threads(const SessionConfig& config) {
-  const nn::BenchmarkSpec& spec = nn::benchmark_spec(config.benchmark);
-  std::vector<std::unique_ptr<Worker>> workers =
-      dist::detail::make_workers(config);
-
-  SessionResult result;
-  result.config = config;
-  const std::size_t dim = workers.front()->gradient_dimension();
-  result.gradient_dimension = dim;
-  const TimingContext timing = dist::detail::make_timing(config, dim);
-
-  const std::size_t n = config.workers;
-  const std::size_t rounds = config.iterations;
-  const std::size_t slack = config.staleness_bound;
-  const bool wired = n > 1;
-  const std::size_t eval_batch = std::max<std::size_t>(spec.batch_size, 1);
-
-  // Canonical server state, exactly as in the simulated driver: worker 0's
-  // initial replica, updated through one canonical optimizer.
-  const std::span<const float> init = workers.front()->parameters();
-  std::vector<float> server_params(init.begin(), init.end());
-  nn::SgdOptimizer server_optimizer(spec.optimizer);
-  Worker eval_head(config.benchmark, config.seed,
-                   dist::detail::eval_head_stream_seed(config),
-                   core::Scheme::kNone, 1.0, false);
-
-  Channel<PushMessage> pushes(config.channel_capacity);
-  std::vector<std::unique_ptr<Channel<GrantMessage>>> grants;
-  grants.reserve(n);
-  for (std::size_t w = 0; w < n; ++w) {
-    // At most one grant is ever outstanding per worker (the server grants
-    // round c+1 only after popping the worker's round-c push).
-    grants.push_back(std::make_unique<Channel<GrantMessage>>(1));
-  }
-
-  std::vector<MeasuredSeconds> measured_by_worker(n);
-  ErrorSink errors(n + 1);
-  util::Timer wall;
-
-  const auto close_everything = [&] {
-    pushes.close();
-    for (auto& ch : grants) ch->close();
-  };
-
-  const auto worker_body = [&](std::size_t w) {
-    std::size_t worker_version = 0;  // applied rounds at the last pull
-    util::Timer phase;
-    for (std::size_t round = 0; round < rounds; ++round) {
-      if (round > 0) {
-        phase.reset();
-        std::optional<GrantMessage> grant = grants[w]->pop();
-        measured_by_worker[w].comm += phase.seconds();
-        if (!grant) throw Aborted{};
-        if (grant->params) {
-          workers[w]->overwrite_parameters(*grant->params);
-          worker_version = grant->version;
-        }
-      }
-      phase.reset();
-      dist::WorkerStepResult step = workers[w]->step(spec.batch_size);
-      measured_by_worker[w].compute += phase.seconds();
-
-      PushMessage msg{.worker = w,
-                      .round = round,
-                      .staleness = round - worker_version,
-                      .payload = std::move(step.encoded),
-                      .nnz = step.selected,
-                      .wire_bytes = step.wire_bytes,
-                      .train_loss = step.train_loss,
-                      .train_accuracy = step.train_accuracy,
-                      .measured_compression = step.measured_compression_seconds,
-                      .stages_used = step.stages_used};
-      phase.reset();
-      const bool accepted = pushes.push(std::move(msg));
-      measured_by_worker[w].comm += phase.seconds();
-      if (!accepted) throw Aborted{};
-    }
-  };
-
-  std::vector<std::thread> threads;
-  threads.reserve(n);
-  for (std::size_t w = 0; w < n; ++w) {
-    threads.emplace_back([&, w] {
-      errors.guard(w, [&] { worker_body(w); });
-      // A failing worker must wake the server thread, or it would block
-      // forever popping a push channel nobody feeds.
-      if (errors.failed()) close_everything();
-    });
-  }
-
-  // Server loop on the calling thread.
-  errors.guard(n, [&] {
-    std::vector<std::vector<PsPart>> buckets(rounds);
-    std::vector<std::size_t> arrived(rounds, 0);
-    std::vector<std::size_t> pull_bytes_of_round(rounds, 0);
-    std::vector<std::size_t> worker_version(n, 0);  // version last granted
-    // wants[w]: the round worker w is waiting to have admitted; rounds
-    // (one-past-end) doubles as "nothing pending".
-    std::vector<std::size_t> wants(n, rounds);
-    std::size_t version = 0;
-
-    dist::detail::PsApplyState apply_state;
-    std::vector<std::span<const std::uint8_t>> payload_spans(n);
-    std::vector<dist::detail::PsPartScalars> part_scalars(n);
-    std::shared_ptr<const std::vector<float>> snapshot;
-    std::size_t snapshot_version = 0;
-
-    result.staleness_histogram.assign(slack + 1, 0);
-    result.iterations.resize(rounds);
-
-    // Applies round r (all n parts arrived) through the same detail helpers
-    // as the simulated driver — decoded-payload accumulation in worker
-    // order through one canonical optimizer is what makes staleness-0
-    // bit-identical to the oracle.
-    const auto apply_round = [&](std::size_t r) {
-      std::vector<PsPart>& parts = buckets[r];
-      for (std::size_t w = 0; w < n; ++w) {
-        const PushMessage& p = parts[w].push;
-        payload_spans[w] = p.payload;
-        // Per-part modeled compression: the shared engine dispatch,
-        // evaluated server-side from the reported stats (the worker thread
-        // never sees the timing context).
-        part_scalars[w] = {
-            .nnz = p.nnz,
-            .wire_bytes = p.wire_bytes,
-            .train_loss = p.train_loss,
-            .train_accuracy = p.train_accuracy,
-            .compression_seconds =
-                worker_scale(config, w) *
-                common_compression_seconds(config, timing, p.stages_used,
-                                           p.measured_compression),
-            .stages_used = p.stages_used,
-            .staleness = p.staleness};
-      }
-      pull_bytes_of_round[r] = apply_state.apply_round_mean(
-          payload_spans, dim, server_optimizer, server_params);
-      version = r + 1;
-
-      IterationRecord& record = result.iterations[r];
-      dist::detail::ps_round_record(config, timing, part_scalars, record,
-                                    result.staleness_histogram);
-      result.total_wire_bytes += record.wire_bytes;
-      if (wired) {
-        result.total_dense_equiv_bytes +=
-            n * dist::NetworkModel::dense_bytes(dim);
-      }
-      // Modeled communication needs the event timeline; under real threads
-      // the honest communication number is measured_comm_seconds.
-      record.communication_seconds = 0.0;
-      result.total_modeled_seconds += record.wall_seconds();
-
-      const bool last = r + 1 == rounds;
-      const bool scheduled =
-          config.eval_every > 0 && (r + 1) % config.eval_every == 0;
-      if (scheduled || last) {
-        eval_head.overwrite_parameters(server_params);
-        const nn::LossResult eval =
-            eval_head.evaluate(eval_batch, config.eval_batches);
-        result.evals.push_back({.iteration = r + 1,
-                                .loss = eval.loss,
-                                .accuracy = eval.accuracy,
-                                .quality = dist::benchmark_quality(
-                                               config.benchmark, eval.loss,
-                                               eval.accuracy)
-                                               .value});
-      }
-      parts.clear();
-      parts.shrink_to_fit();
-    };
-
-    for (auto& b : buckets) b.resize(n);
-
-    while (version < rounds) {
-      std::optional<PushMessage> msg = pushes.pop();
-      if (!msg) throw Aborted{};
-      const std::size_t w = msg->worker;
-      const std::size_t r = msg->round;
-      util::check(r < rounds && !buckets[r].empty() && !buckets[r][w].arrived,
-                  "parameter server received an out-of-protocol push");
-      buckets[r][w] = {.push = std::move(*msg), .arrived = true};
-      arrived[r] += 1;
-      wants[w] = r + 1;
-
-      // Per-worker pushes arrive in round order (channel FIFO per
-      // producer), so buckets complete in order and rounds apply in order.
-      while (version < rounds && arrived[version] == n) {
-        apply_round(version);
-      }
-
-      // Issue every admissible grant.  SSP admission: worker w may compute
-      // round c once version + slack >= c; the grant carries a parameter
-      // snapshot exactly when the server moved on since w's last pull, with
-      // the same pull-byte accounting as the simulated driver.
-      for (std::size_t g = 0; g < n; ++g) {
-        if (wants[g] >= rounds || version + slack < wants[g]) continue;
-        GrantMessage grant{.version = version, .params = nullptr};
-        if (worker_version[g] < version) {
-          std::size_t bytes = 0;
-          for (std::size_t pr = worker_version[g]; pr < version; ++pr) {
-            bytes += pull_bytes_of_round[pr];
-          }
-          if (wired) {
-            // One pull ships the missed round updates; a dense system
-            // would ship the parameter vector once.
-            result.total_wire_bytes += bytes;
-            result.total_dense_equiv_bytes +=
-                dist::NetworkModel::dense_bytes(dim);
-          }
-          if (!snapshot || snapshot_version != version) {
-            snapshot = std::make_shared<const std::vector<float>>(
-                server_params);
-            snapshot_version = version;
-          }
-          grant.params = snapshot;
-          worker_version[g] = version;
-        }
-        wants[g] = rounds;
-        if (!grants[g]->push(std::move(grant))) throw Aborted{};
-      }
-    }
-  });
-
-  close_everything();
-  for (std::thread& t : threads) t.join();
-  errors.rethrow_if_any();
-
-  result.final_parameters = std::move(server_params);
-  dist::detail::finalize_result(result);
-  fill_measured(result, wall, measured_by_worker);
+  fill_measured(result, wall, measured);
   return result;
 }
 
@@ -603,9 +140,8 @@ SessionResult run_session_threads(const SessionConfig& config) {
   dist::detail::validate_config(config);
   switch (config.topology) {
     case dist::Topology::kAllreduce:
-      return run_allgather_threads(config);
     case dist::Topology::kParameterServer:
-      return run_parameter_server_threads(config);
+      return run_topology_threads(config);
   }
   util::check(false, "unknown session topology");
   return {};

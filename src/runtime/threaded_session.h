@@ -2,9 +2,12 @@
 //
 // Every worker of a session runs on a real std::thread, does real
 // forward/backward/compress work, and exchanges gradients as *encoded wire
-// payloads* (comm/codec.h) over bounded channels (runtime/channel.h) — no
-// shared gradient memory, everything crosses a thread boundary as bytes,
-// exactly as it would cross a NIC.  Two topologies:
+// payloads* (comm/codec.h) through an InMemoryTransport (runtime/transport.h,
+// bounded channels under the hood) — no shared gradient memory, everything
+// crosses a thread boundary as bytes, exactly as it would cross a NIC.  The
+// protocol bodies themselves live in runtime/topology.h and are shared
+// verbatim with the sockets engine (runtime/process_session.h).  Two
+// topologies:
 //
 //  - kAllreduce: lock-step collective.  Each worker broadcasts its encoded
 //    payload to every peer's inbox, collects all N payloads of the

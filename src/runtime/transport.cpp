@@ -1,0 +1,89 @@
+#include "runtime/transport.h"
+
+#include <chrono>
+#include <deque>
+#include <utility>
+
+#include "runtime/channel.h"
+#include "util/check.h"
+
+namespace sidco::runtime {
+
+namespace {
+
+/// How long a blocked send waits for inbox space before re-checking for
+/// shutdown and draining its own inbox.  Latency-insensitive: it only bounds
+/// how fast a deadlock-avoidance drain cycle spins (same constant as the
+/// pre-Transport threaded engine).
+constexpr std::chrono::milliseconds kPushRetry{1};
+
+}  // namespace
+
+class InMemoryTransport::InMemoryEndpoint final : public Endpoint {
+ public:
+  InMemoryEndpoint(InMemoryTransport& owner, std::size_t capacity)
+      : owner_(owner), inbox_(capacity) {}
+
+  bool send(std::size_t to, TransportMessage message) override {
+    util::check(to < owner_.endpoints_.size(),
+                "transport: send to an unknown endpoint");
+    Channel<TransportMessage>& dst = owner_.endpoints_[to]->inbox_;
+    // A full destination never blocks this endpoint outright: while waiting
+    // for space it keeps draining its own inbox into the pending stash, so
+    // a ring of mutually-full capacity-1 inboxes still makes progress (the
+    // differential suite sweeps capacity 1).
+    while (!dst.try_push_for(message, kPushRetry)) {
+      if (dst.closed()) return false;
+      while (std::optional<TransportMessage> m = inbox_.try_pop()) {
+        pending_.push_back(std::move(*m));
+      }
+    }
+    return true;
+  }
+
+  std::optional<TransportMessage> recv() override {
+    if (!pending_.empty()) {
+      TransportMessage m = std::move(pending_.front());
+      pending_.pop_front();
+      return m;
+    }
+    return inbox_.pop();
+  }
+
+  void close() { inbox_.close(); }
+
+ private:
+  InMemoryTransport& owner_;
+  Channel<TransportMessage> inbox_;
+  // Messages drained from the inbox while a send was blocked, served before
+  // the channel to preserve arrival order (per-sender FIFO in particular).
+  // Only the owning thread touches it — no lock needed.
+  std::deque<TransportMessage> pending_;
+};
+
+InMemoryTransport::InMemoryTransport(std::size_t endpoints,
+                                     std::size_t capacity) {
+  util::check(endpoints >= 1, "transport needs >= 1 endpoint");
+  endpoints_.reserve(endpoints);
+  for (std::size_t i = 0; i < endpoints; ++i) {
+    endpoints_.push_back(
+        std::make_unique<InMemoryEndpoint>(*this, capacity));
+  }
+}
+
+InMemoryTransport::~InMemoryTransport() = default;
+
+std::size_t InMemoryTransport::endpoint_count() const {
+  return endpoints_.size();
+}
+
+Endpoint& InMemoryTransport::endpoint(std::size_t id) {
+  util::check(id < endpoints_.size(), "transport: unknown endpoint id");
+  return *endpoints_[id];
+}
+
+void InMemoryTransport::shutdown() {
+  for (auto& ep : endpoints_) ep->close();
+}
+
+}  // namespace sidco::runtime

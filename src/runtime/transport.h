@@ -1,0 +1,114 @@
+// Pluggable point-to-point transport for the real (non-simulated) execution
+// engines.
+//
+// PR 5 proved the threaded runtime directly on bounded channels; this
+// interface extracts the one capability the topology code actually uses —
+// "blocking send to an endpoint, blocking receive from my endpoint, shared
+// shutdown" — so the same allgather / parameter-server protocol bodies
+// (runtime/topology.h) run unchanged over two very different fabrics:
+//
+//  - InMemoryTransport: one bounded Channel<TransportMessage> per endpoint
+//    (runtime/channel.h).  This is the PR 5 machinery verbatim, including
+//    its deadlock-avoidance rule: a sender blocked on a full peer inbox
+//    keeps draining its *own* inbox into a pending stash, so a ring of
+//    mutually-full capacity-1 inboxes still makes progress.
+//  - SocketTransport (socket_transport.h): the same messages framed over
+//    Unix-domain or TCP sockets, one process per endpoint.
+//
+// Contract shared by all implementations:
+//  - An Endpoint is single-owner: exactly one thread (or process) calls its
+//    send()/recv().  Different endpoints of one transport are used
+//    concurrently — that is the point.
+//  - send() blocks until the message is accepted (bounded queues provide
+//    backpressure) and returns false only when the transport has shut down;
+//    the message is dropped in that case.
+//  - recv() blocks for the next message addressed to this endpoint, in
+//    per-sender FIFO order (messages from different senders interleave
+//    arbitrarily).  nullopt means shut down and drained — end of stream.
+//  - shutdown() is the cooperative abort: it wakes every blocked send/recv
+//    on every endpoint.  Messages already accepted remain receivable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace sidco::runtime {
+
+/// One message between endpoints.  The payload is a shared immutable buffer:
+/// broadcasting to N-1 peers copies a pointer, not the bytes (a real NIC
+/// would DMA the same buffer; copying it N times would measure memcpy
+/// bandwidth, not exchange behavior).  `kind` and `seq` are protocol tags
+/// owned by the topology layer; the transport carries them opaquely (on
+/// sockets they ride the frame header, comm/frame.h).
+struct TransportMessage {
+  std::uint8_t kind = 0;
+  std::size_t from = 0;
+  std::uint64_t seq = 0;
+  std::shared_ptr<const std::vector<std::uint8_t>> payload;
+
+  [[nodiscard]] std::size_t body_size() const {
+    return payload ? payload->size() : 0;
+  }
+};
+
+/// One participant's view of the transport.  Single-owner (see file
+/// comment); never shared between threads.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  /// Blocking send to endpoint `to`.  False = transport shut down (message
+  /// dropped); the caller should abort its protocol loop.
+  virtual bool send(std::size_t to, TransportMessage message) = 0;
+
+  /// Blocking receive.  nullopt = transport shut down and every delivered
+  /// message consumed.
+  virtual std::optional<TransportMessage> recv() = 0;
+
+  /// Blocks until every message accepted by send() has actually left this
+  /// endpoint.  A buffering transport may return from send() with frames
+  /// still queued locally (the bounded send queue), and those frames are
+  /// only pumped out by this endpoint's own send()/recv() calls — so an
+  /// endpoint MUST flush() before going quiet (worker exits, end of
+  /// protocol), or its tail frames can be lost with no one left to pump
+  /// them.  No-op for transports that deliver synchronously (in-memory).
+  virtual void flush() {}
+};
+
+/// Owner of all endpoints of one session.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  [[nodiscard]] virtual std::size_t endpoint_count() const = 0;
+
+  /// The endpoint for participant `id` (workers 0..n-1 plus the
+  /// coordinator/server as the last id, by topology convention).
+  virtual Endpoint& endpoint(std::size_t id) = 0;
+
+  /// Cooperative abort/teardown; idempotent.  See file comment.
+  virtual void shutdown() = 0;
+};
+
+/// The PR 5 bounded-channel fabric behind the Transport interface.  Each
+/// endpoint's inbox is a Channel<TransportMessage> of `capacity` messages
+/// (SessionConfig::channel_capacity) — any capacity >= 1 is deadlock-free
+/// and numerics-invariant, exactly as before the refactor.
+class InMemoryTransport final : public Transport {
+ public:
+  InMemoryTransport(std::size_t endpoints, std::size_t capacity);
+  ~InMemoryTransport() override;
+
+  [[nodiscard]] std::size_t endpoint_count() const override;
+  Endpoint& endpoint(std::size_t id) override;
+  void shutdown() override;
+
+ private:
+  class InMemoryEndpoint;
+  std::vector<std::unique_ptr<InMemoryEndpoint>> endpoints_;
+};
+
+}  // namespace sidco::runtime

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <mutex>
@@ -74,6 +75,86 @@ TEST(Channel, TryPushLeavesValueIntactWhenFull) {
   EXPECT_EQ(second, (std::vector<int>{4, 5, 6}));
   EXPECT_EQ(ch.pop().value(), (std::vector<int>{1, 2, 3}));
   ASSERT_TRUE(ch.try_push(second));
+}
+
+// try_push_for computes one absolute monotonic deadline up front, so the
+// total blocking time is bounded by the requested timeout no matter how many
+// times the underlying wait wakes (spuriously or via notifications) and
+// re-evaluates a still-false predicate.  These tests pin the contract from
+// both sides: a timed-out call waited at least (and not wildly more than)
+// the timeout, and calls that can finish early do.
+TEST(Channel, TryPushForRespectsTotalDeadlineWhenFull) {
+  Channel<int> ch(1);
+  int first = 1;
+  ASSERT_TRUE(ch.try_push(first));
+  constexpr auto kTimeout = std::chrono::milliseconds(100);
+  int second = 2;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(ch.try_push_for(second, kTimeout));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  // Not before the deadline (scheduling can only lengthen the wait)...
+  EXPECT_GE(elapsed, kTimeout);
+  // ...and not unboundedly after it.  The bound is generous for loaded CI
+  // machines; the regression it guards against is a wait that restarts its
+  // timeout window on every wakeup and multiplies the total.
+  EXPECT_LT(elapsed, kTimeout * 40);
+}
+
+TEST(Channel, TryPushForTotalWaitBoundedUnderRepeatedWakeups) {
+  Channel<int> ch(1);
+  int first = 1;
+  ASSERT_TRUE(ch.try_push(first));
+  constexpr auto kTimeout = std::chrono::milliseconds(150);
+
+  // The waker keeps notifying the not-full waiters (every pop does) while
+  // refilling the slot immediately, so the blocked producer keeps waking to
+  // a (usually) still-full channel.  A wait that restarted its timeout
+  // window on every wakeup would block for the waker's whole lifetime; the
+  // absolute deadline bounds it by ~kTimeout regardless.
+  std::atomic<bool> stop{false};
+  std::thread waker([&] {
+    while (!stop.load()) {
+      if (std::optional<int> v = ch.try_pop()) {
+        ch.try_push(*v);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  int second = 2;
+  const auto start = std::chrono::steady_clock::now();
+  (void)ch.try_push_for(second, kTimeout);  // may win a freed slot; either
+                                            // outcome must respect the bound
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  stop.store(true);
+  waker.join();
+  EXPECT_LT(elapsed, kTimeout * 40);
+}
+
+TEST(Channel, TryPushForReturnsImmediatelyOnClosedChannel) {
+  Channel<int> ch(1);
+  ch.close();
+  int v = 7;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(ch.try_push_for(v, std::chrono::seconds(30)));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds(5));  // no waiting out the timeout
+}
+
+TEST(Channel, TryPushForSucceedsAsSoonAsSpaceAppears) {
+  Channel<int> ch(1);
+  int first = 1;
+  ASSERT_TRUE(ch.try_push(first));
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_EQ(ch.pop().value(), 1);
+  });
+  int second = 2;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(ch.try_push_for(second, std::chrono::seconds(30)));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds(10));  // early exit, not timeout
+  consumer.join();
 }
 
 TEST(Channel, TryPopEmptyReturnsNothing) {

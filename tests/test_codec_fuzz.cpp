@@ -14,6 +14,7 @@
 // ASan/UBSan in CI via the `unit`/`comm` labels.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstdint>
@@ -325,6 +326,35 @@ TEST(CodecFuzz, HostileBuffersAreRejected) {
     comm::encode_sparse(dense_set, comm::ValueMode::kFp32, m);
     ASSERT_EQ(comm::peek_header(m).index_mode, comm::IndexMode::kBitmap);
     m[comm::kHeaderBytes] ^= 0x01;  // flip a bitmap bit
+    expect_reject(std::move(m));
+  }
+  // Bitmap index mode claiming zero nnz.  No encoder produces this (an
+  // empty selection always costs 0 varint bytes, and mode ties go to
+  // varint), so it must be rejected even when the rest of the buffer is
+  // self-consistent — an all-zero bitmap with count 0 used to decode
+  // "successfully" as an empty gradient.
+  {
+    tensor::SparseGradient dense_set = random_sparse(64, 60, 0xB17ULL);
+    std::vector<std::uint8_t> m;
+    comm::encode_sparse(dense_set, comm::ValueMode::kFp32, m);
+    ASSERT_EQ(comm::peek_header(m).index_mode, comm::IndexMode::kBitmap);
+    for (std::size_t at = 16; at < 24; ++at) m[at] = 0;  // count := 0
+    // Truncate to exactly header + bitmap and zero the bitmap, so every
+    // size/population check would be satisfied without the mode check.
+    m.resize(comm::kHeaderBytes + comm::bitmap_index_bytes(64));
+    std::fill(m.begin() + comm::kHeaderBytes, m.end(), 0);
+    expect_reject(std::move(m));
+  }
+  // Same forgery at dense_dim 0, where the bitmap section is empty and a
+  // legitimate empty varint encoding differs only in the mode flag bit.
+  {
+    tensor::SparseGradient empty;
+    empty.dense_dim = 0;
+    std::vector<std::uint8_t> m;
+    comm::encode_sparse(empty, comm::ValueMode::kFp32, m);
+    ASSERT_EQ(m.size(), comm::kHeaderBytes);
+    comm::decode_sparse(m, sink);  // the varint original is valid...
+    m[4] |= 0x01;                  // ...the bitmap-flagged twin is not
     expect_reject(std::move(m));
   }
 

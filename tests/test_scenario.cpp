@@ -3,7 +3,9 @@
 // plus a tiny end-to-end matrix determinism check.
 #include <gtest/gtest.h>
 
+#include <set>
 #include <string>
+#include <vector>
 
 #include "dist/scenario.h"
 #include "util/check.h"
@@ -97,6 +99,59 @@ TEST(ScenarioSpec, ExpansionIsCartesianAndStable) {
   EXPECT_EQ(cells[0].config.staleness_bound, 0U);
   EXPECT_EQ(cells[0].config.topology, dist::Topology::kAllreduce);
   EXPECT_EQ(cells[2].config.topology, dist::Topology::kParameterServer);
+}
+
+// Engine override re-namespacing (the run_scenarios --engine path: parse the
+// spec, overwrite spec.engine, then expand).  Every non-simulated engine
+// must suffix its cells with "/<engine>", so an overridden run can never
+// compare against — or silently update — another engine's golden universe.
+TEST(ScenarioSpec, EngineOverrideRenamespacesCells) {
+  const dist::MatrixSpec base = dist::parse_matrix_spec(kSpecText);
+  ASSERT_EQ(base.engine, dist::Engine::kSimulated);
+
+  const auto names_with_engine = [&](dist::Engine engine) {
+    dist::MatrixSpec spec = base;
+    spec.engine = engine;  // what run_scenarios --engine does before expand
+    std::vector<std::string> names;
+    for (const dist::Scenario& cell : dist::expand(spec)) {
+      EXPECT_EQ(cell.config.engine, engine) << cell.name;
+      names.push_back(cell.name);
+    }
+    return names;
+  };
+
+  const std::vector<std::string> simulated =
+      names_with_engine(dist::Engine::kSimulated);
+  const std::vector<std::string> threads =
+      names_with_engine(dist::Engine::kThreads);
+  const std::vector<std::string> sockets =
+      names_with_engine(dist::Engine::kSockets);
+  ASSERT_EQ(simulated.size(), threads.size());
+  ASSERT_EQ(simulated.size(), sockets.size());
+  for (std::size_t i = 0; i < simulated.size(); ++i) {
+    // Simulated cells keep their historical (unsuffixed) names; each real
+    // engine appends its own suffix to the same base name.
+    EXPECT_EQ(threads[i], simulated[i] + "/threads");
+    EXPECT_EQ(sockets[i], simulated[i] + "/sockets");
+  }
+
+  // The three universes are pairwise disjoint.
+  std::set<std::string> all;
+  for (const auto* universe : {&simulated, &threads, &sockets}) {
+    for (const std::string& name : *universe) {
+      EXPECT_TRUE(all.insert(name).second) << "name collision: " << name;
+    }
+  }
+}
+
+TEST(ScenarioSpec, ParsesEveryEngineToken) {
+  EXPECT_EQ(dist::parse_engine("simulated"), dist::Engine::kSimulated);
+  EXPECT_EQ(dist::parse_engine("threads"), dist::Engine::kThreads);
+  EXPECT_EQ(dist::parse_engine("sockets"), dist::Engine::kSockets);
+  EXPECT_THROW(dist::parse_engine("forked"), util::CheckError);
+  const dist::MatrixSpec spec =
+      dist::parse_matrix_spec("engine = sockets\nworkers = 1");
+  EXPECT_EQ(spec.engine, dist::Engine::kSockets);
 }
 
 TEST(ScenarioRun, TinyMatrixIsDeterministic) {

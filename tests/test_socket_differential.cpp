@@ -1,0 +1,283 @@
+// Differential suite: the sockets engine (forked worker processes over a
+// real socket fabric, runtime/process_session.h) vs the threaded engine.
+//
+// The contract (ISSUE 6 acceptance criterion): for every scheme x EC x
+// topology cell, at staleness 0, `--engine sockets` must produce final
+// parameters, per-iteration losses/metrics, evals, and push wire bytes
+// **bit-identical** to the threads engine across worker counts {1, 2, 4} —
+// and the threads engine is itself pinned bit-identical to the frozen
+// reference by test_runtime_differential, so the chain grounds out in the
+// PR 3 oracle.  Both engines run the same topology protocol bodies
+// (runtime/topology.cpp) over different Transports, so any divergence here
+// is a transport bug, not a numerics bug.
+//
+// Oracle (threaded) runs are memoized per cell: each is a pure function of
+// (scheme, ec, topology, workers) at staleness 0.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "dist/scenario.h"
+#include "dist/session.h"
+#include "util/check.h"
+
+namespace sidco {
+namespace {
+
+constexpr std::size_t kIterations = 4;
+constexpr std::size_t kEvalEvery = 2;
+
+dist::SessionConfig cell_config(core::Scheme scheme, bool error_feedback,
+                                std::size_t workers) {
+  dist::SessionConfig config;
+  config.benchmark = nn::Benchmark::kResNet20;
+  config.scheme = scheme;
+  config.target_ratio = 0.01;
+  config.workers = workers;
+  config.iterations = kIterations;
+  config.eval_every = kEvalEvery;
+  config.eval_batches = 2;
+  config.seed = 91;
+  config.error_feedback = error_feedback;
+  return config;
+}
+
+std::string cell_name(const dist::SessionConfig& config) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "scheme=%d ec=%d topo=%s workers=%zu",
+                static_cast<int>(config.scheme),
+                config.error_feedback ? 1 : 0,
+                std::string(dist::topology_name(config.topology)).c_str(),
+                config.workers);
+  return buf;
+}
+
+/// Memoized threaded-oracle runs, keyed by everything the threads engine
+/// reads from the config in this suite.
+const dist::SessionResult& threaded_oracle(const dist::SessionConfig& config) {
+  using Key = std::tuple<int, bool, int, std::size_t>;
+  static std::map<Key, dist::SessionResult> cache;
+  const Key key{static_cast<int>(config.scheme), config.error_feedback,
+                static_cast<int>(config.topology), config.workers};
+  const auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  dist::SessionConfig threaded = config;
+  threaded.engine = dist::Engine::kThreads;
+  return cache.emplace(key, dist::run_session(threaded)).first->second;
+}
+
+dist::SessionResult run_sockets(dist::SessionConfig config) {
+  config.engine = dist::Engine::kSockets;
+  return dist::run_session(config);
+}
+
+/// The bit-identity core, mirroring test_runtime_differential: EXPECT_EQ
+/// (never near-equality) on per-iteration numerics, evals, push wire bytes,
+/// and every final parameter.
+void expect_bit_identical(const dist::SessionResult& sockets,
+                          const dist::SessionResult& oracle) {
+  ASSERT_EQ(sockets.iterations.size(), oracle.iterations.size());
+  for (std::size_t i = 0; i < sockets.iterations.size(); ++i) {
+    EXPECT_EQ(sockets.iterations[i].train_loss,
+              oracle.iterations[i].train_loss) << "iteration " << i;
+    EXPECT_EQ(sockets.iterations[i].train_accuracy,
+              oracle.iterations[i].train_accuracy) << "iteration " << i;
+    EXPECT_EQ(sockets.iterations[i].achieved_ratio,
+              oracle.iterations[i].achieved_ratio) << "iteration " << i;
+    EXPECT_EQ(sockets.iterations[i].stages_used,
+              oracle.iterations[i].stages_used) << "iteration " << i;
+    EXPECT_EQ(sockets.iterations[i].wire_bytes,
+              oracle.iterations[i].wire_bytes) << "iteration " << i;
+  }
+  ASSERT_EQ(sockets.evals.size(), oracle.evals.size());
+  for (std::size_t i = 0; i < sockets.evals.size(); ++i) {
+    EXPECT_EQ(sockets.evals[i].iteration, oracle.evals[i].iteration);
+    EXPECT_EQ(sockets.evals[i].loss, oracle.evals[i].loss);
+    EXPECT_EQ(sockets.evals[i].accuracy, oracle.evals[i].accuracy);
+  }
+  EXPECT_EQ(sockets.final_loss, oracle.final_loss);
+  EXPECT_EQ(sockets.final_quality, oracle.final_quality);
+  EXPECT_EQ(sockets.total_wire_bytes, oracle.total_wire_bytes);
+  EXPECT_EQ(sockets.total_dense_equiv_bytes, oracle.total_dense_equiv_bytes);
+  ASSERT_EQ(sockets.final_parameters.size(), oracle.final_parameters.size());
+  ASSERT_GT(sockets.final_parameters.size(), 0U);
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < sockets.final_parameters.size(); ++i) {
+    if (sockets.final_parameters[i] != oracle.final_parameters[i]) {
+      ++mismatches;
+    }
+  }
+  EXPECT_EQ(mismatches, 0U)
+      << "final parameters differ at " << mismatches << " of "
+      << sockets.final_parameters.size() << " positions";
+}
+
+constexpr core::Scheme kSchemes[] = {core::Scheme::kTopK, core::Scheme::kDgc,
+                                     core::Scheme::kSidcoExponential};
+constexpr std::size_t kWorkerCounts[] = {1, 2, 4};
+
+// The headline sweep, collective topology: 3 schemes x EC on/off x {1,2,4}
+// worker processes over Unix-domain sockets, bit-identical to threads.
+TEST(SocketDifferential, AllgatherBitIdenticalToThreads) {
+  for (core::Scheme scheme : kSchemes) {
+    for (bool error_feedback : {true, false}) {
+      for (std::size_t workers : kWorkerCounts) {
+        const dist::SessionConfig config =
+            cell_config(scheme, error_feedback, workers);
+        SCOPED_TRACE(cell_name(config));
+        const dist::SessionResult sockets = run_sockets(config);
+        expect_bit_identical(sockets, threaded_oracle(config));
+      }
+    }
+  }
+}
+
+// The headline sweep, parameter-server topology at staleness 0.
+TEST(SocketDifferential, ParameterServerBitIdenticalToThreads) {
+  for (core::Scheme scheme : kSchemes) {
+    for (bool error_feedback : {true, false}) {
+      for (std::size_t workers : kWorkerCounts) {
+        dist::SessionConfig config =
+            cell_config(scheme, error_feedback, workers);
+        config.topology = dist::Topology::kParameterServer;
+        config.staleness_bound = 0;
+        SCOPED_TRACE(cell_name(config));
+        const dist::SessionResult sockets = run_sockets(config);
+        expect_bit_identical(sockets, threaded_oracle(config));
+        // Everything aggregated fresh at staleness 0.
+        ASSERT_EQ(sockets.staleness_histogram.size(), 1U);
+        EXPECT_EQ(sockets.staleness_histogram[0],
+                  workers * config.iterations);
+      }
+    }
+  }
+}
+
+// The send-queue capacity is a pure backpressure knob for the socket fabric
+// exactly as channel capacity is for threads: capacity 1 (every send blocks
+// in the pump) and 16 must be bit-identical, and capacity 1 must not
+// deadlock (ctest timeout is the watchdog).
+TEST(SocketDifferential, SendQueueCapacitySweepIsNumericsInvariant) {
+  for (dist::Topology topology :
+       {dist::Topology::kAllreduce, dist::Topology::kParameterServer}) {
+    dist::SessionConfig config =
+        cell_config(core::Scheme::kSidcoExponential, true, 4);
+    config.topology = topology;
+    config.staleness_bound = 0;
+    SCOPED_TRACE(cell_name(config));
+    const dist::SessionResult& oracle = threaded_oracle(config);
+    for (std::size_t capacity : {1U, 16U}) {
+      SCOPED_TRACE("channel_capacity=" + std::to_string(capacity));
+      config.channel_capacity = capacity;
+      expect_bit_identical(run_sockets(config), oracle);
+    }
+  }
+}
+
+// TCP loopback family (SIDCO_SOCKET_FAMILY=tcp): same bits as the default
+// Unix-domain fabric — the family changes the pipe, never the payload.
+TEST(SocketDifferential, TcpFamilyBitIdenticalToThreads) {
+  const dist::SessionConfig config =
+      cell_config(core::Scheme::kSidcoExponential, true, 2);
+  ASSERT_EQ(::setenv("SIDCO_SOCKET_FAMILY", "tcp", 1), 0);
+  dist::SessionResult sockets;
+  try {
+    sockets = run_sockets(config);
+  } catch (...) {
+    ::unsetenv("SIDCO_SOCKET_FAMILY");
+    throw;
+  }
+  ::unsetenv("SIDCO_SOCKET_FAMILY");
+  expect_bit_identical(sockets, threaded_oracle(config));
+}
+
+TEST(SocketDifferential, RejectsUnknownSocketFamily) {
+  const dist::SessionConfig config =
+      cell_config(core::Scheme::kTopK, true, 1);
+  ASSERT_EQ(::setenv("SIDCO_SOCKET_FAMILY", "carrier-pigeon", 1), 0);
+  EXPECT_THROW(run_sockets(config), util::CheckError);
+  ::unsetenv("SIDCO_SOCKET_FAMILY");
+}
+
+// Bounded staleness over real processes: admission order is
+// scheduler-dependent, but the SSP invariants must hold on every run — each
+// gradient lands exactly once and staleness never exceeds the bound.
+TEST(SocketDifferential, ProcessPsBoundedStalenessInvariants) {
+  dist::SessionConfig config = cell_config(core::Scheme::kTopK, true, 4);
+  config.topology = dist::Topology::kParameterServer;
+  config.iterations = 6;
+  config.staleness_bound = 2;
+  const dist::SessionResult r = run_sockets(config);
+  ASSERT_EQ(r.staleness_histogram.size(), config.staleness_bound + 1);
+  std::size_t total = 0;
+  for (std::size_t count : r.staleness_histogram) total += count;
+  EXPECT_EQ(total, config.workers * config.iterations);
+  EXPECT_LE(r.max_staleness(), config.staleness_bound);
+  ASSERT_EQ(r.iterations.size(), config.iterations);
+  for (const dist::IterationRecord& it : r.iterations) {
+    EXPECT_TRUE(std::isfinite(it.train_loss));
+  }
+}
+
+// The sockets engine reports real measured wall-clock like threads.
+TEST(SocketDifferential, MeasuredSecondsReported) {
+  const dist::SessionConfig config =
+      cell_config(core::Scheme::kTopK, true, 2);
+  const dist::SessionResult sockets = run_sockets(config);
+  EXPECT_GT(sockets.measured_wall_seconds, 0.0);
+  EXPECT_GT(sockets.measured_compute_seconds, 0.0);
+  EXPECT_GT(sockets.measured_comm_seconds, 0.0);
+}
+
+// Config validation still applies on the sockets path.
+TEST(SocketDifferential, SocketsEngineValidatesConfig) {
+  dist::SessionConfig config = cell_config(core::Scheme::kTopK, true, 2);
+  config.engine = dist::Engine::kSockets;
+  config.channel_capacity = 0;
+  EXPECT_THROW(dist::run_session(config), util::CheckError);
+}
+
+TEST(SocketDifferential, EngineNameCoversSockets) {
+  EXPECT_EQ(dist::engine_name(dist::Engine::kSockets), "sockets");
+}
+
+// End-to-end through the scenario subsystem: a tiny matrix run under the
+// sockets engine is deterministic across runs and lives in its own
+// "/sockets" golden namespace.
+TEST(SocketDifferential, ScenarioMatrixUnderSocketsEngine) {
+  dist::MatrixSpec spec = dist::parse_matrix_spec(R"(
+workers    = 2
+iterations = 2
+seed       = 123
+eval_batches = 2
+benchmark  = resnet20
+scheme     = topk
+ratio      = 0.01
+topology   = allgather, ps
+network    = 10gbps
+device     = homogeneous
+error_feedback = on
+staleness  = 0
+)");
+  spec.engine = dist::Engine::kSockets;  // what run_scenarios --engine does
+  const std::vector<dist::ScenarioMetrics> first = dist::run_matrix(spec);
+  const std::vector<dist::ScenarioMetrics> second = dist::run_matrix(spec);
+  ASSERT_EQ(first.size(), 2U);  // allgather + ps
+  for (const dist::ScenarioMetrics& m : first) {
+    EXPECT_TRUE(m.name.size() > 8 &&
+                m.name.compare(m.name.size() - 8, 8, "/sockets") == 0)
+        << m.name;
+  }
+  const std::string a = dist::format_metrics(first);
+  const std::string b = dist::format_metrics(second);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
+}  // namespace
+}  // namespace sidco

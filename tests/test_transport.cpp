@@ -1,0 +1,474 @@
+// Transport layer suite (runtime/transport.h, runtime/socket_transport.h,
+// comm/frame.h): in-memory endpoint semantics (per-producer FIFO, the
+// drain-own-inbox no-deadlock rule, shutdown wake-ups), strict frame-header
+// decoding, socket mesh round-trips over both address families, and fault
+// injection against a live socket endpoint — truncated frame mid-stream,
+// peer closing during the handshake, oversized frame header — all of which
+// must fail fast with descriptive CheckErrors, never hang.  Runs under
+// ASan/UBSan and TSan in CI (labels `unit;runtime`).
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "comm/frame.h"
+#include "runtime/socket_transport.h"
+#include "runtime/transport.h"
+#include "util/check.h"
+
+namespace sidco {
+namespace {
+
+using runtime::Endpoint;
+using runtime::InMemoryTransport;
+using runtime::SocketTransport;
+using runtime::TransportMessage;
+
+std::shared_ptr<const std::vector<std::uint8_t>> bytes(
+    std::initializer_list<std::uint8_t> values) {
+  return std::make_shared<const std::vector<std::uint8_t>>(values);
+}
+
+/// Overwrites 4 bytes at `p` with the little-endian encoding of `v` —
+/// for forging header fields the strict encoder refuses to produce.
+void put_u32_at(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+/// Calls `body` and asserts it throws util::CheckError whose message
+/// contains `needle`.
+template <typename Body>
+void expect_check_error(Body&& body, const std::string& needle) {
+  try {
+    body();
+    FAIL() << "expected CheckError containing \"" << needle << "\"";
+  } catch (const util::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "got: " << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Frame header codec.
+// ---------------------------------------------------------------------------
+
+TEST(Frame, HeaderRoundTripsEveryField) {
+  const comm::FrameHeader header{
+      .kind = 3, .from = 517, .seq = 0x1122334455667788ULL, .body_len = 41};
+  const auto head = comm::encode_frame_header(header);
+  ASSERT_EQ(head.size(), comm::kFrameHeaderBytes);
+  const comm::FrameHeader back = comm::decode_frame_header(head);
+  EXPECT_EQ(back.kind, header.kind);
+  EXPECT_EQ(back.from, header.from);
+  EXPECT_EQ(back.seq, header.seq);
+  EXPECT_EQ(back.body_len, header.body_len);
+}
+
+TEST(Frame, EncodeFrameAppendsHeaderThenBody) {
+  std::vector<std::uint8_t> out{0xAA};  // pre-existing bytes survive
+  const std::vector<std::uint8_t> body{1, 2, 3};
+  comm::encode_frame(
+      {.kind = 1, .from = 2, .seq = 9, .body_len = body.size()}, body, out);
+  ASSERT_EQ(out.size(), 1 + comm::kFrameHeaderBytes + body.size());
+  const std::span<const std::uint8_t> view(out.data() + 1, out.size() - 1);
+  const comm::FrameHeader header = comm::decode_frame_header(view);
+  EXPECT_EQ(header.body_len, body.size());
+  EXPECT_EQ(std::vector<std::uint8_t>(
+                view.begin() + comm::kFrameHeaderBytes, view.end()),
+            body);
+}
+
+TEST(Frame, StrictDecodeRejectsHostileHeaders) {
+  const auto good = comm::encode_frame_header(
+      {.kind = 1, .from = 0, .seq = 0, .body_len = 0});
+
+  // Short buffer.
+  expect_check_error(
+      [&] {
+        comm::decode_frame_header(
+            std::span<const std::uint8_t>(good.data(), 10));
+      },
+      "short");
+  // Bad magic.
+  {
+    auto m = good;
+    m[0] ^= 0xFF;
+    expect_check_error([&] { comm::decode_frame_header(m); }, "magic");
+  }
+  // Unknown version.
+  {
+    auto m = good;
+    m[4] = static_cast<std::uint8_t>(comm::kFrameVersion + 1);
+    expect_check_error([&] { comm::decode_frame_header(m); }, "version");
+  }
+  // Nonzero reserved bytes (u8 at 7, u16 at 10).
+  for (std::size_t at : {7UL, 10UL, 11UL}) {
+    auto m = good;
+    m[at] = 0x5A;
+    expect_check_error([&] { comm::decode_frame_header(m); }, "reserved");
+  }
+  // Oversized body length (forged byte-level: the encoder refuses it).
+  {
+    auto m = good;
+    put_u32_at(m.data() + 12,
+               static_cast<std::uint32_t>(comm::kMaxFrameBody + 1));
+    expect_check_error([&] { comm::decode_frame_header(m); }, "oversized");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// InMemoryTransport semantics.
+// ---------------------------------------------------------------------------
+
+TEST(InMemoryTransport, PerProducerFifoAcrossSenders) {
+  InMemoryTransport transport(3, 8);
+  Endpoint& receiver = transport.endpoint(2);
+  for (std::uint64_t k = 0; k < 4; ++k) {
+    ASSERT_TRUE(transport.endpoint(0).send(
+        2, {.kind = 1, .from = 0, .seq = k, .payload = nullptr}));
+    ASSERT_TRUE(transport.endpoint(1).send(
+        2, {.kind = 1, .from = 1, .seq = k, .payload = nullptr}));
+  }
+  std::vector<std::uint64_t> next(2, 0);
+  for (int i = 0; i < 8; ++i) {
+    const std::optional<TransportMessage> m = receiver.recv();
+    ASSERT_TRUE(m.has_value());
+    ASSERT_LT(m->from, 2U);
+    EXPECT_EQ(m->seq, next[m->from]) << "sender " << m->from;
+    next[m->from] += 1;
+  }
+}
+
+TEST(InMemoryTransport, MutualBurstsAtCapacityOneMakeProgress) {
+  // Both endpoints send a full burst before either receives: with capacity-1
+  // inboxes a naive blocking send would deadlock.  The transport's
+  // drain-own-inbox rule (matching the pre-Transport threaded engine) must
+  // keep both sides moving; messages drained early are served first on recv
+  // in arrival order.
+  constexpr std::uint64_t kMessages = 200;
+  InMemoryTransport transport(2, 1);
+  const auto run_side = [&](std::size_t self) {
+    Endpoint& ep = transport.endpoint(self);
+    for (std::uint64_t k = 0; k < kMessages; ++k) {
+      ASSERT_TRUE(ep.send(
+          1 - self, {.kind = 1, .from = self, .seq = k, .payload = nullptr}));
+    }
+    for (std::uint64_t k = 0; k < kMessages; ++k) {
+      const std::optional<TransportMessage> m = ep.recv();
+      ASSERT_TRUE(m.has_value());
+      EXPECT_EQ(m->from, 1 - self);
+      EXPECT_EQ(m->seq, k);  // FIFO survives the pending stash
+    }
+  };
+  std::thread peer([&] { run_side(1); });
+  run_side(0);
+  peer.join();
+}
+
+TEST(InMemoryTransport, ShutdownWakesBlockedRecvAndFailsSends) {
+  InMemoryTransport transport(2, 1);
+  std::thread blocked([&] {
+    EXPECT_FALSE(transport.endpoint(1).recv().has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  transport.shutdown();
+  blocked.join();
+  EXPECT_FALSE(transport.endpoint(0).send(
+      1, {.kind = 1, .from = 0, .seq = 0, .payload = nullptr}));
+}
+
+TEST(InMemoryTransport, BufferedMessagesDrainAfterShutdown) {
+  InMemoryTransport transport(2, 4);
+  ASSERT_TRUE(transport.endpoint(0).send(
+      1, {.kind = 5, .from = 0, .seq = 7, .payload = bytes({1, 2})}));
+  transport.shutdown();
+  const std::optional<TransportMessage> m = transport.endpoint(1).recv();
+  ASSERT_TRUE(m.has_value());  // accepted before shutdown, still delivered
+  EXPECT_EQ(m->kind, 5);
+  EXPECT_EQ(m->seq, 7U);
+  EXPECT_FALSE(transport.endpoint(1).recv().has_value());  // then EOS
+}
+
+// ---------------------------------------------------------------------------
+// SocketTransport mesh round-trips.
+// ---------------------------------------------------------------------------
+
+void exercise_mesh(SocketTransport::Family family) {
+  constexpr std::size_t kEndpoints = 3;
+  constexpr std::uint64_t kMessages = 5;
+  SocketTransport transport(kEndpoints, 2, family);
+
+  const auto run_endpoint = [&](std::size_t self) {
+    Endpoint& ep = transport.establish(self);
+    for (std::uint64_t k = 0; k < kMessages; ++k) {
+      for (std::size_t to = 0; to < kEndpoints; ++to) {
+        if (to == self) continue;
+        ASSERT_TRUE(ep.send(
+            to, {.kind = 1,
+                 .from = self,
+                 .seq = k,
+                 .payload = bytes({static_cast<std::uint8_t>(self),
+                                   static_cast<std::uint8_t>(k)})}));
+      }
+    }
+    std::vector<std::uint64_t> next(kEndpoints, 0);
+    for (std::size_t i = 0; i < (kEndpoints - 1) * kMessages; ++i) {
+      const std::optional<TransportMessage> m = ep.recv();
+      ASSERT_TRUE(m.has_value());
+      ASSERT_NE(m->from, self);
+      EXPECT_EQ(m->seq, next[m->from]) << "sender " << m->from;
+      next[m->from] += 1;
+      ASSERT_TRUE(m->payload != nullptr);
+      EXPECT_EQ(*m->payload,
+                (std::vector<std::uint8_t>{static_cast<std::uint8_t>(m->from),
+                                           static_cast<std::uint8_t>(m->seq)}));
+    }
+    ep.flush();  // drain queued tail frames before this endpoint goes quiet
+  };
+
+  std::vector<std::thread> peers;
+  for (std::size_t id = 0; id + 1 < kEndpoints; ++id) {
+    peers.emplace_back([&, id] { run_endpoint(id); });
+  }
+  run_endpoint(kEndpoints - 1);
+  for (std::thread& t : peers) t.join();
+}
+
+TEST(SocketTransport, MeshRoundTripUnixSockets) {
+  exercise_mesh(SocketTransport::Family::kUnix);
+}
+
+TEST(SocketTransport, MeshRoundTripTcpSockets) {
+  exercise_mesh(SocketTransport::Family::kTcp);
+}
+
+TEST(SocketTransport, MutualLargeBurstsRespectQueueBoundWithoutDeadlock) {
+  // Large payloads with a capacity-1 send queue: both sides burst before
+  // receiving, so kernel socket buffers fill and send() must block in its
+  // pump — which keeps reading — rather than deadlock write-against-write.
+  constexpr std::uint64_t kMessages = 40;
+  const auto payload = std::make_shared<const std::vector<std::uint8_t>>(
+      std::vector<std::uint8_t>(64 * 1024, 0xCD));
+  SocketTransport transport(2, 1);
+  const auto run_side = [&](std::size_t self) {
+    Endpoint& ep = transport.establish(self);
+    for (std::uint64_t k = 0; k < kMessages; ++k) {
+      ASSERT_TRUE(ep.send(
+          1 - self, {.kind = 1, .from = self, .seq = k, .payload = payload}));
+    }
+    for (std::uint64_t k = 0; k < kMessages; ++k) {
+      const std::optional<TransportMessage> m = ep.recv();
+      ASSERT_TRUE(m.has_value());
+      EXPECT_EQ(m->seq, k);
+      EXPECT_EQ(m->body_size(), payload->size());
+    }
+    ep.flush();  // see FlushDeliversTailFrames: quiet endpoints stop pumping
+  };
+  std::thread peer([&] { run_side(1); });
+  run_side(0);
+  peer.join();
+}
+
+TEST(SocketTransport, FlushDeliversTailFramesBeforeEndpointGoesQuiet) {
+  // send() may return with up to `send_queue_capacity` frames still in the
+  // user-space queue, and only this endpoint's own send/recv/flush calls
+  // pump them out.  A sender that goes quiet right after its last send must
+  // flush, or the tail frame dies in the queue and the receiver waits
+  // forever — this is the regression test for exactly that loss.
+  SocketTransport transport(2, 1);
+  std::thread sender([&] {
+    Endpoint& ep = transport.establish(1);
+    for (std::uint64_t k = 0; k < 3; ++k) {
+      ASSERT_TRUE(
+          ep.send(0, {.kind = 1, .from = 1, .seq = k, .payload = nullptr}));
+    }
+    ep.flush();
+    // Thread exits; nobody pumps endpoint 1 ever again.
+  });
+  Endpoint& ep = transport.establish(0);
+  for (std::uint64_t k = 0; k < 3; ++k) {
+    const std::optional<TransportMessage> m = ep.recv();
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->seq, k);
+  }
+  sender.join();
+}
+
+// ---------------------------------------------------------------------------
+// SocketTransport fault injection: a raw client speaks (or violates) the
+// wire protocol against a live endpoint.
+// ---------------------------------------------------------------------------
+
+int connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  struct sockaddr_un addr {};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  EXPECT_GE(::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  return fd;
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t sent = ::send(fd, data + done, len - done, MSG_NOSIGNAL);
+    ASSERT_GT(sent, 0);
+    done += static_cast<std::size_t>(sent);
+  }
+}
+
+void read_all(int fd, std::uint8_t* data, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t got = ::recv(fd, data + done, len - done, 0);
+    ASSERT_GT(got, 0);
+    done += static_cast<std::size_t>(got);
+  }
+}
+
+/// Connects a raw client to endpoint 0 of `transport` and completes the
+/// handshake as endpoint 1.  Returns the raw fd; establish(0) must be called
+/// afterwards (the hello sits in the socket buffer until then) — here both
+/// sides run in this thread, which works because every handshake message
+/// fits the kernel buffers.
+int handshake_as_peer_one(SocketTransport& transport) {
+  const int fd = connect_unix(transport.address(0));
+  const auto hello = comm::encode_frame_header(
+      {.kind = 0, .from = 1, .seq = 0, .body_len = 0});
+  write_all(fd, hello.data(), hello.size());
+  return fd;
+}
+
+TEST(SocketTransport, PeerClosingDuringHandshakeFailsFast) {
+  SocketTransport transport(2, 4);
+  const int fd = connect_unix(transport.address(0));
+  ::close(fd);  // vanish before sending the hello
+  expect_check_error([&] { transport.establish(0); },
+                     "peer closed during transport handshake");
+}
+
+TEST(SocketTransport, GarbageHelloIsRejected) {
+  SocketTransport transport(2, 4);
+  const int fd = connect_unix(transport.address(0));
+  std::vector<std::uint8_t> garbage(comm::kFrameHeaderBytes, 0x5A);
+  write_all(fd, garbage.data(), garbage.size());
+  expect_check_error([&] { transport.establish(0); }, "magic");
+  ::close(fd);
+}
+
+TEST(SocketTransport, HelloFromImpossiblePeerIsRejected) {
+  SocketTransport transport(2, 4);
+  const int fd = connect_unix(transport.address(0));
+  // A valid hello claiming to be endpoint 0 itself — the acceptor only
+  // expects higher-id peers on its listener.
+  const auto hello = comm::encode_frame_header(
+      {.kind = 0, .from = 0, .seq = 0, .body_len = 0});
+  write_all(fd, hello.data(), hello.size());
+  expect_check_error([&] { transport.establish(0); }, "unexpected peer");
+  ::close(fd);
+}
+
+TEST(SocketTransport, TruncatedFrameMidStreamFailsFast) {
+  SocketTransport transport(2, 4);
+  const int fd = handshake_as_peer_one(transport);
+  Endpoint& ep = transport.establish(0);
+  std::uint8_t reply[comm::kFrameHeaderBytes];
+  read_all(fd, reply, sizeof(reply));  // endpoint 0's hello
+
+  // A frame announcing a 100-byte body, followed by only 10 bytes and EOF:
+  // the decoder must report a truncated stream, not wait forever for the
+  // rest.  (encode_frame validates body size, so assemble by hand.)
+  const auto head = comm::encode_frame_header(
+      {.kind = 2, .from = 1, .seq = 0, .body_len = 100});
+  std::vector<std::uint8_t> frame(head.begin(), head.end());
+  frame.insert(frame.end(), 10, 0x11);
+  write_all(fd, frame.data(), frame.size());
+  ::close(fd);
+  expect_check_error([&] { ep.recv(); }, "truncated frame mid-stream");
+}
+
+TEST(SocketTransport, OversizedFrameHeaderFailsFast) {
+  SocketTransport transport(2, 4);
+  const int fd = handshake_as_peer_one(transport);
+  Endpoint& ep = transport.establish(0);
+  std::uint8_t reply[comm::kFrameHeaderBytes];
+  read_all(fd, reply, sizeof(reply));
+
+  auto evil = comm::encode_frame_header(
+      {.kind = 2, .from = 1, .seq = 0, .body_len = 0});
+  put_u32_at(evil.data() + 12,
+             static_cast<std::uint32_t>(comm::kMaxFrameBody + 1));
+  write_all(fd, evil.data(), evil.size());
+  expect_check_error([&] { ep.recv(); }, "oversized");
+  ::close(fd);
+}
+
+TEST(SocketTransport, FrameFromWrongPeerOnLinkIsRejected) {
+  SocketTransport transport(3, 4);
+  // Raw client completes the handshake as peer 1, leaving peer 2's link
+  // unestablished — irrelevant here, endpoint 0 only needs link 1 live.
+  const int fd1 = connect_unix(transport.address(0));
+  const auto hello1 = comm::encode_frame_header(
+      {.kind = 0, .from = 1, .seq = 0, .body_len = 0});
+  write_all(fd1, hello1.data(), hello1.size());
+  const int fd2 = connect_unix(transport.address(0));
+  const auto hello2 = comm::encode_frame_header(
+      {.kind = 0, .from = 2, .seq = 0, .body_len = 0});
+  write_all(fd2, hello2.data(), hello2.size());
+  Endpoint& ep = transport.establish(0);
+  std::uint8_t reply[comm::kFrameHeaderBytes];
+  read_all(fd1, reply, sizeof(reply));
+
+  // A frame on link 1 whose header claims from=2 (peer spoofing).
+  std::vector<std::uint8_t> frame;
+  comm::encode_frame({.kind = 2, .from = 2, .seq = 0, .body_len = 0}, {},
+                     frame);
+  write_all(fd1, frame.data(), frame.size());
+  expect_check_error([&] { ep.recv(); }, "wrong peer");
+  ::close(fd1);
+  ::close(fd2);
+}
+
+TEST(SocketTransport, CleanPeerCloseIsEndOfStreamAfterBufferedFrames) {
+  SocketTransport transport(2, 4);
+  const int fd = handshake_as_peer_one(transport);
+  Endpoint& ep = transport.establish(0);
+  std::uint8_t reply[comm::kFrameHeaderBytes];
+  read_all(fd, reply, sizeof(reply));
+
+  // Two complete frames, then a clean close: both frames must still be
+  // received, then recv reports end-of-stream (nullopt), not an error.
+  std::vector<std::uint8_t> frames;
+  comm::encode_frame({.kind = 2, .from = 1, .seq = 0, .body_len = 3},
+                     std::vector<std::uint8_t>{7, 8, 9}, frames);
+  comm::encode_frame({.kind = 2, .from = 1, .seq = 1, .body_len = 0}, {},
+                     frames);
+  write_all(fd, frames.data(), frames.size());
+  ::close(fd);
+
+  const std::optional<TransportMessage> first = ep.recv();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->seq, 0U);
+  EXPECT_EQ(*first->payload, (std::vector<std::uint8_t>{7, 8, 9}));
+  const std::optional<TransportMessage> second = ep.recv();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->seq, 1U);
+  EXPECT_FALSE(ep.recv().has_value());  // all links closed -> EOS
+}
+
+}  // namespace
+}  // namespace sidco

@@ -6,11 +6,15 @@
 //   run_scenarios --spec ... --repeat 2          # determinism check
 //   run_scenarios --spec ... --list              # print cells, run nothing
 //   run_scenarios --spec ... --engine threads    # real-thread engine
+//   run_scenarios --spec ... --engine sockets    # forked-process engine
 //
-// --engine overrides the spec's engine for every cell (simulated | threads).
-// Threads-engine cells print measured wall-clock columns (mwall/mcomp/mcomm)
+// --engine overrides the spec's engine for every cell (simulated | threads |
+// sockets).  The override is applied before cell expansion, so the cells are
+// re-namespaced with the overridden engine's "/<engine>" suffix — an
+// overridden run never compares against another engine's golden universe.
+// Real-engine cells print measured wall-clock columns (mwall/mcomp/mcomm)
 // on stdout; golden files and the --repeat determinism comparison exclude
-// them (hardware time is not reproducible).  Note: with engine=threads a
+// them (hardware time is not reproducible).  Note: with a real engine a
 // staleness > 0 parameter-server cell is genuinely asynchronous, so --repeat
 // is expected to fail there — that is the runtime telling the truth.
 //
@@ -31,7 +35,7 @@ int usage() {
   std::cerr
       << "usage: run_scenarios --spec FILE [--golden FILE] [--update-golden]\n"
       << "                     [--repeat N] [--list]\n"
-      << "                     [--engine simulated|threads]\n";
+      << "                     [--engine simulated|threads|sockets]\n";
   return 2;
 }
 
