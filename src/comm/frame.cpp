@@ -14,7 +14,27 @@ void require(std::span<const std::uint8_t> buffer, std::size_t pos,
               "frame: read past the end of the buffer");
 }
 
+// Offsets of the header's reserved regions (see the layout table in
+// frame.h).  The single source of truth for "which bytes must be zero" —
+// encode and decode both derive from it, so the two can never drift apart.
+constexpr std::size_t kReservedByteOffsets[] = {7, 10, 11};
+
+void require_reserved_zero(std::span<const std::uint8_t> buffer) {
+  for (const std::size_t off : kReservedByteOffsets) {
+    util::check(buffer[off] == 0, "frame: nonzero reserved byte");
+  }
+}
+
 }  // namespace
+
+std::uint32_t fnv1a32(std::span<const std::uint8_t> bytes) {
+  std::uint32_t hash = 0x811c9dc5u;
+  for (const std::uint8_t b : bytes) {
+    hash ^= b;
+    hash *= 0x01000193u;
+  }
+  return hash;
+}
 
 std::uint16_t get_u16_le(std::span<const std::uint8_t> buffer,
                          std::size_t pos) {
@@ -89,8 +109,7 @@ FrameHeader decode_frame_header(std::span<const std::uint8_t> buffer) {
   util::check(get_u32_le(buffer, 0) == kFrameMagic, "frame: bad magic");
   util::check(get_u16_le(buffer, 4) == kFrameVersion,
               "frame: unknown version");
-  util::check(buffer[7] == 0, "frame: nonzero reserved byte");
-  util::check(get_u16_le(buffer, 10) == 0, "frame: nonzero reserved bytes");
+  require_reserved_zero(buffer);
   FrameHeader header;
   header.kind = buffer[6];
   header.from = get_u16_le(buffer, 8);

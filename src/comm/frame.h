@@ -42,6 +42,17 @@ namespace sidco::comm {
 inline constexpr std::uint32_t kFrameMagic = 0x53464d31;  // "1MFS" LE
 inline constexpr std::uint16_t kFrameVersion = 1;
 inline constexpr std::size_t kFrameHeaderBytes = 24;
+
+// Frame kinds 0xE0..0xFF are reserved for transport-internal protocols and
+// never reach the topology layer: 0 is the socket handshake hello
+// (socket_transport.cpp), the application kinds of runtime/topology.h start
+// at 1, and the reliable-delivery decorator (runtime/reliable.h) uses the
+// constants below for its envelope/ack/liveness traffic.
+inline constexpr std::uint8_t kReliableDataKind = 0xF0;  ///< crc+orig envelope
+inline constexpr std::uint8_t kReliableAckKind = 0xF1;   ///< seq = acked rseq
+inline constexpr std::uint8_t kHeartbeatKind = 0xF2;     ///< liveness beacon
+inline constexpr std::uint8_t kByeKind = 0xF3;           ///< clean-close fence
+inline constexpr std::uint8_t kReservedKindBase = 0xE0;  ///< first reserved
 /// Upper bound on a frame body.  Far above any real gradient payload (the
 /// proxy models are a few hundred KiB encoded); its job is to make a corrupt
 /// length field fail fast instead of asking the receiver to buffer gigabytes.
@@ -75,6 +86,36 @@ inline void put_f64_le(std::vector<std::uint8_t>& out, double v) {
 inline void put_f32_le(std::vector<std::uint8_t>& out, float v) {
   put_u32_le(out, std::bit_cast<std::uint32_t>(v));
 }
+
+// -- Sequence-number arithmetic ---------------------------------------------
+//
+// The frame `seq` field is a free-running 64-bit counter with *serial number
+// arithmetic* semantics (RFC 1982): values compare modulo 2^64, so a counter
+// that wraps past 2^64-1 keeps ordering correctly as long as two live
+// sequence numbers are never more than 2^63 apart — unreachable in practice,
+// and the ack/retransmission layer keeps at most a small window in flight.
+// Every consumer that orders or diffs seq values MUST use these helpers
+// instead of raw `<` / `-`, or a long session that wraps would misinterpret
+// sequence reuse.
+
+/// True when `a` precedes `b` in serial order (modulo 2^64).  Neither total
+/// nor antisymmetric at the exact antipode (distance 2^63) — callers keep
+/// live windows far smaller than that.
+[[nodiscard]] constexpr bool seq_less(std::uint64_t a, std::uint64_t b) {
+  return a != b && (b - a) < (std::uint64_t{1} << 63);
+}
+
+/// Forward distance from `a` to `b` modulo 2^64 (0 when equal).  Well-defined
+/// through wraparound: seq_distance(2^64 - 1, 1) == 2.
+[[nodiscard]] constexpr std::uint64_t seq_distance(std::uint64_t a,
+                                                   std::uint64_t b) {
+  return b - a;
+}
+
+/// FNV-1a 32-bit hash, used by the reliable-delivery decorator as a payload
+/// checksum (detects injected/real corruption before a frame is acked).  Not
+/// cryptographic — an integrity fingerprint, not an authenticator.
+[[nodiscard]] std::uint32_t fnv1a32(std::span<const std::uint8_t> bytes);
 
 std::uint16_t get_u16_le(std::span<const std::uint8_t> buffer,
                          std::size_t pos);

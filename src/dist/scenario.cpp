@@ -153,6 +153,14 @@ bool parse_on_off(const std::string& token) {
   util::check_fail("expected on/off: " + token);
 }
 
+FailurePolicy parse_failure_policy(const std::string& token) {
+  if (token == "failfast" || token == "fail-fast") {
+    return FailurePolicy::kFailFast;
+  }
+  if (token == "evict") return FailurePolicy::kEvict;
+  util::check_fail("unknown failure policy token: " + token);
+}
+
 std::string format_g(double value, int precision = 9) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
@@ -166,6 +174,46 @@ Engine parse_engine(const std::string& token) {
   if (token == "threads") return Engine::kThreads;
   if (token == "sockets") return Engine::kSockets;
   util::check_fail("unknown engine token: " + token);
+}
+
+FaultProfile parse_fault_profile(const std::string& token) {
+  FaultProfile profile{.name = token, .config = {}};
+  if (token == "none") return profile;
+  double sum = 0.0;
+  std::size_t start = 0;
+  while (start <= token.size()) {
+    auto plus = token.find('+', start);
+    if (plus == std::string::npos) plus = token.size();
+    const std::string term = token.substr(start, plus - start);
+    start = plus + 1;
+    const auto colon = term.find(':');
+    if (colon == std::string::npos) {
+      util::check_fail("fault term must be 'kind:probability': " + term);
+    }
+    const std::string kind = term.substr(0, colon);
+    const double p = parse_double(term.substr(colon + 1));
+    if (p <= 0.0 || p > 1.0) {
+      util::check_fail("fault probability must be in (0, 1]: " + term);
+    }
+    sum += p;
+    if (kind == "drop") {
+      profile.config.drop = p;
+    } else if (kind == "delay") {
+      profile.config.delay = p;
+    } else if (kind == "dup") {
+      profile.config.duplicate = p;
+    } else if (kind == "reorder") {
+      profile.config.reorder = p;
+    } else if (kind == "corrupt") {
+      profile.config.corrupt = p;
+    } else {
+      util::check_fail("unknown fault kind (want drop|delay|dup|reorder|"
+                       "corrupt): " +
+                       kind);
+    }
+  }
+  util::check(sum <= 1.0 + 1e-9, "fault probabilities must sum to <= 1");
+  return profile;
 }
 
 std::vector<double> resolve_device_profile(const DeviceProfile& profile,
@@ -232,6 +280,13 @@ MatrixSpec parse_matrix_spec(std::string_view text) {
     } else if (key == "channel_capacity") {
       spec.channel_capacity = parse_size(single());
       util::check(spec.channel_capacity >= 1, "channel_capacity must be >= 1");
+    } else if (key == "fault_seed") {
+      spec.fault_seed = static_cast<std::uint64_t>(parse_size(single()));
+    } else if (key == "failure") {
+      spec.failure = parse_failure_policy(single());
+    } else if (key == "deadline") {
+      spec.deadline = parse_double(single());
+      util::check(spec.deadline >= 0.0, "deadline must be non-negative");
     } else if (key == "benchmark") {
       spec.benchmarks.clear();
       for (const auto& v : values) spec.benchmarks.push_back(parse_benchmark(v));
@@ -268,12 +323,20 @@ MatrixSpec parse_matrix_spec(std::string_view text) {
         util::check(c >= 1, "chunks must be >= 1");
         spec.chunks.push_back(c);
       }
+    } else if (key == "fault") {
+      spec.faults.clear();
+      for (const auto& v : values) spec.faults.push_back(parse_fault_profile(v));
     } else {
       util::check_fail("unknown scenario key: " + key);
     }
   }
   util::check(spec.workers >= 1, "scenario matrix needs >= 1 worker");
   util::check(spec.iterations >= 1, "scenario matrix needs >= 1 iteration");
+  for (const FaultProfile& fault : spec.faults) {
+    util::check(fault.name == "none" || spec.engine != Engine::kSimulated,
+                "fault injection needs a real engine (threads or sockets); "
+                "the simulated engine has no wire to break");
+  }
   return spec;
 }
 
@@ -288,6 +351,7 @@ std::vector<Scenario> expand(const MatrixSpec& spec) {
               for (bool ec : spec.error_feedback) {
                 for (std::size_t stale : spec.staleness) {
                   for (std::size_t chunk : spec.chunks) {
+                   for (const FaultProfile& fault : spec.faults) {
                     Scenario cell;
                     cell.config.benchmark = benchmark;
                     cell.config.scheme = scheme;
@@ -308,6 +372,10 @@ std::vector<Scenario> expand(const MatrixSpec& spec) {
                         resolve_device_profile(device, spec.workers);
                     cell.config.engine = spec.engine;
                     cell.config.channel_capacity = spec.channel_capacity;
+                    cell.config.fault = fault.config;
+                    cell.config.fault.seed = spec.fault_seed;
+                    cell.config.on_worker_failure = spec.failure;
+                    cell.config.deadline_seconds = spec.deadline;
                     std::ostringstream name;
                     name << benchmark_token(benchmark) << '/'
                          << scheme_token(scheme) << "/r" << format_g(ratio, 6)
@@ -324,8 +392,15 @@ std::vector<Scenario> expand(const MatrixSpec& spec) {
                     if (spec.engine != Engine::kSimulated) {
                       name << '/' << engine_name(spec.engine);
                     }
+                    // Like the engine suffix: a faulted cell is its own
+                    // golden universe, and the clean cell keeps its
+                    // historical name.
+                    if (fault.name != "none") {
+                      name << '/' << fault.name;
+                    }
                     cell.name = name.str();
                     cells.push_back(std::move(cell));
+                   }
                   }
                 }
               }

@@ -50,6 +50,20 @@ struct DeviceProfile {
   std::string name;
 };
 
+/// Named fault-schedule profile (axis token).  "none" is the clean wire;
+/// otherwise a '+'-joined list of `kind:probability` terms, e.g.
+/// "drop:0.05+dup:0.02" (kinds: drop | delay | dup | reorder | corrupt).
+/// The per-cell seed comes from the separate `fault_seed` scalar so one
+/// profile can be swept across seeds without rewriting the token.
+struct FaultProfile {
+  std::string name;
+  FaultInjectionConfig config;
+};
+
+/// Parses one fault-profile token.  Throws util::CheckError on unknown
+/// kinds, malformed probabilities, or a probability sum above 1.
+FaultProfile parse_fault_profile(const std::string& token);
+
 /// Resolves a device profile to per-worker time multipliers (empty =
 /// homogeneous).  Throws util::CheckError on an unknown profile name.
 std::vector<double> resolve_device_profile(const DeviceProfile& profile,
@@ -69,6 +83,13 @@ struct MatrixSpec {
   Engine engine = Engine::kSimulated;
   /// Bounded-queue capacity for the real engines (`channel_capacity`).
   std::size_t channel_capacity = 8;
+  /// Seed for every cell's fault schedule (`fault_seed`); only meaningful
+  /// when the `fault` axis has non-"none" entries.
+  std::uint64_t fault_seed = 1;
+  /// Worker-failure policy for every cell (`failure = failfast | evict`).
+  FailurePolicy failure = FailurePolicy::kFailFast;
+  /// Session watchdog deadline in seconds (`deadline`); 0 = none.
+  double deadline = 0.0;
 
   // Axes (multi-valued keys), expanded outermost-first in this order.
   std::vector<nn::Benchmark> benchmarks{nn::Benchmark::kResNet20};
@@ -81,6 +102,11 @@ struct MatrixSpec {
   std::vector<bool> error_feedback{true};
   std::vector<std::size_t> staleness{0};
   std::vector<std::size_t> chunks{1};
+  /// Innermost axis (`fault = none, drop:0.05+dup:0.02, ...`): the seeded
+  /// fault schedule injected under the reliable layer.  Non-"none" cells get
+  /// a "/<token>" name suffix; they require a real engine (the simulated
+  /// engine has no wire to break), which the parser enforces.
+  std::vector<FaultProfile> faults{{.name = "none", .config = {}}};
 };
 
 /// One expanded matrix cell: a stable name plus a ready-to-run config.

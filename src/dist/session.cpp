@@ -115,6 +115,62 @@ void validate_config(const SessionConfig& config) {
   for (double s : config.worker_time_scale) {
     util::check(s > 0.0, "worker time scale must be positive");
   }
+
+  const FaultInjectionConfig& f = config.fault;
+  const double probs[] = {f.drop, f.delay, f.duplicate, f.reorder, f.corrupt};
+  double prob_sum = 0.0;
+  for (double p : probs) {
+    util::check(p >= 0.0 && p <= 1.0,
+                "fault probabilities must be in [0, 1]");
+    prob_sum += p;
+  }
+  util::check(prob_sum <= 1.0,
+              "fault probabilities must sum to <= 1 (one fault per message)");
+  util::check(f.delay_slots >= 1, "fault delay_slots must be >= 1");
+  util::check(f.partition_worker == FaultInjectionConfig::kNone ||
+                  f.partition_worker < config.workers,
+              "fault partition_worker out of range");
+  util::check(f.kill_worker == FaultInjectionConfig::kNone ||
+                  f.kill_worker < config.workers,
+              "fault kill_worker out of range");
+  util::check((f.cut_from == FaultInjectionConfig::kNone) ==
+                  (f.cut_to == FaultInjectionConfig::kNone),
+              "fault cut_from and cut_to must be set together");
+  if (f.cut_from != FaultInjectionConfig::kNone) {
+    util::check(f.cut_from <= config.workers && f.cut_to <= config.workers &&
+                    f.cut_from != f.cut_to,
+                "fault cut link endpoints out of range");
+  }
+  if (config.engine == Engine::kSimulated) {
+    util::check(!f.any() && !config.reliability.enabled,
+                "fault injection / reliable delivery require a real engine "
+                "(threads or sockets)");
+  }
+  if (f.kill_worker != FaultInjectionConfig::kNone ||
+      f.cut_from != FaultInjectionConfig::kNone) {
+    util::check(config.engine == Engine::kSockets,
+                "process-kill and link-cut faults require the sockets engine");
+  }
+  if (config.on_worker_failure == FailurePolicy::kEvict) {
+    util::check(config.topology == Topology::kParameterServer,
+                "worker eviction requires the parameter-server topology");
+    util::check(config.reliability.enabled,
+                "worker eviction requires reliability.enabled (eviction "
+                "needs confirmed death, not a guess)");
+  }
+  util::check(config.reliability.max_retries >= 1,
+              "reliability.max_retries must be >= 1");
+  util::check(config.reliability.window >= 1,
+              "reliability.window must be >= 1");
+  util::check(config.reliability.backoff_initial_ms > 0.0 &&
+                  config.reliability.backoff_max_ms >=
+                      config.reliability.backoff_initial_ms,
+              "reliability backoff must be positive and max >= initial");
+  util::check(config.reliability.silence_timeout_seconds > 0.0 &&
+                  config.reliability.heartbeat_interval_seconds > 0.0,
+              "reliability timeouts must be positive");
+  util::check(config.deadline_seconds >= 0.0,
+              "deadline_seconds must be >= 0");
 }
 
 // Identical replicas with private streams; the seed derivation is shared by

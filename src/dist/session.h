@@ -66,6 +66,117 @@ enum class Engine {
 
 std::string_view engine_name(Engine engine);
 
+/// Seeded deterministic fault injection for the real engines (threads /
+/// sockets).  Message faults (drop / delay / duplicate / reorder / corrupt)
+/// are per-message probabilities drawn from a pure hash of (seed, link
+/// direction, per-link send index) — the same config always injects the
+/// identical schedule, independent of thread/process timing (runtime/fault.h).
+/// Process faults (kill) and link faults (cut) model worker death and link
+/// loss.  All faults require a non-simulated engine; message faults force the
+/// reliable-delivery layer on, and the headline invariant is that any lossy-
+/// but-connected schedule leaves session results bit-identical to the
+/// fault-free run (test_chaos_differential).
+struct FaultInjectionConfig {
+  /// "Not a participant" sentinel for the index knobs below.
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  std::uint64_t seed = 1;  ///< fault schedule seed (independent of config.seed)
+  // Per-message fault probabilities in [0, 1]; their sum must be <= 1 (at
+  // most one fault per message, chosen by one uniform draw).
+  double drop = 0.0;       ///< message vanishes (retransmission recovers it)
+  double delay = 0.0;      ///< held back `delay_slots` sends on its link
+  double duplicate = 0.0;  ///< message delivered twice back to back
+  double reorder = 0.0;    ///< held back one send (swaps with its successor)
+  double corrupt = 0.0;    ///< one payload byte flipped (checksum catches it)
+  /// Holdback span (in subsequent sends on the same link) for `delay`.
+  std::size_t delay_slots = 2;
+
+  /// Permanent partition: every message on links touching this worker is
+  /// dropped once the link's send index reaches `partition_after`.  The one
+  /// fault class that cannot preserve results: the session must end in a
+  /// structured error (fail-fast) or a recorded eviction (degraded mode).
+  std::size_t partition_worker = kNone;
+  std::size_t partition_after = 0;
+
+  /// Worker SIGKILLs itself at the start of round `kill_round` (sockets
+  /// engine only — a forked child can die without taking the session down).
+  std::size_t kill_worker = kNone;
+  std::size_t kill_round = 0;
+
+  /// One-shot link cut: endpoint `cut_from` hard-closes its socket to
+  /// `cut_to` after writing `cut_after` frames (sockets engine only).
+  /// Exercises mid-session reconnect + retransmission recovery.
+  std::size_t cut_from = kNone;
+  std::size_t cut_to = kNone;
+  std::size_t cut_after = 0;
+
+  /// Any per-message fault configured (the kinds the reliable layer hides).
+  [[nodiscard]] bool lossy() const {
+    return drop > 0.0 || delay > 0.0 || duplicate > 0.0 || reorder > 0.0 ||
+           corrupt > 0.0 || partition_worker != kNone;
+  }
+  [[nodiscard]] bool any() const {
+    return lossy() || kill_worker != kNone || cut_from != kNone;
+  }
+};
+
+/// Reliable-delivery knobs (runtime/reliable.h): per-link ack/retransmission
+/// with exponential backoff over the frame seq field, plus heartbeat-based
+/// silence detection.  Forced on by the engines whenever message faults or a
+/// link cut are configured; can be enabled alone to harden a clean session.
+struct ReliabilityConfig {
+  bool enabled = false;
+  /// Retransmission attempts per frame before the peer is declared dead.
+  std::size_t max_retries = 12;
+  double backoff_initial_ms = 2.0;  ///< first retransmit delay (doubles...)
+  double backoff_max_ms = 200.0;    ///< ...up to this cap
+  /// Max unacked frames in flight per link before send() blocks.
+  std::size_t window = 64;
+  /// A peer silent for this long (no data/ack/heartbeat/bye) is declared
+  /// dead.  Must exceed the longest compute gap between a peer's transport
+  /// calls — a worker crunching a huge batch does not heartbeat.
+  double silence_timeout_seconds = 30.0;
+  /// Idle-link heartbeat period (sent from within blocked transport calls).
+  double heartbeat_interval_seconds = 1.0;
+};
+
+/// What a confirmed-dead worker does to the session.
+enum class FailurePolicy {
+  /// Default: the session fails with a structured error naming the worker.
+  kFailFast,
+  /// Parameter-server only: the server evicts the dead worker, re-normalizes
+  /// every subsequent round mean over the survivors, records the eviction in
+  /// SessionResult::evictions, and the session completes.  Requires
+  /// reliability.enabled (eviction needs confirmed death, not a guess).
+  kEvict,
+};
+
+/// Transport-layer event counters aggregated across all endpoints of a
+/// session (injected faults + recovery work).  Excluded from bit-identity
+/// comparisons: faults may only change wall-clock and these counters.
+struct FaultCounters {
+  std::uint64_t drops = 0;
+  std::uint64_t delays = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t reorders = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t retransmits = 0;  ///< reliable-layer retransmissions
+  std::uint64_t reconnects = 0;   ///< socket links re-established
+
+  /// Faults injected by the fault plan (not recovery work).
+  [[nodiscard]] std::uint64_t total_injected() const {
+    return drops + delays + duplicates + reorders + corruptions;
+  }
+};
+
+/// One recorded worker eviction (FailurePolicy::kEvict).
+struct Eviction {
+  std::size_t worker = 0;
+  /// Server rounds applied when the eviction happened (the first round whose
+  /// mean could be re-normalized over the survivors).
+  std::size_t round = 0;
+};
+
 struct SessionConfig {
   nn::Benchmark benchmark = nn::Benchmark::kResNet20;
   core::Scheme scheme = core::Scheme::kNone;
@@ -114,6 +225,21 @@ struct SessionConfig {
   /// only changes how much backpressure producers feel.  Ignored by
   /// kSimulated.
   std::size_t channel_capacity = 8;
+
+  /// Deterministic fault injection (real engines only; see
+  /// FaultInjectionConfig).  Default: no faults.
+  FaultInjectionConfig fault;
+  /// Reliable-delivery layer; forced on whenever `fault` is lossy or cuts a
+  /// link.
+  ReliabilityConfig reliability;
+  /// Confirmed-dead-worker policy (kEvict needs kParameterServer topology
+  /// and reliability.enabled).
+  FailurePolicy on_worker_failure = FailurePolicy::kFailFast;
+  /// Session watchdog: the whole session (rendezvous included) must finish
+  /// within this many seconds or every transport call fails with a
+  /// descriptive CheckError instead of hanging.  0 = use the
+  /// SIDCO_SESSION_DEADLINE environment variable if set, else no deadline.
+  double deadline_seconds = 0.0;
 };
 
 struct IterationRecord {
@@ -195,6 +321,15 @@ struct SessionResult {
   /// Max over workers of their summed real exchange seconds (channel sends,
   /// payload collection/decode waits, parameter pulls).  Threads engine only.
   double measured_comm_seconds = 0.0;
+
+  /// Transport fault/recovery counters summed over every endpoint that
+  /// reported (workers ship theirs in the kDone frame; the coordinator adds
+  /// its own).  All zero for fault-free sessions.  Never golden-compared.
+  FaultCounters fault_counters;
+  /// Workers evicted under FailurePolicy::kEvict, in eviction order.  Empty
+  /// means every worker survived (and results are bit-identical to the
+  /// fault-free oracle under any lossy-but-connected schedule).
+  std::vector<Eviction> evictions;
 
   [[nodiscard]] double mean_staleness() const;
   [[nodiscard]] std::size_t max_staleness() const;

@@ -104,6 +104,34 @@ class Channel {
     return value;
   }
 
+  /// pop that waits up to `timeout` for a message.  nullopt with
+  /// `closed_and_drained == false` means timeout; with it true the channel
+  /// is closed and fully drained (end-of-stream, as pop()'s nullopt).  Same
+  /// absolute-deadline bound as try_push_for.
+  template <typename Rep, typename Period>
+  std::optional<T> try_pop_for(const std::chrono::duration<Rep, Period>& timeout,
+                               bool& closed_and_drained) {
+    closed_and_drained = false;
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    std::optional<T> value;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (!not_empty_.wait_until(lock, deadline, [this] {
+            return closed_ || !queue_.empty();
+          })) {
+        return std::nullopt;  // timeout
+      }
+      if (queue_.empty()) {
+        closed_and_drained = true;
+        return std::nullopt;
+      }
+      value = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+    return value;
+  }
+
   /// Non-blocking pop: nullopt when the channel is currently empty (whether
   /// or not it is closed).
   std::optional<T> try_pop() {

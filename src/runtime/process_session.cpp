@@ -12,6 +12,7 @@
 #include <cstring>
 #include <exception>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <utility>
@@ -19,6 +20,8 @@
 
 #include "dist/session_detail.h"
 #include "dist/worker.h"
+#include "runtime/fault.h"
+#include "runtime/reliable.h"
 #include "runtime/socket_transport.h"
 #include "runtime/topology.h"
 #include "util/check.h"
@@ -32,6 +35,41 @@ namespace {
 using dist::SessionConfig;
 using dist::SessionResult;
 using dist::Worker;
+
+bool reliable_enabled(const SessionConfig& config) {
+  return config.reliability.enabled || config.fault.lossy() ||
+         config.fault.cut_from != dist::FaultInjectionConfig::kNone;
+}
+
+/// Owns one participant's chaos decorator stack; `get()` is the endpoint
+/// the protocol body should use (the outermost decorator, or the bare
+/// socket endpoint when no chaos is configured).
+struct DecoratedEndpoint {
+  std::optional<FaultPlan> plan;
+  std::unique_ptr<FaultInjectingEndpoint> injector;
+  std::unique_ptr<ReliableEndpoint> reliable;
+  Endpoint* endpoint = nullptr;
+
+  void wrap(const SessionConfig& config, std::size_t id, Endpoint& base,
+            bool deliver_peer_death) {
+    const std::size_t count = config.workers + 1;
+    endpoint = &base;
+    if (config.fault.lossy()) {
+      plan.emplace(config.fault, count);
+      injector = std::make_unique<FaultInjectingEndpoint>(*endpoint, *plan,
+                                                          id, count);
+      endpoint = injector.get();
+    }
+    if (reliable_enabled(config)) {
+      reliable = std::make_unique<ReliableEndpoint>(
+          *endpoint,
+          reliable_params_from(config, id, deliver_peer_death));
+      endpoint = reliable.get();
+    }
+  }
+
+  [[nodiscard]] Endpoint& get() const { return *endpoint; }
+};
 
 SocketTransport::Family family_from_env() {
   const char* env = std::getenv("SIDCO_SOCKET_FAMILY");
@@ -72,9 +110,14 @@ class SingleThreadScope {
                             SocketTransport& transport, std::size_t w,
                             bool ps) {
   Endpoint* endpoint = nullptr;
+  DecoratedEndpoint chaos;  // outlives the catch block's kError path
   try {
     transport.forget_other_listeners(w);
-    endpoint = &transport.establish(w);
+    // Workers always fail fast on a confirmed-dead peer: eviction is the
+    // server's call, and a worker whose server died has nothing left to do.
+    chaos.wrap(config, w, transport.establish(w),
+               /*deliver_peer_death=*/false);
+    endpoint = &chaos.get();
     const std::unique_ptr<Worker> worker =
         dist::detail::make_worker(config, w);
     if (ps) {
@@ -101,6 +144,9 @@ class SingleThreadScope {
       text = e.what();
     } catch (...) {
     }
+    // Also to stderr: the kError frame is lost exactly when the transport is
+    // the thing that failed, and "exited abnormally" alone is undebuggable.
+    std::fprintf(stderr, "[sidco worker %zu] %s\n", w, text.c_str());
     if (endpoint != nullptr) {
       try {
         endpoint->send(
@@ -156,6 +202,16 @@ SessionResult run_session_processes(const SessionConfig& config) {
 
   SocketTransport transport(n + 1, config.channel_capacity,
                             family_from_env());
+  // Chaos/robustness knobs land in the rendezvous before the first fork so
+  // every child inherits them.
+  if (const auto deadline = session_deadline(config)) {
+    transport.set_deadline(*deadline);
+  }
+  if (reliable_enabled(config)) transport.set_link_recovery(true);
+  if (config.fault.cut_from != dist::FaultInjectionConfig::kNone) {
+    transport.set_link_cut(config.fault.cut_from, config.fault.cut_to,
+                           config.fault.cut_after);
+  }
 
   // Pool narrowed and stdio flushed before the first fork.
   SingleThreadScope single_thread;
@@ -187,8 +243,12 @@ SessionResult run_session_processes(const SessionConfig& config) {
   std::vector<topo::MeasuredSeconds> measured;
   std::exception_ptr error;
   bool aborted = false;
+  const bool evict = config.on_worker_failure == dist::FailurePolicy::kEvict;
+  DecoratedEndpoint chaos;
   try {
-    Endpoint& endpoint = transport.establish(n);
+    chaos.wrap(config, n, transport.establish(n),
+               /*deliver_peer_death=*/evict && ps);
+    Endpoint& endpoint = chaos.get();
     if (ps) {
       topo::run_ps_server(config, init_params, dim, endpoint, result,
                           measured);
@@ -196,7 +256,8 @@ SessionResult run_session_processes(const SessionConfig& config) {
       topo::run_collective_coordinator(config, dim, endpoint, result,
                                        measured);
     }
-    endpoint.flush();  // defensive: drain any queued tail frames
+    endpoint.flush();  // reliable drain + bye fence, then queued tail frames
+    add_transport_counters(result.fault_counters, endpoint.counters());
   } catch (const topo::AbortedError&) {
     aborted = true;
   } catch (...) {
@@ -207,6 +268,26 @@ SessionResult run_session_processes(const SessionConfig& config) {
     // on children that may be blocked mid-protocol.
     transport.shutdown();
     for (const pid_t pid : children) ::kill(pid, SIGKILL);
+  } else {
+    // The parent's obligations ended with the bye fence above; go EOF, not
+    // merely quiet, before reaping.  A worker can still be draining
+    // late-released tail frames at us (a fault schedule's held duplicate of
+    // a large frame, say) — against a closed socket it gets EPIPE and
+    // discards them, while a deaf-but-open parent socket would wedge that
+    // worker's final flush until the watchdog deadline.
+    transport.shutdown();
+  }
+
+  // An evicted worker's process is expected to die abnormally (that was the
+  // fault being tested); make sure it actually terminates — it could be
+  // wedged retransmitting into a partition — and exclude it from the
+  // clean-exit audit below.
+  std::vector<bool> evicted(n, false);
+  for (const dist::Eviction& e : result.evictions) {
+    if (e.worker < n) {
+      evicted[e.worker] = true;
+      ::kill(children[e.worker], SIGKILL);
+    }
   }
 
   std::size_t first_bad_child = n;
@@ -215,6 +296,7 @@ SessionResult run_session_processes(const SessionConfig& config) {
     int status = 0;
     while (::waitpid(children[w], &status, 0) < 0 && errno == EINTR) {
     }
+    if (evicted[w]) continue;
     const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
     if (!clean && first_bad_child == n) {
       first_bad_child = w;

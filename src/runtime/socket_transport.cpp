@@ -10,10 +10,13 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "comm/frame.h"
@@ -26,8 +29,40 @@ namespace {
 /// Handshake frame kind; protocol kinds (runtime/topology.h) start at 1.
 constexpr std::uint8_t kHelloKind = 0;
 
+/// Slice for blocking waits: bounds how often a blocked pump re-checks the
+/// watchdog deadline.  Rare wakeups (an idle endpoint ticks ~10/s); socket
+/// readiness wakes the poll immediately regardless.
+constexpr int kPumpSliceMs = 100;
+
+/// Capped exponential backoff for connect()/reconnect attempts.  The total
+/// attempt budget (~2.5 s) is deliberately far under any sane session
+/// deadline and far over a peer's restart/accept latency.
+constexpr int kConnectAttempts = 12;
+constexpr std::chrono::milliseconds kBackoffInitial{10};
+constexpr std::chrono::milliseconds kBackoffMax{250};
+
+/// Mid-session reconnects get a much smaller budget than the initial
+/// establish: reconnect() blocks the caller's event loop, and an endpoint
+/// stalled past its peers' reliable-layer liveness windows (silence
+/// timeouts, retransmit budgets) gets itself declared dead by the survivors
+/// it was neglecting.  ~0.3 s of backoff is plenty for a live peer whose
+/// listener never went away, and a SIGKILLed peer fails every attempt
+/// anyway.
+constexpr int kReconnectAttempts = 6;
+
+using Clock = std::chrono::steady_clock;
+
 [[noreturn]] void fail_errno(const std::string& what) {
   util::check_fail(what + ": " + std::strerror(errno));
+}
+
+void check_deadline(const std::optional<Clock::time_point>& deadline,
+                    const char* where) {
+  if (deadline && Clock::now() >= *deadline) {
+    util::check_fail(std::string("session watchdog deadline exceeded (") +
+                     where + " blocked past "
+                     "SessionConfig::deadline_seconds)");
+  }
 }
 
 void close_fd(int& fd) {
@@ -66,14 +101,24 @@ void write_exact(int fd, const std::uint8_t* data, std::size_t len) {
   }
 }
 
-/// Blocking read of exactly `len` bytes (handshake only).  A peer closing
-/// the link mid-handshake fails fast with a descriptive error.
-void read_exact(int fd, std::uint8_t* data, std::size_t len) {
+/// Deadline-aware read of exactly `len` bytes (handshake only).  A peer
+/// closing the link mid-handshake fails fast with a descriptive error; a
+/// peer that wedges fails at the watchdog deadline instead of hanging.
+void read_exact(int fd, std::uint8_t* data, std::size_t len,
+                const std::optional<Clock::time_point>& deadline) {
   std::size_t done = 0;
   while (done < len) {
+    check_deadline(deadline, "transport handshake");
+    struct pollfd pfd{.fd = fd, .events = POLLIN, .revents = 0};
+    const int rc = ::poll(&pfd, 1, kPumpSliceMs);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("socket transport: handshake poll failed");
+    }
+    if (rc == 0) continue;
     const ssize_t got = ::recv(fd, data + done, len - done, 0);
     if (got < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       fail_errno("socket transport: handshake read failed");
     }
     if (got == 0) {
@@ -94,15 +139,21 @@ void send_hello(int fd, std::size_t self) {
 }
 
 /// Reads and validates the peer's hello, returning its endpoint id.
-std::size_t read_hello(int fd, std::size_t endpoint_count) {
+std::size_t read_hello(int fd, std::size_t endpoint_count,
+                       const std::optional<Clock::time_point>& deadline) {
   std::uint8_t buf[comm::kFrameHeaderBytes];
-  read_exact(fd, buf, sizeof(buf));
+  read_exact(fd, buf, sizeof(buf), deadline);
   const comm::FrameHeader h = comm::decode_frame_header(buf);
   util::check(h.kind == kHelloKind && h.body_len == 0,
               "socket transport: malformed handshake hello");
   util::check(h.from < endpoint_count,
               "socket transport: hello from an unknown endpoint id");
   return h.from;
+}
+
+bool retryable_connect_errno(int err) {
+  return err == ECONNREFUSED || err == ETIMEDOUT || err == ECONNRESET ||
+         err == EAGAIN || err == ENOENT;
 }
 
 }  // namespace
@@ -117,6 +168,12 @@ struct SocketTransport::Rendezvous {
   Family family = Family::kUnix;
   std::string directory;  ///< mkdtemp directory (kUnix)
   std::vector<Listener> listeners;
+  // Session-wide knobs, set before fork so every participant inherits them.
+  std::optional<Clock::time_point> deadline;
+  bool link_recovery = false;
+  std::size_t cut_from = static_cast<std::size_t>(-1);
+  std::size_t cut_to = static_cast<std::size_t>(-1);
+  std::size_t cut_after = 0;
 
   ~Rendezvous() {
     for (Listener& l : listeners) {
@@ -125,20 +182,96 @@ struct SocketTransport::Rendezvous {
     }
     if (!directory.empty()) ::rmdir(directory.c_str());
   }
+
+  /// One connect attempt to listener `j`; -1 with errno set on failure.
+  [[nodiscard]] int connect_once(std::size_t j) const {
+    const Listener& l = listeners[j];
+    int fd = -1;
+    if (family == Family::kUnix) {
+      struct sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      std::strncpy(addr.sun_path, l.uds_path.c_str(),
+                   sizeof(addr.sun_path) - 1);
+      fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (fd < 0) fail_errno("socket transport: socket(AF_UNIX) failed");
+      if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                    sizeof(addr)) < 0) {
+        const int err = errno;
+        close_fd(fd);
+        errno = err;
+        return -1;
+      }
+    } else {
+      const auto colon = l.address.rfind(':');
+      struct sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(static_cast<std::uint16_t>(
+          std::stoi(l.address.substr(colon + 1))));
+      fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) fail_errno("socket transport: socket(AF_INET) failed");
+      if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                    sizeof(addr)) < 0) {
+        const int err = errno;
+        close_fd(fd);
+        errno = err;
+        return -1;
+      }
+      set_nodelay(fd);
+    }
+    return fd;
+  }
+
+  /// connect with capped exponential backoff on the transient errnos
+  /// (ECONNREFUSED / ETIMEDOUT / ...): a peer that is slow to start or to
+  /// re-listen is not an error until the attempt budget or the session
+  /// deadline runs out.  Returns -1 when every attempt failed.
+  [[nodiscard]] int connect_with_backoff(
+      std::size_t j, int max_attempts = kConnectAttempts) const {
+    std::chrono::milliseconds backoff = kBackoffInitial;
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      const int fd = connect_once(j);
+      if (fd >= 0) return fd;
+      if (!retryable_connect_errno(errno)) {
+        fail_errno("socket transport: connect(" + listeners[j].address +
+                   ") failed");
+      }
+      if (attempt + 1 == max_attempts) break;
+      check_deadline(deadline, "transport connect");
+      std::this_thread::sleep_for(backoff);
+      backoff = std::min(backoff * 2, kBackoffMax);
+    }
+    return -1;
+  }
 };
 
 class SocketTransport::SocketEndpoint final : public Endpoint {
  public:
   SocketEndpoint(std::size_t self, std::size_t count,
-                 std::size_t queue_capacity)
+                 std::size_t queue_capacity, Rendezvous& rendezvous)
       : self_(self), count_(count), queue_capacity_(queue_capacity),
-        peers_(count) {}
+        rendezvous_(rendezvous), deadline_(rendezvous.deadline),
+        recovery_(rendezvous.link_recovery), peers_(count) {
+    if (rendezvous.cut_from == self) {
+      cut_peer_ = rendezvous.cut_to;
+      cut_after_ = rendezvous.cut_after;
+    }
+  }
 
   ~SocketEndpoint() override { close_all(); }
 
   void adopt(std::size_t peer, int fd) {
     set_nonblocking(fd);
-    peers_[peer].fd = fd;
+    Peer& p = peers_[peer];
+    close_fd(p.fd);
+    p.fd = fd;
+    // Stale stream state from a previous incarnation of the link must not
+    // leak into the new one: dangling inbound bytes are garbage, queued
+    // outbound frames are the reliable layer's to retransmit.
+    p.in.clear();
+    p.in_pos = 0;
+    p.out.clear();
+    p.out_pos = 0;
   }
 
   [[nodiscard]] bool has(std::size_t peer) const {
@@ -147,7 +280,7 @@ class SocketTransport::SocketEndpoint final : public Endpoint {
 
   void close_all() {
     shutdown_ = true;
-    for (Peer& p : peers_) close_fd(p.fd);
+    for (Peer& p : peers_) close_link(p);
   }
 
   bool send(std::size_t to, TransportMessage message) override {
@@ -157,7 +290,7 @@ class SocketTransport::SocketEndpoint final : public Endpoint {
                 "socket transport: message.from must be the sender");
     if (shutdown_) return false;
     Peer& peer = peers_[to];
-    if (peer.fd < 0) return false;  // link already closed by the peer
+    if (peer.fd < 0) return false;  // link down; reconnect() may revive it
 
     std::vector<std::uint8_t> frame;
     const std::span<const std::uint8_t> body =
@@ -175,12 +308,25 @@ class SocketTransport::SocketEndpoint final : public Endpoint {
     // bursting at each other cannot deadlock.
     pump(0);
     while (!shutdown_ && peer.fd >= 0 && peer.out.size() > queue_capacity_) {
-      pump(-1);
+      check_deadline(deadline_, "socket send");
+      pump(kPumpSliceMs);
     }
     return !shutdown_ && peer.fd >= 0;
   }
 
   std::optional<TransportMessage> recv() override {
+    for (;;) {
+      bool timed_out = false;
+      std::optional<TransportMessage> m =
+          recv_for(std::chrono::milliseconds(kPumpSliceMs), timed_out);
+      if (!timed_out) return m;
+    }
+  }
+
+  std::optional<TransportMessage> recv_for(std::chrono::milliseconds timeout,
+                                           bool& timed_out) override {
+    timed_out = false;
+    const auto give_up = Clock::now() + timeout;
     for (;;) {
       if (!ready_.empty()) {
         TransportMessage m = std::move(ready_.front());
@@ -188,7 +334,17 @@ class SocketTransport::SocketEndpoint final : public Endpoint {
         return m;
       }
       if (shutdown_ || all_links_closed()) return std::nullopt;
-      pump(-1);
+      const auto now = Clock::now();
+      if (now >= give_up) {
+        timed_out = true;
+        return std::nullopt;
+      }
+      check_deadline(deadline_, "socket recv");
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(give_up -
+                                                                now);
+      pump(static_cast<int>(std::min<std::int64_t>(remaining.count(),
+                                                   kPumpSliceMs)));
     }
   }
 
@@ -209,8 +365,37 @@ class SocketTransport::SocketEndpoint final : public Endpoint {
         }
       }
       if (!pending) return;
-      pump(-1);
+      check_deadline(deadline_, "socket flush");
+      pump(kPumpSliceMs);
     }
+  }
+
+  [[nodiscard]] LinkState link_state(std::size_t peer) const override {
+    util::check(peer < count_, "socket transport: unknown peer");
+    if (peer == self_) return LinkState::kOpen;
+    return peers_[peer].fd >= 0 ? LinkState::kOpen : LinkState::kClosed;
+  }
+
+  [[nodiscard]] bool is_shut_down() const override { return shutdown_; }
+
+  [[nodiscard]] TransportCounters counters() const override {
+    return counters_;
+  }
+
+  /// Re-establishes a closed link (recovery mode): the original connector
+  /// (self > peer accepted?  No: the lower id listened, the higher id
+  /// connected — see establish()) re-connects with backoff; the original
+  /// acceptor re-accepts on its own listener.  Bounded: attempt budget and
+  /// session deadline, whichever ends first.
+  bool reconnect(std::size_t peer) override {
+    util::check(peer < count_ && peer != self_,
+                "socket transport: reconnect to an invalid endpoint");
+    if (shutdown_ || !recovery_) return false;
+    if (peers_[peer].fd >= 0) return true;
+    const bool ok = peer < self_ ? reconnect_as_connector(peer)
+                                 : reconnect_as_acceptor(peer);
+    if (ok) ++counters_.reconnects;
+    return ok;
   }
 
  private:
@@ -220,7 +405,14 @@ class SocketTransport::SocketEndpoint final : public Endpoint {
     std::size_t in_pos = 0;        ///< parsed prefix of `in`
     std::deque<std::vector<std::uint8_t>> out;  ///< frames awaiting write
     std::size_t out_pos = 0;  ///< bytes of out.front() already written
+    std::uint64_t frames_written = 0;  ///< fully written frames (cut knob)
   };
+
+  static void close_link(Peer& p) {
+    close_fd(p.fd);
+    p.out.clear();
+    p.out_pos = 0;
+  }
 
   [[nodiscard]] bool all_links_closed() const {
     for (const Peer& p : peers_) {
@@ -270,16 +462,19 @@ class SocketTransport::SocketEndpoint final : public Endpoint {
       if (got == 0 || errno == ECONNRESET) {
         // End of stream.  Complete frames already buffered stay
         // receivable; a partial frame means the peer died (or lied about
-        // body_len) mid-message — fail fast, never hang.
+        // body_len) mid-message.  Strict mode fails fast; recovery mode
+        // discards the dangling bytes — the reliable layer retransmits
+        // whatever they were part of.
         parse_frames(i);
-        const bool truncated = p.in.size() > p.in_pos;
-        close_fd(p.fd);
-        p.out.clear();
-        if (truncated) {
+        const std::size_t dangling = p.in.size() - p.in_pos;
+        close_link(p);
+        p.in.clear();
+        p.in_pos = 0;
+        if (dangling > 0 && !recovery_) {
           util::check_fail(
               "socket transport: truncated frame mid-stream from endpoint " +
-              std::to_string(i) + " (" +
-              std::to_string(p.in.size() - p.in_pos) + " dangling bytes)");
+              std::to_string(i) + " (" + std::to_string(dangling) +
+              " dangling bytes)");
         }
         return;
       }
@@ -340,9 +535,7 @@ class SocketTransport::SocketEndpoint final : public Endpoint {
         if (errno == EPIPE || errno == ECONNRESET) {
           // Peer vanished; its process exit status / kError frame carries
           // the real story.  Drop the link so senders observe failure.
-          close_fd(p.fd);
-          p.out.clear();
-          p.out_pos = 0;
+          close_link(p);
           return;
         }
         fail_errno("socket transport: send failed");
@@ -351,16 +544,98 @@ class SocketTransport::SocketEndpoint final : public Endpoint {
       if (p.out_pos == front.size()) {
         p.out.pop_front();
         p.out_pos = 0;
+        ++p.frames_written;
+        if (i == cut_peer_ && !cut_done_ &&
+            p.frames_written >= cut_after_) {
+          // Deterministic chaos knob: hard-close the link exactly once.
+          // The peer sees EOF; the reliable layer reconnects/retransmits.
+          cut_done_ = true;
+          close_link(p);
+          return;
+        }
       }
     }
+  }
+
+  bool reconnect_as_connector(std::size_t peer) {
+    const int fd = rendezvous_.connect_with_backoff(peer, kReconnectAttempts);
+    if (fd < 0) return false;
+    try {
+      send_hello(fd, self_);
+      const std::size_t who = read_hello(fd, count_, deadline_);
+      util::check(who == peer,
+                  "socket transport: reconnect hello from an unexpected "
+                  "peer");
+    } catch (const util::CheckError&) {
+      int f = fd;
+      close_fd(f);
+      return false;
+    }
+    adopt(peer, fd);
+    return true;
+  }
+
+  bool reconnect_as_acceptor(std::size_t peer) {
+    const int listener = rendezvous_.listeners[self_].fd;
+    if (listener < 0) return false;
+    std::chrono::milliseconds waited{0};
+    const std::chrono::milliseconds budget =
+        kBackoffMax * kReconnectAttempts;  // same order as the connector side
+    while (peers_[peer].fd < 0) {
+      check_deadline(deadline_, "transport reconnect accept");
+      struct pollfd pfd{.fd = listener, .events = POLLIN, .revents = 0};
+      const int rc = ::poll(&pfd, 1, kPumpSliceMs);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        fail_errno("socket transport: reconnect poll failed");
+      }
+      if (rc == 0) {
+        waited += std::chrono::milliseconds(kPumpSliceMs);
+        if (waited >= budget) return false;
+        continue;
+      }
+      const int fd = ::accept(listener, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+          continue;
+        }
+        fail_errno("socket transport: reconnect accept failed");
+      }
+      if (rendezvous_.family == Family::kTcp) set_nodelay(fd);
+      try {
+        const std::size_t who = read_hello(fd, count_, deadline_);
+        // Any higher-id peer whose link is down may be the one reconnecting
+        // — adopt whoever announced itself (re-accepting for a third peer
+        // must not strand it), then keep waiting for the requested one.
+        if (who <= self_ || peers_[who].fd >= 0) {
+          int f = fd;
+          close_fd(f);
+          continue;
+        }
+        send_hello(fd, self_);
+        adopt(who, fd);
+      } catch (const util::CheckError&) {
+        int f = fd;
+        close_fd(f);
+        continue;
+      }
+    }
+    return true;
   }
 
   std::size_t self_;
   std::size_t count_;
   std::size_t queue_capacity_;
+  Rendezvous& rendezvous_;
+  std::optional<Clock::time_point> deadline_;
+  bool recovery_ = false;
+  std::size_t cut_peer_ = static_cast<std::size_t>(-1);
+  std::uint64_t cut_after_ = 0;
+  bool cut_done_ = false;
   bool shutdown_ = false;
   std::vector<Peer> peers_;
   std::deque<TransportMessage> ready_;
+  TransportCounters counters_;
 };
 
 SocketTransport::SocketTransport(std::size_t endpoints,
@@ -455,47 +730,46 @@ void SocketTransport::forget_other_listeners(std::size_t id) {
   }
 }
 
+void SocketTransport::set_deadline(
+    std::chrono::steady_clock::time_point deadline) {
+  rendezvous_->deadline = deadline;
+}
+
+void SocketTransport::set_link_recovery(bool enabled) {
+  rendezvous_->link_recovery = enabled;
+}
+
+void SocketTransport::set_link_cut(std::size_t from, std::size_t to,
+                                   std::size_t after) {
+  util::check(from < rendezvous_->listeners.size() &&
+                  to < rendezvous_->listeners.size() && from != to,
+              "socket transport: link cut endpoints out of range");
+  rendezvous_->cut_from = from;
+  rendezvous_->cut_to = to;
+  rendezvous_->cut_after = after;
+}
+
 Endpoint& SocketTransport::establish(std::size_t id) {
   const std::size_t count = rendezvous_->listeners.size();
   util::check(id < count, "socket transport: unknown endpoint id");
   util::check(endpoints_[id] == nullptr,
               "socket transport: endpoint already established");
-  auto ep = std::make_unique<SocketEndpoint>(id, count, queue_capacity_);
+  auto ep = std::make_unique<SocketEndpoint>(id, count, queue_capacity_,
+                                             *rendezvous_);
+  const std::optional<Clock::time_point>& deadline = rendezvous_->deadline;
 
   // Connect to every lower-id listener (bound before any participant
-  // started, so connects cannot race the listen()).
+  // started, so connects cannot race the listen(); the backoff covers a
+  // backlog-overflow ECONNREFUSED under heavy accept pressure).
   for (std::size_t j = 0; j < id; ++j) {
-    const Listener& l = rendezvous_->listeners[j];
-    int fd = -1;
-    if (rendezvous_->family == Family::kUnix) {
-      struct sockaddr_un addr{};
-      addr.sun_family = AF_UNIX;
-      std::strncpy(addr.sun_path, l.uds_path.c_str(),
-                   sizeof(addr.sun_path) - 1);
-      fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-      if (fd < 0) fail_errno("socket transport: socket(AF_UNIX) failed");
-      if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
-                    sizeof(addr)) < 0) {
-        fail_errno("socket transport: connect(" + l.address + ") failed");
-      }
-    } else {
-      const auto colon = l.address.rfind(':');
-      struct sockaddr_in addr{};
-      addr.sin_family = AF_INET;
-      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-      addr.sin_port =
-          htons(static_cast<std::uint16_t>(
-              std::stoi(l.address.substr(colon + 1))));
-      fd = ::socket(AF_INET, SOCK_STREAM, 0);
-      if (fd < 0) fail_errno("socket transport: socket(AF_INET) failed");
-      if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
-                    sizeof(addr)) < 0) {
-        fail_errno("socket transport: connect(" + l.address + ") failed");
-      }
-      set_nodelay(fd);
+    const int fd = rendezvous_->connect_with_backoff(j);
+    if (fd < 0) {
+      fail_errno("socket transport: connect(" +
+                 rendezvous_->listeners[j].address +
+                 ") failed after retries");
     }
     send_hello(fd, id);
-    const std::size_t peer = read_hello(fd, count);
+    const std::size_t peer = read_hello(fd, count, deadline);
     util::check(peer == j,
                 "socket transport: handshake hello from an unexpected peer");
     ep->adopt(j, fd);
@@ -505,13 +779,25 @@ Endpoint& SocketTransport::establish(std::size_t id) {
   // names the link (accept order is scheduler-dependent).
   std::size_t remaining = count - id - 1;
   while (remaining > 0) {
+    check_deadline(deadline, "transport rendezvous accept");
+    struct pollfd pfd{.fd = rendezvous_->listeners[id].fd,
+                      .events = POLLIN,
+                      .revents = 0};
+    const int prc = ::poll(&pfd, 1, kPumpSliceMs);
+    if (prc < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("socket transport: rendezvous poll failed");
+    }
+    if (prc == 0) continue;
     const int fd = ::accept(rendezvous_->listeners[id].fd, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
       fail_errno("socket transport: accept failed");
     }
     if (rendezvous_->family == Family::kTcp) set_nodelay(fd);
-    const std::size_t peer = read_hello(fd, count);
+    const std::size_t peer = read_hello(fd, count, deadline);
     util::check(peer > id && !ep->has(peer),
                 "socket transport: handshake hello from an unexpected peer");
     send_hello(fd, id);

@@ -43,6 +43,17 @@
 // truncated stream.  Failures surface as util::CheckError from send()/
 // recv() — the engines route them into their error paths (ErrorSink slots
 // under threads, session failure in the process engine) rather than hang.
+//
+// Fault tolerance (PR 7): establish() retries connect() with capped
+// exponential backoff (a slow-starting peer is not an error), every blocking
+// wait honors the session watchdog deadline (set_deadline), and in
+// link-recovery mode (set_link_recovery, enabled by the engines whenever the
+// reliable-delivery decorator is stacked on top) a lost link degrades
+// quietly: EOF discards any dangling partial frame instead of throwing, and
+// reconnect() re-establishes the link with backoff — the original connector
+// re-connects to the peer's listener, the original acceptor re-accepts on
+// its own listener.  Frames lost with the link are the reliable layer's
+// problem (retransmission), which is why recovery mode requires it.
 #pragma once
 
 #include <cstddef>
@@ -91,6 +102,23 @@ class SocketTransport final : public Transport {
   /// Forked children call this so the only rendezvous fd they keep is their
   /// own listener.
   void forget_other_listeners(std::size_t id);
+
+  /// Arms the session watchdog for every endpoint established afterwards
+  /// (including the rendezvous waits themselves).  Call before forking so
+  /// children inherit it.
+  void set_deadline(std::chrono::steady_clock::time_point deadline) override;
+
+  /// Enables link-recovery mode for endpoints established afterwards: EOF
+  /// becomes a quiet link close (dangling partial frames are discarded, not
+  /// fatal) and Endpoint::reconnect() works.  Only sound underneath the
+  /// reliable-delivery decorator, which retransmits whatever died with the
+  /// link.  Call before forking.
+  void set_link_recovery(bool enabled);
+
+  /// Deterministic one-shot link cut (chaos tests): the endpoint `from`
+  /// hard-closes its link to `to` after fully writing `after` frames.  Call
+  /// before forking; requires link-recovery mode to be survivable.
+  void set_link_cut(std::size_t from, std::size_t to, std::size_t after);
 
  private:
   class SocketEndpoint;

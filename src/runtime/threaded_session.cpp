@@ -4,12 +4,15 @@
 #include <atomic>
 #include <exception>
 #include <memory>
+#include <optional>
 #include <span>
 #include <thread>
 #include <vector>
 
 #include "dist/session_detail.h"
 #include "dist/worker.h"
+#include "runtime/fault.h"
+#include "runtime/reliable.h"
 #include "runtime/topology.h"
 #include "runtime/transport.h"
 #include "util/check.h"
@@ -49,9 +52,13 @@ class ErrorSink {
   }
 
   /// First captured error in slot order (call after joining all threads).
-  void rethrow_if_any() const {
-    for (const std::exception_ptr& e : errors_) {
-      if (e) std::rethrow_exception(e);
+  /// Slots flagged in `skip` are ignored: an evicted worker's own death
+  /// throes (its reliable layer giving up on the server) are an expected
+  /// consequence of the fault being tested, not a session failure.
+  void rethrow_if_any(const std::vector<bool>& skip = {}) const {
+    for (std::size_t i = 0; i < errors_.size(); ++i) {
+      if (i < skip.size() && skip[i]) continue;
+      if (errors_[i]) std::rethrow_exception(errors_[i]);
     }
   }
 
@@ -93,6 +100,41 @@ SessionResult run_topology_threads(const SessionConfig& config) {
   }
 
   InMemoryTransport transport(n + 1, config.channel_capacity);
+  if (const auto deadline = session_deadline(config)) {
+    transport.set_deadline(*deadline);
+  }
+
+  // Chaos decorator stack (single-threaded construction, before any
+  // participant starts): protocol body -> reliable -> fault injector ->
+  // channel fabric.  Every decorated endpoint stays single-owner.
+  const bool evict = config.on_worker_failure == dist::FailurePolicy::kEvict;
+  const bool use_reliable =
+      config.reliability.enabled || config.fault.lossy() ||
+      config.fault.cut_from != dist::FaultInjectionConfig::kNone;
+  std::optional<FaultPlan> plan;
+  if (config.fault.lossy()) plan.emplace(config.fault, n + 1);
+  std::vector<std::unique_ptr<FaultInjectingEndpoint>> injectors(n + 1);
+  std::vector<std::unique_ptr<ReliableEndpoint>> reliables(n + 1);
+  std::vector<Endpoint*> eps(n + 1);
+  for (std::size_t id = 0; id <= n; ++id) {
+    Endpoint* ep = &transport.endpoint(id);
+    if (plan) {
+      injectors[id] =
+          std::make_unique<FaultInjectingEndpoint>(*ep, *plan, id, n + 1);
+      ep = injectors[id].get();
+    }
+    if (use_reliable) {
+      // Only the server endpoint turns peer death into an eviction notice;
+      // everyone else fails fast (their errors are skipped at rethrow when
+      // the worker was evicted).
+      reliables[id] = std::make_unique<ReliableEndpoint>(
+          *ep, reliable_params_from(config, id,
+                                    /*deliver_peer_death=*/evict && id == n));
+      ep = reliables[id].get();
+    }
+    eps[id] = ep;
+  }
+
   std::vector<topo::MeasuredSeconds> measured;
   ErrorSink errors(n + 1);  // slot n belongs to the coordinator
   util::Timer wall;
@@ -103,32 +145,47 @@ SessionResult run_topology_threads(const SessionConfig& config) {
     threads.emplace_back([&, w] {
       errors.guard(w, [&] {
         if (ps) {
-          topo::run_ps_worker(config, w, *workers[w], transport.endpoint(w));
+          topo::run_ps_worker(config, w, *workers[w], *eps[w]);
         } else {
-          topo::run_collective_worker(config, w, *workers[w],
-                                      transport.endpoint(w));
+          topo::run_collective_worker(config, w, *workers[w], *eps[w]);
         }
+        // The reliable layer must drain its window and fence the link (bye)
+        // before this thread goes quiet — inside the guard, because a dead
+        // peer during the drain is a real error.
+        eps[w]->flush();
       });
+      // This thread is done with its endpoint for good; close the inbox so
+      // peers flushing late tail frames at it (a fault schedule's held
+      // duplicates, say) fail fast instead of blocking on a full channel
+      // nobody will ever drain again — the in-memory analog of a clean
+      // process exit closing its sockets.
+      transport.close_endpoint(w);
       // A failing worker must wake the coordinator and its peers, or they
-      // would block forever on links nobody feeds.
-      if (errors.failed()) transport.shutdown();
+      // would block forever on links nobody feeds.  Under the evict policy a
+      // worker failure is survivable by design — the server detects the
+      // death itself and the session must keep running.
+      if (errors.failed() && !evict) transport.shutdown();
     });
   }
 
   errors.guard(n, [&] {
     if (ps) {
-      topo::run_ps_server(config, init_params, dim, transport.endpoint(n),
-                          result, measured);
+      topo::run_ps_server(config, init_params, dim, *eps[n], result,
+                          measured);
     } else {
-      topo::run_collective_coordinator(config, dim, transport.endpoint(n),
-                                       result, measured);
+      topo::run_collective_coordinator(config, dim, *eps[n], result,
+                                       measured);
     }
+    eps[n]->flush();
   });
 
   transport.shutdown();
   for (std::thread& t : threads) t.join();
-  errors.rethrow_if_any();
+  std::vector<bool> evicted(n + 1, false);
+  for (const dist::Eviction& e : result.evictions) evicted[e.worker] = true;
+  errors.rethrow_if_any(evicted);
 
+  add_transport_counters(result.fault_counters, eps[n]->counters());
   dist::detail::finalize_result(result);
   fill_measured(result, wall, measured);
   return result;

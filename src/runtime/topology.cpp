@@ -14,6 +14,8 @@
 #include "dist/session_detail.h"
 #include "nn/optimizer.h"
 #include "nn/zoo.h"
+#include "runtime/fault.h"
+#include "runtime/reliable.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -71,16 +73,36 @@ void decode_params(std::span<const std::uint8_t> bytes,
   }
 }
 
-/// Measured seconds ride kDone as two f64s.
-std::vector<std::uint8_t> encode_done(const MeasuredSeconds& m) {
+/// kDone body: measured seconds (two f64s) followed by the worker's
+/// transport fault/recovery counters (seven u64s, TransportCounters field
+/// order) — the only channel a forked worker has to report what its
+/// fault-injection and reliable-delivery decorators did.
+std::vector<std::uint8_t> encode_done(const MeasuredSeconds& m,
+                                      const TransportCounters& c) {
   std::vector<std::uint8_t> body;
   comm::put_f64_le(body, m.compute);
   comm::put_f64_le(body, m.comm);
+  comm::put_u64_le(body, c.drops);
+  comm::put_u64_le(body, c.delays);
+  comm::put_u64_le(body, c.duplicates);
+  comm::put_u64_le(body, c.reorders);
+  comm::put_u64_le(body, c.corruptions);
+  comm::put_u64_le(body, c.retransmits);
+  comm::put_u64_le(body, c.reconnects);
   return body;
 }
 
-MeasuredSeconds decode_done(std::span<const std::uint8_t> body) {
-  util::check(body.size() == 16, "transport: malformed kDone body");
+/// Decodes a kDone body, accumulating its counters into the session total.
+MeasuredSeconds decode_done(std::span<const std::uint8_t> body,
+                            dist::FaultCounters& totals) {
+  util::check(body.size() == 72, "transport: malformed kDone body");
+  totals.drops += comm::get_u64_le(body, 16);
+  totals.delays += comm::get_u64_le(body, 24);
+  totals.duplicates += comm::get_u64_le(body, 32);
+  totals.reorders += comm::get_u64_le(body, 40);
+  totals.corruptions += comm::get_u64_le(body, 48);
+  totals.retransmits += comm::get_u64_le(body, 56);
+  totals.reconnects += comm::get_u64_le(body, 64);
   return {.compute = comm::get_f64_le(body, 0),
           .comm = comm::get_f64_le(body, 8)};
 }
@@ -158,6 +180,7 @@ void run_collective_worker(const SessionConfig& config, std::size_t w,
   util::Timer phase;
 
   for (std::size_t iter = 0; iter < iters; ++iter) {
+    maybe_kill_self(config.fault, w, iter);
     phase.reset();
     dist::WorkerStepResult step = worker.step(spec.batch_size);
     measured.compute += phase.seconds();
@@ -248,7 +271,7 @@ void run_collective_worker(const SessionConfig& config, std::size_t w,
                 {.kind = kDoneKind,
                  .from = w,
                  .seq = iters,
-                 .payload = freeze(encode_done(measured))});
+                 .payload = freeze(encode_done(measured, endpoint.counters()))});
 }
 
 void run_collective_coordinator(const SessionConfig& config, std::size_t dim,
@@ -280,7 +303,7 @@ void run_collective_coordinator(const SessionConfig& config, std::size_t dim,
       case kDoneKind:
         util::check(!done_seen[m.from],
                     "coordinator received a duplicate kDone");
-        measured[m.from] = decode_done(*m.payload);
+        measured[m.from] = decode_done(*m.payload, result.fault_counters);
         done_seen[m.from] = true;
         ++done_count;
         break;
@@ -418,6 +441,7 @@ void run_ps_worker(const SessionConfig& config, std::size_t w,
   util::Timer phase;
 
   for (std::size_t round = 0; round < rounds; ++round) {
+    maybe_kill_self(config.fault, w, round);
     if (round > 0) {
       phase.reset();
       std::optional<TransportMessage> grant = endpoint.recv();
@@ -461,7 +485,7 @@ void run_ps_worker(const SessionConfig& config, std::size_t w,
                 {.kind = kDoneKind,
                  .from = w,
                  .seq = rounds,
-                 .payload = freeze(encode_done(measured))});
+                 .payload = freeze(encode_done(measured, endpoint.counters()))});
 }
 
 void run_ps_server(const SessionConfig& config,
@@ -487,6 +511,8 @@ void run_ps_server(const SessionConfig& config,
   measured.assign(n, {});
   std::vector<bool> done_seen(n, false);
   std::size_t done_count = 0;
+  std::vector<bool> dead(n, false);
+  std::size_t alive = n;
 
   std::vector<std::vector<PsPart>> buckets(rounds);
   std::vector<std::size_t> arrived(rounds, 0);
@@ -510,15 +536,22 @@ void run_ps_server(const SessionConfig& config,
   // as the simulated driver — decoded-payload accumulation in worker order
   // through one canonical optimizer is what makes staleness-0 bit-identical
   // to the oracle.
+  // Applies the arrived parts of round r (all of them from the survivors;
+  // evicted workers' parts were stripped at eviction).  The mean is over the
+  // arrived count, so survivor re-normalization is automatic — and with no
+  // evictions the spans are exactly the historical all-n ones, keeping the
+  // staleness-0 bit-identity contract intact.
   const auto apply_round = [&](std::size_t r) {
     std::vector<PsPart>& parts = buckets[r];
+    std::size_t k = 0;
     for (std::size_t w = 0; w < n; ++w) {
+      if (!parts[w].arrived) continue;  // evicted before completing r
       const PushScalars& p = parts[w].scalars;
-      payload_spans[w] = parts[w].payload();
+      payload_spans[k] = parts[w].payload();
       // Per-part modeled compression: the shared engine dispatch, evaluated
       // server-side from the reported stats (the worker never sees the
       // timing context).
-      part_scalars[w] = {
+      part_scalars[k] = {
           .nnz = p.nnz,
           .wire_bytes = p.wire_bytes,
           .train_loss = p.train_loss,
@@ -529,18 +562,21 @@ void run_ps_server(const SessionConfig& config,
                                          p.measured_compression),
           .stages_used = p.stages_used,
           .staleness = p.staleness};
+      ++k;
     }
     pull_bytes_of_round[r] = apply_state.apply_round_mean(
-        payload_spans, dim, server_optimizer, server_params);
+        std::span(payload_spans.data(), k), dim, server_optimizer,
+        server_params);
     version = r + 1;
 
     IterationRecord& record = result.iterations[r];
-    dist::detail::ps_round_record(config, timing, part_scalars, record,
+    dist::detail::ps_round_record(config, timing,
+                                  std::span(part_scalars.data(), k), record,
                                   result.staleness_histogram);
     result.total_wire_bytes += record.wire_bytes;
     if (wired) {
       result.total_dense_equiv_bytes +=
-          n * dist::NetworkModel::dense_bytes(dim);
+          k * dist::NetworkModel::dense_bytes(dim);
     }
     // Modeled communication needs the event timeline; under a real
     // transport the honest communication number is measured_comm_seconds.
@@ -571,9 +607,38 @@ void run_ps_server(const SessionConfig& config,
   const auto route_done = [&](const TransportMessage& m) {
     util::check(!done_seen[m.from],
                 "parameter server received a duplicate kDone");
-    measured[m.from] = decode_done(*m.payload);
+    measured[m.from] = decode_done(*m.payload, result.fault_counters);
     done_seen[m.from] = true;
     ++done_count;
+  };
+
+  // Graceful degradation (FailurePolicy::kEvict): a confirmed-dead worker
+  // (kPeerDeadKind from the reliable layer) is removed from the roster.  Its
+  // parts in every unapplied round are stripped, so those rounds complete at
+  // the survivor count and their means re-normalize over the survivors; it
+  // is pre-marked done (its kDone will never come) and never granted again.
+  const auto evict = [&](std::size_t w) {
+    if (dead[w]) return;
+    util::check(config.on_worker_failure == dist::FailurePolicy::kEvict,
+                "parameter server received a peer-death notice without the "
+                "evict policy");
+    dead[w] = true;
+    --alive;
+    util::check(alive > 0,
+                "parameter server: every worker failed; nothing left to "
+                "train");
+    result.evictions.push_back({.worker = w, .round = version});
+    if (!done_seen[w]) {
+      done_seen[w] = true;
+      ++done_count;
+    }
+    wants[w] = rounds;
+    for (std::size_t r = version; r < rounds; ++r) {
+      if (!buckets[r].empty() && buckets[r][w].arrived) {
+        buckets[r][w] = {};
+        arrived[r] -= 1;
+      }
+    }
   };
 
   while (version < rounds) {
@@ -586,21 +651,35 @@ void run_ps_server(const SessionConfig& config,
       route_done(msg);
       continue;
     }
-    util::check(msg.kind == kPushKind,
-                "parameter server received an out-of-protocol message");
-    const std::size_t w = msg.from;
-    const std::size_t r = msg.seq;
-    util::check(r < rounds && !buckets[r].empty() && !buckets[r][w].arrived,
-                "parameter server received an out-of-protocol push");
-    buckets[r][w] = {.scalars = decode_push_prefix(*msg.payload),
-                     .body = std::move(msg.payload),
-                     .arrived = true};
-    arrived[r] += 1;
-    wants[w] = r + 1;
+    if (msg.kind == kPeerDeadKind) {
+      // Completion may unlock below: the dead worker's missing parts no
+      // longer block any round.
+      evict(msg.from);
+    } else {
+      util::check(msg.kind == kPushKind,
+                  "parameter server received an out-of-protocol message");
+      const std::size_t w = msg.from;
+      const std::size_t r = msg.seq;
+      if (r >= rounds || buckets[r].empty() || buckets[r][w].arrived) {
+        util::check_fail(
+            "parameter server received an out-of-protocol push (worker " +
+            std::to_string(w) + ", round " + std::to_string(r) +
+            ", applied version " + std::to_string(version) +
+            (r < rounds && !buckets[r].empty() && buckets[r][w].arrived
+                 ? ", duplicate"
+                 : ", round already applied or out of range") +
+            ")");
+      }
+      buckets[r][w] = {.scalars = decode_push_prefix(*msg.payload),
+                       .body = std::move(msg.payload),
+                       .arrived = true};
+      arrived[r] += 1;
+      wants[w] = r + 1;
+    }
 
     // Per-worker pushes arrive in round order (transport FIFO per
     // producer), so buckets complete in order and rounds apply in order.
-    while (version < rounds && arrived[version] == n) {
+    while (version < rounds && arrived[version] == alive) {
       apply_round(version);
     }
 
@@ -643,7 +722,15 @@ void run_ps_server(const SessionConfig& config,
 
   while (done_count < n) {
     TransportMessage msg = recv_or_abort(endpoint);
-    util::check(msg.kind == kDoneKind && msg.from < n,
+    util::check(msg.from < n,
+                "parameter server received a message from an unknown worker");
+    if (msg.kind == kPeerDeadKind) {
+      // A worker that died between its last push and its kDone: evict (the
+      // eviction pre-marks it done, with zero measured seconds).
+      evict(msg.from);
+      continue;
+    }
+    util::check(msg.kind == kDoneKind,
                 "parameter server received an out-of-protocol message after "
                 "the last round");
     route_done(msg);

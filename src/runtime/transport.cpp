@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <deque>
+#include <optional>
 #include <utility>
 
 #include "runtime/channel.h"
@@ -16,6 +17,11 @@ namespace {
 /// how fast a deadlock-avoidance drain cycle spins (same constant as the
 /// pre-Transport threaded engine).
 constexpr std::chrono::milliseconds kPushRetry{1};
+
+/// Slice for blocking pops: bounds how often a blocked recv re-checks the
+/// watchdog deadline.  Wakeups are rare (an idle endpoint ticks ~10/s) and
+/// a message arriving wakes the wait immediately regardless.
+constexpr std::chrono::milliseconds kPopSlice{100};
 
 }  // namespace
 
@@ -34,6 +40,7 @@ class InMemoryTransport::InMemoryEndpoint final : public Endpoint {
     // differential suite sweeps capacity 1).
     while (!dst.try_push_for(message, kPushRetry)) {
       if (dst.closed()) return false;
+      check_deadline();
       while (std::optional<TransportMessage> m = inbox_.try_pop()) {
         pending_.push_back(std::move(*m));
       }
@@ -42,23 +49,69 @@ class InMemoryTransport::InMemoryEndpoint final : public Endpoint {
   }
 
   std::optional<TransportMessage> recv() override {
+    for (;;) {
+      bool timed_out = false;
+      std::optional<TransportMessage> m = recv_for(kPopSlice, timed_out);
+      if (!timed_out) return m;
+    }
+  }
+
+  std::optional<TransportMessage> recv_for(std::chrono::milliseconds timeout,
+                                           bool& timed_out) override {
+    timed_out = false;
     if (!pending_.empty()) {
       TransportMessage m = std::move(pending_.front());
       pending_.pop_front();
       return m;
     }
-    return inbox_.pop();
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    for (;;) {
+      check_deadline();
+      auto slice = kPopSlice;
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
+        timed_out = true;
+        return std::nullopt;
+      }
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                now);
+      if (remaining < slice) slice = remaining;
+      bool closed_and_drained = false;
+      std::optional<TransportMessage> m =
+          inbox_.try_pop_for(slice, closed_and_drained);
+      if (m) return m;
+      if (closed_and_drained) return std::nullopt;
+    }
+  }
+
+  [[nodiscard]] bool is_shut_down() const override {
+    return inbox_.closed();
   }
 
   void close() { inbox_.close(); }
 
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+  }
+
  private:
+  void check_deadline() const {
+    if (deadline_ &&
+        std::chrono::steady_clock::now() >= *deadline_) {
+      util::check_fail(
+          "session watchdog deadline exceeded (in-memory transport blocked "
+          "past SessionConfig::deadline_seconds)");
+    }
+  }
+
   InMemoryTransport& owner_;
   Channel<TransportMessage> inbox_;
   // Messages drained from the inbox while a send was blocked, served before
   // the channel to preserve arrival order (per-sender FIFO in particular).
   // Only the owning thread touches it — no lock needed.
   std::deque<TransportMessage> pending_;
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
 };
 
 InMemoryTransport::InMemoryTransport(std::size_t endpoints,
@@ -84,6 +137,16 @@ Endpoint& InMemoryTransport::endpoint(std::size_t id) {
 
 void InMemoryTransport::shutdown() {
   for (auto& ep : endpoints_) ep->close();
+}
+
+void InMemoryTransport::close_endpoint(std::size_t id) {
+  util::check(id < endpoints_.size(), "transport: unknown endpoint id");
+  endpoints_[id]->close();
+}
+
+void InMemoryTransport::set_deadline(
+    std::chrono::steady_clock::time_point deadline) {
+  for (auto& ep : endpoints_) ep->set_deadline(deadline);
 }
 
 }  // namespace sidco::runtime

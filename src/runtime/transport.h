@@ -29,6 +29,7 @@
 //    on every endpoint.  Messages already accepted remain receivable.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -54,6 +55,40 @@ struct TransportMessage {
   }
 };
 
+/// Health of one directed link as this endpoint sees it.  In-memory links
+/// are always kOpen (a channel cannot fail); socket links close on EOF /
+/// reset and may be re-established by reconnect().
+enum class LinkState {
+  kOpen,
+  kReconnecting,  ///< a reconnect() is in flight
+  kClosed,
+};
+
+/// Per-endpoint transport event counters (injected faults and recovery
+/// work).  Decorators compose: counters() on the outermost decorator sums
+/// its own events with everything underneath.  Field semantics match
+/// dist::FaultCounters, which aggregates these across a whole session.
+struct TransportCounters {
+  std::uint64_t drops = 0;
+  std::uint64_t delays = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t reorders = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t reconnects = 0;
+
+  TransportCounters& operator+=(const TransportCounters& o) {
+    drops += o.drops;
+    delays += o.delays;
+    duplicates += o.duplicates;
+    reorders += o.reorders;
+    corruptions += o.corruptions;
+    retransmits += o.retransmits;
+    reconnects += o.reconnects;
+    return *this;
+  }
+};
+
 /// One participant's view of the transport.  Single-owner (see file
 /// comment); never shared between threads.
 class Endpoint {
@@ -76,6 +111,43 @@ class Endpoint {
   /// protocol), or its tail frames can be lost with no one left to pump
   /// them.  No-op for transports that deliver synchronously (in-memory).
   virtual void flush() {}
+
+  /// recv() that gives up after `timeout`.  On timeout: nullopt with
+  /// `timed_out` true.  Otherwise identical to recv() (`timed_out` false;
+  /// nullopt still means shut down and drained).  The base transports
+  /// implement this for real; the default ignores the timeout — decorators
+  /// that need timed waits (reliable retransmission) require a base that
+  /// supports it.
+  virtual std::optional<TransportMessage> recv_for(
+      std::chrono::milliseconds timeout, bool& timed_out) {
+    (void)timeout;
+    timed_out = false;
+    return recv();
+  }
+
+  /// Health of the directed link to `peer`.  Always kOpen for fabrics whose
+  /// links cannot fail (in-memory channels).
+  [[nodiscard]] virtual LinkState link_state(std::size_t peer) const {
+    (void)peer;
+    return LinkState::kOpen;
+  }
+
+  /// Attempts to re-establish a closed link to `peer` (bounded attempts with
+  /// capped backoff inside).  True when the link is open afterwards.  The
+  /// default cannot: only fabrics with real links (sockets) implement it.
+  virtual bool reconnect(std::size_t peer) {
+    (void)peer;
+    return false;
+  }
+
+  /// True once the owning transport has shut down (cooperative abort).
+  /// Distinguishes "transport torn down" from "this one link failed" for
+  /// send() == false / recv() == nullopt.
+  [[nodiscard]] virtual bool is_shut_down() const { return false; }
+
+  /// Transport event counters accumulated by this endpoint (decorators sum
+  /// in everything they wrap).  Plain transports report zeros.
+  [[nodiscard]] virtual TransportCounters counters() const { return {}; }
 };
 
 /// Owner of all endpoints of one session.
@@ -91,6 +163,15 @@ class Transport {
 
   /// Cooperative abort/teardown; idempotent.  See file comment.
   virtual void shutdown() = 0;
+
+  /// Arms the session watchdog: once `deadline` passes, every blocking
+  /// transport call on every endpoint fails with a descriptive
+  /// util::CheckError instead of waiting forever.  Set before handing
+  /// endpoints to participants (pre-thread, pre-fork).  Default: no-op for
+  /// transports without blocking waits.
+  virtual void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    (void)deadline;
+  }
 };
 
 /// The PR 5 bounded-channel fabric behind the Transport interface.  Each
@@ -105,6 +186,12 @@ class InMemoryTransport final : public Transport {
   [[nodiscard]] std::size_t endpoint_count() const override;
   Endpoint& endpoint(std::size_t id) override;
   void shutdown() override;
+  /// Closes one endpoint's inbox: sends to it fail fast instead of blocking
+  /// on a full channel nobody drains.  An endpoint must close itself when
+  /// its owner goes quiet for good — the in-memory analog of a process
+  /// exiting and its sockets going EPIPE.
+  void close_endpoint(std::size_t id);
+  void set_deadline(std::chrono::steady_clock::time_point deadline) override;
 
  private:
   class InMemoryEndpoint;

@@ -23,6 +23,10 @@
 #include <vector>
 
 #include "comm/frame.h"
+#include "dist/session.h"
+#include "runtime/channel.h"
+#include "runtime/fault.h"
+#include "runtime/reliable.h"
 #include "runtime/socket_transport.h"
 #include "runtime/transport.h"
 #include "util/check.h"
@@ -30,8 +34,13 @@
 namespace sidco {
 namespace {
 
+using runtime::Channel;
 using runtime::Endpoint;
+using runtime::FaultInjectingEndpoint;
+using runtime::FaultPlan;
 using runtime::InMemoryTransport;
+using runtime::ReliableEndpoint;
+using runtime::ReliableParams;
 using runtime::SocketTransport;
 using runtime::TransportMessage;
 
@@ -125,6 +134,59 @@ TEST(Frame, StrictDecodeRejectsHostileHeaders) {
                static_cast<std::uint32_t>(comm::kMaxFrameBody + 1));
     expect_check_error([&] { comm::decode_frame_header(m); }, "oversized");
   }
+}
+
+TEST(Frame, SeqArithmeticOrdersThroughWraparound) {
+  constexpr std::uint64_t kMax = ~std::uint64_t{0};
+  EXPECT_TRUE(comm::seq_less(0, 1));
+  EXPECT_FALSE(comm::seq_less(1, 0));
+  EXPECT_FALSE(comm::seq_less(5, 5));
+  // Wraparound: 2^64-1 precedes 1, and raw `<` would say the opposite.
+  EXPECT_TRUE(comm::seq_less(kMax, 0));
+  EXPECT_TRUE(comm::seq_less(kMax, 1));
+  EXPECT_FALSE(comm::seq_less(1, kMax));
+  EXPECT_EQ(comm::seq_distance(kMax, 1), 2U);
+  EXPECT_EQ(comm::seq_distance(7, 7), 0U);
+  EXPECT_EQ(comm::seq_distance(kMax - 1, kMax + 1), 2U);
+}
+
+TEST(Frame, Fnv1a32MatchesReferenceVectors) {
+  // Published FNV-1a 32-bit vectors: the empty string is the offset basis.
+  const auto hash = [](const std::string& s) {
+    return comm::fnv1a32(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  };
+  EXPECT_EQ(hash(""), 0x811c9dc5U);
+  EXPECT_EQ(hash("a"), 0xe40c292cU);
+  EXPECT_EQ(hash("foobar"), 0xbf9cf968U);
+}
+
+// ---------------------------------------------------------------------------
+// Channel timed pop.
+// ---------------------------------------------------------------------------
+
+TEST(Channel, TryPopForDistinguishesTimeoutFromEndOfStream) {
+  Channel<int> ch(2);
+  bool closed_and_drained = true;
+  // Empty but open: timeout, NOT end-of-stream.
+  EXPECT_FALSE(
+      ch.try_pop_for(std::chrono::milliseconds(5), closed_and_drained)
+          .has_value());
+  EXPECT_FALSE(closed_and_drained);
+  int v = 42;
+  ASSERT_TRUE(ch.try_push(v));
+  ch.close();
+  // Closed with a buffered message: drain semantics still deliver it.
+  const std::optional<int> got =
+      ch.try_pop_for(std::chrono::milliseconds(5), closed_and_drained);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 42);
+  EXPECT_FALSE(closed_and_drained);
+  // Closed and drained: end-of-stream, distinct from a mere timeout.
+  EXPECT_FALSE(
+      ch.try_pop_for(std::chrono::milliseconds(5), closed_and_drained)
+          .has_value());
+  EXPECT_TRUE(closed_and_drained);
 }
 
 // ---------------------------------------------------------------------------
@@ -468,6 +530,180 @@ TEST(SocketTransport, CleanPeerCloseIsEndOfStreamAfterBufferedFrames) {
   ASSERT_TRUE(second.has_value());
   EXPECT_EQ(second->seq, 1U);
   EXPECT_FALSE(ep.recv().has_value());  // all links closed -> EOS
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fault plan (runtime/fault.h).
+// ---------------------------------------------------------------------------
+
+dist::FaultInjectionConfig mixed_faults(std::uint64_t seed) {
+  dist::FaultInjectionConfig f;
+  f.seed = seed;
+  f.drop = 0.1;
+  f.delay = 0.1;
+  f.duplicate = 0.1;
+  f.reorder = 0.1;
+  f.corrupt = 0.1;
+  return f;
+}
+
+TEST(FaultPlan, DecisionsArePureInSeedLinkAndIndex) {
+  const FaultPlan plan(mixed_faults(17), 3);
+  // Same (link, index) -> identical decision, however often and in whatever
+  // order it is asked — the property that makes chaos schedules replayable.
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    const runtime::FaultDecision a = plan.decide(0, 2, i);
+    const runtime::FaultDecision b = plan.decide(0, 2, i);
+    EXPECT_EQ(a.drop, b.drop);
+    EXPECT_EQ(a.corrupt, b.corrupt);
+    EXPECT_EQ(a.duplicate, b.duplicate);
+    EXPECT_EQ(a.hold, b.hold);
+    EXPECT_EQ(a.salt, b.salt);
+  }
+}
+
+TEST(FaultPlan, SeedAndLinkDirectionChangeTheSchedule) {
+  const FaultPlan plan_a(mixed_faults(1), 3);
+  const FaultPlan plan_b(mixed_faults(2), 3);
+  const auto signature = [](const FaultPlan& plan, std::size_t from,
+                            std::size_t to) {
+    std::string sig;
+    for (std::uint64_t i = 0; i < 512; ++i) {
+      const runtime::FaultDecision d = plan.decide(from, to, i);
+      sig += d.drop ? 'd' : d.corrupt ? 'c' : d.duplicate ? '2' : '.';
+      sig += static_cast<char>('0' + d.hold % 10);
+    }
+    return sig;
+  };
+  EXPECT_NE(signature(plan_a, 0, 1), signature(plan_b, 0, 1));  // seed
+  EXPECT_NE(signature(plan_a, 0, 1), signature(plan_a, 1, 0));  // direction
+  EXPECT_NE(signature(plan_a, 0, 1), signature(plan_a, 0, 2));  // link
+}
+
+TEST(FaultPlan, RejectsProbabilitiesSummingPastOne) {
+  dist::FaultInjectionConfig f;
+  f.drop = 0.6;
+  f.corrupt = 0.6;
+  expect_check_error([&] { FaultPlan plan(f, 2); (void)plan; },
+                     "sum to <= 1");
+}
+
+TEST(FaultInjectingEndpoint, CertainDropSwallowsAndCountsEveryMessage) {
+  dist::FaultInjectionConfig f;
+  f.drop = 1.0;
+  const FaultPlan plan(f, 2);
+  InMemoryTransport transport(2, 8);
+  FaultInjectingEndpoint chaotic(transport.endpoint(0), plan, 0, 2);
+  constexpr std::uint64_t kMessages = 16;
+  for (std::uint64_t k = 0; k < kMessages; ++k) {
+    ASSERT_TRUE(
+        chaotic.send(1, {.kind = 1, .from = 0, .seq = k, .payload = nullptr}));
+  }
+  chaotic.flush();
+  EXPECT_EQ(chaotic.counters().drops, kMessages);
+  // Nothing survived to the fabric.
+  bool timed_out = false;
+  EXPECT_FALSE(transport.endpoint(1)
+                   .recv_for(std::chrono::milliseconds(10), timed_out)
+                   .has_value());
+  EXPECT_TRUE(timed_out);
+}
+
+// ---------------------------------------------------------------------------
+// Reliable delivery (runtime/reliable.h) repairing an injected-fault fabric.
+// ---------------------------------------------------------------------------
+
+ReliableParams test_reliable_params(std::size_t self) {
+  ReliableParams p;
+  p.self = self;
+  p.endpoints = 2;
+  p.max_retries = 20;
+  p.backoff_initial = std::chrono::duration<double, std::milli>(1.0);
+  p.backoff_max = std::chrono::duration<double, std::milli>(20.0);
+  p.window = 8;
+  p.silence_timeout = std::chrono::milliseconds(10000);
+  p.heartbeat_interval = std::chrono::milliseconds(200);
+  return p;
+}
+
+TEST(ReliableEndpoint, ExactlyOnceInOrderOverAHeavilyFaultedFabric) {
+  // The headline property at unit scale: both sides stack
+  // reliable -> injector -> channel fabric, the injector mangles every class
+  // of fault at high probability, and the application still sees per-link
+  // FIFO, no loss, no duplicates, no corruption.
+  dist::FaultInjectionConfig f;
+  f.seed = 99;
+  f.drop = 0.15;
+  f.delay = 0.1;
+  f.duplicate = 0.1;
+  f.reorder = 0.1;
+  f.corrupt = 0.1;
+  const FaultPlan plan(f, 2);
+  InMemoryTransport transport(2, 4);
+  constexpr std::uint64_t kMessages = 60;
+
+  const auto run_side = [&](std::size_t self) {
+    FaultInjectingEndpoint chaotic(transport.endpoint(self), plan, self, 2);
+    ReliableEndpoint ep(chaotic, test_reliable_params(self));
+    std::uint64_t sent = 0;
+    std::uint64_t got = 0;
+    std::uint8_t fill = static_cast<std::uint8_t>(0xA0 + self);
+    while (sent < kMessages || got < kMessages) {
+      if (sent < kMessages) {
+        ASSERT_TRUE(ep.send(
+            1 - self,
+            {.kind = 1,
+             .from = self,
+             .seq = sent,
+             .payload = std::make_shared<const std::vector<std::uint8_t>>(
+                 std::vector<std::uint8_t>{
+                     fill, static_cast<std::uint8_t>(sent)})}));
+        ++sent;
+      }
+      bool timed_out = false;
+      const std::optional<TransportMessage> m =
+          ep.recv_for(std::chrono::milliseconds(got < kMessages ? 50 : 0),
+                      timed_out);
+      if (!m) continue;
+      ASSERT_LT(got, kMessages);
+      EXPECT_EQ(m->kind, 1);
+      EXPECT_EQ(m->from, 1 - self);
+      EXPECT_EQ(m->seq, got);  // strict per-link FIFO, exactly once
+      ASSERT_TRUE(m->payload != nullptr);
+      EXPECT_EQ(*m->payload,
+                (std::vector<std::uint8_t>{
+                    static_cast<std::uint8_t>(0xA0 + (1 - self)),
+                    static_cast<std::uint8_t>(got)}));
+      ++got;
+    }
+    ep.flush();  // drain window + bye fence before the thread goes quiet
+  };
+  std::thread peer([&] { run_side(1); });
+  run_side(0);
+  peer.join();
+}
+
+// ---------------------------------------------------------------------------
+// Session watchdog deadline on the in-memory fabric.
+// ---------------------------------------------------------------------------
+
+TEST(InMemoryTransport, ExpiredDeadlineFailsBlockingCallsDescriptively) {
+  InMemoryTransport transport(2, 1);
+  transport.set_deadline(std::chrono::steady_clock::now() -
+                         std::chrono::seconds(1));
+  // recv on an empty inbox would block forever; the watchdog turns it into a
+  // structured error instead.
+  expect_check_error([&] { transport.endpoint(0).recv(); },
+                     "session watchdog deadline exceeded");
+  // A send blocked on a full inbox hits the same watchdog.
+  ASSERT_TRUE(transport.endpoint(0).send(
+      1, {.kind = 1, .from = 0, .seq = 0, .payload = nullptr}));
+  expect_check_error(
+      [&] {
+        transport.endpoint(0).send(
+            1, {.kind = 1, .from = 0, .seq = 1, .payload = nullptr});
+      },
+      "session watchdog deadline exceeded");
 }
 
 }  // namespace
