@@ -3,7 +3,17 @@
 // encode/decode/aggregate throughput across the density sweep the paper's
 // ratio axis covers.  This is the bytes-on-wire ground truth behind the
 // session/scenario metrics.
+//
+// Two modes:
+//  - no arguments: the original density-sweep table (paper-figure output);
+//  - any argument (when built with google-benchmark): standard
+//    google-benchmark CLI, exposing scalar-vs-SIMD dispatch pairs per
+//    payload mode (varint/bitmap index build+scan, fp16 conversion,
+//    quantized bit-packing).  The CI bench-smoke job dumps these as JSON
+//    and tools/check_bench_regression.py gates the in-run scalar/simd
+//    throughput ratios against the committed baseline.
 #include <cmath>
+#include <cstdint>
 #include <iostream>
 #include <vector>
 
@@ -14,6 +24,10 @@
 #include "util/rng.h"
 #include "util/table.h"
 #include "util/timer.h"
+
+#ifdef SIDCO_HAVE_GBENCH
+#include <benchmark/benchmark.h>
+#endif
 
 namespace {
 
@@ -31,9 +45,7 @@ sidco::tensor::SparseGradient random_sparse(std::size_t d, double density,
   return g;
 }
 
-}  // namespace
-
-int main() {
+void run_density_table() {
   using namespace sidco;
   const std::size_t d = 1U << 22;
   const int reps = static_cast<int>(bench::scaled(20));
@@ -87,5 +99,179 @@ int main() {
   }
   table.print(std::cout, "codec: bytes on the wire + throughput");
   table.maybe_write_csv("codec_density_sweep");
+}
+
+}  // namespace
+
+#ifdef SIDCO_HAVE_GBENCH
+
+namespace {
+
+using sidco::comm::ValueMode;
+
+constexpr std::size_t kCodecDim = 1U << 22;
+
+/// One shared payload per density so each is generated (and encoded) once
+/// per process.  0.01 stays in the varint-delta regime, 0.25 in bitmap.
+const sidco::tensor::SparseGradient& fixture_sparse(double density) {
+  static const sidco::tensor::SparseGradient varint =
+      random_sparse(kCodecDim, 0.01, 0xB17C0DEULL);
+  static const sidco::tensor::SparseGradient bitmap =
+      random_sparse(kCodecDim, 0.25, 0xB17C0DEULL);
+  return density < 0.1 ? varint : bitmap;
+}
+
+const std::vector<std::uint8_t>& fixture_encoded(double density,
+                                                 ValueMode mode) {
+  static std::vector<std::uint8_t> cache[4];
+  const std::size_t slot =
+      (density < 0.1 ? 0 : 2) + (mode == ValueMode::kFp32 ? 0 : 1);
+  if (cache[slot].empty()) {
+    sidco::comm::encode_sparse(fixture_sparse(density), mode, cache[slot]);
+  }
+  return cache[slot];
+}
+
+void encode_sparse_body(benchmark::State& state, double density,
+                        ValueMode mode) {
+  const sidco::tensor::SparseGradient& g = fixture_sparse(density);
+  std::vector<std::uint8_t> out;
+  const std::size_t bytes = sidco::comm::encode_sparse(g, mode, out);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sidco::comm::encode_sparse(g, mode, out));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+}
+
+void decode_sparse_body(benchmark::State& state, double density,
+                        ValueMode mode) {
+  const std::vector<std::uint8_t>& encoded = fixture_encoded(density, mode);
+  sidco::tensor::SparseGradient decoded;
+  sidco::comm::decode_sparse(encoded, decoded);
+  for (auto _ : state) {
+    sidco::comm::decode_sparse(encoded, decoded);
+    benchmark::DoNotOptimize(decoded.nnz());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(encoded.size()));
+}
+
+void BM_CodecEncodeSparse(benchmark::State& state, double density,
+                          ValueMode mode) {
+  encode_sparse_body(state, density, mode);
+}
+void BM_CodecEncodeSparseScalar(benchmark::State& state, double density,
+                                ValueMode mode) {
+  const sidco::bench::ScalarDispatch scalar;
+  encode_sparse_body(state, density, mode);
+}
+void BM_CodecDecodeSparse(benchmark::State& state, double density,
+                          ValueMode mode) {
+  decode_sparse_body(state, density, mode);
+}
+void BM_CodecDecodeSparseScalar(benchmark::State& state, double density,
+                                ValueMode mode) {
+  const sidco::bench::ScalarDispatch scalar;
+  decode_sparse_body(state, density, mode);
+}
+
+BENCHMARK_CAPTURE(BM_CodecEncodeSparse, varint_fp32, 0.01, ValueMode::kFp32);
+BENCHMARK_CAPTURE(BM_CodecEncodeSparseScalar, varint_fp32, 0.01,
+                  ValueMode::kFp32);
+BENCHMARK_CAPTURE(BM_CodecDecodeSparse, varint_fp32, 0.01, ValueMode::kFp32);
+BENCHMARK_CAPTURE(BM_CodecDecodeSparseScalar, varint_fp32, 0.01,
+                  ValueMode::kFp32);
+BENCHMARK_CAPTURE(BM_CodecEncodeSparse, bitmap_fp32, 0.25, ValueMode::kFp32);
+BENCHMARK_CAPTURE(BM_CodecEncodeSparseScalar, bitmap_fp32, 0.25,
+                  ValueMode::kFp32);
+BENCHMARK_CAPTURE(BM_CodecDecodeSparse, bitmap_fp32, 0.25, ValueMode::kFp32);
+BENCHMARK_CAPTURE(BM_CodecDecodeSparseScalar, bitmap_fp32, 0.25,
+                  ValueMode::kFp32);
+BENCHMARK_CAPTURE(BM_CodecEncodeSparse, varint_fp16, 0.01, ValueMode::kFp16);
+BENCHMARK_CAPTURE(BM_CodecEncodeSparseScalar, varint_fp16, 0.01,
+                  ValueMode::kFp16);
+BENCHMARK_CAPTURE(BM_CodecDecodeSparse, varint_fp16, 0.01, ValueMode::kFp16);
+BENCHMARK_CAPTURE(BM_CodecDecodeSparseScalar, varint_fp16, 0.01,
+                  ValueMode::kFp16);
+
+/// 2-bit QSGD-style symbols at full dimension: the bit-pack/unpack loops.
+const sidco::comm::QuantizedPayload& fixture_quantized() {
+  static const sidco::comm::QuantizedPayload payload = [] {
+    sidco::comm::QuantizedPayload p;
+    p.scale = 0.125F;
+    p.symbol_bits = 2;
+    sidco::util::Rng rng(0x9A17C0DEULL);
+    p.symbols.resize(kCodecDim);
+    for (auto& s : p.symbols) s = static_cast<std::uint32_t>(rng() & 0x3U);
+    return p;
+  }();
+  return payload;
+}
+
+void encode_quantized_body(benchmark::State& state) {
+  const sidco::comm::QuantizedPayload& payload = fixture_quantized();
+  std::vector<std::uint8_t> out;
+  const std::size_t bytes = sidco::comm::encode_quantized(payload, out);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sidco::comm::encode_quantized(payload, out));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+}
+
+void decode_quantized_body(benchmark::State& state) {
+  static const std::vector<std::uint8_t> encoded = [] {
+    std::vector<std::uint8_t> out;
+    sidco::comm::encode_quantized(fixture_quantized(), out);
+    return out;
+  }();
+  sidco::comm::QuantizedPayload decoded;
+  sidco::comm::decode_quantized(encoded, decoded);
+  for (auto _ : state) {
+    sidco::comm::decode_quantized(encoded, decoded);
+    benchmark::DoNotOptimize(decoded.symbols.size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(encoded.size()));
+}
+
+void BM_CodecEncodeQuantized(benchmark::State& state) {
+  encode_quantized_body(state);
+}
+void BM_CodecEncodeQuantizedScalar(benchmark::State& state) {
+  const sidco::bench::ScalarDispatch scalar;
+  encode_quantized_body(state);
+}
+void BM_CodecDecodeQuantized(benchmark::State& state) {
+  decode_quantized_body(state);
+}
+void BM_CodecDecodeQuantizedScalar(benchmark::State& state) {
+  const sidco::bench::ScalarDispatch scalar;
+  decode_quantized_body(state);
+}
+
+BENCHMARK(BM_CodecEncodeQuantized);
+BENCHMARK(BM_CodecEncodeQuantizedScalar);
+BENCHMARK(BM_CodecDecodeQuantized);
+BENCHMARK(BM_CodecDecodeQuantizedScalar);
+
+}  // namespace
+
+#endif  // SIDCO_HAVE_GBENCH
+
+int main(int argc, char** argv) {
+#ifdef SIDCO_HAVE_GBENCH
+  // Any CLI argument selects google-benchmark mode (the CI gate's JSON
+  // dump); a bare invocation keeps the paper-figure density table.
+  if (argc > 1) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+#endif
+  run_density_table();
   return 0;
 }

@@ -14,9 +14,17 @@
 //    fixed-block partitioning keeps outputs bit-identical, so these measure
 //    pure scaling.
 //
-// The CI bench-smoke job stores this binary's JSON output as BENCH_PR2.json
-// and tools/check_bench_regression.py gates regressions on the multi-stage
-// path (see README "Performance").
+// PR 8 additions — scalar-vs-SIMD dispatch pairs: the fused moments and
+// selection kernels re-run under util::simd::set_active(kScalar) (the
+// *Scalar twins).  The dispatched path computes bit-identical results (the
+// differential suite enforces that), so the in-run scalar/simd time ratio
+// is a pure speed measurement and is gated alongside the seed-vs-fused
+// pairs.
+//
+// The CI bench-smoke job stores this binary's JSON output (merged with
+// bench_codec's) as the committed baseline and
+// tools/check_bench_regression.py gates regressions on the multi-stage and
+// dispatch pairs (see README "Performance").
 #include <benchmark/benchmark.h>
 
 #include <cmath>
@@ -25,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "common.h"
 #include "core/factory.h"
 #include "core/sidco_compressor.h"
 #include "core/threshold_estimator.h"
@@ -329,6 +338,60 @@ void BM_SidcoTailRefitFused(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_SidcoTailRefitFused)->Arg(1 << 22)->Arg(1 << 24);
+
+// ------------------------------------------------- scalar vs SIMD dispatch
+// The same kernels with the dispatch forced to the scalar reference.  Paired
+// against the entries above by tools/check_bench_regression.py: the in-run
+// scalar/simd ratio gates, so runner speed cancels out.
+
+// No sum-log: the with_log transcendental is scalar per element at every
+// level and would drown the vectorized abs/sq/max/count reduction this pair
+// exists to measure.
+void BM_AbsMomentsPlain(benchmark::State& state) {
+  const auto& v = shared_vector(static_cast<std::size_t>(state.range(0)));
+  sidco::tensor::Workspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sidco::tensor::abs_moments(v, 0.003F, /*with_log=*/false, &ws));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AbsMomentsPlain)->Arg(1 << 22);
+
+void BM_AbsMomentsPlainScalar(benchmark::State& state) {
+  const sidco::bench::ScalarDispatch scalar;
+  const auto& v = shared_vector(static_cast<std::size_t>(state.range(0)));
+  sidco::tensor::Workspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sidco::tensor::abs_moments(v, 0.003F, /*with_log=*/false, &ws));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AbsMomentsPlainScalar)->Arg(1 << 22);
+
+void BM_ExtractAtLeastScalar(benchmark::State& state) {
+  const sidco::bench::ScalarDispatch scalar;
+  const auto& v = shared_vector(static_cast<std::size_t>(state.range(0)));
+  sidco::tensor::Workspace ws;
+  sidco::tensor::SparseGradient out;
+  for (auto _ : state) {
+    sidco::tensor::extract_at_least(v, 0.003F, ws, out);
+    benchmark::DoNotOptimize(out.nnz());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExtractAtLeastScalar)->Arg(1 << 22);
+
+void BM_CountAtLeastScalar(benchmark::State& state) {
+  const sidco::bench::ScalarDispatch scalar;
+  const auto& v = shared_vector(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sidco::tensor::count_at_least(v, 0.003F));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CountAtLeastScalar)->Arg(1 << 22);
 
 // ------------------------------------------------------------ thread scaling
 

@@ -12,12 +12,30 @@
 #include "dist/session.h"
 #include "metrics/metrics.h"
 #include "stats/distributions.h"
+#include "util/simd.h"
 #include "util/table.h"
 
 namespace sidco::bench {
 
 /// Iteration budget scaled by the SIDCO_BENCH_SCALE env var (default 1.0).
 std::size_t scaled(std::size_t iterations);
+
+/// Forces the scalar SIMD dispatch level for one benchmark's scope (the
+/// *Scalar twins of the dispatched kernels/codec benches), restoring the
+/// detected level on destruction.  The scalar-vs-simd in-run ratio is what
+/// tools/check_bench_regression.py gates: machine speed cancels out of it.
+class ScalarDispatch {
+ public:
+  ScalarDispatch() : saved_(util::simd::active()) {
+    util::simd::set_active(util::simd::Level::kScalar);
+  }
+  ~ScalarDispatch() { util::simd::set_active(saved_); }
+  ScalarDispatch(const ScalarDispatch&) = delete;
+  ScalarDispatch& operator=(const ScalarDispatch&) = delete;
+
+ private:
+  util::simd::Level saved_;
+};
 
 /// The paper's three evaluation ratios.
 inline constexpr double kRatios[] = {0.1, 0.01, 0.001};

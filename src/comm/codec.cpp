@@ -2,17 +2,24 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstring>
 #include <limits>
 
+#include "comm/codec_simd.h"
+#include "comm/varint.h"
 #include "util/check.h"
+#include "util/simd.h"
 
 namespace sidco::comm {
+
+using detail::get_varint;
+using detail::put_varint;
+using detail::varint_size;
 
 namespace {
 
 constexpr std::uint8_t kMagic0 = 0x53;  // 'S'
 constexpr std::uint8_t kMagic1 = 0x43;  // 'C'
-constexpr std::size_t kMaxIndexVarintBytes = 5;  // u32 range
 
 void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
   out.push_back(static_cast<std::uint8_t>(v & 0xFF));
@@ -55,37 +62,6 @@ float get_f32(std::span<const std::uint8_t> buf, std::size_t at) {
   return std::bit_cast<float>(get_u32(buf, at));
 }
 
-std::size_t varint_size(std::uint64_t v) {
-  std::size_t n = 1;
-  while (v >= 0x80) {
-    v >>= 7;
-    ++n;
-  }
-  return n;
-}
-
-void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  while (v >= 0x80) {
-    out.push_back(static_cast<std::uint8_t>(v) | 0x80U);
-    v >>= 7;
-  }
-  out.push_back(static_cast<std::uint8_t>(v));
-}
-
-/// Reads one index varint at `pos` (advanced past it).  Bounded to the u32
-/// range so hostile length prefixes cannot drive unbounded reads or
-/// accumulator overflow downstream.
-std::uint64_t get_varint(std::span<const std::uint8_t> buf, std::size_t& pos) {
-  std::uint64_t v = 0;
-  for (std::size_t i = 0; i < kMaxIndexVarintBytes; ++i) {
-    util::check(pos < buf.size(), "wire: truncated varint");
-    const std::uint8_t byte = buf[pos++];
-    v |= static_cast<std::uint64_t>(byte & 0x7F) << (7 * i);
-    if ((byte & 0x80U) == 0) return v;
-  }
-  util::check_fail("wire: varint exceeds index range");
-}
-
 void write_header(std::vector<std::uint8_t>& out, PayloadKind kind,
                   std::uint8_t flags, std::uint8_t aux, std::uint64_t dense_dim,
                   std::uint64_t count) {
@@ -101,8 +77,24 @@ void write_header(std::vector<std::uint8_t>& out, PayloadKind kind,
   put_u64(out, count);
 }
 
-void write_values(std::vector<std::uint8_t>& out,
+void write_values(util::simd::Level level, std::vector<std::uint8_t>& out,
                   std::span<const float> values, ValueMode mode) {
+  // Fast paths assume the host byte order matches the little-endian wire
+  // order; the forced-scalar level keeps the reference per-element loops.
+  if constexpr (std::endian::native == std::endian::little) {
+    if (level != util::simd::Level::kScalar) {
+      const std::size_t at = out.size();
+      if (mode == ValueMode::kFp32) {
+        out.resize(at + values.size() * 4);
+        std::memcpy(out.data() + at, values.data(), values.size() * 4);
+      } else {
+        out.resize(at + values.size() * 2);
+        detail::float_to_half_bytes(level, values.data(), values.size(),
+                                    out.data() + at);
+      }
+      return;
+    }
+  }
   if (mode == ValueMode::kFp32) {
     for (float v : values) put_f32(out, v);
   } else {
@@ -115,6 +107,27 @@ float read_value(std::span<const std::uint8_t> buf, std::size_t at,
   if (mode == ValueMode::kFp32) return get_f32(buf, at);
   return half_to_float(
       static_cast<std::uint16_t>(buf[at] | (buf[at + 1] << 8)));
+}
+
+void read_values(util::simd::Level level, std::span<const std::uint8_t> buf,
+                 std::size_t at, std::size_t count, ValueMode mode,
+                 std::vector<float>& out) {
+  if constexpr (std::endian::native == std::endian::little) {
+    if (level != util::simd::Level::kScalar) {
+      out.resize(count);
+      if (mode == ValueMode::kFp32) {
+        std::memcpy(out.data(), buf.data() + at, count * 4);
+      } else {
+        detail::half_to_float_bytes(level, buf.data() + at, count,
+                                    out.data());
+      }
+      return;
+    }
+  }
+  const std::size_t vb = value_bytes(mode);
+  for (std::size_t j = 0; j < count; ++j) {
+    out.push_back(read_value(buf, at + j * vb, mode));
+  }
 }
 
 void check_canonical_for_encode(const tensor::SparseGradient& g) {
@@ -198,6 +211,27 @@ float half_to_float(std::uint16_t half) {
   return std::bit_cast<float>(bits);
 }
 
+void float_to_half_n(const float* in, std::size_t n, std::uint16_t* out) {
+  // The byte-stream helpers speak little-endian wire order, which matches
+  // the in-memory u16 layout only on little-endian hosts.
+  if constexpr (std::endian::native == std::endian::little) {
+    detail::float_to_half_bytes(util::simd::active(), in, n,
+                                reinterpret_cast<std::uint8_t*>(out));
+  } else {
+    for (std::size_t i = 0; i < n; ++i) out[i] = float_to_half(in[i]);
+  }
+}
+
+void half_to_float_n(const std::uint16_t* in, std::size_t n, float* out) {
+  if constexpr (std::endian::native == std::endian::little) {
+    detail::half_to_float_bytes(util::simd::active(),
+                                reinterpret_cast<const std::uint8_t*>(in), n,
+                                out);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) out[i] = half_to_float(in[i]);
+  }
+}
+
 std::size_t varint_index_bytes(const tensor::SparseGradient& gradient) {
   std::size_t bytes = 0;
   std::uint32_t prev = 0;
@@ -228,30 +262,30 @@ std::size_t encoded_sparse_bytes(const tensor::SparseGradient& gradient,
 std::size_t encode_sparse(const tensor::SparseGradient& gradient,
                           ValueMode mode, std::vector<std::uint8_t>& out) {
   check_canonical_for_encode(gradient);
-  const IndexMode index_mode = select_index_mode(gradient);
+  const std::size_t vbytes = varint_index_bytes(gradient);
+  const std::size_t bbytes = bitmap_index_bytes(gradient.dense_dim);
+  // Same tie-break as select_index_mode: varint unless the bitmap is
+  // strictly smaller.
+  const IndexMode index_mode =
+      vbytes <= bbytes ? IndexMode::kVarintDelta : IndexMode::kBitmap;
   const std::uint8_t flags =
       static_cast<std::uint8_t>(index_mode) |
       static_cast<std::uint8_t>(static_cast<std::uint8_t>(mode) << 1);
   write_header(out, PayloadKind::kSparse, flags, 0, gradient.dense_dim,
                gradient.nnz());
 
+  const util::simd::Level level = util::simd::active();
+  const std::size_t index_at = out.size();
   if (index_mode == IndexMode::kVarintDelta) {
-    std::uint32_t prev = 0;
-    for (std::size_t j = 0; j < gradient.indices.size(); ++j) {
-      const std::uint64_t delta =
-          j == 0 ? gradient.indices[0]
-                 : static_cast<std::uint64_t>(gradient.indices[j]) - prev - 1;
-      put_varint(out, delta);
-      prev = gradient.indices[j];
-    }
+    out.resize(index_at + vbytes);
+    detail::encode_varint_deltas(level, gradient.indices,
+                                 out.data() + index_at);
   } else {
-    const std::size_t bitmap_at = out.size();
-    out.resize(out.size() + bitmap_index_bytes(gradient.dense_dim), 0);
-    for (std::uint32_t index : gradient.indices) {
-      out[bitmap_at + index / 8] |= static_cast<std::uint8_t>(1U << (index % 8));
-    }
+    out.resize(index_at + bbytes, 0);
+    detail::build_bitmap(level, gradient.indices, out.data() + index_at,
+                         bbytes);
   }
-  write_values(out, gradient.values, mode);
+  write_values(level, out, gradient.values, mode);
   return out.size();
 }
 
@@ -323,29 +357,15 @@ MessageInfo decode_sparse(std::span<const std::uint8_t> buffer,
   out.indices.reserve(info.count);
   out.values.reserve(info.count);
 
+  const util::simd::Level level = util::simd::active();
   std::size_t pos = kHeaderBytes;
   if (info.index_mode == IndexMode::kVarintDelta) {
-    std::uint64_t prev = 0;
-    for (std::size_t j = 0; j < info.count; ++j) {
-      const std::uint64_t delta = get_varint(buffer, pos);
-      const std::uint64_t index = j == 0 ? delta : prev + 1 + delta;
-      util::check(index < info.dense_dim, "wire: sparse index out of range");
-      out.indices.push_back(static_cast<std::uint32_t>(index));
-      prev = index;
-    }
+    detail::decode_varint_deltas(level, buffer, pos, info.count,
+                                 info.dense_dim, out.indices);
   } else {
     const std::size_t bitmap_bytes = bitmap_index_bytes(info.dense_dim);
-    for (std::size_t byte = 0; byte < bitmap_bytes; ++byte) {
-      const std::uint8_t bits = buffer[pos + byte];
-      if (bits == 0) continue;
-      for (std::size_t bit = 0; bit < 8; ++bit) {
-        if ((bits & (1U << bit)) == 0) continue;
-        const std::size_t index = byte * 8 + bit;
-        util::check(index < info.dense_dim,
-                    "wire: bitmap bit beyond dense_dim");
-        out.indices.push_back(static_cast<std::uint32_t>(index));
-      }
-    }
+    detail::scan_bitmap(level, buffer.data() + pos, bitmap_bytes,
+                        info.dense_dim, out.indices);
     util::check(out.indices.size() == info.count,
                 "wire: bitmap population does not match nnz");
     pos += bitmap_bytes;
@@ -353,9 +373,7 @@ MessageInfo decode_sparse(std::span<const std::uint8_t> buffer,
 
   util::check(buffer.size() == pos + info.count * vb,
               "wire: payload size does not match header");
-  for (std::size_t j = 0; j < info.count; ++j) {
-    out.values.push_back(read_value(buffer, pos + j * vb, info.value_mode));
-  }
+  read_values(level, buffer, pos, info.count, info.value_mode, out.values);
   return info;
 }
 
@@ -365,7 +383,7 @@ std::size_t encode_dense(std::span<const float> values, ValueMode mode,
       static_cast<std::uint8_t>(static_cast<std::uint8_t>(mode) << 1);
   write_header(out, PayloadKind::kDense, flags, 0, values.size(),
                values.size());
-  write_values(out, values, mode);
+  write_values(util::simd::active(), out, values, mode);
   return out.size();
 }
 
@@ -383,9 +401,8 @@ MessageInfo decode_dense(std::span<const std::uint8_t> buffer,
               "wire: payload size does not match header");
   out.clear();
   out.reserve(info.count);
-  for (std::size_t j = 0; j < info.count; ++j) {
-    out.push_back(read_value(buffer, kHeaderBytes + j * vb, info.value_mode));
-  }
+  read_values(util::simd::active(), buffer, kHeaderBytes, info.count,
+              info.value_mode, out);
   return info;
 }
 
@@ -401,25 +418,8 @@ std::size_t encode_quantized(const QuantizedPayload& payload,
       (n * payload.symbol_bits + 7) / 8;
   const std::size_t packed_at = out.size();
   out.resize(out.size() + packed_bytes, 0);
-  const std::uint64_t mask = payload.symbol_bits == 32
-                                 ? 0xFFFFFFFFULL
-                                 : (1ULL << payload.symbol_bits) - 1;
-  std::size_t bit_pos = 0;
-  for (std::uint32_t symbol : payload.symbols) {
-    util::check((symbol & ~mask) == 0, "wire: symbol exceeds symbol_bits");
-    std::uint64_t v = symbol;
-    std::size_t bits_left = payload.symbol_bits;
-    while (bits_left > 0) {
-      const std::size_t byte = packed_at + bit_pos / 8;
-      const std::size_t offset = bit_pos % 8;
-      const std::size_t take = std::min<std::size_t>(8 - offset, bits_left);
-      out[byte] |= static_cast<std::uint8_t>((v & ((1ULL << take) - 1))
-                                             << offset);
-      v >>= take;
-      bit_pos += take;
-      bits_left -= take;
-    }
-  }
+  detail::pack_symbols(util::simd::active(), payload.symbols,
+                       payload.symbol_bits, out.data() + packed_at);
   return out.size();
 }
 
@@ -441,24 +441,8 @@ MessageInfo decode_quantized(std::span<const std::uint8_t> buffer,
   out.symbol_bits = info.symbol_bits;
   out.symbols.clear();
   out.symbols.reserve(info.count);
-  const std::size_t packed_at = kHeaderBytes + 4;
-  std::size_t bit_pos = 0;
-  for (std::size_t j = 0; j < info.count; ++j) {
-    std::uint64_t v = 0;
-    std::size_t got = 0;
-    while (got < info.symbol_bits) {
-      const std::size_t byte = packed_at + bit_pos / 8;
-      const std::size_t offset = bit_pos % 8;
-      const std::size_t take =
-          std::min<std::size_t>(8 - offset, info.symbol_bits - got);
-      v |= (static_cast<std::uint64_t>(buffer[byte] >> offset) &
-            ((1ULL << take) - 1))
-           << got;
-      got += take;
-      bit_pos += take;
-    }
-    out.symbols.push_back(static_cast<std::uint32_t>(v));
-  }
+  detail::unpack_symbols(util::simd::active(), buffer.data() + kHeaderBytes + 4,
+                         info.count, info.symbol_bits, out.symbols);
   return info;
 }
 

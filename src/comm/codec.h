@@ -89,6 +89,14 @@ struct MessageInfo {
 std::uint16_t float_to_half(float value);
 float half_to_float(std::uint16_t half);
 
+/// Batch binary16 conversions over contiguous arrays.  Dispatched through
+/// util::simd (F16C on AVX2 hosts) but bit-identical per element to the
+/// scalar functions above for every input, NaNs included — the vector paths
+/// canonicalize NaN exactly like float_to_half and preserve signaling-NaN
+/// payloads exactly like half_to_float.
+void float_to_half_n(const float* in, std::size_t n, std::uint16_t* out);
+void half_to_float_n(const std::uint16_t* in, std::size_t n, float* out);
+
 /// Exact size of the varint-delta index section for a canonical gradient.
 std::size_t varint_index_bytes(const tensor::SparseGradient& gradient);
 

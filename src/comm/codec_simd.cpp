@@ -1,0 +1,480 @@
+#include "comm/codec_simd.h"
+
+#include <bit>
+#include <cstring>
+
+#include "comm/codec.h"
+#include "comm/varint.h"
+#include "util/check.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define SIDCO_SIMD_X86 1
+#endif
+
+namespace sidco::comm::detail {
+
+namespace {
+
+constexpr bool kLittleEndian = std::endian::native == std::endian::little;
+
+// ---------------------------------------------------------------------------
+// Varint-delta index section.
+// ---------------------------------------------------------------------------
+
+/// Scalar reference: the original encode loop, cursor-based.
+void encode_varint_deltas_scalar(std::span<const std::uint32_t> indices,
+                                 std::uint8_t* dst) {
+  std::uint32_t prev = 0;
+  for (std::size_t j = 0; j < indices.size(); ++j) {
+    const std::uint64_t delta =
+        j == 0 ? indices[0]
+               : static_cast<std::uint64_t>(indices[j]) - prev - 1;
+    dst = put_varint_at(dst, delta);
+    prev = indices[j];
+  }
+}
+
+/// SWAR fast path: eight gaps that all fit single-byte varints are emitted
+/// as one u64 store (a single-byte varint IS the delta byte).  Irregular
+/// groups fall back to the reference emitter, so the byte stream is
+/// identical by construction.
+void encode_varint_deltas_fast(std::span<const std::uint32_t> indices,
+                               std::uint8_t* dst) {
+  if (indices.empty()) return;
+  dst = put_varint_at(dst, indices[0]);
+  std::uint32_t prev = indices[0];
+  std::size_t j = 1;
+  while (j + 8 <= indices.size()) {
+    std::uint64_t w = 0;
+    bool small = true;
+    std::uint32_t p = prev;
+    for (std::size_t k = 0; k < 8; ++k) {
+      const std::uint32_t d = indices[j + k] - p - 1;
+      small &= d < 0x80U;
+      w |= static_cast<std::uint64_t>(d & 0x7FU) << (8 * k);
+      p = indices[j + k];
+    }
+    if (small) {
+      std::memcpy(dst, &w, 8);
+      dst += 8;
+    } else {
+      for (std::size_t k = 0; k < 8; ++k) {
+        dst = put_varint_at(
+            dst, static_cast<std::uint64_t>(indices[j + k]) - prev - 1);
+        prev = indices[j + k];
+      }
+    }
+    prev = p;
+    j += 8;
+  }
+  for (; j < indices.size(); ++j) {
+    dst = put_varint_at(dst,
+                        static_cast<std::uint64_t>(indices[j]) - prev - 1);
+    prev = indices[j];
+  }
+}
+
+/// Scalar reference: the original decode loop.
+void decode_varint_deltas_scalar(std::span<const std::uint8_t> buf,
+                                 std::size_t& pos, std::size_t j,
+                                 std::size_t count, std::size_t dense_dim,
+                                 std::uint64_t prev,
+                                 std::vector<std::uint32_t>& out) {
+  for (; j < count; ++j) {
+    const std::uint64_t delta = get_varint(buf, pos);
+    const std::uint64_t index = j == 0 ? delta : prev + 1 + delta;
+    util::check(index < dense_dim, "wire: sparse index out of range");
+    out.push_back(static_cast<std::uint32_t>(index));
+    prev = index;
+  }
+}
+
+/// SWAR fast path: a u64 load whose continuation mask is clear is eight
+/// single-byte varints.  Indices are strictly increasing, so only the last
+/// of the eight needs the range check — if any earlier one were out of
+/// range, the last would be too, and the scalar loop's error fires with the
+/// same message.  Anything irregular (continuation bytes, the j == 0 raw
+/// index, fewer than 8 bytes left) goes through get_varint, inheriting the
+/// strict truncation/overlong/range errors.
+void decode_varint_deltas_fast(std::span<const std::uint8_t> buf,
+                               std::size_t& pos, std::size_t count,
+                               std::size_t dense_dim,
+                               std::vector<std::uint32_t>& out) {
+  std::size_t j = 0;
+  std::uint64_t prev = 0;
+  if (count > 0) {
+    const std::uint64_t first = get_varint(buf, pos);
+    util::check(first < dense_dim, "wire: sparse index out of range");
+    out.push_back(static_cast<std::uint32_t>(first));
+    prev = first;
+    j = 1;
+  }
+  while (j + 8 <= count && pos + 8 <= buf.size()) {
+    std::uint64_t w;
+    std::memcpy(&w, buf.data() + pos, 8);
+    if ((w & 0x8080808080808080ULL) != 0) {
+      const std::uint64_t delta = get_varint(buf, pos);
+      const std::uint64_t index = prev + 1 + delta;
+      util::check(index < dense_dim, "wire: sparse index out of range");
+      out.push_back(static_cast<std::uint32_t>(index));
+      prev = index;
+      ++j;
+      continue;
+    }
+    std::uint64_t idx = prev;
+    std::uint32_t tmp[8];
+    for (std::size_t k = 0; k < 8; ++k) {
+      idx += 1 + ((w >> (8 * k)) & 0x7FU);
+      tmp[k] = static_cast<std::uint32_t>(idx);
+    }
+    util::check(idx < dense_dim, "wire: sparse index out of range");
+    out.insert(out.end(), tmp, tmp + 8);
+    pos += 8;
+    prev = idx;
+    j += 8;
+  }
+  decode_varint_deltas_scalar(buf, pos, j, count, dense_dim, prev, out);
+}
+
+// ---------------------------------------------------------------------------
+// Bitmap index section.
+// ---------------------------------------------------------------------------
+
+void build_bitmap_scalar(std::span<const std::uint32_t> indices,
+                         std::uint8_t* bitmap) {
+  for (std::uint32_t index : indices) {
+    bitmap[index / 8] |= static_cast<std::uint8_t>(1U << (index % 8));
+  }
+}
+
+/// Sorted indices land in runs within the same 64-bit word; accumulating a
+/// word in a register and flushing once per word-change cuts the
+/// read-modify-write traffic 8x at bitmap-worthy densities.
+void build_bitmap_fast(std::span<const std::uint32_t> indices,
+                       std::uint8_t* bitmap, std::size_t bitmap_bytes) {
+  if (indices.empty()) return;
+  std::uint64_t word = 0;
+  std::size_t cur = indices[0] >> 6;
+  const auto flush = [&](std::size_t w) {
+    const std::size_t at = w * 8;
+    const std::size_t len = std::min<std::size_t>(8, bitmap_bytes - at);
+    std::memcpy(bitmap + at, &word, len);
+  };
+  for (std::uint32_t index : indices) {
+    const std::size_t w = index >> 6;
+    if (w != cur) {
+      flush(cur);
+      word = 0;
+      cur = w;
+    }
+    word |= 1ULL << (index & 63U);
+  }
+  flush(cur);
+}
+
+void scan_bitmap_scalar(const std::uint8_t* bitmap, std::size_t byte,
+                        std::size_t bitmap_bytes, std::size_t dense_dim,
+                        std::vector<std::uint32_t>& out) {
+  for (; byte < bitmap_bytes; ++byte) {
+    const std::uint8_t bits = bitmap[byte];
+    if (bits == 0) continue;
+    for (std::size_t bit = 0; bit < 8; ++bit) {
+      if ((bits & (1U << bit)) == 0) continue;
+      const std::size_t index = byte * 8 + bit;
+      util::check(index < dense_dim, "wire: bitmap bit beyond dense_dim");
+      out.push_back(static_cast<std::uint32_t>(index));
+    }
+  }
+}
+
+/// Word-at-a-time scan: countr_zero walks set bits in exactly the scalar
+/// LSB-first order (little-endian u64 load maps byte k to bits 8k..8k+7).
+void scan_bitmap_fast(const std::uint8_t* bitmap, std::size_t bitmap_bytes,
+                      std::size_t dense_dim, std::vector<std::uint32_t>& out) {
+  std::size_t byte = 0;
+  for (; byte + 8 <= bitmap_bytes; byte += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, bitmap + byte, 8);
+    while (w != 0) {
+      const std::size_t index =
+          byte * 8 + static_cast<std::size_t>(std::countr_zero(w));
+      util::check(index < dense_dim, "wire: bitmap bit beyond dense_dim");
+      out.push_back(static_cast<std::uint32_t>(index));
+      w &= w - 1;
+    }
+  }
+  scan_bitmap_scalar(bitmap, byte, bitmap_bytes, dense_dim, out);
+}
+
+// ---------------------------------------------------------------------------
+// fp16 value section.  The AVX2 path uses the F16C conversion unit, which is
+// IEEE RNE like the scalar reference, with one divergence each way around
+// NaN: the scalar down-convert canonicalizes every NaN to sign|0x7E00, and
+// the hardware up-convert quietizes signaling NaNs.  Both are fixed up on
+// the (rare) lanes involved, so all 2^16 half patterns and all float
+// patterns convert bit-identically to the scalar reference — the exhaustive
+// sweep in test_codec_fuzz holds at every level.
+// ---------------------------------------------------------------------------
+
+void float_to_half_scalar(const float* in, std::size_t n, std::uint8_t* dst) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint16_t h = float_to_half(in[i]);
+    dst[2 * i] = static_cast<std::uint8_t>(h & 0xFF);
+    dst[2 * i + 1] = static_cast<std::uint8_t>(h >> 8);
+  }
+}
+
+void half_to_float_scalar(const std::uint8_t* src, std::size_t n,
+                          float* dst) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = half_to_float(
+        static_cast<std::uint16_t>(src[2 * i] | (src[2 * i + 1] << 8)));
+  }
+}
+
+#if defined(SIDCO_SIMD_X86)
+
+bool has_f16c() {
+  static const bool value = __builtin_cpu_supports("f16c");
+  return value;
+}
+
+__attribute__((target("avx2,f16c"))) void float_to_half_avx2(
+    const float* in, std::size_t n, std::uint8_t* dst) {
+  const __m256i exp_mask = _mm256_set1_epi32(0x7F800000);
+  const __m256i abs_mask = _mm256_set1_epi32(0x7FFFFFFF);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(in + i);
+    const __m128i h =
+        _mm256_cvtps_ph(v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    const __m256i bits = _mm256_castps_si256(v);
+    const __m256i is_nan =
+        _mm256_cmpgt_epi32(_mm256_and_si256(bits, abs_mask), exp_mask);
+    if (_mm256_movemask_epi8(is_nan) != 0) [[unlikely]] {
+      std::uint16_t hh[8];
+      std::uint32_t bb[8];
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(hh), h);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(bb), bits);
+      for (std::size_t k = 0; k < 8; ++k) {
+        if ((bb[k] & 0x7FFFFFFFU) > 0x7F800000U) {
+          hh[k] = static_cast<std::uint16_t>(((bb[k] >> 16) & 0x8000U) |
+                                             0x7E00U);
+        }
+      }
+      std::memcpy(dst + 2 * i, hh, 16);
+    } else {
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 2 * i), h);
+    }
+  }
+  float_to_half_scalar(in + i, n - i, dst + 2 * i);
+}
+
+__attribute__((target("avx2,f16c"))) void half_to_float_avx2(
+    const std::uint8_t* src, std::size_t n, float* dst) {
+  const __m128i habs_mask = _mm_set1_epi16(0x7FFF);
+  const __m128i hexp = _mm_set1_epi16(0x7C00);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + 2 * i));
+    const __m128i is_nan =
+        _mm_cmpgt_epi16(_mm_and_si128(h, habs_mask), hexp);
+    if (_mm_movemask_epi8(is_nan) != 0) [[unlikely]] {
+      half_to_float_scalar(src + 2 * i, 8, dst + i);
+    } else {
+      _mm256_storeu_ps(dst + i, _mm256_cvtph_ps(h));
+    }
+  }
+  half_to_float_scalar(src + 2 * i, n - i, dst + i);
+}
+
+#endif  // SIDCO_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// Bit-packed quantized symbols.
+// ---------------------------------------------------------------------------
+
+std::uint64_t symbol_mask(std::size_t symbol_bits) {
+  return symbol_bits == 64 ? ~0ULL : (1ULL << symbol_bits) - 1;
+}
+
+void pack_symbols_scalar(std::span<const std::uint32_t> symbols,
+                         std::size_t symbol_bits, std::uint8_t* dst) {
+  const std::uint64_t mask = symbol_mask(symbol_bits);
+  std::size_t bit_pos = 0;
+  for (std::uint32_t symbol : symbols) {
+    util::check((symbol & ~mask) == 0, "wire: symbol exceeds symbol_bits");
+    std::uint64_t v = symbol;
+    std::size_t bits_left = symbol_bits;
+    while (bits_left > 0) {
+      const std::size_t byte = bit_pos / 8;
+      const std::size_t offset = bit_pos % 8;
+      const std::size_t take = std::min<std::size_t>(8 - offset, bits_left);
+      dst[byte] |= static_cast<std::uint8_t>((v & ((1ULL << take) - 1))
+                                             << offset);
+      v >>= take;
+      bit_pos += take;
+      bits_left -= take;
+    }
+  }
+}
+
+/// SWAR bit buffer: symbols are ORed into a u64 accumulator LSB-first and
+/// whole bytes stream out, replacing the per-symbol inner loop.  The stream
+/// is LSB-first either way, so the bytes are identical by construction.
+void pack_symbols_fast(std::span<const std::uint32_t> symbols,
+                       std::size_t symbol_bits, std::uint8_t* dst) {
+  const std::uint64_t mask = symbol_mask(symbol_bits);
+  std::uint64_t acc = 0;
+  std::size_t acc_bits = 0;
+  for (std::uint32_t symbol : symbols) {
+    util::check((symbol & ~mask) == 0, "wire: symbol exceeds symbol_bits");
+    acc |= static_cast<std::uint64_t>(symbol) << acc_bits;
+    acc_bits += symbol_bits;
+    while (acc_bits >= 8) {
+      *dst++ = static_cast<std::uint8_t>(acc & 0xFFU);
+      acc >>= 8;
+      acc_bits -= 8;
+    }
+  }
+  if (acc_bits > 0) *dst = static_cast<std::uint8_t>(acc & 0xFFU);
+}
+
+void unpack_symbols_scalar(const std::uint8_t* src, std::size_t count,
+                           std::size_t symbol_bits,
+                           std::vector<std::uint32_t>& out) {
+  std::size_t bit_pos = 0;
+  for (std::size_t j = 0; j < count; ++j) {
+    std::uint64_t v = 0;
+    std::size_t got = 0;
+    while (got < symbol_bits) {
+      const std::size_t byte = bit_pos / 8;
+      const std::size_t offset = bit_pos % 8;
+      const std::size_t take =
+          std::min<std::size_t>(8 - offset, symbol_bits - got);
+      v |= (static_cast<std::uint64_t>(src[byte] >> offset) &
+            ((1ULL << take) - 1))
+           << got;
+      got += take;
+      bit_pos += take;
+    }
+    out.push_back(static_cast<std::uint32_t>(v));
+  }
+}
+
+void unpack_symbols_fast(const std::uint8_t* src, std::size_t count,
+                         std::size_t symbol_bits,
+                         std::vector<std::uint32_t>& out) {
+  const std::uint64_t mask = symbol_mask(symbol_bits);
+  std::uint64_t acc = 0;
+  std::size_t acc_bits = 0;
+  for (std::size_t j = 0; j < count; ++j) {
+    while (acc_bits < symbol_bits) {
+      acc |= static_cast<std::uint64_t>(*src++) << acc_bits;
+      acc_bits += 8;
+    }
+    out.push_back(static_cast<std::uint32_t>(acc & mask));
+    acc >>= symbol_bits;
+    acc_bits -= symbol_bits;
+  }
+}
+
+}  // namespace
+
+void encode_varint_deltas(util::simd::Level level,
+                          std::span<const std::uint32_t> indices,
+                          std::uint8_t* dst) {
+  if constexpr (kLittleEndian) {
+    if (level != util::simd::Level::kScalar) {
+      encode_varint_deltas_fast(indices, dst);
+      return;
+    }
+  }
+  encode_varint_deltas_scalar(indices, dst);
+}
+
+void decode_varint_deltas(util::simd::Level level,
+                          std::span<const std::uint8_t> buf, std::size_t& pos,
+                          std::size_t count, std::size_t dense_dim,
+                          std::vector<std::uint32_t>& out) {
+  if constexpr (kLittleEndian) {
+    if (level != util::simd::Level::kScalar) {
+      decode_varint_deltas_fast(buf, pos, count, dense_dim, out);
+      return;
+    }
+  }
+  decode_varint_deltas_scalar(buf, pos, 0, count, dense_dim, 0, out);
+}
+
+void build_bitmap(util::simd::Level level,
+                  std::span<const std::uint32_t> indices, std::uint8_t* bitmap,
+                  std::size_t bitmap_bytes) {
+  if constexpr (kLittleEndian) {
+    if (level != util::simd::Level::kScalar) {
+      build_bitmap_fast(indices, bitmap, bitmap_bytes);
+      return;
+    }
+  }
+  (void)bitmap_bytes;
+  build_bitmap_scalar(indices, bitmap);
+}
+
+void scan_bitmap(util::simd::Level level, const std::uint8_t* bitmap,
+                 std::size_t bitmap_bytes, std::size_t dense_dim,
+                 std::vector<std::uint32_t>& out) {
+  if constexpr (kLittleEndian) {
+    if (level != util::simd::Level::kScalar) {
+      scan_bitmap_fast(bitmap, bitmap_bytes, dense_dim, out);
+      return;
+    }
+  }
+  scan_bitmap_scalar(bitmap, 0, bitmap_bytes, dense_dim, out);
+}
+
+void float_to_half_bytes(util::simd::Level level, const float* in,
+                         std::size_t n, std::uint8_t* dst) {
+#if defined(SIDCO_SIMD_X86)
+  if (level == util::simd::Level::kAvx2 && has_f16c()) {
+    float_to_half_avx2(in, n, dst);
+    return;
+  }
+#endif
+  (void)level;
+  float_to_half_scalar(in, n, dst);
+}
+
+void half_to_float_bytes(util::simd::Level level, const std::uint8_t* src,
+                         std::size_t n, float* dst) {
+#if defined(SIDCO_SIMD_X86)
+  if (level == util::simd::Level::kAvx2 && has_f16c()) {
+    half_to_float_avx2(src, n, dst);
+    return;
+  }
+#endif
+  (void)level;
+  half_to_float_scalar(src, n, dst);
+}
+
+void pack_symbols(util::simd::Level level,
+                  std::span<const std::uint32_t> symbols,
+                  std::size_t symbol_bits, std::uint8_t* dst) {
+  if (level != util::simd::Level::kScalar) {
+    pack_symbols_fast(symbols, symbol_bits, dst);
+    return;
+  }
+  pack_symbols_scalar(symbols, symbol_bits, dst);
+}
+
+void unpack_symbols(util::simd::Level level, const std::uint8_t* src,
+                    std::size_t count, std::size_t symbol_bits,
+                    std::vector<std::uint32_t>& out) {
+  if (level != util::simd::Level::kScalar) {
+    unpack_symbols_fast(src, count, symbol_bits, out);
+    return;
+  }
+  unpack_symbols_scalar(src, count, symbol_bits, out);
+}
+
+}  // namespace sidco::comm::detail

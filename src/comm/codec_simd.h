@@ -1,0 +1,73 @@
+// Internal dispatched fast paths for the wire codec's hot loops.
+//
+// Each function has a scalar reference implementation (the loops the codec
+// shipped with, byte-for-byte) plus SWAR / AVX2 fast paths selected by the
+// util::simd::Level argument.  Contract: every level produces byte-identical
+// encodes and bit-identical decodes, including every error (same
+// util::CheckError message on the same hostile buffer).  Fast paths engage
+// only on regular spans (e.g. eight continuation-free varint bytes) and hand
+// anything irregular — tails, multi-byte varints, truncation — to the scalar
+// reference, so strictness is inherited rather than re-implemented.
+// tests/test_simd_kernels.cpp enforces the contract under every level
+// available on the host.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/simd.h"
+
+namespace sidco::comm::detail {
+
+/// Writes the varint-delta index section (first index raw, then gaps minus
+/// one) for strictly increasing `indices` at `dst`, which must hold exactly
+/// varint_index_bytes(...) bytes.
+void encode_varint_deltas(util::simd::Level level,
+                          std::span<const std::uint32_t> indices,
+                          std::uint8_t* dst);
+
+/// Decodes `count` varint deltas from `buf` at `pos` (advanced past them),
+/// appending reconstructed indices to `out`.  Throws the scalar loop's
+/// CheckErrors (truncated/overlong/range) on hostile input.
+void decode_varint_deltas(util::simd::Level level,
+                          std::span<const std::uint8_t> buf, std::size_t& pos,
+                          std::size_t count, std::size_t dense_dim,
+                          std::vector<std::uint32_t>& out);
+
+/// Sets bit `index` (LSB-first per byte) for every index into the zeroed
+/// `bitmap` of `bitmap_bytes` bytes.  Indices must be sorted ascending.
+void build_bitmap(util::simd::Level level,
+                  std::span<const std::uint32_t> indices, std::uint8_t* bitmap,
+                  std::size_t bitmap_bytes);
+
+/// Appends the position of every set bit (ascending) to `out`, checking each
+/// against `dense_dim` with the scalar loop's error message.  The caller
+/// still owns the population-vs-nnz check.
+void scan_bitmap(util::simd::Level level, const std::uint8_t* bitmap,
+                 std::size_t bitmap_bytes, std::size_t dense_dim,
+                 std::vector<std::uint32_t>& out);
+
+/// Batch fp16 conversion into / out of an unaligned little-endian byte
+/// stream.  Bit-identical per element to float_to_half / half_to_float at
+/// every level (NaN canonicalization included).
+void float_to_half_bytes(util::simd::Level level, const float* in,
+                         std::size_t n, std::uint8_t* dst);
+void half_to_float_bytes(util::simd::Level level, const std::uint8_t* src,
+                         std::size_t n, float* dst);
+
+/// Bit-packs `symbols` (LSB-first, `symbol_bits` each) into the zeroed
+/// `dst`, validating each symbol against the mode's range with the scalar
+/// loop's error message.
+void pack_symbols(util::simd::Level level,
+                  std::span<const std::uint32_t> symbols,
+                  std::size_t symbol_bits, std::uint8_t* dst);
+
+/// Unpacks `count` symbols of `symbol_bits` each from `src`, appending to
+/// `out`.  `src` must hold ceil(count * symbol_bits / 8) bytes.
+void unpack_symbols(util::simd::Level level, const std::uint8_t* src,
+                    std::size_t count, std::size_t symbol_bits,
+                    std::vector<std::uint32_t>& out);
+
+}  // namespace sidco::comm::detail

@@ -1,0 +1,76 @@
+// LEB128 varint helpers shared by the codec and its SIMD fast paths.
+//
+// Index varints are bounded to the u32 range and STRICT on the decode side:
+// exactly one byte string represents each value.  Non-minimal (overlong)
+// encodings such as 0x80 0x00 and final-byte bits beyond 2^32-1 are
+// rejected, so "a successful decode yields exactly one canonical byte form"
+// holds at the varint layer, not just at the index-monotonicity layer above.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace sidco::comm::detail {
+
+inline constexpr std::size_t kMaxIndexVarintBytes = 5;  // u32 range
+
+inline std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+inline void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80U);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Pointer-cursor variant for pre-sized index sections; emits the same bytes
+/// as put_varint and returns the advanced cursor.
+inline std::uint8_t* put_varint_at(std::uint8_t* dst, std::uint64_t v) {
+  while (v >= 0x80) {
+    *dst++ = static_cast<std::uint8_t>(v) | 0x80U;
+    v >>= 7;
+  }
+  *dst++ = static_cast<std::uint8_t>(v);
+  return dst;
+}
+
+/// Reads one index varint at `pos` (advanced past it).  Bounded to the u32
+/// range so hostile length prefixes cannot drive unbounded reads or
+/// accumulator overflow downstream.  Strict: rejects overlong encodings and
+/// final-byte payload bits above bit 31.
+inline std::uint64_t get_varint(std::span<const std::uint8_t> buf,
+                                std::size_t& pos) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < kMaxIndexVarintBytes; ++i) {
+    util::check(pos < buf.size(), "wire: truncated varint");
+    const std::uint8_t byte = buf[pos++];
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << (7 * i);
+    if ((byte & 0x80U) == 0) {
+      // A final byte of 0x00 after a continuation byte is a non-minimal
+      // encoding (0x80 0x00 would alias plain 0x00): two byte strings must
+      // never decode to the same value.
+      util::check(i == 0 || byte != 0, "wire: overlong varint");
+      // The 5th byte carries bits 28..34, but only 28..31 fit in the u32
+      // index range — values in (2^32, 2^35) must fail here, not later (or
+      // never) in delta accumulation.
+      util::check(i + 1 < kMaxIndexVarintBytes || (byte & 0xF0U) == 0,
+                  "wire: varint exceeds the u32 index range");
+      return v;
+    }
+  }
+  util::check_fail("wire: varint exceeds index range");
+}
+
+}  // namespace sidco::comm::detail

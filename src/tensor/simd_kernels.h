@@ -1,0 +1,64 @@
+// Internal dispatched block kernels backing tensor/vector_ops.cpp.
+//
+// Each function has a scalar reference implementation plus vectorized
+// variants selected by the util::simd::Level argument (AVX2 on x86-64, NEON
+// on aarch64).  Bit-identity contract: every level produces bit-identical
+// reductions and identical staged selections to the scalar reference at any
+// [lo, hi) — the vector paths keep the scalar code's fixed
+// four-accumulator-lane structure (lane l accumulates in-block positions
+// congruent to l mod 4, lanes combined as (0+1)+(2+3)), reduce ordered
+// maxima the way std::max chains do, and finish tails with the scalar code
+// itself.  tests/test_simd_kernels.cpp enforces the contract under every
+// level available on the host.
+//
+// These are building blocks, not public API: callers are expected to pass
+// block-sized ranges (hi - lo <= kKernelBlock) with stage buffers that hold
+// at least hi - lo elements.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "tensor/vector_ops.h"
+#include "util/simd.h"
+
+namespace sidco::tensor::detail {
+
+/// Fused |x| moments over x[lo, hi) (sum, sum of squares, max, optional
+/// sum-log, count >= count_threshold).  When `stage_i`/`stage_v` are
+/// non-null, additionally stages elements with |x| >= count_threshold as
+/// (dense index, value) pairs in index order — the branchless selection the
+/// fused moments+extract path relies on — and stores the match count in
+/// *matches.
+AbsMoments abs_moments_block(util::simd::Level level, const float* x,
+                             std::size_t lo, std::size_t hi,
+                             float count_threshold, bool with_log,
+                             std::uint32_t* stage_i, float* stage_v,
+                             std::size_t* matches);
+
+/// Fused signed moments (sum, sum of squares) over x[lo, hi).
+SignedMoments signed_moments_block(util::simd::Level level, const float* x,
+                                   std::size_t lo, std::size_t hi);
+
+/// Sum of (x_i - mu)^2 over x[lo, hi) (the two-pass variance block body).
+double centered_sq_block(util::simd::Level level, const float* x,
+                         std::size_t lo, std::size_t hi, double mu);
+
+/// #{i in [lo, hi) : |x_i| >= threshold}.
+std::size_t count_at_least_block(util::simd::Level level, const float* x,
+                                 std::size_t lo, std::size_t hi,
+                                 float threshold);
+
+/// Branchless staged filter over values[base, end): emits matching elements
+/// (|v| >= threshold, or strictly > when `strict`) in position order.
+///  - gather == nullptr: the emitted index is the dense position j;
+///    otherwise gather[j] (candidate-set narrowing).
+///  - stage_i == nullptr: magnitude mode — stage_v receives |v| and no
+///    indices are emitted (abs_exceedances).
+/// Returns the match count.
+std::size_t filter_block(util::simd::Level level, const float* values,
+                         std::size_t base, std::size_t end, float threshold,
+                         bool strict, const std::uint32_t* gather,
+                         std::uint32_t* stage_i, float* stage_v);
+
+}  // namespace sidco::tensor::detail

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <functional>
 
+#include "tensor/simd_kernels.h"
 #include "util/check.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace sidco::tensor {
@@ -44,70 +46,6 @@ Workspace& tls_workspace() {
   return workspace;
 }
 
-/// Per-block fused moment accumulation, optionally emitting matching
-/// elements (Emit(index, value, take)) in index order — the same code path
-/// backs abs_moments and abs_moments_extract so their sums are bit-identical.
-/// Four independent accumulator lanes break the serial double-add dependency
-/// chain (deterministic: lane assignment depends only on the in-block
-/// position, never on thread count).
-template <typename Emit>
-AbsMoments abs_moments_block_emit(std::span<const float> x, std::size_t lo,
-                                  std::size_t hi, float count_threshold,
-                                  bool with_log, Emit&& emit) {
-  double sum[4] = {0.0, 0.0, 0.0, 0.0};
-  double sq[4] = {0.0, 0.0, 0.0, 0.0};
-  float mx[4] = {0.0F, 0.0F, 0.0F, 0.0F};
-  AbsMoments m;
-  std::size_t i = lo;
-  for (; i + 4 <= hi; i += 4) {
-    for (std::size_t lane = 0; lane < 4; ++lane) {
-      const float v = x[i + lane];
-      const float af = std::fabs(v);
-      const double a = static_cast<double>(af);
-      sum[lane] += a;
-      sq[lane] += a * a;
-      mx[lane] = std::max(mx[lane], af);
-      if (with_log && a > 0.0) {
-        m.sum_log += std::log(a);
-        ++m.log_used;
-      }
-      const bool take = af >= count_threshold;
-      m.count_at_least += take ? 1U : 0U;
-      emit(i + lane, v, take);
-    }
-  }
-  for (; i < hi; ++i) {
-    const float v = x[i];
-    const float af = std::fabs(v);
-    const double a = static_cast<double>(af);
-    sum[0] += a;
-    sq[0] += a * a;
-    mx[0] = std::max(mx[0], af);
-    if (with_log && a > 0.0) {
-      m.sum_log += std::log(a);
-      ++m.log_used;
-    }
-    const bool take = af >= count_threshold;
-    m.count_at_least += take ? 1U : 0U;
-    emit(i, v, take);
-  }
-  m.sum_abs = (sum[0] + sum[1]) + (sum[2] + sum[3]);
-  m.sum_sq = (sq[0] + sq[1]) + (sq[2] + sq[3]);
-  m.max_abs = std::max(std::max(mx[0], mx[1]), std::max(mx[2], mx[3]));
-  return m;
-}
-
-struct NoEmit {
-  void operator()(std::size_t, float, bool) const {}
-};
-
-AbsMoments abs_moments_block(std::span<const float> x, std::size_t lo,
-                             std::size_t hi, float count_threshold,
-                             bool with_log) {
-  return abs_moments_block_emit(x, lo, hi, count_threshold, with_log,
-                                NoEmit{});
-}
-
 }  // namespace
 
 AbsMoments abs_moments(std::span<const float> x, float count_threshold,
@@ -116,17 +54,24 @@ AbsMoments abs_moments(std::span<const float> x, float count_threshold,
   total.n = x.size();
   const std::size_t blocks = block_count(x.size());
   if (blocks == 0) return total;
+  // The dispatched block kernel (scalar / AVX2 / NEON, bit-identical by
+  // contract) does the per-block work; this layer only splits and combines.
+  const util::simd::Level level = util::simd::active();
   if (blocks == 1) {
-    AbsMoments m = abs_moments_block(x, 0, x.size(), count_threshold, with_log);
+    AbsMoments m =
+        detail::abs_moments_block(level, x.data(), 0, x.size(),
+                                  count_threshold, with_log, nullptr, nullptr,
+                                  nullptr);
     m.n = x.size();
     return m;
   }
   Workspace& ws = workspace != nullptr ? *workspace : tls_workspace();
   ws.moment_partials.resize(blocks);
-  for_each_block(x.size(), [&ws, x, count_threshold, with_log](
+  for_each_block(x.size(), [&ws, x, count_threshold, with_log, level](
                                std::size_t b, std::size_t lo, std::size_t hi) {
     ws.moment_partials[b] =
-        abs_moments_block(x, lo, hi, count_threshold, with_log);
+        detail::abs_moments_block(level, x.data(), lo, hi, count_threshold,
+                                  with_log, nullptr, nullptr, nullptr);
   });
   // Serial combine in block order: bit-identical at any thread count.
   for (std::size_t b = 0; b < blocks; ++b) {
@@ -146,26 +91,9 @@ SignedMoments signed_moments(std::span<const float> x, Workspace* workspace) {
   total.n = x.size();
   const std::size_t blocks = block_count(x.size());
   if (blocks == 0) return total;
-  auto block_body = [x](std::size_t lo, std::size_t hi) {
-    double sum[4] = {0.0, 0.0, 0.0, 0.0};
-    double sq[4] = {0.0, 0.0, 0.0, 0.0};
-    std::size_t i = lo;
-    for (; i + 4 <= hi; i += 4) {
-      for (std::size_t lane = 0; lane < 4; ++lane) {
-        const double v = static_cast<double>(x[i + lane]);
-        sum[lane] += v;
-        sq[lane] += v * v;
-      }
-    }
-    for (; i < hi; ++i) {
-      const double v = static_cast<double>(x[i]);
-      sum[0] += v;
-      sq[0] += v * v;
-    }
-    SignedMoments m;
-    m.sum = (sum[0] + sum[1]) + (sum[2] + sum[3]);
-    m.sum_sq = (sq[0] + sq[1]) + (sq[2] + sq[3]);
-    return m;
+  const util::simd::Level level = util::simd::active();
+  auto block_body = [x, level](std::size_t lo, std::size_t hi) {
+    return detail::signed_moments_block(level, x.data(), lo, hi);
   };
   if (blocks == 1) {
     SignedMoments m = block_body(0, x.size());
@@ -195,20 +123,9 @@ double variance(std::span<const float> x) {
   if (x.empty()) return 0.0;
   const double mu = signed_moments(x).mean();
   const std::size_t blocks = block_count(x.size());
-  auto block_body = [x, mu](std::size_t lo, std::size_t hi) {
-    double sq[4] = {0.0, 0.0, 0.0, 0.0};
-    std::size_t i = lo;
-    for (; i + 4 <= hi; i += 4) {
-      for (std::size_t lane = 0; lane < 4; ++lane) {
-        const double d = static_cast<double>(x[i + lane]) - mu;
-        sq[lane] += d * d;
-      }
-    }
-    for (; i < hi; ++i) {
-      const double d = static_cast<double>(x[i]) - mu;
-      sq[0] += d * d;
-    }
-    return (sq[0] + sq[1]) + (sq[2] + sq[3]);
+  const util::simd::Level level = util::simd::active();
+  auto block_body = [x, mu, level](std::size_t lo, std::size_t hi) {
+    return detail::centered_sq_block(level, x.data(), lo, hi, mu);
   };
   if (blocks == 1) {
     return block_body(0, x.size()) / static_cast<double>(x.size());
@@ -245,12 +162,9 @@ std::size_t count_at_least(std::span<const float> x, float threshold,
                            Workspace* workspace) {
   const std::size_t blocks = block_count(x.size());
   if (blocks == 0) return 0;
-  auto block_body = [x, threshold](std::size_t lo, std::size_t hi) {
-    std::size_t n = 0;
-    for (std::size_t i = lo; i < hi; ++i) {
-      n += (std::fabs(x[i]) >= threshold) ? 1U : 0U;
-    }
-    return n;
+  const util::simd::Level level = util::simd::active();
+  auto block_body = [x, threshold, level](std::size_t lo, std::size_t hi) {
+    return detail::count_at_least_block(level, x.data(), lo, hi, threshold);
   };
   if (blocks == 1) return block_body(0, x.size());
   Workspace& ws = workspace != nullptr ? *workspace : tls_workspace();
@@ -299,39 +213,26 @@ void ensure_staging(Workspace& ws) {
 /// branchlessly into the fixed-size staging block (every element is written,
 /// the cursor only advances on a match) and appended in block order, so the
 /// unpredictable 'keep?' decision never becomes a branch misprediction.
-/// `index_of(j)` maps the position in `values` to the emitted index — the
-/// dense position itself for gradient filtering, a gather from a sparse
-/// set's index array for candidate filtering.
-template <bool kStrict, typename IndexOf>
-void serial_filter_pairs_impl(std::span<const float> values, float threshold,
-                              Workspace& ws, SparseGradient& out,
-                              IndexOf&& index_of) {
+/// `gather`, when non-null, maps positions in `values` to emitted indices
+/// (candidate filtering over a sparse set); otherwise the dense position is
+/// emitted.  The per-block work runs through the dispatched filter kernel.
+void serial_filter_pairs(std::span<const float> values, float threshold,
+                         bool strict, const std::uint32_t* gather,
+                         Workspace& ws, SparseGradient& out) {
   ensure_staging(ws);
   out.indices.clear();
   out.values.clear();
+  const util::simd::Level level = util::simd::active();
   std::uint32_t* stage_i = ws.stage_indices.data();
   float* stage_v = ws.stage_values.data();
   for (std::size_t base = 0; base < values.size(); base += kKernelBlock) {
     const std::size_t end = std::min(values.size(), base + kKernelBlock);
-    std::size_t m = 0;
-    for (std::size_t j = base; j < end; ++j) {
-      const float v = values[j];
-      stage_i[m] = index_of(j);
-      stage_v[m] = v;
-      const float a = std::fabs(v);
-      m += kStrict ? (a > threshold ? 1U : 0U) : (a >= threshold ? 1U : 0U);
-    }
+    const std::size_t m =
+        detail::filter_block(level, values.data(), base, end, threshold,
+                             strict, gather, stage_i, stage_v);
     out.indices.insert(out.indices.end(), stage_i, stage_i + m);
     out.values.insert(out.values.end(), stage_v, stage_v + m);
   }
-}
-
-template <bool kStrict>
-void serial_filter_pairs(std::span<const float> x, float threshold,
-                         Workspace& ws, SparseGradient& out) {
-  serial_filter_pairs_impl<kStrict>(
-      x, threshold, ws, out,
-      [](std::size_t j) { return static_cast<std::uint32_t>(j); });
 }
 
 /// Serial single-input-pass magnitude filter (abs_exceedances fast path).
@@ -339,15 +240,13 @@ void serial_filter_mags(std::span<const float> x, float threshold,
                         Workspace& ws, std::vector<float>& out) {
   ensure_staging(ws);
   out.clear();
+  const util::simd::Level level = util::simd::active();
   float* stage_v = ws.stage_values.data();
   for (std::size_t base = 0; base < x.size(); base += kKernelBlock) {
     const std::size_t end = std::min(x.size(), base + kKernelBlock);
-    std::size_t m = 0;
-    for (std::size_t i = base; i < end; ++i) {
-      const float a = std::fabs(x[i]);
-      stage_v[m] = a;
-      m += (a >= threshold) ? 1U : 0U;
-    }
+    const std::size_t m =
+        detail::filter_block(level, x.data(), base, end, threshold,
+                             /*strict=*/false, nullptr, nullptr, stage_v);
     out.insert(out.end(), stage_v, stage_v + m);
   }
 }
@@ -390,7 +289,8 @@ void extract_at_least(std::span<const float> x, float threshold,
                       Workspace& workspace, SparseGradient& out) {
   out.dense_dim = x.size();
   if (!parallel_selection(x.size())) {
-    serial_filter_pairs<false>(x, threshold, workspace, out);
+    serial_filter_pairs(x, threshold, /*strict=*/false, nullptr, workspace,
+                        out);
     return;
   }
   const auto match = [x, threshold](std::size_t i) {
@@ -417,6 +317,7 @@ AbsMoments abs_moments_extract(std::span<const float> x, float tau,
     ensure_staging(workspace);
     candidates.indices.clear();
     candidates.values.clear();
+    const util::simd::Level level = util::simd::active();
     std::uint32_t* stage_i = workspace.stage_indices.data();
     float* stage_v = workspace.stage_values.data();
     AbsMoments total;
@@ -424,13 +325,9 @@ AbsMoments abs_moments_extract(std::span<const float> x, float tau,
     for (std::size_t base = 0; base < x.size(); base += kKernelBlock) {
       const std::size_t end = std::min(x.size(), base + kKernelBlock);
       std::size_t matches = 0;
-      const AbsMoments m = abs_moments_block_emit(
-          x, base, end, tau, with_log,
-          [stage_i, stage_v, &matches](std::size_t i, float v, bool take) {
-            stage_i[matches] = static_cast<std::uint32_t>(i);
-            stage_v[matches] = v;
-            matches += take ? 1U : 0U;
-          });
+      const AbsMoments m =
+          detail::abs_moments_block(level, x.data(), base, end, tau, with_log,
+                                    stage_i, stage_v, &matches);
       total.sum_abs += m.sum_abs;
       total.sum_sq += m.sum_sq;
       total.sum_log += m.sum_log;
@@ -471,9 +368,8 @@ void filter_at_least(const SparseGradient& in, float threshold,
   out.dense_dim = in.dense_dim;
   const std::span<const float> values(in.values);
   if (!parallel_selection(values.size())) {
-    serial_filter_pairs_impl<false>(
-        values, threshold, workspace, out,
-        [&in](std::size_t j) { return in.indices[j]; });
+    serial_filter_pairs(values, threshold, /*strict=*/false,
+                        in.indices.data(), workspace, out);
     return;
   }
   const auto match = [values, threshold](std::size_t j) {
@@ -556,7 +452,7 @@ float top_k(std::span<const float> x, std::size_t k, Workspace& workspace,
   // Pass 1: everything strictly above the threshold, ascending index order
   // (parallel per-block emission preserves it).
   if (!parallel_selection(x.size())) {
-    serial_filter_pairs<true>(x, eta, workspace, out);
+    serial_filter_pairs(x, eta, /*strict=*/true, nullptr, workspace, out);
     out.dense_dim = x.size();
   } else {
     const auto match = [x, eta](std::size_t i) {

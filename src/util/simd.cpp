@@ -1,0 +1,93 @@
+#include "util/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "util/check.h"
+
+namespace sidco::util::simd {
+
+namespace {
+
+/// Best level the hardware supports (ignoring any override).
+Level detect() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __builtin_cpu_supports("avx2") ? Level::kAvx2 : Level::kScalar;
+#elif defined(__aarch64__)
+  return Level::kNeon;  // NEON is architecturally mandatory on aarch64
+#else
+  return Level::kScalar;
+#endif
+}
+
+bool is_available(Level level) {
+  if (level == Level::kScalar) return true;
+  return level == detect();
+}
+
+Level parse_env(const char* value) {
+  if (std::strcmp(value, "scalar") == 0) return Level::kScalar;
+  if (std::strcmp(value, "avx2") == 0) return Level::kAvx2;
+  if (std::strcmp(value, "neon") == 0) return Level::kNeon;
+  check_fail(std::string("SIDCO_SIMD: unknown level '") + value +
+             "' (expected avx2|neon|scalar)");
+}
+
+/// -1 until the first active() call resolves detection + env override.
+std::atomic<int> g_active{-1};
+
+Level resolve() {
+  Level level = detect();
+  const char* env = std::getenv("SIDCO_SIMD");
+  if (env != nullptr && env[0] != '\0') {
+    const Level forced = parse_env(env);
+    check(is_available(forced),
+          "SIDCO_SIMD names a level this host cannot execute");
+    level = forced;
+  }
+  return level;
+}
+
+}  // namespace
+
+const char* name(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+std::vector<Level> available() {
+  std::vector<Level> levels;
+  const Level best = detect();
+  if (best != Level::kScalar) levels.push_back(best);
+  levels.push_back(Level::kScalar);
+  return levels;
+}
+
+Level active() {
+  int level = g_active.load(std::memory_order_relaxed);
+  if (level < 0) [[unlikely]] {
+    const Level resolved = resolve();
+    // Several threads may race the first resolution; they all compute the
+    // same value, so a plain store is fine.
+    g_active.store(static_cast<int>(resolved), std::memory_order_relaxed);
+    return resolved;
+  }
+  return static_cast<Level>(level);
+}
+
+void set_active(Level level) {
+  check(is_available(level),
+        "simd::set_active: level not available on this host");
+  g_active.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+}  // namespace sidco::util::simd

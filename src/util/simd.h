@@ -1,0 +1,55 @@
+// Runtime-dispatched SIMD portability shim.
+//
+// Every vectorized hot path in the tree (the tensor block kernels, the wire
+// codec's varint / bitmap / fp16 / bit-pack loops) selects its implementation
+// through this one switch:
+//
+//   - kAvx2   x86-64 AVX2 intrinsics, compiled with a per-function target
+//             attribute so the binary still runs on pre-AVX2 hosts;
+//   - kNeon   aarch64 NEON (always present on aarch64);
+//   - kScalar the portable reference, available everywhere.
+//
+// The level is detected once at startup (cpuid on x86-64) and can be forced
+// with SIDCO_SIMD=avx2|neon|scalar — the differential suite
+// (tests/test_simd_kernels.cpp) runs every kernel and codec loop under each
+// available level and requires byte-identical encodes and bit-identical
+// decodes/reductions, so the dispatch switch can never change numerics, only
+// speed.  Naming a level the host cannot run (or an unknown name) is a loud
+// CheckError, not a silent fallback: a CI cell that asks for the scalar path
+// must actually be testing the scalar path.
+//
+// Contract for implementations behind the switch: a non-scalar path must
+// produce bit-identical results to the scalar reference at every input size,
+// including lane-count tails and kKernelBlock boundaries.  Reductions keep
+// the scalar code's fixed four-accumulator-lane structure and combine lanes
+// in the same order; selection keeps the branchless staged-emission
+// semantics.  See README "Performance".
+#pragma once
+
+#include <vector>
+
+namespace sidco::util::simd {
+
+enum class Level : int {
+  kScalar = 0,
+  kAvx2 = 1,
+  kNeon = 2,
+};
+
+/// Human-readable level name ("scalar" | "avx2" | "neon").
+const char* name(Level level);
+
+/// Levels the host can execute, best first (always ends with kScalar).
+std::vector<Level> available();
+
+/// The active dispatch level.  First call detects the host (and applies the
+/// SIDCO_SIMD override); later calls are a relaxed atomic load, cheap enough
+/// for per-block dispatch on kernel hot paths.
+Level active();
+
+/// Forces the dispatch level (testing hook used by the differential suite
+/// and the scalar-vs-simd benches).  Throws util::CheckError when `level` is
+/// not available on this host.
+void set_active(Level level);
+
+}  // namespace sidco::util::simd

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <limits>
 #include <random>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -363,6 +364,145 @@ TEST(CodecFuzz, HostileBuffersAreRejected) {
   EXPECT_THROW(comm::decode_dense(buffer, dense_sink), util::CheckError);
   comm::QuantizedPayload quant_sink;
   EXPECT_THROW(comm::decode_quantized(buffer, quant_sink), util::CheckError);
+}
+
+/// Hand-assembles a sparse fp32 message with a varint index section made of
+/// exactly `index_bytes` and an all-zero value section — the raw-byte harness
+/// behind the varint strictness tests.
+std::vector<std::uint8_t> sparse_varint_fp32_message(
+    std::uint64_t dense_dim, std::uint64_t count,
+    const std::vector<std::uint8_t>& index_bytes) {
+  std::vector<std::uint8_t> m = {0x53, 0x43, 0x01, 0x00,
+                                 0x00, 0x00, 0x00, 0x00};
+  for (int i = 0; i < 8; ++i) {
+    m.push_back(static_cast<std::uint8_t>(dense_dim >> (8 * i)));
+  }
+  for (int i = 0; i < 8; ++i) {
+    m.push_back(static_cast<std::uint8_t>(count >> (8 * i)));
+  }
+  m.insert(m.end(), index_bytes.begin(), index_bytes.end());
+  m.insert(m.end(), static_cast<std::size_t>(count) * 4, std::uint8_t{0});
+  return m;
+}
+
+void expect_wire_error(const std::vector<std::uint8_t>& buffer,
+                       const std::string& needle) {
+  tensor::SparseGradient sink;
+  try {
+    comm::decode_sparse(buffer, sink);
+    FAIL() << "expected rejection mentioning: " << needle;
+  } catch (const util::CheckError& error) {
+    EXPECT_NE(std::string(error.what()).find(needle), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(CodecFuzz, OverlongVarintsAreRejected) {
+  // LEB128 gives every integer exactly one shortest encoding.  The decoder
+  // must treat zero-padded forms as corruption, not as alternate spellings:
+  // two distinct wire messages must never decode to the same gradient.
+  // Index 0 padded to two bytes (0x80 0x00 aliasing plain 0x00).
+  expect_wire_error(sparse_varint_fp32_message(1000, 1, {0x80, 0x00}),
+                    "wire: overlong varint");
+  // Index 1 padded to three bytes.
+  expect_wire_error(sparse_varint_fp32_message(1000, 1, {0x81, 0x80, 0x00}),
+                    "wire: overlong varint");
+  // 0x7F (the largest single-byte value) padded to two bytes.
+  expect_wire_error(sparse_varint_fp32_message(1000, 1, {0xFF, 0x00}),
+                    "wire: overlong varint");
+  // An overlong SECOND varint (a delta), after a valid first index.
+  expect_wire_error(sparse_varint_fp32_message(1000, 2, {0x05, 0x80, 0x00}),
+                    "wire: overlong varint");
+  // Controls: the shortest encodings of the same indices decode fine.
+  tensor::SparseGradient sink;
+  comm::decode_sparse(sparse_varint_fp32_message(1000, 1, {0x00}), sink);
+  EXPECT_EQ(sink.indices, (std::vector<std::uint32_t>{0}));
+  comm::decode_sparse(sparse_varint_fp32_message(1000, 2, {0x05, 0x00}), sink);
+  EXPECT_EQ(sink.indices, (std::vector<std::uint32_t>{5, 6}));
+}
+
+TEST(CodecFuzz, VarintFifthByteBeyondU32IsRejected) {
+  // The 5th varint byte carries bits 28..34, but an index varint may only
+  // use bits 28..31: anything in 0x70 encodes a value in (2^32, 2^35) that
+  // would silently truncate if it reached the u32 index math.  These fail at
+  // the varint layer with a message distinct from the 5-continuation-byte
+  // overflow below.
+  expect_wire_error(
+      sparse_varint_fp32_message(1000, 1, {0x80, 0x80, 0x80, 0x80, 0x10}),
+      "wire: varint exceeds the u32 index range");
+  expect_wire_error(
+      sparse_varint_fp32_message(1000, 1, {0x80, 0x80, 0x80, 0x80, 0x70}),
+      "wire: varint exceeds the u32 index range");
+  // Five continuation bytes: the pre-existing length overflow, still its own
+  // message.
+  expect_wire_error(
+      sparse_varint_fp32_message(1000, 1, {0x80, 0x80, 0x80, 0x80, 0x80}),
+      "wire: varint exceeds index range");
+  // 2^32 - 1 passes the varint layer (all four payload bits of the 5th byte
+  // are legal) and must then fail the index range check instead.
+  expect_wire_error(
+      sparse_varint_fp32_message(1000, 1, {0xFF, 0xFF, 0xFF, 0xFF, 0x0F}),
+      "wire: sparse index out of range");
+  // Positive control: the largest index a u32-dimension gradient can hold
+  // (2^32 - 2 under dense_dim 2^32 - 1) decodes through the full 5-byte
+  // path.
+  tensor::SparseGradient sink;
+  comm::decode_sparse(sparse_varint_fp32_message(
+                          0xFFFFFFFFULL, 1, {0xFE, 0xFF, 0xFF, 0xFF, 0x0F}),
+                      sink);
+  EXPECT_EQ(sink.indices, (std::vector<std::uint32_t>{0xFFFFFFFEU}));
+}
+
+TEST(CodecFuzz, HalfRoundTripIsExhaustiveOverAllPatterns) {
+  // Every half is exactly representable as a float, so
+  // float_to_half(half_to_float(h)) must be the identity for all 2^16
+  // non-NaN patterns (subnormals, both signed zeros and infinities
+  // included); NaNs canonicalize to sign | 0x7E00 on the way down.
+  for (std::uint32_t h = 0; h <= 0xFFFFU; ++h) {
+    const auto half = static_cast<std::uint16_t>(h);
+    const float f = comm::half_to_float(half);
+    const bool is_nan = (h & 0x7C00U) == 0x7C00U && (h & 0x03FFU) != 0;
+    EXPECT_EQ(std::isnan(f), is_nan) << "half 0x" << std::hex << h;
+    const std::uint16_t want =
+        is_nan ? static_cast<std::uint16_t>((h & 0x8000U) | 0x7E00U) : half;
+    ASSERT_EQ(comm::float_to_half(f), want) << "half 0x" << std::hex << h;
+  }
+}
+
+TEST(CodecFuzz, HalfRoundingTiesGoToEvenAtEveryBoundary) {
+  // For every adjacent pair of finite positive halves (h, h+1), the exact
+  // midpoint float (representable: one bit beyond half precision) must
+  // round to whichever neighbor has the even mantissa, and floats one ulp
+  // inside either side of the midpoint must round toward that side.  Covers
+  // every subnormal step, every normal binade crossing, the subnormal /
+  // normal seam and the overflow boundary (65520 -> inf).  Sign symmetry is
+  // spot-checked rather than swept.
+  for (std::uint32_t h = 0; h < 0x7C00U; ++h) {
+    const float lo = comm::half_to_float(static_cast<std::uint16_t>(h));
+    // Above 65504 the next representable "half" for rounding purposes is
+    // 2^16 (the value whose midpoint 65520 is the inf boundary).
+    const float hi = (h + 1 == 0x7C00U)
+                         ? 65536.0F
+                         : comm::half_to_float(
+                               static_cast<std::uint16_t>(h + 1));
+    const auto mid = static_cast<float>(
+        (static_cast<double>(lo) + static_cast<double>(hi)) * 0.5);
+    const auto want_tie = static_cast<std::uint16_t>((h & 1U) ? h + 1 : h);
+    ASSERT_EQ(comm::float_to_half(mid), want_tie)
+        << "tie at half 0x" << std::hex << h;
+    ASSERT_EQ(comm::float_to_half(std::nextafter(mid, 0.0F)),
+              static_cast<std::uint16_t>(h))
+        << "below tie at half 0x" << std::hex << h;
+    ASSERT_EQ(comm::float_to_half(
+                  std::nextafter(mid, std::numeric_limits<float>::infinity())),
+              static_cast<std::uint16_t>(h + 1))
+        << "above tie at half 0x" << std::hex << h;
+    // Mirror a handful of negative cases (the sign bit rides along).
+    if (h % 997 == 0) {
+      ASSERT_EQ(comm::float_to_half(-mid),
+                static_cast<std::uint16_t>(0x8000U | want_tie));
+    }
+  }
 }
 
 TEST(CodecFuzz, NonCanonicalGradientsAreRejectedAtEncode) {

@@ -1,0 +1,608 @@
+// Differential suite for the runtime SIMD dispatch (util/simd.h).
+//
+// The dispatch contract is that a level can only change speed, never bits:
+// every vectorized tensor kernel and codec loop must produce bit-identical
+// results to the scalar reference at every level available on the host —
+// encodes byte-identical, decodes and reductions bit-identical, and hostile
+// buffers rejected with the same error reason.  This suite runs each kernel
+// and codec path under util::simd::set_active(level) for every level in
+// util::simd::available() and compares against the forced-scalar result,
+// across sizes chosen to hit lane tails (0, 1, lane +/- 1), kKernelBlock
+// boundaries and large odd primes.  The committed golden fixtures are also
+// re-encoded at every level, pinning the wire bytes across dispatch paths.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "comm/codec.h"
+#include "tensor/vector_ops.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/simd.h"
+
+#ifndef SIDCO_SOURCE_DIR
+#error "SIDCO_SOURCE_DIR must point at the repository root"
+#endif
+
+namespace sidco {
+namespace {
+
+namespace simd = util::simd;
+
+constexpr std::size_t kBlock = tensor::kKernelBlock;
+
+/// Forces a dispatch level for one scope and restores the previous one on
+/// exit.  Restoring (rather than re-detecting) matters: under a
+/// SIDCO_SIMD=scalar CI cell the suite must leave the process scalar for
+/// every other test in the binary.
+class LevelGuard {
+ public:
+  explicit LevelGuard(simd::Level level) : prev_(simd::active()) {
+    simd::set_active(level);
+  }
+  ~LevelGuard() { simd::set_active(prev_); }
+  LevelGuard(const LevelGuard&) = delete;
+  LevelGuard& operator=(const LevelGuard&) = delete;
+
+ private:
+  simd::Level prev_;
+};
+
+const std::vector<std::size_t>& parity_sizes() {
+  static const std::vector<std::size_t> kSizes = {
+      0,          1,      3,          4,     5,     7,     8,    9,
+      15,         16,     17,         31,    33,    127,   1000,
+      kBlock - 1, kBlock, kBlock + 1, 65537, 131071};
+  return kSizes;
+}
+
+/// Random normals seasoned with the values lane masks get wrong first:
+/// exact zeros (log-skip and filter boundaries), subnormals, huge
+/// magnitudes, and extra sign flips.
+std::vector<float> test_vector(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::normal_distribution<float> normal(0.0F, 1.0F);
+  std::vector<float> x(n);
+  for (float& v : x) v = normal(rng);
+  for (std::size_t i = 0; i < n; i += 7) x[i] = 0.0F;
+  for (std::size_t i = 3; i < n; i += 97) x[i] = 1e-41F;
+  for (std::size_t i = 5; i < n; i += 193) x[i] = -3.0e38F;
+  for (std::size_t i = 11; i < n; i += 61) x[i] = -x[i];
+  return x;
+}
+
+void expect_moments_eq(const tensor::AbsMoments& got,
+                       const tensor::AbsMoments& want, simd::Level level,
+                       std::size_t n) {
+  const auto ctx = [&] {
+    return std::string(" level=") + simd::name(level) +
+           " n=" + std::to_string(n);
+  };
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(got.sum_abs),
+            std::bit_cast<std::uint64_t>(want.sum_abs))
+      << "sum_abs" << ctx();
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(got.sum_sq),
+            std::bit_cast<std::uint64_t>(want.sum_sq))
+      << "sum_sq" << ctx();
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(got.sum_log),
+            std::bit_cast<std::uint64_t>(want.sum_log))
+      << "sum_log" << ctx();
+  EXPECT_EQ(got.log_used, want.log_used) << "log_used" << ctx();
+  EXPECT_EQ(std::bit_cast<std::uint32_t>(got.max_abs),
+            std::bit_cast<std::uint32_t>(want.max_abs))
+      << "max_abs" << ctx();
+  EXPECT_EQ(got.count_at_least, want.count_at_least)
+      << "count_at_least" << ctx();
+  EXPECT_EQ(got.n, want.n) << "n" << ctx();
+}
+
+void expect_sparse_eq(const tensor::SparseGradient& got,
+                      const tensor::SparseGradient& want, simd::Level level) {
+  ASSERT_EQ(got.dense_dim, want.dense_dim) << simd::name(level);
+  ASSERT_EQ(got.indices, want.indices) << simd::name(level);
+  ASSERT_EQ(got.values.size(), want.values.size()) << simd::name(level);
+  for (std::size_t j = 0; j < got.values.size(); ++j) {
+    ASSERT_EQ(std::bit_cast<std::uint32_t>(got.values[j]),
+              std::bit_cast<std::uint32_t>(want.values[j]))
+        << "value " << j << " level=" << simd::name(level);
+  }
+}
+
+/// A tie-prone threshold: the magnitude of an actual element, so the >= /
+/// > comparisons see exact equality in some lanes.
+float tie_threshold(const std::vector<float>& x) {
+  for (std::size_t i = x.size() / 3; i < x.size(); ++i) {
+    const float m = std::fabs(x[i]);
+    if (m > 0.0F && std::isfinite(m)) return m;
+  }
+  return 0.5F;
+}
+
+TEST(SimdDispatch, AvailableEndsWithScalarAndNamesResolve) {
+  const std::vector<simd::Level> levels = simd::available();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.back(), simd::Level::kScalar);
+  for (simd::Level level : levels) {
+    EXPECT_NE(std::string(simd::name(level)), "");
+    // Every available level must be forceable and observable.
+    LevelGuard guard(level);
+    EXPECT_EQ(simd::active(), level);
+  }
+}
+
+TEST(SimdDispatch, SetActiveRejectsUnavailableLevels) {
+  const std::vector<simd::Level> levels = simd::available();
+  const simd::Level before = simd::active();
+  // AVX2 and NEON are mutually exclusive, so at least one vector level is
+  // always missing — forcing it must be a loud error, not a fallback.
+  for (simd::Level level : {simd::Level::kAvx2, simd::Level::kNeon}) {
+    if (std::find(levels.begin(), levels.end(), level) == levels.end()) {
+      EXPECT_THROW(simd::set_active(level), util::CheckError);
+    }
+  }
+  // A failed set_active must leave the dispatch level untouched.
+  EXPECT_EQ(simd::active(), before);
+}
+
+TEST(KernelParity, AbsMomentsMatchScalarBitExact) {
+  tensor::Workspace ws;
+  for (std::size_t n : parity_sizes()) {
+    const std::vector<float> x = test_vector(n, 0xAB5ULL ^ n);
+    const float tie = tie_threshold(x);
+    for (bool with_log : {false, true}) {
+      for (float threshold :
+           {std::numeric_limits<float>::infinity(), tie, 0.0F}) {
+        tensor::AbsMoments want;
+        {
+          LevelGuard guard(simd::Level::kScalar);
+          want = tensor::abs_moments(x, threshold, with_log, &ws);
+        }
+        for (simd::Level level : simd::available()) {
+          LevelGuard guard(level);
+          expect_moments_eq(tensor::abs_moments(x, threshold, with_log, &ws),
+                            want, level, n);
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelParity, SignedMomentsVarianceAndCountMatchScalar) {
+  tensor::Workspace ws;
+  for (std::size_t n : parity_sizes()) {
+    const std::vector<float> x = test_vector(n, 0x516ULL ^ n);
+    const float tie = tie_threshold(x);
+    tensor::SignedMoments want_signed;
+    double want_var = 0.0;
+    std::size_t want_count = 0;
+    {
+      LevelGuard guard(simd::Level::kScalar);
+      want_signed = tensor::signed_moments(x, &ws);
+      want_var = tensor::variance(x);
+      want_count = tensor::count_at_least(x, tie, &ws);
+    }
+    for (simd::Level level : simd::available()) {
+      LevelGuard guard(level);
+      const tensor::SignedMoments got = tensor::signed_moments(x, &ws);
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(got.sum),
+                std::bit_cast<std::uint64_t>(want_signed.sum))
+          << simd::name(level) << " n=" << n;
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(got.sum_sq),
+                std::bit_cast<std::uint64_t>(want_signed.sum_sq))
+          << simd::name(level) << " n=" << n;
+      EXPECT_EQ(got.n, want_signed.n);
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(tensor::variance(x)),
+                std::bit_cast<std::uint64_t>(want_var))
+          << simd::name(level) << " n=" << n;
+      EXPECT_EQ(tensor::count_at_least(x, tie, &ws), want_count)
+          << simd::name(level) << " n=" << n;
+    }
+  }
+}
+
+TEST(KernelParity, SelectionKernelsMatchScalar) {
+  tensor::Workspace ws;
+  tensor::SparseGradient scalar_sel;
+  tensor::SparseGradient got_sel;
+  tensor::SparseGradient scalar_narrow;
+  tensor::SparseGradient got_narrow;
+  std::vector<float> scalar_mags;
+  std::vector<float> got_mags;
+  for (std::size_t n : parity_sizes()) {
+    const std::vector<float> x = test_vector(n, 0x5E1ULL ^ n);
+    const float tie = tie_threshold(x);
+    const float higher = tie * 2.0F;
+    {
+      LevelGuard guard(simd::Level::kScalar);
+      tensor::extract_at_least(x, tie, ws, scalar_sel);
+      tensor::filter_at_least(scalar_sel, higher, ws, scalar_narrow);
+      tensor::abs_exceedances(x, tie, ws, scalar_mags);
+    }
+    for (simd::Level level : simd::available()) {
+      LevelGuard guard(level);
+      tensor::extract_at_least(x, tie, ws, got_sel);
+      expect_sparse_eq(got_sel, scalar_sel, level);
+      tensor::filter_at_least(got_sel, higher, ws, got_narrow);
+      expect_sparse_eq(got_narrow, scalar_narrow, level);
+      tensor::abs_exceedances(x, tie, ws, got_mags);
+      ASSERT_EQ(got_mags.size(), scalar_mags.size()) << simd::name(level);
+      for (std::size_t j = 0; j < got_mags.size(); ++j) {
+        ASSERT_EQ(std::bit_cast<std::uint32_t>(got_mags[j]),
+                  std::bit_cast<std::uint32_t>(scalar_mags[j]))
+            << simd::name(level) << " n=" << n << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(KernelParity, FusedExtractAndTopKMatchScalar) {
+  tensor::Workspace ws;
+  tensor::SparseGradient scalar_out;
+  tensor::SparseGradient got_out;
+  for (std::size_t n : parity_sizes()) {
+    const std::vector<float> x = test_vector(n, 0xF05EULL ^ n);
+    const float tie = tie_threshold(x);
+    for (bool with_log : {false, true}) {
+      tensor::AbsMoments want_m;
+      {
+        LevelGuard guard(simd::Level::kScalar);
+        want_m = tensor::abs_moments_extract(x, tie, with_log, ws, scalar_out);
+      }
+      for (simd::Level level : simd::available()) {
+        LevelGuard guard(level);
+        const tensor::AbsMoments got_m =
+            tensor::abs_moments_extract(x, tie, with_log, ws, got_out);
+        expect_moments_eq(got_m, want_m, level, n);
+        expect_sparse_eq(got_out, scalar_out, level);
+      }
+    }
+    for (std::size_t k : {std::size_t{0}, std::size_t{1}, n / 10, n}) {
+      if (k > n) continue;
+      float want_eta = 0.0F;
+      {
+        LevelGuard guard(simd::Level::kScalar);
+        want_eta = tensor::top_k(x, k, ws, scalar_out);
+      }
+      for (simd::Level level : simd::available()) {
+        LevelGuard guard(level);
+        const float got_eta = tensor::top_k(x, k, ws, got_out);
+        EXPECT_EQ(std::bit_cast<std::uint32_t>(got_eta),
+                  std::bit_cast<std::uint32_t>(want_eta))
+            << simd::name(level) << " n=" << n << " k=" << k;
+        expect_sparse_eq(got_out, scalar_out, level);
+      }
+    }
+  }
+}
+
+/// Uniform random sparse set with `k` of `d` coordinates, canonical order.
+tensor::SparseGradient random_sparse(std::size_t d, std::size_t k,
+                                     std::uint64_t seed) {
+  tensor::SparseGradient g;
+  g.dense_dim = d;
+  util::Rng rng(seed);
+  std::normal_distribution<float> normal(0.0F, 1.0F);
+  std::vector<bool> keep(d, false);
+  std::size_t placed = 0;
+  while (placed < k) {
+    const auto i = static_cast<std::size_t>(rng.uniform_index(d));
+    if (!keep[i]) {
+      keep[i] = true;
+      ++placed;
+    }
+  }
+  for (std::size_t i = 0; i < d; ++i) {
+    if (keep[i]) {
+      g.indices.push_back(static_cast<std::uint32_t>(i));
+      g.values.push_back(normal(rng));
+    }
+  }
+  return g;
+}
+
+TEST(CodecParity, SparseMessagesAreByteIdenticalAcrossLevels) {
+  std::vector<std::uint8_t> scalar_bytes;
+  std::vector<std::uint8_t> got_bytes;
+  tensor::SparseGradient scalar_decoded;
+  tensor::SparseGradient got_decoded;
+  for (std::size_t d : {std::size_t{0}, std::size_t{1}, std::size_t{997},
+                        kBlock, std::size_t{65537}}) {
+    // Densities straddling the varint/bitmap boundary, both value modes.
+    for (double density : {0.001, 0.05, 0.3, 1.0}) {
+      const auto k = static_cast<std::size_t>(
+          std::floor(density * static_cast<double>(d)));
+      const tensor::SparseGradient g =
+          random_sparse(d, k, 0x51D0ULL ^ (d * 2654435761ULL) ^ k);
+      for (comm::ValueMode mode :
+           {comm::ValueMode::kFp32, comm::ValueMode::kFp16}) {
+        {
+          LevelGuard guard(simd::Level::kScalar);
+          comm::encode_sparse(g, mode, scalar_bytes);
+          comm::decode_sparse(scalar_bytes, scalar_decoded);
+        }
+        for (simd::Level level : simd::available()) {
+          LevelGuard guard(level);
+          comm::encode_sparse(g, mode, got_bytes);
+          ASSERT_EQ(got_bytes, scalar_bytes)
+              << simd::name(level) << " d=" << d << " k=" << k;
+          comm::decode_sparse(scalar_bytes, got_decoded);
+          expect_sparse_eq(got_decoded, scalar_decoded, level);
+        }
+      }
+    }
+  }
+}
+
+TEST(CodecParity, DenseAndQuantizedMessagesAreByteIdenticalAcrossLevels) {
+  std::vector<std::uint8_t> scalar_bytes;
+  std::vector<std::uint8_t> got_bytes;
+  for (std::size_t n :
+       {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{4097},
+        std::size_t{65537}}) {
+    const std::vector<float> x = test_vector(n, 0xDE5EULL ^ n);
+    for (comm::ValueMode mode :
+         {comm::ValueMode::kFp32, comm::ValueMode::kFp16}) {
+      std::vector<float> scalar_out;
+      std::vector<float> got_out;
+      {
+        LevelGuard guard(simd::Level::kScalar);
+        comm::encode_dense(x, mode, scalar_bytes);
+        comm::decode_dense(scalar_bytes, scalar_out);
+      }
+      for (simd::Level level : simd::available()) {
+        LevelGuard guard(level);
+        comm::encode_dense(x, mode, got_bytes);
+        ASSERT_EQ(got_bytes, scalar_bytes) << simd::name(level) << " n=" << n;
+        comm::decode_dense(scalar_bytes, got_out);
+        ASSERT_EQ(got_out.size(), scalar_out.size());
+        for (std::size_t j = 0; j < got_out.size(); ++j) {
+          ASSERT_EQ(std::bit_cast<std::uint32_t>(got_out[j]),
+                    std::bit_cast<std::uint32_t>(scalar_out[j]))
+              << simd::name(level) << " n=" << n << " j=" << j;
+        }
+      }
+    }
+  }
+  comm::QuantizedPayload scalar_q;
+  comm::QuantizedPayload got_q;
+  for (std::uint8_t bits : {1, 3, 8, 13, 32}) {
+    for (std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{4097}}) {
+      comm::QuantizedPayload payload;
+      payload.scale = 0.25F;
+      payload.symbol_bits = bits;
+      util::Rng rng(0x9017ULL ^ bits ^ n);
+      const std::uint64_t mask =
+          bits == 32 ? 0xFFFFFFFFULL : (1ULL << bits) - 1;
+      for (std::size_t i = 0; i < n; ++i) {
+        payload.symbols.push_back(static_cast<std::uint32_t>(rng() & mask));
+      }
+      {
+        LevelGuard guard(simd::Level::kScalar);
+        comm::encode_quantized(payload, scalar_bytes);
+        comm::decode_quantized(scalar_bytes, scalar_q);
+      }
+      for (simd::Level level : simd::available()) {
+        LevelGuard guard(level);
+        comm::encode_quantized(payload, got_bytes);
+        ASSERT_EQ(got_bytes, scalar_bytes)
+            << simd::name(level) << " bits=" << int{bits} << " n=" << n;
+        comm::decode_quantized(scalar_bytes, got_q);
+        ASSERT_EQ(got_q.symbols, scalar_q.symbols) << simd::name(level);
+        ASSERT_EQ(got_q.scale, scalar_q.scale);
+      }
+    }
+  }
+}
+
+TEST(CodecParity, HalfBatchesMatchScalarPerElement) {
+  // half -> float: all 2^16 patterns in one batch, plus odd sizes for the
+  // vector tails.  float -> half: random + specials + NaN payload variants.
+  std::vector<std::uint16_t> halves(0x10000);
+  for (std::uint32_t h = 0; h <= 0xFFFFU; ++h) {
+    halves[h] = static_cast<std::uint16_t>(h);
+  }
+  std::vector<float> want_f(halves.size());
+  for (std::size_t i = 0; i < halves.size(); ++i) {
+    want_f[i] = comm::half_to_float(halves[i]);
+  }
+  std::vector<float> got_f(halves.size());
+  for (simd::Level level : simd::available()) {
+    LevelGuard guard(level);
+    for (std::size_t n :
+         {std::size_t{1}, std::size_t{7}, std::size_t{9}, halves.size()}) {
+      // Offset by a prime so short runs still cover interesting patterns.
+      const std::size_t at = (n == halves.size()) ? 0 : 31751;
+      std::fill(got_f.begin(), got_f.end(), 0.0F);
+      comm::half_to_float_n(halves.data() + at, n, got_f.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(std::bit_cast<std::uint32_t>(got_f[i]),
+                  std::bit_cast<std::uint32_t>(want_f[at + i]))
+            << simd::name(level) << " half 0x" << std::hex << (at + i);
+      }
+    }
+  }
+
+  std::vector<float> floats = test_vector(4099, 0xF16BULL);
+  const float kSpecials[] = {
+      0.0F,
+      -0.0F,
+      65504.0F,
+      65520.0F,
+      1e6F,
+      -1e-8F,
+      std::numeric_limits<float>::infinity(),
+      -std::numeric_limits<float>::infinity(),
+      std::numeric_limits<float>::quiet_NaN(),
+      -std::numeric_limits<float>::quiet_NaN(),
+      std::bit_cast<float>(0x7F800001U),  // SNaN, minimal payload
+      std::bit_cast<float>(0xFFBFFFFFU),  // -SNaN, maximal payload
+      std::bit_cast<float>(0x7FC05555U),  // QNaN with payload bits
+      1.0F + 0x1p-11F,                    // RNE tie
+  };
+  floats.insert(floats.begin() + 13, std::begin(kSpecials),
+                std::end(kSpecials));
+  std::vector<std::uint16_t> want_h(floats.size());
+  for (std::size_t i = 0; i < floats.size(); ++i) {
+    want_h[i] = comm::float_to_half(floats[i]);
+  }
+  std::vector<std::uint16_t> got_h(floats.size());
+  for (simd::Level level : simd::available()) {
+    LevelGuard guard(level);
+    for (std::size_t n : {std::size_t{1}, std::size_t{8}, std::size_t{31},
+                          floats.size()}) {
+      std::fill(got_h.begin(), got_h.end(), std::uint16_t{0});
+      comm::float_to_half_n(floats.data(), n, got_h.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(got_h[i], want_h[i])
+            << simd::name(level) << " float 0x" << std::hex
+            << std::bit_cast<std::uint32_t>(floats[i]);
+      }
+    }
+  }
+}
+
+/// Runs `f` and returns the CheckError reason ("check failed: ..."), with
+/// the file:line prefix stripped — scalar and vector paths may throw from
+/// different call sites but must agree on the reason.
+std::string failure_reason(const std::function<void()>& f) {
+  try {
+    f();
+  } catch (const util::CheckError& error) {
+    const std::string what = error.what();
+    const auto at = what.find("check failed: ");
+    return at == std::string::npos ? what : what.substr(at);
+  }
+  return "(no error)";
+}
+
+TEST(CodecParity, HostileBuffersFailWithTheSameReasonAtEveryLevel) {
+  // Each case plants the corruption inside a fast-path region (an 8-index
+  // single-byte group) so the vector code is actually in charge when the
+  // error must surface.
+  std::vector<std::vector<std::uint8_t>> hostile;
+
+  const auto message = [](std::uint64_t dense_dim, std::uint64_t count,
+                          std::vector<std::uint8_t> index_bytes) {
+    std::vector<std::uint8_t> m = {0x53, 0x43, 0x01, 0x00,
+                                   0x00, 0x00, 0x00, 0x00};
+    for (int i = 0; i < 8; ++i) {
+      m.push_back(static_cast<std::uint8_t>(dense_dim >> (8 * i)));
+    }
+    for (int i = 0; i < 8; ++i) {
+      m.push_back(static_cast<std::uint8_t>(count >> (8 * i)));
+    }
+    m.insert(m.end(), index_bytes.begin(), index_bytes.end());
+    m.insert(m.end(), static_cast<std::size_t>(count) * 4, std::uint8_t{0});
+    return m;
+  };
+
+  // 20 consecutive indices (all single-byte varints), overlong form spliced
+  // into the second 8-group.
+  {
+    std::vector<std::uint8_t> idx(21, 0x00);
+    idx[10] = 0x80;  // 0x80 0x00: overlong
+    hostile.push_back(message(64, 20, idx));
+  }
+  // Range overflow surfacing mid-group: a delta bump pushes indices past
+  // dense_dim inside the first 8-group.
+  {
+    std::vector<std::uint8_t> idx(16, 0x00);
+    idx[8] = 0x05;
+    hostile.push_back(message(16, 16, idx));
+  }
+  // 5-byte varint with bits beyond u32 after a run of fast-path groups.
+  {
+    std::vector<std::uint8_t> idx(16, 0x00);
+    idx.insert(idx.end(), {0x80, 0x80, 0x80, 0x80, 0x10});
+    hostile.push_back(message(1 << 20, 17, idx));
+  }
+  // Bitmap population lying about nnz.
+  {
+    tensor::SparseGradient dense_set = random_sparse(256, 200, 0xB17B17ULL);
+    std::vector<std::uint8_t> m;
+    comm::encode_sparse(dense_set, comm::ValueMode::kFp32, m);
+    m[comm::kHeaderBytes + 9] ^= 0x01;
+    hostile.push_back(std::move(m));
+  }
+
+  tensor::SparseGradient sink;
+  for (std::size_t c = 0; c < hostile.size(); ++c) {
+    std::string want;
+    {
+      LevelGuard guard(simd::Level::kScalar);
+      want = failure_reason(
+          [&] { comm::decode_sparse(hostile[c], sink); });
+    }
+    ASSERT_NE(want, "(no error)") << "case " << c;
+    for (simd::Level level : simd::available()) {
+      LevelGuard guard(level);
+      EXPECT_EQ(failure_reason(
+                    [&] { comm::decode_sparse(hostile[c], sink); }),
+                want)
+          << "case " << c << " level=" << simd::name(level);
+    }
+  }
+}
+
+std::vector<std::uint8_t> read_fixture(const std::string& name) {
+  const std::string path =
+      std::string(SIDCO_SOURCE_DIR) + "/tests/fixtures/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+TEST(CodecGolden, FixturesReencodeByteIdenticallyAtEveryLevel) {
+  // The committed fixtures pin the wire format; every dispatch level must
+  // reproduce them exactly from the decoded payload (this is the
+  // forced-fallback golden run, generalized to all levels).
+  const char* kFixtures[] = {
+      "sparse_varint_fp32.bin", "sparse_varint_fp16.bin",
+      "sparse_bitmap_fp32.bin", "sparse_empty_fp32.bin",
+      "dense_fp32.bin",         "dense_fp16.bin",
+      "quantized_3bit.bin",
+  };
+  std::vector<std::uint8_t> reencoded;
+  for (const char* name : kFixtures) {
+    const std::vector<std::uint8_t> bytes = read_fixture(name);
+    ASSERT_FALSE(bytes.empty()) << name;
+    const comm::MessageInfo info = comm::peek_header(bytes);
+    for (simd::Level level : simd::available()) {
+      LevelGuard guard(level);
+      switch (info.kind) {
+        case comm::PayloadKind::kSparse: {
+          tensor::SparseGradient g;
+          comm::decode_sparse(bytes, g);
+          comm::encode_sparse(g, info.value_mode, reencoded);
+          break;
+        }
+        case comm::PayloadKind::kDense: {
+          std::vector<float> dense;
+          comm::decode_dense(bytes, dense);
+          comm::encode_dense(dense, info.value_mode, reencoded);
+          break;
+        }
+        case comm::PayloadKind::kQuantized: {
+          comm::QuantizedPayload q;
+          comm::decode_quantized(bytes, q);
+          comm::encode_quantized(q, reencoded);
+          break;
+        }
+      }
+      EXPECT_EQ(reencoded, bytes)
+          << name << " level=" << simd::name(level);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sidco

@@ -1,14 +1,17 @@
 #!/usr/bin/env python3
-"""Bench smoke gate for the SIDCo multi-stage compress path.
+"""Bench smoke gate for the SIDCo multi-stage compress and SIMD dispatch paths.
 
 Usage:
-    check_bench_regression.py CURRENT.json [BASELINE.json]
+    check_bench_regression.py CURRENT.json [CURRENT2.json ...] [BASELINE.json]
 
-CURRENT.json is a `bench_micro_kernels --benchmark_format=json` dump.  The
-script:
-  1. prints the seed-vs-fused speedups measured in CURRENT.json,
-  2. if BASELINE.json is given, fails (exit 1) when the multi-stage SIDCo
-     path regressed by more than REGRESSION_TOLERANCE.
+Each CURRENT*.json is a `--benchmark_format=json` dump (bench_micro_kernels
+and/or bench_codec); with three or more arguments the last one is the
+committed baseline and all preceding dumps are merged into one current run.
+The script:
+  1. prints the in-run speedup ratios (seed vs fused, scalar vs simd)
+     measured in the current dump(s),
+  2. if BASELINE.json is given, fails (exit 1) when any gated ratio
+     regressed by more than REGRESSION_TOLERANCE.
 
 A named baseline that cannot serve as a gate — missing file, unparseable
 JSON, or JSON with none of the gated benchmark pairs (e.g. a renamed
@@ -26,12 +29,29 @@ times are printed for information only.
 import json
 import sys
 
-# (legacy prefix, fused prefix, label): the multi-stage path pairs that gate.
+# (slow prefix, fast prefix, label): the in-run ratio pairs that gate.  The
+# seed-vs-fused pairs gate the multi-stage algorithm; the scalar-vs-simd
+# pairs gate the dispatched kernel and codec fast paths (bit-identical to
+# scalar by the differential suite, so the ratio is pure speed).
 GATED_PAIRS = [
     ("BM_SidcoMultiStageCompressLegacy/", "BM_SidcoMultiStageCompress/",
      "multi-stage compress (seed vs fused)"),
     ("BM_SidcoTailRefitLegacy/", "BM_SidcoTailRefitFused/",
      "tail refit (seed vs fused)"),
+    ("BM_AbsMomentsPlainScalar/", "BM_AbsMomentsPlain/",
+     "abs moments (scalar vs simd)"),
+    ("BM_ExtractAtLeastScalar/", "BM_ExtractAtLeast/",
+     "extract at least (scalar vs simd)"),
+    ("BM_CountAtLeastScalar/", "BM_CountAtLeast/",
+     "count at least (scalar vs simd)"),
+    ("BM_CodecEncodeSparseScalar/", "BM_CodecEncodeSparse/",
+     "codec encode (scalar vs simd)"),
+    ("BM_CodecDecodeSparseScalar/", "BM_CodecDecodeSparse/",
+     "codec decode (scalar vs simd)"),
+    ("BM_CodecEncodeQuantizedScalar", "BM_CodecEncodeQuantized",
+     "codec pack (scalar vs simd)"),
+    ("BM_CodecDecodeQuantizedScalar", "BM_CodecDecodeQuantized",
+     "codec unpack (scalar vs simd)"),
 ]
 REGRESSION_TOLERANCE = 0.20  # fail if the speedup ratio drops >20%
 
@@ -65,28 +85,40 @@ def main(argv):
     if len(argv) < 2:
         print(__doc__)
         return 2
-    current = load(argv[1])
-    if not current:
-        print("error: no benchmarks found in", argv[1])
-        return 1
+    # argv[1:-1] are current dumps to merge, argv[-1] is the baseline; with
+    # exactly one file there is no baseline (smoke print only).
+    current_paths = argv[1:-1] if len(argv) >= 3 else [argv[1]]
+    baseline_path = argv[-1] if len(argv) >= 3 else None
+    current = {}
+    for path in current_paths:
+        results = load(path)
+        if not results:
+            print("error: no benchmarks found in", path)
+            return 1
+        overlap = set(current) & set(results)
+        if overlap:
+            print(f"error: duplicate benchmark names across current dumps: "
+                  + "; ".join(sorted(overlap)))
+            return 1
+        current.update(results)
     current_speedups = speedups(current)
     for (label, size), ratio in sorted(current_speedups.items()):
         print(f"{label} @ d={size}: {ratio:.2f}x")
 
-    if len(argv) < 3:
+    if baseline_path is None:
         print("no baseline given; smoke check passes")
         return 0
     try:
-        baseline = load(argv[2])
+        baseline = load(baseline_path)
     except (OSError, ValueError) as err:
-        print(f"FAIL: cannot load baseline {argv[2]}: {err}")
+        print(f"FAIL: cannot load baseline {baseline_path}: {err}")
         return 1
     baseline_speedups = speedups(baseline)
     if not baseline_speedups:
         # An empty "benchmarks" list, a renamed key, or wholesale-renamed
         # benchmark names would otherwise gate nothing and exit 0.
-        print(f"FAIL: baseline {argv[2]} contains no gated benchmark pairs "
-              "(missing/renamed 'benchmarks' entries?)")
+        print(f"FAIL: baseline {baseline_path} contains no gated benchmark "
+              "pairs (missing/renamed 'benchmarks' entries?)")
         return 1
 
     # A baseline pair with no counterpart in the current run means the gated

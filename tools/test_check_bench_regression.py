@@ -36,6 +36,22 @@ def gated_run(legacy_time, fused_time):
     ])
 
 
+def codec_run(scalar_time, simd_time):
+    """A bench_codec-style dump with one scalar-vs-simd dispatch pair."""
+    return bench_json([
+        ("BM_CodecEncodeSparseScalar/varint_fp32", scalar_time),
+        ("BM_CodecEncodeSparse/varint_fp32", simd_time),
+    ])
+
+
+def simd_run(scalar_time, simd_time):
+    """A kernel dump with a scalar-vs-simd dispatch pair."""
+    return bench_json([
+        ("BM_AbsMomentsPlainScalar/4194304", scalar_time),
+        ("BM_AbsMomentsPlain/4194304", simd_time),
+    ])
+
+
 class CheckBenchRegressionTest(unittest.TestCase):
     def setUp(self):
         self._dir = tempfile.TemporaryDirectory()
@@ -95,6 +111,40 @@ class CheckBenchRegressionTest(unittest.TestCase):
     def test_empty_current_fails(self):
         current = self.write("current.json", {"benchmarks": []})
         self.assertEqual(self.run_gate(current), 1)
+
+    def test_merged_current_dumps_gate_together(self):
+        # bench_micro_kernels and bench_codec dump separately; the gate must
+        # merge them and check pairs from both against one baseline.
+        kernels = self.write("kernels.json", gated_run(400.0, 100.0))
+        codec = self.write("codec.json", codec_run(300.0, 100.0))
+        merged = bench_json([])
+        merged["benchmarks"] = (gated_run(400.0, 100.0)["benchmarks"] +
+                                codec_run(300.0, 100.0)["benchmarks"])
+        baseline = self.write("baseline.json", merged)
+        self.assertEqual(self.run_gate(kernels, codec, baseline), 0)
+
+    def test_merged_current_regression_in_second_dump_fails(self):
+        kernels = self.write("kernels.json", gated_run(400.0, 100.0))
+        codec = self.write("codec.json", codec_run(120.0, 100.0))  # 1.2x
+        merged = bench_json([])
+        merged["benchmarks"] = (gated_run(400.0, 100.0)["benchmarks"] +
+                                codec_run(300.0, 100.0)["benchmarks"])  # 3.0x
+        baseline = self.write("baseline.json", merged)
+        self.assertEqual(self.run_gate(kernels, codec, baseline), 1)
+
+    def test_duplicate_names_across_current_dumps_fail(self):
+        # Passing the same dump twice must not silently overwrite entries.
+        current = self.write("current.json", gated_run(400.0, 100.0))
+        baseline = self.write("baseline.json", gated_run(400.0, 100.0))
+        self.assertEqual(self.run_gate(current, current, baseline), 1)
+
+    def test_scalar_vs_simd_pairs_gate(self):
+        # Dispatch pair regression: baseline 4.0x, current 1.5x.
+        current = self.write("current.json", simd_run(150.0, 100.0))
+        baseline = self.write("baseline.json", simd_run(400.0, 100.0))
+        self.assertEqual(self.run_gate(current, baseline), 1)
+        healthy = self.write("healthy.json", simd_run(390.0, 100.0))
+        self.assertEqual(self.run_gate(healthy, baseline), 0)
 
 
 if __name__ == "__main__":
