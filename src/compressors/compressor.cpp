@@ -12,6 +12,12 @@ Compressor::Compressor(double target_ratio) : target_ratio_(target_ratio) {
               "target ratio must be in (0, 1]");
 }
 
+void Compressor::set_target_ratio(double target_ratio) {
+  util::check(target_ratio > 0.0 && target_ratio <= 1.0,
+              "target ratio must be in (0, 1]");
+  target_ratio_ = target_ratio;
+}
+
 namespace {
 
 /// Resets `out` for reuse: clears the sparse arrays without releasing their
@@ -22,6 +28,7 @@ void reset_result(std::span<const float> gradient, CompressResult& out) {
   out.sparse.dense_dim = gradient.size();
   out.threshold = 0.0;
   out.stages_used = 1;
+  out.fit_ks = -1.0;
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 // lives in core/factory.h (the SIDCo variants are part of the core library).
 #pragma once
 
+#include <cstddef>
 #include <span>
 #include <string_view>
 
@@ -22,6 +23,10 @@ struct CompressResult {
   double threshold = 0.0;
   /// Number of estimation stages used (1 for single-stage schemes).
   int stages_used = 1;
+  /// Goodness-of-fit of the scheme's statistical model on this gradient
+  /// (stage-1 KS distance for the SIDCo schemes); negative when the scheme
+  /// has no fit or diagnostics are disabled (see enable_fit_diagnostics).
+  double fit_ks = -1.0;
 
   [[nodiscard]] std::size_t selected() const { return sparse.nnz(); }
   [[nodiscard]] double achieved_ratio() const { return sparse.density(); }
@@ -64,6 +69,24 @@ class Compressor {
   /// Target compression ratio delta = k/d in (0, 1].
   [[nodiscard]] double target_ratio() const { return target_ratio_; }
 
+  /// Retunes the target ratio for subsequent compress calls (the autotune
+  /// controller's actuator).  Schemes with stricter domains override to
+  /// tighten the validation (SIDCo requires (0, 1)).
+  virtual void set_target_ratio(double target_ratio);
+
+  /// Opts in to per-call fit diagnostics: schemes with a statistical model
+  /// (the SIDCo family) fill CompressResult::fit_ks from a subsample of at
+  /// most `sample_cap` magnitudes.  Off by default — the KS pass allocates a
+  /// sort buffer, so default-constructed compressors keep the steady-state
+  /// zero-allocation contract of compress_into().  No-op for model-free
+  /// schemes.  `sample_cap` 0 disables diagnostics again.
+  void enable_fit_diagnostics(std::size_t sample_cap) {
+    fit_diagnostics_cap_ = sample_cap;
+  }
+  [[nodiscard]] std::size_t fit_diagnostics_cap() const {
+    return fit_diagnostics_cap_;
+  }
+
   /// Target k for dimension d: max(1, round(delta * d)).
   [[nodiscard]] std::size_t target_k(std::size_t dimension) const;
 
@@ -80,6 +103,7 @@ class Compressor {
 
  private:
   double target_ratio_;
+  std::size_t fit_diagnostics_cap_ = 0;
 };
 
 }  // namespace sidco::compressors

@@ -1,0 +1,105 @@
+#include "core/autotune.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace sidco::core {
+
+std::string_view autotune_mode_name(AutotuneMode mode) {
+  switch (mode) {
+    case AutotuneMode::kOff: return "off";
+    case AutotuneMode::kBytes: return "bytes";
+    case AutotuneMode::kGof: return "gof";
+    case AutotuneMode::kFull: return "full";
+  }
+  return "unknown";
+}
+
+AutotuneMode parse_autotune_mode(const std::string& token) {
+  if (token == "off") return AutotuneMode::kOff;
+  if (token == "bytes") return AutotuneMode::kBytes;
+  if (token == "gof") return AutotuneMode::kGof;
+  if (token == "full") return AutotuneMode::kFull;
+  util::check_fail("unknown autotune mode token (want off|bytes|gof|full): " +
+                   token);
+}
+
+void validate_autotune_config(const AutotuneConfig& config) {
+  if (!config.enabled()) return;
+  util::check(config.min_ratio > 0.0, "autotune min_ratio must be > 0");
+  util::check(config.max_ratio < 1.0,
+              "autotune max_ratio must be < 1 (ratio 1 disables compression; "
+              "there is nothing to tune)");
+  util::check(config.min_ratio <= config.max_ratio,
+              "autotune min_ratio must be <= max_ratio");
+  util::check(config.step > 1.0, "autotune step must be > 1");
+  util::check(config.comm_low >= 0.0 && config.comm_high >= config.comm_low,
+              "autotune comm deadband must satisfy 0 <= comm_low <= comm_high");
+  util::check(config.gof_good > 0.0 && config.gof_poor >= config.gof_good,
+              "autotune gof thresholds must satisfy 0 < gof_good <= gof_poor");
+  if (config.wants_gof()) {
+    util::check(config.gof_sample_cap >= 4,
+                "autotune gof_sample_cap must be >= 4");
+  }
+}
+
+AutotuneController::AutotuneController(const AutotuneConfig& config,
+                                       double initial_ratio)
+    : config_(config),
+      ratio_(config.enabled()
+                 ? std::clamp(initial_ratio, config.min_ratio, config.max_ratio)
+                 : initial_ratio) {
+  validate_autotune_config(config);
+  util::check(initial_ratio > 0.0 && initial_ratio <= 1.0,
+              "autotune initial ratio must be in (0, 1]");
+}
+
+double AutotuneController::observe(const AutotuneObservation& observation) {
+  ++observations_;
+  if (!config_.enabled()) return ratio_;
+
+  // Direction: -1 compresses harder (lower ratio), +1 backs off.
+  int direction = 0;
+  if (config_.wants_bytes() && observation.compute_seconds > 0.0) {
+    const double load =
+        observation.comm_seconds / observation.compute_seconds;
+    if (load > config_.comm_high) {
+      direction = -1;
+    } else if (load < config_.comm_low) {
+      direction = +1;
+    }
+  }
+  if (config_.wants_gof() && observation.fit_ks >= 0.0) {
+    if (observation.fit_ks > config_.gof_poor) {
+      // The SID fit is untrustworthy: never harden on it, and without a
+      // bytes signal (kGof) treat it as a back-off signal in its own right.
+      if (direction < 0) direction = 0;
+      if (config_.mode == AutotuneMode::kGof) direction = +1;
+    } else if (config_.mode == AutotuneMode::kGof &&
+               observation.fit_ks < config_.gof_good) {
+      // kGof's hardening signal: the fit is good enough that the statistical
+      // threshold can be trusted at a tighter target.
+      direction = -1;
+    }
+  }
+
+  if (cooldown_left_ > 0) {
+    --cooldown_left_;
+    return ratio_;
+  }
+  if (direction != 0) {
+    const double next =
+        std::clamp(direction < 0 ? ratio_ / config_.step
+                                 : ratio_ * config_.step,
+                   config_.min_ratio, config_.max_ratio);
+    if (next != ratio_) {
+      ratio_ = next;
+      ++adjustments_;
+      cooldown_left_ = config_.cooldown;
+    }
+  }
+  return ratio_;
+}
+
+}  // namespace sidco::core

@@ -1,0 +1,118 @@
+// Online compressibility-aware autotuning of the target compression ratio.
+//
+// Fixed target ratios are only optimal in narrow bandwidth regimes: when the
+// link saturates, compressing harder buys wall-clock almost for free; when
+// compute dominates, aggressive sparsification only costs convergence.  The
+// AutotuneController closes the loop the paper's cheap statistical fitting
+// makes possible — every iteration it observes
+//
+//   - the modeled communication vs compute seconds of the step it just ran
+//     (priced from the worker's own measured wire bytes through the
+//     deterministic Network/Device models, so every engine sees the same
+//     numbers), and
+//   - optionally the goodness-of-fit of the stage-1 SID fit (the KS distance
+//     from stats::ks_statistic) — a poor fit means the statistical threshold
+//     is not trustworthy, so hardening would be reckless,
+//
+// and multiplicatively steps the target ratio: divide by `step` (compress
+// harder) when comm/compute exceeds `comm_high`, multiply (back off) when it
+// falls below `comm_low`.  A deadband between the two thresholds plus a
+// cooldown of `cooldown` iterations after every change give hysteresis, and
+// the ratio is always clamped to [min_ratio, max_ratio] so convergence is
+// never sacrificed to a runaway controller.
+//
+// Determinism contract: a controller's decisions are a pure function of its
+// construction arguments and the observation sequence — no clocks, no
+// randomness.  Workers feed it modeled signals only, so the simulated,
+// threads and sockets engines stay bit-identical to each other with
+// autotuning enabled (test_autotune enforces this).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace sidco::core {
+
+enum class AutotuneMode {
+  kOff,    ///< fixed target ratio (default)
+  kBytes,  ///< comm-vs-compute signal only
+  kGof,    ///< goodness-of-fit signal only (SIDCo schemes)
+  kFull,   ///< both: bytes decides direction, a poor fit vetoes hardening
+};
+
+std::string_view autotune_mode_name(AutotuneMode mode);
+
+/// Parses an autotune-mode token ("off" | "bytes" | "gof" | "full").  Shared
+/// by the scenario DSL and tools.  Throws util::CheckError on unknown tokens.
+AutotuneMode parse_autotune_mode(const std::string& token);
+
+struct AutotuneConfig {
+  AutotuneMode mode = AutotuneMode::kOff;
+  /// Hard ratio bounds the controller can never leave.  max_ratio stays
+  /// strictly below 1: ratio 1 disables compression, at which point there is
+  /// nothing to tune (and the SIDCo estimators have no tail to fit).
+  double min_ratio = 1e-4;
+  double max_ratio = 0.1;
+  /// Hysteresis deadband on comm/compute: harden above comm_high, back off
+  /// below comm_low, hold in between.
+  double comm_high = 1.25;
+  double comm_low = 0.60;
+  /// Multiplicative ratio step per adjustment (> 1).
+  double step = 1.5;
+  /// Iterations to hold after an adjustment before the next one.
+  std::size_t cooldown = 2;
+  /// KS distance above which the stage-1 fit is considered poor: vetoes
+  /// hardening in kFull, drives back-off in kGof.
+  double gof_poor = 0.15;
+  /// KS distance below which kGof trusts the fit enough to harden.
+  double gof_good = 0.05;
+  /// Subsample cap handed to the compressor's fit diagnostics (kGof/kFull).
+  std::size_t gof_sample_cap = 512;
+
+  [[nodiscard]] bool enabled() const { return mode != AutotuneMode::kOff; }
+  [[nodiscard]] bool wants_bytes() const {
+    return mode == AutotuneMode::kBytes || mode == AutotuneMode::kFull;
+  }
+  [[nodiscard]] bool wants_gof() const {
+    return mode == AutotuneMode::kGof || mode == AutotuneMode::kFull;
+  }
+};
+
+/// Throws util::CheckError when the knobs are inconsistent (bounds outside
+/// (0, 1), min > max, step <= 1, inverted deadband or gof thresholds).  Only
+/// meaningful when `config.enabled()`; an off config is always valid.
+void validate_autotune_config(const AutotuneConfig& config);
+
+/// One iteration's observables, priced from deterministic models.
+struct AutotuneObservation {
+  double comm_seconds = 0.0;
+  double compute_seconds = 0.0;
+  /// Stage-1 KS distance; negative = unavailable (scheme has no fit, or
+  /// diagnostics disabled).
+  double fit_ks = -1.0;
+};
+
+class AutotuneController {
+ public:
+  /// `initial_ratio` is clamped into [min_ratio, max_ratio] up front.
+  AutotuneController(const AutotuneConfig& config, double initial_ratio);
+
+  /// Feeds one iteration's observation and returns the target ratio for the
+  /// *next* iteration.  Pure in (config, initial_ratio, observations so far).
+  double observe(const AutotuneObservation& observation);
+
+  [[nodiscard]] double ratio() const { return ratio_; }
+  [[nodiscard]] const AutotuneConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t observations() const { return observations_; }
+  [[nodiscard]] std::size_t adjustments() const { return adjustments_; }
+
+ private:
+  AutotuneConfig config_;
+  double ratio_;
+  std::size_t cooldown_left_ = 0;
+  std::size_t observations_ = 0;
+  std::size_t adjustments_ = 0;
+};
+
+}  // namespace sidco::core

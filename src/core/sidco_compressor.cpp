@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "stats/distributions.h"
+#include "stats/goodness_of_fit.h"
 #include "tensor/vector_ops.h"
 #include "util/check.h"
 
@@ -19,6 +21,49 @@ SidcoCompressor::SidcoCompressor(const SidcoConfig& config)
   // plan_stage_ratios would reject it on the first compress anyway.
   util::check(config.target_ratio > 0.0 && config.target_ratio < 1.0,
               "target ratio must be in (0, 1)");
+}
+
+void SidcoCompressor::set_target_ratio(double target_ratio) {
+  util::check(target_ratio > 0.0 && target_ratio < 1.0,
+              "target ratio must be in (0, 1)");
+  Compressor::set_target_ratio(target_ratio);
+}
+
+double SidcoCompressor::stage1_fit_ks(std::span<const float> gradient,
+                                      const ThresholdEstimate& est) {
+  // The KS pass runs on |g| with the same strided-subsample cap the caller
+  // configured; ks_statistic itself guarantees the subsample keeps the max
+  // magnitude, which is exactly the tail the staged fits hang off.
+  gof_magnitudes_.clear();
+  gof_magnitudes_.reserve(gradient.size());
+  for (float g : gradient) gof_magnitudes_.push_back(std::fabs(g));
+  try {
+    switch (config_.sid) {
+      case Sid::kExponential: {
+        const stats::Exponential model(est.scale);
+        return stats::ks_statistic(
+            gof_magnitudes_, [&](double x) { return model.cdf(x); },
+            fit_diagnostics_cap());
+      }
+      case Sid::kGamma: {
+        const stats::Gamma model(est.shape, est.scale);
+        return stats::ks_statistic(
+            gof_magnitudes_, [&](double x) { return model.cdf(x); },
+            fit_diagnostics_cap());
+      }
+      case Sid::kGeneralizedPareto: {
+        const stats::GeneralizedPareto model(est.shape, est.scale);
+        return stats::ks_statistic(
+            gof_magnitudes_, [&](double x) { return model.cdf(x); },
+            fit_diagnostics_cap());
+      }
+    }
+  } catch (const util::CheckError&) {
+    // Fitted parameters outside the distribution's domain (degenerate
+    // moments): by definition the worst possible fit, not "no data".
+    return 1.0;
+  }
+  return -1.0;
 }
 
 std::string_view SidcoCompressor::name() const {
@@ -86,6 +131,13 @@ void SidcoCompressor::do_compress_into(std::span<const float> gradient,
       estimate_first_stage(config_.sid, moments, stage_ratios_.front(),
                            config_.gamma_mode);
   double eta = est.threshold;
+
+  if (fit_diagnostics_cap() > 0) {
+    // Opt-in goodness-of-fit of the stage-1 SID fit (the autotune
+    // controller's trust signal).  Computed here, before the tail stages
+    // re-fit `est` under shifted parameters.
+    out.fit_ks = stage1_fit_ks(gradient, est);
+  }
 
   // The speculative candidates are usable iff they form a superset of every
   // downstream selection, i.e. tau <= eta_1 (thresholds only rise from

@@ -68,6 +68,11 @@ class SidcoCompressor final : public compressors::Compressor {
 
   [[nodiscard]] std::string_view name() const override;
 
+  /// SIDCo's staged estimators have no tail to fit at delta = 1, so the
+  /// retuned ratio must stay strictly inside (0, 1) — tighter than the base
+  /// contract's (0, 1].
+  void set_target_ratio(double target_ratio) override;
+
   /// Current stage count chosen by the controller.
   [[nodiscard]] int stages() const { return controller_.stages(); }
   [[nodiscard]] const SidcoConfig& config() const { return config_; }
@@ -92,6 +97,12 @@ class SidcoCompressor final : public compressors::Compressor {
                                      int stage_count,
                                      std::vector<double>& ratios);
 
+  /// KS distance of the stage-1 SID fit over |g| (fit diagnostics; see
+  /// Compressor::enable_fit_diagnostics).  `est` must be the stage-1
+  /// estimate — later stages re-fit the tail under different parameters.
+  double stage1_fit_ks(std::span<const float> gradient,
+                       const ThresholdEstimate& est);
+
   SidcoConfig config_;
   StageController controller_;
   tensor::Workspace workspace_;
@@ -109,6 +120,10 @@ class SidcoCompressor final : public compressors::Compressor {
   std::size_t speculative_dim_ = 0;
   std::size_t spec_hits_ = 0;
   std::size_t spec_misses_ = 0;
+  /// Reused |g| buffer for the opt-in KS fit diagnostics (the KS pass itself
+  /// sorts a subsample, which is why diagnostics are off by default — see
+  /// the steady-state allocation contract).
+  std::vector<float> gof_magnitudes_;
 };
 
 /// Convenience factory used by core/factory.cpp and examples.

@@ -326,6 +326,19 @@ MatrixSpec parse_matrix_spec(std::string_view text) {
     } else if (key == "fault") {
       spec.faults.clear();
       for (const auto& v : values) spec.faults.push_back(parse_fault_profile(v));
+    } else if (key == "autotune") {
+      spec.autotune.clear();
+      for (const auto& v : values) {
+        spec.autotune.push_back(core::parse_autotune_mode(v));
+      }
+    } else if (key == "autotune_min") {
+      spec.autotune_base.min_ratio = parse_double(single());
+    } else if (key == "autotune_max") {
+      spec.autotune_base.max_ratio = parse_double(single());
+    } else if (key == "autotune_gof_poor") {
+      spec.autotune_base.gof_poor = parse_double(single());
+    } else if (key == "autotune_gof_good") {
+      spec.autotune_base.gof_good = parse_double(single());
     } else {
       util::check_fail("unknown scenario key: " + key);
     }
@@ -336,6 +349,12 @@ MatrixSpec parse_matrix_spec(std::string_view text) {
     util::check(fault.name == "none" || spec.engine != Engine::kSimulated,
                 "fault injection needs a real engine (threads or sockets); "
                 "the simulated engine has no wire to break");
+  }
+  for (core::AutotuneMode mode : spec.autotune) {
+    // Fail on inconsistent controller bounds at parse time, not mid-matrix.
+    core::AutotuneConfig probe = spec.autotune_base;
+    probe.mode = mode;
+    core::validate_autotune_config(probe);
   }
   return spec;
 }
@@ -352,6 +371,7 @@ std::vector<Scenario> expand(const MatrixSpec& spec) {
                 for (std::size_t stale : spec.staleness) {
                   for (std::size_t chunk : spec.chunks) {
                    for (const FaultProfile& fault : spec.faults) {
+                   for (core::AutotuneMode autotune : spec.autotune) {
                     Scenario cell;
                     cell.config.benchmark = benchmark;
                     cell.config.scheme = scheme;
@@ -376,6 +396,8 @@ std::vector<Scenario> expand(const MatrixSpec& spec) {
                     cell.config.fault.seed = spec.fault_seed;
                     cell.config.on_worker_failure = spec.failure;
                     cell.config.deadline_seconds = spec.deadline;
+                    cell.config.autotune = spec.autotune_base;
+                    cell.config.autotune.mode = autotune;
                     std::ostringstream name;
                     name << benchmark_token(benchmark) << '/'
                          << scheme_token(scheme) << "/r" << format_g(ratio, 6)
@@ -398,8 +420,14 @@ std::vector<Scenario> expand(const MatrixSpec& spec) {
                     if (fault.name != "none") {
                       name << '/' << fault.name;
                     }
+                    // Same again for autotuned cells: off cells keep their
+                    // historical (and byte-stable) names.
+                    if (autotune != core::AutotuneMode::kOff) {
+                      name << "/at-" << core::autotune_mode_name(autotune);
+                    }
                     cell.name = name.str();
                     cells.push_back(std::move(cell));
+                   }
                    }
                   }
                 }
@@ -481,8 +509,52 @@ struct GoldenCell {
   bool matched = false;
 };
 
-/// Parses one golden line back into metrics; returns false on malformed
-/// lines (reported as a diff by the caller).
+/// Numeric conversion for golden fields: a malformed token throws a
+/// CheckError naming the key and the offending text, instead of leaking a
+/// bare std::invalid_argument/std::out_of_range from std::stod with no
+/// context about which field of which line broke.
+double golden_number(const std::string& key, const std::string& value) {
+  std::size_t consumed = 0;
+  double out = 0.0;
+  try {
+    out = std::stod(value, &consumed);
+  } catch (const std::exception&) {
+    util::check_fail("golden field '" + key + "': malformed number '" + value +
+                     "'");
+  }
+  if (consumed != value.size()) {
+    util::check_fail("golden field '" + key + "': trailing characters in '" +
+                     value + "'");
+  }
+  return out;
+}
+
+/// Like golden_number for non-negative integer fields.  std::stoull alone
+/// would silently wrap "-3" to a huge count, so negatives are rejected.
+std::size_t golden_count(const std::string& key, const std::string& value) {
+  if (value.empty() || value.front() == '-') {
+    util::check_fail("golden field '" + key +
+                     "': expected a non-negative integer, got '" + value + "'");
+  }
+  std::size_t consumed = 0;
+  unsigned long long out = 0;
+  try {
+    out = std::stoull(value, &consumed);
+  } catch (const std::exception&) {
+    util::check_fail("golden field '" + key + "': malformed count '" + value +
+                     "'");
+  }
+  if (consumed != value.size()) {
+    util::check_fail("golden field '" + key + "': trailing characters in '" +
+                     value + "'");
+  }
+  return static_cast<std::size_t>(out);
+}
+
+/// Parses one golden line back into metrics; returns false on structurally
+/// malformed lines (no name, a token without '=', an unknown key) and throws
+/// CheckError — with the key and token named — on malformed numeric fields.
+/// Either way the caller reports the line as a diff.
 bool parse_golden_line(const std::string& line, ScenarioMetrics& out) {
   std::istringstream in(line);
   if (!(in >> out.name)) return false;
@@ -492,39 +564,34 @@ bool parse_golden_line(const std::string& line, ScenarioMetrics& out) {
     if (eq == std::string::npos) return false;
     const std::string key = token.substr(0, eq);
     const std::string value = token.substr(eq + 1);
-    try {
-      if (key == "loss") {
-        out.final_loss = std::stod(value);
-      } else if (key == "quality") {
-        out.final_quality = std::stod(value);
-      } else if (key == "frac") {
-        out.mean_selected_fraction = std::stod(value);
-      } else if (key == "wall") {
-        out.simulated_wall_seconds = std::stod(value);
-      } else if (key == "bytes") {
-        out.wire_bytes = static_cast<std::size_t>(std::stoull(value));
-      } else if (key == "eff") {
-        out.effective_ratio = std::stod(value);
-      } else if (key == "mean_stale") {
-        out.mean_staleness = std::stod(value);
-      } else if (key == "mwall") {
-        // Measured-seconds columns: parsed for round-tripping, never
-        // golden-compared (hardware time is not reproducible).
-        out.measured_wall_seconds = std::stod(value);
-      } else if (key == "mcomp") {
-        out.measured_compute_seconds = std::stod(value);
-      } else if (key == "mcomm") {
-        out.measured_comm_seconds = std::stod(value);
-      } else if (key == "stale") {
-        out.staleness_histogram.clear();
-        for (const std::string& bin : split(value, '|')) {
-          out.staleness_histogram.push_back(
-              static_cast<std::size_t>(std::stoull(bin)));
-        }
-      } else {
-        return false;
+    if (key == "loss") {
+      out.final_loss = golden_number(key, value);
+    } else if (key == "quality") {
+      out.final_quality = golden_number(key, value);
+    } else if (key == "frac") {
+      out.mean_selected_fraction = golden_number(key, value);
+    } else if (key == "wall") {
+      out.simulated_wall_seconds = golden_number(key, value);
+    } else if (key == "bytes") {
+      out.wire_bytes = golden_count(key, value);
+    } else if (key == "eff") {
+      out.effective_ratio = golden_number(key, value);
+    } else if (key == "mean_stale") {
+      out.mean_staleness = golden_number(key, value);
+    } else if (key == "mwall") {
+      // Measured-seconds columns: parsed for round-tripping, never
+      // golden-compared (hardware time is not reproducible).
+      out.measured_wall_seconds = golden_number(key, value);
+    } else if (key == "mcomp") {
+      out.measured_compute_seconds = golden_number(key, value);
+    } else if (key == "mcomm") {
+      out.measured_comm_seconds = golden_number(key, value);
+    } else if (key == "stale") {
+      out.staleness_histogram.clear();
+      for (const std::string& bin : split(value, '|')) {
+        out.staleness_histogram.push_back(golden_count(key, bin));
       }
-    } catch (const std::exception&) {
+    } else {
       return false;
     }
   }
@@ -555,7 +622,15 @@ GoldenReport compare_with_golden(std::span<const ScenarioMetrics> metrics,
     line = trim(line);
     if (line.empty() || line.front() == '#') continue;
     ScenarioMetrics cell;
-    if (!parse_golden_line(line, cell)) {
+    bool parsed = false;
+    try {
+      parsed = parse_golden_line(line, cell);
+    } catch (const util::CheckError& err) {
+      report.diffs.push_back(std::string("malformed golden line (") +
+                             err.what() + "): " + line);
+      continue;
+    }
+    if (!parsed) {
       report.diffs.push_back("malformed golden line: " + line);
       continue;
     }

@@ -90,6 +90,12 @@ struct MatrixSpec {
   FailurePolicy failure = FailurePolicy::kFailFast;
   /// Session watchdog deadline in seconds (`deadline`); 0 = none.
   double deadline = 0.0;
+  /// Controller knobs shared by every autotuned cell: `autotune_min` /
+  /// `autotune_max` set the hard ratio bounds, `autotune_gof_poor` /
+  /// `autotune_gof_good` the KS thresholds (fit quality is scheme- and
+  /// benchmark-dependent, so gof gates are calibrated per spec); the mode
+  /// itself is the `autotune` axis below.
+  core::AutotuneConfig autotune_base;
 
   // Axes (multi-valued keys), expanded outermost-first in this order.
   std::vector<nn::Benchmark> benchmarks{nn::Benchmark::kResNet20};
@@ -102,11 +108,16 @@ struct MatrixSpec {
   std::vector<bool> error_feedback{true};
   std::vector<std::size_t> staleness{0};
   std::vector<std::size_t> chunks{1};
-  /// Innermost axis (`fault = none, drop:0.05+dup:0.02, ...`): the seeded
-  /// fault schedule injected under the reliable layer.  Non-"none" cells get
-  /// a "/<token>" name suffix; they require a real engine (the simulated
-  /// engine has no wire to break), which the parser enforces.
+  /// (`fault = none, drop:0.05+dup:0.02, ...`): the seeded fault schedule
+  /// injected under the reliable layer.  Non-"none" cells get a "/<token>"
+  /// name suffix; they require a real engine (the simulated engine has no
+  /// wire to break), which the parser enforces.
   std::vector<FaultProfile> faults{{.name = "none", .config = {}}};
+  /// Innermost axis (`autotune = off, bytes, gof, full`): the online
+  /// target-ratio controller's mode.  Non-"off" cells get an "/at-<mode>"
+  /// name suffix — their own golden universe — while off cells keep their
+  /// historical names byte-stable.
+  std::vector<core::AutotuneMode> autotune{core::AutotuneMode::kOff};
 };
 
 /// One expanded matrix cell: a stable name plus a ready-to-run config.

@@ -171,15 +171,38 @@ void validate_config(const SessionConfig& config) {
               "reliability timeouts must be positive");
   util::check(config.deadline_seconds >= 0.0,
               "deadline_seconds must be >= 0");
+
+  // Autotune bounds: validate up front so a bad matrix cell fails before
+  // training starts.  validate_autotune_config keeps max_ratio < 1, which
+  // also satisfies SidcoCompressor's stricter (0, 1) retune domain.
+  core::validate_autotune_config(config.autotune);
 }
 
 // Identical replicas with private streams; the seed derivation is shared by
 // every driver (and frozen: run_session_reference depends on it).
 std::unique_ptr<Worker> make_worker(const SessionConfig& config,
                                     std::size_t w) {
-  return std::make_unique<Worker>(
+  auto worker = std::make_unique<Worker>(
       config.benchmark, config.seed, config.seed * 0x10001ULL + 7919 * w + 1,
       config.scheme, config.target_ratio, config.error_feedback);
+  if (config.autotune.enabled() && config.scheme != core::Scheme::kNone) {
+    // Every engine builds its workers through here, so arming the controller
+    // at construction — with the same deterministic pricing models the
+    // session's timing uses — keeps autotuned runs bit-identical across
+    // engines for free: decisions depend only on the worker's own numerics.
+    const TimingContext t = make_timing(config, worker->gradient_dimension());
+    worker->enable_autotune(
+        config.autotune,
+        WorkerAutotuneModel{
+            .network = t.network,
+            .device = t.device,
+            .scheme = config.scheme,
+            .collective = config.topology == Topology::kAllreduce,
+            .timing_dim = t.timing_dim,
+            .base_compute = t.base_compute,
+            .scale = worker_scale(config, w)});
+  }
+  return worker;
 }
 
 std::vector<std::unique_ptr<Worker>> make_workers(

@@ -27,6 +27,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/autotune.h"
 #include "core/factory.h"
 #include "dist/device_model.h"
 #include "dist/network_model.h"
@@ -181,6 +182,12 @@ struct SessionConfig {
   nn::Benchmark benchmark = nn::Benchmark::kResNet20;
   core::Scheme scheme = core::Scheme::kNone;
   double target_ratio = 1.0;
+  /// Online compressibility-aware autotuning (core/autotune.h).  When the
+  /// mode is not kOff and the scheme compresses, every worker arms a
+  /// controller seeded at `target_ratio` (clamped into the bounds) that
+  /// retunes its compressor per iteration from modeled signals only —
+  /// engines stay bit-identical to each other under autotuning.
+  core::AutotuneConfig autotune;
   std::size_t workers = 4;
   std::size_t iterations = 100;
   /// Evaluate every `eval_every` iterations (0 = final evaluation only).

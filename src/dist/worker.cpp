@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "data/factory.h"
+#include "dist/session_detail.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -24,6 +25,22 @@ Worker::Worker(nn::Benchmark benchmark, std::uint64_t model_seed,
       error_feedback_(error_feedback),
       memory_(model_.parameter_count(), 0.0F),
       ec_gradient_(model_.parameter_count(), 0.0F) {}
+
+void Worker::enable_autotune(const core::AutotuneConfig& config,
+                             const WorkerAutotuneModel& model) {
+  core::validate_autotune_config(config);
+  if (!config.enabled() || model.scheme == core::Scheme::kNone) return;
+  autotune_.emplace(config, compressor_->target_ratio());
+  autotune_model_.emplace(model);
+  if (config.wants_gof()) {
+    compressor_->enable_fit_diagnostics(config.gof_sample_cap);
+  }
+  // The controller clamps the starting ratio into its bounds; pin the
+  // compressor to it so even the first step honors them.
+  if (autotune_->ratio() != compressor_->target_ratio()) {
+    compressor_->set_target_ratio(autotune_->ratio());
+  }
+}
 
 WorkerStepResult Worker::step(std::size_t batch_size) {
   util::check(batch_size >= 1, "batch size must be >= 1");
@@ -68,6 +85,28 @@ WorkerStepResult Worker::step(std::size_t batch_size) {
   // Serialize the payload as it would travel (outside the timed window, so
   // measured compression latency stays a pure selection cost).
   comm::encode_gradient(compressed_.sparse, comm::ValueMode::kFp32, encoded_);
+
+  if (autotune_) {
+    // Price this step's observables with the deterministic models only —
+    // measured CPU seconds never feed the controller, so the decision
+    // sequence is a pure function of the numerics every engine shares.
+    const WorkerAutotuneModel& m = *autotune_model_;
+    const std::size_t bytes = detail::payload_timing_bytes(
+        encoded_.size(), model_.parameter_count(), m.timing_dim);
+    const double comm = m.collective ? m.network.sparse_allgather_seconds(bytes)
+                                     : m.network.link_transfer_seconds(bytes);
+    const double compression =
+        m.device.gpu_seconds(m.scheme, m.timing_dim,
+                             compressor_->target_ratio(),
+                             compressed_.stages_used);
+    const double compute = m.scale * (m.base_compute + compression);
+    const double next = autotune_->observe({.comm_seconds = comm,
+                                            .compute_seconds = compute,
+                                            .fit_ks = compressed_.fit_ks});
+    if (next != compressor_->target_ratio()) {
+      compressor_->set_target_ratio(next);
+    }
+  }
 
   WorkerStepResult result;
   result.sparse = compressed_.sparse;  // copy: compressed_ keeps its capacity

@@ -10,13 +10,17 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "comm/codec.h"
 #include "compressors/compressor.h"
+#include "core/autotune.h"
 #include "core/factory.h"
 #include "data/dataset.h"
+#include "dist/device_model.h"
+#include "dist/network_model.h"
 #include "nn/loss.h"
 #include "nn/model.h"
 #include "nn/optimizer.h"
@@ -43,6 +47,27 @@ struct WorkerStepResult {
   double measured_compression_seconds = 0.0;
 };
 
+/// Deterministic pricing context for the worker-local autotune controller:
+/// turns the worker's own measured wire bytes and compressor state into the
+/// modeled comm/compute seconds the controller steers on.  Built by
+/// dist::detail::make_worker from the session's TimingContext, so every
+/// engine prices the signals with identical arithmetic — which is what keeps
+/// simulated/threads/sockets bit-identical under autotuning (no decision
+/// ever depends on real clocks or on other workers' state).
+struct WorkerAutotuneModel {
+  NetworkModel network;
+  DeviceModel device;
+  core::Scheme scheme = core::Scheme::kNone;
+  /// Collective pricing (sparse allgather) vs a single PS-link transfer.
+  bool collective = true;
+  /// Dimension the timing model is evaluated at (paper scale or proxy).
+  std::size_t timing_dim = 0;
+  /// Modeled forward/backward seconds per step (TimingContext::base_compute).
+  double base_compute = 0.0;
+  /// This worker's speed multiplier (straggler / heterogeneous profiles).
+  double scale = 1.0;
+};
+
 class Worker {
  public:
   /// `model_seed` fixes the replica initialization (identical across workers
@@ -51,6 +76,14 @@ class Worker {
   Worker(nn::Benchmark benchmark, std::uint64_t model_seed,
          std::uint64_t stream_seed, core::Scheme scheme, double target_ratio,
          bool error_feedback);
+
+  /// Arms the per-worker autotune controller: each step() observes its own
+  /// modeled comm/compute split (and, in the gof modes, the compressor's
+  /// stage-1 fit quality) and retunes the compressor's target ratio for the
+  /// next step.  No-op when `config` is off or the scheme is kNone (nothing
+  /// to tune).  Must be called before the first step().
+  void enable_autotune(const core::AutotuneConfig& config,
+                       const WorkerAutotuneModel& model);
 
   /// Forward/backward on one sampled batch of `batch_size`, then compress.
   WorkerStepResult step(std::size_t batch_size);
@@ -76,6 +109,15 @@ class Worker {
   [[nodiscard]] std::span<const float> error_memory() const { return memory_; }
   [[nodiscard]] const nn::Model& model() const { return model_; }
 
+  /// The compressor's current target ratio (moves under autotuning).
+  [[nodiscard]] double tuned_ratio() const {
+    return compressor_->target_ratio();
+  }
+  /// The armed controller, or nullptr when autotuning is off.
+  [[nodiscard]] const core::AutotuneController* autotune() const {
+    return autotune_ ? &*autotune_ : nullptr;
+  }
+
  private:
   nn::Benchmark benchmark_;
   nn::Model model_;
@@ -93,6 +135,9 @@ class Worker {
   compressors::CompressResult compressed_;
   /// Reused wire-encode buffer (encoding sits outside the timed window).
   std::vector<std::uint8_t> encoded_;
+  /// Armed together by enable_autotune(); absent in fixed-ratio sessions.
+  std::optional<core::AutotuneController> autotune_;
+  std::optional<WorkerAutotuneModel> autotune_model_;
 };
 
 }  // namespace sidco::dist

@@ -652,8 +652,21 @@ SocketTransport::SocketTransport(std::size_t endpoints,
   queue_capacity_ = send_queue_capacity;
 
   if (family == Family::kUnix) {
-    char tmpl[] = "/tmp/sidco-skt-XXXXXX";
-    util::check(::mkdtemp(tmpl) != nullptr,
+    // Rendezvous sockets live under TMPDIR when it is set (sandboxes and CI
+    // containers often redirect scratch space), falling back to /tmp when it
+    // is unset — or when it would push the per-endpoint paths past sun_path's
+    // ~108-byte limit, where binding could never succeed anyway.
+    const char* tmpdir = std::getenv("TMPDIR");
+    std::string base =
+        (tmpdir != nullptr && tmpdir[0] != '\0') ? tmpdir : "/tmp";
+    while (base.size() > 1 && base.back() == '/') base.pop_back();
+    struct sockaddr_un probe{};
+    if (base.size() + sizeof("/sidco-skt-XXXXXX/e65535") >
+        sizeof(probe.sun_path)) {
+      base = "/tmp";
+    }
+    std::string tmpl = base + "/sidco-skt-XXXXXX";
+    util::check(::mkdtemp(tmpl.data()) != nullptr,
                 "socket transport: mkdtemp failed");
     rendezvous_->directory = tmpl;
   }

@@ -12,15 +12,36 @@ double ks_statistic(std::span<const float> data,
                     const std::function<double(double)>& model_cdf,
                     std::size_t sample_cap) {
   util::check(!data.empty(), "ks_statistic requires data");
+  // One validation pass up front: a NaN would break std::sort's strict weak
+  // ordering and silently corrupt the supremum.  The same pass finds the max
+  // element the strided subsample below must never miss.
+  float max_value = data.front();
+  for (float v : data) {
+    util::check(std::isfinite(v), "ks_statistic requires finite data");
+    max_value = std::max(max_value, v);
+  }
   std::vector<double> sorted;
   if (sample_cap != 0 && data.size() > sample_cap) {
-    sorted.reserve(sample_cap);
+    sorted.reserve(sample_cap + 1);
     const double stride =
         static_cast<double>(data.size()) / static_cast<double>(sample_cap);
+    std::size_t previous = static_cast<std::size_t>(-1);
+    bool saw_max = false;
     for (std::size_t i = 0; i < sample_cap; ++i) {
-      sorted.push_back(
-          static_cast<double>(data[static_cast<std::size_t>(i * stride)]));
+      // Double truncation can both repeat an index and (at large sizes)
+      // round past the end; clamp and de-duplicate.
+      const std::size_t index =
+          std::min(data.size() - 1,
+                   static_cast<std::size_t>(static_cast<double>(i) * stride));
+      if (index == previous) continue;
+      previous = index;
+      sorted.push_back(static_cast<double>(data[index]));
+      saw_max = saw_max || data[index] == max_value;
     }
+    // floor(i * n / cap) only lands on n-1 when cap divides n, so the plain
+    // stride systematically drops the largest element — biasing the KS
+    // distance low exactly in the tail the SIDCo fits care about.
+    if (!saw_max) sorted.push_back(static_cast<double>(max_value));
   } else {
     sorted.assign(data.begin(), data.end());
   }

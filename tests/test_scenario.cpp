@@ -241,5 +241,106 @@ TEST(ScenarioGolden, RoundTripAndTolerances) {
                   .ok);
 }
 
+TEST(ScenarioGolden, HostileNumericFieldsNameKeyAndToken) {
+  // A hand-edited or corrupted golden must fail with a diff that names the
+  // offending key and token — not std::stod's bare "stod" exception, and
+  // never a silent partial parse (std::stod("1.5x") would happily return
+  // 1.5 and "compare clean").
+  dist::ScenarioMetrics m;
+  m.name = "cell-a";
+  m.final_loss = 2.0;
+  m.staleness_histogram = {4};
+  const std::vector<dist::ScenarioMetrics> metrics = {m};
+
+  const auto diff_of = [&](const std::string& golden) {
+    const dist::GoldenReport report =
+        dist::compare_with_golden(metrics, golden);
+    EXPECT_FALSE(report.ok);
+    // The malformed line itself, plus "cell missing from golden" for the
+    // fresh cell the unparseable line was supposed to cover.
+    EXPECT_EQ(report.diffs.size(), 2U);
+    return report.diffs.empty() ? std::string() : report.diffs[0];
+  };
+
+  const std::string not_a_number = diff_of(
+      "cell-a loss=abc quality=0 frac=0 wall=0 bytes=0 eff=0 mean_stale=0 "
+      "stale=4");
+  EXPECT_NE(not_a_number.find("loss"), std::string::npos);
+  EXPECT_NE(not_a_number.find("abc"), std::string::npos);
+
+  const std::string trailing_junk = diff_of(
+      "cell-a loss=1.5x quality=0 frac=0 wall=0 bytes=0 eff=0 mean_stale=0 "
+      "stale=4");
+  EXPECT_NE(trailing_junk.find("loss"), std::string::npos);
+  EXPECT_NE(trailing_junk.find("1.5x"), std::string::npos);
+
+  // Counts reject what std::stoull would silently wrap or truncate.
+  const std::string negative_count = diff_of(
+      "cell-a loss=2 quality=0 frac=0 wall=0 bytes=-5 eff=0 mean_stale=0 "
+      "stale=4");
+  EXPECT_NE(negative_count.find("bytes"), std::string::npos);
+  EXPECT_NE(negative_count.find("-5"), std::string::npos);
+
+  const std::string junk_histogram = diff_of(
+      "cell-a loss=2 quality=0 frac=0 wall=0 bytes=0 eff=0 mean_stale=0 "
+      "stale=4|zz");
+  EXPECT_NE(junk_histogram.find("stale"), std::string::npos);
+  EXPECT_NE(junk_histogram.find("zz"), std::string::npos);
+}
+
+TEST(ScenarioSpec, AutotuneAxisExpandsInnermostWithStableNames) {
+  const dist::MatrixSpec spec = dist::parse_matrix_spec(R"(
+workers    = 2
+iterations = 2
+benchmark  = resnet20
+scheme     = sidco-e
+ratio      = 0.01
+topology   = allgather
+network    = 10gbps
+autotune   = off, bytes, full
+autotune_min = 0.002
+autotune_max = 0.2
+autotune_gof_poor = 0.4
+autotune_gof_good = 0.2
+)");
+  ASSERT_EQ(spec.autotune.size(), 3U);
+  EXPECT_DOUBLE_EQ(spec.autotune_base.min_ratio, 0.002);
+  EXPECT_DOUBLE_EQ(spec.autotune_base.max_ratio, 0.2);
+  EXPECT_DOUBLE_EQ(spec.autotune_base.gof_poor, 0.4);
+  EXPECT_DOUBLE_EQ(spec.autotune_base.gof_good, 0.2);
+
+  const std::vector<dist::Scenario> cells = dist::expand(spec);
+  ASSERT_EQ(cells.size(), 3U);
+  // Off cells keep their historical (suffix-free) names; tuned cells get
+  // their own golden namespace.
+  EXPECT_EQ(cells[0].name.find("/at-"), std::string::npos);
+  EXPECT_EQ(cells[0].config.autotune.mode, core::AutotuneMode::kOff);
+  EXPECT_NE(cells[1].name.find("/at-bytes"), std::string::npos);
+  EXPECT_EQ(cells[1].config.autotune.mode, core::AutotuneMode::kBytes);
+  EXPECT_NE(cells[2].name.find("/at-full"), std::string::npos);
+  EXPECT_EQ(cells[2].config.autotune.mode, core::AutotuneMode::kFull);
+  EXPECT_DOUBLE_EQ(cells[2].config.autotune.min_ratio, 0.002);
+  EXPECT_DOUBLE_EQ(cells[2].config.autotune.max_ratio, 0.2);
+}
+
+TEST(ScenarioSpec, AutotuneBoundsValidateAtParseTime) {
+  EXPECT_THROW(dist::parse_matrix_spec("autotune = warp"), util::CheckError);
+  // Inconsistent controller bounds fail when the spec is parsed, not when
+  // the matrix reaches the offending cell mid-run.
+  EXPECT_THROW(dist::parse_matrix_spec(
+                   "autotune = full\nautotune_min = 0.5\nautotune_max = 0.1"),
+               util::CheckError);
+  EXPECT_THROW(
+      dist::parse_matrix_spec("autotune = full\nautotune_max = 1.5"),
+      util::CheckError);
+  EXPECT_THROW(dist::parse_matrix_spec(
+                   "autotune = gof\nautotune_gof_poor = 0.05\n"
+                   "autotune_gof_good = 0.2"),
+               util::CheckError);
+  // An all-off axis tolerates nonsense bounds: the controller never runs.
+  EXPECT_NO_THROW(
+      dist::parse_matrix_spec("autotune = off\nautotune_max = 1.5"));
+}
+
 }  // namespace
 }  // namespace sidco

@@ -303,5 +303,24 @@ TEST(AsyncRuntime, SingleWorkerTrainsWithoutWire) {
   }
 }
 
+TEST(SessionResult, ZeroByteSessionHasFiniteWireRatio) {
+  // A single allreduce worker moves nothing over the wire, so the
+  // dense-equivalent denominator is zero; the ratio must come back as a
+  // well-defined 0.0, not a NaN/inf that poisons downstream metrics.
+  dist::SessionConfig config = small_config(core::Scheme::kTopK, true);
+  config.workers = 1;
+  config.iterations = 3;
+  const dist::SessionResult r = dist::run_session(config);
+  EXPECT_EQ(r.total_wire_bytes, 0U);
+  EXPECT_EQ(r.total_dense_equiv_bytes, 0U);
+  EXPECT_EQ(r.effective_wire_ratio(), 0.0);
+  EXPECT_TRUE(std::isfinite(r.effective_wire_ratio()));
+
+  // The guard is on the denominator alone, so a default-constructed result
+  // (no session ran at all) is just as safe.
+  const dist::SessionResult empty;
+  EXPECT_EQ(empty.effective_wire_ratio(), 0.0);
+}
+
 }  // namespace
 }  // namespace sidco

@@ -2,7 +2,9 @@
 // compressibility analysis (paper Definition 1 / Fig. 7).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "stats/descriptive.h"
 #include "stats/distributions.h"
@@ -97,6 +99,58 @@ TEST(KsStatistic, SubsamplingApproximatesFull) {
   const double full = stats::ks_statistic(data, cdf);
   const double sub = stats::ks_statistic(data, cdf, /*sample_cap=*/5000);
   EXPECT_NEAR(full, sub, 0.02);
+}
+
+TEST(KsStatistic, SampleCapNeverDropsTheMaximum) {
+  // floor(i * n / cap) lands on n-1 only when cap divides n, so the plain
+  // stride silently dropped the largest element.  Park the max at the last
+  // index with a non-dividing cap and record every abscissa the model cdf is
+  // asked about: the max must be among them.
+  std::vector<float> data(1001, 0.25F);
+  data.back() = 7.0F;
+  std::vector<double> seen;
+  const double ks = stats::ks_statistic(
+      data,
+      [&](double x) {
+        seen.push_back(x);
+        return std::min(x / 10.0, 1.0);
+      },
+      /*sample_cap=*/100);
+  EXPECT_NE(std::find(seen.begin(), seen.end(), 7.0), seen.end());
+  // With the max in the sample the supremum must cover the model's mass
+  // beyond it: |1 - cdf(max)| = 0.3.
+  EXPECT_GE(ks, 0.3);
+}
+
+TEST(KsStatistic, SampleCapNearSizeStaysConsistent) {
+  // cap just under the size makes the stride barely above 1, the regime
+  // where double truncation can clamp/repeat indices; the de-duplicated
+  // subsample must still agree with the full statistic.
+  const stats::Exponential d(1.0);
+  util::Rng rng(7);
+  std::vector<float> data(1000);
+  for (float& x : data) x = static_cast<float>(d.sample(rng));
+  const auto cdf = [&](double x) { return d.cdf(x); };
+  const double full = stats::ks_statistic(data, cdf);
+  const double capped = stats::ks_statistic(data, cdf, /*sample_cap=*/999);
+  EXPECT_GE(capped, 0.0);
+  EXPECT_LE(capped, 1.0);
+  EXPECT_NEAR(full, capped, 0.01);
+  // A cap at or above the size must not subsample at all.
+  EXPECT_DOUBLE_EQ(stats::ks_statistic(data, cdf, /*sample_cap=*/1000), full);
+}
+
+TEST(KsStatistic, RejectsNonFiniteData) {
+  std::vector<float> data(100, 0.5F);
+  const auto cdf = [](double x) { return std::min(x, 1.0); };
+  data[37] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_THROW(stats::ks_statistic(data, cdf), util::CheckError);
+  EXPECT_THROW(stats::ks_statistic(data, cdf, /*sample_cap=*/10),
+               util::CheckError);
+  data[37] = std::numeric_limits<float>::infinity();
+  EXPECT_THROW(stats::ks_statistic(data, cdf), util::CheckError);
+  EXPECT_THROW(stats::ks_statistic(data, cdf, /*sample_cap=*/10),
+               util::CheckError);
 }
 
 TEST(PowerLaw, RecoversSyntheticExponent) {

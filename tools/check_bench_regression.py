@@ -3,6 +3,7 @@
 
 Usage:
     check_bench_regression.py CURRENT.json [CURRENT2.json ...] [BASELINE.json]
+    check_bench_regression.py --autotune-gate METRICS.txt
 
 Each CURRENT*.json is a `--benchmark_format=json` dump (bench_micro_kernels
 and/or bench_codec); with three or more arguments the last one is the
@@ -18,7 +19,21 @@ JSON, or JSON with none of the gated benchmark pairs (e.g. a renamed
 "benchmarks" key) — is a loud failure, not a silent pass: the CI gate must
 never turn itself off because the committed baseline rotted.
 
-The gated quantity is the *in-run speedup ratio* legacy_time / fused_time
+With --autotune-gate the input is run_scenarios output (or a golden file)
+for a matrix that sweeps both fixed-ratio cells and /at-<mode> autotuned
+cells.  Cells are grouped by their name with the ratio component and the
+/at-<mode> suffix removed (same benchmark/scheme/topology/network regime);
+within each group the gate enforces the controller contract:
+  - never-degrade: every autotuned cell's final loss stays within
+    AUTOTUNE_LOSS_TOLERANCE of the best fixed-ratio cell's loss, and
+  - beat-fixed: in at least one group some autotuned cell's modeled wall
+    time undercuts the best wall among the fixed cells whose loss is
+    within tolerance of the group's best loss.
+A metrics file with no autotuned cells, or autotuned cells with no fixed
+siblings, is a loud failure for the same reason as a rotted baseline.
+
+The gated quantity of the bench mode is the *in-run speedup ratio*
+legacy_time / fused_time
 (seed-replica vs fused pipeline, measured in the same process on the same
 machine), compared against the same ratio in the committed baseline.
 Machine speed cancels out of the ratio, so the gate is robust to CI runners
@@ -55,6 +70,10 @@ GATED_PAIRS = [
 ]
 REGRESSION_TOLERANCE = 0.20  # fail if the speedup ratio drops >20%
 
+# Relative loss slack for the autotune gate; mirrors the scenario golden
+# comparator's loss_rel so "within tolerance" means the same thing in both.
+AUTOTUNE_LOSS_TOLERANCE = 0.05
+
 
 def load(path):
     with open(path) as f:
@@ -81,7 +100,124 @@ def speedups(results):
     return out
 
 
+def parse_scenario_metrics(path):
+    """[(name, loss, wall)] from run_scenarios stdout or a golden file.
+
+    Metric lines start with a '/'-separated cell name followed by key=value
+    fields; narration lines (matrix banner, per-cell progress, byte totals)
+    and '#' comments are skipped.  A cell line whose loss= or wall= field is
+    missing or malformed raises ValueError — a gate input that parses to
+    nothing must fail loudly, not gate nothing.
+    """
+    cells = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            tokens = line.split()
+            if "/" not in tokens[0] or "=" in tokens[0]:
+                continue  # narration, not a cell line
+            fields = {}
+            for token in tokens[1:]:
+                key, sep, value = token.partition("=")
+                if sep:
+                    fields[key] = value
+            try:
+                loss = float(fields["loss"])
+                wall = float(fields["wall"])
+            except (KeyError, ValueError) as err:
+                raise ValueError(f"unparseable cell line ({err}): {line}")
+            cells.append((tokens[0], loss, wall))
+    return cells
+
+
+def autotune_group_key(name):
+    """(group, mode): cell name minus ratio + /at- suffix, and the mode.
+
+    The ratio component ("r0.01") is what the fixed-ratio axis varies and
+    the "/at-<mode>" suffix marks autotuned cells, so cells that share the
+    remaining components differ only in how the target ratio was chosen —
+    exactly the population the controller contract quantifies over.  `mode`
+    is None for fixed-ratio cells.
+    """
+    parts = name.split("/")
+    mode = None
+    kept = []
+    for i, part in enumerate(parts):
+        if i == 2 and part.startswith("r"):
+            continue  # the ratio component (name layout: bench/scheme/rX/...)
+        if part.startswith("at-"):
+            mode = part[3:]
+            continue
+        kept.append(part)
+    return "/".join(kept), mode
+
+
+def autotune_gate(argv):
+    if len(argv) != 1:
+        print(__doc__)
+        return 2
+    try:
+        cells = parse_scenario_metrics(argv[0])
+    except (OSError, ValueError) as err:
+        print(f"FAIL: cannot load scenario metrics {argv[0]}: {err}")
+        return 1
+
+    groups = {}
+    for name, loss, wall in cells:
+        group, mode = autotune_group_key(name)
+        bucket = groups.setdefault(group, {"fixed": [], "tuned": []})
+        bucket["tuned" if mode else "fixed"].append((name, loss, wall))
+
+    tuned_groups = {g: b for g, b in groups.items() if b["tuned"]}
+    if not tuned_groups:
+        print(f"FAIL: no autotuned (/at-*) cells in {argv[0]}; "
+              "the autotune gate has nothing to gate")
+        return 1
+
+    failures = []
+    wins = []
+    for group in sorted(tuned_groups):
+        bucket = tuned_groups[group]
+        if not bucket["fixed"]:
+            failures.append(f"{group}: autotuned cells but no fixed-ratio "
+                            "siblings to compare against")
+            continue
+        best_loss = min(loss for _, loss, _ in bucket["fixed"])
+        loss_cap = best_loss * (1.0 + AUTOTUNE_LOSS_TOLERANCE)
+        acceptable_walls = [wall for _, loss, wall in bucket["fixed"]
+                            if loss <= loss_cap]
+        best_wall = min(acceptable_walls)
+        print(f"{group}: best fixed loss {best_loss:.6g}, best acceptable "
+              f"fixed wall {best_wall:.6g}")
+        for name, loss, wall in bucket["tuned"]:
+            verdicts = []
+            if loss > loss_cap:
+                failures.append(f"{name}: loss {loss:.6g} degrades best "
+                                f"fixed {best_loss:.6g} beyond "
+                                f"{AUTOTUNE_LOSS_TOLERANCE:.0%}")
+                verdicts.append("LOSS DEGRADED")
+            if wall < best_wall:
+                wins.append(name)
+                verdicts.append("beats best fixed wall")
+            print(f"  {name}: loss={loss:.6g} wall={wall:.6g}"
+                  + (" [" + ", ".join(verdicts) + "]" if verdicts else ""))
+
+    if not wins and not failures:
+        failures.append("no autotuned cell beats the best acceptable "
+                        "fixed-ratio wall in any group")
+    if failures:
+        print("FAIL: " + "; ".join(failures))
+        return 1
+    print(f"autotune gate passed: {len(wins)} winning cell(s), "
+          "no loss degradation")
+    return 0
+
+
 def main(argv):
+    if len(argv) >= 2 and argv[1] == "--autotune-gate":
+        return autotune_gate(argv[2:])
     if len(argv) < 2:
         print(__doc__)
         return 2

@@ -138,6 +138,85 @@ class CheckBenchRegressionTest(unittest.TestCase):
         baseline = self.write("baseline.json", gated_run(400.0, 100.0))
         self.assertEqual(self.run_gate(current, current, baseline), 1)
 
+    @staticmethod
+    def metrics_line(scheme, ratio, network, mode, loss, wall):
+        name = f"lstm-ptb/{scheme}/r{ratio}/allgather/{network}/homogeneous/ec1/s0/c1"
+        if mode:
+            name += f"/at-{mode}"
+        return (f"{name} loss={loss} quality=64.2 frac=0.05 wall={wall} "
+                f"bytes=1000 eff=0.05 mean_stale=0 stale=40")
+
+    def autotune_matrix(self, tuned_loss=4.162, tuned_wall=5.0):
+        """One regime: fixed cells at walls 6.1/8.1, one tunable sibling."""
+        return "\n".join([
+            "scenario matrix: 3 cells (spec.scn, engine simulated)",
+            "  run 1/1: lstm-ptb/sidco-e/r0.03/...",
+            self.metrics_line("sidco-e", "0.03", "1gbps@50us", None,
+                              4.162, 6.1),
+            self.metrics_line("sidco-e", "0.06", "1gbps@50us", None,
+                              4.162, 8.1),
+            self.metrics_line("sidco-e", "0.03", "1gbps@50us", "bytes",
+                              tuned_loss, tuned_wall),
+            "measured bytes-on-wire: 3000 across 3 cells",
+        ])
+
+    def test_autotune_gate_win_passes(self):
+        # The tuned cell undercuts the best acceptable fixed wall (6.1) at
+        # equal loss; narration lines from run_scenarios stdout are skipped.
+        metrics = self.write("metrics.txt", self.autotune_matrix())
+        self.assertEqual(self.run_gate("--autotune-gate", metrics), 0)
+
+    def test_autotune_gate_no_win_fails(self):
+        metrics = self.write(
+            "metrics.txt", self.autotune_matrix(tuned_wall=7.0))
+        self.assertEqual(self.run_gate("--autotune-gate", metrics), 1)
+
+    def test_autotune_gate_loss_degradation_fails(self):
+        # Wall win but the loss blows the 5% tolerance: never-degrade must
+        # override beat-fixed.
+        metrics = self.write(
+            "metrics.txt", self.autotune_matrix(tuned_loss=4.5))
+        self.assertEqual(self.run_gate("--autotune-gate", metrics), 1)
+
+    def test_autotune_gate_without_tuned_cells_fails_loudly(self):
+        metrics = self.write("metrics.txt", "\n".join([
+            self.metrics_line("sidco-e", "0.03", "1gbps@50us", None,
+                              4.162, 6.1),
+        ]))
+        self.assertEqual(self.run_gate("--autotune-gate", metrics), 1)
+
+    def test_autotune_gate_without_fixed_siblings_fails_loudly(self):
+        metrics = self.write("metrics.txt", "\n".join([
+            self.metrics_line("sidco-e", "0.03", "1gbps@50us", "bytes",
+                              4.162, 5.0),
+        ]))
+        self.assertEqual(self.run_gate("--autotune-gate", metrics), 1)
+
+    def test_autotune_gate_malformed_cell_line_fails_loudly(self):
+        metrics = self.write("metrics.txt", "\n".join([
+            "lstm-ptb/sidco-e/r0.03/allgather/1gbps@50us loss=oops wall=6.1",
+        ]))
+        self.assertEqual(self.run_gate("--autotune-gate", metrics), 1)
+
+    def test_autotune_gate_missing_file_fails_loudly(self):
+        missing = os.path.join(self._dir.name, "nope.txt")
+        self.assertEqual(self.run_gate("--autotune-gate", missing), 1)
+
+    def test_autotune_gate_groups_regimes_separately(self):
+        # The win lives in the slow regime; the fast regime's tuned cell
+        # merely holds loss.  One win anywhere passes the matrix.
+        lines = [
+            self.metrics_line("sidco-e", "0.03", "10gbps", None, 4.162, 0.2),
+            self.metrics_line("sidco-e", "0.03", "10gbps", "full",
+                              4.162, 0.21),
+            self.metrics_line("sidco-e", "0.03", "1gbps@50us", None,
+                              4.162, 6.1),
+            self.metrics_line("sidco-e", "0.03", "1gbps@50us", "full",
+                              4.162, 5.0),
+        ]
+        metrics = self.write("metrics.txt", "\n".join(lines))
+        self.assertEqual(self.run_gate("--autotune-gate", metrics), 0)
+
     def test_scalar_vs_simd_pairs_gate(self):
         # Dispatch pair regression: baseline 4.0x, current 1.5x.
         current = self.write("current.json", simd_run(150.0, 100.0))
