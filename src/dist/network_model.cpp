@@ -1,8 +1,96 @@
 #include "dist/network_model.h"
 
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
 #include "util/check.h"
 
 namespace sidco::dist {
+
+double BandwidthTrace::period_seconds() const {
+  double period = 0.0;
+  for (const Segment& segment : segments) period += segment.seconds;
+  return period;
+}
+
+double BandwidthTrace::bytes_per_second_at(double t, double flat_gbps) const {
+  if (flat()) return flat_gbps * 1e9 / 8.0;
+  const double period = period_seconds();
+  // Position inside the repeating cycle; guard fmod's sign for t < 0.
+  double pos = std::fmod(t, period);
+  if (pos < 0.0) pos += period;
+  double end = 0.0;
+  for (const Segment& segment : segments) {
+    end += segment.seconds;
+    if (pos < end) return segment.gbps * 1e9 / 8.0;
+  }
+  // pos == period up to rounding: the cycle wraps to its first segment.
+  return segments.front().gbps * 1e9 / 8.0;
+}
+
+double BandwidthTrace::next_boundary_after(double t) const {
+  if (flat()) return std::numeric_limits<double>::infinity();
+  const double period = period_seconds();
+  // Cycle start at or before t.  floor() keeps this exact for the in-range
+  // times an event simulation produces.
+  double base = std::floor(t / period) * period;
+  if (base > t) base -= period;
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    double end = 0.0;
+    for (const Segment& segment : segments) {
+      end += segment.seconds;
+      const double boundary = base + end;
+      if (boundary > t) return boundary;
+    }
+    base += period;
+  }
+  // Unreachable: base + period > t always holds after the first cycle.
+  return base;
+}
+
+BandwidthTrace parse_bandwidth_trace(const std::string& token) {
+  BandwidthTrace trace{.name = token, .segments = {}};
+  if (token == "flat") return trace;
+  util::check(!token.empty(), "bandwidth trace token must not be empty");
+  std::size_t start = 0;
+  while (start <= token.size()) {
+    auto plus = token.find('+', start);
+    if (plus == std::string::npos) plus = token.size();
+    const std::string term = token.substr(start, plus - start);
+    start = plus + 1;
+    const auto x = term.find('x');
+    if (x == std::string::npos) {
+      util::check_fail("bandwidth trace term must be '<gbps>x<seconds>': " +
+                       term);
+    }
+    const auto number = [&term](const std::string& text) -> double {
+      std::size_t consumed = 0;
+      double value = 0.0;
+      try {
+        value = std::stod(text, &consumed);
+      } catch (const std::exception&) {
+        util::check_fail("bandwidth trace term has a malformed number: " +
+                         term);
+      }
+      if (consumed != text.size()) {
+        util::check_fail("bandwidth trace term has trailing characters: " +
+                         term);
+      }
+      return value;
+    };
+    BandwidthTrace::Segment segment{.gbps = number(term.substr(0, x)),
+                                    .seconds = number(term.substr(x + 1))};
+    if (segment.gbps <= 0.0) {
+      util::check_fail("bandwidth trace gbps must be positive: " + term);
+    }
+    if (segment.seconds <= 0.0) {
+      util::check_fail("bandwidth trace seconds must be positive: " + term);
+    }
+    trace.segments.push_back(segment);
+  }
+  return trace;
+}
 
 NetworkModel::NetworkModel(const NetworkConfig& config) : config_(config) {
   util::check(config.workers >= 1, "network model needs >= 1 worker");

@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
+#include <vector>
 
 namespace sidco::dist {
 
@@ -17,6 +19,41 @@ struct NetworkConfig {
   double bandwidth_gbps = 10.0;  ///< per-link bandwidth (Cluster 1: 10 Gbps)
   double latency_us = 25.0;      ///< per-hop latency
 };
+
+/// Piecewise-constant, cyclically repeating capacity of a shared link over
+/// simulated time — the time-varying-bandwidth half of the fleet scheduler's
+/// fair-share link (src/sched).  The token "flat" (no segments) means "use
+/// the link's static bandwidth"; otherwise the token is a '+'-joined list of
+/// `<gbps>x<seconds>` segments, e.g. "10x0.5+1x0.5" for a square wave with a
+/// one-second period.  Capacity is a pure function of simulated time, so
+/// everything built on a trace stays deterministic and goldenable.
+struct BandwidthTrace {
+  struct Segment {
+    double gbps = 0.0;
+    double seconds = 0.0;
+  };
+
+  std::string name = "flat";
+  std::vector<Segment> segments;  ///< empty = flat
+
+  [[nodiscard]] bool flat() const { return segments.empty(); }
+
+  /// Sum of the segment durations (the cycle length).  0 when flat.
+  [[nodiscard]] double period_seconds() const;
+
+  /// Link capacity in bytes/second at simulated time `t` (>= 0);
+  /// `flat_gbps` is the static bandwidth used when the trace is flat.
+  [[nodiscard]] double bytes_per_second_at(double t, double flat_gbps) const;
+
+  /// First time strictly after `t` at which the capacity may change
+  /// (a segment boundary of the repeating cycle); +infinity when flat.
+  [[nodiscard]] double next_boundary_after(double t) const;
+};
+
+/// Parses a bandwidth-trace token ("flat" or `<gbps>x<seconds>` terms joined
+/// by '+').  Throws util::CheckError naming the offending term on malformed
+/// or non-positive values.
+BandwidthTrace parse_bandwidth_trace(const std::string& token);
 
 class NetworkModel {
  public:

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <map>
+#include <set>
 #include <sstream>
 #include <utility>
 
@@ -167,6 +168,44 @@ std::string format_g(double value, int precision = 9) {
   return buf;
 }
 
+/// Statically replays a churn schedule against the spec's worker and
+/// iteration counts so an infeasible schedule fails at parse time with the
+/// offending term, not mid-fleet.
+void validate_churn_feasibility(const ChurnSchedule& churn,
+                                std::size_t workers, std::size_t iterations) {
+  std::size_t active = workers;
+  std::size_t departed = 0;
+  for (const ChurnEvent& event : churn.events) {
+    if (event.round >= iterations) {
+      util::check_fail("churn schedule '" + churn.name + "': round " +
+                       std::to_string(event.round) +
+                       " is outside the session (iterations = " +
+                       std::to_string(iterations) + ")");
+    }
+    switch (event.kind) {
+      case ChurnEvent::Kind::kLeave:
+        if (active < 2) {
+          util::check_fail("churn schedule '" + churn.name +
+                           "': a leave would empty the tenant");
+        }
+        --active;
+        ++departed;
+        break;
+      case ChurnEvent::Kind::kJoin:
+        ++active;
+        break;
+      case ChurnEvent::Kind::kRejoin:
+        if (departed < 1) {
+          util::check_fail("churn schedule '" + churn.name +
+                           "': rejoin without a departed worker");
+        }
+        --departed;
+        ++active;
+        break;
+    }
+  }
+}
+
 }  // namespace
 
 Engine parse_engine(const std::string& token) {
@@ -216,6 +255,61 @@ FaultProfile parse_fault_profile(const std::string& token) {
   return profile;
 }
 
+ChurnSchedule parse_churn_schedule(const std::string& token) {
+  ChurnSchedule schedule{.name = token, .events = {}};
+  if (token == "none") return schedule;
+  util::check(!token.empty(), "churn token must not be empty");
+  std::size_t start = 0;
+  while (start <= token.size()) {
+    auto plus = token.find('+', start);
+    if (plus == std::string::npos) plus = token.size();
+    const std::string term = token.substr(start, plus - start);
+    start = plus + 1;
+    const auto at = term.find('@');
+    if (at == std::string::npos) {
+      util::check_fail("churn term must be 'kind@round': " + term);
+    }
+    const std::string kind = term.substr(0, at);
+    ChurnEvent event;
+    if (kind == "join") {
+      event.kind = ChurnEvent::Kind::kJoin;
+    } else if (kind == "leave") {
+      event.kind = ChurnEvent::Kind::kLeave;
+    } else if (kind == "rejoin") {
+      event.kind = ChurnEvent::Kind::kRejoin;
+    } else {
+      util::check_fail("unknown churn kind (want join|leave|rejoin): " + term);
+    }
+    const std::string round = term.substr(at + 1);
+    std::size_t consumed = 0;
+    unsigned long long value = 0;
+    try {
+      value = std::stoull(round, &consumed);
+    } catch (const std::exception&) {
+      util::check_fail("churn term has a malformed round: " + term);
+    }
+    if (consumed != round.size() || round.empty() || round.front() == '-') {
+      util::check_fail("churn term has a malformed round: " + term);
+    }
+    event.round = static_cast<std::size_t>(value);
+    if (!schedule.events.empty() && event.round < schedule.events.back().round) {
+      util::check_fail("churn events must be in round order: " + token);
+    }
+    schedule.events.push_back(event);
+  }
+  return schedule;
+}
+
+ResidualHandoff parse_residual_handoff(const std::string& token) {
+  if (token == "zero") return ResidualHandoff::kZeroInit;
+  if (token == "warm") return ResidualHandoff::kWarmStart;
+  util::check_fail("unknown handoff token (want zero|warm): " + token);
+}
+
+std::string_view residual_handoff_name(ResidualHandoff handoff) {
+  return handoff == ResidualHandoff::kZeroInit ? "zero" : "warm";
+}
+
 std::vector<double> resolve_device_profile(const DeviceProfile& profile,
                                            std::size_t workers) {
   util::check(workers >= 1, "device profile needs >= 1 worker");
@@ -241,6 +335,10 @@ std::vector<double> resolve_device_profile(const DeviceProfile& profile,
 
 MatrixSpec parse_matrix_spec(std::string_view text) {
   MatrixSpec spec;
+  std::set<std::string> seen_keys;
+  // Which fleet keys appeared, so a fleet knob without a `tenants` axis is
+  // rejected with the offending key (it would otherwise silently do nothing).
+  std::vector<std::string> fleet_keys;
   std::istringstream in{std::string(text)};
   std::string raw_line;
   while (std::getline(in, raw_line)) {
@@ -254,9 +352,13 @@ MatrixSpec parse_matrix_spec(std::string_view text) {
     util::check(eq != std::string::npos,
                 "scenario spec lines must be 'key = value[, value...]'");
     const std::string key = trim(line.substr(0, eq));
+    if (!seen_keys.insert(key).second) {
+      util::check_fail("duplicate scenario key: " + key);
+    }
     const std::vector<std::string> values = split(line.substr(eq + 1), ',');
-    util::check(!values.empty() && !values.front().empty(),
-                "scenario key needs at least one value");
+    if (values.empty() || values.front().empty()) {
+      util::check_fail("scenario key '" + key + "' needs at least one value");
+    }
 
     const auto single = [&]() -> const std::string& {
       if (values.size() != 1) {
@@ -339,6 +441,35 @@ MatrixSpec parse_matrix_spec(std::string_view text) {
       spec.autotune_base.gof_poor = parse_double(single());
     } else if (key == "autotune_gof_good") {
       spec.autotune_base.gof_good = parse_double(single());
+    } else if (key == "tenants") {
+      fleet_keys.push_back(key);
+      spec.tenants.clear();
+      for (const auto& v : values) {
+        const std::size_t n = parse_size(v);
+        util::check(n >= 1, "tenants values must be >= 1");
+        spec.tenants.push_back(n);
+      }
+    } else if (key == "churn") {
+      fleet_keys.push_back(key);
+      spec.churn.clear();
+      for (const auto& v : values) spec.churn.push_back(parse_churn_schedule(v));
+    } else if (key == "bandwidth_trace") {
+      fleet_keys.push_back(key);
+      spec.traces.clear();
+      for (const auto& v : values) {
+        spec.traces.push_back(parse_bandwidth_trace(v));
+      }
+    } else if (key == "tenant_weights") {
+      fleet_keys.push_back(key);
+      spec.tenant_weights.clear();
+      for (const std::string& w : split(single(), ':')) {
+        const double weight = parse_double(w);
+        util::check(weight > 0.0, "tenant weights must be positive");
+        spec.tenant_weights.push_back(weight);
+      }
+    } else if (key == "handoff") {
+      fleet_keys.push_back(key);
+      spec.handoff = parse_residual_handoff(single());
     } else {
       util::check_fail("unknown scenario key: " + key);
     }
@@ -355,6 +486,34 @@ MatrixSpec parse_matrix_spec(std::string_view text) {
     core::AutotuneConfig probe = spec.autotune_base;
     probe.mode = mode;
     core::validate_autotune_config(probe);
+  }
+  if (spec.tenants.empty()) {
+    if (!fleet_keys.empty() && fleet_keys.front() != "tenants") {
+      util::check_fail("scenario key '" + fleet_keys.front() +
+                       "' needs a 'tenants' axis (fleet specs only)");
+    }
+  } else {
+    // The fleet scheduler replays the deterministic simulated engine round
+    // by round over a shared link; everything it cannot model fails here
+    // with the reason, not mid-fleet.
+    util::check(spec.engine == Engine::kSimulated,
+                "fleet specs require the simulated engine (the fair-share "
+                "link is modeled, not real)");
+    for (Topology topology : spec.topologies) {
+      util::check(topology == Topology::kAllreduce,
+                  "fleet specs support the allgather topology only");
+    }
+    for (const DeviceProfile& device : spec.devices) {
+      util::check(device.name == "homogeneous",
+                  "fleet specs require homogeneous devices (per-worker speed "
+                  "profiles do not survive elastic membership)");
+    }
+    for (std::size_t chunk : spec.chunks) {
+      util::check(chunk == 1, "fleet specs require overlap_chunks == 1");
+    }
+    for (const ChurnSchedule& churn : spec.churn) {
+      validate_churn_feasibility(churn, spec.workers, spec.iterations);
+    }
   }
   return spec;
 }
@@ -438,16 +597,48 @@ std::vector<Scenario> expand(const MatrixSpec& spec) {
       }
     }
   }
-  return cells;
+  if (spec.tenants.empty()) return cells;
+
+  // Fleet specs: the fleet axes nest innermost (tenants, then churn, then
+  // trace), each cell suffixed into its own golden universe.  The suffix is
+  // unconditional — even a 1-tenant/none/flat fleet cell names itself apart
+  // from the standalone cell it matches bit-for-bit, so the two universes
+  // can never collide in one golden file.
+  std::vector<Scenario> fleet_cells;
+  fleet_cells.reserve(cells.size() * spec.tenants.size() * spec.churn.size() *
+                      spec.traces.size());
+  for (const Scenario& base : cells) {
+    for (std::size_t tenants : spec.tenants) {
+      for (const ChurnSchedule& churn : spec.churn) {
+        for (const BandwidthTrace& trace : spec.traces) {
+          Scenario cell = base;
+          FleetCell fleet;
+          fleet.tenants = tenants;
+          fleet.weights.resize(tenants);
+          for (std::size_t t = 0; t < tenants; ++t) {
+            fleet.weights[t] =
+                spec.tenant_weights.empty()
+                    ? 1.0
+                    : spec.tenant_weights[t % spec.tenant_weights.size()];
+          }
+          fleet.churn = churn;
+          fleet.trace = trace;
+          fleet.handoff = spec.handoff;
+          cell.name = base.name + "/fleet-t" + std::to_string(tenants) + "/" +
+                      churn.name + "/" + trace.name;
+          cell.fleet = std::move(fleet);
+          fleet_cells.push_back(std::move(cell));
+        }
+      }
+    }
+  }
+  return fleet_cells;
 }
 
-ScenarioMetrics run_scenario(const Scenario& scenario) {
-  SessionConfig config = scenario.config;
-  config.device = Device::kGpuModel;  // keep the event timeline deterministic
-  const SessionResult result = run_session(config);
-
+ScenarioMetrics metrics_from_session(std::string name,
+                                     const SessionResult& result) {
   ScenarioMetrics metrics;
-  metrics.name = scenario.name;
+  metrics.name = std::move(name);
   metrics.final_loss = result.final_loss;
   metrics.final_quality = result.final_quality;
   double fraction = 0.0;
@@ -469,6 +660,18 @@ ScenarioMetrics run_scenario(const Scenario& scenario) {
   return metrics;
 }
 
+ScenarioMetrics run_scenario(const Scenario& scenario) {
+  if (scenario.fleet.has_value()) {
+    util::check_fail("fleet cell '" + scenario.name +
+                     "' needs the multi-tenant scheduler: run it through "
+                     "sched::run_cell / sched::run_matrix");
+  }
+  SessionConfig config = scenario.config;
+  config.device = Device::kGpuModel;  // keep the event timeline deterministic
+  const SessionResult result = run_session(config);
+  return metrics_from_session(scenario.name, result);
+}
+
 std::vector<ScenarioMetrics> run_matrix(const MatrixSpec& spec) {
   std::vector<ScenarioMetrics> out;
   for (const Scenario& cell : expand(spec)) {
@@ -487,7 +690,10 @@ std::string format_metrics(std::span<const ScenarioMetrics> metrics,
         << " wall=" << format_g(m.simulated_wall_seconds)
         << " bytes=" << m.wire_bytes
         << " eff=" << format_g(m.effective_ratio)
-        << " mean_stale=" << format_g(m.mean_staleness) << " stale=";
+        << " mean_stale=" << format_g(m.mean_staleness);
+    // Fleet-only field: absent lines keep every pre-fleet golden byte-stable.
+    if (m.jain >= 0.0) out << " jain=" << format_g(m.jain);
+    out << " stale=";
     for (std::size_t s = 0; s < m.staleness_histogram.size(); ++s) {
       if (s > 0) out << '|';
       out << m.staleness_histogram[s];
@@ -578,6 +784,8 @@ bool parse_golden_line(const std::string& line, ScenarioMetrics& out) {
       out.effective_ratio = golden_number(key, value);
     } else if (key == "mean_stale") {
       out.mean_staleness = golden_number(key, value);
+    } else if (key == "jain") {
+      out.jain = golden_number(key, value);
     } else if (key == "mwall") {
       // Measured-seconds columns: parsed for round-tripping, never
       // golden-compared (hardware time is not reproducible).
@@ -682,6 +890,12 @@ GoldenReport compare_with_golden(std::span<const ScenarioMetrics> metrics,
     if (std::abs(fresh.mean_staleness - want.mean_staleness) >
         tolerance.staleness_abs) {
       field_diff("mean_stale", fresh.mean_staleness, want.mean_staleness);
+    }
+    // jain < 0 means "not a fleet line"; presence itself must agree.
+    if ((fresh.jain >= 0.0) != (want.jain >= 0.0) ||
+        (fresh.jain >= 0.0 &&
+         std::abs(fresh.jain - want.jain) > tolerance.jain_abs)) {
+      field_diff("jain", fresh.jain, want.jain);
     }
     if (histogram_total(fresh.staleness_histogram) !=
         histogram_total(want.staleness_histogram)) {

@@ -29,6 +29,7 @@
 // regenerates the files.
 #pragma once
 
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -63,6 +64,39 @@ struct FaultProfile {
 /// Parses one fault-profile token.  Throws util::CheckError on unknown
 /// kinds, malformed probabilities, or a probability sum above 1.
 FaultProfile parse_fault_profile(const std::string& token);
+
+/// One elastic-membership event of a fleet tenant (axis token term,
+/// `kind@round`): applied at the start of 0-based training round `round`.
+/// kLeave removes the highest-index active worker (parking its
+/// error-feedback residual; recorded as an Eviction).  kJoin adds a brand-
+/// new worker (fresh index, frozen seed derivation).  kRejoin re-activates
+/// the most recently departed worker.  Joining workers adopt the current
+/// replica state; their residual follows the spec's ResidualHandoff policy.
+struct ChurnEvent {
+  enum class Kind { kJoin, kLeave, kRejoin };
+  Kind kind = Kind::kLeave;
+  std::size_t round = 0;
+};
+
+/// Named churn schedule (axis token): "none", or '+'-joined ChurnEvent terms
+/// in non-decreasing round order, e.g. "leave@2+rejoin@4".
+struct ChurnSchedule {
+  std::string name = "none";
+  std::vector<ChurnEvent> events;
+};
+
+/// Parses a churn-schedule token.  Throws util::CheckError on unknown event
+/// kinds, malformed rounds, or out-of-order events.  Feasibility against the
+/// spec's worker/iteration counts is validated by parse_matrix_spec.
+ChurnSchedule parse_churn_schedule(const std::string& token);
+
+/// What a joining worker's error-feedback residual starts from (`handoff =
+/// zero | warm`): all zeros, or the most recently parked (departed) residual
+/// when one exists — rejoining workers warm-start from their own.
+enum class ResidualHandoff { kZeroInit, kWarmStart };
+
+ResidualHandoff parse_residual_handoff(const std::string& token);
+std::string_view residual_handoff_name(ResidualHandoff handoff);
 
 /// Resolves a device profile to per-worker time multipliers (empty =
 /// homogeneous).  Throws util::CheckError on an unknown profile name.
@@ -118,12 +152,52 @@ struct MatrixSpec {
   /// name suffix — their own golden universe — while off cells keep their
   /// historical names byte-stable.
   std::vector<core::AutotuneMode> autotune{core::AutotuneMode::kOff};
+
+  // Fleet axes and scalars (multi-tenant scheduling, src/sched).  A spec
+  // with a `tenants` key expands every base cell into fleet cells — N
+  // concurrent sessions sharing one fair-share link — nested innermost in
+  // the order tenants x churn x bandwidth_trace, each named with a
+  // "/fleet-t<N>/<churn>/<trace>" suffix so fleet cells are their own golden
+  // universe (one golden line per tenant, "<cell>/t<k>").  Fleet specs
+  // require the simulated engine, allgather topology, homogeneous devices
+  // and overlap_chunks == 1, which the parser enforces.  The remaining
+  // fleet keys are rejected without `tenants`.
+  /// (`tenants = 1, 2, 4`): concurrent sessions per cell.  Empty = a plain
+  /// (non-fleet) spec.
+  std::vector<std::size_t> tenants{};
+  /// (`churn = none, leave@2+rejoin@4`): elastic-membership schedule,
+  /// applied identically to every tenant of the cell.
+  std::vector<ChurnSchedule> churn{ChurnSchedule{}};
+  /// (`bandwidth_trace = flat, 10x0.5+1x0.5`): shared-link capacity over
+  /// simulated time; "flat" uses the cell's network-profile bandwidth.
+  std::vector<BandwidthTrace> traces{BandwidthTrace{}};
+  /// (`tenant_weights = 1:2:4`): ':'-joined fair-share weights, cycled over
+  /// the tenant index.  Empty = equal weights.
+  std::vector<double> tenant_weights{};
+  /// (`handoff = warm | zero`): joining workers' residual policy.
+  ResidualHandoff handoff = ResidualHandoff::kWarmStart;
+};
+
+/// Fleet parameters of one expanded cell (present iff the spec had a
+/// `tenants` key).  Tenant t runs the cell's SessionConfig with seed
+/// `config.seed + t` (distinct data/init streams per tenant) and fair-share
+/// weight `weights[t]`.
+struct FleetCell {
+  std::size_t tenants = 1;
+  std::vector<double> weights;  ///< resolved per tenant (size == tenants)
+  ChurnSchedule churn;
+  BandwidthTrace trace;
+  ResidualHandoff handoff = ResidualHandoff::kWarmStart;
 };
 
 /// One expanded matrix cell: a stable name plus a ready-to-run config.
+/// Fleet cells carry their fleet parameters and must run through the
+/// multi-tenant scheduler (sched::run_cell / sched::run_matrix);
+/// dist::run_scenario rejects them.
 struct Scenario {
   std::string name;
   SessionConfig config;
+  std::optional<FleetCell> fleet;
 };
 
 /// Parses an engine token ("simulated" | "threads" | "sockets").  Shared by
@@ -153,6 +227,11 @@ struct ScenarioMetrics {
   double effective_ratio = 0.0;
   double mean_staleness = 0.0;
   std::vector<std::size_t> staleness_histogram;
+  /// Jain's fairness index over the cell's per-tenant mean link shares
+  /// (fleet cells only; repeated on every tenant line of the cell).
+  /// Negative = not a fleet cell; the field is then neither rendered nor
+  /// compared.
+  double jain = -1.0;
 
   /// Real measured wall-clock (threads engine; 0 under the simulated
   /// engine).  Rendered only when format_metrics is asked to include the
@@ -163,11 +242,20 @@ struct ScenarioMetrics {
   double measured_comm_seconds = 0.0;
 };
 
+/// Projects a finished session onto golden-comparable metrics under `name`.
+/// Shared by run_scenario and the fleet scheduler's per-tenant lines so both
+/// report through identical arithmetic.
+ScenarioMetrics metrics_from_session(std::string name,
+                                     const SessionResult& result);
+
 /// Runs one cell.  Forces the analytic device model so the event timeline —
 /// and therefore every metric — is a deterministic function of the spec.
+/// Throws util::CheckError on fleet cells: they need the multi-tenant
+/// scheduler (sched::run_cell), which this module cannot depend on.
 ScenarioMetrics run_scenario(const Scenario& scenario);
 
-/// Runs every cell of the matrix in expansion order.
+/// Runs every cell of the matrix in expansion order.  Rejects fleet specs
+/// like run_scenario; sched::run_matrix handles both kinds.
 std::vector<ScenarioMetrics> run_matrix(const MatrixSpec& spec);
 
 /// Stable text rendering, one cell per line — the golden-file format.  Equal
@@ -188,6 +276,9 @@ struct GoldenTolerance {
   /// format / selection change — the CI gate the codec goldens hang off.
   double wire_rel = 0.10;
   double staleness_abs = 0.5;    ///< tolerance on the histogram mean
+  /// Jain's index lives in (0, 1]; small drift is training jitter, a larger
+  /// move means the fair-share allocation itself changed.
+  double jain_abs = 0.02;
 };
 
 struct GoldenReport {

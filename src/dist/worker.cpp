@@ -127,6 +127,19 @@ void Worker::overwrite_parameters(std::span<const float> params) {
   std::copy(params.begin(), params.end(), model_.parameters().begin());
 }
 
+void Worker::adopt_replica_state(const Worker& source) {
+  util::check(source.gradient_dimension() == model_.parameter_count(),
+              "replica handoff dimension mismatch");
+  overwrite_parameters(source.parameters());
+  optimizer_.overwrite_velocity(source.optimizer_.velocity());
+}
+
+void Worker::overwrite_error_memory(std::span<const float> residual) {
+  util::check(residual.size() == memory_.size(),
+              "residual handoff dimension mismatch");
+  std::copy(residual.begin(), residual.end(), memory_.begin());
+}
+
 void Worker::apply_update(std::span<const float> aggregated_gradient) {
   util::check(aggregated_gradient.size() == model_.parameter_count(),
               "aggregated gradient dimension mismatch");

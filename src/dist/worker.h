@@ -99,6 +99,19 @@ class Worker {
   /// parameter-server copy).  Size must equal parameter_count().
   void overwrite_parameters(std::span<const float> params);
 
+  /// Adopts `source`'s replica state: parameters plus optimizer momentum.
+  /// What a worker joining a running session mid-stream does so every
+  /// replica keeps applying identical updates to identical state (elastic
+  /// membership, src/sched).  The error-feedback residual is NOT copied —
+  /// residual handoff is a separate policy (overwrite_error_memory).
+  void adopt_replica_state(const Worker& source);
+
+  /// Overwrites the error-feedback residual (Algorithm 2's memory): the
+  /// residual-handoff half of an elastic join — warm-start from a departed
+  /// worker's parked residual, or zero-init with an all-zero span.  Size
+  /// must equal parameter_count().
+  void overwrite_error_memory(std::span<const float> residual);
+
   [[nodiscard]] std::span<const float> parameters() const {
     return model_.parameters();
   }

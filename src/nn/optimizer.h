@@ -27,6 +27,15 @@ class SgdOptimizer {
   [[nodiscard]] double learning_rate() const { return config_.learning_rate; }
   [[nodiscard]] const OptimizerConfig& config() const { return config_; }
 
+  /// Momentum state, exposed for replica handoff (a worker joining a running
+  /// session mid-stream adopts the source replica's velocity so the replica
+  /// invariant survives elastic membership).  Empty until the first momentum
+  /// step, and always empty for vanilla SGD.
+  [[nodiscard]] std::span<const float> velocity() const { return velocity_; }
+  void overwrite_velocity(std::span<const float> velocity) {
+    velocity_.assign(velocity.begin(), velocity.end());
+  }
+
  private:
   OptimizerConfig config_;
   std::vector<float> velocity_;

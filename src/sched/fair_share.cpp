@@ -1,0 +1,61 @@
+#include "sched/fair_share.h"
+
+#include <cstddef>
+
+#include "util/check.h"
+
+namespace sidco::sched {
+
+std::vector<double> weighted_max_min(double capacity_bytes_per_second,
+                                     std::span<const LinkDemand> demands) {
+  util::check(capacity_bytes_per_second >= 0.0,
+              "link capacity must be non-negative");
+  std::vector<double> alloc(demands.size(), 0.0);
+  std::vector<std::size_t> unsaturated;
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const LinkDemand& d = demands[i];
+    if (!d.active || d.cap_bytes_per_second <= 0.0) continue;
+    util::check(d.weight > 0.0, "fair-share weights must be positive");
+    unsaturated.push_back(i);
+  }
+  double remaining = capacity_bytes_per_second;
+  // Water-filling: hand every capped tenant its cap, re-divide the leftover
+  // over the rest by weight; at most n rounds since each saturates >= 1.
+  while (!unsaturated.empty() && remaining > 0.0) {
+    double weight_sum = 0.0;
+    for (std::size_t i : unsaturated) weight_sum += demands[i].weight;
+    const double per_weight = remaining / weight_sum;
+    std::vector<std::size_t> next;
+    bool saturated_any = false;
+    for (std::size_t i : unsaturated) {
+      const double fair = per_weight * demands[i].weight;
+      if (fair >= demands[i].cap_bytes_per_second) {
+        alloc[i] = demands[i].cap_bytes_per_second;
+        remaining -= alloc[i];
+        saturated_any = true;
+      } else {
+        next.push_back(i);
+      }
+    }
+    if (!saturated_any) {
+      for (std::size_t i : next) alloc[i] = per_weight * demands[i].weight;
+      break;
+    }
+    unsaturated = std::move(next);
+  }
+  return alloc;
+}
+
+double jain_index(std::span<const double> shares) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : shares) {
+    util::check(x >= 0.0, "shares must be non-negative");
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (shares.empty() || sum_sq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(shares.size()) * sum_sq);
+}
+
+}  // namespace sidco::sched

@@ -1,0 +1,38 @@
+// Weighted max-min fair-share allocation of one link, and Jain's fairness
+// index over the resulting shares.
+//
+// The fleet scheduler (scheduler.h) recomputes the allocation at every
+// event-sim epoch: tenants currently draining bytes split the link's
+// instantaneous capacity by water-filling — each unsaturated tenant gets
+// capacity in proportion to its weight, tenants capped by their own NIC
+// ceiling saturate at the cap, and the leftover re-waterfalls over the rest.
+// Both functions are pure, so allocations (and everything downstream: round
+// timelines, golden metrics) are deterministic functions of their inputs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace sidco::sched {
+
+/// One tenant's demand on the shared link at an allocation epoch.
+struct LinkDemand {
+  double weight = 1.0;                 ///< fair-share weight (> 0)
+  double cap_bytes_per_second = 0.0;   ///< tenant NIC ceiling (> 0 to count)
+  bool active = false;                 ///< currently draining bytes
+};
+
+/// Weighted max-min (water-filling) allocation of `capacity_bytes_per_second`
+/// across the active demands.  Returns one allocation per entry, 0 for
+/// inactive tenants.  Properties (unit-tested): no allocation exceeds its
+/// cap, the full capacity is handed out whenever aggregate demand can absorb
+/// it, and unsaturated tenants' shares are proportional to their weights.
+std::vector<double> weighted_max_min(double capacity_bytes_per_second,
+                                     std::span<const LinkDemand> demands);
+
+/// Jain's fairness index J = (sum x)^2 / (n * sum x^2) over the given
+/// shares: 1 when all equal, 1/n when one tenant holds everything.  Defined
+/// as 1 for empty or all-zero inputs (nobody used the link: trivially fair).
+double jain_index(std::span<const double> shares);
+
+}  // namespace sidco::sched

@@ -1,0 +1,75 @@
+#include "sched/fleet_scenario.h"
+
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace sidco::sched {
+
+FleetConfig fleet_config_from_cell(const dist::Scenario& cell) {
+  if (!cell.fleet.has_value()) {
+    util::check_fail("cell '" + cell.name +
+                     "' has no fleet parameters (plain cells run through "
+                     "dist::run_scenario)");
+  }
+  const dist::FleetCell& fleet = *cell.fleet;
+  util::check(fleet.weights.size() == fleet.tenants,
+              "fleet cell weights must be resolved per tenant");
+  FleetConfig config;
+  config.tenants.reserve(fleet.tenants);
+  for (std::size_t t = 0; t < fleet.tenants; ++t) {
+    TenantSpec tenant;
+    tenant.session = cell.config;
+    // Deterministic event timeline, as dist::run_scenario forces for plain
+    // cells.
+    tenant.session.device = dist::Device::kGpuModel;
+    tenant.session.seed = cell.config.seed + t;
+    tenant.weight = fleet.weights[t];
+    tenant.churn = fleet.churn;
+    config.tenants.push_back(std::move(tenant));
+  }
+  config.link_gbps = cell.config.network.bandwidth_gbps;
+  config.trace = fleet.trace;
+  config.handoff = fleet.handoff;
+  return config;
+}
+
+std::vector<std::string> cell_metric_names(const dist::Scenario& cell) {
+  if (!cell.fleet.has_value()) return {cell.name};
+  std::vector<std::string> names;
+  names.reserve(cell.fleet->tenants);
+  for (std::size_t t = 0; t < cell.fleet->tenants; ++t) {
+    names.push_back(cell.name + "/t" + std::to_string(t));
+  }
+  return names;
+}
+
+std::vector<dist::ScenarioMetrics> run_cell(const dist::Scenario& cell) {
+  if (!cell.fleet.has_value()) return {dist::run_scenario(cell)};
+  const FleetResult fleet = run_fleet(fleet_config_from_cell(cell));
+  std::vector<dist::ScenarioMetrics> out;
+  out.reserve(fleet.tenants.size());
+  const std::vector<std::string> names = cell_metric_names(cell);
+  for (std::size_t t = 0; t < fleet.tenants.size(); ++t) {
+    dist::ScenarioMetrics metrics =
+        dist::metrics_from_session(names[t], fleet.tenants[t].session);
+    // The cell-level fairness index rides on every tenant line so a golden
+    // diff pins the allocation, not just each tenant's own numbers.
+    metrics.jain = fleet.jain_fairness;
+    out.push_back(std::move(metrics));
+  }
+  return out;
+}
+
+std::vector<dist::ScenarioMetrics> run_matrix(const dist::MatrixSpec& spec) {
+  std::vector<dist::ScenarioMetrics> out;
+  for (const dist::Scenario& cell : dist::expand(spec)) {
+    for (dist::ScenarioMetrics& metrics : run_cell(cell)) {
+      out.push_back(std::move(metrics));
+    }
+  }
+  return out;
+}
+
+}  // namespace sidco::sched

@@ -1,0 +1,37 @@
+// Scenario-DSL front end of the multi-tenant scheduler: turns expanded fleet
+// cells (dist::Scenario with FleetCell parameters) into FleetConfigs, runs
+// them through run_fleet, and reports one golden line per tenant
+// ("<cell>/t<k>", with the cell's Jain index repeated on every line).  Plain
+// cells pass straight through dist::run_scenario, so sched::run_cell /
+// sched::run_matrix are drop-in supersets the tools use for every matrix.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dist/scenario.h"
+#include "sched/scheduler.h"
+
+namespace sidco::sched {
+
+/// Builds the FleetConfig of a fleet cell: tenant t runs the cell's
+/// SessionConfig with seed `config.seed + t` (its own data/init streams) and
+/// weight `fleet->weights[t]`; every tenant shares the cell's churn schedule,
+/// and the link is the cell's network bandwidth modulated by the trace.
+/// Throws util::CheckError when the cell has no fleet parameters.
+FleetConfig fleet_config_from_cell(const dist::Scenario& cell);
+
+/// The golden-line names this cell will report, in order: `{cell.name}` for
+/// a plain cell, `{cell.name}/t0 .. /t<N-1>` for a fleet cell.  What
+/// `tools/run_scenarios --list` prints, byte-equal to the golden keys.
+std::vector<std::string> cell_metric_names(const dist::Scenario& cell);
+
+/// Runs one cell — dist::run_scenario for plain cells, run_fleet for fleet
+/// cells — and returns its metric lines in cell_metric_names order.
+std::vector<dist::ScenarioMetrics> run_cell(const dist::Scenario& cell);
+
+/// Runs every cell of the matrix in expansion order (fleet cells included —
+/// the superset of dist::run_matrix).
+std::vector<dist::ScenarioMetrics> run_matrix(const dist::MatrixSpec& spec);
+
+}  // namespace sidco::sched

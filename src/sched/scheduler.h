@@ -1,0 +1,78 @@
+// Elastic multi-tenant session scheduler: N concurrent training sessions
+// over one shared fair-share link, with worker churn mid-run.
+//
+// Each tenant replays the simulated allgather engine's numerics round by
+// round — worker steps, encoded-payload aggregation at 1/n_active, lock-step
+// apply — over the tenants' active worker sets, so a 1-tenant fleet with no
+// churn reproduces run_session's parameters/losses/evals bit-for-bit.  What
+// the fleet changes is *time*: communication drains through a shared link
+// whose capacity follows a BandwidthTrace and is divided among concurrently
+// draining tenants by weighted max-min fair share (fair_share.h), recomputed
+// at every event epoch (a tenant starting/finishing a drain, or a trace
+// segment boundary).  Worker kernels of every tenant share the one
+// process-wide util::thread_pool; tenant rounds interleave deterministically
+// on the event timeline.
+//
+// Elastic membership: a declarative ChurnSchedule adds/removes workers at
+// round starts.  Leaves park the worker's error-feedback residual and are
+// recorded as SessionResult evictions (the PR 7 eviction bookkeeping);
+// joiners adopt the current replica state (parameters + optimizer momentum),
+// pay a dense parameter pull on the wire, and start their residual per the
+// ResidualHandoff policy — warm from the most recently parked residual, or
+// zero.  Scheduling decisions are pure functions of event-sim time, so every
+// fleet metric is deterministic and goldenable.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dist/network_model.h"
+#include "dist/scenario.h"
+#include "dist/session.h"
+
+namespace sidco::sched {
+
+/// One tenant: a full session config plus its share of the link.  The
+/// session must be simulated-engine, allgather, overlap_chunks == 1,
+/// homogeneous (no worker_time_scale), fault-free — run_fleet validates.
+struct TenantSpec {
+  dist::SessionConfig session;
+  double weight = 1.0;  ///< fair-share weight on the shared link (> 0)
+  dist::ChurnSchedule churn;
+};
+
+struct FleetConfig {
+  std::vector<TenantSpec> tenants;
+  /// Shared-link capacity in Gbps while `trace` is flat; per-tenant NIC
+  /// ceilings still come from each tenant's own NetworkConfig.
+  double link_gbps = 10.0;
+  dist::BandwidthTrace trace;
+  dist::ResidualHandoff handoff = dist::ResidualHandoff::kWarmStart;
+};
+
+struct TenantResult {
+  dist::SessionResult session;
+  /// Mean allocated link bandwidth while this tenant was draining bytes
+  /// (total bytes drained / total drain seconds); 0 if it never used the
+  /// link (e.g. a 1-worker tenant with no joins).  The Jain inputs.
+  double mean_share_bytes_per_second = 0.0;
+  double drain_seconds = 0.0;
+  std::size_t joins = 0;
+  std::size_t leaves = 0;
+  std::size_t rejoins = 0;
+};
+
+struct FleetResult {
+  std::vector<TenantResult> tenants;
+  /// Jain's index over the tenants' mean link shares, excluding tenants
+  /// that never drained; 1.0 when fewer than two tenants used the link.
+  double jain_fairness = 1.0;
+  /// Completion time of the slowest tenant on the shared timeline.
+  double makespan_seconds = 0.0;
+};
+
+/// Runs the fleet to completion.  Throws util::CheckError on configs the
+/// scheduler cannot model (see TenantSpec) or infeasible churn schedules.
+FleetResult run_fleet(const FleetConfig& config);
+
+}  // namespace sidco::sched

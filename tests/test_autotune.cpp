@@ -328,5 +328,46 @@ TEST(AutotuneEngineIdentity, AllEnginesAgreeUnderFullAutotune) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Cross-feature: the controller across a mid-session eviction (e2e).
+
+TEST(AutotuneCrossFeature, ControllerStaysDeterministicAcrossEviction) {
+  // autotune=full + on_worker_failure=kEvict: worker 1 is partitioned off
+  // after 2 sends on each of its links and evicted; the survivors'
+  // controllers keep steering on modeled per-iteration observables only.
+  // Two runs of the identical config must therefore stay bit-identical on
+  // numerics, ratio trajectory included — any controller dependence on real
+  // clocks, detection latency, or the dead worker's unobserved state would
+  // diverge right here.
+  dist::SessionConfig config = session_config(core::AutotuneMode::kFull);
+  config.topology = dist::Topology::kParameterServer;
+  config.engine = dist::Engine::kThreads;
+  config.staleness_bound = 0;
+  config.reliability.enabled = true;  // eviction needs confirmed death
+  config.reliability.silence_timeout_seconds = 2.0;
+  config.reliability.heartbeat_interval_seconds = 0.2;
+  config.deadline_seconds = 120.0;  // backstop far above any expected path
+  config.on_worker_failure = dist::FailurePolicy::kEvict;
+  config.fault.partition_worker = 1;
+  config.fault.partition_after = 2;
+
+  const dist::SessionResult first = dist::run_session(config);
+  ASSERT_EQ(first.evictions.size(), 1U);
+  EXPECT_EQ(first.evictions[0].worker, 1U);
+  ASSERT_EQ(first.iterations.size(), config.iterations);
+  for (const dist::IterationRecord& it : first.iterations) {
+    EXPECT_TRUE(std::isfinite(it.train_loss));
+  }
+  // The controller must actually have acted across the eviction, or this
+  // pins nothing.
+  EXPECT_NE(first.iterations.back().achieved_ratio,
+            first.iterations.front().achieved_ratio);
+
+  const dist::SessionResult second = dist::run_session(config);
+  ASSERT_EQ(second.evictions.size(), 1U);
+  EXPECT_EQ(second.evictions[0].round, first.evictions[0].round);
+  expect_bit_identical(second, first);
+}
+
 }  // namespace
 }  // namespace sidco

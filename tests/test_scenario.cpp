@@ -3,11 +3,14 @@
 // plus a tiny end-to-end matrix determinism check.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "dist/scenario.h"
+#include "sched/fleet_scenario.h"
 #include "util/check.h"
 
 namespace sidco {
@@ -340,6 +343,249 @@ TEST(ScenarioSpec, AutotuneBoundsValidateAtParseTime) {
   // An all-off axis tolerates nonsense bounds: the controller never runs.
   EXPECT_NO_THROW(
       dist::parse_matrix_spec("autotune = off\nautotune_max = 1.5"));
+}
+
+// ---------------------------------------------------------------------------
+// PR 10: fleet axes (tenants / churn / bandwidth_trace / weights / handoff),
+// churn-schedule parsing, and the committed-spec round-trip properties.
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioSpec, ChurnScheduleTokensParse) {
+  const dist::ChurnSchedule none = dist::parse_churn_schedule("none");
+  EXPECT_TRUE(none.events.empty());
+  const dist::ChurnSchedule churn =
+      dist::parse_churn_schedule("leave@2+rejoin@4");
+  EXPECT_EQ(churn.name, "leave@2+rejoin@4");
+  ASSERT_EQ(churn.events.size(), 2U);
+  EXPECT_EQ(churn.events[0].kind, dist::ChurnEvent::Kind::kLeave);
+  EXPECT_EQ(churn.events[0].round, 2U);
+  EXPECT_EQ(churn.events[1].kind, dist::ChurnEvent::Kind::kRejoin);
+  EXPECT_EQ(churn.events[1].round, 4U);
+  const dist::ChurnSchedule join = dist::parse_churn_schedule("join@1");
+  ASSERT_EQ(join.events.size(), 1U);
+  EXPECT_EQ(join.events[0].kind, dist::ChurnEvent::Kind::kJoin);
+
+  EXPECT_THROW(dist::parse_churn_schedule(""), util::CheckError);
+  EXPECT_THROW(dist::parse_churn_schedule("leave"), util::CheckError);
+  EXPECT_THROW(dist::parse_churn_schedule("vanish@2"), util::CheckError);
+  EXPECT_THROW(dist::parse_churn_schedule("leave@two"), util::CheckError);
+  EXPECT_THROW(dist::parse_churn_schedule("leave@2x"), util::CheckError);
+  // Events must be in non-decreasing round order.
+  EXPECT_THROW(dist::parse_churn_schedule("rejoin@4+leave@2"),
+               util::CheckError);
+}
+
+TEST(ScenarioSpec, ResidualHandoffTokensParse) {
+  EXPECT_EQ(dist::parse_residual_handoff("warm"),
+            dist::ResidualHandoff::kWarmStart);
+  EXPECT_EQ(dist::parse_residual_handoff("zero"),
+            dist::ResidualHandoff::kZeroInit);
+  EXPECT_THROW(dist::parse_residual_handoff("lukewarm"), util::CheckError);
+}
+
+constexpr const char* kFleetSpecText = R"(
+workers         = 2
+iterations      = 6
+benchmark       = resnet20
+scheme          = sidco-e
+ratio           = 0.01
+topology        = allgather
+network         = 1gbps@50us
+tenants         = 1, 2
+churn           = none, leave@2+rejoin@4
+bandwidth_trace = flat, 1x0.05+0.25x0.05
+tenant_weights  = 1:2
+handoff         = zero
+)";
+
+TEST(ScenarioSpec, FleetAxesExpandInnermostWithTenantSuffixes) {
+  const dist::MatrixSpec spec = dist::parse_matrix_spec(kFleetSpecText);
+  ASSERT_EQ(spec.tenants.size(), 2U);
+  EXPECT_EQ(spec.handoff, dist::ResidualHandoff::kZeroInit);
+  const std::vector<dist::Scenario> cells = dist::expand(spec);
+  // 1 base cell x 2 tenants x 2 churn x 2 traces.
+  ASSERT_EQ(cells.size(), 8U);
+  for (const dist::Scenario& cell : cells) {
+    ASSERT_TRUE(cell.fleet.has_value()) << cell.name;
+    EXPECT_NE(cell.name.find("/fleet-t"), std::string::npos) << cell.name;
+    // Weights cycle over the ':'-joined list.
+    ASSERT_EQ(cell.fleet->weights.size(), cell.fleet->tenants);
+    EXPECT_DOUBLE_EQ(cell.fleet->weights[0], 1.0);
+    if (cell.fleet->tenants > 1) {
+      EXPECT_DOUBLE_EQ(cell.fleet->weights[1], 2.0);
+    }
+    // cell_metric_names is the per-tenant golden-key list.
+    const std::vector<std::string> names = sched::cell_metric_names(cell);
+    ASSERT_EQ(names.size(), cell.fleet->tenants);
+    for (std::size_t t = 0; t < names.size(); ++t) {
+      EXPECT_EQ(names[t], cell.name + "/t" + std::to_string(t));
+    }
+  }
+  // The innermost nesting order is tenants, then churn, then trace.
+  EXPECT_NE(cells[0].name.find("/fleet-t1/none/flat"), std::string::npos);
+  EXPECT_NE(cells[1].name.find("/fleet-t1/none/1x0.05+0.25x0.05"),
+            std::string::npos);
+  EXPECT_NE(cells[2].name.find("/fleet-t1/leave@2+rejoin@4/flat"),
+            std::string::npos);
+  EXPECT_NE(cells[4].name.find("/fleet-t2/none/flat"), std::string::npos);
+
+  // Plain cells report exactly their own name.
+  const dist::MatrixSpec plain = dist::parse_matrix_spec(kSpecText);
+  for (const dist::Scenario& cell : dist::expand(plain)) {
+    EXPECT_FALSE(cell.fleet.has_value());
+    const std::vector<std::string> names = sched::cell_metric_names(cell);
+    ASSERT_EQ(names.size(), 1U);
+    EXPECT_EQ(names[0], cell.name);
+  }
+}
+
+TEST(ScenarioSpec, FleetHostileInputsNameKeyAndToken) {
+  // Duplicate keys are rejected (previously last-wins silently).
+  try {
+    dist::parse_matrix_spec("workers = 2\nworkers = 4");
+    FAIL() << "expected CheckError";
+  } catch (const util::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("workers"), std::string::npos);
+  }
+  // Empty axis value lists.
+  EXPECT_THROW(dist::parse_matrix_spec("scheme = "), util::CheckError);
+  // Unknown fleet-axis tokens.
+  EXPECT_THROW(dist::parse_matrix_spec("tenants = 2\nchurn = vanish@1"),
+               util::CheckError);
+  EXPECT_THROW(
+      dist::parse_matrix_spec("tenants = 2\nbandwidth_trace = warp"),
+      util::CheckError);
+  EXPECT_THROW(dist::parse_matrix_spec("tenants = 2\nhandoff = maybe"),
+               util::CheckError);
+  EXPECT_THROW(dist::parse_matrix_spec("tenants = 0"), util::CheckError);
+  EXPECT_THROW(
+      dist::parse_matrix_spec("tenants = 2\ntenant_weights = 1:-2"),
+      util::CheckError);
+  // Fleet keys without a tenants axis name the offending key.
+  try {
+    dist::parse_matrix_spec("churn = leave@2");
+    FAIL() << "expected CheckError";
+  } catch (const util::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("churn"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("tenants"), std::string::npos);
+  }
+  // Fleet specs require the simulated engine / allgather topology and
+  // feasible churn against the spec's workers/iterations.
+  EXPECT_THROW(dist::parse_matrix_spec("tenants = 2\nengine = threads"),
+               util::CheckError);
+  EXPECT_THROW(dist::parse_matrix_spec("tenants = 2\ntopology = ps"),
+               util::CheckError);
+  EXPECT_THROW(dist::parse_matrix_spec("tenants = 2\nchunks = 2"),
+               util::CheckError);
+  // Rejoin with nobody departed.
+  EXPECT_THROW(
+      dist::parse_matrix_spec("workers = 2\ntenants = 1\nchurn = rejoin@1"),
+      util::CheckError);
+  // A second leave would empty the 2-worker tenant.
+  EXPECT_THROW(dist::parse_matrix_spec(
+                   "workers = 2\ntenants = 1\nchurn = leave@1+leave@2"),
+               util::CheckError);
+  // Churn round at/after the iteration count.
+  EXPECT_THROW(dist::parse_matrix_spec(
+                   "workers = 2\niterations = 3\ntenants = 1\n"
+                   "churn = leave@3"),
+               util::CheckError);
+}
+
+TEST(ScenarioRun, PlainRunnersRejectFleetCells) {
+  const dist::MatrixSpec spec = dist::parse_matrix_spec(kFleetSpecText);
+  const std::vector<dist::Scenario> cells = dist::expand(spec);
+  ASSERT_FALSE(cells.empty());
+  try {
+    dist::run_scenario(cells.front());
+    FAIL() << "expected CheckError";
+  } catch (const util::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("sched::run_cell"),
+              std::string::npos);
+  }
+  EXPECT_THROW(dist::run_matrix(spec), util::CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Committed-spec properties: every expanded cell of the repo's .scn files
+// format->reparses losslessly through the golden pipeline, and the golden
+// files' keys are exactly the runner's --list output
+// (sched::cell_metric_names in expansion order).
+// ---------------------------------------------------------------------------
+
+std::string read_repo_file(const std::string& relative) {
+  const std::string path = std::string(SIDCO_SOURCE_DIR) + "/" + relative;
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << "cannot read " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<std::string> metric_names_of(const std::string& spec_relative) {
+  const dist::MatrixSpec spec =
+      dist::parse_matrix_spec(read_repo_file(spec_relative));
+  std::vector<std::string> names;
+  for (const dist::Scenario& cell : dist::expand(spec)) {
+    for (std::string& name : sched::cell_metric_names(cell)) {
+      names.push_back(std::move(name));
+    }
+  }
+  return names;
+}
+
+std::vector<std::string> golden_keys_of(const std::string& golden_relative) {
+  std::istringstream in(read_repo_file(golden_relative));
+  std::vector<std::string> keys;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    keys.push_back(line.substr(0, line.find(' ')));
+  }
+  return keys;
+}
+
+TEST(ScenarioSpec, CommittedSpecCellNamesRoundTripThroughGoldenFormat) {
+  for (const char* spec_path :
+       {"scenarios/ci.scn", "scenarios/autotune.scn", "scenarios/fleet.scn"}) {
+    const std::vector<std::string> names = metric_names_of(spec_path);
+    ASSERT_FALSE(names.empty()) << spec_path;
+    // Synthesize one metric line per cell and round-trip it through the
+    // golden format: format_metrics -> compare_with_golden must parse every
+    // name (slashes, '@', '+', '.', "/t<k>" suffixes included) back to an
+    // exact cell-set match.
+    std::vector<dist::ScenarioMetrics> metrics;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      dist::ScenarioMetrics m;
+      m.name = names[i];
+      m.final_loss = 2.0 + 0.001 * static_cast<double>(i);
+      m.staleness_histogram = {8};
+      if (names[i].find("/fleet-") != std::string::npos) m.jain = 0.995;
+      metrics.push_back(std::move(m));
+    }
+    const std::string text = dist::format_metrics(metrics);
+    const dist::GoldenReport report =
+        dist::compare_with_golden(metrics, text);
+    EXPECT_TRUE(report.ok) << spec_path << ": "
+                           << (report.diffs.empty() ? "" : report.diffs[0]);
+    // And the formatter emitted one line per cell (names are newline-free).
+    std::size_t lines = 0;
+    for (char c : text) lines += c == '\n' ? 1 : 0;
+    EXPECT_EQ(lines, names.size()) << spec_path;
+  }
+}
+
+TEST(ScenarioSpec, CommittedGoldenKeysMatchListOutputExactly) {
+  const std::pair<const char*, const char*> pairs[] = {
+      {"scenarios/ci.scn", "scenarios/golden/ci.golden"},
+      {"scenarios/autotune.scn", "scenarios/golden/autotune.golden"},
+      {"scenarios/fleet.scn", "scenarios/golden/fleet.golden"},
+  };
+  for (const auto& [spec_path, golden_path] : pairs) {
+    EXPECT_EQ(metric_names_of(spec_path), golden_keys_of(golden_path))
+        << spec_path << " vs " << golden_path;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,413 @@
+// Multi-tenant fleet scheduler (src/sched): fair-share/water-filling and
+// bandwidth-trace unit laws, fleet determinism, the single-tenant parity
+// contract against run_session, Jain fairness bounds under equal and
+// asymmetric weights, elastic churn completion, and the residual-handoff
+// policies.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "dist/network_model.h"
+#include "dist/scenario.h"
+#include "dist/session.h"
+#include "sched/fair_share.h"
+#include "sched/fleet_scenario.h"
+#include "sched/scheduler.h"
+#include "util/check.h"
+
+namespace sidco {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fair-share allocation laws.
+// ---------------------------------------------------------------------------
+
+TEST(FairShare, EqualWeightsSplitEvenly) {
+  const std::vector<sched::LinkDemand> demands = {
+      {.weight = 1.0, .cap_bytes_per_second = 100.0, .active = true},
+      {.weight = 1.0, .cap_bytes_per_second = 100.0, .active = true},
+  };
+  const std::vector<double> alloc = sched::weighted_max_min(100.0, demands);
+  ASSERT_EQ(alloc.size(), 2U);
+  EXPECT_DOUBLE_EQ(alloc[0], 50.0);
+  EXPECT_DOUBLE_EQ(alloc[1], 50.0);
+  EXPECT_DOUBLE_EQ(sched::jain_index(alloc), 1.0);
+}
+
+TEST(FairShare, WeightsAreProportionalForUnsaturatedTenants) {
+  const std::vector<sched::LinkDemand> demands = {
+      {.weight = 1.0, .cap_bytes_per_second = 1000.0, .active = true},
+      {.weight = 3.0, .cap_bytes_per_second = 1000.0, .active = true},
+  };
+  const std::vector<double> alloc = sched::weighted_max_min(100.0, demands);
+  EXPECT_DOUBLE_EQ(alloc[0], 25.0);
+  EXPECT_DOUBLE_EQ(alloc[1], 75.0);
+}
+
+TEST(FairShare, SaturatedCapRedistributesToTheRest) {
+  // Tenant 0 caps at 10; the leftover 90 re-waterfalls over the other two.
+  const std::vector<sched::LinkDemand> demands = {
+      {.weight = 1.0, .cap_bytes_per_second = 10.0, .active = true},
+      {.weight = 1.0, .cap_bytes_per_second = 1000.0, .active = true},
+      {.weight = 1.0, .cap_bytes_per_second = 1000.0, .active = true},
+  };
+  const std::vector<double> alloc = sched::weighted_max_min(100.0, demands);
+  EXPECT_DOUBLE_EQ(alloc[0], 10.0);
+  EXPECT_DOUBLE_EQ(alloc[1], 45.0);
+  EXPECT_DOUBLE_EQ(alloc[2], 45.0);
+}
+
+TEST(FairShare, InactiveTenantsGetNothingAndCapsAreNeverExceeded) {
+  const std::vector<sched::LinkDemand> demands = {
+      {.weight = 5.0, .cap_bytes_per_second = 30.0, .active = true},
+      {.weight = 1.0, .cap_bytes_per_second = 100.0, .active = false},
+      {.weight = 1.0, .cap_bytes_per_second = 100.0, .active = true},
+  };
+  const std::vector<double> alloc = sched::weighted_max_min(200.0, demands);
+  EXPECT_DOUBLE_EQ(alloc[0], 30.0);  // capped, despite the big weight
+  EXPECT_DOUBLE_EQ(alloc[1], 0.0);   // inactive
+  EXPECT_DOUBLE_EQ(alloc[2], 100.0);  // the rest, up to its own cap
+  for (std::size_t i = 0; i < alloc.size(); ++i) {
+    EXPECT_LE(alloc[i], demands[i].cap_bytes_per_second);
+  }
+}
+
+TEST(FairShare, JainIndexBounds) {
+  EXPECT_DOUBLE_EQ(sched::jain_index(std::vector<double>{}), 1.0);
+  EXPECT_DOUBLE_EQ(sched::jain_index(std::vector<double>{0.0, 0.0}), 1.0);
+  // One tenant holding everything: J = 1/n.
+  EXPECT_DOUBLE_EQ(sched::jain_index(std::vector<double>{100.0, 0.0}), 0.5);
+  const double skewed =
+      sched::jain_index(std::vector<double>{90.0, 10.0, 10.0});
+  EXPECT_GT(skewed, 1.0 / 3.0);
+  EXPECT_LT(skewed, 1.0);
+  EXPECT_THROW(sched::jain_index(std::vector<double>{-1.0}),
+               util::CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Bandwidth traces.
+// ---------------------------------------------------------------------------
+
+TEST(BandwidthTrace, FlatTraceUsesStaticBandwidthAndNeverChanges) {
+  const dist::BandwidthTrace flat = dist::parse_bandwidth_trace("flat");
+  EXPECT_TRUE(flat.flat());
+  EXPECT_DOUBLE_EQ(flat.bytes_per_second_at(12.3, 1.0), 1e9 / 8.0);
+  EXPECT_EQ(flat.next_boundary_after(0.0),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(BandwidthTrace, SquareWaveCyclesAndReportsBoundaries) {
+  const dist::BandwidthTrace trace =
+      dist::parse_bandwidth_trace("10x0.5+1x0.5");
+  ASSERT_EQ(trace.segments.size(), 2U);
+  EXPECT_DOUBLE_EQ(trace.period_seconds(), 1.0);
+  const double high = 10.0 * 1e9 / 8.0;
+  const double low = 1.0 * 1e9 / 8.0;
+  EXPECT_DOUBLE_EQ(trace.bytes_per_second_at(0.0, 99.0), high);
+  EXPECT_DOUBLE_EQ(trace.bytes_per_second_at(0.49, 99.0), high);
+  EXPECT_DOUBLE_EQ(trace.bytes_per_second_at(0.5, 99.0), low);
+  // Cyclic: the same phase two periods later.
+  EXPECT_DOUBLE_EQ(trace.bytes_per_second_at(2.6, 99.0), low);
+  EXPECT_DOUBLE_EQ(trace.next_boundary_after(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(trace.next_boundary_after(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(trace.next_boundary_after(1.7), 2.0);
+  // Boundaries are strictly increasing from any start point.
+  double t = 0.1;
+  for (int i = 0; i < 8; ++i) {
+    const double next = trace.next_boundary_after(t);
+    EXPECT_GT(next, t);
+    t = next;
+  }
+}
+
+TEST(BandwidthTrace, HostileTokensNameTheTerm) {
+  EXPECT_THROW(dist::parse_bandwidth_trace(""), util::CheckError);
+  EXPECT_THROW(dist::parse_bandwidth_trace("10"), util::CheckError);
+  EXPECT_THROW(dist::parse_bandwidth_trace("tenxfast"), util::CheckError);
+  EXPECT_THROW(dist::parse_bandwidth_trace("10x0.5+0x0.5"), util::CheckError);
+  EXPECT_THROW(dist::parse_bandwidth_trace("10x-1"), util::CheckError);
+  EXPECT_THROW(dist::parse_bandwidth_trace("10x0.5junk"), util::CheckError);
+  try {
+    dist::parse_bandwidth_trace("10x0.5+bogusx1");
+    FAIL() << "expected CheckError";
+  } catch (const util::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("bogusx1"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fleet end-to-end.  Small sessions: the resnet20 proxy, 2 workers, a few
+// iterations on the 1 Gbps / 50 us fabric.
+// ---------------------------------------------------------------------------
+
+dist::SessionConfig tenant_session(std::size_t iterations = 4) {
+  dist::SessionConfig config;
+  config.benchmark = nn::Benchmark::kResNet20;
+  config.scheme = core::Scheme::kSidcoExponential;
+  config.target_ratio = 0.01;
+  config.workers = 2;
+  config.iterations = iterations;
+  config.eval_batches = 2;
+  config.seed = 99;
+  config.error_feedback = true;
+  config.network = {.workers = 2, .bandwidth_gbps = 1.0, .latency_us = 50.0};
+  config.device = dist::Device::kGpuModel;
+  return config;
+}
+
+sched::FleetConfig fleet_of(std::size_t tenants,
+                            std::size_t iterations = 4) {
+  sched::FleetConfig config;
+  for (std::size_t t = 0; t < tenants; ++t) {
+    sched::TenantSpec tenant;
+    tenant.session = tenant_session(iterations);
+    tenant.session.seed = 99 + t;
+    config.tenants.push_back(tenant);
+  }
+  config.link_gbps = 1.0;
+  return config;
+}
+
+std::string fleet_fingerprint(const sched::FleetResult& fleet) {
+  std::string out;
+  for (const sched::TenantResult& tenant : fleet.tenants) {
+    const dist::ScenarioMetrics m =
+        dist::metrics_from_session("t", tenant.session);
+    std::vector<dist::ScenarioMetrics> line = {m};
+    out += dist::format_metrics(line);
+    out += "share=" + std::to_string(tenant.mean_share_bytes_per_second) +
+           "\n";
+  }
+  out += "jain=" + std::to_string(fleet.jain_fairness) +
+         " makespan=" + std::to_string(fleet.makespan_seconds) + "\n";
+  return out;
+}
+
+TEST(FleetScheduler, RepeatedRunsAreByteIdentical) {
+  const sched::FleetConfig config = fleet_of(2);
+  const sched::FleetResult first = sched::run_fleet(config);
+  const sched::FleetResult second = sched::run_fleet(config);
+  const std::string a = fleet_fingerprint(first);
+  const std::string b = fleet_fingerprint(second);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(first.tenants.size(), 2U);
+  // And the parameter vectors themselves, not just the formatted metrics.
+  for (std::size_t t = 0; t < first.tenants.size(); ++t) {
+    EXPECT_EQ(first.tenants[t].session.final_parameters,
+              second.tenants[t].session.final_parameters);
+  }
+}
+
+// The headline contract: a 1-tenant fleet with no churn on a flat link
+// reproduces run_session bit-for-bit on everything the numerics decide —
+// parameters, losses, evals, wire bytes.  Wall-clock agrees to float
+// association (the fleet accumulates the same terms through its event
+// timeline instead of one closed-form sum).
+TEST(FleetScheduler, SingleTenantMatchesRunSessionBitForBit) {
+  const dist::SessionConfig session = tenant_session(/*iterations=*/5);
+  const dist::SessionResult standalone = dist::run_session(session);
+
+  sched::FleetConfig config;
+  sched::TenantSpec spec;
+  spec.session = session;
+  config.tenants.push_back(spec);
+  config.link_gbps = session.network.bandwidth_gbps;
+  const sched::FleetResult fleet = sched::run_fleet(config);
+  ASSERT_EQ(fleet.tenants.size(), 1U);
+  const dist::SessionResult& tenant = fleet.tenants.front().session;
+
+  EXPECT_EQ(tenant.final_parameters, standalone.final_parameters);
+  ASSERT_EQ(tenant.iterations.size(), standalone.iterations.size());
+  for (std::size_t i = 0; i < tenant.iterations.size(); ++i) {
+    EXPECT_EQ(tenant.iterations[i].train_loss,
+              standalone.iterations[i].train_loss);
+    EXPECT_EQ(tenant.iterations[i].achieved_ratio,
+              standalone.iterations[i].achieved_ratio);
+    EXPECT_EQ(tenant.iterations[i].wire_bytes,
+              standalone.iterations[i].wire_bytes);
+  }
+  ASSERT_EQ(tenant.evals.size(), standalone.evals.size());
+  for (std::size_t i = 0; i < tenant.evals.size(); ++i) {
+    EXPECT_EQ(tenant.evals[i].loss, standalone.evals[i].loss);
+    EXPECT_EQ(tenant.evals[i].accuracy, standalone.evals[i].accuracy);
+  }
+  EXPECT_EQ(tenant.total_wire_bytes, standalone.total_wire_bytes);
+  EXPECT_EQ(tenant.total_dense_equiv_bytes,
+            standalone.total_dense_equiv_bytes);
+  EXPECT_EQ(tenant.staleness_histogram, standalone.staleness_histogram);
+  EXPECT_NEAR(tenant.total_modeled_seconds, standalone.total_modeled_seconds,
+              1e-9 * standalone.total_modeled_seconds);
+  EXPECT_DOUBLE_EQ(fleet.jain_fairness, 1.0);
+}
+
+TEST(FleetScheduler, EqualWeightTenantsShareFairly) {
+  const sched::FleetResult fleet = sched::run_fleet(fleet_of(4));
+  ASSERT_EQ(fleet.tenants.size(), 4U);
+  EXPECT_GE(fleet.jain_fairness, 0.99);
+  EXPECT_LE(fleet.jain_fairness, 1.0);
+  for (const sched::TenantResult& tenant : fleet.tenants) {
+    EXPECT_GT(tenant.mean_share_bytes_per_second, 0.0);
+    EXPECT_GT(tenant.drain_seconds, 0.0);
+  }
+}
+
+TEST(FleetScheduler, AsymmetricWeightsSkewSharesTowardTheHeavyTenant) {
+  sched::FleetConfig config = fleet_of(2);
+  config.tenants[0].weight = 4.0;
+  config.tenants[1].weight = 1.0;
+  const sched::FleetResult fleet = sched::run_fleet(config);
+  ASSERT_EQ(fleet.tenants.size(), 2U);
+  const double heavy = fleet.tenants[0].mean_share_bytes_per_second;
+  const double light = fleet.tenants[1].mean_share_bytes_per_second;
+  EXPECT_GT(heavy, light);
+  // Skewed shares must show up in the index: below the equal-weight floor,
+  // above the one-tenant-takes-all bound of 1/n.
+  EXPECT_LT(fleet.jain_fairness, 0.99);
+  EXPECT_GT(fleet.jain_fairness, 0.5);
+  // The light tenant waits on the link longer, so it finishes no earlier.
+  EXPECT_GE(fleet.tenants[1].session.total_modeled_seconds,
+            fleet.tenants[0].session.total_modeled_seconds);
+}
+
+TEST(FleetScheduler, ChurnSchedulesCompleteAndRecordEvictions) {
+  sched::FleetConfig config = fleet_of(2, /*iterations=*/6);
+  const dist::ChurnSchedule churn =
+      dist::parse_churn_schedule("leave@2+rejoin@4");
+  for (sched::TenantSpec& tenant : config.tenants) tenant.churn = churn;
+  const sched::FleetResult fleet = sched::run_fleet(config);
+  for (const sched::TenantResult& tenant : fleet.tenants) {
+    EXPECT_EQ(tenant.leaves, 1U);
+    EXPECT_EQ(tenant.rejoins, 1U);
+    EXPECT_EQ(tenant.joins, 0U);
+    ASSERT_EQ(tenant.session.evictions.size(), 1U);
+    EXPECT_EQ(tenant.session.evictions[0].worker, 1U);
+    EXPECT_EQ(tenant.session.evictions[0].round, 2U);
+    EXPECT_EQ(tenant.session.iterations.size(), 6U);
+    // 2 workers x 6 rounds, minus rounds 2 and 3 running on one worker.
+    ASSERT_EQ(tenant.session.staleness_histogram.size(), 1U);
+    EXPECT_EQ(tenant.session.staleness_histogram[0], 10U);
+    EXPECT_TRUE(std::isfinite(tenant.session.final_loss));
+  }
+}
+
+TEST(FleetScheduler, JoinGrowsTheTenantMidRun) {
+  sched::FleetConfig config = fleet_of(1, /*iterations=*/5);
+  config.tenants[0].churn = dist::parse_churn_schedule("join@2");
+  const sched::FleetResult fleet = sched::run_fleet(config);
+  const sched::TenantResult& tenant = fleet.tenants.front();
+  EXPECT_EQ(tenant.joins, 1U);
+  EXPECT_EQ(tenant.leaves, 0U);
+  EXPECT_TRUE(tenant.session.evictions.empty());
+  // 2 workers for rounds 0-1, 3 workers for rounds 2-4.
+  ASSERT_EQ(tenant.session.staleness_histogram.size(), 1U);
+  EXPECT_EQ(tenant.session.staleness_histogram[0], 13U);
+  EXPECT_TRUE(std::isfinite(tenant.session.final_loss));
+}
+
+// Residual handoff: the warm-start and zero-init policies both complete,
+// diverge from each other (the parked residual is real state), and stay
+// within a bounded band of the churn-free run's final loss — a membership
+// blip must not derail training.
+TEST(FleetScheduler, ResidualHandoffPoliciesAreBoundedAndDistinct) {
+  const auto run_with =
+      [](dist::ResidualHandoff handoff) -> dist::SessionResult {
+    sched::FleetConfig config;
+    sched::TenantSpec tenant;
+    tenant.session = tenant_session(/*iterations=*/6);
+    tenant.churn = dist::parse_churn_schedule("leave@2+rejoin@4");
+    config.tenants.push_back(tenant);
+    config.link_gbps = 1.0;
+    config.handoff = handoff;
+    return std::move(sched::run_fleet(config).tenants.front().session);
+  };
+
+  const dist::SessionResult warm =
+      run_with(dist::ResidualHandoff::kWarmStart);
+  const dist::SessionResult zero = run_with(dist::ResidualHandoff::kZeroInit);
+  const dist::SessionResult clean =
+      sched::run_fleet(fleet_of(1, /*iterations=*/6))
+          .tenants.front()
+          .session;
+
+  // The rejoining worker's residual differs between the policies, so the
+  // parameter trajectories must fork after the rejoin round.
+  EXPECT_NE(warm.final_parameters, zero.final_parameters);
+  // Bounded divergence: both land within 25% of the churn-free final loss.
+  for (const dist::SessionResult* result : {&warm, &zero}) {
+    EXPECT_TRUE(std::isfinite(result->final_loss));
+    EXPECT_LT(std::abs(result->final_loss - clean.final_loss),
+              0.25 * clean.final_loss);
+  }
+  // And training still makes progress under churn: the loss tail improves
+  // on the first iteration's loss for every variant.
+  for (const dist::SessionResult* result : {&warm, &zero, &clean}) {
+    const std::vector<double> losses = result->loss_series();
+    ASSERT_GE(losses.size(), 2U);
+    EXPECT_LT(losses.back(), losses.front());
+  }
+}
+
+TEST(FleetScheduler, RejectsConfigsTheSchedulerCannotModel) {
+  // Empty fleet.
+  EXPECT_THROW(sched::run_fleet(sched::FleetConfig{}), util::CheckError);
+  {
+    sched::FleetConfig config = fleet_of(1);
+    config.tenants[0].session.engine = dist::Engine::kThreads;
+    EXPECT_THROW(sched::run_fleet(config), util::CheckError);
+  }
+  {
+    sched::FleetConfig config = fleet_of(1);
+    config.tenants[0].session.topology = dist::Topology::kParameterServer;
+    EXPECT_THROW(sched::run_fleet(config), util::CheckError);
+  }
+  {
+    sched::FleetConfig config = fleet_of(1);
+    config.tenants[0].session.overlap_chunks = 2;
+    EXPECT_THROW(sched::run_fleet(config), util::CheckError);
+  }
+  {
+    sched::FleetConfig config = fleet_of(1);
+    config.tenants[0].weight = 0.0;
+    EXPECT_THROW(sched::run_fleet(config), util::CheckError);
+  }
+  {
+    // Infeasible churn: a leave that would empty the 2-worker tenant after
+    // one already left.
+    sched::FleetConfig config = fleet_of(1);
+    config.tenants[0].churn = dist::parse_churn_schedule("leave@0+leave@1");
+    EXPECT_THROW(sched::run_fleet(config), util::CheckError);
+  }
+  {
+    // Churn event beyond the last round.
+    sched::FleetConfig config = fleet_of(1, /*iterations=*/3);
+    config.tenants[0].churn = dist::parse_churn_schedule("leave@7");
+    EXPECT_THROW(sched::run_fleet(config), util::CheckError);
+  }
+}
+
+// A bandwidth trace only reshapes the timeline: numerics (parameters,
+// losses, bytes) are trace-invariant, wall-clock is not.
+TEST(FleetScheduler, TraceChangesTimeButNotNumerics) {
+  sched::FleetConfig flat = fleet_of(2);
+  sched::FleetConfig wave = fleet_of(2);
+  wave.trace = dist::parse_bandwidth_trace("1x0.05+0.25x0.05");
+  const sched::FleetResult a = sched::run_fleet(flat);
+  const sched::FleetResult b = sched::run_fleet(wave);
+  ASSERT_EQ(a.tenants.size(), b.tenants.size());
+  for (std::size_t t = 0; t < a.tenants.size(); ++t) {
+    EXPECT_EQ(a.tenants[t].session.final_parameters,
+              b.tenants[t].session.final_parameters);
+    EXPECT_EQ(a.tenants[t].session.total_wire_bytes,
+              b.tenants[t].session.total_wire_bytes);
+  }
+  // The square wave averages below the flat link, so the fleet cannot
+  // finish faster.
+  EXPECT_GE(b.makespan_seconds, a.makespan_seconds);
+}
+
+}  // namespace
+}  // namespace sidco

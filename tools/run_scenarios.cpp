@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "dist/scenario.h"
+#include "sched/fleet_scenario.h"
 
 namespace {
 
@@ -117,7 +118,13 @@ int main(int argc, char** argv) {
               << spec_path << ", engine "
               << sidco::dist::engine_name(spec.engine) << ")\n";
     if (list_only) {
-      for (const auto& cell : cells) std::cout << cell.name << "\n";
+      // One line per golden key: fleet cells list every per-tenant line, so
+      // --list output is byte-equal to the keys a golden file will hold.
+      for (const auto& cell : cells) {
+        for (const auto& name : sidco::sched::cell_metric_names(cell)) {
+          std::cout << name << "\n";
+        }
+      }
       return 0;
     }
 
@@ -129,7 +136,10 @@ int main(int argc, char** argv) {
       for (const auto& cell : cells) {
         std::cerr << "  run " << (r + 1) << "/" << repeat << ": " << cell.name
                   << "\n";
-        run.push_back(sidco::dist::run_scenario(cell));
+        // Fleet cells report one metric line per tenant; plain cells one.
+        for (auto& line : sidco::sched::run_cell(cell)) {
+          run.push_back(std::move(line));
+        }
       }
       // Comparisons (determinism, goldens) exclude the measured-seconds
       // columns; the stdout report includes them.
@@ -183,7 +193,8 @@ int main(int argc, char** argv) {
         for (const auto& diff : report.diffs) std::cerr << "  " << diff << "\n";
         return 1;
       }
-      std::cerr << "golden comparison passed (" << cells.size() << " cells)\n";
+      std::cerr << "golden comparison passed (" << metrics.size()
+                << " lines)\n";
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
